@@ -1,0 +1,115 @@
+//! Timing side of the ablations (the result-quality side lives in
+//! `repro --exp ablation`): how much each design choice costs.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fenrir_core::clean::interpolate_nearest;
+use fenrir_core::cluster::{Dendrogram, Linkage};
+use fenrir_core::ids::{SiteId, SiteTable};
+use fenrir_core::series::VectorSeries;
+use fenrir_core::similarity::{SimilarityMatrix, UnknownPolicy};
+use fenrir_core::time::Timestamp;
+use fenrir_core::vector::{Catchment, RoutingVector};
+use fenrir_core::weight::Weights;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn synth(t_len: usize, n: usize, unknown: f64) -> VectorSeries {
+    let table = SiteTable::from_names(["A", "B", "C", "D"]);
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let mut series = VectorSeries::new(table, n);
+    for t in 0..t_len {
+        let v: Vec<Catchment> = (0..n)
+            .map(|_| {
+                if rng.gen_bool(unknown) {
+                    Catchment::Unknown
+                } else {
+                    Catchment::Site(SiteId(rng.gen_range(0..4)))
+                }
+            })
+            .collect();
+        series
+            .push(RoutingVector::from_catchments(
+                Timestamp::from_days(t as i64),
+                v,
+            ))
+            .expect("ordered");
+    }
+    series
+}
+
+fn bench_unknown_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_unknown_policy");
+    group.sample_size(10);
+    let series = synth(96, 2_000, 0.5);
+    let w = Weights::uniform(2_000);
+    for (name, policy) in [
+        ("pessimistic", UnknownPolicy::Pessimistic),
+        ("known_only", UnknownPolicy::KnownOnly),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| SimilarityMatrix::compute(black_box(&series), &w, policy).expect("ok"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_linkage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_linkage");
+    group.sample_size(10);
+    let series = synth(256, 500, 0.3);
+    let w = Weights::uniform(500);
+    let sim =
+        SimilarityMatrix::compute(&series, &w, UnknownPolicy::Pessimistic).expect("ok");
+    for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+        group.bench_function(format!("{linkage:?}"), |b| {
+            b.iter(|| Dendrogram::build(black_box(&sim), linkage).expect("ok"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_interpolation_limit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_interpolation_limit");
+    group.sample_size(10);
+    let series = synth(128, 2_000, 0.4);
+    for &limit in &[1usize, 3, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(limit), &limit, |b, &l| {
+            b.iter(|| {
+                let mut s = series.clone();
+                interpolate_nearest(&mut s, l)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_weighting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_weighting");
+    group.sample_size(10);
+    let series = synth(96, 2_000, 0.5);
+    let uniform = Weights::uniform(2_000);
+    let prefixes: Vec<u8> = (0..2_000).map(|i| if i % 7 == 0 { 16 } else { 24 }).collect();
+    let weighted = Weights::from_prefix_lengths(&prefixes).expect("ok");
+    group.bench_function("uniform", |b| {
+        b.iter(|| {
+            SimilarityMatrix::compute(black_box(&series), &uniform, UnknownPolicy::Pessimistic)
+                .expect("ok")
+        })
+    });
+    group.bench_function("prefix_weighted", |b| {
+        b.iter(|| {
+            SimilarityMatrix::compute(black_box(&series), &weighted, UnknownPolicy::Pessimistic)
+                .expect("ok")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_unknown_policy,
+    bench_linkage,
+    bench_interpolation_limit,
+    bench_weighting
+);
+criterion_main!(benches);

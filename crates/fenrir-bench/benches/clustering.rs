@@ -1,0 +1,62 @@
+//! Benchmarks of hierarchical clustering: dendrogram construction
+//! (nearest-neighbour chain, `O(|T|²)`), threshold cuts, and the paper's
+//! adaptive threshold sweep.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fenrir_core::cluster::{AdaptiveThreshold, Dendrogram, Linkage};
+use fenrir_core::similarity::SimilarityMatrix;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A similarity matrix with `modes` planted blocks plus noise.
+fn planted_modes(n: usize, modes: usize) -> SimilarityMatrix {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let labels: Vec<usize> = (0..n).map(|i| i * modes / n).collect();
+    let mut v = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let base = if labels[i] == labels[j] { 0.9 } else { 0.3 };
+            let noise: f64 = rng.gen_range(-0.05..0.05);
+            let s = if i == j { 1.0 } else { (base + noise).clamp(0.0, 1.0) };
+            v[i * n + j] = s;
+            v[j * n + i] = s;
+        }
+    }
+    SimilarityMatrix::from_raw(n, v).expect("square")
+}
+
+fn bench_dendrogram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dendrogram_build");
+    group.sample_size(10);
+    for &n in &[128usize, 512, 1024] {
+        let sim = planted_modes(n, 6);
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{linkage:?}"), n),
+                &n,
+                |b, _| b.iter(|| Dendrogram::build(black_box(&sim), linkage).expect("ok")),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_cut_and_adaptive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threshold");
+    let sim = planted_modes(512, 6);
+    let dendro = Dendrogram::build(&sim, Linkage::Average).expect("ok");
+    group.bench_function("single_cut", |b| {
+        b.iter(|| black_box(&dendro).cut(black_box(0.3)))
+    });
+    group.bench_function("adaptive_sweep", |b| {
+        b.iter(|| {
+            AdaptiveThreshold::default()
+                .choose(black_box(&dendro))
+                .expect("ok")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dendrogram, bench_cut_and_adaptive);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Network-substrate benchmarks: topology generation and BGP route
+//! computation — the inner loop of every simulated observation instant.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fenrir_netsim::routing::{RouteTable, RoutingConfig};
+use fenrir_netsim::topology::{Tier, TopologyBuilder};
+
+fn builder(stubs: usize) -> TopologyBuilder {
+    TopologyBuilder {
+        transit: 5,
+        regional: stubs / 16,
+        stubs,
+        blocks_per_stub: 2,
+        seed: 1,
+        ..Default::default()
+    }
+}
+
+fn bench_topology(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology_build");
+    for &stubs in &[100usize, 400, 1600] {
+        group.bench_with_input(BenchmarkId::from_parameter(stubs), &stubs, |b, &s| {
+            b.iter(|| builder(s).build())
+        });
+    }
+    group.finish();
+}
+
+fn bench_routes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route_table");
+    for &stubs in &[100usize, 400, 1600] {
+        let topo = builder(stubs).build();
+        let regionals = topo.tier_members(Tier::Regional);
+        // Anycast with 4 origins.
+        let origins: Vec<_> = regionals
+            .iter()
+            .take(4)
+            .enumerate()
+            .map(|(i, &a)| (a, i as u32))
+            .collect();
+        let cfg = RoutingConfig::default();
+        group.bench_with_input(
+            BenchmarkId::new("anycast4", stubs),
+            &stubs,
+            |b, _| b.iter(|| RouteTable::compute(black_box(&topo), &origins, &cfg)),
+        );
+        // Unicast toward a stub (the traceroute per-destination cost).
+        let dest = topo.tier_members(Tier::Stub)[0];
+        group.bench_with_input(
+            BenchmarkId::new("unicast", stubs),
+            &stubs,
+            |b, _| b.iter(|| RouteTable::compute(black_box(&topo), &[(dest, 0)], &cfg)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_topology, bench_routes);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! End-to-end pipeline benchmark: the full Table 1 sequence on the G-Root
+//! scenario, stage by stage, so regressions localize.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fenrir_core::clean::interpolate_nearest;
+use fenrir_core::cluster::{AdaptiveThreshold, Linkage};
+use fenrir_core::detect::ChangeDetector;
+use fenrir_core::modes::ModeAnalysis;
+use fenrir_core::similarity::{SimilarityMatrix, UnknownPolicy};
+use fenrir_core::transition::TransitionMatrix;
+use fenrir_core::weight::Weights;
+use fenrir_data::scenarios::{groot, Scale};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+
+    // Stage 0: scenario construction + measurement campaign.
+    group.bench_function("collect(groot)", |b| {
+        b.iter(|| black_box(groot(Scale::Test)))
+    });
+
+    let study = groot(Scale::Test);
+    let series = study.result.series;
+    let w = Weights::uniform(series.networks());
+
+    group.bench_function("clean(interpolate)", |b| {
+        b.iter(|| {
+            let mut s = series.clone();
+            interpolate_nearest(&mut s, 3)
+        })
+    });
+
+    let sim = SimilarityMatrix::compute_parallel(&series, &w, UnknownPolicy::Pessimistic, 4)
+        .expect("ok");
+    group.bench_function("similarity(all-pairs)", |b| {
+        b.iter(|| {
+            SimilarityMatrix::compute_parallel(&series, &w, UnknownPolicy::Pessimistic, 4)
+                .expect("ok")
+        })
+    });
+
+    group.bench_function("modes(HAC+adaptive)", |b| {
+        b.iter(|| {
+            ModeAnalysis::discover(
+                black_box(&sim),
+                &study.times,
+                Linkage::Average,
+                AdaptiveThreshold::default(),
+            )
+            .expect("ok")
+        })
+    });
+
+    group.bench_function("transitions(step)", |b| {
+        b.iter(|| {
+            TransitionMatrix::compute(
+                black_box(series.get(0)),
+                black_box(series.get(1)),
+                series.sites().len(),
+            )
+            .expect("ok")
+        })
+    });
+
+    group.bench_function("detect(change-events)", |b| {
+        b.iter(|| ChangeDetector::default().detect(black_box(&series), &w))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

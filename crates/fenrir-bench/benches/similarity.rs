@@ -1,0 +1,96 @@
+//! Benchmarks of the Gower similarity kernel and the all-pairs matrix —
+//! the dominant cost of a Fenrir analysis (`O(|T|² · N)`).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fenrir_core::ids::{SiteId, SiteTable};
+use fenrir_core::series::VectorSeries;
+use fenrir_core::similarity::{phi, SimilarityMatrix, UnknownPolicy};
+use fenrir_core::time::Timestamp;
+use fenrir_core::vector::{Catchment, RoutingVector};
+use fenrir_core::weight::Weights;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Synthetic series: `t_len` observations over `n` networks, `sites`
+/// catchments, with a given unknown fraction and per-step churn.
+fn synth_series(t_len: usize, n: usize, sites: u16, unknown_frac: f64) -> VectorSeries {
+    let table = SiteTable::from_names((0..sites).map(|i| format!("S{i}")));
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let mut series = VectorSeries::new(table, n);
+    let mut current: Vec<Catchment> = (0..n)
+        .map(|_| {
+            if rng.gen_bool(unknown_frac) {
+                Catchment::Unknown
+            } else {
+                Catchment::Site(SiteId(rng.gen_range(0..sites)))
+            }
+        })
+        .collect();
+    for t in 0..t_len {
+        for c in current.iter_mut() {
+            if rng.gen_bool(0.02) {
+                *c = Catchment::Site(SiteId(rng.gen_range(0..sites)));
+            }
+        }
+        series
+            .push(RoutingVector::from_catchments(
+                Timestamp::from_days(t as i64),
+                current.clone(),
+            ))
+            .expect("ordered");
+    }
+    series
+}
+
+fn bench_phi_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phi_kernel");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let series = synth_series(2, n, 8, 0.5);
+        let w = Weights::uniform(n);
+        group.bench_with_input(BenchmarkId::new("pessimistic", n), &n, |b, _| {
+            b.iter(|| {
+                phi(
+                    black_box(series.get(0)),
+                    black_box(series.get(1)),
+                    &w,
+                    UnknownPolicy::Pessimistic,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("known_only", n), &n, |b, _| {
+            b.iter(|| {
+                phi(
+                    black_box(series.get(0)),
+                    black_box(series.get(1)),
+                    &w,
+                    UnknownPolicy::KnownOnly,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("similarity_matrix");
+    group.sample_size(10);
+    for &t_len in &[64usize, 128] {
+        let series = synth_series(t_len, 2_000, 8, 0.5);
+        let w = Weights::uniform(2_000);
+        group.bench_with_input(BenchmarkId::new("sequential", t_len), &t_len, |b, _| {
+            b.iter(|| {
+                SimilarityMatrix::compute(&series, &w, UnknownPolicy::Pessimistic).expect("ok")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("parallel4", t_len), &t_len, |b, _| {
+            b.iter(|| {
+                SimilarityMatrix::compute_parallel(&series, &w, UnknownPolicy::Pessimistic, 4)
+                    .expect("ok")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_phi_kernel, bench_matrix);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Wire-format benchmarks: DNS and ICMP encode/decode throughput — the
+//! per-probe cost every measurement simulator pays millions of times.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fenrir_wire::dns::{ClientSubnet, Message, QClass, QType, Rcode, Record};
+use fenrir_wire::icmp::IcmpPacket;
+
+fn bench_dns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dns");
+
+    let mut ecs_query = Message::query(0x1234, "www.google.com", QType::A, QClass::In);
+    ecs_query.set_client_subnet(ClientSubnet::ipv4([100, 64, 7, 0], 24));
+    let ecs_bytes = ecs_query.encode().expect("ok");
+    group.bench_function("encode_ecs_query", |b| {
+        b.iter(|| black_box(&ecs_query).encode().expect("ok"))
+    });
+    group.bench_function("decode_ecs_query", |b| {
+        b.iter(|| Message::decode(black_box(&ecs_bytes)).expect("ok"))
+    });
+
+    let chaos = Message::chaos_hostname_bind(7);
+    let mut resp = chaos.response_to(Rcode::NoError);
+    resp.answers.push(Record::txt(
+        chaos.questions[0].name.clone(),
+        QClass::Chaos,
+        0,
+        b"b4-lax2",
+    ));
+    let resp_bytes = resp.encode().expect("ok");
+    group.bench_function("encode_chaos_response", |b| {
+        b.iter(|| black_box(&resp).encode().expect("ok"))
+    });
+    group.bench_function("decode_chaos_response", |b| {
+        b.iter(|| Message::decode(black_box(&resp_bytes)).expect("ok"))
+    });
+
+    // Name-compression payoff: a response with many records sharing a
+    // suffix.
+    let q = Message::query(9, "cdn.front.example.net", QType::A, QClass::In);
+    let mut fat = q.response_to(Rcode::NoError);
+    for i in 0..10u8 {
+        fat.answers.push(Record::a(
+            q.questions[0].name.clone(),
+            60,
+            [198, 18, 0, i],
+        ));
+    }
+    group.bench_function("encode_compressed_10rr", |b| {
+        b.iter(|| black_box(&fat).encode().expect("ok"))
+    });
+    group.finish();
+}
+
+fn bench_icmp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("icmp");
+    let echo = IcmpPacket::echo_request(0xBEEF, 42, vec![0u8; 56]);
+    let bytes = echo.encode();
+    group.bench_function("encode_echo", |b| {
+        b.iter(|| black_box(&echo).encode())
+    });
+    group.bench_function("decode_echo", |b| {
+        b.iter(|| IcmpPacket::decode(black_box(&bytes)).expect("ok"))
+    });
+    group.bench_function("round_trip_with_reply", |b| {
+        b.iter(|| {
+            let req = IcmpPacket::echo_request(1, 2, vec![0u8; 56]);
+            let reply = IcmpPacket::echo_reply_to(&req);
+            IcmpPacket::decode(&reply.encode()).expect("ok")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dns, bench_icmp);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro --exp all              # every experiment, test scale
+//! repro --exp fig3 --paper     # one experiment at paper scale
+//! repro --list                 # list experiment ids
+//! ```
+
+use fenrir_bench::{all_experiments, run_experiment, ExperimentReport, EXPERIMENT_IDS};
+use fenrir_data::scenarios::Scale;
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--exp <id|all>] [--paper] [--out <dir>] [--datasets <dir>] [--list]\n       ids: {}",
+        EXPERIMENT_IDS.join(", ")
+    );
+    std::process::exit(2);
+}
+
+/// Print a report and, when `out` is given, write its body and artifacts
+/// under `<out>/<id>/`. Returns whether all writes succeeded.
+fn emit(report: &ExperimentReport, out: Option<&PathBuf>) -> bool {
+    println!("{}", report.render());
+    let Some(dir) = out else { return true };
+    let exp_dir = dir.join(report.id);
+    if let Err(e) = std::fs::create_dir_all(&exp_dir) {
+        eprintln!("cannot create {}: {e}", exp_dir.display());
+        return false;
+    }
+    let mut files = vec![("report.txt".to_owned(), report.render())];
+    files.extend(
+        report
+            .artifacts
+            .iter()
+            .map(|a| (a.name.clone(), a.contents.clone())),
+    );
+    let mut ok = true;
+    for (name, contents) in files {
+        let path = exp_dir.join(&name);
+        if let Err(e) = std::fs::write(&path, contents) {
+            eprintln!("cannot write {}: {e}", path.display());
+            ok = false;
+        } else {
+            eprintln!("wrote {}", path.display());
+        }
+    }
+    ok
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut exp = String::from("all");
+    let mut scale = Scale::Test;
+    let mut out: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--exp" => {
+                i += 1;
+                exp = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--paper" => scale = Scale::Paper,
+            "--out" => {
+                i += 1;
+                out = Some(PathBuf::from(args.get(i).cloned().unwrap_or_else(|| usage())));
+            }
+            "--datasets" => {
+                i += 1;
+                let dir = PathBuf::from(args.get(i).cloned().unwrap_or_else(|| usage()));
+                match fenrir_data::catalog::release_all(&dir, scale) {
+                    Ok(written) => {
+                        for p in written {
+                            eprintln!("wrote {}", p.display());
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("dataset release failed: {e}");
+                        std::process::exit(1);
+                    }
+                }
+                return;
+            }
+            "--list" => {
+                for id in EXPERIMENT_IDS {
+                    println!("{id}");
+                }
+                return;
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let mut ok = true;
+    if exp == "all" {
+        for report in all_experiments(scale) {
+            ok &= emit(&report, out.as_ref());
+        }
+    } else {
+        match run_experiment(&exp, scale) {
+            Some(report) => ok &= emit(&report, out.as_ref()),
+            None => usage(),
+        }
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,142 @@
+//! Enterprise experiments: Figure 2 (hop-3 stack + heatmap + mode Φ) and
+//! Figures 7–8 (Sankey flows before/after the reconfiguration).
+
+use super::ExperimentReport;
+use fenrir_core::cluster::{AdaptiveThreshold, Linkage};
+use fenrir_core::heatmap::Heatmap;
+use fenrir_core::modes::ModeAnalysis;
+use fenrir_core::similarity::{SimilarityMatrix, UnknownPolicy};
+use fenrir_core::vector::RoutingVector;
+use fenrir_core::viz::{SankeyDiagram, StackSeries};
+use fenrir_core::weight::Weights;
+use fenrir_data::scenarios::{self, Scale, UscStudy};
+
+fn change_index(study: &UscStudy) -> usize {
+    study
+        .times
+        .iter()
+        .position(|&t| t >= study.change_at)
+        .expect("change inside window")
+}
+
+/// Figure 2: enterprise catchments at hop 3 — stack shares and the
+/// two-mode heatmap split at 2025-01-16.
+pub fn fig2(scale: Scale) -> ExperimentReport {
+    let study = scenarios::usc(scale);
+    let hop3 = study.result.hop(3);
+    let stack = StackSeries::from_series(hop3);
+    let change = change_index(&study);
+    let mut body = String::new();
+    body.push_str("hop-3 carrier shares (top entities):\n");
+    for idx in [1, change - 1, change + 1, study.times.len() - 1] {
+        let mut shares: Vec<(String, f64)> = stack
+            .labels
+            .iter()
+            .filter_map(|l| {
+                let s = stack.share(l, idx)?;
+                (s > 0.03 && l.starts_with("AS")).then(|| (l.clone(), s))
+            })
+            .collect();
+        shares.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        let row: Vec<String> = shares
+            .iter()
+            .take(5)
+            .map(|(l, s)| format!("{l} {:.0}%", s * 100.0))
+            .collect();
+        body.push_str(&format!("  {}: {}\n", study.times[idx], row.join(", ")));
+    }
+    let w = Weights::uniform(hop3.networks());
+    let sim = SimilarityMatrix::compute_parallel(hop3, &w, UnknownPolicy::KnownOnly, 8)
+        .expect("similarity");
+    let heat = Heatmap::new(sim.clone(), hop3.times());
+    body.push_str("\nhop-3 all-pairs Φ heatmap:\n");
+    body.push_str(&heat.render_ascii(36));
+    let modes = ModeAnalysis::discover(
+        &sim,
+        &study.times,
+        Linkage::Average,
+        AdaptiveThreshold::default(),
+    )
+    .expect("modes");
+    body.push_str(&format!("\n{} modes:\n{}", modes.len(), modes.summary()));
+    if modes.len() >= 2 {
+        if let Some((lo, hi)) = modes.inter_phi(&sim, 0, 1) {
+            body.push_str(&format!(
+                "Φ(M_i, M_ii) = [{lo:.2}, {hi:.2}]\n\
+                 paper shape: two strong modes separated at 2025-01-16 with\n\
+                 Φ(M_i, M_ii) = [0.11, 0.48] — a huge routing change.\n",
+            ));
+        }
+    }
+    ExperimentReport {
+        id: "fig2",
+        title: "enterprise catchments at hop 3, 2024-08 … 2025-04",
+        body,
+        artifacts: vec![
+            super::Artifact {
+                name: "usc_hop3_heatmap.pgm".into(),
+                contents: heat.to_pgm(),
+            },
+            super::Artifact {
+                name: "usc_hop3_stack.csv".into(),
+                contents: stack.to_csv(),
+            },
+        ],
+    }
+}
+
+/// Figures 7–8: the routing-cone Sankey before and after the change, with
+/// per-hop shares of the swapped providers.
+pub fn fig7(scale: Scale) -> ExperimentReport {
+    let study = scenarios::usc(scale);
+    let change = change_index(&study);
+    let sites = study.result.hop(1).sites().clone();
+    let max_hop = study.result.hop_series.len().min(4);
+    let mut body = String::new();
+    let mut artifacts = Vec::new();
+    for (fig, label, idx) in [
+        ("Fig. 7", "before change", change - 1),
+        ("Fig. 8", "after change", change + 1),
+    ] {
+        let hops: Vec<&RoutingVector> = (1..=max_hop)
+            .map(|k| study.result.hop(k).get(idx))
+            .collect();
+        let sankey = SankeyDiagram::from_hop_series(&hops, &sites);
+        body.push_str(&format!("{fig} — {label} @ {}:\n", study.times[idx]));
+        for l in sankey.links.iter().take(10) {
+            body.push_str(&format!(
+                "  hop{} {:<8} → hop{} {:<8} {:>6}\n",
+                sankey.nodes[l.from].hop,
+                sankey.nodes[l.from].label,
+                sankey.nodes[l.to].hop,
+                sankey.nodes[l.to].label,
+                l.weight
+            ));
+        }
+        let (old_p, new_p) = study.providers;
+        for hop in 1..=3 {
+            body.push_str(&format!(
+                "  hop {hop} share: {} {:.1}%, {} {:.1}%\n",
+                old_p,
+                100.0 * sankey.hop_share(hop, &format!("AS{}", old_p.0)),
+                new_p,
+                100.0 * sankey.hop_share(hop, &format!("AS{}", new_p.0)),
+            ));
+        }
+        body.push('\n');
+        artifacts.push(super::Artifact {
+            name: format!("usc_sankey_{}.txt", if idx < change { "before" } else { "after" }),
+            contents: sankey.render(),
+        });
+    }
+    body.push_str(
+        "paper shape: at hop 3 the old carrier drops from ~80% to ~13% of\n\
+         destination networks while the alternatives absorb the cone.\n",
+    );
+    ExperimentReport {
+        id: "fig7",
+        title: "flow topology of the enterprise before/after the change",
+        body,
+        artifacts,
+    }
+}

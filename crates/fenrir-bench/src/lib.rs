@@ -1,0 +1,31 @@
+//! # fenrir-bench
+//!
+//! The reproduction harness: one experiment per table and figure of the
+//! paper's evaluation, each regenerating the same rows/series the paper
+//! reports, plus criterion micro-benchmarks (`benches/`) and the ablation
+//! studies DESIGN.md calls out.
+//!
+//! Run everything with the `repro` binary:
+//!
+//! ```text
+//! cargo run --release -p fenrir-bench --bin repro -- --exp all
+//! cargo run --release -p fenrir-bench --bin repro -- --exp fig3 --paper
+//! ```
+//!
+//! | id | paper artifact |
+//! |---|---|
+//! | `table2` | dataset inventory |
+//! | `fig1` | G-Root catchment sizes + §2.2 aggregate vectors |
+//! | `table3` | G-Root transition matrices across a drain |
+//! | `table4` | ground-truth validation confusion matrix |
+//! | `fig2` | USC enterprise hop-3 stack + heatmap + mode Φ |
+//! | `fig3` | B-Root 5-year heatmap + modes + recurrence |
+//! | `fig4` | B-Root p90 latency per catchment |
+//! | `fig5` | Google front-end churn heatmap + Φ bands |
+//! | `fig6` | Wikipedia drain/partial-return + Φ bands |
+//! | `fig7` | enterprise Sankey flows before/after (also Fig. 8) |
+//! | `ablation` | linkage / unknown-policy / interpolation / weighting |
+
+pub mod experiments;
+
+pub use experiments::{all_experiments, run_experiment, Artifact, ExperimentReport, EXPERIMENT_IDS};

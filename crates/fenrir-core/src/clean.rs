@@ -1,0 +1,444 @@
+//! Data cleaning (§2.4 of the paper).
+//!
+//! Raw active measurements "often have errors or gaps"; the paper cleans in
+//! three ways, all implemented here:
+//!
+//! 1. **Remove incorrect data** — service-specific; expressed as a predicate
+//!    over `(network, time, catchment)` via [`remove_incorrect`].
+//! 2. **Remove micro-catchments** — sites responsible for few networks
+//!    (local-only anycast sites, an enterprise's internal prefixes) are
+//!    folded into `other` via [`fold_micro_catchments`].
+//! 3. **Interpolate missing data** — [`interpolate_nearest`] implements the
+//!    paper's nearest-neighbour imputation: a run of misses `[k … k+i]`
+//!    bounded by successes takes the left value for its first half and the
+//!    right value for its second half, with a cap (paper: 3 observations)
+//!    on how far a value may travel. [`forward_fill`] implements the
+//!    Verfploeter/EDNS-CS strategy of "replicating the most recent
+//!    successful observation".
+
+use crate::series::VectorSeries;
+use crate::time::Timestamp;
+use crate::vector::{Catchment, CODE_UNKNOWN};
+
+/// Mark observations matching `is_bogus` as [`Catchment::Unknown`].
+///
+/// Returns the number of observations removed. The predicate receives the
+/// network index, the vector timestamp, and the recorded catchment.
+pub fn remove_incorrect<F>(series: &mut VectorSeries, mut is_bogus: F) -> usize
+where
+    F: FnMut(usize, Timestamp, Catchment) -> bool,
+{
+    let mut removed = 0;
+    for v in series.vectors_mut() {
+        let t = v.time();
+        for n in 0..v.len() {
+            let c = v.get(n);
+            if c.is_known() && is_bogus(n, t, c) {
+                v.set(n, Catchment::Unknown);
+                removed += 1;
+            }
+        }
+    }
+    removed
+}
+
+/// Fold micro-catchment sites into [`Catchment::Other`].
+///
+/// A site is a micro-catchment when the *maximum* share of networks it ever
+/// serves across the series stays below `min_fraction` of the known
+/// observations at that time. Using the per-time maximum keeps sites that
+/// were briefly large (e.g. a site being drained) out of the filter.
+///
+/// Returns the folded site indices (as raw `u16` site codes), ascending.
+pub fn fold_micro_catchments(series: &mut VectorSeries, min_fraction: f64) -> Vec<u16> {
+    let num_sites = series.sites().len();
+    if num_sites == 0 || series.is_empty() {
+        return Vec::new();
+    }
+    let mut max_share = vec![0.0f64; num_sites];
+    for v in series.vectors() {
+        let agg = v.aggregate(num_sites);
+        let known: u64 = agg.per_site.iter().sum::<u64>() + agg.err + agg.other;
+        if known == 0 {
+            continue;
+        }
+        for (s, &c) in agg.per_site.iter().enumerate() {
+            let share = c as f64 / known as f64;
+            if share > max_share[s] {
+                max_share[s] = share;
+            }
+        }
+    }
+    let micro: Vec<u16> = max_share
+        .iter()
+        .enumerate()
+        .filter(|&(_, &sh)| sh < min_fraction)
+        .map(|(s, _)| s as u16)
+        .collect();
+    if micro.is_empty() {
+        return micro;
+    }
+    for v in series.vectors_mut() {
+        for code in v.codes_mut() {
+            if micro.binary_search(code).is_ok() {
+                *code = Catchment::Other.code();
+            }
+        }
+    }
+    micro
+}
+
+/// Statistics returned by the interpolation passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FillStats {
+    /// Number of `(network, time)` cells filled.
+    pub filled: usize,
+    /// Number of cells left unknown (gap too long or unbounded).
+    pub unfilled: usize,
+}
+
+/// The paper's nearest-neighbour imputation across time.
+///
+/// For every network, each maximal run of `Unknown` cells `[k … k+i]` with
+/// known observations on both sides is split: the first half copies the left
+/// neighbour's catchment, the second half the right neighbour's. No cell is
+/// filled from a source more than `limit` observations away (paper: 3); the
+/// unreachable middle of a long gap stays unknown. Runs touching the series
+/// edge are left untouched (no bounding observation on that side).
+pub fn interpolate_nearest(series: &mut VectorSeries, limit: usize) -> FillStats {
+    let t_len = series.len();
+    let n_len = series.networks();
+    let mut stats = FillStats::default();
+    if t_len == 0 || n_len == 0 {
+        return stats;
+    }
+    for n in 0..n_len {
+        let mut t = 0usize;
+        while t < t_len {
+            if series.get(t).codes()[n] != CODE_UNKNOWN {
+                t += 1;
+                continue;
+            }
+            // Maximal unknown run [t, end).
+            let start = t;
+            while t < t_len && series.get(t).codes()[n] == CODE_UNKNOWN {
+                t += 1;
+            }
+            let end = t; // exclusive
+            let left = if start > 0 {
+                Some(series.get(start - 1).codes()[n])
+            } else {
+                None
+            };
+            let right = if end < t_len {
+                Some(series.get(end).codes()[n])
+            } else {
+                None
+            };
+            let (Some(lv), Some(rv)) = (left, right) else {
+                stats.unfilled += end - start;
+                continue;
+            };
+            let gap = end - start;
+            // First half (ceil for odd gaps, matching "[k … k+i/2] ← k−1")
+            // from the left, remainder from the right.
+            let half = gap.div_ceil(2);
+            for (offset, slot) in (start..end).enumerate() {
+                let (src, dist) = if offset < half {
+                    (lv, offset + 1)
+                } else {
+                    (rv, gap - offset)
+                };
+                if dist <= limit {
+                    series.get_mut(slot).codes_mut()[n] = src;
+                    stats.filled += 1;
+                } else {
+                    stats.unfilled += 1;
+                }
+            }
+        }
+    }
+    stats
+}
+
+/// Replicate the most recent successful observation into later gaps
+/// (the Verfploeter / EDNS-CS cleaning strategy). A cell is filled only when
+/// the most recent known observation is at most `limit` steps back; pass
+/// `usize::MAX` for unlimited carry-forward.
+pub fn forward_fill(series: &mut VectorSeries, limit: usize) -> FillStats {
+    let t_len = series.len();
+    let n_len = series.networks();
+    let mut stats = FillStats::default();
+    for n in 0..n_len {
+        let mut last_known: Option<(usize, u16)> = None;
+        for t in 0..t_len {
+            let code = series.get(t).codes()[n];
+            if code != CODE_UNKNOWN {
+                last_known = Some((t, code));
+                continue;
+            }
+            match last_known {
+                Some((lt, lv)) if t - lt <= limit => {
+                    series.get_mut(t).codes_mut()[n] = lv;
+                    stats.filled += 1;
+                    // The filled value does NOT become a new source: carrying
+                    // a copy of a copy would let one observation travel
+                    // arbitrarily far despite the limit.
+                }
+                _ => stats.unfilled += 1,
+            }
+        }
+    }
+    stats
+}
+
+/// Fill position `k` of a per-hop (or any spatial) sequence from the nearest
+/// viable neighbour within `limit` positions, preferring the closer side and
+/// the earlier (lower-index) side on ties.
+///
+/// This is the paper's traceroute spatial redundancy rule: "we use this
+/// spatial redundancy and propagate the nearest viable hop to fill a
+/// traceroute gap".
+pub fn nearest_viable<T: Copy>(seq: &[Option<T>], k: usize, limit: usize) -> Option<T> {
+    if let Some(v) = seq.get(k).copied().flatten() {
+        return Some(v);
+    }
+    for d in 1..=limit {
+        if k >= d {
+            if let Some(v) = seq[k - d] {
+                return Some(v);
+            }
+        }
+        if let Some(v) = seq.get(k + d).copied().flatten() {
+            return Some(v);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{SiteId, SiteTable};
+    use crate::vector::RoutingVector;
+
+    fn ts(d: i64) -> Timestamp {
+        Timestamp::from_days(d)
+    }
+
+    fn s(n: u16) -> Catchment {
+        Catchment::Site(SiteId(n))
+    }
+
+    /// Series with one network whose catchment codes over time are given.
+    fn single_net_series(codes: &[Catchment]) -> VectorSeries {
+        let sites = SiteTable::from_names(["A", "B", "C"]);
+        let mut series = VectorSeries::new(sites, 1);
+        for (d, &c) in codes.iter().enumerate() {
+            series
+                .push(RoutingVector::from_catchments(ts(d as i64), vec![c]))
+                .unwrap();
+        }
+        series
+    }
+
+    fn catchments_of(series: &VectorSeries, n: usize) -> Vec<Catchment> {
+        series.vectors().iter().map(|v| v.get(n)).collect()
+    }
+
+    #[test]
+    fn remove_incorrect_blanks_matching_cells() {
+        let mut series = single_net_series(&[s(0), s(1), s(0)]);
+        let removed = remove_incorrect(&mut series, |_, _, c| c == s(1));
+        assert_eq!(removed, 1);
+        assert_eq!(
+            catchments_of(&series, 0),
+            vec![s(0), Catchment::Unknown, s(0)]
+        );
+    }
+
+    #[test]
+    fn remove_incorrect_skips_unknown() {
+        let mut series = single_net_series(&[Catchment::Unknown]);
+        let removed = remove_incorrect(&mut series, |_, _, _| true);
+        assert_eq!(removed, 0);
+    }
+
+    #[test]
+    fn interpolate_splits_gap_between_neighbours() {
+        // A _ _ _ B with limit 3: first two (ceil(4/2)=2? gap=3) —
+        // gap of 3: half = 2 from the left, 1 from the right.
+        let mut series = single_net_series(&[
+            s(0),
+            Catchment::Unknown,
+            Catchment::Unknown,
+            Catchment::Unknown,
+            s(1),
+        ]);
+        let stats = interpolate_nearest(&mut series, 3);
+        assert_eq!(stats.filled, 3);
+        assert_eq!(stats.unfilled, 0);
+        assert_eq!(catchments_of(&series, 0), vec![s(0), s(0), s(0), s(1), s(1)]);
+    }
+
+    #[test]
+    fn interpolate_even_gap_splits_evenly() {
+        let mut series = single_net_series(&[
+            s(0),
+            Catchment::Unknown,
+            Catchment::Unknown,
+            s(1),
+        ]);
+        interpolate_nearest(&mut series, 3);
+        assert_eq!(catchments_of(&series, 0), vec![s(0), s(0), s(1), s(1)]);
+    }
+
+    #[test]
+    fn interpolate_respects_limit() {
+        // Gap of 8 with limit 3: three cells fill from each side, the middle
+        // two stay unknown.
+        let mut codes = vec![s(0)];
+        codes.extend(std::iter::repeat_n(Catchment::Unknown, 8));
+        codes.push(s(1));
+        let mut series = single_net_series(&codes);
+        let stats = interpolate_nearest(&mut series, 3);
+        assert_eq!(stats.filled, 6);
+        assert_eq!(stats.unfilled, 2);
+        let got = catchments_of(&series, 0);
+        assert_eq!(&got[1..4], &[s(0), s(0), s(0)]);
+        assert_eq!(got[4], Catchment::Unknown);
+        assert_eq!(got[5], Catchment::Unknown);
+        assert_eq!(&got[6..9], &[s(1), s(1), s(1)]);
+    }
+
+    #[test]
+    fn interpolate_leaves_edges_untouched() {
+        let mut series = single_net_series(&[
+            Catchment::Unknown,
+            s(0),
+            Catchment::Unknown,
+        ]);
+        let stats = interpolate_nearest(&mut series, 3);
+        assert_eq!(stats.filled, 0);
+        assert_eq!(stats.unfilled, 2);
+        assert_eq!(
+            catchments_of(&series, 0),
+            vec![Catchment::Unknown, s(0), Catchment::Unknown]
+        );
+    }
+
+    #[test]
+    fn interpolate_single_cell_gap_takes_left() {
+        let mut series = single_net_series(&[s(0), Catchment::Unknown, s(1)]);
+        interpolate_nearest(&mut series, 3);
+        assert_eq!(catchments_of(&series, 0), vec![s(0), s(0), s(1)]);
+    }
+
+    #[test]
+    fn forward_fill_replicates_recent_observation() {
+        let mut series = single_net_series(&[s(0), Catchment::Unknown, Catchment::Unknown]);
+        let stats = forward_fill(&mut series, usize::MAX);
+        assert_eq!(stats.filled, 2);
+        assert_eq!(catchments_of(&series, 0), vec![s(0), s(0), s(0)]);
+    }
+
+    #[test]
+    fn forward_fill_respects_limit_without_cascading() {
+        let mut series = single_net_series(&[
+            s(0),
+            Catchment::Unknown,
+            Catchment::Unknown,
+            Catchment::Unknown,
+        ]);
+        let stats = forward_fill(&mut series, 2);
+        assert_eq!(stats.filled, 2);
+        assert_eq!(stats.unfilled, 1);
+        assert_eq!(
+            catchments_of(&series, 0),
+            vec![s(0), s(0), s(0), Catchment::Unknown]
+        );
+    }
+
+    #[test]
+    fn forward_fill_has_no_source_at_series_start() {
+        let mut series = single_net_series(&[Catchment::Unknown, s(0)]);
+        let stats = forward_fill(&mut series, usize::MAX);
+        assert_eq!(stats.filled, 0);
+        assert_eq!(stats.unfilled, 1);
+    }
+
+    #[test]
+    fn fold_micro_catchments_folds_small_sites() {
+        // Site C (2) serves 1 of 10 networks -> 10% share; threshold 0.2
+        // folds it. Sites A/B stay.
+        let sites = SiteTable::from_names(["A", "B", "C"]);
+        let mut series = VectorSeries::new(sites, 10);
+        let mut cs = vec![s(0); 5];
+        cs.extend(vec![s(1); 4]);
+        cs.push(s(2));
+        series
+            .push(RoutingVector::from_catchments(ts(0), cs))
+            .unwrap();
+        let folded = fold_micro_catchments(&mut series, 0.2);
+        assert_eq!(folded, vec![2]);
+        assert_eq!(series.get(0).get(9), Catchment::Other);
+        assert_eq!(series.get(0).get(0), s(0));
+    }
+
+    #[test]
+    fn fold_micro_keeps_briefly_large_sites() {
+        // Site B is large on day 0 and tiny on day 1: the max-share rule
+        // keeps it (it was a real catchment being drained, like STR).
+        let sites = SiteTable::from_names(["A", "B"]);
+        let mut series = VectorSeries::new(sites, 4);
+        series
+            .push(RoutingVector::from_catchments(
+                ts(0),
+                vec![s(0), s(1), s(1), s(1)],
+            ))
+            .unwrap();
+        series
+            .push(RoutingVector::from_catchments(
+                ts(1),
+                vec![s(0), s(0), s(0), s(1)],
+            ))
+            .unwrap();
+        let folded = fold_micro_catchments(&mut series, 0.5);
+        assert!(folded.is_empty());
+    }
+
+    #[test]
+    fn fold_micro_handles_empty() {
+        let sites = SiteTable::from_names(["A"]);
+        let mut series = VectorSeries::new(sites, 1);
+        assert!(fold_micro_catchments(&mut series, 0.5).is_empty());
+    }
+
+    #[test]
+    fn nearest_viable_prefers_self_then_closest() {
+        let seq = [Some(1), None, None, Some(4), None];
+        assert_eq!(nearest_viable(&seq, 0, 3), Some(1));
+        assert_eq!(nearest_viable(&seq, 2, 3), Some(4)); // dist 1 right beats dist 2 left
+        assert_eq!(nearest_viable(&seq, 1, 3), Some(1)); // dist 1 left
+        assert_eq!(nearest_viable(&seq, 4, 3), Some(4));
+    }
+
+    #[test]
+    fn nearest_viable_ties_prefer_lower_index() {
+        let seq = [Some(1), None, Some(3)];
+        assert_eq!(nearest_viable(&seq, 1, 3), Some(1));
+    }
+
+    #[test]
+    fn nearest_viable_respects_limit() {
+        let seq = [Some(1), None, None, None, None];
+        assert_eq!(nearest_viable(&seq, 4, 3), None);
+        assert_eq!(nearest_viable(&seq, 3, 3), Some(1));
+    }
+
+    #[test]
+    fn nearest_viable_all_none() {
+        let seq: [Option<u8>; 3] = [None, None, None];
+        assert_eq!(nearest_viable(&seq, 1, 5), None);
+    }
+}

@@ -1,0 +1,571 @@
+//! Hierarchical Agglomerative Clustering (§2.6.2 of the paper).
+//!
+//! Fenrir discovers routing "modes" by clustering routing vectors on their
+//! Gower distance `1 − Φ`. The paper cites SLINK (single linkage); this
+//! module implements the nearest-neighbour-chain algorithm, which yields
+//! exact single, complete, and average linkage in `O(|T|²)` time — |T| is
+//! observation times, a few thousand even for five years of daily data.
+//!
+//! The paper's **adaptive distance threshold** rule is implemented by
+//! [`AdaptiveThreshold`]: sweep thresholds from 0 to 1 in steps of 0.01 and
+//! accept the first flat clustering with fewer than 15 clusters, each backed
+//! by at least 2 valid observations.
+
+use crate::error::{Error, Result};
+use crate::similarity::SimilarityMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Linkage criterion for merging clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Linkage {
+    /// Minimum pairwise distance (SLINK, the paper's citation). Prone to
+    /// chaining but cheap and faithful to the paper.
+    #[default]
+    Single,
+    /// Maximum pairwise distance; produces compact, similar-diameter modes.
+    Complete,
+    /// Unweighted average pairwise distance (UPGMA); the middle ground,
+    /// benched in the ablation suite.
+    Average,
+}
+
+/// One agglomeration step: clusters `a` and `b` merge at `distance` into a
+/// new cluster of `size` leaves.
+///
+/// Cluster numbering follows the scipy convention: ids `0..n` are leaves
+/// (observation indices); the merge at position `k` of
+/// [`Dendrogram::merges`] creates cluster `n + k`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Merge {
+    /// First merged cluster id.
+    pub a: usize,
+    /// Second merged cluster id.
+    pub b: usize,
+    /// Linkage distance at which the merge happens.
+    pub distance: f64,
+    /// Number of leaves in the new cluster.
+    pub size: usize,
+}
+
+/// The full merge tree produced by HAC, with merges sorted by ascending
+/// distance so that cutting at a threshold is a single union-find pass.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dendrogram {
+    n: usize,
+    merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Run HAC over the Gower distances of `sim` with the given linkage.
+    ///
+    /// Errors if the matrix is empty.
+    pub fn build(sim: &SimilarityMatrix, linkage: Linkage) -> Result<Self> {
+        let n = sim.len();
+        if n == 0 {
+            return Err(Error::EmptyInput("similarity matrix"));
+        }
+        if n == 1 {
+            return Ok(Dendrogram {
+                n,
+                merges: Vec::new(),
+            });
+        }
+
+        // Working copy of the condensed distance matrix, mutated by
+        // Lance-Williams updates as clusters merge.
+        let mut d = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                d[i * n + j] = sim.distance(i, j);
+            }
+        }
+        let mut size = vec![1usize; n]; // leaves per active cluster
+        let mut active = vec![true; n];
+        // Map slot -> current dendrogram cluster id (scipy numbering).
+        let mut cluster_id: Vec<usize> = (0..n).collect();
+        let mut next_id = n;
+
+        let mut raw_merges: Vec<Merge> = Vec::with_capacity(n - 1);
+        let mut chain: Vec<usize> = Vec::with_capacity(n);
+
+        for _ in 0..n - 1 {
+            // Start (or resume) the nearest-neighbour chain.
+            if chain.is_empty() {
+                let start = active
+                    .iter()
+                    .position(|&a| a)
+                    .expect("at least two active clusters remain");
+                chain.push(start);
+            }
+            let (x, y, dist) = loop {
+                let x = *chain.last().expect("chain nonempty");
+                // Nearest active neighbour of x (smallest distance; ties to
+                // the lowest index for determinism).
+                let mut best = usize::MAX;
+                let mut best_d = f64::INFINITY;
+                for j in 0..n {
+                    if j != x && active[j] {
+                        let dj = d[x * n + j];
+                        if dj < best_d {
+                            best_d = dj;
+                            best = j;
+                        }
+                    }
+                }
+                debug_assert_ne!(best, usize::MAX);
+                // Reciprocal pair found when the nearest neighbour is the
+                // previous chain element.
+                if chain.len() >= 2 && best == chain[chain.len() - 2] {
+                    chain.pop();
+                    let y = chain.pop().expect("chain had two elements");
+                    break (x, y, best_d);
+                }
+                chain.push(best);
+            };
+
+            // Merge y into slot x; retire slot y.
+            let (sx, sy) = (size[x], size[y]);
+            raw_merges.push(Merge {
+                a: cluster_id[x.min(y)],
+                b: cluster_id[x.max(y)],
+                distance: dist,
+                size: sx + sy,
+            });
+            for m in 0..n {
+                if m == x || m == y || !active[m] {
+                    continue;
+                }
+                let dxm = d[x * n + m];
+                let dym = d[y * n + m];
+                let new = match linkage {
+                    Linkage::Single => dxm.min(dym),
+                    Linkage::Complete => dxm.max(dym),
+                    Linkage::Average => {
+                        (sx as f64 * dxm + sy as f64 * dym) / (sx + sy) as f64
+                    }
+                };
+                d[x * n + m] = new;
+                d[m * n + x] = new;
+            }
+            active[y] = false;
+            size[x] = sx + sy;
+            cluster_id[x] = next_id;
+            next_id += 1;
+            // Under tied distances the remaining chain can still reference
+            // x or y; truncate at the first stale entry so every element
+            // stays an active, pre-merge cluster.
+            if let Some(pos) = chain.iter().position(|&e| e == x || e == y) {
+                chain.truncate(pos);
+            }
+        }
+
+        // NN-chain discovers merges out of height order; sort ascending and
+        // relabel the internal cluster ids to match the sorted order.
+        let mut order: Vec<usize> = (0..raw_merges.len()).collect();
+        order.sort_by(|&i, &j| {
+            raw_merges[i]
+                .distance
+                .partial_cmp(&raw_merges[j].distance)
+                .expect("distances are finite")
+                .then(i.cmp(&j))
+        });
+        let mut relabel = vec![0usize; raw_merges.len()];
+        for (new_pos, &old_pos) in order.iter().enumerate() {
+            relabel[old_pos] = n + new_pos;
+        }
+        let remap = |id: usize| if id < n { id } else { relabel[id - n] };
+        let merges: Vec<Merge> = order
+            .iter()
+            .map(|&old| {
+                let m = raw_merges[old];
+                let (a, b) = (remap(m.a), remap(m.b));
+                Merge {
+                    a: a.min(b),
+                    b: a.max(b),
+                    distance: m.distance,
+                    size: m.size,
+                }
+            })
+            .collect();
+        debug_assert!(
+            merges.windows(2).all(|w| w[0].distance <= w[1].distance),
+            "merge heights must be monotone after sorting"
+        );
+
+        Ok(Dendrogram { n, merges })
+    }
+
+    /// Number of leaves (observation times).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the dendrogram has no leaves.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The merge steps, ascending by distance.
+    pub fn merges(&self) -> &[Merge] {
+        &self.merges
+    }
+
+    /// Flat clustering: apply every merge with `distance <= threshold` and
+    /// return one label per leaf. Labels are compacted to `0..k` in order of
+    /// first appearance (so label ordering follows time for time-ordered
+    /// inputs).
+    pub fn cut(&self, threshold: f64) -> Vec<usize> {
+        let mut parent: Vec<usize> = (0..self.n).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]]; // path halving
+                x = parent[x];
+            }
+            x
+        }
+        // Union leaves through each qualifying merge. Internal-node ids are
+        // mapped to a representative leaf lazily via `rep`.
+        let mut rep: Vec<Option<usize>> = vec![None; self.n + self.merges.len()];
+        for (i, r) in rep.iter_mut().enumerate().take(self.n) {
+            *r = Some(i);
+        }
+        for (k, m) in self.merges.iter().enumerate() {
+            let ra = rep[m.a].expect("child created before parent");
+            let rb = rep[m.b].expect("child created before parent");
+            if m.distance <= threshold {
+                let (fa, fb) = (find(&mut parent, ra), find(&mut parent, rb));
+                parent[fa.max(fb)] = fa.min(fb);
+            }
+            rep[self.n + k] = Some(ra);
+        }
+        // Compact labels in order of first appearance.
+        let mut label_of_root: Vec<Option<usize>> = vec![None; self.n];
+        let mut labels = Vec::with_capacity(self.n);
+        let mut next = 0usize;
+        for i in 0..self.n {
+            let r = find(&mut parent, i);
+            let l = *label_of_root[r].get_or_insert_with(|| {
+                let l = next;
+                next += 1;
+                l
+            });
+            labels.push(l);
+        }
+        labels
+    }
+
+    /// Number of clusters produced by [`Dendrogram::cut`] at `threshold`.
+    pub fn cluster_count(&self, threshold: f64) -> usize {
+        self.cut(threshold)
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |m| m + 1)
+    }
+}
+
+/// The paper's adaptive distance-threshold selection (§2.6.2):
+///
+/// > "we loop over a range of distance threshold \[0,1\] with step 0.01 and
+/// > construct a new HAC model with the distance threshold. We choose the
+/// > first HAC model with less than 15 clusters with at least 2 valid
+/// > observations."
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveThreshold {
+    /// Sweep step (paper: 0.01).
+    pub step: f64,
+    /// Accept a model only when it has fewer than this many clusters
+    /// (paper: 15).
+    pub max_clusters: usize,
+    /// Every cluster must contain at least this many observations
+    /// (paper: 2).
+    pub min_cluster_size: usize,
+}
+
+impl Default for AdaptiveThreshold {
+    fn default() -> Self {
+        AdaptiveThreshold {
+            step: 0.01,
+            max_clusters: 15,
+            min_cluster_size: 2,
+        }
+    }
+}
+
+/// Result of an adaptive-threshold sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdChoice {
+    /// The accepted threshold.
+    pub threshold: f64,
+    /// Flat cluster labels at that threshold, one per observation.
+    pub labels: Vec<usize>,
+    /// Number of clusters at that threshold.
+    pub clusters: usize,
+}
+
+impl AdaptiveThreshold {
+    /// Sweep thresholds ascending and return the first qualifying model.
+    ///
+    /// If no threshold in `[0, 1]` qualifies (possible only for degenerate
+    /// inputs, e.g. a single observation), falls back to the full merge at
+    /// threshold 1.0.
+    ///
+    /// Errors if parameters are out of domain.
+    pub fn choose(&self, dendro: &Dendrogram) -> Result<ThresholdChoice> {
+        if !(self.step > 0.0 && self.step <= 1.0) {
+            return Err(Error::InvalidParameter {
+                name: "step",
+                message: format!("{} not in (0, 1]", self.step),
+            });
+        }
+        if self.max_clusters == 0 {
+            return Err(Error::InvalidParameter {
+                name: "max_clusters",
+                message: "must be at least 1".into(),
+            });
+        }
+        let mut t = 0.0;
+        while t <= 1.0 + 1e-9 {
+            let labels = dendro.cut(t);
+            if let Some(choice) = self.qualify(t, labels) {
+                return Ok(choice);
+            }
+            t += self.step;
+        }
+        let labels = dendro.cut(1.0);
+        let clusters = labels.iter().copied().max().map_or(0, |m| m + 1);
+        Ok(ThresholdChoice {
+            threshold: 1.0,
+            labels,
+            clusters,
+        })
+    }
+
+    fn qualify(&self, threshold: f64, labels: Vec<usize>) -> Option<ThresholdChoice> {
+        let clusters = labels.iter().copied().max().map_or(0, |m| m + 1);
+        if clusters == 0 || clusters >= self.max_clusters {
+            return None;
+        }
+        let mut sizes = vec![0usize; clusters];
+        for &l in &labels {
+            sizes[l] += 1;
+        }
+        if sizes.iter().any(|&s| s < self.min_cluster_size) {
+            return None;
+        }
+        Some(ThresholdChoice {
+            threshold,
+            labels,
+            clusters,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Similarity matrix from explicit distances.
+    fn sim_from_dist(n: usize, f: impl Fn(usize, usize) -> f64) -> SimilarityMatrix {
+        let mut v = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                v[i * n + j] = if i == j { 1.0 } else { 1.0 - f(i, j) };
+            }
+        }
+        SimilarityMatrix::from_raw(n, v).unwrap()
+    }
+
+    /// Two tight groups {0,1,2} and {3,4} far apart.
+    fn two_blobs() -> SimilarityMatrix {
+        sim_from_dist(5, |i, j| {
+            let g = |x: usize| usize::from(x >= 3);
+            if g(i) == g(j) {
+                0.1
+            } else {
+                0.9
+            }
+        })
+    }
+
+    #[test]
+    fn empty_matrix_is_error() {
+        let sim = SimilarityMatrix::from_raw(0, vec![]).unwrap();
+        assert!(Dendrogram::build(&sim, Linkage::Single).is_err());
+    }
+
+    #[test]
+    fn single_leaf_has_no_merges() {
+        let sim = SimilarityMatrix::from_raw(1, vec![1.0]).unwrap();
+        let d = Dendrogram::build(&sim, Linkage::Single).unwrap();
+        assert!(d.merges().is_empty());
+        assert_eq!(d.cut(0.5), vec![0]);
+    }
+
+    #[test]
+    fn merges_are_monotone_and_complete() {
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let d = Dendrogram::build(&two_blobs(), linkage).unwrap();
+            assert_eq!(d.merges().len(), 4);
+            assert!(d
+                .merges()
+                .windows(2)
+                .all(|w| w[0].distance <= w[1].distance));
+            assert_eq!(d.merges().last().unwrap().size, 5);
+        }
+    }
+
+    #[test]
+    fn cut_recovers_the_two_blobs() {
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let d = Dendrogram::build(&two_blobs(), linkage).unwrap();
+            let labels = d.cut(0.5);
+            assert_eq!(labels[0], labels[1]);
+            assert_eq!(labels[1], labels[2]);
+            assert_eq!(labels[3], labels[4]);
+            assert_ne!(labels[0], labels[3]);
+            assert_eq!(d.cluster_count(0.5), 2);
+        }
+    }
+
+    #[test]
+    fn cut_at_one_merges_everything() {
+        let d = Dendrogram::build(&two_blobs(), Linkage::Single).unwrap();
+        assert_eq!(d.cluster_count(1.0), 1);
+    }
+
+    #[test]
+    fn cut_below_min_distance_keeps_singletons() {
+        let d = Dendrogram::build(&two_blobs(), Linkage::Single).unwrap();
+        assert_eq!(d.cluster_count(0.05), 5);
+    }
+
+    #[test]
+    fn labels_follow_first_appearance_order() {
+        let d = Dendrogram::build(&two_blobs(), Linkage::Single).unwrap();
+        let labels = d.cut(0.5);
+        assert_eq!(labels[0], 0); // first observation always labelled 0
+        assert_eq!(labels[3], 1); // second cluster appears later in time
+    }
+
+    #[test]
+    fn single_vs_complete_linkage_differ_on_chains() {
+        // A chain 0-1-2-3 where consecutive points are 0.2 apart and the
+        // ends are 0.6 apart. Single linkage merges the whole chain at 0.2;
+        // complete linkage cannot join the ends until much higher.
+        let sim = sim_from_dist(4, |i, j| {
+            let d = i.abs_diff(j);
+            match d {
+                1 => 0.2,
+                2 => 0.4,
+                _ => 0.6,
+            }
+        });
+        let ds = Dendrogram::build(&sim, Linkage::Single).unwrap();
+        assert_eq!(ds.cluster_count(0.25), 1, "single linkage chains");
+        let dc = Dendrogram::build(&sim, Linkage::Complete).unwrap();
+        assert!(dc.cluster_count(0.25) > 1, "complete linkage resists chains");
+    }
+
+    #[test]
+    fn average_linkage_is_between_single_and_complete() {
+        let sim = sim_from_dist(4, |i, j| {
+            let d = i.abs_diff(j);
+            match d {
+                1 => 0.2,
+                2 => 0.4,
+                _ => 0.6,
+            }
+        });
+        let height = |l: Linkage| {
+            Dendrogram::build(&sim, l)
+                .unwrap()
+                .merges()
+                .last()
+                .unwrap()
+                .distance
+        };
+        let (s, a, c) = (
+            height(Linkage::Single),
+            height(Linkage::Average),
+            height(Linkage::Complete),
+        );
+        assert!(s <= a && a <= c, "single {s} <= average {a} <= complete {c}");
+    }
+
+    #[test]
+    fn adaptive_threshold_picks_the_blob_structure() {
+        let d = Dendrogram::build(&two_blobs(), Linkage::Single).unwrap();
+        let choice = AdaptiveThreshold::default().choose(&d).unwrap();
+        assert_eq!(choice.clusters, 2);
+        // Accepted at the first sweep step reaching the intra-blob distance
+        // (0.1 up to float rounding in both the step accumulation and the
+        // 1 − Φ conversion).
+        assert!(choice.threshold >= 0.1 - 1e-9 && choice.threshold < 0.2);
+        assert_eq!(choice.labels, d.cut(choice.threshold));
+    }
+
+    #[test]
+    fn adaptive_threshold_rejects_singleton_models() {
+        // Distances: {0,1} at 0.1, {2} an outlier at 0.8 from both.
+        let sim = sim_from_dist(3, |i, j| {
+            if (i, j) == (0, 1) || (i, j) == (1, 0) {
+                0.1
+            } else {
+                0.8
+            }
+        });
+        let d = Dendrogram::build(&sim, Linkage::Single).unwrap();
+        let choice = AdaptiveThreshold::default().choose(&d).unwrap();
+        // At 0.1 the model is {0,1},{2}: rejected (singleton). The accepted
+        // threshold must swallow the outlier.
+        assert!(choice.threshold >= 0.8 - 1e-9);
+        assert_eq!(choice.clusters, 1);
+    }
+
+    #[test]
+    fn adaptive_threshold_validates_parameters() {
+        let d = Dendrogram::build(&two_blobs(), Linkage::Single).unwrap();
+        let bad_step = AdaptiveThreshold {
+            step: 0.0,
+            ..Default::default()
+        };
+        assert!(bad_step.choose(&d).is_err());
+        let bad_max = AdaptiveThreshold {
+            max_clusters: 0,
+            ..Default::default()
+        };
+        assert!(bad_max.choose(&d).is_err());
+    }
+
+    #[test]
+    fn adaptive_threshold_single_observation_falls_back() {
+        let sim = SimilarityMatrix::from_raw(1, vec![1.0]).unwrap();
+        let d = Dendrogram::build(&sim, Linkage::Single).unwrap();
+        let choice = AdaptiveThreshold::default().choose(&d).unwrap();
+        assert_eq!(choice.clusters, 1);
+        assert_eq!(choice.labels, vec![0]);
+    }
+
+    #[test]
+    fn max_clusters_bound_is_exclusive() {
+        // 4 equidistant points: any threshold below 0.5 gives 4 singletons;
+        // at 0.5 everything merges. With max_clusters = 1 nothing qualifies
+        // below full merge... with max 2, the 1-cluster model qualifies.
+        let sim = sim_from_dist(4, |_, _| 0.5);
+        let d = Dendrogram::build(&sim, Linkage::Single).unwrap();
+        let at = AdaptiveThreshold {
+            max_clusters: 2,
+            ..Default::default()
+        };
+        let choice = at.choose(&d).unwrap();
+        assert_eq!(choice.clusters, 1);
+    }
+
+    #[test]
+    fn identical_observations_merge_at_zero() {
+        let sim = sim_from_dist(3, |_, _| 0.0);
+        let d = Dendrogram::build(&sim, Linkage::Complete).unwrap();
+        assert_eq!(d.cluster_count(0.0), 1);
+    }
+}

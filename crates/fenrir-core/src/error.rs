@@ -1,0 +1,122 @@
+//! Error type shared across fenrir-core.
+//!
+//! The crate keeps a single, small error enum rather than per-module errors:
+//! Fenrir is a batch pipeline, and callers almost always want to print the
+//! failure and abort the analysis run, not branch on variants. Variants still
+//! carry enough structure to make programmatic handling possible where it
+//! matters (e.g. distinguishing shape mismatches from empty inputs).
+
+use std::fmt;
+
+/// Result alias for fenrir-core operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// All the ways an analysis step can fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Two objects that must describe the same network population disagree
+    /// on length (e.g. a vector of 100 networks against 99 weights).
+    ShapeMismatch {
+        /// What the caller passed (e.g. "weights").
+        what: &'static str,
+        /// Expected number of elements.
+        expected: usize,
+        /// Number of elements actually supplied.
+        actual: usize,
+    },
+    /// An operation that needs at least one element got none
+    /// (e.g. clustering an empty series).
+    EmptyInput(&'static str),
+    /// A timestamp lookup failed: the series has no vector at that time.
+    NoSuchTime(i64),
+    /// A parameter is outside its documented domain
+    /// (e.g. a distance threshold not in `[0, 1]`).
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable description of the violation.
+        message: String,
+    },
+    /// Weights summed to zero, so the weighted similarity is undefined.
+    ZeroWeight,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ShapeMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "shape mismatch for {what}: expected {expected} elements, got {actual}"
+            ),
+            Error::EmptyInput(what) => write!(f, "empty input: {what}"),
+            Error::NoSuchTime(t) => write!(f, "no vector recorded at timestamp {t}"),
+            Error::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter {name}: {message}")
+            }
+            Error::ZeroWeight => write!(f, "weights sum to zero; similarity undefined"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = Error::ShapeMismatch {
+            what: "weights",
+            expected: 4,
+            actual: 3,
+        };
+        assert_eq!(
+            e.to_string(),
+            "shape mismatch for weights: expected 4 elements, got 3"
+        );
+    }
+
+    #[test]
+    fn display_empty_input() {
+        assert_eq!(
+            Error::EmptyInput("series").to_string(),
+            "empty input: series"
+        );
+    }
+
+    #[test]
+    fn display_no_such_time() {
+        assert_eq!(
+            Error::NoSuchTime(42).to_string(),
+            "no vector recorded at timestamp 42"
+        );
+    }
+
+    #[test]
+    fn display_invalid_parameter() {
+        let e = Error::InvalidParameter {
+            name: "threshold",
+            message: "must lie in [0, 1]".into(),
+        };
+        assert_eq!(e.to_string(), "invalid parameter threshold: must lie in [0, 1]");
+    }
+
+    #[test]
+    fn display_zero_weight() {
+        assert_eq!(
+            Error::ZeroWeight.to_string(),
+            "weights sum to zero; similarity undefined"
+        );
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::ZeroWeight);
+    }
+}

@@ -1,0 +1,237 @@
+//! All-pairs similarity heatmaps (§2.7 of the paper).
+//!
+//! "We summarize routing over time by comparing all pairwise vectors as a
+//! gray-scale heatmap … blocks of similar routing results \[appear\] as
+//! high-similarity (dark-shaded) triangles, and changes as discontinuities
+//! in shading." — Figures 2b, 3b, 5, and 6b of the paper.
+//!
+//! A [`Heatmap`] wraps a [`SimilarityMatrix`] with timestamps and renders to
+//! terminal-friendly ASCII shading, portable graymap (PGM) for real image
+//! tooling, and CSV for numeric post-processing.
+
+use crate::similarity::SimilarityMatrix;
+use crate::time::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// A time-labelled all-pairs similarity heatmap.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Heatmap {
+    sim: SimilarityMatrix,
+    times: Vec<Timestamp>,
+}
+
+/// ASCII shading ramp from light (dissimilar) to dark (similar), mirroring
+/// the paper's "dark = similar" convention.
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+impl Heatmap {
+    /// Wrap a similarity matrix with its row/column timestamps.
+    ///
+    /// Truncates `times` to the matrix dimension; missing labels are
+    /// synthesized as day indices.
+    pub fn new(sim: SimilarityMatrix, times: Vec<Timestamp>) -> Self {
+        let n = sim.len();
+        let mut times = times;
+        times.truncate(n);
+        while times.len() < n {
+            times.push(Timestamp::from_days(times.len() as i64));
+        }
+        Heatmap { sim, times }
+    }
+
+    /// The underlying similarity matrix.
+    pub fn similarity(&self) -> &SimilarityMatrix {
+        &self.sim
+    }
+
+    /// Row/column timestamps.
+    pub fn times(&self) -> &[Timestamp] {
+        &self.times
+    }
+
+    /// Matrix dimension.
+    pub fn len(&self) -> usize {
+        self.sim.len()
+    }
+
+    /// Whether the heatmap is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sim.is_empty()
+    }
+
+    /// Downsample to at most `max_cells` rows/columns by averaging square
+    /// blocks — multi-year daily heatmaps do not fit a terminal otherwise.
+    /// Returns `(cell_values, block_size)` where `cell_values` is row-major
+    /// `m × m` with `m = ceil(n / block)`.
+    fn downsample(&self, max_cells: usize) -> (Vec<f64>, usize, usize) {
+        let n = self.sim.len();
+        let block = n.div_ceil(max_cells.max(1)).max(1);
+        let m = n.div_ceil(block);
+        let mut out = vec![0.0; m * m];
+        for bi in 0..m {
+            for bj in 0..m {
+                let (mut sum, mut cnt) = (0.0, 0usize);
+                for i in (bi * block)..((bi + 1) * block).min(n) {
+                    for j in (bj * block)..((bj + 1) * block).min(n) {
+                        sum += self.sim.get(i, j);
+                        cnt += 1;
+                    }
+                }
+                out[bi * m + bj] = if cnt == 0 { 0.0 } else { sum / cnt as f64 };
+            }
+        }
+        (out, m, block)
+    }
+
+    /// Render as ASCII art, at most `max_cells` characters wide, with a date
+    /// label on the first row of each rendered block row.
+    pub fn render_ascii(&self, max_cells: usize) -> String {
+        if self.is_empty() {
+            return String::from("(empty heatmap)\n");
+        }
+        let (cells, m, block) = self.downsample(max_cells);
+        let mut out = String::with_capacity(m * (m + 14));
+        for bi in 0..m {
+            for bj in 0..m {
+                let v = cells[bi * m + bj].clamp(0.0, 1.0);
+                let idx = ((v * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
+                out.push(RAMP[idx] as char);
+            }
+            let t = self.times[(bi * block).min(self.times.len() - 1)];
+            out.push_str(&format!("  {t}\n"));
+        }
+        out
+    }
+
+    /// Export as a binary-free ASCII PGM ("P2") image, one pixel per
+    /// observation pair, 255 = Φ of 1.0 (dark in the paper's convention is
+    /// left to the viewer's colormap).
+    pub fn to_pgm(&self) -> String {
+        let n = self.sim.len();
+        let mut out = format!("P2\n{n} {n}\n255\n");
+        for i in 0..n {
+            let row: Vec<String> = (0..n)
+                .map(|j| {
+                    let v = (self.sim.get(i, j).clamp(0.0, 1.0) * 255.0).round() as u32;
+                    v.to_string()
+                })
+                .collect();
+            out.push_str(&row.join(" "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Export as CSV: header row of timestamps, then one row per time with
+    /// its timestamp in the first column.
+    pub fn to_csv(&self) -> String {
+        let n = self.sim.len();
+        let mut out = String::from("time");
+        for t in &self.times {
+            out.push_str(&format!(",{t}"));
+        }
+        out.push('\n');
+        for i in 0..n {
+            out.push_str(&format!("{}", self.times[i]));
+            for j in 0..n {
+                out.push_str(&format!(",{:.6}", self.sim.get(i, j)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim(n: usize, f: impl Fn(usize, usize) -> f64) -> SimilarityMatrix {
+        let mut v = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                v[i * n + j] = if i == j { 1.0 } else { f(i, j) };
+            }
+        }
+        SimilarityMatrix::from_raw(n, v).unwrap()
+    }
+
+    fn days(n: usize) -> Vec<Timestamp> {
+        (0..n as i64).map(Timestamp::from_days).collect()
+    }
+
+    #[test]
+    fn new_pads_and_truncates_times() {
+        let h = Heatmap::new(sim(3, |_, _| 0.5), days(1));
+        assert_eq!(h.times().len(), 3);
+        let h2 = Heatmap::new(sim(2, |_, _| 0.5), days(9));
+        assert_eq!(h2.times().len(), 2);
+    }
+
+    #[test]
+    fn ascii_render_shows_blocks() {
+        // Two similar halves: within-half Φ 0.9, across 0.1.
+        let h = Heatmap::new(
+            sim(6, |i, j| if (i < 3) == (j < 3) { 0.9 } else { 0.1 }),
+            days(6),
+        );
+        let art = h.render_ascii(6);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 6);
+        // Diagonal block chars must be darker (later in ramp) than
+        // off-diagonal ones.
+        let c_diag = lines[0].as_bytes()[0];
+        let c_off = lines[0].as_bytes()[4];
+        let pos = |c: u8| RAMP.iter().position(|&r| r == c).unwrap();
+        assert!(pos(c_diag) > pos(c_off));
+        // Time labels present.
+        assert!(lines[0].contains("1970-01-01"));
+    }
+
+    #[test]
+    fn ascii_render_downsamples() {
+        let h = Heatmap::new(sim(10, |_, _| 0.5), days(10));
+        let art = h.render_ascii(5);
+        assert_eq!(art.lines().count(), 5);
+    }
+
+    #[test]
+    fn empty_heatmap_renders_placeholder() {
+        let h = Heatmap::new(SimilarityMatrix::from_raw(0, vec![]).unwrap(), vec![]);
+        assert!(h.render_ascii(10).contains("empty"));
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn pgm_has_correct_header_and_pixels() {
+        let h = Heatmap::new(sim(2, |_, _| 0.0), days(2));
+        let pgm = h.to_pgm();
+        let mut lines = pgm.lines();
+        assert_eq!(lines.next(), Some("P2"));
+        assert_eq!(lines.next(), Some("2 2"));
+        assert_eq!(lines.next(), Some("255"));
+        assert_eq!(lines.next(), Some("255 0"));
+        assert_eq!(lines.next(), Some("0 255"));
+    }
+
+    #[test]
+    fn csv_shape() {
+        let h = Heatmap::new(sim(2, |_, _| 0.25), days(2));
+        let csv = h.to_csv();
+        let lines: Vec<&str> = csv.trim_end().lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("time,1970-01-01,1970-01-02"));
+        assert!(lines[1].contains("1.000000"));
+        assert!(lines[1].contains("0.250000"));
+    }
+
+    #[test]
+    fn downsample_averages() {
+        let h = Heatmap::new(sim(4, |_, _| 0.0), days(4));
+        let (cells, m, block) = h.downsample(2);
+        assert_eq!(m, 2);
+        assert_eq!(block, 2);
+        // Top-left block covers (0,0),(0,1),(1,0),(1,1) = 1,0,0,1 -> 0.5.
+        assert!((cells[0] - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,219 @@
+//! Identifiers for the two populations Fenrir relates: client **networks**
+//! (the `N` of the paper, e.g. /24 blocks, Atlas vantage points, EDNS client
+//! subnets) and service **sites** (the `S` of the paper, e.g. anycast sites,
+//! upstream transit providers, web front-ends).
+//!
+//! Sites are interned through [`SiteTable`] so a routing vector can store a
+//! compact 2-byte code per network while analyses still print human-readable
+//! names ("LAX", "AS2152", "codfw").
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a client network within a routing vector.
+///
+/// Networks are positional: element `n` of every vector in a series refers to
+/// the same network. `NetworkId` is a transparent index used where code wants
+/// to be explicit that a `usize` means "network slot".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NetworkId(pub u32);
+
+impl NetworkId {
+    /// The network's position within a routing vector.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetworkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "net#{}", self.0)
+    }
+}
+
+/// Interned identifier of a service site (anycast site, upstream AS, web
+/// front-end). At most [`SiteId::MAX_SITES`] distinct sites may exist in one
+/// [`SiteTable`]; the remaining code space is reserved for the sentinel
+/// catchment states (`Err`, `Other`, `Unknown`, see [`crate::vector::Catchment`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SiteId(pub u16);
+
+impl SiteId {
+    /// Largest number of distinct sites one table may intern.
+    ///
+    /// Three codes at the top of the `u16` space are reserved for the
+    /// sentinel catchment states.
+    pub const MAX_SITES: usize = (u16::MAX - 3) as usize;
+
+    /// The site's position within a [`SiteTable`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site#{}", self.0)
+    }
+}
+
+/// Bidirectional map between site names and compact [`SiteId`]s.
+///
+/// ```
+/// use fenrir_core::ids::SiteTable;
+/// let mut t = SiteTable::new();
+/// let lax = t.intern("LAX");
+/// assert_eq!(t.intern("LAX"), lax);          // idempotent
+/// assert_eq!(t.name(lax), "LAX");
+/// assert_eq!(t.lookup("AMS"), None);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SiteTable {
+    names: Vec<String>,
+    by_name: HashMap<String, SiteId>,
+}
+
+impl SiteTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a table from an ordered list of names. Duplicate names collapse
+    /// to the first occurrence.
+    pub fn from_names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut t = Self::new();
+        for n in names {
+            t.intern(n.as_ref());
+        }
+        t
+    }
+
+    /// Return the id for `name`, interning it if new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table already holds [`SiteId::MAX_SITES`] sites; Fenrir
+    /// deployments have at most thousands of sites (Google front-ends), far
+    /// below the limit, so exceeding it indicates corrupted input.
+    pub fn intern(&mut self, name: &str) -> SiteId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        assert!(
+            self.names.len() < SiteId::MAX_SITES,
+            "site table overflow: more than {} sites",
+            SiteId::MAX_SITES
+        );
+        let id = SiteId(self.names.len() as u16);
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Look a name up without interning.
+    pub fn lookup(&self, name: &str) -> Option<SiteId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name for an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this table.
+    pub fn name(&self, id: SiteId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of interned sites (`|S|` in the paper).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no site has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate `(id, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (SiteId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (SiteId(i as u16), n.as_str()))
+    }
+
+    /// All ids in interning order.
+    pub fn ids(&self) -> impl Iterator<Item = SiteId> + '_ {
+        (0..self.names.len()).map(|i| SiteId(i as u16))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SiteTable::new();
+        let a = t.intern("LAX");
+        let b = t.intern("LAX");
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn intern_assigns_sequential_ids() {
+        let mut t = SiteTable::new();
+        assert_eq!(t.intern("LAX"), SiteId(0));
+        assert_eq!(t.intern("AMS"), SiteId(1));
+        assert_eq!(t.intern("SIN"), SiteId(2));
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let t = SiteTable::new();
+        assert_eq!(t.lookup("LAX"), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn name_round_trips() {
+        let mut t = SiteTable::new();
+        let id = t.intern("codfw");
+        assert_eq!(t.name(id), "codfw");
+    }
+
+    #[test]
+    fn from_names_collapses_duplicates() {
+        let t = SiteTable::from_names(["a", "b", "a", "c"]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.lookup("a"), Some(SiteId(0)));
+        assert_eq!(t.lookup("c"), Some(SiteId(2)));
+    }
+
+    #[test]
+    fn iter_preserves_order() {
+        let t = SiteTable::from_names(["x", "y"]);
+        let v: Vec<_> = t.iter().map(|(id, n)| (id.0, n.to_owned())).collect();
+        assert_eq!(v, vec![(0, "x".to_owned()), (1, "y".to_owned())]);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NetworkId(7).to_string(), "net#7");
+        assert_eq!(SiteId(3).to_string(), "site#3");
+    }
+
+    #[test]
+    fn network_id_index() {
+        assert_eq!(NetworkId(12).index(), 12);
+    }
+}

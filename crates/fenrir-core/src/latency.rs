@@ -1,0 +1,376 @@
+//! From similarity to performance: latency summaries (§2.8, Figure 4).
+//!
+//! "While heatmap identifies regions of similarity … operators care about
+//! user relevant metrics". Fenrir factors latency into vectors so operators
+//! can estimate the effect a routing change has on latency: the paper plots
+//! per-catchment p90 latency over time (Figure 4) and weighted mean overall
+//! latency.
+//!
+//! [`LatencyPanel`] holds per-network RTT samples aligned with a routing
+//! vector; [`LatencySummary`] aggregates them per catchment with weighted
+//! means and percentiles.
+
+use crate::error::{Error, Result};
+use crate::ids::{SiteId, SiteTable};
+use crate::time::Timestamp;
+use crate::vector::{Catchment, RoutingVector};
+use crate::weight::Weights;
+use serde::{Deserialize, Serialize};
+
+/// RTT observations for every network at one instant, aligned positionally
+/// with a [`RoutingVector`]. `None` = no latency sample for that network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyPanel {
+    time: Timestamp,
+    /// RTT in milliseconds per network.
+    rtt_ms: Vec<Option<f64>>,
+}
+
+impl LatencyPanel {
+    /// Build from per-network samples.
+    pub fn new(time: Timestamp, rtt_ms: Vec<Option<f64>>) -> Self {
+        LatencyPanel { time, rtt_ms }
+    }
+
+    /// Observation time.
+    pub fn time(&self) -> Timestamp {
+        self.time
+    }
+
+    /// Number of networks covered.
+    pub fn len(&self) -> usize {
+        self.rtt_ms.len()
+    }
+
+    /// Whether the panel is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rtt_ms.is_empty()
+    }
+
+    /// Sample for network `n`.
+    pub fn get(&self, n: usize) -> Option<f64> {
+        self.rtt_ms[n]
+    }
+
+    /// All samples.
+    pub fn samples(&self) -> &[Option<f64>] {
+        &self.rtt_ms
+    }
+}
+
+/// Latency statistics for one catchment at one time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CatchmentLatency {
+    /// Weighted mean RTT (ms), `None` when the catchment has no samples.
+    pub mean_ms: Option<f64>,
+    /// p50 RTT (weighted percentile, ms).
+    pub p50_ms: Option<f64>,
+    /// p90 RTT (weighted percentile, ms) — the statistic of Figure 4.
+    pub p90_ms: Option<f64>,
+    /// Number of networks with samples in this catchment.
+    pub samples: usize,
+}
+
+/// Per-catchment latency summary of one (vector, panel) pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Observation time.
+    pub time: Timestamp,
+    /// Per-site statistics, indexed by `SiteId`.
+    pub per_site: Vec<CatchmentLatency>,
+    /// Weighted mean RTT over all networks with samples, any catchment.
+    pub overall_mean_ms: Option<f64>,
+}
+
+impl LatencySummary {
+    /// Summarise latency per catchment.
+    ///
+    /// Networks contribute to the site their routing vector assigns them;
+    /// sentinel states contribute only to the overall mean. Weighting
+    /// follows §2.5: each sample counts with its network's weight.
+    pub fn compute(
+        vector: &RoutingVector,
+        panel: &LatencyPanel,
+        weights: &Weights,
+        num_sites: usize,
+    ) -> Result<Self> {
+        if panel.len() != vector.len() {
+            return Err(Error::ShapeMismatch {
+                what: "latency panel",
+                expected: vector.len(),
+                actual: panel.len(),
+            });
+        }
+        if weights.len() != vector.len() {
+            return Err(Error::ShapeMismatch {
+                what: "weights",
+                expected: vector.len(),
+                actual: weights.len(),
+            });
+        }
+        // Collect (rtt, weight) per site.
+        let mut buckets: Vec<Vec<(f64, f64)>> = vec![Vec::new(); num_sites];
+        let mut all: Vec<(f64, f64)> = Vec::new();
+        for n in 0..vector.len() {
+            let Some(rtt) = panel.get(n) else { continue };
+            let w = weights.get(n);
+            if w == 0.0 {
+                continue;
+            }
+            all.push((rtt, w));
+            if let Catchment::Site(SiteId(s)) = vector.get(n) {
+                if (s as usize) < num_sites {
+                    buckets[s as usize].push((rtt, w));
+                }
+            }
+        }
+        let per_site = buckets
+            .into_iter()
+            .map(|b| CatchmentLatency {
+                mean_ms: weighted_mean(&b),
+                p50_ms: weighted_percentile(&b, 0.50),
+                p90_ms: weighted_percentile(&b, 0.90),
+                samples: b.len(),
+            })
+            .collect();
+        Ok(LatencySummary {
+            time: panel.time(),
+            per_site,
+            overall_mean_ms: weighted_mean(&all),
+        })
+    }
+
+    /// Statistics for one site.
+    pub fn site(&self, s: SiteId) -> &CatchmentLatency {
+        &self.per_site[s.index()]
+    }
+
+    /// One-line-per-site rendering with site names.
+    pub fn render(&self, sites: &SiteTable) -> String {
+        let mut out = format!("latency @ {}\n", self.time);
+        for (id, name) in sites.iter() {
+            let c = self.site(id);
+            match (c.mean_ms, c.p90_ms) {
+                (Some(mean), Some(p90)) => out.push_str(&format!(
+                    "  {name:<8} mean {mean:7.1} ms  p90 {p90:7.1} ms  ({} nets)\n",
+                    c.samples
+                )),
+                _ => out.push_str(&format!("  {name:<8} (no clients)\n")),
+            }
+        }
+        if let Some(m) = self.overall_mean_ms {
+            out.push_str(&format!("  overall mean {m:.1} ms\n"));
+        }
+        out
+    }
+}
+
+/// Weighted mean of `(value, weight)` samples.
+fn weighted_mean(samples: &[(f64, f64)]) -> Option<f64> {
+    let total_w: f64 = samples.iter().map(|&(_, w)| w).sum();
+    if total_w == 0.0 {
+        return None;
+    }
+    Some(samples.iter().map(|&(v, w)| v * w).sum::<f64>() / total_w)
+}
+
+/// Weighted percentile: smallest value `v` such that the cumulative weight
+/// of samples `<= v` reaches `q` of the total weight.
+fn weighted_percentile(samples: &[(f64, f64)], q: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<(f64, f64)> = samples.to_vec();
+    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite RTTs"));
+    let total: f64 = sorted.iter().map(|&(_, w)| w).sum();
+    if total == 0.0 {
+        return None;
+    }
+    let target = q * total;
+    let mut acc = 0.0;
+    for &(v, w) in &sorted {
+        acc += w;
+        if acc >= target {
+            return Some(v);
+        }
+    }
+    Some(sorted.last().expect("nonempty").0)
+}
+
+/// A per-catchment latency time series — the data behind Figure 4's p90
+/// curves.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LatencySeries {
+    /// One summary per observation time, ascending.
+    pub summaries: Vec<LatencySummary>,
+}
+
+impl LatencySeries {
+    /// Append a summary.
+    pub fn push(&mut self, s: LatencySummary) {
+        self.summaries.push(s);
+    }
+
+    /// p90 curve for one site: `(time, p90_ms)` for every observation where
+    /// the site had clients.
+    pub fn p90_curve(&self, s: SiteId) -> Vec<(Timestamp, f64)> {
+        self.summaries
+            .iter()
+            .filter_map(|sum| sum.site(s).p90_ms.map(|v| (sum.time, v)))
+            .collect()
+    }
+
+    /// CSV export of p90 per site over time.
+    pub fn to_csv(&self, sites: &SiteTable) -> String {
+        let mut out = String::from("time");
+        for (_, name) in sites.iter() {
+            out.push_str(&format!(",{name}_p90"));
+        }
+        out.push('\n');
+        for s in &self.summaries {
+            out.push_str(&s.time.to_string());
+            for id in sites.ids() {
+                match s.site(id).p90_ms {
+                    Some(v) => out.push_str(&format!(",{v:.2}")),
+                    None => out.push(','),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts() -> Timestamp {
+        Timestamp::from_days(0)
+    }
+
+    fn s(n: u16) -> Catchment {
+        Catchment::Site(SiteId(n))
+    }
+
+    #[test]
+    fn weighted_mean_basic() {
+        assert_eq!(weighted_mean(&[]), None);
+        assert_eq!(weighted_mean(&[(10.0, 1.0)]), Some(10.0));
+        // Heavier sample dominates.
+        let m = weighted_mean(&[(10.0, 3.0), (20.0, 1.0)]).unwrap();
+        assert!((m - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_percentile_basic() {
+        let samples: Vec<(f64, f64)> = (1..=10).map(|i| (i as f64, 1.0)).collect();
+        assert_eq!(weighted_percentile(&samples, 0.5), Some(5.0));
+        assert_eq!(weighted_percentile(&samples, 0.9), Some(9.0));
+        assert_eq!(weighted_percentile(&samples, 1.0), Some(10.0));
+        assert_eq!(weighted_percentile(&[], 0.9), None);
+    }
+
+    #[test]
+    fn weighted_percentile_respects_weights() {
+        // One huge-weight low sample pulls p90 down.
+        let samples = [(1.0, 100.0), (200.0, 1.0)];
+        assert_eq!(weighted_percentile(&samples, 0.9), Some(1.0));
+    }
+
+    #[test]
+    fn summary_per_site() {
+        let v = RoutingVector::from_catchments(
+            ts(),
+            vec![s(0), s(0), s(1), Catchment::Err],
+        );
+        let panel = LatencyPanel::new(
+            ts(),
+            vec![Some(10.0), Some(30.0), Some(100.0), Some(500.0)],
+        );
+        let w = Weights::uniform(4);
+        let sum = LatencySummary::compute(&v, &panel, &w, 2).unwrap();
+        assert_eq!(sum.site(SiteId(0)).samples, 2);
+        assert!((sum.site(SiteId(0)).mean_ms.unwrap() - 20.0).abs() < 1e-12);
+        assert_eq!(sum.site(SiteId(1)).samples, 1);
+        assert_eq!(sum.site(SiteId(1)).p90_ms, Some(100.0));
+        // The Err network's RTT enters only the overall mean.
+        assert!((sum.overall_mean_ms.unwrap() - 160.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_handles_missing_samples() {
+        let v = RoutingVector::from_catchments(ts(), vec![s(0), s(0)]);
+        let panel = LatencyPanel::new(ts(), vec![None, Some(42.0)]);
+        let w = Weights::uniform(2);
+        let sum = LatencySummary::compute(&v, &panel, &w, 1).unwrap();
+        assert_eq!(sum.site(SiteId(0)).samples, 1);
+        assert_eq!(sum.site(SiteId(0)).mean_ms, Some(42.0));
+    }
+
+    #[test]
+    fn summary_empty_catchment_has_no_stats() {
+        let v = RoutingVector::from_catchments(ts(), vec![s(0)]);
+        let panel = LatencyPanel::new(ts(), vec![Some(5.0)]);
+        let w = Weights::uniform(1);
+        let sum = LatencySummary::compute(&v, &panel, &w, 2).unwrap();
+        assert_eq!(sum.site(SiteId(1)).mean_ms, None);
+        assert_eq!(sum.site(SiteId(1)).samples, 0);
+    }
+
+    #[test]
+    fn summary_rejects_shape_mismatch() {
+        let v = RoutingVector::from_catchments(ts(), vec![s(0)]);
+        let panel = LatencyPanel::new(ts(), vec![Some(1.0), Some(2.0)]);
+        assert!(LatencySummary::compute(&v, &panel, &Weights::uniform(1), 1).is_err());
+        let panel1 = LatencyPanel::new(ts(), vec![Some(1.0)]);
+        assert!(LatencySummary::compute(&v, &panel1, &Weights::uniform(2), 1).is_err());
+    }
+
+    #[test]
+    fn zero_weight_networks_are_skipped() {
+        let v = RoutingVector::from_catchments(ts(), vec![s(0), s(0)]);
+        let panel = LatencyPanel::new(ts(), vec![Some(10.0), Some(1000.0)]);
+        let w = Weights::from_values(vec![1.0, 0.0]).unwrap();
+        let sum = LatencySummary::compute(&v, &panel, &w, 1).unwrap();
+        assert_eq!(sum.site(SiteId(0)).mean_ms, Some(10.0));
+        assert_eq!(sum.site(SiteId(0)).samples, 1);
+    }
+
+    #[test]
+    fn series_p90_curve_and_csv() {
+        let sites = SiteTable::from_names(["ARI"]);
+        let mut series = LatencySeries::default();
+        for d in 0..3 {
+            let t = Timestamp::from_days(d);
+            let v = RoutingVector::from_catchments(
+                t,
+                vec![if d < 2 { s(0) } else { Catchment::Err }],
+            );
+            let panel = LatencyPanel::new(t, vec![Some(200.0 + d as f64)]);
+            series.push(
+                LatencySummary::compute(&v, &panel, &Weights::uniform(1), 1).unwrap(),
+            );
+        }
+        // ARI vanishes on day 2 (shut down, like the paper's Chile site).
+        let curve = series.p90_curve(SiteId(0));
+        assert_eq!(curve.len(), 2);
+        assert_eq!(curve[0].1, 200.0);
+        let csv = series.to_csv(&sites);
+        assert!(csv.starts_with("time,ARI_p90"));
+        assert_eq!(csv.trim_end().lines().count(), 4);
+        // Day 2's cell is empty.
+        assert!(csv.lines().nth(3).unwrap().ends_with(','));
+    }
+
+    #[test]
+    fn render_mentions_sites() {
+        let sites = SiteTable::from_names(["LAX"]);
+        let v = RoutingVector::from_catchments(ts(), vec![s(0)]);
+        let panel = LatencyPanel::new(ts(), vec![Some(12.0)]);
+        let sum = LatencySummary::compute(&v, &panel, &Weights::uniform(1), 1).unwrap();
+        let r = sum.render(&sites);
+        assert!(r.contains("LAX"));
+        assert!(r.contains("12.0"));
+    }
+}

@@ -1,0 +1,619 @@
+//! Routing **modes**: mostly-stable clusters of routing vectors that may
+//! reappear later (§2.6.2, §4 of the paper).
+//!
+//! A [`ModeAnalysis`] combines the adaptive-threshold HAC clustering with the
+//! similarity matrix to answer the paper's operational questions:
+//!
+//! * which contiguous time intervals belong to each mode (Figure 3's
+//!   mode (i)…(vi) annotations),
+//! * the intra-mode Φ range ("mode (i), with the similarity Φ in
+//!   \[0.24, 0.49\]"),
+//! * the inter-mode Φ range ("Φ(M_i, M_ii) = \[0.11, 0.48\], a huge routing
+//!   change"),
+//! * **recurrence**: does an earlier mode reappear ("mode (v) is somewhat
+//!   like the original routing mode (i)… more so than its immediate
+//!   neighbors")?
+
+use crate::cluster::{AdaptiveThreshold, Dendrogram, Linkage, ThresholdChoice};
+use crate::error::Result;
+use crate::similarity::SimilarityMatrix;
+use crate::time::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// A contiguous run of observations assigned to the same mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Interval {
+    /// Index of the first observation of the run.
+    pub start: usize,
+    /// Index of the last observation of the run (inclusive).
+    pub end: usize,
+}
+
+impl Interval {
+    /// Number of observations covered.
+    pub fn len(&self) -> usize {
+        self.end - self.start + 1
+    }
+
+    /// Intervals are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// One routing mode: a cluster of similar routing vectors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mode {
+    /// Mode id (the compacted cluster label; mode 0 appears first in time).
+    pub id: usize,
+    /// Observation indices belonging to the mode, ascending.
+    pub members: Vec<usize>,
+    /// Contiguous runs of members. A mode with more than one interval
+    /// *recurs*: routing left it and came back.
+    pub intervals: Vec<Interval>,
+    /// `[min, max]` of Φ between member pairs (`None` for singleton modes,
+    /// which the adaptive threshold normally forbids).
+    pub intra_phi: Option<(f64, f64)>,
+}
+
+impl Mode {
+    /// Whether this mode appears in more than one disjoint time interval —
+    /// a *recurring routing result*, the phenomenon the paper is named for.
+    pub fn recurs(&self) -> bool {
+        self.intervals.len() > 1
+    }
+
+    /// Number of observations in the mode.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the mode has no members (never produced by analysis).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// Full mode decomposition of a series.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModeAnalysis {
+    /// Discovered modes, ordered by first appearance.
+    pub modes: Vec<Mode>,
+    /// Per-observation mode label (index into `modes`).
+    pub labels: Vec<usize>,
+    /// The accepted clustering threshold.
+    pub threshold: f64,
+    /// Observation timestamps, aligned with `labels`.
+    pub times: Vec<Timestamp>,
+}
+
+impl ModeAnalysis {
+    /// Cluster `sim` (with `times` labelling its rows) into modes using
+    /// `linkage` HAC and the paper's adaptive threshold rule.
+    pub fn discover(
+        sim: &SimilarityMatrix,
+        times: &[Timestamp],
+        linkage: Linkage,
+        adaptive: AdaptiveThreshold,
+    ) -> Result<ModeAnalysis> {
+        let dendro = Dendrogram::build(sim, linkage)?;
+        let choice = adaptive.choose(&dendro)?;
+        Ok(Self::from_choice(sim, times, &choice))
+    }
+
+    /// Build a mode analysis from an explicit flat clustering (e.g. a fixed
+    /// threshold chosen for an ablation).
+    pub fn from_choice(
+        sim: &SimilarityMatrix,
+        times: &[Timestamp],
+        choice: &ThresholdChoice,
+    ) -> ModeAnalysis {
+        let n = choice.labels.len();
+        let k = choice.clusters;
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for (i, &l) in choice.labels.iter().enumerate() {
+            members[l].push(i);
+        }
+        let modes = members
+            .into_iter()
+            .enumerate()
+            .map(|(id, m)| {
+                let intervals = contiguous_intervals(&m);
+                let intra_phi = sim.intra_range(&m);
+                Mode {
+                    id,
+                    members: m,
+                    intervals,
+                    intra_phi,
+                }
+            })
+            .collect();
+        ModeAnalysis {
+            modes,
+            labels: choice.labels.clone(),
+            threshold: choice.threshold,
+            times: times.iter().copied().take(n).collect(),
+        }
+    }
+
+    /// Number of discovered modes.
+    pub fn len(&self) -> usize {
+        self.modes.len()
+    }
+
+    /// Whether no modes were discovered (empty input).
+    pub fn is_empty(&self) -> bool {
+        self.modes.is_empty()
+    }
+
+    /// Inter-mode Φ range `Φ(M_a, M_b)` as the paper reports it.
+    pub fn inter_phi(&self, sim: &SimilarityMatrix, a: usize, b: usize) -> Option<(f64, f64)> {
+        sim.inter_range(&self.modes[a].members, &self.modes[b].members)
+    }
+
+    /// Mean inter-mode Φ — used for the paper's "mode (v) is somewhat like
+    /// mode (i)" comparisons.
+    pub fn inter_phi_mean(&self, sim: &SimilarityMatrix, a: usize, b: usize) -> Option<f64> {
+        sim.inter_mean(&self.modes[a].members, &self.modes[b].members)
+    }
+
+    /// Modes that reappear after an absence.
+    pub fn recurring(&self) -> Vec<&Mode> {
+        self.modes.iter().filter(|m| m.recurs()).collect()
+    }
+
+    /// For mode `a`, the id of its most similar *other* mode by mean Φ —
+    /// "is the current routing new, or like a mode I saw before?".
+    pub fn most_similar_mode(&self, sim: &SimilarityMatrix, a: usize) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for b in 0..self.modes.len() {
+            if b == a {
+                continue;
+            }
+            if let Some(m) = self.inter_phi_mean(sim, a, b) {
+                if best.is_none_or(|(_, bm)| m > bm) {
+                    best = Some((b, m));
+                }
+            }
+        }
+        best
+    }
+
+    /// The medoid of mode `a`: the member observation with the highest
+    /// mean Φ to the rest of the mode — the mode's most representative
+    /// routing vector. `None` for out-of-range ids.
+    pub fn medoid(&self, sim: &SimilarityMatrix, a: usize) -> Option<usize> {
+        let members = &self.modes.get(a)?.members;
+        if members.len() == 1 {
+            return Some(members[0]);
+        }
+        members
+            .iter()
+            .map(|&i| {
+                let mean: f64 = members
+                    .iter()
+                    .filter(|&&j| j != i)
+                    .map(|&j| sim.get(i, j))
+                    .sum::<f64>()
+                    / (members.len() - 1) as f64;
+                (i, mean)
+            })
+            .max_by(|x, y| x.1.partial_cmp(&y.1).expect("finite"))
+            .map(|(i, _)| i)
+    }
+
+    /// Classify a *new* routing vector against the discovered modes: the
+    /// mode with the highest mean Φ between `vector` and the mode's member
+    /// vectors in `series`, with that similarity. This answers the paper's
+    /// question for live operation — "is the current routing new, or is it
+    /// like a routing mode I saw before?" — without re-clustering.
+    pub fn classify(
+        &self,
+        vector: &crate::vector::RoutingVector,
+        series: &crate::series::VectorSeries,
+        weights: &crate::weight::Weights,
+        policy: crate::similarity::UnknownPolicy,
+    ) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for m in &self.modes {
+            if m.members.is_empty() {
+                continue;
+            }
+            let mean: f64 = m
+                .members
+                .iter()
+                .map(|&i| crate::similarity::phi(vector, series.get(i), weights, policy))
+                .sum::<f64>()
+                / m.members.len() as f64;
+            if best.is_none_or(|(_, b)| mean > b) {
+                best = Some((m.id, mean));
+            }
+        }
+        best
+    }
+
+    /// The observation indices where the mode label changes — the mode
+    /// transition instants an operator would investigate.
+    pub fn change_points(&self) -> Vec<usize> {
+        self.labels
+            .windows(2)
+            .enumerate()
+            .filter(|(_, w)| w[0] != w[1])
+            .map(|(i, _)| i + 1)
+            .collect()
+    }
+
+    /// Human-readable summary table, one line per mode, in the style of the
+    /// paper's §4 narratives.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for m in &self.modes {
+            let phi = m
+                .intra_phi
+                .map(|(lo, hi)| format!("[{lo:.2}, {hi:.2}]"))
+                .unwrap_or_else(|| "n/a".into());
+            let spans: Vec<String> = m
+                .intervals
+                .iter()
+                .map(|iv| {
+                    format!(
+                        "{}..{}",
+                        self.times[iv.start],
+                        self.times[iv.end]
+                    )
+                })
+                .collect();
+            out.push_str(&format!(
+                "mode ({}) | {} obs | Φ in {} | {}{}\n",
+                roman(m.id + 1),
+                m.len(),
+                phi,
+                spans.join(", "),
+                if m.recurs() { " | RECURS" } else { "" }
+            ));
+        }
+        out
+    }
+}
+
+/// Split an ascending index list into maximal contiguous runs.
+fn contiguous_intervals(members: &[usize]) -> Vec<Interval> {
+    let mut out = Vec::new();
+    let mut iter = members.iter().copied();
+    let Some(first) = iter.next() else {
+        return out;
+    };
+    let (mut start, mut prev) = (first, first);
+    for m in iter {
+        if m == prev + 1 {
+            prev = m;
+        } else {
+            out.push(Interval { start, end: prev });
+            start = m;
+            prev = m;
+        }
+    }
+    out.push(Interval { start, end: prev });
+    out
+}
+
+/// Lowercase roman numerals, as the paper labels its modes (i)…(vi).
+pub fn roman(mut n: usize) -> String {
+    const TABLE: [(usize, &str); 13] = [
+        (1000, "m"),
+        (900, "cm"),
+        (500, "d"),
+        (400, "cd"),
+        (100, "c"),
+        (90, "xc"),
+        (50, "l"),
+        (40, "xl"),
+        (10, "x"),
+        (9, "ix"),
+        (5, "v"),
+        (4, "iv"),
+        (1, "i"),
+    ];
+    let mut out = String::new();
+    for (v, s) in TABLE {
+        while n >= v {
+            out.push_str(s);
+            n -= v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim_from_dist(n: usize, f: impl Fn(usize, usize) -> f64) -> SimilarityMatrix {
+        let mut v = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                v[i * n + j] = if i == j { 1.0 } else { 1.0 - f(i, j) };
+            }
+        }
+        SimilarityMatrix::from_raw(n, v).unwrap()
+    }
+
+    fn days(n: usize) -> Vec<Timestamp> {
+        (0..n as i64).map(Timestamp::from_days).collect()
+    }
+
+    /// Timeline A A A B B A A: mode A recurs after B.
+    fn recurring_sim() -> SimilarityMatrix {
+        let group = |i: usize| matches!(i, 3 | 4); // B at indices 3..=4
+        sim_from_dist(7, move |i, j| if group(i) == group(j) { 0.05 } else { 0.9 })
+    }
+
+    #[test]
+    fn contiguous_intervals_splits_runs() {
+        assert_eq!(
+            contiguous_intervals(&[0, 1, 2, 5, 6, 9]),
+            vec![
+                Interval { start: 0, end: 2 },
+                Interval { start: 5, end: 6 },
+                Interval { start: 9, end: 9 },
+            ]
+        );
+        assert!(contiguous_intervals(&[]).is_empty());
+        assert_eq!(
+            contiguous_intervals(&[4]),
+            vec![Interval { start: 4, end: 4 }]
+        );
+    }
+
+    #[test]
+    fn roman_numerals_match_paper_labels() {
+        let labels: Vec<String> = (1..=6).map(roman).collect();
+        assert_eq!(labels, vec!["i", "ii", "iii", "iv", "v", "vi"]);
+        assert_eq!(roman(14), "xiv");
+        assert_eq!(roman(2024), "mmxxiv");
+    }
+
+    #[test]
+    fn discovers_recurring_mode() {
+        let sim = recurring_sim();
+        let ma = ModeAnalysis::discover(
+            &sim,
+            &days(7),
+            Linkage::Single,
+            AdaptiveThreshold::default(),
+        )
+        .unwrap();
+        assert_eq!(ma.len(), 2);
+        let a = &ma.modes[0];
+        assert_eq!(a.members, vec![0, 1, 2, 5, 6]);
+        assert!(a.recurs());
+        assert_eq!(a.intervals.len(), 2);
+        let b = &ma.modes[1];
+        assert!(!b.recurs());
+        assert_eq!(ma.recurring().len(), 1);
+    }
+
+    #[test]
+    fn change_points_mark_label_flips() {
+        let sim = recurring_sim();
+        let ma = ModeAnalysis::discover(
+            &sim,
+            &days(7),
+            Linkage::Single,
+            AdaptiveThreshold::default(),
+        )
+        .unwrap();
+        assert_eq!(ma.change_points(), vec![3, 5]);
+    }
+
+    #[test]
+    fn intra_phi_reflects_cluster_tightness() {
+        let sim = recurring_sim();
+        let ma = ModeAnalysis::discover(
+            &sim,
+            &days(7),
+            Linkage::Single,
+            AdaptiveThreshold::default(),
+        )
+        .unwrap();
+        let (lo, hi) = ma.modes[0].intra_phi.unwrap();
+        assert!((lo - 0.95).abs() < 1e-9 && (hi - 0.95).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inter_phi_reflects_separation() {
+        let sim = recurring_sim();
+        let ma = ModeAnalysis::discover(
+            &sim,
+            &days(7),
+            Linkage::Single,
+            AdaptiveThreshold::default(),
+        )
+        .unwrap();
+        let (lo, hi) = ma.inter_phi(&sim, 0, 1).unwrap();
+        assert!((lo - 0.1).abs() < 1e-9 && (hi - 0.1).abs() < 1e-9);
+        let mean = ma.inter_phi_mean(&sim, 0, 1).unwrap();
+        assert!((mean - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn most_similar_mode_finds_the_recurrence_partner() {
+        // Three groups: 0..2 (A), 3..4 (B), 5..6 (C). A and C similar (0.3
+        // apart), B far from both (0.9).
+        let g = |i: usize| if i < 3 { 0 } else if i < 5 { 1 } else { 2 };
+        let sim = sim_from_dist(7, move |i, j| {
+            let (a, b) = (g(i), g(j));
+            if a == b {
+                0.05
+            } else if (a, b) == (0, 2) || (a, b) == (2, 0) {
+                0.3
+            } else {
+                0.9
+            }
+        });
+        let ma = ModeAnalysis::discover(
+            &sim,
+            &days(7),
+            Linkage::Single,
+            AdaptiveThreshold::default(),
+        )
+        .unwrap();
+        assert_eq!(ma.len(), 3);
+        // Mode C (id 2) is most like mode A (id 0), not its temporal
+        // neighbour B — the paper's mode (v) ≈ mode (i) finding.
+        let (partner, phi) = ma.most_similar_mode(&sim, 2).unwrap();
+        assert_eq!(partner, 0);
+        assert!((phi - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_mentions_recurrence() {
+        let sim = recurring_sim();
+        let ma = ModeAnalysis::discover(
+            &sim,
+            &days(7),
+            Linkage::Single,
+            AdaptiveThreshold::default(),
+        )
+        .unwrap();
+        let s = ma.summary();
+        assert!(s.contains("mode (i)"));
+        assert!(s.contains("RECURS"));
+        assert!(s.contains("mode (ii)"));
+    }
+
+    #[test]
+    fn from_choice_respects_given_labels() {
+        let sim = recurring_sim();
+        let choice = ThresholdChoice {
+            threshold: 0.5,
+            labels: vec![0, 0, 0, 1, 1, 0, 0],
+            clusters: 2,
+        };
+        let ma = ModeAnalysis::from_choice(&sim, &days(7), &choice);
+        assert_eq!(ma.threshold, 0.5);
+        assert_eq!(ma.modes[1].members, vec![3, 4]);
+    }
+
+    #[test]
+    fn interval_len() {
+        assert_eq!(Interval { start: 2, end: 5 }.len(), 4);
+        assert!(!Interval { start: 2, end: 2 }.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod classify_tests {
+    use super::*;
+    use crate::cluster::{AdaptiveThreshold, Linkage};
+    use crate::ids::{SiteId, SiteTable};
+    use crate::series::VectorSeries;
+    use crate::similarity::{SimilarityMatrix, UnknownPolicy};
+    use crate::time::Timestamp;
+    use crate::vector::{Catchment, RoutingVector};
+    use crate::weight::Weights;
+
+    /// Series of 8 observations over 4 networks: mode A (all site 0) for
+    /// days 0-3, mode B (all site 1) for days 4-7.
+    fn two_mode_series() -> (VectorSeries, Weights) {
+        let sites = SiteTable::from_names(["A", "B"]);
+        let mut series = VectorSeries::new(sites, 4);
+        for d in 0..8 {
+            let s = if d < 4 { SiteId(0) } else { SiteId(1) };
+            series
+                .push(RoutingVector::from_catchments(
+                    Timestamp::from_days(d),
+                    vec![Catchment::Site(s); 4],
+                ))
+                .unwrap();
+        }
+        (series, Weights::uniform(4))
+    }
+
+    fn analysis(series: &VectorSeries, w: &Weights) -> (ModeAnalysis, SimilarityMatrix) {
+        let sim = SimilarityMatrix::compute(series, w, UnknownPolicy::Pessimistic).unwrap();
+        let ma = ModeAnalysis::discover(
+            &sim,
+            &series.times(),
+            Linkage::Single,
+            AdaptiveThreshold::default(),
+        )
+        .unwrap();
+        (ma, sim)
+    }
+
+    #[test]
+    fn medoid_is_a_member() {
+        let (series, w) = two_mode_series();
+        let (ma, sim) = analysis(&series, &w);
+        for m in 0..ma.len() {
+            let medoid = ma.medoid(&sim, m).unwrap();
+            assert!(ma.modes[m].members.contains(&medoid));
+        }
+        assert!(ma.medoid(&sim, 99).is_none());
+    }
+
+    #[test]
+    fn classify_matches_the_right_mode() {
+        let (series, w) = two_mode_series();
+        let (ma, _) = analysis(&series, &w);
+        assert_eq!(ma.len(), 2);
+        // A new observation identical to mode A's routing.
+        let new_a = RoutingVector::from_catchments(
+            Timestamp::from_days(100),
+            vec![Catchment::Site(SiteId(0)); 4],
+        );
+        let (mode, phi) = ma
+            .classify(&new_a, &series, &w, UnknownPolicy::Pessimistic)
+            .unwrap();
+        assert_eq!(mode, 0);
+        assert!((phi - 1.0).abs() < 1e-12);
+        // A mixed observation is closer to whichever mode shares more.
+        let mixed = RoutingVector::from_catchments(
+            Timestamp::from_days(101),
+            vec![
+                Catchment::Site(SiteId(1)),
+                Catchment::Site(SiteId(1)),
+                Catchment::Site(SiteId(1)),
+                Catchment::Site(SiteId(0)),
+            ],
+        );
+        let (mode, phi) = ma
+            .classify(&mixed, &series, &w, UnknownPolicy::Pessimistic)
+            .unwrap();
+        assert_eq!(mode, 1);
+        assert!((phi - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classify_on_singleton_analysis() {
+        let sites = SiteTable::from_names(["A"]);
+        let mut series = VectorSeries::new(sites, 1);
+        series
+            .push(RoutingVector::from_catchments(
+                Timestamp::from_days(0),
+                vec![Catchment::Site(SiteId(0))],
+            ))
+            .unwrap();
+        let w = Weights::uniform(1);
+        let (ma, _) = {
+            let sim = SimilarityMatrix::compute(&series, &w, UnknownPolicy::Pessimistic).unwrap();
+            (
+                ModeAnalysis::discover(
+                    &sim,
+                    &series.times(),
+                    Linkage::Single,
+                    AdaptiveThreshold::default(),
+                )
+                .unwrap(),
+                sim,
+            )
+        };
+        let v = series.get(0).clone();
+        let (mode, phi) = ma
+            .classify(&v, &series, &w, UnknownPolicy::Pessimistic)
+            .unwrap();
+        assert_eq!(mode, 0);
+        assert_eq!(phi, 1.0);
+    }
+}

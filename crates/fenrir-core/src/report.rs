@@ -1,0 +1,220 @@
+//! The operator report: everything the paper expects an operator to watch,
+//! in one pass.
+//!
+//! "We expect operators to watch Fenrir, notice changes…, and for changes
+//! that are large enough, check on latency measurements" (§4.2.2). An
+//! [`OperatorReport`] runs the full analysis over a series — similarity,
+//! modes, change events, the is-this-mode-new question — and renders a
+//! digest an operator (or a pager integration) can act on.
+
+use crate::cluster::{AdaptiveThreshold, Linkage};
+use crate::detect::{ChangeDetector, DetectedEvent};
+use crate::error::Result;
+use crate::modes::{roman, ModeAnalysis};
+use crate::series::VectorSeries;
+use crate::similarity::{SimilarityMatrix, UnknownPolicy};
+use crate::transition::TransitionMatrix;
+use crate::weight::Weights;
+use serde::{Deserialize, Serialize};
+
+/// Analysis configuration for a report.
+#[derive(Debug, Clone, Copy)]
+pub struct ReportConfig {
+    /// Unknown handling for Φ.
+    pub policy: UnknownPolicy,
+    /// HAC linkage.
+    pub linkage: Linkage,
+    /// Adaptive threshold parameters.
+    pub adaptive: AdaptiveThreshold,
+    /// Change detector parameters.
+    pub detector: ChangeDetector,
+    /// Worker threads for the all-pairs similarity.
+    pub threads: usize,
+}
+
+impl Default for ReportConfig {
+    fn default() -> Self {
+        ReportConfig {
+            policy: UnknownPolicy::KnownOnly,
+            linkage: Linkage::Average,
+            adaptive: AdaptiveThreshold::default(),
+            detector: ChangeDetector {
+                policy: UnknownPolicy::KnownOnly,
+                ..ChangeDetector::default()
+            },
+            threads: 4,
+        }
+    }
+}
+
+/// A change event annotated with its dominant catchment flow.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnnotatedEvent {
+    /// The detected change.
+    pub event: DetectedEvent,
+    /// Largest off-diagonal flow across the event, as
+    /// `(from, to, weight)`.
+    pub top_flow: Option<(String, String, f64)>,
+}
+
+/// The digest of one analysis run.
+#[derive(Debug, Clone)]
+pub struct OperatorReport {
+    /// Mode decomposition.
+    pub modes: ModeAnalysis,
+    /// The all-pairs similarity backing the modes.
+    pub similarity: SimilarityMatrix,
+    /// Detected change events with their dominant flows.
+    pub events: Vec<AnnotatedEvent>,
+    /// For the latest observation: `(mode id, mean Φ)` of the most similar
+    /// historical mode — the "is this new?" answer.
+    pub latest_match: Option<(usize, f64)>,
+}
+
+impl OperatorReport {
+    /// Run the full analysis.
+    pub fn generate(series: &VectorSeries, w: &Weights, cfg: &ReportConfig) -> Result<Self> {
+        let sim = SimilarityMatrix::compute_parallel(series, w, cfg.policy, cfg.threads)?;
+        let modes = ModeAnalysis::discover(&sim, &series.times(), cfg.linkage, cfg.adaptive)?;
+        let raw_events = cfg.detector.detect(series, w);
+        let num_sites = series.sites().len();
+        let events = raw_events
+            .into_iter()
+            .map(|event| {
+                let i = event.index;
+                let top_flow = if i > 0 {
+                    TransitionMatrix::compute(series.get(i - 1), series.get(i), num_sites)
+                        .ok()
+                        .and_then(|t| {
+                            t.top_flows(series.sites(), 1)
+                                .into_iter()
+                                .next()
+                                .map(|f| (f.from, f.to, f.weight))
+                        })
+                } else {
+                    None
+                };
+                AnnotatedEvent { event, top_flow }
+            })
+            .collect();
+        // Compare the latest observation against all *earlier* modes.
+        let latest_match = if series.len() >= 2 && modes.len() >= 2 {
+            let last_idx = series.len() - 1;
+            let last_mode = modes.labels[last_idx];
+            modes.most_similar_mode(&sim, last_mode)
+        } else {
+            None
+        };
+        Ok(OperatorReport {
+            modes,
+            similarity: sim,
+            events,
+            latest_match,
+        })
+    }
+
+    /// Render the digest.
+    pub fn render(&self) -> String {
+        let mut out = String::from("── Fenrir operator report ──\n");
+        out.push_str(&format!(
+            "{} observations, {} modes (threshold {:.2})\n\n",
+            self.modes.labels.len(),
+            self.modes.len(),
+            self.modes.threshold
+        ));
+        out.push_str(&self.modes.summary());
+        out.push_str(&format!("\n{} change events:\n", self.events.len()));
+        for a in &self.events {
+            out.push_str(&format!(
+                "  {}: Φ fell {:.3} (baseline {:.3})",
+                a.event.time, a.event.magnitude, a.event.baseline
+            ));
+            if let Some((from, to, w)) = &a.top_flow {
+                out.push_str(&format!("  — top flow {from} → {to} ({w:.0})"));
+            }
+            out.push('\n');
+        }
+        match self.latest_match {
+            Some((mode, phi)) => out.push_str(&format!(
+                "\ncurrent routing is most like historical mode ({}) with mean Φ = {phi:.2}\n",
+                roman(mode + 1)
+            )),
+            None => out.push_str("\nno earlier mode to compare the current routing against\n"),
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{SiteId, SiteTable};
+    use crate::time::Timestamp;
+    use crate::vector::{Catchment, RoutingVector};
+
+    /// A A A A B B A A — one drain that reverts.
+    fn series() -> (VectorSeries, Weights) {
+        let sites = SiteTable::from_names(["LAX", "AMS"]);
+        let mut s = VectorSeries::new(sites, 6);
+        for d in 0..12 {
+            let site = if (4..6).contains(&d) { SiteId(1) } else { SiteId(0) };
+            s.push(RoutingVector::from_catchments(
+                Timestamp::from_days(d),
+                vec![Catchment::Site(site); 6],
+            ))
+            .unwrap();
+        }
+        (s, Weights::uniform(6))
+    }
+
+    #[test]
+    fn report_covers_all_sections() {
+        let (s, w) = series();
+        let r = OperatorReport::generate(&s, &w, &ReportConfig::default()).unwrap();
+        assert_eq!(r.modes.len(), 2);
+        // The 2-day drain's onset and recovery fall within the default
+        // merge gap, so they surface as one operational event.
+        assert_eq!(r.events.len(), 1, "drain burst merges to one event");
+        // The onset's dominant flow leaves LAX.
+        let (from, to, weight) = r.events[0].top_flow.clone().unwrap();
+        assert_eq!(from, "LAX");
+        assert_eq!(to, "AMS");
+        assert_eq!(weight, 6.0);
+        // The latest observation is back in mode (i); its most similar
+        // *other* mode is the drain mode.
+        let (mode, phi) = r.latest_match.unwrap();
+        assert_eq!(mode, 1);
+        assert!(phi < 0.5);
+        let text = r.render();
+        assert!(text.contains("operator report"));
+        assert!(text.contains("change events"));
+        assert!(text.contains("LAX → AMS"));
+    }
+
+    #[test]
+    fn quiet_series_has_no_events() {
+        let sites = SiteTable::from_names(["X"]);
+        let mut s = VectorSeries::new(sites, 2);
+        for d in 0..6 {
+            s.push(RoutingVector::from_catchments(
+                Timestamp::from_days(d),
+                vec![Catchment::Site(SiteId(0)); 2],
+            ))
+            .unwrap();
+        }
+        let w = Weights::uniform(2);
+        let r = OperatorReport::generate(&s, &w, &ReportConfig::default()).unwrap();
+        assert!(r.events.is_empty());
+        assert_eq!(r.modes.len(), 1);
+        assert!(r.latest_match.is_none());
+        assert!(r.render().contains("no earlier mode"));
+    }
+
+    #[test]
+    fn empty_series_is_an_error() {
+        let sites = SiteTable::from_names(["X"]);
+        let s = VectorSeries::new(sites, 1);
+        let w = Weights::uniform(1);
+        assert!(OperatorReport::generate(&s, &w, &ReportConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,308 @@
+//! Time series of routing vectors.
+//!
+//! A [`VectorSeries`] is the unit every downstream analysis consumes: an
+//! ordered sequence of [`RoutingVector`]s over the *same* network population,
+//! together with the [`SiteTable`] naming the catchment states. The series
+//! enforces the two invariants the math of §2.6 relies on:
+//!
+//! 1. every vector has the same length `N` (elements are positionally
+//!    aligned across time), and
+//! 2. vectors are strictly ordered by timestamp (no duplicates).
+
+use crate::error::{Error, Result};
+use crate::ids::SiteTable;
+use crate::time::Timestamp;
+use crate::vector::{Aggregate, RoutingVector};
+use serde::{Deserialize, Serialize};
+
+/// An ordered, positionally-aligned sequence of routing vectors.
+///
+/// ```
+/// use fenrir_core::prelude::*;
+///
+/// let sites = SiteTable::from_names(["LAX", "AMS"]);
+/// let mut s = VectorSeries::new(sites, 2);
+/// s.push(RoutingVector::unknown(Timestamp::from_days(0), 2)).unwrap();
+/// s.push(RoutingVector::unknown(Timestamp::from_days(1), 2)).unwrap();
+/// assert_eq!(s.len(), 2);
+/// assert!(s.push(RoutingVector::unknown(Timestamp::from_days(1), 2)).is_err());
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VectorSeries {
+    sites: SiteTable,
+    networks: usize,
+    vectors: Vec<RoutingVector>,
+}
+
+impl VectorSeries {
+    /// Empty series over `networks` positional network slots.
+    pub fn new(sites: SiteTable, networks: usize) -> Self {
+        VectorSeries {
+            sites,
+            networks,
+            vectors: Vec::new(),
+        }
+    }
+
+    /// Build from pre-collected vectors. Vectors are sorted by time; errors
+    /// on a length mismatch or duplicate timestamp.
+    pub fn from_vectors(
+        sites: SiteTable,
+        networks: usize,
+        mut vectors: Vec<RoutingVector>,
+    ) -> Result<Self> {
+        vectors.sort_by_key(|v| v.time());
+        for v in &vectors {
+            if v.len() != networks {
+                return Err(Error::ShapeMismatch {
+                    what: "routing vector",
+                    expected: networks,
+                    actual: v.len(),
+                });
+            }
+        }
+        for w in vectors.windows(2) {
+            if w[0].time() == w[1].time() {
+                return Err(Error::InvalidParameter {
+                    name: "vectors",
+                    message: format!("duplicate timestamp {}", w[0].time()),
+                });
+            }
+        }
+        Ok(VectorSeries {
+            sites,
+            networks,
+            vectors,
+        })
+    }
+
+    /// Append a vector. Must be later than the last one and of matching
+    /// length.
+    pub fn push(&mut self, v: RoutingVector) -> Result<()> {
+        if v.len() != self.networks {
+            return Err(Error::ShapeMismatch {
+                what: "routing vector",
+                expected: self.networks,
+                actual: v.len(),
+            });
+        }
+        if let Some(last) = self.vectors.last() {
+            if v.time() <= last.time() {
+                return Err(Error::InvalidParameter {
+                    name: "vector.time",
+                    message: format!(
+                        "out of order: {} does not follow {}",
+                        v.time(),
+                        last.time()
+                    ),
+                });
+            }
+        }
+        self.vectors.push(v);
+        Ok(())
+    }
+
+    /// The site table naming this service's catchments.
+    pub fn sites(&self) -> &SiteTable {
+        &self.sites
+    }
+
+    /// Mutable access to the site table (e.g. to intern a site discovered
+    /// mid-measurement).
+    pub fn sites_mut(&mut self) -> &mut SiteTable {
+        &mut self.sites
+    }
+
+    /// Number of network slots `N`.
+    pub fn networks(&self) -> usize {
+        self.networks
+    }
+
+    /// Number of observation times `|T|`.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Whether the series holds no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Vector at position `i` (time order).
+    pub fn get(&self, i: usize) -> &RoutingVector {
+        &self.vectors[i]
+    }
+
+    /// Mutable vector at position `i`.
+    pub fn get_mut(&mut self, i: usize) -> &mut RoutingVector {
+        &mut self.vectors[i]
+    }
+
+    /// All vectors in time order.
+    pub fn vectors(&self) -> &[RoutingVector] {
+        &self.vectors
+    }
+
+    /// Mutable access to all vectors (cleaning passes use this).
+    pub fn vectors_mut(&mut self) -> &mut [RoutingVector] {
+        &mut self.vectors
+    }
+
+    /// Timestamps in order.
+    pub fn times(&self) -> Vec<Timestamp> {
+        self.vectors.iter().map(|v| v.time()).collect()
+    }
+
+    /// Position of the vector at exactly time `t`.
+    pub fn index_of(&self, t: Timestamp) -> Result<usize> {
+        self.vectors
+            .binary_search_by_key(&t, |v| v.time())
+            .map_err(|_| Error::NoSuchTime(t.as_secs()))
+    }
+
+    /// Vector at exactly time `t`.
+    pub fn at(&self, t: Timestamp) -> Result<&RoutingVector> {
+        self.index_of(t).map(|i| &self.vectors[i])
+    }
+
+    /// Aggregate `A(t)` for every observation time — the input to the
+    /// paper's stack plots (Figures 1, 2a, 3a, 6a).
+    pub fn aggregates(&self) -> Vec<Aggregate> {
+        let s = self.sites.len();
+        self.vectors.iter().map(|v| v.aggregate(s)).collect()
+    }
+
+    /// Sub-series covering `[from, to]` inclusive (e.g. the paper's
+    /// "blue-boxed region" of Figure 3 for the latency study).
+    pub fn slice_time(&self, from: Timestamp, to: Timestamp) -> VectorSeries {
+        let vectors: Vec<RoutingVector> = self
+            .vectors
+            .iter()
+            .filter(|v| v.time() >= from && v.time() <= to)
+            .cloned()
+            .collect();
+        VectorSeries {
+            sites: self.sites.clone(),
+            networks: self.networks,
+            vectors,
+        }
+    }
+
+    /// Mean fraction of networks with a known state across the series.
+    pub fn mean_coverage(&self) -> f64 {
+        if self.vectors.is_empty() {
+            return 0.0;
+        }
+        self.vectors.iter().map(|v| v.coverage()).sum::<f64>() / self.vectors.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::Catchment;
+
+    fn ts(d: i64) -> Timestamp {
+        Timestamp::from_days(d)
+    }
+
+    fn table() -> SiteTable {
+        SiteTable::from_names(["A", "B"])
+    }
+
+    #[test]
+    fn push_enforces_length() {
+        let mut s = VectorSeries::new(table(), 3);
+        let err = s.push(RoutingVector::unknown(ts(0), 2)).unwrap_err();
+        assert!(matches!(err, Error::ShapeMismatch { expected: 3, actual: 2, .. }));
+    }
+
+    #[test]
+    fn push_enforces_time_order() {
+        let mut s = VectorSeries::new(table(), 1);
+        s.push(RoutingVector::unknown(ts(5), 1)).unwrap();
+        assert!(s.push(RoutingVector::unknown(ts(5), 1)).is_err());
+        assert!(s.push(RoutingVector::unknown(ts(4), 1)).is_err());
+        assert!(s.push(RoutingVector::unknown(ts(6), 1)).is_ok());
+    }
+
+    #[test]
+    fn from_vectors_sorts_by_time() {
+        let v = vec![
+            RoutingVector::unknown(ts(2), 1),
+            RoutingVector::unknown(ts(0), 1),
+            RoutingVector::unknown(ts(1), 1),
+        ];
+        let s = VectorSeries::from_vectors(table(), 1, v).unwrap();
+        assert_eq!(
+            s.times(),
+            vec![ts(0), ts(1), ts(2)]
+        );
+    }
+
+    #[test]
+    fn from_vectors_rejects_duplicates() {
+        let v = vec![
+            RoutingVector::unknown(ts(1), 1),
+            RoutingVector::unknown(ts(1), 1),
+        ];
+        assert!(VectorSeries::from_vectors(table(), 1, v).is_err());
+    }
+
+    #[test]
+    fn from_vectors_rejects_bad_length() {
+        let v = vec![RoutingVector::unknown(ts(1), 2)];
+        assert!(VectorSeries::from_vectors(table(), 1, v).is_err());
+    }
+
+    #[test]
+    fn index_and_at() {
+        let mut s = VectorSeries::new(table(), 1);
+        s.push(RoutingVector::unknown(ts(0), 1)).unwrap();
+        s.push(RoutingVector::unknown(ts(7), 1)).unwrap();
+        assert_eq!(s.index_of(ts(7)).unwrap(), 1);
+        assert_eq!(s.at(ts(0)).unwrap().time(), ts(0));
+        assert!(matches!(s.at(ts(3)), Err(Error::NoSuchTime(_))));
+    }
+
+    #[test]
+    fn slice_time_is_inclusive() {
+        let mut s = VectorSeries::new(table(), 1);
+        for d in 0..10 {
+            s.push(RoutingVector::unknown(ts(d), 1)).unwrap();
+        }
+        let sub = s.slice_time(ts(3), ts(6));
+        assert_eq!(sub.len(), 4);
+        assert_eq!(sub.get(0).time(), ts(3));
+        assert_eq!(sub.get(3).time(), ts(6));
+    }
+
+    #[test]
+    fn mean_coverage() {
+        let mut s = VectorSeries::new(table(), 2);
+        let mut v0 = RoutingVector::unknown(ts(0), 2);
+        v0.set(0, Catchment::Site(crate::ids::SiteId(0)));
+        s.push(v0).unwrap(); // coverage 0.5
+        s.push(RoutingVector::unknown(ts(1), 2)).unwrap(); // coverage 0.0
+        assert!((s.mean_coverage() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_series_mean_coverage_zero() {
+        let s = VectorSeries::new(table(), 2);
+        assert_eq!(s.mean_coverage(), 0.0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn aggregates_align_with_vectors() {
+        let mut s = VectorSeries::new(table(), 2);
+        let mut v = RoutingVector::unknown(ts(0), 2);
+        v.set(0, Catchment::Site(crate::ids::SiteId(1)));
+        s.push(v).unwrap();
+        let a = s.aggregates();
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].per_site, vec![0, 1]);
+        assert_eq!(a[0].unknown, 1);
+    }
+}

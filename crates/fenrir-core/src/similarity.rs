@@ -1,0 +1,642 @@
+//! Pairwise comparison of routing vectors (§2.6.1 of the paper).
+//!
+//! Fenrir adopts a weighted Gower similarity between two routing vectors
+//! `D(t)` and `D(t′)`. Element `n` *matches* when both vectors place it in
+//! the same catchment and that catchment is known:
+//!
+//! ```text
+//! M(t,t′,n) = 1  if D(t,n) = D(t′,n) ∧ D(t,n) ≠ unknown
+//!             0  otherwise
+//!
+//! Φ(t,t′) = Σ_n M(t,t′,n)·D_w(n) / Σ_n D_w(n)
+//! ```
+//!
+//! `Φ` is the weighted fraction of networks whose catchment is *the same* in
+//! both vectors — "is routing 80% like last month?".
+//!
+//! Two [`UnknownPolicy`]s are provided. [`UnknownPolicy::Pessimistic`] is the
+//! paper's default and treats any unknown as a non-match, which caps Φ at the
+//! known fraction (the paper observes Verfploeter's ~50% non-response pins
+//! stable-routing Φ to 0.5–0.6). [`UnknownPolicy::KnownOnly`] is the paper's
+//! stated ongoing work: it drops networks that are unknown in either vector
+//! from both numerator and denominator, so Φ measures similarity *of known
+//! networks* and stable routing scores near 1.0.
+
+use crate::error::{Error, Result};
+use crate::series::VectorSeries;
+use crate::vector::{RoutingVector, CODE_UNKNOWN};
+use crate::weight::Weights;
+use serde::{Deserialize, Serialize};
+
+/// How unknown observations enter Φ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum UnknownPolicy {
+    /// Paper default (§2.6.1): an unknown on either side is a non-match and
+    /// its weight stays in the denominator. Pessimistic — imperfect coverage
+    /// depresses Φ.
+    #[default]
+    Pessimistic,
+    /// Paper's stated ongoing work: networks unknown in either vector are
+    /// excluded from numerator *and* denominator, so Φ compares only
+    /// commonly-known networks. Returns 0 when nothing is commonly known.
+    KnownOnly,
+}
+
+/// Weighted Gower similarity `Φ(t,t′) ∈ [0, 1]` between two vectors.
+///
+/// # Panics
+///
+/// Debug-asserts that both vectors and the weights have equal length; use
+/// [`phi_checked`] for a fallible variant.
+pub fn phi(a: &RoutingVector, b: &RoutingVector, w: &Weights, policy: UnknownPolicy) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "vector lengths differ");
+    debug_assert_eq!(a.len(), w.len(), "weights length differs");
+    let wa = w.values();
+    match policy {
+        UnknownPolicy::Pessimistic => {
+            let mut num = 0.0;
+            for ((&ca, &cb), &wn) in a.codes().iter().zip(b.codes()).zip(wa) {
+                if ca == cb && ca != CODE_UNKNOWN {
+                    num += wn;
+                }
+            }
+            if w.total() == 0.0 {
+                0.0
+            } else {
+                num / w.total()
+            }
+        }
+        UnknownPolicy::KnownOnly => {
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for ((&ca, &cb), &wn) in a.codes().iter().zip(b.codes()).zip(wa) {
+                if ca == CODE_UNKNOWN || cb == CODE_UNKNOWN {
+                    continue;
+                }
+                den += wn;
+                if ca == cb {
+                    num += wn;
+                }
+            }
+            if den == 0.0 {
+                0.0
+            } else {
+                num / den
+            }
+        }
+    }
+}
+
+/// Fallible wrapper around [`phi`] validating shapes (for callers handling
+/// untrusted data).
+pub fn phi_checked(
+    a: &RoutingVector,
+    b: &RoutingVector,
+    w: &Weights,
+    policy: UnknownPolicy,
+) -> Result<f64> {
+    if a.len() != b.len() {
+        return Err(Error::ShapeMismatch {
+            what: "routing vector pair",
+            expected: a.len(),
+            actual: b.len(),
+        });
+    }
+    if w.len() != a.len() {
+        return Err(Error::ShapeMismatch {
+            what: "weights",
+            expected: a.len(),
+            actual: w.len(),
+        });
+    }
+    Ok(phi(a, b, w, policy))
+}
+
+/// Gower *distance* `1 − Φ` — what the clustering operates on.
+pub fn gower_distance(
+    a: &RoutingVector,
+    b: &RoutingVector,
+    w: &Weights,
+    policy: UnknownPolicy,
+) -> f64 {
+    1.0 - phi(a, b, w, policy)
+}
+
+/// Symmetric all-pairs similarity matrix over a series — the backing data of
+/// the paper's heatmaps (Figures 2b, 3b, 5, 6b) and the input to clustering.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimilarityMatrix {
+    n: usize,
+    /// Row-major `n × n`, symmetric, diagonal = Φ(t,t).
+    values: Vec<f64>,
+}
+
+impl SimilarityMatrix {
+    /// Compute Φ for all pairs of vectors in `series`, sequentially.
+    ///
+    /// Errors if the series is empty or weights mismatch the population.
+    pub fn compute(series: &VectorSeries, w: &Weights, policy: UnknownPolicy) -> Result<Self> {
+        Self::validate(series, w)?;
+        let n = series.len();
+        let mut values = vec![0.0; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let p = phi(series.get(i), series.get(j), w, policy);
+                values[i * n + j] = p;
+                values[j * n + i] = p;
+            }
+        }
+        Ok(SimilarityMatrix { n, values })
+    }
+
+    /// Like [`SimilarityMatrix::compute`] but splits rows across `threads`
+    /// OS threads with `crossbeam::scope`. All-pairs Φ is `O(|T|²·N)` and is
+    /// the dominant cost on multi-year datasets.
+    pub fn compute_parallel(
+        series: &VectorSeries,
+        w: &Weights,
+        policy: UnknownPolicy,
+        threads: usize,
+    ) -> Result<Self> {
+        Self::validate(series, w)?;
+        let n = series.len();
+        let threads = threads.max(1).min(n);
+        let mut values = vec![0.0; n * n];
+        {
+            // Hand each worker a disjoint set of rows (strided so the upper
+            // triangle's shrinking rows balance out).
+            let chunks: Vec<&mut [f64]> = values.chunks_mut(n).collect();
+            let mut per_thread: Vec<Vec<(usize, &mut [f64])>> =
+                (0..threads).map(|_| Vec::new()).collect();
+            for (i, row) in chunks.into_iter().enumerate() {
+                per_thread[i % threads].push((i, row));
+            }
+            crossbeam::scope(|scope| {
+                for rows in per_thread {
+                    scope.spawn(move |_| {
+                        for (i, row) in rows {
+                            let a = series.get(i);
+                            // Lower triangle only; mirrored below. Halves
+                            // the Φ evaluations versus the full square.
+                            for (j, cell) in row.iter_mut().enumerate().take(i + 1) {
+                                *cell = phi(a, series.get(j), w, policy);
+                            }
+                        }
+                    });
+                }
+            })
+            .expect("similarity worker panicked");
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                values[i * n + j] = values[j * n + i];
+            }
+        }
+        Ok(SimilarityMatrix { n, values })
+    }
+
+    fn validate(series: &VectorSeries, w: &Weights) -> Result<()> {
+        if series.is_empty() {
+            return Err(Error::EmptyInput("vector series"));
+        }
+        if w.len() != series.networks() {
+            return Err(Error::ShapeMismatch {
+                what: "weights",
+                expected: series.networks(),
+                actual: w.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Extend an existing matrix with rows/columns for observations newly
+    /// appended to `series` — the daily-operations path: an operator adds
+    /// one observation per sweep and must not recompute `O(|T|²·N)` history.
+    ///
+    /// The first `self.len()` observations of `series` must be the ones
+    /// this matrix was computed from; a corner cell is recomputed as a
+    /// cheap spot check and a mismatch is rejected. Only the
+    /// `series.len() − self.len()` new rows are computed, each `O(|T|·N)`.
+    ///
+    /// Errors if the series is shorter than the matrix, weights mismatch,
+    /// or the spot check fails.
+    pub fn extend(
+        &mut self,
+        series: &VectorSeries,
+        w: &Weights,
+        policy: UnknownPolicy,
+    ) -> Result<()> {
+        Self::validate(series, w)?;
+        let old_n = self.n;
+        let new_n = series.len();
+        if new_n < old_n {
+            return Err(Error::ShapeMismatch {
+                what: "extended series",
+                expected: old_n,
+                actual: new_n,
+            });
+        }
+        if new_n == old_n {
+            return Ok(());
+        }
+        // Spot check: the most distant stored pair must still reproduce.
+        let check = phi(series.get(0), series.get(old_n - 1), w, policy);
+        if (check - self.get(0, old_n - 1)).abs() > 1e-12 {
+            return Err(Error::InvalidParameter {
+                name: "series",
+                message: format!(
+                    "prefix changed since the matrix was computed: Φ(0, {}) is {check},                      matrix has {}",
+                    old_n - 1,
+                    self.get(0, old_n - 1)
+                ),
+            });
+        }
+        // Re-embed the old matrix into the larger buffer.
+        let mut values = vec![0.0; new_n * new_n];
+        for i in 0..old_n {
+            values[i * new_n..i * new_n + old_n]
+                .copy_from_slice(&self.values[i * old_n..(i + 1) * old_n]);
+        }
+        for i in old_n..new_n {
+            let a = series.get(i);
+            for j in 0..=i {
+                let p = phi(a, series.get(j), w, policy);
+                values[i * new_n + j] = p;
+                values[j * new_n + i] = p;
+            }
+        }
+        self.n = new_n;
+        self.values = values;
+        Ok(())
+    }
+
+    /// Build from a precomputed row-major `n × n` buffer (used by tests and
+    /// deserialization paths).
+    pub fn from_raw(n: usize, values: Vec<f64>) -> Result<Self> {
+        if values.len() != n * n {
+            return Err(Error::ShapeMismatch {
+                what: "similarity matrix buffer",
+                expected: n * n,
+                actual: values.len(),
+            });
+        }
+        Ok(SimilarityMatrix { n, values })
+    }
+
+    /// Matrix dimension (number of observation times).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix is 0×0.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// `Φ` between observations `i` and `j`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.values[i * self.n + j]
+    }
+
+    /// Gower distance `1 − Φ` between observations `i` and `j`.
+    #[inline]
+    pub fn distance(&self, i: usize, j: usize) -> f64 {
+        1.0 - self.get(i, j)
+    }
+
+    /// Row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.values[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Raw row-major buffer.
+    pub fn raw(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// `[min, max]` of Φ over a set of index pairs — the paper reports mode
+    /// similarity as ranges like `Φ in [0.31, 0.65]`.
+    pub fn range_over<I: IntoIterator<Item = (usize, usize)>>(&self, pairs: I) -> Option<(f64, f64)> {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        let mut any = false;
+        for (i, j) in pairs {
+            let v = self.get(i, j);
+            lo = lo.min(v);
+            hi = hi.max(v);
+            any = true;
+        }
+        any.then_some((lo, hi))
+    }
+
+    /// Φ range over all distinct pairs within one group of indices —
+    /// intra-mode similarity. Returns `None` for groups with <2 members.
+    pub fn intra_range(&self, group: &[usize]) -> Option<(f64, f64)> {
+        let mut pairs = Vec::new();
+        for (k, &i) in group.iter().enumerate() {
+            for &j in &group[k + 1..] {
+                pairs.push((i, j));
+            }
+        }
+        self.range_over(pairs)
+    }
+
+    /// Φ range over the cross product of two groups — inter-mode similarity
+    /// like the paper's `Φ(M_i, M_ii) = [0.11, 0.48]`.
+    pub fn inter_range(&self, a: &[usize], b: &[usize]) -> Option<(f64, f64)> {
+        let mut pairs = Vec::new();
+        for &i in a {
+            for &j in b {
+                pairs.push((i, j));
+            }
+        }
+        self.range_over(pairs)
+    }
+
+    /// Mean Φ over the cross product of two groups.
+    pub fn inter_mean(&self, a: &[usize], b: &[usize]) -> Option<f64> {
+        if a.is_empty() || b.is_empty() {
+            return None;
+        }
+        let mut sum = 0.0;
+        for &i in a {
+            for &j in b {
+                sum += self.get(i, j);
+            }
+        }
+        Some(sum / (a.len() * b.len()) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{SiteId, SiteTable};
+    use crate::time::Timestamp;
+    use crate::vector::Catchment;
+
+    fn ts(d: i64) -> Timestamp {
+        Timestamp::from_days(d)
+    }
+
+    fn v(d: i64, cs: &[Catchment]) -> RoutingVector {
+        RoutingVector::from_catchments(ts(d), cs.to_vec())
+    }
+
+    fn s(n: u16) -> Catchment {
+        Catchment::Site(SiteId(n))
+    }
+
+    #[test]
+    fn identical_known_vectors_have_phi_one() {
+        let a = v(0, &[s(0), s(1), Catchment::Err]);
+        let b = v(1, &[s(0), s(1), Catchment::Err]);
+        let w = Weights::uniform(3);
+        assert_eq!(phi(&a, &b, &w, UnknownPolicy::Pessimistic), 1.0);
+        assert_eq!(phi(&a, &b, &w, UnknownPolicy::KnownOnly), 1.0);
+    }
+
+    #[test]
+    fn fully_disjoint_vectors_have_phi_zero() {
+        let a = v(0, &[s(0), s(0)]);
+        let b = v(1, &[s(1), s(1)]);
+        let w = Weights::uniform(2);
+        assert_eq!(phi(&a, &b, &w, UnknownPolicy::Pessimistic), 0.0);
+    }
+
+    #[test]
+    fn pessimistic_counts_unknown_as_changed() {
+        // Both unknown at slot 1 — still a non-match under the paper rule.
+        let a = v(0, &[s(0), Catchment::Unknown]);
+        let b = v(1, &[s(0), Catchment::Unknown]);
+        let w = Weights::uniform(2);
+        assert_eq!(phi(&a, &b, &w, UnknownPolicy::Pessimistic), 0.5);
+    }
+
+    #[test]
+    fn known_only_drops_unknowns_from_denominator() {
+        let a = v(0, &[s(0), Catchment::Unknown, s(1)]);
+        let b = v(1, &[s(0), s(2), Catchment::Unknown]);
+        let w = Weights::uniform(3);
+        // Only slot 0 is known on both sides, and it matches.
+        assert_eq!(phi(&a, &b, &w, UnknownPolicy::KnownOnly), 1.0);
+    }
+
+    #[test]
+    fn known_only_with_nothing_known_is_zero() {
+        let a = v(0, &[Catchment::Unknown]);
+        let b = v(1, &[Catchment::Unknown]);
+        let w = Weights::uniform(1);
+        assert_eq!(phi(&a, &b, &w, UnknownPolicy::KnownOnly), 0.0);
+    }
+
+    #[test]
+    fn verfploeter_ceiling_effect() {
+        // Paper: with ~half the networks unknown, a stable catchment shows
+        // Φ between 0.5 and 0.6 under the pessimistic policy.
+        let n = 1000;
+        let cs: Vec<Catchment> = (0..n)
+            .map(|i| if i % 2 == 0 { s(0) } else { Catchment::Unknown })
+            .collect();
+        let a = RoutingVector::from_catchments(ts(0), cs.clone());
+        let b = RoutingVector::from_catchments(ts(1), cs);
+        let w = Weights::uniform(n);
+        let p = phi(&a, &b, &w, UnknownPolicy::Pessimistic);
+        assert!((p - 0.5).abs() < 1e-12);
+        // Known-only lifts the ceiling back to 1.0.
+        assert_eq!(phi(&a, &b, &w, UnknownPolicy::KnownOnly), 1.0);
+    }
+
+    #[test]
+    fn weights_shift_phi() {
+        let a = v(0, &[s(0), s(1)]);
+        let b = v(1, &[s(0), s(2)]);
+        // Slot 0 matches; weight it 3x as heavy as slot 1.
+        let w = Weights::from_values(vec![3.0, 1.0]).unwrap();
+        assert!((phi(&a, &b, &w, UnknownPolicy::Pessimistic) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phi_is_symmetric() {
+        let a = v(0, &[s(0), Catchment::Unknown, s(2), Catchment::Err]);
+        let b = v(1, &[s(1), s(1), s(2), Catchment::Unknown]);
+        let w = Weights::from_values(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        for p in [UnknownPolicy::Pessimistic, UnknownPolicy::KnownOnly] {
+            assert_eq!(phi(&a, &b, &w, p), phi(&b, &a, &w, p));
+        }
+    }
+
+    #[test]
+    fn err_and_other_are_matchable_states() {
+        // The err state is a real observation; two vectors that both put a
+        // network in err agree (the paper's transition matrices treat err as
+        // a state).
+        let a = v(0, &[Catchment::Err, Catchment::Other]);
+        let b = v(1, &[Catchment::Err, Catchment::Other]);
+        let w = Weights::uniform(2);
+        assert_eq!(phi(&a, &b, &w, UnknownPolicy::Pessimistic), 1.0);
+    }
+
+    #[test]
+    fn checked_rejects_mismatched_shapes() {
+        let a = v(0, &[s(0)]);
+        let b = v(1, &[s(0), s(1)]);
+        let w = Weights::uniform(1);
+        assert!(phi_checked(&a, &b, &w, UnknownPolicy::Pessimistic).is_err());
+        let b1 = v(1, &[s(0)]);
+        let w2 = Weights::uniform(2);
+        assert!(phi_checked(&a, &b1, &w2, UnknownPolicy::Pessimistic).is_err());
+        assert!(phi_checked(&a, &b1, &w, UnknownPolicy::Pessimistic).is_ok());
+    }
+
+    #[test]
+    fn distance_is_one_minus_phi() {
+        let a = v(0, &[s(0), s(1)]);
+        let b = v(1, &[s(0), s(2)]);
+        let w = Weights::uniform(2);
+        let d = gower_distance(&a, &b, &w, UnknownPolicy::Pessimistic);
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    fn small_series() -> (VectorSeries, Weights) {
+        let sites = SiteTable::from_names(["A", "B", "C"]);
+        let vs = vec![
+            v(0, &[s(0), s(0), s(1), s(2)]),
+            v(1, &[s(0), s(0), s(1), s(2)]),
+            v(2, &[s(1), s(1), s(1), s(2)]),
+            v(3, &[s(1), s(1), s(2), s(2)]),
+        ];
+        let series = VectorSeries::from_vectors(sites, 4, vs).unwrap();
+        let w = Weights::uniform(4);
+        (series, w)
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let (series, w) = small_series();
+        let m = SimilarityMatrix::compute(&series, &w, UnknownPolicy::Pessimistic).unwrap();
+        for i in 0..4 {
+            assert_eq!(m.get(i, i), 1.0);
+            for j in 0..4 {
+                assert_eq!(m.get(i, j), m.get(j, i));
+            }
+        }
+        assert_eq!(m.get(0, 1), 1.0);
+        assert!((m.get(0, 2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (series, w) = small_series();
+        let a = SimilarityMatrix::compute(&series, &w, UnknownPolicy::Pessimistic).unwrap();
+        for threads in [1, 2, 3, 8] {
+            let b = SimilarityMatrix::compute_parallel(
+                &series,
+                &w,
+                UnknownPolicy::Pessimistic,
+                threads,
+            )
+            .unwrap();
+            assert_eq!(a, b, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn extend_matches_full_recompute() {
+        let (series, w) = small_series();
+        // Compute over the 2-observation prefix, then extend to 4.
+        let prefix = series.slice_time(
+            series.get(0).time(),
+            series.get(1).time(),
+        );
+        for policy in [UnknownPolicy::Pessimistic, UnknownPolicy::KnownOnly] {
+            let mut m = SimilarityMatrix::compute(&prefix, &w, policy).unwrap();
+            m.extend(&series, &w, policy).unwrap();
+            let full = SimilarityMatrix::compute(&series, &w, policy).unwrap();
+            assert_eq!(m, full, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn extend_is_a_noop_for_same_length() {
+        let (series, w) = small_series();
+        let mut m = SimilarityMatrix::compute(&series, &w, UnknownPolicy::Pessimistic).unwrap();
+        let before = m.clone();
+        m.extend(&series, &w, UnknownPolicy::Pessimistic).unwrap();
+        assert_eq!(m, before);
+    }
+
+    #[test]
+    fn extend_rejects_changed_prefix() {
+        let (series, w) = small_series();
+        let prefix = series.slice_time(series.get(0).time(), series.get(1).time());
+        let mut m = SimilarityMatrix::compute(&prefix, &w, UnknownPolicy::Pessimistic).unwrap();
+        // Mutate the prefix region before extending.
+        let mut altered = series.clone();
+        for c in altered.get_mut(1).codes_mut() {
+            *c = 2;
+        }
+        assert!(
+            m.extend(&altered, &w, UnknownPolicy::Pessimistic).is_err(),
+            "changed prefix must be rejected"
+        );
+    }
+
+    #[test]
+    fn extend_rejects_shrunken_series() {
+        let (series, w) = small_series();
+        let mut m = SimilarityMatrix::compute(&series, &w, UnknownPolicy::Pessimistic).unwrap();
+        let prefix = series.slice_time(series.get(0).time(), series.get(1).time());
+        assert!(m.extend(&prefix, &w, UnknownPolicy::Pessimistic).is_err());
+    }
+
+    #[test]
+    fn matrix_rejects_empty_series() {
+        let sites = SiteTable::from_names(["A"]);
+        let series = VectorSeries::new(sites, 1);
+        let w = Weights::uniform(1);
+        assert!(matches!(
+            SimilarityMatrix::compute(&series, &w, UnknownPolicy::Pessimistic),
+            Err(Error::EmptyInput(_))
+        ));
+    }
+
+    #[test]
+    fn matrix_rejects_weight_mismatch() {
+        let (series, _) = small_series();
+        let w = Weights::uniform(3);
+        assert!(SimilarityMatrix::compute(&series, &w, UnknownPolicy::Pessimistic).is_err());
+    }
+
+    #[test]
+    fn from_raw_validates_size() {
+        assert!(SimilarityMatrix::from_raw(2, vec![0.0; 3]).is_err());
+        assert!(SimilarityMatrix::from_raw(2, vec![0.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn ranges() {
+        let (series, w) = small_series();
+        let m = SimilarityMatrix::compute(&series, &w, UnknownPolicy::Pessimistic).unwrap();
+        let (lo, hi) = m.intra_range(&[0, 1]).unwrap();
+        assert_eq!((lo, hi), (1.0, 1.0));
+        assert!(m.intra_range(&[0]).is_none());
+        let (lo, hi) = m.inter_range(&[0, 1], &[2, 3]).unwrap();
+        assert!(lo <= hi);
+        assert!(hi <= 1.0 && lo >= 0.0);
+        assert!(m.inter_mean(&[0], &[]).is_none());
+        assert!((m.inter_mean(&[0, 1], &[0, 1]).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_slices() {
+        let (series, w) = small_series();
+        let m = SimilarityMatrix::compute(&series, &w, UnknownPolicy::Pessimistic).unwrap();
+        assert_eq!(m.row(0).len(), 4);
+        assert_eq!(m.row(0)[1], m.get(0, 1));
+        assert_eq!(m.raw().len(), 16);
+    }
+}

@@ -1,0 +1,236 @@
+//! Timestamps for routing vectors.
+//!
+//! Fenrir datasets span cadences from 4-minute Atlas snapshots (used for the
+//! Table 4 validation) to daily Verfploeter sweeps spanning five years, so a
+//! second-resolution integer timestamp covers every case. A tiny proleptic
+//! Gregorian date conversion is included so experiment output can print
+//! `2025-01-16`-style labels exactly as the paper's figures do, without
+//! pulling in a calendar dependency.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Seconds since the Unix epoch (may be negative for pre-1970 synthetic data).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct Timestamp(pub i64);
+
+/// Seconds per day.
+pub const SECS_PER_DAY: i64 = 86_400;
+
+impl Timestamp {
+    /// Construct from raw seconds since the epoch.
+    #[inline]
+    pub fn from_secs(secs: i64) -> Self {
+        Timestamp(secs)
+    }
+
+    /// Construct from whole days since the epoch (midnight UTC).
+    #[inline]
+    pub fn from_days(days: i64) -> Self {
+        Timestamp(days * SECS_PER_DAY)
+    }
+
+    /// Construct from a calendar date (midnight UTC).
+    ///
+    /// `month` is 1-based (1 = January), `day` is 1-based.
+    ///
+    /// ```
+    /// use fenrir_core::time::Timestamp;
+    /// assert_eq!(Timestamp::from_ymd(1970, 1, 1).as_secs(), 0);
+    /// assert_eq!(Timestamp::from_ymd(2025, 1, 16).to_string(), "2025-01-16");
+    /// ```
+    pub fn from_ymd(year: i32, month: u32, day: u32) -> Self {
+        Timestamp::from_days(days_from_civil(year, month, day))
+    }
+
+    /// Raw seconds since the epoch.
+    #[inline]
+    pub fn as_secs(self) -> i64 {
+        self.0
+    }
+
+    /// Whole days since the epoch (floor division, so times within a day map
+    /// to that day).
+    #[inline]
+    pub fn as_days(self) -> i64 {
+        self.0.div_euclid(SECS_PER_DAY)
+    }
+
+    /// Calendar `(year, month, day)` of this timestamp (UTC).
+    pub fn ymd(self) -> (i32, u32, u32) {
+        civil_from_days(self.as_days())
+    }
+
+    /// Seconds of day in `[0, 86400)`.
+    pub fn seconds_of_day(self) -> i64 {
+        self.0.rem_euclid(SECS_PER_DAY)
+    }
+
+    /// Add a number of seconds.
+    #[inline]
+    pub fn plus_secs(self, secs: i64) -> Self {
+        Timestamp(self.0 + secs)
+    }
+
+    /// Add a number of days.
+    #[inline]
+    pub fn plus_days(self, days: i64) -> Self {
+        Timestamp(self.0 + days * SECS_PER_DAY)
+    }
+}
+
+impl Add<i64> for Timestamp {
+    type Output = Timestamp;
+    /// `ts + secs`.
+    fn add(self, secs: i64) -> Timestamp {
+        Timestamp(self.0 + secs)
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = i64;
+    /// Difference in seconds.
+    fn sub(self, other: Timestamp) -> i64 {
+        self.0 - other.0
+    }
+}
+
+impl fmt::Display for Timestamp {
+    /// Renders as `YYYY-MM-DD` when the time is exactly midnight, otherwise
+    /// `YYYY-MM-DD HH:MM:SS` — matching the labels in the paper's figures.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.ymd();
+        let sod = self.seconds_of_day();
+        if sod == 0 {
+            write!(f, "{y:04}-{m:02}-{d:02}")
+        } else {
+            let (h, rem) = (sod / 3600, sod % 3600);
+            let (mi, s) = (rem / 60, rem % 60);
+            write!(f, "{y:04}-{m:02}-{d:02} {h:02}:{mi:02}:{s:02}")
+        }
+    }
+}
+
+/// Days since 1970-01-01 for a proleptic Gregorian date.
+///
+/// Algorithm from Howard Hinnant's public-domain `days_from_civil`.
+pub fn days_from_civil(y: i32, m: u32, d: u32) -> i64 {
+    debug_assert!((1..=12).contains(&m), "month out of range: {m}");
+    debug_assert!((1..=31).contains(&d), "day out of range: {d}");
+    let y = i64::from(y) - i64::from(m <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = i64::from((m + 9) % 12); // [0, 11], March = 0
+    let doy = (153 * mp + 2) / 5 + i64::from(d) - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Inverse of [`days_from_civil`].
+pub fn civil_from_days(z: i64) -> (i32, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    let y = if m <= 2 { y + 1 } else { y };
+    (y as i32, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_1970() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+    }
+
+    #[test]
+    fn known_dates_round_trip() {
+        // Dates that appear in the paper.
+        for &(y, m, d) in &[
+            (2019, 9, 1),
+            (2020, 3, 3),
+            (2023, 3, 6),
+            (2024, 8, 1),
+            (2025, 1, 16),
+            (2025, 3, 19),
+            (2025, 3, 26),
+        ] {
+            let days = days_from_civil(y, m, d);
+            assert_eq!(civil_from_days(days), (y, m, d), "{y}-{m}-{d}");
+        }
+    }
+
+    #[test]
+    fn leap_years() {
+        // 2020 is a leap year; 2020-02-29 exists and is one day before 03-01.
+        assert_eq!(
+            days_from_civil(2020, 3, 1) - days_from_civil(2020, 2, 29),
+            1
+        );
+        // 1900 is not a leap year (divisible by 100, not 400).
+        assert_eq!(
+            days_from_civil(1900, 3, 1) - days_from_civil(1900, 2, 28),
+            1
+        );
+        // 2000 is a leap year (divisible by 400).
+        assert_eq!(
+            days_from_civil(2000, 3, 1) - days_from_civil(2000, 2, 29),
+            1
+        );
+    }
+
+    #[test]
+    fn round_trip_a_wide_range() {
+        // Every 13 days across ~80 years.
+        let mut day = days_from_civil(1960, 1, 1);
+        let end = days_from_civil(2040, 1, 1);
+        while day < end {
+            let (y, m, d) = civil_from_days(day);
+            assert_eq!(days_from_civil(y, m, d), day);
+            day += 13;
+        }
+    }
+
+    #[test]
+    fn display_midnight_is_date_only() {
+        assert_eq!(Timestamp::from_ymd(2025, 1, 16).to_string(), "2025-01-16");
+    }
+
+    #[test]
+    fn display_with_time() {
+        let t = Timestamp::from_ymd(2024, 3, 4).plus_secs(21 * 3600 + 56 * 60);
+        assert_eq!(t.to_string(), "2024-03-04 21:56:00");
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Timestamp::from_days(10);
+        assert_eq!(t.plus_days(5).as_days(), 15);
+        assert_eq!((t + 60).as_secs(), 10 * SECS_PER_DAY + 60);
+        assert_eq!(t.plus_days(5) - t, 5 * SECS_PER_DAY);
+    }
+
+    #[test]
+    fn negative_times() {
+        let t = Timestamp::from_secs(-1);
+        assert_eq!(t.as_days(), -1);
+        assert_eq!(t.seconds_of_day(), SECS_PER_DAY - 1);
+        assert_eq!(civil_from_days(-1), (1969, 12, 31));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Timestamp::from_days(1) < Timestamp::from_days(2));
+    }
+}

@@ -1,0 +1,348 @@
+//! Transition matrices (§2.7, Table 3 of the paper).
+//!
+//! A transition matrix `T(t,t′)` is an `(|S|+3) × (|S|+3)` matrix whose
+//! `(s, s′)` cell counts the networks that were in state `s` at time `t` and
+//! state `s′` at time `t′`. For quiescent routing the matrix is diagonal and
+//! equals `A(t)`; off-diagonal mass localises *who moved where* — e.g. the
+//! paper's Table 3a shows 3097 networks moving STR → NAP during a drain.
+//!
+//! States are the service sites plus the three sentinels (`err`, `other`,
+//! `unknown`), mirroring the paper's rows "sites … plus error and other
+//! states".
+
+use crate::error::{Error, Result};
+use crate::ids::{SiteId, SiteTable};
+use crate::vector::{Catchment, RoutingVector};
+use crate::weight::Weights;
+use serde::{Deserialize, Serialize};
+
+/// Weighted transition matrix between two routing vectors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransitionMatrix {
+    /// Number of real sites `|S|`; the matrix has `|S| + 3` states.
+    num_sites: usize,
+    /// Row-major `(|S|+3)²` counts; row = initial state, column = subsequent
+    /// state. With uniform weights these are plain network counts.
+    cells: Vec<f64>,
+}
+
+/// State index layout: sites `0..|S|`, then `err`, `other`, `unknown`.
+fn state_index(c: Catchment, num_sites: usize) -> usize {
+    match c {
+        Catchment::Site(SiteId(s)) if (s as usize) < num_sites => s as usize,
+        Catchment::Site(_) | Catchment::Other => num_sites + 1,
+        Catchment::Err => num_sites,
+        Catchment::Unknown => num_sites + 2,
+    }
+}
+
+/// A single off-diagonal flow extracted from a transition matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Flow {
+    /// Initial state label.
+    pub from: String,
+    /// Subsequent state label.
+    pub to: String,
+    /// Moved weight (count under uniform weights).
+    pub weight: f64,
+}
+
+impl TransitionMatrix {
+    /// Count transitions between `a` (time `t`) and `b` (time `t′`), each
+    /// network contributing weight 1.
+    pub fn compute(a: &RoutingVector, b: &RoutingVector, num_sites: usize) -> Result<Self> {
+        let w = Weights::uniform(a.len());
+        Self::compute_weighted(a, b, num_sites, &w)
+    }
+
+    /// Count transitions with per-network weights (§2.5 weighting applies to
+    /// transition mass just as it does to Φ).
+    pub fn compute_weighted(
+        a: &RoutingVector,
+        b: &RoutingVector,
+        num_sites: usize,
+        weights: &Weights,
+    ) -> Result<Self> {
+        if a.len() != b.len() {
+            return Err(Error::ShapeMismatch {
+                what: "routing vector pair",
+                expected: a.len(),
+                actual: b.len(),
+            });
+        }
+        if weights.len() != a.len() {
+            return Err(Error::ShapeMismatch {
+                what: "weights",
+                expected: a.len(),
+                actual: weights.len(),
+            });
+        }
+        let states = num_sites + 3;
+        let mut cells = vec![0.0; states * states];
+        for ((ca, cb), &w) in a.iter().zip(b.iter()).zip(weights.values()) {
+            let i = state_index(ca, num_sites);
+            let j = state_index(cb, num_sites);
+            cells[i * states + j] += w;
+        }
+        Ok(TransitionMatrix { num_sites, cells })
+    }
+
+    /// Number of states (`|S| + 3`).
+    pub fn states(&self) -> usize {
+        self.num_sites + 3
+    }
+
+    /// Number of real sites `|S|`.
+    pub fn num_sites(&self) -> usize {
+        self.num_sites
+    }
+
+    /// Cell `(from, to)` by state index.
+    pub fn get(&self, from: usize, to: usize) -> f64 {
+        self.cells[from * self.states() + to]
+    }
+
+    /// Cell addressed by catchment states.
+    pub fn get_catchment(&self, from: Catchment, to: Catchment) -> f64 {
+        self.get(
+            state_index(from, self.num_sites),
+            state_index(to, self.num_sites),
+        )
+    }
+
+    /// Human-readable state label for index `i`.
+    pub fn state_label(&self, i: usize, sites: &SiteTable) -> String {
+        if i < self.num_sites {
+            sites.name(SiteId(i as u16)).to_owned()
+        } else {
+            match i - self.num_sites {
+                0 => "err".to_owned(),
+                1 => "oth".to_owned(),
+                _ => "unk".to_owned(),
+            }
+        }
+    }
+
+    /// Total transition mass (equals total weight of the population).
+    pub fn total(&self) -> f64 {
+        self.cells.iter().sum()
+    }
+
+    /// Mass on the diagonal — networks that kept their state.
+    pub fn diagonal_mass(&self) -> f64 {
+        (0..self.states()).map(|i| self.get(i, i)).sum()
+    }
+
+    /// Fraction of mass off the diagonal — the "how much moved" headline.
+    pub fn churn(&self) -> f64 {
+        let total = self.total();
+        if total == 0.0 {
+            0.0
+        } else {
+            1.0 - self.diagonal_mass() / total
+        }
+    }
+
+    /// Whether the matrix is (numerically) diagonal — quiescent routing.
+    pub fn is_diagonal(&self) -> bool {
+        self.churn() == 0.0
+    }
+
+    /// Off-diagonal flows sorted by descending weight, labelled through
+    /// `sites` — "3097 networks move from STR to NAP".
+    pub fn top_flows(&self, sites: &SiteTable, limit: usize) -> Vec<Flow> {
+        let states = self.states();
+        let mut flows: Vec<Flow> = Vec::new();
+        for i in 0..states {
+            for j in 0..states {
+                if i != j {
+                    let w = self.get(i, j);
+                    if w > 0.0 {
+                        flows.push(Flow {
+                            from: self.state_label(i, sites),
+                            to: self.state_label(j, sites),
+                            weight: w,
+                        });
+                    }
+                }
+            }
+        }
+        flows.sort_by(|a, b| b.weight.partial_cmp(&a.weight).expect("finite weights"));
+        flows.truncate(limit);
+        flows
+    }
+
+    /// Render in the layout of the paper's Table 3: initial states as rows,
+    /// subsequent states as columns.
+    pub fn render(&self, sites: &SiteTable) -> String {
+        let states = self.states();
+        let labels: Vec<String> = (0..states).map(|i| self.state_label(i, sites)).collect();
+        let width = labels
+            .iter()
+            .map(|l| l.len())
+            .chain(self.cells.iter().map(|c| format!("{c:.0}").len()))
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        let mut out = String::new();
+        out.push_str(&format!("{:>width$} |", ""));
+        for l in &labels {
+            out.push_str(&format!(" {l:>width$}"));
+        }
+        out.push('\n');
+        out.push_str(&"-".repeat((width + 2) + states * (width + 1)));
+        out.push('\n');
+        for (i, l) in labels.iter().enumerate() {
+            out.push_str(&format!("{l:>width$} |"));
+            for j in 0..states {
+                out.push_str(&format!(" {:>width$.0}", self.get(i, j)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Export as CSV with header row/column labels.
+    pub fn to_csv(&self, sites: &SiteTable) -> String {
+        let states = self.states();
+        let labels: Vec<String> = (0..states).map(|i| self.state_label(i, sites)).collect();
+        let mut out = String::from("from\\to");
+        for l in &labels {
+            out.push(',');
+            out.push_str(l);
+        }
+        out.push('\n');
+        for (i, l) in labels.iter().enumerate() {
+            out.push_str(l);
+            for j in 0..states {
+                out.push_str(&format!(",{}", self.get(i, j)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Timestamp;
+
+    fn s(n: u16) -> Catchment {
+        Catchment::Site(SiteId(n))
+    }
+
+    fn v(cs: &[Catchment]) -> RoutingVector {
+        RoutingVector::from_catchments(Timestamp::from_days(0), cs.to_vec())
+    }
+
+    #[test]
+    fn quiescent_routing_is_diagonal() {
+        let a = v(&[s(0), s(1), s(1), Catchment::Err]);
+        let t = TransitionMatrix::compute(&a, &a, 2).unwrap();
+        assert!(t.is_diagonal());
+        assert_eq!(t.churn(), 0.0);
+        assert_eq!(t.get(0, 0), 1.0);
+        assert_eq!(t.get(1, 1), 2.0);
+        assert_eq!(t.get_catchment(Catchment::Err, Catchment::Err), 1.0);
+        assert_eq!(t.total(), 4.0);
+    }
+
+    #[test]
+    fn drain_shows_up_off_diagonal() {
+        // STR (site 2) drains to NAP (site 1), as in Table 3a.
+        let a = v(&[s(2), s(2), s(2), s(0)]);
+        let b = v(&[s(1), s(1), Catchment::Err, s(0)]);
+        let t = TransitionMatrix::compute(&a, &b, 3).unwrap();
+        assert_eq!(t.get_catchment(s(2), s(1)), 2.0);
+        assert_eq!(t.get_catchment(s(2), Catchment::Err), 1.0);
+        assert_eq!(t.get_catchment(s(0), s(0)), 1.0);
+        assert!((t.churn() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_transitions_scale_mass() {
+        let a = v(&[s(0), s(1)]);
+        let b = v(&[s(1), s(1)]);
+        let w = Weights::from_values(vec![10.0, 1.0]).unwrap();
+        let t = TransitionMatrix::compute_weighted(&a, &b, 2, &w).unwrap();
+        assert_eq!(t.get_catchment(s(0), s(1)), 10.0);
+        assert_eq!(t.get_catchment(s(1), s(1)), 1.0);
+        assert!((t.churn() - 10.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shape_mismatches_rejected() {
+        let a = v(&[s(0)]);
+        let b = v(&[s(0), s(1)]);
+        assert!(TransitionMatrix::compute(&a, &b, 2).is_err());
+        let b1 = v(&[s(0)]);
+        let w = Weights::uniform(2);
+        assert!(TransitionMatrix::compute_weighted(&a, &b1, 2, &w).is_err());
+    }
+
+    #[test]
+    fn unknown_is_a_state() {
+        let a = v(&[Catchment::Unknown, s(0)]);
+        let b = v(&[s(0), Catchment::Unknown]);
+        let t = TransitionMatrix::compute(&a, &b, 1).unwrap();
+        assert_eq!(t.get_catchment(Catchment::Unknown, s(0)), 1.0);
+        assert_eq!(t.get_catchment(s(0), Catchment::Unknown), 1.0);
+        assert_eq!(t.churn(), 1.0);
+    }
+
+    #[test]
+    fn out_of_range_site_folds_into_other() {
+        let a = v(&[s(9)]);
+        let b = v(&[Catchment::Other]);
+        let t = TransitionMatrix::compute(&a, &b, 2).unwrap();
+        assert_eq!(t.get_catchment(Catchment::Other, Catchment::Other), 1.0);
+    }
+
+    #[test]
+    fn top_flows_ranks_by_mass() {
+        let sites = SiteTable::from_names(["CMH", "NAP", "STR"]);
+        let a = v(&[s(2), s(2), s(2), s(0)]);
+        let b = v(&[s(1), s(1), Catchment::Err, s(1)]);
+        let t = TransitionMatrix::compute(&a, &b, 3).unwrap();
+        let flows = t.top_flows(&sites, 10);
+        assert_eq!(flows[0].from, "STR");
+        assert_eq!(flows[0].to, "NAP");
+        assert_eq!(flows[0].weight, 2.0);
+        assert_eq!(flows.len(), 3);
+        let limited = t.top_flows(&sites, 1);
+        assert_eq!(limited.len(), 1);
+    }
+
+    #[test]
+    fn render_contains_labels_and_counts() {
+        let sites = SiteTable::from_names(["CMH", "NAP"]);
+        let a = v(&[s(0), s(1), s(1)]);
+        let b = v(&[s(0), s(0), s(1)]);
+        let t = TransitionMatrix::compute(&a, &b, 2).unwrap();
+        let r = t.render(&sites);
+        assert!(r.contains("CMH"));
+        assert!(r.contains("NAP"));
+        assert!(r.contains("err"));
+        assert!(r.contains("unk"));
+    }
+
+    #[test]
+    fn csv_round_shape() {
+        let sites = SiteTable::from_names(["A"]);
+        let a = v(&[s(0)]);
+        let t = TransitionMatrix::compute(&a, &a, 1).unwrap();
+        let csv = t.to_csv(&sites);
+        let lines: Vec<&str> = csv.trim_end().lines().collect();
+        assert_eq!(lines.len(), 5); // header + 4 states (A, err, oth, unk)
+        assert!(lines[0].starts_with("from\\to,A,err,oth,unk"));
+    }
+
+    #[test]
+    fn empty_matrix_has_zero_churn() {
+        let a = v(&[]);
+        let t = TransitionMatrix::compute(&a, &a, 2).unwrap();
+        assert_eq!(t.churn(), 0.0);
+        assert!(t.is_diagonal());
+    }
+}

@@ -1,0 +1,504 @@
+//! The routing vector `D(t)` — the paper's central data structure (§2.2).
+//!
+//! A [`RoutingVector`] records, for one instant `t`, which catchment each of
+//! the `N` client networks fell into. Each element takes one of `|S| + 3`
+//! values: a service [`SiteId`], or one of the sentinel states the paper's
+//! example vector uses (`ERR` — the network got no reply from any site,
+//! `OTHER` — a reply that maps to no known site, and `unknown` — no
+//! observation at all, the state §2.6.1 treats pessimistically).
+//!
+//! Storage is a compact `u16` code per network so that multi-year,
+//! multi-million-network series stay cache- and memory-friendly; the public
+//! API speaks the [`Catchment`] enum.
+
+use crate::ids::{SiteId, SiteTable};
+use crate::time::Timestamp;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The catchment state of one network at one time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Catchment {
+    /// The network reached this service site.
+    Site(SiteId),
+    /// The network was probed but no site answered (the paper's `err` state).
+    Err,
+    /// The network answered with an identifier that maps to no known site
+    /// (the paper's `other` state).
+    Other,
+    /// The network was not observed at all. §2.6.1 treats unknowns as
+    /// "changed" under the pessimistic policy.
+    Unknown,
+}
+
+/// Wire/storage code for a [`Catchment`]: site ids occupy the low range and
+/// the three sentinels sit at the top of the `u16` space.
+pub const CODE_UNKNOWN: u16 = u16::MAX;
+/// Storage code for [`Catchment::Err`].
+pub const CODE_ERR: u16 = u16::MAX - 1;
+/// Storage code for [`Catchment::Other`].
+pub const CODE_OTHER: u16 = u16::MAX - 2;
+
+impl Catchment {
+    /// Encode to the compact storage code.
+    #[inline]
+    pub fn code(self) -> u16 {
+        match self {
+            Catchment::Site(s) => s.0,
+            Catchment::Err => CODE_ERR,
+            Catchment::Other => CODE_OTHER,
+            Catchment::Unknown => CODE_UNKNOWN,
+        }
+    }
+
+    /// Decode from the compact storage code.
+    #[inline]
+    pub fn from_code(code: u16) -> Self {
+        match code {
+            CODE_UNKNOWN => Catchment::Unknown,
+            CODE_ERR => Catchment::Err,
+            CODE_OTHER => Catchment::Other,
+            s => Catchment::Site(SiteId(s)),
+        }
+    }
+
+    /// Whether this is a real observation (site, err, or other) rather than
+    /// a missing one.
+    #[inline]
+    pub fn is_known(self) -> bool {
+        !matches!(self, Catchment::Unknown)
+    }
+
+    /// The site id if the network reached a site.
+    #[inline]
+    pub fn site(self) -> Option<SiteId> {
+        match self {
+            Catchment::Site(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Render with site names resolved through `sites`.
+    pub fn display<'a>(self, sites: &'a SiteTable) -> CatchmentDisplay<'a> {
+        CatchmentDisplay { c: self, sites }
+    }
+}
+
+/// Helper returned by [`Catchment::display`].
+pub struct CatchmentDisplay<'a> {
+    c: Catchment,
+    sites: &'a SiteTable,
+}
+
+impl fmt::Display for CatchmentDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.c {
+            Catchment::Site(s) => f.write_str(self.sites.name(s)),
+            Catchment::Err => f.write_str("err"),
+            Catchment::Other => f.write_str("other"),
+            Catchment::Unknown => f.write_str("unknown"),
+        }
+    }
+}
+
+/// `D(t)`: the catchment of every network at time `t`.
+///
+/// ```
+/// use fenrir_core::prelude::*;
+///
+/// let mut sites = SiteTable::new();
+/// let lax = sites.intern("LAX");
+/// let d = RoutingVector::from_catchments(
+///     Timestamp::from_days(0),
+///     vec![Catchment::Site(lax), Catchment::Err, Catchment::Unknown],
+/// );
+/// assert_eq!(d.len(), 3);
+/// assert_eq!(d.get(0), Catchment::Site(lax));
+/// assert_eq!(d.known_count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoutingVector {
+    time: Timestamp,
+    codes: Vec<u16>,
+}
+
+impl RoutingVector {
+    /// A vector where every network is [`Catchment::Unknown`].
+    pub fn unknown(time: Timestamp, networks: usize) -> Self {
+        RoutingVector {
+            time,
+            codes: vec![CODE_UNKNOWN; networks],
+        }
+    }
+
+    /// Build from explicit catchment states.
+    pub fn from_catchments(time: Timestamp, catchments: Vec<Catchment>) -> Self {
+        RoutingVector {
+            time,
+            codes: catchments.into_iter().map(Catchment::code).collect(),
+        }
+    }
+
+    /// Build directly from storage codes (as produced by [`Catchment::code`]).
+    pub fn from_codes(time: Timestamp, codes: Vec<u16>) -> Self {
+        RoutingVector { time, codes }
+    }
+
+    /// Observation time of this vector.
+    #[inline]
+    pub fn time(&self) -> Timestamp {
+        self.time
+    }
+
+    /// Re-stamp the vector (used by cleaning when replicating a previous
+    /// observation into a gap).
+    pub fn with_time(mut self, time: Timestamp) -> Self {
+        self.time = time;
+        self
+    }
+
+    /// Number of networks `N`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Whether the vector covers zero networks.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Catchment of network `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= self.len()`.
+    #[inline]
+    pub fn get(&self, n: usize) -> Catchment {
+        Catchment::from_code(self.codes[n])
+    }
+
+    /// Set the catchment of network `n`.
+    #[inline]
+    pub fn set(&mut self, n: usize, c: Catchment) {
+        self.codes[n] = c.code();
+    }
+
+    /// Raw storage codes (cheap similarity kernels iterate these directly).
+    #[inline]
+    pub fn codes(&self) -> &[u16] {
+        &self.codes
+    }
+
+    /// Mutable raw storage codes.
+    #[inline]
+    pub fn codes_mut(&mut self) -> &mut [u16] {
+        &mut self.codes
+    }
+
+    /// Iterate catchments in network order.
+    pub fn iter(&self) -> impl Iterator<Item = Catchment> + '_ {
+        self.codes.iter().map(|&c| Catchment::from_code(c))
+    }
+
+    /// Number of networks with a known (non-`Unknown`) state.
+    pub fn known_count(&self) -> usize {
+        self.codes.iter().filter(|&&c| c != CODE_UNKNOWN).count()
+    }
+
+    /// Fraction of networks with a known state, in `[0, 1]`; 0 for an empty
+    /// vector.
+    pub fn coverage(&self) -> f64 {
+        if self.codes.is_empty() {
+            0.0
+        } else {
+            self.known_count() as f64 / self.codes.len() as f64
+        }
+    }
+
+    /// The aggregate vector `A(t)` of §2.2: how many networks fall into each
+    /// site, plus the `err`, `other`, and `unknown` buckets.
+    ///
+    /// `A(t,s) = Σ_n D*(t,n,s)` where `D*` is the one-hot form.
+    pub fn aggregate(&self, num_sites: usize) -> Aggregate {
+        let mut per_site = vec![0u64; num_sites];
+        let (mut err, mut other, mut unknown) = (0u64, 0u64, 0u64);
+        for &c in &self.codes {
+            match c {
+                CODE_UNKNOWN => unknown += 1,
+                CODE_ERR => err += 1,
+                CODE_OTHER => other += 1,
+                s => {
+                    // Sites beyond the table (stale codes) count as "other"
+                    // rather than corrupting memory; cleaning normally maps
+                    // them away first.
+                    if (s as usize) < num_sites {
+                        per_site[s as usize] += 1;
+                    } else {
+                        other += 1;
+                    }
+                }
+            }
+        }
+        Aggregate {
+            per_site,
+            err,
+            other,
+            unknown,
+        }
+    }
+
+    /// Weighted aggregate: like [`RoutingVector::aggregate`] but each network
+    /// contributes its weight instead of 1 (the `D_w` of §2.5).
+    pub fn aggregate_weighted(&self, num_sites: usize, weights: &[f64]) -> WeightedAggregate {
+        debug_assert_eq!(weights.len(), self.codes.len());
+        let mut per_site = vec![0f64; num_sites];
+        let (mut err, mut other, mut unknown) = (0f64, 0f64, 0f64);
+        for (&c, &w) in self.codes.iter().zip(weights) {
+            match c {
+                CODE_UNKNOWN => unknown += w,
+                CODE_ERR => err += w,
+                CODE_OTHER => other += w,
+                s => {
+                    if (s as usize) < num_sites {
+                        per_site[s as usize] += w;
+                    } else {
+                        other += w;
+                    }
+                }
+            }
+        }
+        WeightedAggregate {
+            per_site,
+            err,
+            other,
+            unknown,
+        }
+    }
+
+    /// One-hot representation `D*(t)` of §2.2: an `N × (|S|+3)` row-major
+    /// 0/1 matrix. Column `|S|` is `err`, `|S|+1` is `other`, `|S|+2` is
+    /// `unknown`. Mostly useful for tests and for exporting to numeric
+    /// tooling; analyses use the compact codes directly.
+    pub fn one_hot(&self, num_sites: usize) -> Vec<u8> {
+        let cols = num_sites + 3;
+        let mut m = vec![0u8; self.codes.len() * cols];
+        for (n, &c) in self.codes.iter().enumerate() {
+            let col = match c {
+                CODE_UNKNOWN => num_sites + 2,
+                CODE_ERR => num_sites,
+                CODE_OTHER => num_sites + 1,
+                s if (s as usize) < num_sites => s as usize,
+                _ => num_sites + 1,
+            };
+            m[n * cols + col] = 1;
+        }
+        m
+    }
+}
+
+/// Unweighted `A(t)`: per-site counts plus sentinel buckets.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Aggregate {
+    /// Count of networks in each site, indexed by `SiteId`.
+    pub per_site: Vec<u64>,
+    /// Count of networks in the `err` state.
+    pub err: u64,
+    /// Count of networks in the `other` state.
+    pub other: u64,
+    /// Count of unobserved networks.
+    pub unknown: u64,
+}
+
+impl Aggregate {
+    /// Total networks (sites + sentinels).
+    pub fn total(&self) -> u64 {
+        self.per_site.iter().sum::<u64>() + self.err + self.other + self.unknown
+    }
+
+    /// Count for one site.
+    pub fn site(&self, s: SiteId) -> u64 {
+        self.per_site[s.index()]
+    }
+
+    /// `(site, count)` pairs sorted by descending count — the ordering used
+    /// to spot micro-catchments.
+    pub fn ranked(&self) -> Vec<(SiteId, u64)> {
+        let mut v: Vec<(SiteId, u64)> = self
+            .per_site
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (SiteId(i as u16), c))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+/// Weighted `A(t)` (see [`RoutingVector::aggregate_weighted`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightedAggregate {
+    /// Weight mass in each site, indexed by `SiteId`.
+    pub per_site: Vec<f64>,
+    /// Weight mass in the `err` state.
+    pub err: f64,
+    /// Weight mass in the `other` state.
+    pub other: f64,
+    /// Weight mass unobserved.
+    pub unknown: f64,
+}
+
+impl WeightedAggregate {
+    /// Total weight mass.
+    pub fn total(&self) -> f64 {
+        self.per_site.iter().sum::<f64>() + self.err + self.other + self.unknown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(n: u16) -> Catchment {
+        Catchment::Site(SiteId(n))
+    }
+
+    #[test]
+    fn code_round_trip_for_all_states() {
+        for c in [site(0), site(41), Catchment::Err, Catchment::Other, Catchment::Unknown] {
+            assert_eq!(Catchment::from_code(c.code()), c);
+        }
+    }
+
+    #[test]
+    fn sentinel_codes_are_distinct_and_high() {
+        assert!(CODE_OTHER > SiteId::MAX_SITES as u16 - 1);
+        assert_ne!(CODE_UNKNOWN, CODE_ERR);
+        assert_ne!(CODE_ERR, CODE_OTHER);
+    }
+
+    #[test]
+    fn unknown_vector_has_zero_coverage() {
+        let d = RoutingVector::unknown(Timestamp::from_days(0), 5);
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.known_count(), 0);
+        assert_eq!(d.coverage(), 0.0);
+    }
+
+    #[test]
+    fn empty_vector_coverage_is_zero() {
+        let d = RoutingVector::unknown(Timestamp::from_days(0), 0);
+        assert_eq!(d.coverage(), 0.0);
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut d = RoutingVector::unknown(Timestamp::from_days(0), 3);
+        d.set(1, site(7));
+        assert_eq!(d.get(1), site(7));
+        assert_eq!(d.get(0), Catchment::Unknown);
+        assert_eq!(d.known_count(), 1);
+    }
+
+    #[test]
+    fn aggregate_matches_paper_example_shape() {
+        // Mimic the §2.2 example: D = [CMH, NAP, STR, STR, OTHER, SAT, ERR].
+        let d = RoutingVector::from_catchments(
+            Timestamp::from_days(0),
+            vec![
+                site(0),
+                site(1),
+                site(2),
+                site(2),
+                Catchment::Other,
+                site(3),
+                Catchment::Err,
+            ],
+        );
+        let a = d.aggregate(4);
+        assert_eq!(a.per_site, vec![1, 1, 2, 1]);
+        assert_eq!(a.err, 1);
+        assert_eq!(a.other, 1);
+        assert_eq!(a.unknown, 0);
+        assert_eq!(a.total(), 7);
+    }
+
+    #[test]
+    fn aggregate_out_of_range_site_counts_as_other() {
+        let d = RoutingVector::from_catchments(Timestamp::from_days(0), vec![site(9)]);
+        let a = d.aggregate(2);
+        assert_eq!(a.per_site, vec![0, 0]);
+        assert_eq!(a.other, 1);
+    }
+
+    #[test]
+    fn ranked_sorts_descending_with_stable_ties() {
+        let d = RoutingVector::from_catchments(
+            Timestamp::from_days(0),
+            vec![site(0), site(1), site(1), site(2)],
+        );
+        let a = d.aggregate(3);
+        let r = a.ranked();
+        assert_eq!(r[0], (SiteId(1), 2));
+        assert_eq!(r[1], (SiteId(0), 1)); // tie with site 2 broken by id
+        assert_eq!(r[2], (SiteId(2), 1));
+    }
+
+    #[test]
+    fn weighted_aggregate_sums_weights() {
+        let d = RoutingVector::from_catchments(
+            Timestamp::from_days(0),
+            vec![site(0), site(0), Catchment::Unknown],
+        );
+        let a = d.aggregate_weighted(1, &[2.0, 3.0, 5.0]);
+        assert_eq!(a.per_site, vec![5.0]);
+        assert_eq!(a.unknown, 5.0);
+        assert_eq!(a.total(), 10.0);
+    }
+
+    #[test]
+    fn one_hot_rows_sum_to_one() {
+        let d = RoutingVector::from_catchments(
+            Timestamp::from_days(0),
+            vec![site(0), Catchment::Err, Catchment::Other, Catchment::Unknown],
+        );
+        let m = d.one_hot(2);
+        let cols = 5;
+        for n in 0..4 {
+            let row_sum: u8 = m[n * cols..(n + 1) * cols].iter().sum();
+            assert_eq!(row_sum, 1, "row {n}");
+        }
+        assert_eq!(m[0], 1); // net 0 -> site 0
+        assert_eq!(m[cols + 2], 1); // net 1 -> err column
+        assert_eq!(m[2 * cols + 3], 1); // net 2 -> other column
+        assert_eq!(m[3 * cols + 4], 1); // net 3 -> unknown column
+    }
+
+    #[test]
+    fn display_resolves_site_names() {
+        let sites = SiteTable::from_names(["LAX"]);
+        assert_eq!(site(0).display(&sites).to_string(), "LAX");
+        assert_eq!(Catchment::Err.display(&sites).to_string(), "err");
+        assert_eq!(Catchment::Other.display(&sites).to_string(), "other");
+        assert_eq!(Catchment::Unknown.display(&sites).to_string(), "unknown");
+    }
+
+    #[test]
+    fn with_time_restamps() {
+        let d = RoutingVector::unknown(Timestamp::from_days(1), 2);
+        let d2 = d.clone().with_time(Timestamp::from_days(9));
+        assert_eq!(d2.time(), Timestamp::from_days(9));
+        assert_eq!(d2.codes(), d.codes());
+    }
+
+    #[test]
+    fn iter_yields_catchments_in_order() {
+        let d = RoutingVector::from_catchments(
+            Timestamp::from_days(0),
+            vec![site(1), Catchment::Err],
+        );
+        let v: Vec<_> = d.iter().collect();
+        assert_eq!(v, vec![site(1), Catchment::Err]);
+    }
+}

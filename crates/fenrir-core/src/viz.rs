@@ -1,0 +1,450 @@
+//! Stack-plot series and Sankey flow diagrams.
+//!
+//! The paper explains changes with three visuals besides heatmaps: stacked
+//! catchment-size plots (Figures 1, 2a, 3a, 6a), transition matrices
+//! (Table 3, in [`crate::transition`]), and Sankey diagrams of an
+//! enterprise's routing cone across hops (Figures 7–8). This module builds
+//! the data for the first and last as plain structures with text/CSV
+//! renderers, so experiments can print them and tests can assert on them.
+
+use crate::ids::SiteTable;
+use crate::series::VectorSeries;
+use crate::time::Timestamp;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-site catchment-size series `A(t)` over time — the data behind the
+/// paper's stack plots.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StackSeries {
+    /// Site names in site-id order, then `err`, `other`, `unknown`.
+    pub labels: Vec<String>,
+    /// Observation timestamps.
+    pub times: Vec<Timestamp>,
+    /// `counts[t][k]`: networks in bucket `k` at time index `t`.
+    pub counts: Vec<Vec<u64>>,
+}
+
+impl StackSeries {
+    /// Build from a series: one row per observation, one column per site
+    /// plus the three sentinel buckets.
+    pub fn from_series(series: &VectorSeries) -> Self {
+        let sites = series.sites();
+        let mut labels: Vec<String> = sites.iter().map(|(_, n)| n.to_owned()).collect();
+        labels.extend(["err".into(), "other".into(), "unknown".into()]);
+        let times = series.times();
+        let counts = series
+            .aggregates()
+            .into_iter()
+            .map(|a| {
+                let mut row = a.per_site;
+                row.extend([a.err, a.other, a.unknown]);
+                row
+            })
+            .collect();
+        StackSeries {
+            labels,
+            times,
+            counts,
+        }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether there are no observations.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Column index for a label, if present. The sentinel buckets (`err`,
+    /// `other`, `unknown`) live at the end of the label list and win over a
+    /// site that happens to share their name.
+    pub fn column(&self, label: &str) -> Option<usize> {
+        self.labels.iter().rposition(|l| l == label)
+    }
+
+    /// The count series for one label.
+    pub fn series_for(&self, label: &str) -> Option<Vec<u64>> {
+        let c = self.column(label)?;
+        Some(self.counts.iter().map(|row| row[c]).collect())
+    }
+
+    /// Fraction of (non-unknown) networks in `label` at time index `t`.
+    pub fn share(&self, label: &str, t: usize) -> Option<f64> {
+        let c = self.column(label)?;
+        let row = self.counts.get(t)?;
+        let unknown_col = self.labels.len() - 1;
+        let denom: u64 = row
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != unknown_col)
+            .map(|(_, &v)| v)
+            .sum();
+        if denom == 0 {
+            return Some(0.0);
+        }
+        Some(row[c] as f64 / denom as f64)
+    }
+
+    /// CSV export: `time,<label>,...` header then one row per observation.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time");
+        for l in &self.labels {
+            out.push(',');
+            out.push_str(l);
+        }
+        out.push('\n');
+        for (t, row) in self.times.iter().zip(&self.counts) {
+            out.push_str(&t.to_string());
+            for v in row {
+                out.push_str(&format!(",{v}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Terminal rendering: for each observation, a proportional horizontal
+    /// bar segmented per bucket (first letter of each label), `width` chars
+    /// wide. Unknown networks are excluded, matching the paper's plots of
+    /// observed catchments.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let mut out = String::new();
+        let unknown_col = self.labels.len() - 1;
+        for (t, row) in self.times.iter().zip(&self.counts) {
+            let total: u64 = row
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != unknown_col)
+                .map(|(_, &v)| v)
+                .sum();
+            out.push_str(&format!("{t} |"));
+            if total > 0 {
+                for (i, &v) in row.iter().enumerate() {
+                    if i == unknown_col || v == 0 {
+                        continue;
+                    }
+                    let chars = ((v as f64 / total as f64) * width as f64).round() as usize;
+                    let ch = self.labels[i]
+                        .chars()
+                        .next()
+                        .unwrap_or('?')
+                        .to_ascii_uppercase();
+                    out.extend(std::iter::repeat_n(ch, chars));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A node in a Sankey diagram: a routing entity (e.g. an upstream AS) at a
+/// given hop depth.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SankeyNode {
+    /// Hop depth (1 = first hop outside the enterprise).
+    pub hop: usize,
+    /// Entity label, e.g. `"AS2152"`.
+    pub label: String,
+}
+
+/// A weighted edge between entities at consecutive hops.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SankeyLink {
+    /// Source node index into [`SankeyDiagram::nodes`].
+    pub from: usize,
+    /// Destination node index.
+    pub to: usize,
+    /// Number of destination networks routed along this edge.
+    pub weight: u64,
+}
+
+/// Flow topology of a routing cone across hops (paper Figures 7–8): how many
+/// destination networks are carried by each upstream at each hop, and how
+/// they fan out at the next hop.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SankeyDiagram {
+    /// All nodes, in insertion order.
+    pub nodes: Vec<SankeyNode>,
+    /// All links.
+    pub links: Vec<SankeyLink>,
+}
+
+impl SankeyDiagram {
+    /// Build from per-hop catchment vectors: `hops[k][n]` is the entity code
+    /// of network `n` at hop `k+1` (use the vectors' site codes). Networks
+    /// whose state is a sentinel at either end of an edge are skipped for
+    /// that edge.
+    pub fn from_hop_series(hops: &[&crate::vector::RoutingVector], sites: &SiteTable) -> Self {
+        let mut diagram = SankeyDiagram::default();
+        let mut node_ids: HashMap<SankeyNode, usize> = HashMap::new();
+        let mut link_w: HashMap<(usize, usize), u64> = HashMap::new();
+        for k in 0..hops.len().saturating_sub(1) {
+            let (a, b) = (hops[k], hops[k + 1]);
+            debug_assert_eq!(a.len(), b.len());
+            for n in 0..a.len().min(b.len()) {
+                let (Some(sa), Some(sb)) = (a.get(n).site(), b.get(n).site()) else {
+                    continue;
+                };
+                let na = SankeyNode {
+                    hop: k + 1,
+                    label: sites.name(sa).to_owned(),
+                };
+                let nb = SankeyNode {
+                    hop: k + 2,
+                    label: sites.name(sb).to_owned(),
+                };
+                let ia = *node_ids.entry(na.clone()).or_insert_with(|| {
+                    diagram.nodes.push(na);
+                    diagram.nodes.len() - 1
+                });
+                let ib = *node_ids.entry(nb.clone()).or_insert_with(|| {
+                    diagram.nodes.push(nb);
+                    diagram.nodes.len() - 1
+                });
+                *link_w.entry((ia, ib)).or_insert(0) += 1;
+            }
+        }
+        let mut links: Vec<SankeyLink> = link_w
+            .into_iter()
+            .map(|((from, to), weight)| SankeyLink { from, to, weight })
+            .collect();
+        links.sort_by(|a, b| b.weight.cmp(&a.weight).then(a.from.cmp(&b.from)));
+        diagram.links = links;
+        diagram
+    }
+
+    /// Total weight entering a node (or its outgoing weight for hop-1
+    /// nodes).
+    pub fn node_weight(&self, node: usize) -> u64 {
+        let incoming: u64 = self
+            .links
+            .iter()
+            .filter(|l| l.to == node)
+            .map(|l| l.weight)
+            .sum();
+        if incoming > 0 {
+            incoming
+        } else {
+            self.links
+                .iter()
+                .filter(|l| l.from == node)
+                .map(|l| l.weight)
+                .sum()
+        }
+    }
+
+    /// Share of total hop-`hop` traffic carried by `label` — the paper's
+    /// "at hop 3 … 80% destination networks were routed by AS 2152".
+    pub fn hop_share(&self, hop: usize, label: &str) -> f64 {
+        let total: u64 = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.hop == hop)
+            .map(|(i, _)| self.node_weight(i))
+            .sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let mine: u64 = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.hop == hop && n.label == label)
+            .map(|(i, _)| self.node_weight(i))
+            .sum();
+        mine as f64 / total as f64
+    }
+
+    /// Text rendering: links grouped by hop, heaviest first.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let max_hop = self.nodes.iter().map(|n| n.hop).max().unwrap_or(0);
+        for hop in 1..max_hop {
+            out.push_str(&format!("hop {hop} -> hop {}\n", hop + 1));
+            for l in &self.links {
+                if self.nodes[l.from].hop == hop {
+                    out.push_str(&format!(
+                        "  {:<12} -> {:<12} {:>8}\n",
+                        self.nodes[l.from].label, self.nodes[l.to].label, l.weight
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::SiteId;
+    use crate::vector::{Catchment, RoutingVector};
+
+    fn ts(d: i64) -> Timestamp {
+        Timestamp::from_days(d)
+    }
+
+    fn s(n: u16) -> Catchment {
+        Catchment::Site(SiteId(n))
+    }
+
+    fn sample_series() -> VectorSeries {
+        let sites = SiteTable::from_names(["STR", "NAP"]);
+        let mut series = VectorSeries::new(sites, 4);
+        series
+            .push(RoutingVector::from_catchments(
+                ts(0),
+                vec![s(0), s(0), s(0), s(1)],
+            ))
+            .unwrap();
+        series
+            .push(RoutingVector::from_catchments(
+                ts(1),
+                vec![s(1), s(1), Catchment::Err, s(1)],
+            ))
+            .unwrap();
+        series
+    }
+
+    #[test]
+    fn stack_series_counts_per_bucket() {
+        let st = StackSeries::from_series(&sample_series());
+        assert_eq!(st.labels, vec!["STR", "NAP", "err", "other", "unknown"]);
+        assert_eq!(st.series_for("STR").unwrap(), vec![3, 0]);
+        assert_eq!(st.series_for("NAP").unwrap(), vec![1, 3]);
+        assert_eq!(st.series_for("err").unwrap(), vec![0, 1]);
+        assert_eq!(st.len(), 2);
+    }
+
+    #[test]
+    fn stack_share_excludes_unknown() {
+        let sites = SiteTable::from_names(["A"]);
+        let mut series = VectorSeries::new(sites, 4);
+        series
+            .push(RoutingVector::from_catchments(
+                ts(0),
+                vec![s(0), s(0), Catchment::Unknown, Catchment::Unknown],
+            ))
+            .unwrap();
+        let st = StackSeries::from_series(&series);
+        assert_eq!(st.share("A", 0), Some(1.0));
+        assert_eq!(st.share("missing", 0), None);
+    }
+
+    #[test]
+    fn sentinel_buckets_win_over_samename_sites() {
+        // A site literally named "err" must not shadow the error bucket.
+        let sites = SiteTable::from_names(["err"]);
+        let mut series = VectorSeries::new(sites, 2);
+        series
+            .push(RoutingVector::from_catchments(
+                ts(0),
+                vec![s(0), Catchment::Err],
+            ))
+            .unwrap();
+        let st = StackSeries::from_series(&series);
+        // column("err") addresses the sentinel (count 1), not the site.
+        let col = st.column("err").unwrap();
+        assert_eq!(col, 1, "sentinel column");
+        assert_eq!(st.counts[0][col], 1);
+    }
+
+    #[test]
+    fn stack_share_zero_denominator() {
+        let sites = SiteTable::from_names(["A"]);
+        let mut series = VectorSeries::new(sites, 1);
+        series
+            .push(RoutingVector::unknown(ts(0), 1))
+            .unwrap();
+        let st = StackSeries::from_series(&series);
+        assert_eq!(st.share("A", 0), Some(0.0));
+    }
+
+    #[test]
+    fn stack_csv_shape() {
+        let st = StackSeries::from_series(&sample_series());
+        let csv = st.to_csv();
+        let lines: Vec<&str> = csv.trim_end().lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "time,STR,NAP,err,other,unknown");
+        assert!(lines[1].starts_with("1970-01-01,3,1,0,0,0"));
+    }
+
+    #[test]
+    fn stack_ascii_draws_proportional_bars() {
+        let st = StackSeries::from_series(&sample_series());
+        let art = st.render_ascii(8);
+        let first = art.lines().next().unwrap();
+        // Day 0: 3 of 4 networks in STR -> six 'S', two 'N'.
+        assert!(first.contains("SSSSSS"));
+        assert!(first.contains("NN"));
+    }
+
+    fn hop_vectors() -> (Vec<RoutingVector>, SiteTable) {
+        // Entities: AS1, AS2 at hop 1; AS3, AS4 at hop 2.
+        let sites = SiteTable::from_names(["AS1", "AS2", "AS3", "AS4"]);
+        let hop1 = RoutingVector::from_catchments(
+            ts(0),
+            vec![s(0), s(0), s(1), Catchment::Err],
+        );
+        let hop2 = RoutingVector::from_catchments(
+            ts(0),
+            vec![s(2), s(3), s(3), s(3)],
+        );
+        (vec![hop1, hop2], sites)
+    }
+
+    #[test]
+    fn sankey_builds_links_and_weights() {
+        let (hops, sites) = hop_vectors();
+        let refs: Vec<&RoutingVector> = hops.iter().collect();
+        let d = SankeyDiagram::from_hop_series(&refs, &sites);
+        // Links: AS1->AS3 (1), AS1->AS4 (1), AS2->AS4 (1). Err skipped.
+        assert_eq!(d.links.len(), 3);
+        let total: u64 = d.links.iter().map(|l| l.weight).sum();
+        assert_eq!(total, 3);
+        // Node weights.
+        let as4 = d
+            .nodes
+            .iter()
+            .position(|n| n.label == "AS4" && n.hop == 2)
+            .unwrap();
+        assert_eq!(d.node_weight(as4), 2);
+    }
+
+    #[test]
+    fn sankey_hop_share() {
+        let (hops, sites) = hop_vectors();
+        let refs: Vec<&RoutingVector> = hops.iter().collect();
+        let d = SankeyDiagram::from_hop_series(&refs, &sites);
+        // Hop 1: AS1 carries 2 of 3 counted networks.
+        assert!((d.hop_share(1, "AS1") - 2.0 / 3.0).abs() < 1e-12);
+        assert!((d.hop_share(2, "AS4") - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(d.hop_share(9, "AS1"), 0.0);
+    }
+
+    #[test]
+    fn sankey_render_lists_links() {
+        let (hops, sites) = hop_vectors();
+        let refs: Vec<&RoutingVector> = hops.iter().collect();
+        let d = SankeyDiagram::from_hop_series(&refs, &sites);
+        let r = d.render();
+        assert!(r.contains("hop 1 -> hop 2"));
+        assert!(r.contains("AS1"));
+    }
+
+    #[test]
+    fn sankey_empty_input() {
+        let sites = SiteTable::new();
+        let d = SankeyDiagram::from_hop_series(&[], &sites);
+        assert!(d.nodes.is_empty());
+        assert!(d.links.is_empty());
+        assert_eq!(d.render(), "");
+    }
+}

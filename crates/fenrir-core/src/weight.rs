@@ -1,0 +1,181 @@
+//! Observation weighting (§2.5 of the paper).
+//!
+//! Raw observations say what each vantage point *sees*; operators care about
+//! what each vantage point *represents* — how many addresses, users, or how
+//! much traffic. The paper's `D_w(t)` weight vector parallels the routing
+//! vector; this module provides the common schemes:
+//!
+//! * [`Weights::uniform`] — every observation counts 1 (the paper's default),
+//! * [`Weights::from_prefix_lengths`] — a VP speaking for a /16 counts as
+//!   256 /24 blocks (the paper's "count that as 256 /24 blocks"),
+//! * [`Weights::from_values`] — arbitrary per-network weights such as
+//!   historical traffic or user counts.
+
+use crate::error::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// Per-network weights `D_w` used by the weighted similarity Φ and weighted
+/// aggregates.
+///
+/// Invariants: every weight is finite and non-negative, and at least one
+/// weight is positive (otherwise Φ's denominator would be zero).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Weights {
+    values: Vec<f64>,
+    total: f64,
+}
+
+impl Weights {
+    /// Every network weighs 1 — "each observation is equivalent".
+    pub fn uniform(networks: usize) -> Self {
+        Weights {
+            values: vec![1.0; networks],
+            total: networks as f64,
+        }
+    }
+
+    /// Arbitrary weights (traffic estimates, user counts, …).
+    ///
+    /// Errors if any weight is negative or non-finite, or if all weights are
+    /// zero.
+    pub fn from_values(values: Vec<f64>) -> Result<Self> {
+        let mut total = 0.0;
+        for (i, &w) in values.iter().enumerate() {
+            if !w.is_finite() || w < 0.0 {
+                return Err(Error::InvalidParameter {
+                    name: "weights",
+                    message: format!("weight {w} at index {i} is negative or non-finite"),
+                });
+            }
+            total += w;
+        }
+        if total == 0.0 {
+            return Err(Error::ZeroWeight);
+        }
+        Ok(Weights { values, total })
+    }
+
+    /// Weight by represented address space: a VP announcing a `/p` IPv4
+    /// prefix represents `2^(24 - p)` /24 blocks (prefixes longer than /24
+    /// weigh 1). This is the paper's Atlas/Verfploeter normalization.
+    ///
+    /// Errors if any prefix length exceeds 32.
+    pub fn from_prefix_lengths(prefix_lens: &[u8]) -> Result<Self> {
+        let mut values = Vec::with_capacity(prefix_lens.len());
+        for (i, &p) in prefix_lens.iter().enumerate() {
+            if p > 32 {
+                return Err(Error::InvalidParameter {
+                    name: "prefix_lens",
+                    message: format!("prefix length {p} at index {i} exceeds 32"),
+                });
+            }
+            let blocks = if p >= 24 { 1.0 } else { f64::from(1u32 << (24 - p)) };
+            values.push(blocks);
+        }
+        Self::from_values(values)
+    }
+
+    /// Per-network weight values.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Weight of network `n`.
+    #[inline]
+    pub fn get(&self, n: usize) -> f64 {
+        self.values[n]
+    }
+
+    /// Number of networks covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the weight vector is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Sum of all weights (Φ's denominator under the pessimistic policy).
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Scale every weight by a factor; relative comparisons (and Φ) are
+    /// unaffected, but aggregate magnitudes change.
+    ///
+    /// Errors if the factor is non-finite or non-positive.
+    pub fn scaled(&self, factor: f64) -> Result<Self> {
+        if !factor.is_finite() || factor <= 0.0 {
+            return Err(Error::InvalidParameter {
+                name: "factor",
+                message: format!("scale factor {factor} must be finite and positive"),
+            });
+        }
+        Ok(Weights {
+            values: self.values.iter().map(|w| w * factor).collect(),
+            total: self.total * factor,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_totals_n() {
+        let w = Weights::uniform(5);
+        assert_eq!(w.len(), 5);
+        assert_eq!(w.total(), 5.0);
+        assert!(w.values().iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn from_values_validates() {
+        assert!(Weights::from_values(vec![1.0, -1.0]).is_err());
+        assert!(Weights::from_values(vec![f64::NAN]).is_err());
+        assert!(Weights::from_values(vec![f64::INFINITY]).is_err());
+        assert!(matches!(
+            Weights::from_values(vec![0.0, 0.0]),
+            Err(Error::ZeroWeight)
+        ));
+        let w = Weights::from_values(vec![2.0, 3.0]).unwrap();
+        assert_eq!(w.total(), 5.0);
+    }
+
+    #[test]
+    fn prefix_weighting_matches_paper_example() {
+        // "if we have only one Atlas VP … from a /16 prefix, we can count
+        // that as 256 /24 blocks rather than just one."
+        let w = Weights::from_prefix_lengths(&[16, 24, 28]).unwrap();
+        assert_eq!(w.get(0), 256.0);
+        assert_eq!(w.get(1), 1.0);
+        assert_eq!(w.get(2), 1.0); // longer than /24 still counts once
+    }
+
+    #[test]
+    fn prefix_weighting_rejects_bad_length() {
+        assert!(Weights::from_prefix_lengths(&[33]).is_err());
+    }
+
+    #[test]
+    fn prefix_zero_is_full_space() {
+        let w = Weights::from_prefix_lengths(&[0]).unwrap();
+        assert_eq!(w.get(0), f64::from(1u32 << 24));
+    }
+
+    #[test]
+    fn scaled_preserves_ratios() {
+        let w = Weights::from_values(vec![1.0, 3.0]).unwrap();
+        let s = w.scaled(2.0).unwrap();
+        assert_eq!(s.values(), &[2.0, 6.0]);
+        assert_eq!(s.total(), 8.0);
+        assert!(w.scaled(0.0).is_err());
+        assert!(w.scaled(f64::NAN).is_err());
+    }
+}

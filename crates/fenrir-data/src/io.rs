@@ -1,0 +1,322 @@
+//! Serialization of routing-vector series: long-form CSV and JSONL.
+//!
+//! Two formats, both self-describing and diff-friendly:
+//!
+//! * **CSV** (long form): `time,network,catchment` rows, one per *known*
+//!   observation — the shape measurement pipelines and spreadsheet tools
+//!   expect. Unknowns are implicit (absent rows), which keeps multi-year
+//!   sparse datasets small.
+//! * **JSONL**: one JSON object per observation time with the full dense
+//!   code vector — lossless, including unknowns, for exact round-trips.
+
+use fenrir_core::error::{Error, Result};
+use fenrir_core::ids::SiteTable;
+use fenrir_core::series::VectorSeries;
+use fenrir_core::time::Timestamp;
+use fenrir_core::vector::{Catchment, RoutingVector};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Export a series as long-form CSV. `network_labels` names each vector
+/// position (block or VP id); unknown cells are omitted.
+pub fn to_csv(series: &VectorSeries, network_labels: &[String]) -> Result<String> {
+    if network_labels.len() != series.networks() {
+        return Err(Error::ShapeMismatch {
+            what: "network labels",
+            expected: series.networks(),
+            actual: network_labels.len(),
+        });
+    }
+    let sites = series.sites();
+    // The format has no quoting: a comma or newline inside a label or site
+    // name would corrupt the row structure, so reject them up front.
+    let clean = |s: &str| !s.contains(',') && !s.contains('\n') && !s.contains('\r');
+    if let Some(bad) = network_labels.iter().find(|l| !clean(l)) {
+        return Err(Error::InvalidParameter {
+            name: "network label",
+            message: format!("{bad:?} contains a comma or newline"),
+        });
+    }
+    if let Some((_, bad)) = sites.iter().find(|(_, n)| !clean(n)) {
+        return Err(Error::InvalidParameter {
+            name: "site name",
+            message: format!("{bad:?} contains a comma or newline"),
+        });
+    }
+    let mut out = String::from("time,network,catchment\n");
+    for v in series.vectors() {
+        for (n, label) in network_labels.iter().enumerate() {
+            let c = v.get(n);
+            if c.is_known() {
+                out.push_str(&format!(
+                    "{},{},{}\n",
+                    v.time().as_secs(),
+                    label,
+                    c.display(sites)
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Import a long-form CSV produced by [`to_csv`].
+///
+/// The network population and site table are reconstructed from the rows
+/// (networks ordered by first appearance); cells absent from the file are
+/// `Unknown`.
+pub fn from_csv(csv: &str) -> Result<(VectorSeries, Vec<String>)> {
+    let mut lines = csv.lines();
+    let header = lines.next().ok_or(Error::EmptyInput("csv"))?;
+    if header.trim() != "time,network,catchment" {
+        return Err(Error::InvalidParameter {
+            name: "csv header",
+            message: format!("unexpected header {header:?}"),
+        });
+    }
+    let mut sites = SiteTable::new();
+    let mut net_index: HashMap<String, usize> = HashMap::new();
+    let mut net_labels: Vec<String> = Vec::new();
+    // (time, network, catchment) triples with catchments resolved late so
+    // the site table fills in file order.
+    let mut rows: Vec<(i64, usize, Catchment)> = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut parts = line.splitn(3, ',');
+        let (Some(t), Some(net), Some(catch)) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(Error::InvalidParameter {
+                name: "csv row",
+                message: format!("line {}: expected 3 fields", lineno + 2),
+            });
+        };
+        let t: i64 = t.parse().map_err(|_| Error::InvalidParameter {
+            name: "csv time",
+            message: format!("line {}: bad timestamp {t:?}", lineno + 2),
+        })?;
+        let n = *net_index.entry(net.to_owned()).or_insert_with(|| {
+            net_labels.push(net.to_owned());
+            net_labels.len() - 1
+        });
+        let c = match catch {
+            "err" => Catchment::Err,
+            "other" => Catchment::Other,
+            "unknown" => Catchment::Unknown,
+            name => Catchment::Site(sites.intern(name)),
+        };
+        rows.push((t, n, c));
+    }
+    let mut times: Vec<i64> = rows.iter().map(|&(t, _, _)| t).collect();
+    times.sort_unstable();
+    times.dedup();
+    let t_index: HashMap<i64, usize> = times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+    let mut vectors: Vec<RoutingVector> = times
+        .iter()
+        .map(|&t| RoutingVector::unknown(Timestamp::from_secs(t), net_labels.len()))
+        .collect();
+    for (t, n, c) in rows {
+        vectors[t_index[&t]].set(n, c);
+    }
+    let series = VectorSeries::from_vectors(sites, net_labels.len(), vectors)?;
+    Ok((series, net_labels))
+}
+
+/// One JSONL record: a full observation.
+#[derive(Debug, Serialize, Deserialize)]
+struct JsonlRow {
+    /// Seconds since epoch.
+    t: i64,
+    /// Dense catchment codes (see `fenrir_core::vector`).
+    codes: Vec<u16>,
+}
+
+/// JSONL header record carrying the site table and network labels.
+#[derive(Debug, Serialize, Deserialize)]
+struct JsonlHeader {
+    sites: Vec<String>,
+    networks: Vec<String>,
+}
+
+/// Export a series as JSONL: a header line, then one line per observation.
+pub fn to_jsonl(series: &VectorSeries, network_labels: &[String]) -> Result<String> {
+    if network_labels.len() != series.networks() {
+        return Err(Error::ShapeMismatch {
+            what: "network labels",
+            expected: series.networks(),
+            actual: network_labels.len(),
+        });
+    }
+    let header = JsonlHeader {
+        sites: series.sites().iter().map(|(_, n)| n.to_owned()).collect(),
+        networks: network_labels.to_vec(),
+    };
+    let mut out = serde_json::to_string(&header).expect("header serializes");
+    out.push('\n');
+    for v in series.vectors() {
+        let row = JsonlRow {
+            t: v.time().as_secs(),
+            codes: v.codes().to_vec(),
+        };
+        out.push_str(&serde_json::to_string(&row).expect("row serializes"));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Import JSONL produced by [`to_jsonl`]. Lossless round trip.
+pub fn from_jsonl(jsonl: &str) -> Result<(VectorSeries, Vec<String>)> {
+    let mut lines = jsonl.lines().filter(|l| !l.trim().is_empty());
+    let header_line = lines.next().ok_or(Error::EmptyInput("jsonl"))?;
+    let header: JsonlHeader =
+        serde_json::from_str(header_line).map_err(|e| Error::InvalidParameter {
+            name: "jsonl header",
+            message: e.to_string(),
+        })?;
+    let sites = SiteTable::from_names(&header.sites);
+    let mut vectors = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let row: JsonlRow = serde_json::from_str(line).map_err(|e| Error::InvalidParameter {
+            name: "jsonl row",
+            message: format!("line {}: {e}", i + 2),
+        })?;
+        if row.codes.len() != header.networks.len() {
+            return Err(Error::ShapeMismatch {
+                what: "jsonl row codes",
+                expected: header.networks.len(),
+                actual: row.codes.len(),
+            });
+        }
+        vectors.push(RoutingVector::from_codes(
+            Timestamp::from_secs(row.t),
+            row.codes,
+        ));
+    }
+    let series = VectorSeries::from_vectors(sites, header.networks.len(), vectors)?;
+    Ok((series, header.networks))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fenrir_core::ids::SiteId;
+
+    fn sample() -> (VectorSeries, Vec<String>) {
+        let sites = SiteTable::from_names(["LAX", "AMS"]);
+        let mut series = VectorSeries::new(sites, 3);
+        let s = |n| Catchment::Site(SiteId(n));
+        series
+            .push(RoutingVector::from_catchments(
+                Timestamp::from_days(0),
+                vec![s(0), s(1), Catchment::Unknown],
+            ))
+            .unwrap();
+        series
+            .push(RoutingVector::from_catchments(
+                Timestamp::from_days(1),
+                vec![s(0), Catchment::Err, Catchment::Other],
+            ))
+            .unwrap();
+        let labels = vec!["10.0.0.0/24".into(), "10.0.1.0/24".into(), "10.0.2.0/24".into()];
+        (series, labels)
+    }
+
+    #[test]
+    fn csv_round_trip_preserves_known_cells() {
+        let (series, labels) = sample();
+        let csv = to_csv(&series, &labels).unwrap();
+        let (back, back_labels) = from_csv(&csv).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.networks(), 3);
+        assert_eq!(back_labels, labels);
+        for (orig, round) in series.vectors().iter().zip(back.vectors()) {
+            assert_eq!(orig.time(), round.time());
+            for n in 0..3 {
+                let (a, b) = (orig.get(n), round.get(n));
+                // Unknown round-trips as unknown (absent row); everything
+                // else exactly.
+                assert_eq!(a, b, "net {n} at {}", orig.time());
+            }
+        }
+    }
+
+    #[test]
+    fn csv_omits_unknown_rows() {
+        let (series, labels) = sample();
+        let csv = to_csv(&series, &labels).unwrap();
+        assert_eq!(csv.trim_end().lines().count(), 1 + 5); // header + 5 known cells
+        assert!(!csv.contains("unknown"));
+    }
+
+    #[test]
+    fn csv_rejects_label_mismatch() {
+        let (series, _) = sample();
+        assert!(to_csv(&series, &["x".into()]).is_err());
+    }
+
+    #[test]
+    fn csv_rejects_commas_in_labels_and_sites() {
+        let (series, _) = sample();
+        let bad = vec!["a,b".into(), "c".into(), "d".into()];
+        assert!(to_csv(&series, &bad).is_err());
+        let sites = SiteTable::from_names(["NY,C"]);
+        let mut s2 = VectorSeries::new(sites, 1);
+        s2.push(RoutingVector::from_catchments(
+            Timestamp::from_days(0),
+            vec![Catchment::Site(SiteId(0))],
+        ))
+        .unwrap();
+        assert!(to_csv(&s2, &["n".into()]).is_err());
+    }
+
+    #[test]
+    fn csv_rejects_bad_header_and_rows() {
+        assert!(from_csv("").is_err());
+        assert!(from_csv("wrong,header,here\n").is_err());
+        assert!(from_csv("time,network,catchment\nnotanumber,a,LAX\n").is_err());
+        assert!(from_csv("time,network,catchment\n12,onlytwo\n").is_err());
+    }
+
+    #[test]
+    fn csv_skips_blank_lines() {
+        let csv = "time,network,catchment\n0,a,LAX\n\n86400,a,AMS\n";
+        let (series, labels) = from_csv(csv).unwrap();
+        assert_eq!(series.len(), 2);
+        assert_eq!(labels, vec!["a".to_owned()]);
+    }
+
+    #[test]
+    fn jsonl_round_trip_is_lossless() {
+        let (series, labels) = sample();
+        let jsonl = to_jsonl(&series, &labels).unwrap();
+        let (back, back_labels) = from_jsonl(&jsonl).unwrap();
+        assert_eq!(back_labels, labels);
+        assert_eq!(back.len(), series.len());
+        for (a, b) in series.vectors().iter().zip(back.vectors()) {
+            assert_eq!(a, b);
+        }
+        assert_eq!(
+            back.sites().iter().map(|(_, n)| n.to_owned()).collect::<Vec<_>>(),
+            vec!["LAX".to_owned(), "AMS".to_owned()]
+        );
+    }
+
+    #[test]
+    fn jsonl_rejects_malformed_input() {
+        assert!(from_jsonl("").is_err());
+        assert!(from_jsonl("not json\n").is_err());
+        let (series, labels) = sample();
+        let jsonl = to_jsonl(&series, &labels).unwrap();
+        // Corrupt a row's code count.
+        let mut lines: Vec<String> = jsonl.lines().map(str::to_owned).collect();
+        lines[1] = r#"{"t":0,"codes":[1]}"#.into();
+        assert!(from_jsonl(&lines.join("\n")).is_err());
+    }
+
+    #[test]
+    fn jsonl_rejects_label_mismatch() {
+        let (series, _) = sample();
+        assert!(to_jsonl(&series, &["x".into()]).is_err());
+    }
+}

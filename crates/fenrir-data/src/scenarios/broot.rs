@@ -1,0 +1,335 @@
+//! The five-year B-Root/Verfploeter case study of Figures 3 and 4.
+//!
+//! Timeline (following §4.2 of the paper):
+//!
+//! * 2019-09 … 2020-02 — mode (i): four original sites (LAX dominant).
+//! * 2020-02-15 — SIN, IAD, AMS added → mode (ii).
+//! * 2020-04-15 — a third-party shift moves much of LAX's catchment to the
+//!   new sites → mode (iii).
+//! * 2021-03-01 — another third-party change → mode (iv), the longest.
+//! * Small intra-mode events (iv.a–iv.d) at 2022-09-16, 2023-02-12,
+//!   2023-04-13, 2023-07-05.
+//! * 2023-03-06 — ARI shut down; SCL appears briefly on 2023-05-01 and
+//!   2023-05-24, then permanently from 2023-06-29 → mode (v).
+//! * 2023-07-05 … 2023-12-01 — collection outage (no observations).
+//! * 2024-06-01 — a final shift → mode (vi).
+//!
+//! Mode (v) resembles mode (i) more than its temporal neighbours because
+//! the third-party shifts of 2020/2021 are scripted to *end* in mid-2023,
+//! returning much of LAX's original catchment — the paper's headline
+//! "about one-third of networks fall back to a previous routing mode".
+
+use super::{cadence, Scale};
+use fenrir_core::time::Timestamp;
+use fenrir_measure::latency::LatencyProber;
+use fenrir_measure::verfploeter::{SweepResult, Verfploeter};
+use fenrir_netsim::anycast::AnycastService;
+use fenrir_netsim::events::{EventKind, Party, Scenario, ScenarioEvent};
+use fenrir_netsim::geo::cities;
+use fenrir_netsim::topology::{AsId, Tier, Topology};
+
+/// Everything the Figure 3 / Figure 4 experiments need.
+#[derive(Debug, Clone)]
+pub struct BrootStudy {
+    /// The simulated Internet.
+    pub topo: Topology,
+    /// The B-Root-like service (8 sites, some initially inactive).
+    pub service: AnycastService,
+    /// The five-year event script.
+    pub scenario: Scenario,
+    /// Observation instants (daily, minus the collection outage).
+    pub times: Vec<Timestamp>,
+    /// The Verfploeter sweep result.
+    pub result: SweepResult,
+}
+
+use fenrir_netsim::steering::{find_disturbances, Disturbance};
+
+/// Schedule a windowed third-party disturbance.
+fn disturb(scenario: &mut Scenario, d: &Disturbance, start: i64, end: i64) {
+    scenario.push(ScenarioEvent {
+        start,
+        end: Some(end),
+        kind: d.kind.clone(),
+        party: Party::ThirdParty,
+        operator: "third-party".to_owned(),
+    });
+}
+
+/// Build and run the B-Root scenario.
+pub fn broot(scale: Scale) -> BrootStudy {
+    let topo = scale.topology(0xB007).build();
+    let regionals = topo.tier_members(Tier::Regional);
+
+    let mut service = AnycastService::new("B-Root");
+    let sites = [
+        ("LAX", cities::LAX),
+        ("MIA", cities::MIA),
+        ("ARI", cities::ARI),
+        ("NRT", cities::NRT),
+        ("SIN", cities::SIN),
+        ("IAD", cities::IAD),
+        ("AMS", cities::AMS),
+        ("SCL", cities::SCL),
+    ];
+    // The four original sites sit at well-connected regionals (LAX stays
+    // dominant, as in the real B-Root); the later deployments are hosted
+    // at edge ASes, capturing real but modest catchments — this keeps the
+    // additions from eclipsing the third-party shifts, matching the
+    // paper's stack plot where LAX serves most clients in modes (i) and
+    // (v) alike.
+    let stubs = topo.tier_members(Tier::Stub);
+    for (i, (name, geo)) in sites.iter().enumerate() {
+        let host = if i < 4 {
+            regionals[i % regionals.len()]
+        } else {
+            stubs[(i - 4) * 7 % stubs.len()]
+        };
+        service.add_site(name, host, *geo);
+    }
+    // SIN/IAD/AMS/SCL are later deployments: inactive at the epoch.
+    for name in ["SIN", "IAD", "AMS", "SCL"] {
+        service.drain(service.site_index(name).expect("site defined"));
+    }
+
+    let ymd = |y: i32, m: u32, d: u32| Timestamp::from_ymd(y, m, d).as_secs();
+    let mut scenario = Scenario::new();
+    let op = "broot-neteng";
+    let add = |sc: &mut Scenario, site: usize, at: i64| {
+        sc.push(ScenarioEvent {
+            start: at,
+            end: None,
+            kind: EventKind::AddSite { site },
+            party: Party::Operator,
+            operator: op.to_owned(),
+        });
+    };
+    let remove = |sc: &mut Scenario, site: usize, at: i64| {
+        sc.push(ScenarioEvent {
+            start: at,
+            end: None,
+            kind: EventKind::RemoveSite { site },
+            party: Party::Operator,
+            operator: op.to_owned(),
+        });
+    };
+    let idx = |name: &str| service.site_index(name).expect("site defined");
+
+    // Mode (ii): three new sites on 2020-02-15.
+    for name in ["SIN", "IAD", "AMS"] {
+        add(&mut scenario, idx(name), ymd(2020, 2, 15));
+    }
+    // Modes (iii)/(iv): strong third-party shifts that END mid-2023 so
+    // mode (v) partially reverts toward mode (i)'s routing -- the paper's
+    // "around 30% of networks fall back to previous routing mode".
+    let probes: Vec<AsId> = topo.all_blocks().iter().map(|&(_, a)| a).collect();
+    let tp = find_disturbances(&topo, &service, &probes, 0.01);
+    assert!(
+        tp.len() >= 2,
+        "topology must offer at least two effective third-party disturbances"
+    );
+    // Each mode boundary is a composite of several disturbances so the
+    // shifted population is large (the paper's mode (iii) moved ~70% of
+    // LAX's catchment).
+    let strong: Vec<&Disturbance> = tp.iter().filter(|d| d.effect >= 0.05).collect();
+    for d in strong.iter().step_by(2).take(3) {
+        disturb(&mut scenario, d, ymd(2020, 4, 15), ymd(2023, 6, 29));
+    }
+    for d in strong.iter().skip(1).step_by(2).take(3) {
+        disturb(&mut scenario, d, ymd(2021, 3, 1), ymd(2023, 6, 29));
+    }
+    // ARI shut down 2023-03-06; SCL blips 2023-05-01 and 2023-05-24, then
+    // permanent from 2023-06-29.
+    remove(&mut scenario, idx("ARI"), ymd(2023, 3, 6));
+    let scl = idx("SCL");
+    for (start, end) in [
+        (ymd(2023, 5, 1), ymd(2023, 5, 2)),
+        (ymd(2023, 5, 24), ymd(2023, 5, 25)),
+    ] {
+        add(&mut scenario, scl, start);
+        remove(&mut scenario, scl, end);
+    }
+    add(&mut scenario, scl, ymd(2023, 6, 29));
+    // Intra-mode events iv.a-iv.d: small third-party disturbances from the
+    // weak tail of the candidate list, each bounded so they end with the
+    // mid-2023 reversion.
+    let small: Vec<&Disturbance> = tp.iter().rev().filter(|d| d.effect < 0.05).take(3).collect();
+    let windows = [(2022, 9, 16), (2023, 2, 12), (2023, 4, 13)];
+    for (i, (y, m, d)) in windows.iter().enumerate() {
+        let cand = small.get(i).copied().unwrap_or(&tp[tp.len() - 1]);
+        disturb(&mut scenario, cand, ymd(*y, *m, *d), ymd(2023, 6, 29));
+    }
+    // Mode (vi): a final strong third-party shift in 2024, permanent.
+    let vi = tp.get(2).unwrap_or(&tp[0]).clone();
+    disturb(&mut scenario, &vi, ymd(2024, 6, 1), i64::MAX);
+
+    // Daily observations 2019-09-01 .. 2024-12-31 minus the collection
+    // outage 2023-07-05 .. 2023-12-01.
+    let all = cadence(
+        scale,
+        Timestamp::from_ymd(2019, 9, 1),
+        Timestamp::from_ymd(2024, 12, 31),
+        86_400,
+    );
+    let outage = (ymd(2023, 7, 5), ymd(2023, 12, 1));
+    let times: Vec<Timestamp> = all
+        .into_iter()
+        .filter(|t| t.as_secs() < outage.0 || t.as_secs() >= outage.1)
+        .collect();
+
+    let sweep = Verfploeter {
+        mean_response_rate: 0.5,
+        seed: 0xB00755,
+    };
+    let result = sweep.run(&topo, &service, &scenario, &times);
+    BrootStudy {
+        topo,
+        service,
+        scenario,
+        times,
+        result,
+    }
+}
+
+impl BrootStudy {
+    /// Latency panels for the Figure 4 window (2022-01 … 2023-12),
+    /// Trinocular-style.
+    pub fn latency_panels(&self) -> Vec<fenrir_core::latency::LatencyPanel> {
+        let window: Vec<Timestamp> = self
+            .times
+            .iter()
+            .copied()
+            .filter(|t| {
+                *t >= Timestamp::from_ymd(2022, 1, 1) && *t < Timestamp::from_ymd(2024, 1, 1)
+            })
+            .collect();
+        LatencyProber {
+            coverage: 0.9,
+            jitter_ms: 6.0,
+            seed: 0xB0077A,
+        }
+        .probe(&self.topo, &self.service, &self.scenario, &self.result.blocks, &window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fenrir_core::cluster::{AdaptiveThreshold, Linkage};
+    use fenrir_core::modes::ModeAnalysis;
+    use fenrir_core::similarity::{SimilarityMatrix, UnknownPolicy};
+    use fenrir_core::weight::Weights;
+
+    #[test]
+    fn timeline_skips_the_outage() {
+        let s = broot(Scale::Test);
+        let outage_lo = Timestamp::from_ymd(2023, 7, 5);
+        let outage_hi = Timestamp::from_ymd(2023, 12, 1);
+        assert!(s
+            .times
+            .iter()
+            .all(|&t| t < outage_lo || t >= outage_hi));
+        assert!(s.times.len() > 100, "still plenty of observations");
+    }
+
+    #[test]
+    fn new_sites_only_serve_after_deployment() {
+        let s = broot(Scale::Test);
+        let sin = s.service.site_index("SIN").unwrap();
+        let aggs = s.result.series.aggregates();
+        let deploy = Timestamp::from_ymd(2020, 2, 15);
+        for (t, a) in s.times.iter().zip(&aggs) {
+            if *t < deploy {
+                assert_eq!(a.per_site[sin], 0, "SIN serving before deployment at {t}");
+            }
+        }
+        // And it serves at least somewhere after.
+        let after_total: u64 = s
+            .times
+            .iter()
+            .zip(&aggs)
+            .filter(|(t, _)| **t >= deploy)
+            .map(|(_, a)| a.per_site[sin])
+            .sum();
+        assert!(after_total > 0, "SIN never serves after deployment");
+    }
+
+    #[test]
+    fn ari_never_serves_after_shutdown() {
+        let s = broot(Scale::Test);
+        let ari = s.service.site_index("ARI").unwrap();
+        let shutdown = Timestamp::from_ymd(2023, 3, 6);
+        let aggs = s.result.series.aggregates();
+        for (t, a) in s.times.iter().zip(&aggs) {
+            if *t >= shutdown {
+                assert_eq!(a.per_site[ari], 0, "ARI serving after shutdown at {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn scl_serves_only_after_final_deployment_or_blips() {
+        let s = broot(Scale::Test);
+        let scl = s.service.site_index("SCL").unwrap();
+        let aggs = s.result.series.aggregates();
+        let permanent = Timestamp::from_ymd(2023, 6, 29);
+        for (t, a) in s.times.iter().zip(&aggs) {
+            let in_blip = (*t >= Timestamp::from_ymd(2023, 5, 1)
+                && *t < Timestamp::from_ymd(2023, 5, 2))
+                || (*t >= Timestamp::from_ymd(2023, 5, 24)
+                    && *t < Timestamp::from_ymd(2023, 5, 25));
+            if *t < permanent && !in_blip {
+                assert_eq!(a.per_site[scl], 0, "SCL serving unexpectedly at {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn modes_emerge_and_early_mode_recurs_in_similarity() {
+        let s = broot(Scale::Test);
+        let w = Weights::uniform(s.result.series.networks());
+        let sim = SimilarityMatrix::compute_parallel(
+            &s.result.series,
+            &w,
+            UnknownPolicy::KnownOnly,
+            4,
+        )
+        .unwrap();
+        let ma = ModeAnalysis::discover(
+            &sim,
+            &s.times,
+            Linkage::Average,
+            AdaptiveThreshold::default(),
+        )
+        .unwrap();
+        assert!(ma.len() >= 3, "expected several modes, got {}", ma.len());
+        // Find the modes containing the first observation and one from
+        // late 2023 (post-reversion); their mean similarity must exceed
+        // the similarity between the 2021 mode and late-2023.
+        let idx_2021 = s
+            .times
+            .iter()
+            .position(|&t| t >= Timestamp::from_ymd(2021, 6, 1))
+            .unwrap();
+        let idx_late = s
+            .times
+            .iter()
+            .position(|&t| t >= Timestamp::from_ymd(2023, 12, 15))
+            .unwrap();
+        let phi_early_late = sim.get(0, idx_late);
+        let phi_mid_late = sim.get(idx_2021, idx_late);
+        assert!(
+            phi_early_late > phi_mid_late,
+            "mode (v)-like routing should resemble mode (i) ({phi_early_late:.3}) more \
+             than mode (iv) ({phi_mid_late:.3})"
+        );
+    }
+
+    #[test]
+    fn latency_window_has_panels() {
+        let s = broot(Scale::Test);
+        let panels = s.latency_panels();
+        assert!(!panels.is_empty());
+        assert!(panels.iter().all(|p| p.len() == s.result.blocks.len()));
+    }
+}

@@ -1,0 +1,103 @@
+//! Scenario builders: deterministic reconstructions of every dataset in the
+//! paper's Table 2 (plus the G-Root example of Figure 1).
+//!
+//! Each builder assembles a topology, an anycast/website service, a scripted
+//! event timeline, and the matching measurement campaign, then runs the
+//! campaign to produce analysis-ready series. Builders take a [`Scale`]:
+//! [`Scale::Test`] shrinks populations and thins cadence so unit tests run
+//! in milliseconds; [`Scale::Paper`] runs timeline lengths comparable to the
+//! paper for the benchmark harness.
+
+mod broot;
+mod groot;
+mod usc;
+mod validation;
+mod websites;
+
+pub use broot::{broot, BrootStudy};
+pub use groot::{groot, GrootStudy};
+pub use usc::{usc, UscStudy};
+pub use validation::{broot_validation, ValidationStudy};
+pub use websites::{google, wikipedia, WebsiteStudy};
+
+use fenrir_core::time::Timestamp;
+use fenrir_netsim::topology::TopologyBuilder;
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small populations, coarse cadence — for unit tests.
+    Test,
+    /// Paper-shaped timelines — for the benchmark/repro harness.
+    Paper,
+}
+
+impl Scale {
+    /// A topology sized for this scale.
+    pub(crate) fn topology(self, seed: u64) -> TopologyBuilder {
+        match self {
+            Scale::Test => TopologyBuilder {
+                transit: 3,
+                regional: 8,
+                stubs: 60,
+                blocks_per_stub: 2,
+                seed,
+                ..Default::default()
+            },
+            Scale::Paper => TopologyBuilder {
+                transit: 5,
+                regional: 24,
+                stubs: 400,
+                blocks_per_stub: 4,
+                seed,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Observation thinning factor (take every k-th instant).
+    pub(crate) fn thin(self) -> i64 {
+        match self {
+            Scale::Test => 8,
+            Scale::Paper => 1,
+        }
+    }
+}
+
+/// Observation instants from `start` to `end` (exclusive) every
+/// `step_secs`, thinned by the scale.
+pub(crate) fn cadence(scale: Scale, start: Timestamp, end: Timestamp, step_secs: i64) -> Vec<Timestamp> {
+    let step = step_secs * scale.thin();
+    let mut out = Vec::new();
+    let mut t = start.as_secs();
+    while t < end.as_secs() {
+        out.push(Timestamp::from_secs(t));
+        t += step;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cadence_respects_bounds_and_thinning() {
+        let start = Timestamp::from_days(0);
+        let end = Timestamp::from_days(1);
+        let paper = cadence(Scale::Paper, start, end, 3600);
+        assert_eq!(paper.len(), 24);
+        let test = cadence(Scale::Test, start, end, 3600);
+        assert_eq!(test.len(), 3);
+        assert_eq!(test[1] - test[0], 8 * 3600);
+        assert!(paper.last().unwrap().as_secs() < end.as_secs());
+    }
+
+    #[test]
+    fn scales_differ_in_topology_size() {
+        let t = Scale::Test.topology(1);
+        let p = Scale::Paper.topology(1);
+        assert!(p.stubs > t.stubs);
+        assert!(p.regional > t.regional);
+    }
+}

@@ -1,0 +1,292 @@
+//! The top-website case studies of Figures 5 and 6.
+//!
+//! * [`google`] — a hypergiant with hundreds of front-end clusters and
+//!   aggressive deployment: weekly reshuffles, a sticky minority, and a
+//!   2013-era prefix that shares nothing with the 2024 infrastructure.
+//! * [`wikipedia`] — a non-profit with seven named sites, geographic
+//!   selection, and one drain/return event (codfw, 2025-03-19 → 03-26)
+//!   after which only a fraction of the former clients return.
+
+use super::{cadence, Scale};
+use fenrir_core::time::Timestamp;
+use fenrir_measure::ednscs::{EdnsCsCampaign, EdnsCsResult, FrontendPolicy};
+use fenrir_netsim::anycast::AnycastService;
+use fenrir_netsim::events::Scenario;
+use fenrir_netsim::geo::GeoPoint;
+use fenrir_netsim::topology::{Tier, Topology};
+
+/// Everything a website experiment needs.
+#[derive(Debug, Clone)]
+pub struct WebsiteStudy {
+    /// The simulated Internet (client population and geography).
+    pub topo: Topology,
+    /// Site definitions (meaningful for the Geo policy; unused for Churn).
+    pub service: AnycastService,
+    /// Event script.
+    pub scenario: Scenario,
+    /// Observation instants.
+    pub times: Vec<Timestamp>,
+    /// EDNS-CS measurement result.
+    pub result: EdnsCsResult,
+}
+
+/// Build and run the Google-like study: three days starting 2013-05-26 and
+/// sixty days starting 2024-02-21, daily.
+pub fn google(scale: Scale) -> WebsiteStudy {
+    let topo = scale.topology(0x600613).build();
+    let service = AnycastService::new("google"); // churn policy ignores sites
+    let scenario = Scenario::new();
+
+    let mut times = cadence(
+        Scale::Paper, // daily snapshots are cheap; keep both scales daily
+        Timestamp::from_ymd(2013, 5, 26),
+        Timestamp::from_ymd(2013, 5, 29),
+        86_400,
+    );
+    // Daily in the 2024 window at every scale: the intra-week vs
+    // cross-week comparison needs day-level resolution.
+    times.extend(cadence(
+        Scale::Paper,
+        Timestamp::from_ymd(2024, 2, 21),
+        Timestamp::from_ymd(2024, 4, 21),
+        86_400,
+    ));
+
+    // Era changes between the two windows: the 2013 infrastructure shares
+    // nothing with 2024.
+    let clusters = match scale {
+        Scale::Test => 30,
+        Scale::Paper => 120,
+    };
+    let run_era = |era: u64, window: &[Timestamp]| {
+        EdnsCsCampaign {
+            hostname: "www.google.com".into(),
+            policy: FrontendPolicy::Churn {
+                clusters,
+                epoch_secs: 7 * 86_400,
+                era,
+                sticky_frac: 0.25,
+                daily_churn: 0.12,
+            },
+            loss_prob: 0.002,
+            seed: 0x600613AA,
+        }
+        .run(&topo, &service, &scenario, window)
+    };
+    let split = times.partition_point(|&t| t < Timestamp::from_ymd(2020, 1, 1));
+    let r2013 = run_era(2013, &times[..split]);
+    let r2024 = run_era(2024, &times[split..]);
+    // Stitch the two eras into one series.
+    let mut series = r2013.series;
+    for v in r2024.series.vectors() {
+        series.push(v.clone()).expect("eras are time-ordered");
+    }
+    WebsiteStudy {
+        topo,
+        service,
+        scenario,
+        times,
+        result: EdnsCsResult {
+            series,
+            blocks: r2013.blocks,
+        },
+    }
+}
+
+/// Wikipedia's real seven front-end sites with approximate locations.
+const WIKI_SITES: [(&str, f64, f64); 7] = [
+    ("eqiad", 39.0, -77.5),  // Ashburn
+    ("codfw", 32.8, -96.8),  // Dallas
+    ("ulsfo", 37.6, -122.4), // San Francisco
+    ("eqsin", 1.35, 103.99), // Singapore
+    ("esams", 52.3, 4.9),    // Amsterdam
+    ("drmrs", 43.3, 5.4),    // Marseille
+    ("magru", -23.5, -46.6), // São Paulo
+];
+
+/// Build a topology whose regionals sit *at* the Wikipedia site locations,
+/// so every front-end has a nearby client population (as real eyeball
+/// geography does) — a generic random placement can leave a site with no
+/// clients at all.
+fn wiki_topology(scale: Scale) -> Topology {
+    use fenrir_netsim::topology::Relationship;
+    use rand::{Rng, SeedableRng};
+
+    let (stubs, blocks_per_stub) = match scale {
+        Scale::Test => (70, 2),
+        Scale::Paper => (400, 4),
+    };
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0x3141);
+    let mut topo = Topology::new();
+    let transit: Vec<_> = (0..4)
+        .map(|_| topo.add_node(Tier::Transit, GeoPoint::random(&mut rng), vec![]))
+        .collect();
+    for (i, &a) in transit.iter().enumerate() {
+        for &b in &transit[i + 1..] {
+            topo.add_edge(a, b, Relationship::Peer);
+        }
+    }
+    let mut regionals = Vec::new();
+    for (_, lat, lon) in WIKI_SITES {
+        let geo = GeoPoint::new(lat, lon);
+        let id = topo.add_node(Tier::Regional, geo, vec![]);
+        topo.add_edge(id, transit[rng.gen_range(0..transit.len())], Relationship::Provider);
+        regionals.push(id);
+    }
+    let mut next_block = 10u32 << 16;
+    for i in 0..stubs {
+        let primary = regionals[i % regionals.len()];
+        let geo = topo.node(primary).geo.jittered(&mut rng, 600.0);
+        let blocks: Vec<_> = (0..blocks_per_stub)
+            .map(|_| {
+                let b = fenrir_netsim::prefix::BlockId(next_block);
+                next_block += 1;
+                b
+            })
+            .collect();
+        let id = topo.add_node(Tier::Stub, geo, blocks);
+        topo.add_edge(id, primary, Relationship::Provider);
+    }
+    topo
+}
+
+/// Build and run the Wikipedia-like study: daily observations 2025-03-15 …
+/// 2025-04-26, with codfw drained 2025-03-19 → 2025-03-26 and only ~30% of
+/// its former clients returning.
+pub fn wikipedia(scale: Scale) -> WebsiteStudy {
+    let topo = wiki_topology(scale);
+    let regionals = topo.tier_members(Tier::Regional);
+    let mut service = AnycastService::new("wikipedia");
+    for (i, (name, lat, lon)) in WIKI_SITES.iter().enumerate() {
+        service.add_site(name, regionals[i % regionals.len()], GeoPoint::new(*lat, *lon));
+    }
+    let codfw = service.site_index("codfw").expect("codfw defined");
+    let mut scenario = Scenario::new();
+    scenario.drain(
+        codfw,
+        Timestamp::from_ymd(2025, 3, 19).as_secs(),
+        Timestamp::from_ymd(2025, 3, 26).as_secs(),
+        "wiki-sre",
+    );
+
+    let times = cadence(
+        match scale {
+            // Daily data over 6 weeks is cheap; thin only mildly in tests.
+            Scale::Test => Scale::Paper,
+            s => s,
+        },
+        Timestamp::from_ymd(2025, 3, 15),
+        Timestamp::from_ymd(2025, 4, 26),
+        86_400,
+    );
+    let campaign = EdnsCsCampaign {
+        hostname: "www.wikipedia.org".into(),
+        policy: FrontendPolicy::Geo {
+            sticky_return_frac: 0.3,
+        },
+        loss_prob: 0.002,
+        seed: 0x314_1AA,
+    };
+    let result = campaign.run(&topo, &service, &scenario, &times);
+    WebsiteStudy {
+        topo,
+        service,
+        scenario,
+        times,
+        result,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fenrir_core::similarity::{phi, UnknownPolicy};
+    use fenrir_core::weight::Weights;
+
+    #[test]
+    fn google_intra_week_high_cross_week_low_cross_era_nil() {
+        let s = google(Scale::Test);
+        let w = Weights::uniform(s.result.series.networks());
+        let series = &s.result.series;
+        // Find indices: two days in the same 2024 week, two in different
+        // weeks, and one 2013 day.
+        let idx_of = |y: i32, m: u32, d: u32| {
+            let t = Timestamp::from_ymd(y, m, d);
+            s.times.iter().position(|&x| x >= t).expect("in window")
+        };
+        let p = |a: usize, b: usize| {
+            phi(series.get(a), series.get(b), &w, UnknownPolicy::Pessimistic)
+        };
+        let intra = p(idx_of(2024, 2, 26), idx_of(2024, 2, 27));
+        let cross = p(idx_of(2024, 2, 26), idx_of(2024, 3, 20));
+        let era = p(idx_of(2013, 5, 26), idx_of(2024, 3, 1));
+        assert!(intra > 0.6, "intra-week Φ {intra}");
+        assert!(cross < intra - 0.2, "cross-week Φ {cross} vs intra {intra}");
+        assert!((0.08..0.5).contains(&cross), "cross-week Φ {cross}");
+        assert!(era < 0.1, "cross-era Φ {era}");
+    }
+
+    #[test]
+    fn google_timeline_has_both_eras() {
+        let s = google(Scale::Test);
+        assert_eq!(s.result.series.len(), s.times.len());
+        assert!(s.times[0] < Timestamp::from_ymd(2014, 1, 1));
+        assert!(*s.times.last().unwrap() > Timestamp::from_ymd(2024, 1, 1));
+    }
+
+    #[test]
+    fn wikipedia_codfw_drains_and_partially_returns() {
+        let s = wikipedia(Scale::Test);
+        let codfw = s.service.site_index("codfw").unwrap();
+        let aggs = s.result.series.aggregates();
+        let idx_of = |m: u32, d: u32| {
+            let t = Timestamp::from_ymd(2025, m, d);
+            s.times.iter().position(|&x| x >= t).expect("in window")
+        };
+        let before = aggs[idx_of(3, 17)].per_site[codfw];
+        let during = aggs[idx_of(3, 21)].per_site[codfw];
+        let after = aggs[idx_of(4, 2)].per_site[codfw];
+        assert!(before > 0);
+        assert_eq!(during, 0, "codfw drained");
+        assert!(after > 0, "codfw returned");
+        let ratio = after as f64 / before as f64;
+        assert!(
+            (0.1..0.7).contains(&ratio),
+            "partial return ratio {ratio} (before {before}, after {after})"
+        );
+    }
+
+    #[test]
+    fn wikipedia_phi_bands_match_figure6() {
+        let s = wikipedia(Scale::Test);
+        let w = Weights::uniform(s.result.series.networks());
+        let series = &s.result.series;
+        let idx_of = |m: u32, d: u32| {
+            let t = Timestamp::from_ymd(2025, m, d);
+            s.times.iter().position(|&x| x >= t).expect("in window")
+        };
+        let p = |a: usize, b: usize| {
+            phi(series.get(a), series.get(b), &w, UnknownPolicy::KnownOnly)
+        };
+        // Stable within mode (i).
+        let stable = p(idx_of(3, 15), idx_of(3, 17));
+        assert!(stable > 0.9, "intra-mode Φ {stable}");
+        // Mode (i) vs drained mode (ii): ~20% shift.
+        let drained = p(idx_of(3, 17), idx_of(3, 21));
+        assert!((0.6..0.98).contains(&drained), "drain Φ {drained}");
+        // Mode (i) vs post-return mode (iii): similar but below 1.
+        let post = p(idx_of(3, 17), idx_of(4, 2));
+        assert!(post > drained - 0.05, "post-return at least as similar");
+        assert!(post < 1.0 - 1e-9, "not a full reversion ({post})");
+    }
+
+    #[test]
+    fn studies_are_deterministic() {
+        let a = wikipedia(Scale::Test);
+        let b = wikipedia(Scale::Test);
+        assert_eq!(a.result.series.vectors(), b.result.series.vectors());
+        let ga = google(Scale::Test);
+        let gb = google(Scale::Test);
+        assert_eq!(ga.result.series.vectors(), gb.result.series.vectors());
+    }
+}

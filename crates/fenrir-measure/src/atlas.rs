@@ -1,0 +1,302 @@
+//! RIPE-Atlas-style catchment observation (§2.3.1).
+//!
+//! Atlas runs *independently of* the anycast operator: ~10k vantage points
+//! each send a `CHAOS TXT hostname.bind` query toward the service and read
+//! the per-server identifier out of the TXT answer; an identifier → site
+//! mapping (following Fan et al.) turns that into a catchment. Compared to
+//! Verfploeter, coverage is sparse (thousands of VPs, not millions of
+//! blocks) but the cadence is high — the paper's Table 4 validation reads
+//! Atlas "every four minutes".
+//!
+//! Here every VP query is a real wire round trip — `hostname.bind TXT CH`
+//! inside UDP inside IPv4 — the simulated site parses the datagram, answers
+//! with its identifier string, and the campaign decodes and maps it. Sites
+//! answer with identifiers like `"b4-lax"`; an unknown identifier (a site
+//! the mapping has not learned) decodes to [`Catchment::Other`].
+
+use fenrir_core::ids::{SiteId, SiteTable};
+use fenrir_core::series::VectorSeries;
+use fenrir_core::time::Timestamp;
+use fenrir_core::vector::{Catchment, RoutingVector};
+use fenrir_netsim::anycast::AnycastService;
+use fenrir_netsim::events::Scenario;
+use fenrir_netsim::topology::{AsId, Tier, Topology};
+use fenrir_wire::dns::{Message, QClass, Rcode, Record};
+use fenrir_wire::ipv4::Ipv4Packet;
+use fenrir_wire::udp::{UdpDatagram, DNS_PORT};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+/// Configuration of an Atlas-style campaign.
+#[derive(Debug, Clone)]
+pub struct AtlasCampaign {
+    /// Number of vantage points to place (on distinct stub ASes when
+    /// possible).
+    pub vantage_points: usize,
+    /// Per-query loss probability (the VP sees a timeout → Unknown).
+    pub loss_prob: f64,
+    /// Fraction of site identifiers the mapping does not know → Other.
+    /// Models the paper's "other responses" category.
+    pub unmapped_identifier_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AtlasCampaign {
+    fn default() -> Self {
+        AtlasCampaign {
+            vantage_points: 100,
+            loss_prob: 0.01,
+            unmapped_identifier_prob: 0.0,
+            seed: 0xA71A_0001,
+        }
+    }
+}
+
+/// Campaign output: the series plus the VP placement (vector position `n`
+/// is a VP hosted in `vp_ases[n]`).
+#[derive(Debug, Clone)]
+pub struct AtlasResult {
+    /// One vector per observation time; networks are vantage points.
+    pub series: VectorSeries,
+    /// Host AS of each VP.
+    pub vp_ases: Vec<AsId>,
+}
+
+impl AtlasCampaign {
+    /// Place VPs deterministically on stub ASes (round-robin if more VPs
+    /// than stubs).
+    pub fn place_vps(&self, topo: &Topology) -> Vec<AsId> {
+        let mut stubs = topo.tier_members(Tier::Stub);
+        if stubs.is_empty() {
+            stubs = topo.nodes().iter().map(|n| n.id).collect();
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        stubs.shuffle(&mut rng);
+        (0..self.vantage_points)
+            .map(|i| stubs[i % stubs.len()])
+            .collect()
+    }
+
+    /// Run the campaign over `times`.
+    pub fn run(
+        &self,
+        topo: &Topology,
+        base: &AnycastService,
+        scenario: &Scenario,
+        times: &[Timestamp],
+    ) -> AtlasResult {
+        let vp_ases = self.place_vps(topo);
+        let sites = SiteTable::from_names(base.sites().iter().map(|s| s.name.as_str()));
+        // Identifier mapping: "b4-<lowercase site>" -> site, as built from
+        // prior work's identifier surveys.
+        let mapping: HashMap<String, SiteId> = base
+            .sites()
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (format!("b4-{}", s.name.to_lowercase()), SiteId(i as u16)))
+            .collect();
+
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed.wrapping_add(1));
+        let mut series = VectorSeries::new(sites, vp_ases.len());
+        for &t in times {
+            let svc = scenario.service_at(base, t.as_secs());
+            let cfg = scenario.config_at(t.as_secs());
+            let routes = svc.routes(topo, &cfg);
+            let mut v = RoutingVector::unknown(t, vp_ases.len());
+            for (n, &vp) in vp_ases.iter().enumerate() {
+                if rng.gen_bool(self.loss_prob) {
+                    continue; // timeout: stays Unknown
+                }
+                // Real wire round trip: the CHAOS query travels inside a
+                // UDP/IPv4 datagram from the VP to the anycast prefix.
+                let vp_addr = [100, 64, (n >> 8) as u8, n as u8];
+                let service_addr = [192, 0, 2, 1];
+                let query = Message::chaos_hostname_bind(n as u16);
+                let qbytes = query.encode().expect("query encodes");
+                let dgram = UdpDatagram::new(33_000 + n as u16, DNS_PORT, qbytes)
+                    .into_ipv4(vp_addr, service_addr)
+                    .expect("datagram fits");
+                let on_wire = dgram.encode().expect("packet encodes");
+                let at_site = Ipv4Packet::decode(&on_wire).expect("site parses IP");
+                let udp_in = UdpDatagram::from_ipv4(&at_site).expect("site parses UDP");
+                debug_assert_eq!(udp_in.dst_port, DNS_PORT);
+                let at_server = Message::decode(&udp_in.payload).expect("server parses query");
+                let Some(site) = routes.catchment(vp) else {
+                    // Query reached no site at all.
+                    v.set(n, Catchment::Err);
+                    continue;
+                };
+                // ... identifier back. Occasionally a site announces an
+                // identifier the mapping has not learned.
+                let unmapped = rng.gen_bool(self.unmapped_identifier_prob);
+                let ident = if unmapped {
+                    format!("anon-{site}")
+                } else {
+                    format!("b4-{}", svc.sites()[site as usize].name.to_lowercase())
+                };
+                let mut resp = at_server.response_to(Rcode::NoError);
+                resp.answers.push(Record::txt(
+                    at_server.questions[0].name.clone(),
+                    QClass::Chaos,
+                    0,
+                    ident.as_bytes(),
+                ));
+                let rbytes = resp.encode().expect("response encodes");
+                let rdgram = UdpDatagram::new(DNS_PORT, udp_in.src_port, rbytes)
+                    .into_ipv4(service_addr, vp_addr)
+                    .expect("datagram fits");
+                let back_wire = rdgram.encode().expect("packet encodes");
+                let at_vp_ip = Ipv4Packet::decode(&back_wire).expect("vp parses IP");
+                let udp_back = UdpDatagram::from_ipv4(&at_vp_ip).expect("vp parses UDP");
+                let at_vp = Message::decode(&udp_back.payload).expect("vp parses response");
+                let got = at_vp.first_txt().expect("txt answer present");
+                match mapping.get(&got) {
+                    Some(&sid) => v.set(n, Catchment::Site(sid)),
+                    None => v.set(n, Catchment::Other),
+                }
+            }
+            series.push(v).expect("times strictly increasing");
+        }
+        AtlasResult { series, vp_ases }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fenrir_netsim::geo::cities;
+    use fenrir_netsim::topology::TopologyBuilder;
+
+    fn setup() -> (Topology, AnycastService) {
+        let topo = TopologyBuilder {
+            transit: 3,
+            regional: 6,
+            stubs: 50,
+            blocks_per_stub: 1,
+            seed: 21,
+            ..Default::default()
+        }
+        .build();
+        let regionals = topo.tier_members(Tier::Regional);
+        let mut svc = AnycastService::new("G-Root");
+        svc.add_site("STR", regionals[0], cities::STR);
+        svc.add_site("NAP", regionals[1], cities::NAP);
+        svc.add_site("CMH", regionals[2], cities::CMH);
+        (topo, svc)
+    }
+
+    fn times(n: i64) -> Vec<Timestamp> {
+        (0..n)
+            .map(|i| Timestamp::from_secs(i * 240)) // 4-minute cadence
+            .collect()
+    }
+
+    #[test]
+    fn vps_are_placed_deterministically() {
+        let (topo, _) = setup();
+        let c = AtlasCampaign::default();
+        assert_eq!(c.place_vps(&topo), c.place_vps(&topo));
+        assert_eq!(c.place_vps(&topo).len(), 100);
+    }
+
+    #[test]
+    fn run_produces_aligned_series() {
+        let (topo, svc) = setup();
+        let c = AtlasCampaign {
+            vantage_points: 40,
+            ..Default::default()
+        };
+        let r = c.run(&topo, &svc, &Scenario::new(), &times(5));
+        assert_eq!(r.series.len(), 5);
+        assert_eq!(r.series.networks(), 40);
+        assert_eq!(r.vp_ases.len(), 40);
+        assert_eq!(r.series.sites().len(), 3);
+    }
+
+    #[test]
+    fn lossless_campaign_has_full_coverage() {
+        let (topo, svc) = setup();
+        let c = AtlasCampaign {
+            vantage_points: 30,
+            loss_prob: 0.0,
+            ..Default::default()
+        };
+        let r = c.run(&topo, &svc, &Scenario::new(), &times(3));
+        assert_eq!(r.series.mean_coverage(), 1.0);
+    }
+
+    #[test]
+    fn loss_shows_as_unknown() {
+        let (topo, svc) = setup();
+        let c = AtlasCampaign {
+            vantage_points: 50,
+            loss_prob: 0.5,
+            ..Default::default()
+        };
+        let r = c.run(&topo, &svc, &Scenario::new(), &times(4));
+        let cov = r.series.mean_coverage();
+        assert!((0.3..0.7).contains(&cov), "coverage {cov}");
+    }
+
+    #[test]
+    fn unmapped_identifiers_become_other() {
+        let (topo, svc) = setup();
+        let c = AtlasCampaign {
+            vantage_points: 50,
+            loss_prob: 0.0,
+            unmapped_identifier_prob: 1.0,
+            ..Default::default()
+        };
+        let r = c.run(&topo, &svc, &Scenario::new(), &times(1));
+        let agg = r.series.get(0).aggregate(3);
+        assert_eq!(agg.other, 50);
+        assert_eq!(agg.per_site.iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn drain_moves_vps_between_sites() {
+        let (topo, svc) = setup();
+        let mut sc = Scenario::new();
+        sc.drain(0, 240 * 2, 240 * 4, "op"); // drained at obs 2 and 3
+        let c = AtlasCampaign {
+            vantage_points: 60,
+            loss_prob: 0.0,
+            ..Default::default()
+        };
+        let r = c.run(&topo, &svc, &sc, &times(6));
+        let aggs = r.series.aggregates();
+        assert!(aggs[1].per_site[0] > 0);
+        assert_eq!(aggs[2].per_site[0], 0, "STR drained");
+        assert!(aggs[4].per_site[0] > 0, "STR restored");
+        // Total observed stays constant (no loss).
+        for a in &aggs {
+            assert_eq!(a.total(), 60);
+            assert_eq!(a.unknown, 0);
+        }
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let (topo, svc) = setup();
+        let c = AtlasCampaign::default();
+        let a = c.run(&topo, &svc, &Scenario::new(), &times(3));
+        let b = c.run(&topo, &svc, &Scenario::new(), &times(3));
+        for (va, vb) in a.series.vectors().iter().zip(b.series.vectors()) {
+            assert_eq!(va, vb);
+        }
+    }
+
+    #[test]
+    fn more_vps_than_stubs_wraps_round_robin() {
+        let (topo, svc) = setup();
+        let c = AtlasCampaign {
+            vantage_points: 120, // only 50 stubs
+            ..Default::default()
+        };
+        let r = c.run(&topo, &svc, &Scenario::new(), &times(1));
+        assert_eq!(r.vp_ases.len(), 120);
+    }
+}

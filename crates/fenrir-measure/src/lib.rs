@@ -1,0 +1,25 @@
+//! # fenrir-measure
+//!
+//! Active-measurement simulators: the bridge between the simulated Internet
+//! of `fenrir-netsim` and the routing vectors of `fenrir-core`. One module
+//! per measurement method of the paper's Table 2:
+//!
+//! | paper method | module | catchment meaning |
+//! |---|---|---|
+//! | B-Root/Verfploeter (5M /24s, ICMP) | [`verfploeter`] | anycast site a block's reply lands on |
+//! | B-Root/Atlas (13k VPs, DNS CHAOS) | [`atlas`] | anycast site answering a VP's query |
+//! | USC/traceroute (scamper, 10 hops) | [`traceroute`] | transit AS at hop *k* toward each block |
+//! | Google/Wiki EDNS-CS | [`ednscs`] | web front-end handed to a client prefix |
+//! | RIPE Atlas / Trinocular RTT | [`latency`] | per-network RTT panels |
+//!
+//! Every simulator round-trips real packets from `fenrir-wire` (ICMP echo,
+//! DNS CHAOS TXT, DNS + EDNS Client Subnet) so the parsing paths a live
+//! deployment would exercise are exercised here too, and every simulator is
+//! deterministic under a seed.
+
+pub mod atlas;
+pub mod ednscs;
+pub mod latency;
+pub mod routeviews;
+pub mod traceroute;
+pub mod verfploeter;

@@ -1,0 +1,378 @@
+//! Control-plane observation: RouteViews/RIS-style route collectors.
+//!
+//! The paper's related-work section notes that "in principle, our approach
+//! could use control-plane information as a data source, demonstrating
+//! that is future work" — this module demonstrates it. A
+//! [`RouteCollector`] peers (in simulation) with a set of ASes and dumps
+//! their BGP paths toward every destination block, from which Fenrir
+//! vectors are built exactly as from traceroute — but with no packet loss
+//! and no filtered hops, the control plane's advantage.
+//!
+//! It also implements the **AS-hegemony** metric (Fontugne et al., PAM'18)
+//! the paper cites for RIPE's country-level reports: for a destination
+//! set, an AS's hegemony is the trimmed-mean fraction of observed paths
+//! that traverse it — "the (thin) bridges of AS connectivity".
+
+use fenrir_core::ids::SiteTable;
+use fenrir_core::series::VectorSeries;
+use fenrir_core::time::Timestamp;
+use fenrir_core::vector::{Catchment, RoutingVector};
+use fenrir_netsim::events::Scenario;
+use fenrir_netsim::prefix::BlockId;
+use fenrir_netsim::routing::RouteTable;
+use fenrir_netsim::topology::{AsId, Topology};
+use std::collections::HashMap;
+
+/// A control-plane collector peering with `peers` (its "RIB feeds").
+#[derive(Debug, Clone)]
+pub struct RouteCollector {
+    /// ASes providing full-table feeds to the collector.
+    pub peers: Vec<AsId>,
+    /// Which AS-path hop defines the catchment for vector building
+    /// (1 = the peer's next hop, like the paper's "immediate upstreams";
+    /// larger = further out, the adjustable "focus").
+    pub focus_hop: usize,
+}
+
+/// One RIB snapshot: the AS path from every peer to every destination
+/// block.
+#[derive(Debug, Clone)]
+pub struct RibSnapshot {
+    /// Snapshot time.
+    pub time: Timestamp,
+    /// `paths[p][n]`: AS path (starting at the peer, ending at the origin)
+    /// from peer `p` toward block `n`; `None` if unreachable.
+    pub paths: Vec<Vec<Option<Vec<AsId>>>>,
+}
+
+/// Result of a control-plane campaign.
+#[derive(Debug, Clone)]
+pub struct RouteViewsResult {
+    /// One routing-vector series per peer: networks are destination
+    /// blocks, catchment = AS at `focus_hop` on that peer's path.
+    pub per_peer_series: Vec<VectorSeries>,
+    /// Raw snapshots, for hegemony analysis.
+    pub snapshots: Vec<RibSnapshot>,
+    /// Destination blocks, aligned with vector positions.
+    pub blocks: Vec<BlockId>,
+}
+
+impl RouteCollector {
+    /// Dump RIBs at each time under the scenario's routing config and
+    /// derive per-peer catchment series.
+    pub fn run(&self, topo: &Topology, scenario: &Scenario, times: &[Timestamp]) -> RouteViewsResult {
+        let blocks: Vec<BlockId> = topo.all_blocks().iter().map(|&(b, _)| b).collect();
+        let owners: Vec<AsId> = blocks
+            .iter()
+            .map(|&b| topo.owner_of(b).expect("owned"))
+            .collect();
+        let sites = SiteTable::from_names(topo.nodes().iter().map(|n| format!("AS{}", n.id.0)));
+        let mut per_peer_series: Vec<VectorSeries> = self
+            .peers
+            .iter()
+            .map(|_| VectorSeries::new(sites.clone(), blocks.len()))
+            .collect();
+        let mut snapshots = Vec::with_capacity(times.len());
+
+        for &t in times {
+            let cfg = scenario.config_at(t.as_secs());
+            let mut tables: HashMap<AsId, RouteTable> = HashMap::new();
+            let mut snap = RibSnapshot {
+                time: t,
+                paths: vec![vec![None; blocks.len()]; self.peers.len()],
+            };
+            let mut vectors: Vec<RoutingVector> = self
+                .peers
+                .iter()
+                .map(|_| RoutingVector::unknown(t, blocks.len()))
+                .collect();
+            for (n, &dest) in owners.iter().enumerate() {
+                let table = tables
+                    .entry(dest)
+                    .or_insert_with(|| RouteTable::compute(topo, &[(dest, 0)], &cfg));
+                for (p, &peer) in self.peers.iter().enumerate() {
+                    match table.full_path(peer) {
+                        Some(path) => {
+                            let state = match path.get(self.focus_hop) {
+                                Some(&hop_as) => {
+                                    Catchment::Site(fenrir_core::ids::SiteId(hop_as.0 as u16))
+                                }
+                                // Destination closer than the focus hop.
+                                None => Catchment::Other,
+                            };
+                            vectors[p].set(n, state);
+                            snap.paths[p][n] = Some(path);
+                        }
+                        None => vectors[p].set(n, Catchment::Err),
+                    }
+                }
+            }
+            for (p, v) in vectors.into_iter().enumerate() {
+                per_peer_series[p].push(v).expect("times strictly increasing");
+            }
+            snapshots.push(snap);
+        }
+        RouteViewsResult {
+            per_peer_series,
+            snapshots,
+            blocks,
+        }
+    }
+}
+
+/// AS-hegemony scores for one snapshot: for each transit AS, the
+/// trimmed-mean (over peers) fraction of destination paths traversing it.
+///
+/// Following Fontugne et al., per-peer fractions are computed first, then
+/// the top and bottom `trim` fraction of peer values are discarded before
+/// averaging — damping collectors that are too close to or too far from
+/// the AS under study. Origin and peer ASes themselves are excluded from
+/// each path's transit set.
+pub fn hegemony(snapshot: &RibSnapshot, trim: f64) -> HashMap<AsId, f64> {
+    let num_peers = snapshot.paths.len();
+    if num_peers == 0 {
+        return HashMap::new();
+    }
+    // Per-peer traversal fractions per AS.
+    let mut per_peer: Vec<HashMap<AsId, f64>> = Vec::with_capacity(num_peers);
+    for peer_paths in &snapshot.paths {
+        let mut counts: HashMap<AsId, usize> = HashMap::new();
+        let mut total = 0usize;
+        for path in peer_paths.iter().flatten() {
+            total += 1;
+            // Transit ASes: strictly between the peer (first) and the
+            // origin (last).
+            if path.len() > 2 {
+                for &asn in &path[1..path.len() - 1] {
+                    *counts.entry(asn).or_insert(0) += 1;
+                }
+            }
+        }
+        let fracs = counts
+            .into_iter()
+            .map(|(a, c)| (a, c as f64 / total.max(1) as f64))
+            .collect();
+        per_peer.push(fracs);
+    }
+    // Union of scored ASes.
+    let mut all: Vec<AsId> = per_peer
+        .iter()
+        .flat_map(|m| m.keys().copied())
+        .collect();
+    all.sort();
+    all.dedup();
+    // Trimmed mean across peers.
+    let k = ((num_peers as f64) * trim).floor() as usize;
+    let mut out = HashMap::new();
+    for a in all {
+        let mut vals: Vec<f64> = per_peer
+            .iter()
+            .map(|m| m.get(&a).copied().unwrap_or(0.0))
+            .collect();
+        vals.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+        let kept = &vals[k..vals.len() - k.min(vals.len().saturating_sub(k))];
+        if kept.is_empty() {
+            continue;
+        }
+        let mean = kept.iter().sum::<f64>() / kept.len() as f64;
+        if mean > 0.0 {
+            out.insert(a, mean);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fenrir_netsim::topology::{Tier, TopologyBuilder};
+
+    fn setup() -> (Topology, Vec<AsId>) {
+        let topo = TopologyBuilder {
+            transit: 3,
+            regional: 8,
+            stubs: 40,
+            blocks_per_stub: 2,
+            seed: 0xBC,
+            multihome_prob: 0.5,
+            ..Default::default()
+        }
+        .build();
+        let peers: Vec<AsId> = topo.tier_members(Tier::Stub).into_iter().take(4).collect();
+        (topo, peers)
+    }
+
+    fn days(n: i64) -> Vec<Timestamp> {
+        (0..n).map(Timestamp::from_days).collect()
+    }
+
+    #[test]
+    fn control_plane_has_full_coverage() {
+        let (topo, peers) = setup();
+        let rc = RouteCollector {
+            peers,
+            focus_hop: 1,
+        };
+        let r = rc.run(&topo, &Scenario::new(), &days(2));
+        for s in &r.per_peer_series {
+            assert_eq!(s.mean_coverage(), 1.0, "no loss on the control plane");
+        }
+        assert_eq!(r.snapshots.len(), 2);
+    }
+
+    #[test]
+    fn focus_hop_one_matches_peer_neighbors() {
+        let (topo, peers) = setup();
+        let rc = RouteCollector {
+            peers: peers.clone(),
+            focus_hop: 1,
+        };
+        let r = rc.run(&topo, &Scenario::new(), &days(1));
+        for (p, &peer) in peers.iter().enumerate() {
+            let neighbors: Vec<u16> = topo
+                .neighbors(peer)
+                .iter()
+                .map(|&(n, _)| n.0 as u16)
+                .collect();
+            let v = r.per_peer_series[p].get(0);
+            for n in 0..v.len() {
+                if let Catchment::Site(s) = v.get(n) {
+                    assert!(
+                        neighbors.contains(&s.0),
+                        "hop-1 entity not adjacent to peer"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deeper_focus_reaches_transits() {
+        let (topo, peers) = setup();
+        // In a three-tier topology, transit ASes sit two hops from a stub
+        // peer (stub -> regional -> transit).
+        let rc = RouteCollector {
+            peers,
+            focus_hop: 2,
+        };
+        let r = rc.run(&topo, &Scenario::new(), &days(1));
+        // At hop 2, at least some destinations are carried by transit ASes.
+        let transit: Vec<u16> = topo
+            .tier_members(Tier::Transit)
+            .iter()
+            .map(|a| a.0 as u16)
+            .collect();
+        let v = r.per_peer_series[0].get(0);
+        let hits = (0..v.len())
+            .filter(|&n| matches!(v.get(n), Catchment::Site(s) if transit.contains(&s.0)))
+            .count();
+        assert!(hits > 0, "no transit at focus hop 2");
+    }
+
+    #[test]
+    fn hegemony_scores_are_sane() {
+        let (topo, peers) = setup();
+        let rc = RouteCollector {
+            peers,
+            focus_hop: 1,
+        };
+        let r = rc.run(&topo, &Scenario::new(), &days(1));
+        let h = hegemony(&r.snapshots[0], 0.1);
+        assert!(!h.is_empty());
+        for (&asn, &score) in &h {
+            assert!((0.0..=1.0).contains(&score), "{asn}: {score}");
+        }
+        // Transit ASes should dominate the ranking.
+        let mut ranked: Vec<(AsId, f64)> = h.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        let top = ranked[0].0;
+        let tier = topo.node(top).tier;
+        assert!(
+            tier == Tier::Transit || tier == Tier::Regional,
+            "top hegemon {top} is a {tier:?}"
+        );
+    }
+
+    #[test]
+    fn hegemony_excludes_origin_and_peer() {
+        // A 2-hop path peer->origin has no transit: empty hegemony.
+        let snap = RibSnapshot {
+            time: Timestamp::from_days(0),
+            paths: vec![vec![Some(vec![AsId(1), AsId(2)])]],
+        };
+        assert!(hegemony(&snap, 0.0).is_empty());
+        // A 3-hop path scores only the middle AS.
+        let snap3 = RibSnapshot {
+            time: Timestamp::from_days(0),
+            paths: vec![vec![Some(vec![AsId(1), AsId(5), AsId(2)])]],
+        };
+        let h = hegemony(&snap3, 0.0);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.get(&AsId(5)), Some(&1.0));
+    }
+
+    #[test]
+    fn hegemony_trim_drops_outlier_peers() {
+        // 10 peers; AS9 is on all paths of one peer only.
+        let mut paths = vec![vec![Some(vec![AsId(1), AsId(7), AsId(2)])]; 10];
+        paths[0] = vec![Some(vec![AsId(1), AsId(9), AsId(2)])];
+        let snap = RibSnapshot {
+            time: Timestamp::from_days(0),
+            paths,
+        };
+        let h_untrimmed = hegemony(&snap, 0.0);
+        assert!(h_untrimmed.contains_key(&AsId(9)));
+        let h_trimmed = hegemony(&snap, 0.1);
+        // With 10% trimming the single-peer outlier view is discarded.
+        assert!(!h_trimmed.contains_key(&AsId(9)));
+        assert!(h_trimmed.contains_key(&AsId(7)));
+    }
+
+    #[test]
+    fn empty_collector_is_empty() {
+        let snap = RibSnapshot {
+            time: Timestamp::from_days(0),
+            paths: vec![],
+        };
+        assert!(hegemony(&snap, 0.1).is_empty());
+    }
+
+    #[test]
+    fn third_party_changes_visible_on_control_plane() {
+        let (topo, peers) = setup();
+        let probes = topo.tier_members(Tier::Stub);
+        // Build an anycast-free disturbance: link-down on a regional's
+        // provider link, scheduled mid-window.
+        let regional = topo.tier_members(Tier::Regional)[0];
+        let provider = topo
+            .neighbors(regional)
+            .iter()
+            .find(|&&(_, rel)| rel == fenrir_netsim::topology::Relationship::Provider)
+            .map(|&(n, _)| n)
+            .expect("regional has a provider");
+        let mut sc = Scenario::new();
+        sc.push(fenrir_netsim::events::ScenarioEvent {
+            start: Timestamp::from_days(2).as_secs(),
+            end: None,
+            kind: fenrir_netsim::events::EventKind::LinkDown {
+                a: regional,
+                b: provider,
+            },
+            party: fenrir_netsim::events::Party::ThirdParty,
+            operator: "third-party".to_owned(),
+        });
+        let rc = RouteCollector {
+            peers,
+            focus_hop: 2,
+        };
+        let r = rc.run(&topo, &sc, &days(4));
+        let _ = probes;
+        // At least one peer's series changes at the event.
+        let changed = r.per_peer_series.iter().any(|s| {
+            use fenrir_core::similarity::{phi, UnknownPolicy};
+            let w = fenrir_core::weight::Weights::uniform(s.networks());
+            phi(s.get(1), s.get(2), &w, UnknownPolicy::KnownOnly) < 1.0
+        });
+        assert!(changed, "link failure invisible on the control plane");
+    }
+}

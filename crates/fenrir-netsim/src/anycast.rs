@@ -1,0 +1,219 @@
+//! Anycast services over the simulated topology.
+//!
+//! An [`AnycastService`] is a set of named **sites**, each hosted by an AS,
+//! all originating the same (implicit) prefix. Routing toward the active
+//! origin set partitions the AS graph into catchments — exactly the
+//! structure Fenrir's vectors record for B-Root and G-Root.
+
+use crate::geo::GeoPoint;
+use crate::routing::{RouteTable, RoutingConfig};
+use crate::topology::{AsId, Topology};
+use serde::{Deserialize, Serialize};
+
+/// One anycast site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteDef {
+    /// Site name, conventionally an airport code ("LAX", "AMS").
+    pub name: String,
+    /// The AS hosting (originating from) this site.
+    pub host: AsId,
+    /// Site location, for the RTT model.
+    pub geo: GeoPoint,
+}
+
+/// A multi-site anycast deployment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnycastService {
+    /// Service name ("B-Root").
+    pub name: String,
+    sites: Vec<SiteDef>,
+    /// Whether each site currently announces the prefix.
+    active: Vec<bool>,
+}
+
+impl AnycastService {
+    /// Empty service.
+    pub fn new(name: &str) -> Self {
+        AnycastService {
+            name: name.to_owned(),
+            sites: Vec::new(),
+            active: Vec::new(),
+        }
+    }
+
+    /// Add a site (initially active); returns its index, which doubles as
+    /// the route tables' site tag.
+    pub fn add_site(&mut self, name: &str, host: AsId, geo: GeoPoint) -> usize {
+        self.sites.push(SiteDef {
+            name: name.to_owned(),
+            host,
+            geo,
+        });
+        self.active.push(true);
+        self.sites.len() - 1
+    }
+
+    /// All sites (active or not).
+    pub fn sites(&self) -> &[SiteDef] {
+        &self.sites
+    }
+
+    /// Number of sites defined.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Whether no sites are defined.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Site index by name.
+    pub fn site_index(&self, name: &str) -> Option<usize> {
+        self.sites.iter().position(|s| s.name == name)
+    }
+
+    /// Whether a site is announcing.
+    pub fn is_active(&self, site: usize) -> bool {
+        self.active[site]
+    }
+
+    /// Withdraw a site from anycast (the paper's "site drain").
+    pub fn drain(&mut self, site: usize) {
+        self.active[site] = false;
+    }
+
+    /// Re-announce a drained site.
+    pub fn restore(&mut self, site: usize) {
+        self.active[site] = true;
+    }
+
+    /// Re-home a site onto a different AS (the paper's "move of ARI to a
+    /// new location in the same country").
+    pub fn move_site(&mut self, site: usize, host: AsId, geo: GeoPoint) {
+        self.sites[site].host = host;
+        self.sites[site].geo = geo;
+    }
+
+    /// The current origin set: one `(host AS, site index)` pair per active
+    /// site.
+    pub fn origins(&self) -> Vec<(AsId, u32)> {
+        self.sites
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| self.active[i])
+            .map(|(i, s)| (s.host, i as u32))
+            .collect()
+    }
+
+    /// Compute the catchment route table under `config`.
+    pub fn routes(&self, topo: &Topology, config: &RoutingConfig) -> RouteTable {
+        RouteTable::compute(topo, &self.origins(), config)
+    }
+
+    /// RTT from a client AS to the site it lands on, `None` when
+    /// unreachable.
+    pub fn client_rtt_ms(&self, topo: &Topology, routes: &RouteTable, client: AsId) -> Option<f64> {
+        let site = routes.catchment(client)? as usize;
+        Some(topo.node(client).geo.rtt_ms(self.sites[site].geo))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::cities;
+    use crate::topology::{Relationship, Tier, Topology};
+
+    /// Line topology: S -- R0 -- T -- R1, sites at R0 and R1.
+    fn line() -> (Topology, AsId, AsId, AsId, AsId) {
+        let mut t = Topology::new();
+        let tr = t.add_node(Tier::Transit, cities::CMH, vec![]);
+        let r0 = t.add_node(Tier::Regional, cities::LAX, vec![]);
+        let r1 = t.add_node(Tier::Regional, cities::AMS, vec![]);
+        let s = t.add_node(Tier::Stub, cities::LAX, vec![]);
+        t.add_edge(r0, tr, Relationship::Provider);
+        t.add_edge(r1, tr, Relationship::Provider);
+        t.add_edge(s, r0, Relationship::Provider);
+        (t, tr, r0, r1, s)
+    }
+
+    fn service(r0: AsId, r1: AsId) -> AnycastService {
+        let mut svc = AnycastService::new("TEST-Root");
+        svc.add_site("LAX", r0, cities::LAX);
+        svc.add_site("AMS", r1, cities::AMS);
+        svc
+    }
+
+    #[test]
+    fn clients_land_on_the_near_site() {
+        let (t, tr, r0, r1, s) = line();
+        let svc = service(r0, r1);
+        let rt = svc.routes(&t, &RoutingConfig::default());
+        assert_eq!(rt.catchment(s), Some(0), "stub behind LAX lands on LAX");
+        assert_eq!(rt.catchment(r1), Some(1));
+        // Transit ties between two customer routes; next-hop r0 < r1.
+        assert_eq!(rt.catchment(tr), Some(0));
+    }
+
+    #[test]
+    fn drain_moves_everyone_to_the_survivor() {
+        let (t, _, r0, r1, s) = line();
+        let mut svc = service(r0, r1);
+        svc.drain(0);
+        assert!(!svc.is_active(0));
+        assert_eq!(svc.origins(), vec![(r1, 1)]);
+        let rt = svc.routes(&t, &RoutingConfig::default());
+        assert_eq!(rt.catchment(s), Some(1));
+        svc.restore(0);
+        let rt2 = svc.routes(&t, &RoutingConfig::default());
+        assert_eq!(rt2.catchment(s), Some(0), "restore reverts the catchment");
+    }
+
+    #[test]
+    fn move_site_changes_host_and_geo() {
+        let (_t, tr, r0, r1, _) = line();
+        let mut svc = service(r0, r1);
+        svc.move_site(0, tr, cities::SCL);
+        assert_eq!(svc.sites()[0].host, tr);
+        assert_eq!(svc.origins()[0], (tr, 0));
+        assert_eq!(svc.sites()[0].geo, cities::SCL);
+    }
+
+    #[test]
+    fn client_rtt_tracks_site_geography() {
+        let (t, _, r0, r1, s) = line();
+        let mut svc = service(r0, r1);
+        let rt = svc.routes(&t, &RoutingConfig::default());
+        // Stub is in LAX and lands on the LAX site: RTT near base.
+        let near = svc.client_rtt_ms(&t, &rt, s).unwrap();
+        assert!(near < 10.0, "near-site RTT {near}");
+        // Drain LAX: the same client now crosses the Atlantic.
+        svc.drain(0);
+        let rt2 = svc.routes(&t, &RoutingConfig::default());
+        let far = svc.client_rtt_ms(&t, &rt2, s).unwrap();
+        assert!(far > 80.0, "cross-atlantic RTT {far}");
+    }
+
+    #[test]
+    fn site_index_lookup() {
+        let (_, _, r0, r1, _) = line();
+        let svc = service(r0, r1);
+        assert_eq!(svc.site_index("AMS"), Some(1));
+        assert_eq!(svc.site_index("SIN"), None);
+        assert_eq!(svc.len(), 2);
+        assert!(!svc.is_empty());
+    }
+
+    #[test]
+    fn all_sites_drained_leaves_no_routes() {
+        let (t, _, r0, r1, s) = line();
+        let mut svc = service(r0, r1);
+        svc.drain(0);
+        svc.drain(1);
+        assert!(svc.origins().is_empty());
+        let rt = svc.routes(&t, &RoutingConfig::default());
+        assert_eq!(rt.catchment(s), None);
+        assert_eq!(svc.client_rtt_ms(&t, &rt, s), None);
+    }
+}

@@ -1,0 +1,491 @@
+//! Scripted scenarios: the timeline of operational and third-party events
+//! that drives every Fenrir experiment, with ground truth attached.
+//!
+//! The paper's Table 4 validation needs exactly this structure: an operator
+//! maintenance log whose entries are *site drains*, *traffic engineering*,
+//! or *invisible internal work*, plus **third-party** routing changes that
+//! appear in no log at all. A [`Scenario`] holds all of them and can
+//! materialise, for any instant `t`, the effective [`AnycastService`]
+//! origin set and [`RoutingConfig`] — from which routes, catchments, and
+//! Fenrir vectors follow.
+
+use crate::anycast::AnycastService;
+use crate::geo::GeoPoint;
+use crate::routing::RoutingConfig;
+use crate::topology::AsId;
+use serde::{Deserialize, Serialize};
+
+/// Who performed an event — operator events appear in the maintenance log,
+/// third-party events do not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Party {
+    /// The service operator (logged).
+    Operator,
+    /// Someone else in the Internet (never logged).
+    ThirdParty,
+}
+
+/// What happens.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Withdraw a site while the event is active (maintenance drain).
+    DrainSite {
+        /// Site index in the base service.
+        site: usize,
+    },
+    /// Activate a site from the event's start (new deployment). The site
+    /// must exist in the base service, marked inactive.
+    AddSite {
+        /// Site index in the base service.
+        site: usize,
+    },
+    /// Deactivate a site permanently from the event's start.
+    RemoveSite {
+        /// Site index in the base service.
+        site: usize,
+    },
+    /// Re-home a site from the event's start (the paper's ARI move).
+    MoveSite {
+        /// Site index in the base service.
+        site: usize,
+        /// New hosting AS.
+        to: AsId,
+        /// New location.
+        geo: GeoPoint,
+    },
+    /// A link is down while the event is active.
+    LinkDown {
+        /// One endpoint.
+        a: AsId,
+        /// Other endpoint.
+        b: AsId,
+    },
+    /// `who` pins its routing to prefer neighbor `via` while active
+    /// (local-pref traffic engineering).
+    Prefer {
+        /// The AS changing its policy.
+        who: AsId,
+        /// The preferred neighbor.
+        via: AsId,
+    },
+    /// The operator prepends `count` hops to announcements from `origin`
+    /// while active — reachability-preserving traffic engineering that
+    /// deflates the origin's catchment.
+    Prepend {
+        /// The announcing AS (an anycast site host).
+        origin: AsId,
+        /// Extra hops announced.
+        count: u8,
+    },
+    /// Internal maintenance with no external effect (log-only; the Table 4
+    /// "invisible" class).
+    Internal,
+}
+
+impl EventKind {
+    /// Whether this event should be externally visible in catchments.
+    pub fn is_external(&self) -> bool {
+        !matches!(self, EventKind::Internal)
+    }
+}
+
+/// One scheduled event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioEvent {
+    /// Activation time (seconds since epoch).
+    pub start: i64,
+    /// For windowed events (drain, link down, prefer): when the effect
+    /// ends. `None` = permanent.
+    pub end: Option<i64>,
+    /// What happens.
+    pub kind: EventKind,
+    /// Who did it.
+    pub party: Party,
+    /// Operator name for log grouping ("neteng-1").
+    pub operator: String,
+}
+
+impl ScenarioEvent {
+    /// Whether the event's *effect* is active at `t`.
+    pub fn active_at(&self, t: i64) -> bool {
+        t >= self.start && self.end.is_none_or(|e| t < e)
+    }
+
+    /// Whether the event has started by `t` (for permanent effects).
+    pub fn started_by(&self, t: i64) -> bool {
+        t >= self.start
+    }
+}
+
+/// An entry of the operator's maintenance log (ground truth for
+/// validation). Third-party events never produce one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroundTruthEntry {
+    /// When the maintenance happened.
+    pub at: i64,
+    /// Operator name.
+    pub operator: String,
+    /// The event (for classification into drain / TE / internal).
+    pub kind: EventKind,
+}
+
+/// A timeline of events over a base service.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Scenario {
+    /// All events, in no particular order.
+    pub events: Vec<ScenarioEvent>,
+}
+
+impl Scenario {
+    /// Empty scenario.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule an event.
+    pub fn push(&mut self, e: ScenarioEvent) {
+        self.events.push(e);
+    }
+
+    /// Convenience: operator site drain over `[start, end)`.
+    pub fn drain(&mut self, site: usize, start: i64, end: i64, operator: &str) {
+        self.push(ScenarioEvent {
+            start,
+            end: Some(end),
+            kind: EventKind::DrainSite { site },
+            party: Party::Operator,
+            operator: operator.to_owned(),
+        });
+    }
+
+    /// Convenience: invisible internal maintenance at `at`.
+    pub fn internal(&mut self, at: i64, operator: &str) {
+        self.push(ScenarioEvent {
+            start: at,
+            end: Some(at),
+            kind: EventKind::Internal,
+            party: Party::Operator,
+            operator: operator.to_owned(),
+        });
+    }
+
+    /// Convenience: operator traffic engineering by prepending over
+    /// `[start, end)`.
+    pub fn te_prepend(&mut self, origin: AsId, count: u8, start: i64, end: i64, operator: &str) {
+        self.push(ScenarioEvent {
+            start,
+            end: Some(end),
+            kind: EventKind::Prepend { origin, count },
+            party: Party::Operator,
+            operator: operator.to_owned(),
+        });
+    }
+
+    /// Convenience: third-party preference change over `[start, end)`
+    /// (`end = i64::MAX` for permanent).
+    pub fn third_party_prefer(&mut self, who: AsId, via: AsId, start: i64, end: i64) {
+        self.push(ScenarioEvent {
+            start,
+            end: Some(end),
+            kind: EventKind::Prefer { who, via },
+            party: Party::ThirdParty,
+            operator: "third-party".to_owned(),
+        });
+    }
+
+    /// Materialise the service state at time `t`: apply permanent
+    /// activations/removals/moves and windowed drains to a clone of `base`.
+    pub fn service_at(&self, base: &AnycastService, t: i64) -> AnycastService {
+        let mut svc = base.clone();
+        // Apply permanent changes in start order so later moves win.
+        let mut permanent: Vec<&ScenarioEvent> = self
+            .events
+            .iter()
+            .filter(|e| e.started_by(t))
+            .collect();
+        permanent.sort_by_key(|e| e.start);
+        for e in permanent {
+            match &e.kind {
+                EventKind::AddSite { site } => svc.restore(*site),
+                EventKind::RemoveSite { site } => svc.drain(*site),
+                EventKind::MoveSite { site, to, geo } => svc.move_site(*site, *to, *geo),
+                _ => {}
+            }
+        }
+        // Windowed drains override whatever the permanent state says.
+        for e in &self.events {
+            if let EventKind::DrainSite { site } = e.kind {
+                if e.active_at(t) {
+                    svc.drain(site);
+                }
+            }
+        }
+        svc
+    }
+
+    /// Materialise the routing config at time `t` (link failures and
+    /// preference pins active at `t`).
+    pub fn config_at(&self, t: i64) -> RoutingConfig {
+        let mut cfg = RoutingConfig::default();
+        // Apply in start-time order so that when two active events target
+        // the same AS, the most recently *started* policy wins — regardless
+        // of the order they were scheduled in.
+        let mut active: Vec<&ScenarioEvent> =
+            self.events.iter().filter(|e| e.active_at(t)).collect();
+        active.sort_by_key(|e| e.start);
+        for e in active {
+            match e.kind {
+                EventKind::LinkDown { a, b } => cfg.disable_link(a, b),
+                EventKind::Prefer { who, via } => cfg.prefer(who, via),
+                EventKind::Prepend { origin, count } => cfg.prepend(origin, count),
+                _ => {}
+            }
+        }
+        cfg
+    }
+
+    /// The operator maintenance log: one entry per operator event (start
+    /// time), none for third parties.
+    pub fn ground_truth(&self) -> Vec<GroundTruthEntry> {
+        let mut log: Vec<GroundTruthEntry> = self
+            .events
+            .iter()
+            .filter(|e| e.party == Party::Operator)
+            .map(|e| GroundTruthEntry {
+                at: e.start,
+                operator: e.operator.clone(),
+                kind: e.kind.clone(),
+            })
+            .collect();
+        log.sort_by(|a, b| a.at.cmp(&b.at).then(a.operator.cmp(&b.operator)));
+        log
+    }
+
+    /// Times at which *any* event boundary occurs (starts and ends),
+    /// deduplicated and sorted — useful for choosing observation instants
+    /// that straddle every change.
+    pub fn boundaries(&self) -> Vec<i64> {
+        let mut ts: Vec<i64> = self
+            .events
+            .iter()
+            .flat_map(|e| [Some(e.start), e.end].into_iter().flatten())
+            .collect();
+        ts.sort_unstable();
+        ts.dedup();
+        ts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::cities;
+    use crate::topology::{Relationship, Tier, Topology};
+
+    fn setup() -> (Topology, AnycastService, AsId, AsId, AsId) {
+        let mut t = Topology::new();
+        let tr = t.add_node(Tier::Transit, cities::CMH, vec![]);
+        let r0 = t.add_node(Tier::Regional, cities::LAX, vec![]);
+        let r1 = t.add_node(Tier::Regional, cities::AMS, vec![]);
+        let s = t.add_node(Tier::Stub, cities::LAX, vec![]);
+        t.add_edge(r0, tr, Relationship::Provider);
+        t.add_edge(r1, tr, Relationship::Provider);
+        t.add_edge(s, r0, Relationship::Provider);
+        t.add_edge(s, r1, Relationship::Provider);
+        let mut svc = AnycastService::new("X");
+        svc.add_site("LAX", r0, cities::LAX);
+        svc.add_site("AMS", r1, cities::AMS);
+        (t, svc, r0, r1, s)
+    }
+
+    #[test]
+    fn windowed_drain_applies_only_inside_window() {
+        let (_, svc, ..) = setup();
+        let mut sc = Scenario::new();
+        sc.drain(0, 100, 200, "op");
+        assert!(sc.service_at(&svc, 50).is_active(0));
+        assert!(!sc.service_at(&svc, 100).is_active(0));
+        assert!(!sc.service_at(&svc, 199).is_active(0));
+        assert!(sc.service_at(&svc, 200).is_active(0), "end is exclusive");
+    }
+
+    #[test]
+    fn add_site_activates_permanently() {
+        let (_, mut svc, ..) = setup();
+        svc.drain(1); // site AMS starts inactive (pre-deployment)
+        let mut sc = Scenario::new();
+        sc.push(ScenarioEvent {
+            start: 500,
+            end: None,
+            kind: EventKind::AddSite { site: 1 },
+            party: Party::Operator,
+            operator: "op".into(),
+        });
+        assert!(!sc.service_at(&svc, 499).is_active(1));
+        assert!(sc.service_at(&svc, 500).is_active(1));
+        assert!(sc.service_at(&svc, 10_000).is_active(1));
+    }
+
+    #[test]
+    fn remove_then_later_move_applies_in_order() {
+        let (t, svc, _, r1, _) = setup();
+        let tr = AsId(0);
+        let mut sc = Scenario::new();
+        sc.push(ScenarioEvent {
+            start: 10,
+            end: None,
+            kind: EventKind::MoveSite {
+                site: 0,
+                to: tr,
+                geo: cities::SCL,
+            },
+            party: Party::Operator,
+            operator: "op".into(),
+        });
+        let at = sc.service_at(&svc, 20);
+        assert_eq!(at.sites()[0].host, tr);
+        assert_eq!(at.sites()[0].geo, cities::SCL);
+        // Untouched earlier.
+        assert_eq!(sc.service_at(&svc, 5).sites()[0].geo, cities::LAX);
+        let _ = (t, r1);
+    }
+
+    #[test]
+    fn config_collects_active_link_and_pref_events() {
+        let (_, _, r0, r1, s) = setup();
+        let mut sc = Scenario::new();
+        sc.push(ScenarioEvent {
+            start: 0,
+            end: Some(100),
+            kind: EventKind::LinkDown { a: s, b: r0 },
+            party: Party::ThirdParty,
+            operator: "third-party".into(),
+        });
+        sc.third_party_prefer(s, r1, 50, 150);
+        let c0 = sc.config_at(10);
+        assert!(c0.link_disabled(s, r0));
+        assert!(c0.pref_override.is_empty());
+        let c1 = sc.config_at(75);
+        assert!(c1.link_disabled(s, r0));
+        assert_eq!(c1.pref_override.get(&s), Some(&r1));
+        let c2 = sc.config_at(120);
+        assert!(!c2.link_disabled(s, r0));
+        assert_eq!(c2.pref_override.get(&s), Some(&r1));
+        let c3 = sc.config_at(200);
+        assert!(c3.pref_override.is_empty());
+    }
+
+    #[test]
+    fn ground_truth_excludes_third_parties() {
+        let (_, _, r0, r1, s) = setup();
+        let mut sc = Scenario::new();
+        sc.drain(0, 100, 200, "alice");
+        sc.internal(150, "bob");
+        sc.third_party_prefer(s, r1, 50, 150);
+        sc.push(ScenarioEvent {
+            start: 300,
+            end: Some(400),
+            kind: EventKind::LinkDown { a: s, b: r0 },
+            party: Party::ThirdParty,
+            operator: "third-party".into(),
+        });
+        let log = sc.ground_truth();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].operator, "alice");
+        assert!(matches!(log[0].kind, EventKind::DrainSite { .. }));
+        assert_eq!(log[1].operator, "bob");
+        assert!(!log[1].kind.is_external());
+    }
+
+    #[test]
+    fn drain_shifts_catchments_end_to_end() {
+        let (t, svc, _, _, s) = setup();
+        let mut sc = Scenario::new();
+        sc.drain(0, 100, 200, "op");
+        let before = sc
+            .service_at(&svc, 50)
+            .routes(&t, &sc.config_at(50));
+        assert_eq!(before.catchment(s), Some(0));
+        let during = sc
+            .service_at(&svc, 150)
+            .routes(&t, &sc.config_at(150));
+        assert_eq!(during.catchment(s), Some(1));
+        let after = sc
+            .service_at(&svc, 250)
+            .routes(&t, &sc.config_at(250));
+        assert_eq!(after.catchment(s), Some(0), "mode recurs after the drain");
+    }
+
+    #[test]
+    fn third_party_prefer_shifts_catchment_without_log() {
+        let (t, svc, _, r1, s) = setup();
+        let mut sc = Scenario::new();
+        sc.third_party_prefer(s, r1, 100, 200);
+        let before = sc.service_at(&svc, 50).routes(&t, &sc.config_at(50));
+        let during = sc.service_at(&svc, 150).routes(&t, &sc.config_at(150));
+        assert_ne!(before.catchment(s), during.catchment(s));
+        assert!(sc.ground_truth().is_empty());
+    }
+
+    #[test]
+    fn overlapping_pins_resolve_by_start_time_not_insertion_order() {
+        let (_, _, _, r1, s) = setup();
+        let r0 = crate::topology::AsId(1);
+        let mut sc = Scenario::new();
+        // Later-starting pin pushed FIRST; earlier-starting pin pushed
+        // second. At t=250 both are active: the later-starting one (via
+        // r1) must win.
+        sc.third_party_prefer(s, r1, 200, 400);
+        sc.third_party_prefer(s, r0, 100, 400);
+        let cfg = sc.config_at(250);
+        assert_eq!(cfg.pref_override.get(&s), Some(&r1));
+        // Before the second pin starts, the earlier one rules.
+        let cfg_early = sc.config_at(150);
+        assert_eq!(cfg_early.pref_override.get(&s), Some(&r0));
+    }
+
+    #[test]
+    fn prepend_te_shifts_catchment_and_preserves_reachability() {
+        let (t, svc, r0, _, s) = setup();
+        let mut sc = Scenario::new();
+        // Prepend heavily from the LAX host (r0) during [100, 200).
+        sc.te_prepend(r0, 5, 100, 200, "op");
+        let before = sc.service_at(&svc, 50).routes(&t, &sc.config_at(50));
+        let during = sc.service_at(&svc, 150).routes(&t, &sc.config_at(150));
+        // The stub moves off site 0 without any site draining.
+        assert_eq!(before.catchment(s), Some(0));
+        assert_eq!(during.catchment(s), Some(1));
+        // Reachability preserved everywhere.
+        assert_eq!(during.reachable_count(), before.reachable_count());
+        // And the TE event is in the operator log as external.
+        let log = sc.ground_truth();
+        assert_eq!(log.len(), 1);
+        assert!(log[0].kind.is_external());
+    }
+
+    #[test]
+    fn boundaries_sorted_dedup() {
+        let mut sc = Scenario::new();
+        sc.drain(0, 100, 200, "a");
+        sc.drain(1, 100, 300, "a");
+        sc.internal(50, "b");
+        assert_eq!(sc.boundaries(), vec![50, 100, 200, 300]);
+    }
+
+    #[test]
+    fn event_activity_windows() {
+        let e = ScenarioEvent {
+            start: 10,
+            end: Some(20),
+            kind: EventKind::Internal,
+            party: Party::Operator,
+            operator: "x".into(),
+        };
+        assert!(!e.active_at(9));
+        assert!(e.active_at(10));
+        assert!(e.active_at(19));
+        assert!(!e.active_at(20));
+        let p = ScenarioEvent { end: None, ..e };
+        assert!(p.active_at(1_000_000));
+    }
+}

@@ -1,0 +1,180 @@
+//! Geography and the RTT model.
+//!
+//! Latency in Fenrir's Figure 4 tracks geography: the paper's ARI (Chile)
+//! site shows >200 ms p90 because "a few North American and European
+//! networks \[were\] routed to it". The simulator reproduces that coupling
+//! by placing every AS at a point on the globe and deriving RTT from
+//! great-circle distance at a propagation speed of roughly 2/3 c plus fixed
+//! per-hop overhead.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A point on the globe.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct GeoPoint {
+    /// Latitude in degrees, `[-90, 90]`.
+    pub lat: f64,
+    /// Longitude in degrees, `[-180, 180]`.
+    pub lon: f64,
+}
+
+/// Mean Earth radius in km.
+pub const EARTH_RADIUS_KM: f64 = 6_371.0;
+
+/// Signal speed in fibre, km per ms (≈ 2/3 of c).
+pub const FIBRE_KM_PER_MS: f64 = 200.0;
+
+/// Fixed RTT overhead per path (serialization, queueing, last mile), ms.
+pub const BASE_RTT_MS: f64 = 2.0;
+
+impl GeoPoint {
+    /// Construct, clamping to valid ranges.
+    pub fn new(lat: f64, lon: f64) -> Self {
+        GeoPoint {
+            lat: lat.clamp(-90.0, 90.0),
+            lon: ((lon + 180.0).rem_euclid(360.0)) - 180.0,
+        }
+    }
+
+    /// Great-circle distance to `other` in km (haversine).
+    pub fn distance_km(self, other: GeoPoint) -> f64 {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2)
+            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().atan2((1.0 - a).sqrt())
+    }
+
+    /// Idealized round-trip time to `other` in ms: great-circle propagation
+    /// both ways plus fixed overhead.
+    pub fn rtt_ms(self, other: GeoPoint) -> f64 {
+        BASE_RTT_MS + 2.0 * self.distance_km(other) / FIBRE_KM_PER_MS
+    }
+
+    /// A uniformly random point with latitude bounded to inhabited ranges
+    /// (|lat| ≤ 60°), for AS placement.
+    pub fn random<R: Rng>(rng: &mut R) -> GeoPoint {
+        GeoPoint::new(rng.gen_range(-60.0..60.0), rng.gen_range(-180.0..180.0))
+    }
+
+    /// A random point within roughly `radius_km` of `self` (small-angle
+    /// approximation; fine for clustering stubs around their providers).
+    pub fn jittered<R: Rng>(self, rng: &mut R, radius_km: f64) -> GeoPoint {
+        let dlat = radius_km / 111.0; // km per degree latitude
+        let dlon = radius_km / (111.0 * self.lat.to_radians().cos().abs().max(0.2));
+        GeoPoint::new(
+            self.lat + rng.gen_range(-dlat..=dlat),
+            self.lon + rng.gen_range(-dlon..=dlon),
+        )
+    }
+}
+
+/// A few real-city anchors used by scenario builders so site names line up
+/// with plausible geography.
+pub mod cities {
+    use super::GeoPoint;
+
+    /// Los Angeles (the paper's LAX).
+    pub const LAX: GeoPoint = GeoPoint { lat: 33.94, lon: -118.41 };
+    /// Miami.
+    pub const MIA: GeoPoint = GeoPoint { lat: 25.79, lon: -80.29 };
+    /// Amsterdam (AMS, added to B-Root in 2020).
+    pub const AMS: GeoPoint = GeoPoint { lat: 52.31, lon: 4.76 };
+    /// Singapore (SIN, added to B-Root in 2020).
+    pub const SIN: GeoPoint = GeoPoint { lat: 1.36, lon: 103.99 };
+    /// Washington D.C. (IAD, added to B-Root in 2020).
+    pub const IAD: GeoPoint = GeoPoint { lat: 38.95, lon: -77.46 };
+    /// Arica, Chile (ARI, shut down 2023-03-06 in the paper).
+    pub const ARI: GeoPoint = GeoPoint { lat: -18.35, lon: -70.34 };
+    /// Santiago, Chile (SCL, ARI's replacement).
+    pub const SCL: GeoPoint = GeoPoint { lat: -33.39, lon: -70.79 };
+    /// Stuttgart (STR, the G-Root site that drains in Figure 1).
+    pub const STR: GeoPoint = GeoPoint { lat: 48.69, lon: 9.19 };
+    /// Naples (NAP, where STR's users shift).
+    pub const NAP: GeoPoint = GeoPoint { lat: 40.88, lon: 14.29 };
+    /// Columbus, Ohio (CMH).
+    pub const CMH: GeoPoint = GeoPoint { lat: 39.99, lon: -82.88 };
+    /// San Antonio (SAT).
+    pub const SAT: GeoPoint = GeoPoint { lat: 29.53, lon: -98.47 };
+    /// Tokyo (NRT).
+    pub const NRT: GeoPoint = GeoPoint { lat: 35.76, lon: 140.38 };
+    /// Honolulu (HNL).
+    pub const HNL: GeoPoint = GeoPoint { lat: 21.32, lon: -157.92 };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn zero_distance_to_self() {
+        let p = GeoPoint::new(10.0, 20.0);
+        assert!(p.distance_km(p) < 1e-9);
+        assert!((p.rtt_ms(p) - BASE_RTT_MS).abs() < 1e-9);
+    }
+
+    #[test]
+    fn known_distance_lax_ams() {
+        // LAX–AMS is roughly 8,960 km.
+        let d = cities::LAX.distance_km(cities::AMS);
+        assert!((8_700.0..9_200.0).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let d1 = cities::SIN.distance_km(cities::MIA);
+        let d2 = cities::MIA.distance_km(cities::SIN);
+        assert!((d1 - d2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rtt_grows_with_distance() {
+        // Transatlantic RTT must exceed transcontinental-US RTT.
+        let us = cities::LAX.rtt_ms(cities::CMH);
+        let atlantic = cities::LAX.rtt_ms(cities::AMS);
+        assert!(atlantic > us);
+        // And both are in plausible ranges.
+        assert!((20.0..60.0).contains(&us), "us {us}");
+        assert!((80.0..120.0).contains(&atlantic), "atlantic {atlantic}");
+    }
+
+    #[test]
+    fn new_clamps_and_wraps() {
+        let p = GeoPoint::new(99.0, 190.0);
+        assert_eq!(p.lat, 90.0);
+        assert!((p.lon - -170.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_points_in_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..100 {
+            let p = GeoPoint::random(&mut rng);
+            assert!(p.lat.abs() <= 60.0);
+            assert!(p.lon.abs() <= 180.0);
+        }
+    }
+
+    #[test]
+    fn jittered_stays_near() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let base = cities::AMS;
+        for _ in 0..50 {
+            let p = base.jittered(&mut rng, 100.0);
+            assert!(base.distance_km(p) < 400.0);
+        }
+    }
+
+    #[test]
+    fn antipodal_distance_near_half_circumference() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(0.0, 180.0);
+        let d = a.distance_km(b);
+        assert!((d - std::f64::consts::PI * EARTH_RADIUS_KM).abs() < 1.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # fenrir-netsim
+//!
+//! An AS-level Internet substrate for Fenrir experiments.
+//!
+//! The paper measures the real Internet: B-Root's anycast catchments, USC's
+//! upstream routing cone, Google's and Wikipedia's front-end selection. A
+//! reproduction cannot, so this crate simulates the part of the Internet
+//! Fenrir observes — *policy routing over an AS graph* — with enough
+//! fidelity that the phenomena the paper studies all emerge:
+//!
+//! * **Topology** ([`topology`]): a seeded generator produces a three-tier
+//!   AS graph (transit core, regional providers, multihomed stubs) with
+//!   customer/provider and peer edges and geographic placement.
+//! * **Routing** ([`routing`]): per-destination BGP-style route selection
+//!   under Gao–Rexford policies — prefer customer routes over peer routes
+//!   over provider routes, then shortest AS path, with valley-free export.
+//!   Anycast is modelled natively: a prefix originated from several sites
+//!   partitions the graph into catchments.
+//! * **Events** ([`events`]): scripted site drains/additions/moves, link
+//!   failures, and third-party policy changes — plus the *invisible*
+//!   internal maintenance the paper's Table 4 validation needs.
+//! * **Latency** ([`geo`]): great-circle RTT between ASes, so catchment
+//!   changes move client latency the way Figure 4 shows.
+//!
+//! Determinism: every generator takes an explicit seed; two runs with the
+//! same seed produce identical topologies, routes, and events.
+
+pub mod anycast;
+pub mod events;
+pub mod geo;
+pub mod prefix;
+pub mod routing;
+pub mod steering;
+pub mod topology;
+
+pub use anycast::{AnycastService, SiteDef};
+pub use events::{EventKind, Scenario, ScenarioEvent};
+pub use geo::GeoPoint;
+pub use prefix::BlockId;
+pub use routing::{Route, RouteTable};
+pub use steering::{find_disturbances, find_in_range, Disturbance};
+pub use topology::{AsId, Relationship, Tier, Topology, TopologyBuilder};

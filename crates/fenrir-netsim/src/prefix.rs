@@ -1,0 +1,72 @@
+//! Address blocks: the client "networks" of Fenrir's vectors.
+//!
+//! All of the paper's datasets key client networks by IPv4 /24 block
+//! (Verfploeter's 5M blocks, the USC hitlist's 1.6M, EDNS-CS /24 prefixes),
+//! so the simulator's unit of addressing is the /24 block, identified by the
+//! top 24 bits of its base address.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A /24 IPv4 block, identified by `base_address >> 8`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The block containing `addr`.
+    pub fn of_addr(addr: [u8; 4]) -> Self {
+        BlockId((u32::from(addr[0]) << 16) | (u32::from(addr[1]) << 8) | u32::from(addr[2]))
+    }
+
+    /// First three octets of the block.
+    pub fn octets(self) -> [u8; 3] {
+        [
+            (self.0 >> 16) as u8,
+            (self.0 >> 8) as u8,
+            self.0 as u8,
+        ]
+    }
+
+    /// An address inside the block with the given host octet.
+    pub fn addr(self, host: u8) -> [u8; 4] {
+        let o = self.octets();
+        [o[0], o[1], o[2], host]
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.octets();
+        write!(f, "{}.{}.{}.0/24", o[0], o[1], o[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn of_addr_ignores_host_octet() {
+        assert_eq!(
+            BlockId::of_addr([192, 0, 2, 1]),
+            BlockId::of_addr([192, 0, 2, 250])
+        );
+    }
+
+    #[test]
+    fn octets_round_trip() {
+        let b = BlockId::of_addr([10, 20, 30, 40]);
+        assert_eq!(b.octets(), [10, 20, 30]);
+        assert_eq!(b.addr(7), [10, 20, 30, 7]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(BlockId::of_addr([198, 51, 100, 9]).to_string(), "198.51.100.0/24");
+    }
+
+    #[test]
+    fn ordering_follows_address_order() {
+        assert!(BlockId::of_addr([10, 0, 0, 0]) < BlockId::of_addr([10, 0, 1, 0]));
+    }
+}

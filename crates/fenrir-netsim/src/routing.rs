@@ -1,0 +1,465 @@
+//! BGP-style route computation under Gao–Rexford policies.
+//!
+//! Routing in the simulator is destination-based, like BGP: a
+//! [`RouteTable`] holds every AS's best route toward one *origin set* — a
+//! single AS for unicast, several `(AS, site)` pairs for an anycast prefix.
+//! The decision process mirrors the classic model:
+//!
+//! 1. **Local preference** by business relationship: routes learned from
+//!    customers beat routes from peers beat routes from providers.
+//! 2. **Shortest AS path** among equally preferred routes.
+//! 3. Deterministic tie-break (lowest next-hop ASN, then lowest site tag).
+//!
+//! Export follows the valley-free rule: routes learned from a customer (or
+//! originated locally) are exported to everyone; routes learned from a peer
+//! or provider are exported only to customers.
+//!
+//! [`RoutingConfig`] injects the events Fenrir must detect: failed links
+//! and per-AS preference overrides (a third party pinning traffic to one
+//! neighbor — invisible to the service operator, visible in catchments).
+
+use crate::topology::{AsId, Relationship, Topology};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Local-preference classes, highest first.
+const PREF_ORIGIN: u8 = 4;
+const PREF_CUSTOMER: u8 = 3;
+const PREF_PEER: u8 = 2;
+const PREF_PROVIDER: u8 = 1;
+/// Bonus applied by a preference override; large enough to dominate the
+/// relationship classes, as an operator's explicit local-pref would.
+const PREF_OVERRIDE_BONUS: u8 = 10;
+
+/// Routing-time modifications of the base topology.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RoutingConfig {
+    /// Links that are down, stored normalized as `(min, max)`.
+    pub disabled_links: HashSet<(AsId, AsId)>,
+    /// `a → b`: AS `a` prefers any route learned from neighbor `b`
+    /// (a traffic-engineering local-pref pin).
+    pub pref_override: HashMap<AsId, AsId>,
+    /// AS-path prepending by origin: routes originated by the key AS
+    /// compare as if their path were this many hops longer — the classic
+    /// reachability-preserving traffic engineering anycast operators use
+    /// to deflate a site's catchment.
+    pub prepend: HashMap<AsId, u8>,
+}
+
+impl RoutingConfig {
+    /// Disable the link between `a` and `b` (order-insensitive).
+    pub fn disable_link(&mut self, a: AsId, b: AsId) {
+        self.disabled_links.insert((a.min(b), a.max(b)));
+    }
+
+    /// Whether the link is disabled.
+    pub fn link_disabled(&self, a: AsId, b: AsId) -> bool {
+        self.disabled_links.contains(&(a.min(b), a.max(b)))
+    }
+
+    /// Make `who` prefer routes learned from `via`.
+    pub fn prefer(&mut self, who: AsId, via: AsId) {
+        self.pref_override.insert(who, via);
+    }
+
+    /// Prepend `count` extra hops to announcements originated by `origin`.
+    pub fn prepend(&mut self, origin: AsId, count: u8) {
+        self.prepend.insert(origin, count);
+    }
+
+    /// The prepend penalty for routes originated by `origin`.
+    pub fn prepend_penalty(&self, origin: AsId) -> usize {
+        self.prepend.get(&origin).copied().unwrap_or(0) as usize
+    }
+}
+
+/// One AS's best route toward the origin set.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Route {
+    /// AS path from this AS to the origin: `path[0]` is the next hop,
+    /// `path.last()` the origin. Empty at an origin itself.
+    pub path: Vec<AsId>,
+    /// The originating AS.
+    pub origin: AsId,
+    /// Site tag of the origin (anycast site index; 0 for unicast).
+    pub site: u32,
+    /// Effective local preference (includes any override bonus).
+    pub pref: u8,
+    /// Relationship class the route was learned through (PREF_ORIGIN,
+    /// PREF_CUSTOMER, PREF_PEER, or PREF_PROVIDER) — drives export policy
+    /// independently of any preference override.
+    class: u8,
+}
+
+impl Route {
+    /// Number of inter-AS hops to the origin.
+    pub fn hops(&self) -> usize {
+        self.path.len()
+    }
+
+    /// AS at hop `k` (1-based; hop 1 is the next hop). `None` past the
+    /// origin.
+    pub fn hop(&self, k: usize) -> Option<AsId> {
+        if k == 0 {
+            None
+        } else {
+            self.path.get(k - 1).copied()
+        }
+    }
+}
+
+/// Best routes of every AS toward one origin set.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RouteTable {
+    routes: Vec<Option<Route>>,
+}
+
+impl RouteTable {
+    /// Compute routes toward `origins` (each an `(AS, site-tag)` pair)
+    /// under `config`.
+    ///
+    /// Runs policy relaxation to a fixpoint; Gao–Rexford preferences
+    /// guarantee convergence, and a safety bound of `2·|AS|` sweeps guards
+    /// against pathological configurations.
+    pub fn compute(topo: &Topology, origins: &[(AsId, u32)], config: &RoutingConfig) -> Self {
+        let n = topo.len();
+        let mut best: Vec<Option<Route>> = vec![None; n];
+        for &(o, site) in origins {
+            let candidate = Route {
+                path: Vec::new(),
+                origin: o,
+                site,
+                pref: PREF_ORIGIN,
+                class: PREF_ORIGIN,
+            };
+            // An AS originating for two sites keeps the lower site tag.
+            if better(&candidate, best[o.index()].as_ref(), config) {
+                best[o.index()] = Some(candidate);
+            }
+        }
+
+        for _sweep in 0..2 * n.max(1) {
+            let mut changed = false;
+            for a_idx in 0..n {
+                let Some(route_a) = best[a_idx].clone() else {
+                    continue;
+                };
+                let a = topo.nodes()[a_idx].id;
+                // Export rule: customer/origin routes go to everyone;
+                // peer/provider routes only to customers. Keyed on the
+                // relationship class, never on override-boosted pref.
+                let export_widely = route_a.class >= PREF_CUSTOMER;
+                for &(b, rel_b_to_a) in topo.neighbors(a) {
+                    if config.link_disabled(a, b) {
+                        continue;
+                    }
+                    // `rel_b_to_a` is what b is to a; export to b when b is
+                    // a's customer, or always for widely exportable routes.
+                    if !export_widely && rel_b_to_a != Relationship::Customer {
+                        continue;
+                    }
+                    // Loop prevention: b must not already appear.
+                    if b == route_a.origin || route_a.path.contains(&b) || b == a {
+                        continue;
+                    }
+                    // Import preference at b: what a is to b.
+                    let rel_a_to_b = rel_b_to_a.inverse();
+                    let class = match rel_a_to_b {
+                        Relationship::Customer => PREF_CUSTOMER,
+                        Relationship::Peer => PREF_PEER,
+                        Relationship::Provider => PREF_PROVIDER,
+                    };
+                    let mut pref = class;
+                    if config.pref_override.get(&b) == Some(&a) {
+                        pref += PREF_OVERRIDE_BONUS;
+                    }
+                    let mut path = Vec::with_capacity(route_a.path.len() + 1);
+                    path.push(a);
+                    path.extend_from_slice(&route_a.path);
+                    let candidate = Route {
+                        path,
+                        origin: route_a.origin,
+                        site: route_a.site,
+                        pref,
+                        class,
+                    };
+                    if better(&candidate, best[b.index()].as_ref(), config) {
+                        best[b.index()] = Some(candidate);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        RouteTable { routes: best }
+    }
+
+    /// The best route of `a`, if it has any.
+    pub fn route(&self, a: AsId) -> Option<&Route> {
+        self.routes[a.index()].as_ref()
+    }
+
+    /// The site tag `a`'s traffic lands on — the anycast catchment.
+    pub fn catchment(&self, a: AsId) -> Option<u32> {
+        self.route(a).map(|r| r.site)
+    }
+
+    /// The full AS path from `a` to the origin, starting with `a` itself.
+    pub fn full_path(&self, a: AsId) -> Option<Vec<AsId>> {
+        self.route(a).map(|r| {
+            let mut p = Vec::with_capacity(r.path.len() + 1);
+            p.push(a);
+            p.extend_from_slice(&r.path);
+            p
+        })
+    }
+
+    /// Number of ASes with a route.
+    pub fn reachable_count(&self) -> usize {
+        self.routes.iter().filter(|r| r.is_some()).count()
+    }
+}
+
+/// BGP decision process: higher pref, then shorter (prepend-adjusted)
+/// path, then lowest next-hop ASN, then lowest site tag.
+fn better(candidate: &Route, incumbent: Option<&Route>, config: &RoutingConfig) -> bool {
+    let Some(inc) = incumbent else { return true };
+    let key = |r: &Route| {
+        (
+            std::cmp::Reverse(r.pref),
+            r.path.len() + config.prepend_penalty(r.origin),
+            r.path.first().copied().unwrap_or(AsId(0)),
+            r.site,
+        )
+    };
+    key(candidate) < key(inc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::GeoPoint;
+    use crate::topology::{Tier, TopologyBuilder};
+
+    /// Hand-built diamond:
+    ///
+    /// ```text
+    ///        T0 ---- T1          (peers)
+    ///        |        |
+    ///        R0      R1          (customers of T0 / T1)
+    ///         \      /
+    ///          S0 (dual-homed stub)
+    /// ```
+    fn diamond() -> (Topology, [AsId; 5]) {
+        let mut t = Topology::new();
+        let t0 = t.add_node(Tier::Transit, GeoPoint::default(), vec![]);
+        let t1 = t.add_node(Tier::Transit, GeoPoint::default(), vec![]);
+        let r0 = t.add_node(Tier::Regional, GeoPoint::default(), vec![]);
+        let r1 = t.add_node(Tier::Regional, GeoPoint::default(), vec![]);
+        let s0 = t.add_node(Tier::Stub, GeoPoint::default(), vec![]);
+        t.add_edge(t0, t1, Relationship::Peer);
+        t.add_edge(r0, t0, Relationship::Provider);
+        t.add_edge(r1, t1, Relationship::Provider);
+        t.add_edge(s0, r0, Relationship::Provider);
+        t.add_edge(s0, r1, Relationship::Provider);
+        (t, [t0, t1, r0, r1, s0])
+    }
+
+    #[test]
+    fn origin_has_empty_path() {
+        let (t, [t0, ..]) = diamond();
+        let rt = RouteTable::compute(&t, &[(t0, 0)], &RoutingConfig::default());
+        let r = rt.route(t0).unwrap();
+        assert!(r.path.is_empty());
+        assert_eq!(r.hops(), 0);
+        assert_eq!(r.origin, t0);
+    }
+
+    #[test]
+    fn everyone_reaches_a_transit_origin() {
+        let (t, [t0, ..]) = diamond();
+        let rt = RouteTable::compute(&t, &[(t0, 0)], &RoutingConfig::default());
+        assert_eq!(rt.reachable_count(), 5);
+    }
+
+    #[test]
+    fn stub_picks_lowest_next_hop_on_tie() {
+        // S0 reaches T0 via R0 (2 hops) or R1+T1 (3 hops): picks R0.
+        let (t, [t0, _, r0, _, s0]) = diamond();
+        let rt = RouteTable::compute(&t, &[(t0, 0)], &RoutingConfig::default());
+        let path = rt.full_path(s0).unwrap();
+        assert_eq!(path, vec![s0, r0, t0]);
+    }
+
+    #[test]
+    fn customer_route_preferred_over_shorter_provider_route() {
+        // Build: provider P with customer C; C has customer D; P also has
+        // a direct peer link to D's other neighbor? Simpler: give P two
+        // paths to origin O: via its customer chain (long) and via a peer
+        // (short). Customer must win.
+        let mut t = Topology::new();
+        let p = t.add_node(Tier::Transit, GeoPoint::default(), vec![]);
+        let peer = t.add_node(Tier::Transit, GeoPoint::default(), vec![]);
+        let c1 = t.add_node(Tier::Regional, GeoPoint::default(), vec![]);
+        let c2 = t.add_node(Tier::Stub, GeoPoint::default(), vec![]);
+        let origin = t.add_node(Tier::Stub, GeoPoint::default(), vec![]);
+        // Customer chain p <- c1 <- c2 <- origin (origin is customer of c2…)
+        t.add_edge(c1, p, Relationship::Provider);
+        t.add_edge(c2, c1, Relationship::Provider);
+        t.add_edge(origin, c2, Relationship::Provider);
+        // Short peer path: p -- peer -- origin (origin customer of peer).
+        t.add_edge(p, peer, Relationship::Peer);
+        t.add_edge(origin, peer, Relationship::Provider);
+        let rt = RouteTable::compute(&t, &[(origin, 0)], &RoutingConfig::default());
+        let r = rt.route(p).unwrap();
+        assert_eq!(r.pref, PREF_CUSTOMER);
+        assert_eq!(r.path, vec![c1, c2, origin], "3-hop customer beats 2-hop peer");
+    }
+
+    #[test]
+    fn valley_free_blocks_peer_to_peer_transit() {
+        // origin -- peerA -- peerB: peerB must NOT learn the route through
+        // peerA (peer routes are not exported to peers).
+        let mut t = Topology::new();
+        let origin = t.add_node(Tier::Regional, GeoPoint::default(), vec![]);
+        let peer_a = t.add_node(Tier::Regional, GeoPoint::default(), vec![]);
+        let peer_b = t.add_node(Tier::Regional, GeoPoint::default(), vec![]);
+        t.add_edge(origin, peer_a, Relationship::Peer);
+        t.add_edge(peer_a, peer_b, Relationship::Peer);
+        let rt = RouteTable::compute(&t, &[(origin, 0)], &RoutingConfig::default());
+        assert!(rt.route(peer_a).is_some());
+        assert!(rt.route(peer_b).is_none(), "valley-free violated");
+    }
+
+    #[test]
+    fn provider_route_not_exported_to_provider() {
+        // origin <- provider P; P's own provider G learns via its customer
+        // P — allowed. But a *customer* of origin exporting its provider
+        // route upward must not happen: chain G <- P <- C, origin is C's
+        // provider: C learns origin via provider, must not export to its
+        // own provider P.
+        let mut t = Topology::new();
+        let g = t.add_node(Tier::Transit, GeoPoint::default(), vec![]);
+        let p = t.add_node(Tier::Regional, GeoPoint::default(), vec![]);
+        let c = t.add_node(Tier::Stub, GeoPoint::default(), vec![]);
+        let origin = t.add_node(Tier::Regional, GeoPoint::default(), vec![]);
+        t.add_edge(p, g, Relationship::Provider);
+        t.add_edge(c, p, Relationship::Provider);
+        t.add_edge(c, origin, Relationship::Provider); // origin is c's provider
+        let rt = RouteTable::compute(&t, &[(origin, 0)], &RoutingConfig::default());
+        assert!(rt.route(c).is_some());
+        assert!(
+            rt.route(p).is_none(),
+            "provider-learned route leaked upward"
+        );
+        assert!(rt.route(g).is_none());
+    }
+
+    #[test]
+    fn anycast_partitions_by_proximity() {
+        let (t, [t0, t1, r0, r1, s0]) = diamond();
+        // Two sites: one at each regional.
+        let rt = RouteTable::compute(&t, &[(r0, 0), (r1, 1)], &RoutingConfig::default());
+        assert_eq!(rt.catchment(r0), Some(0));
+        assert_eq!(rt.catchment(r1), Some(1));
+        assert_eq!(rt.catchment(t0), Some(0), "T0 hears its customer R0");
+        assert_eq!(rt.catchment(t1), Some(1));
+        // The dual-homed stub ties on path length; lowest next-hop wins.
+        assert_eq!(rt.catchment(s0), Some(0));
+    }
+
+    #[test]
+    fn link_failure_shifts_catchment() {
+        let (t, [.., r0, _, s0]) = diamond();
+        let mut cfg = RoutingConfig::default();
+        cfg.disable_link(s0, r0);
+        let rt = RouteTable::compute(&t, &[(r0, 0), (AsId(3), 1)], &cfg);
+        // With the S0–R0 link down, S0 must land on site 1 via R1.
+        assert_eq!(rt.catchment(s0), Some(1));
+    }
+
+    #[test]
+    fn pref_override_steers_a_third_party() {
+        let (t, [.., r1, s0]) = diamond();
+        let r0 = AsId(2);
+        let mut cfg = RoutingConfig::default();
+        cfg.prefer(s0, r1);
+        let rt = RouteTable::compute(&t, &[(r0, 0), (r1, 1)], &cfg);
+        // S0 normally lands on site 0 (tie-break); the override pins it to
+        // R1's site — a "third-party" TE change the origin never made.
+        assert_eq!(rt.catchment(s0), Some(1));
+        assert!(rt.route(s0).unwrap().pref > PREF_CUSTOMER);
+    }
+
+    #[test]
+    fn paths_are_loop_free_on_generated_topologies() {
+        let topo = TopologyBuilder {
+            transit: 4,
+            regional: 10,
+            stubs: 60,
+            blocks_per_stub: 1,
+            seed: 99,
+            ..Default::default()
+        }
+        .build();
+        let origin = topo.tier_members(Tier::Stub)[0];
+        let rt = RouteTable::compute(&topo, &[(origin, 0)], &RoutingConfig::default());
+        let mut reached = 0;
+        for n in topo.nodes() {
+            if let Some(path) = rt.full_path(n.id) {
+                let mut seen = std::collections::HashSet::new();
+                for a in &path {
+                    assert!(seen.insert(*a), "loop in path {path:?}");
+                }
+                assert_eq!(*path.last().unwrap(), origin);
+                reached += 1;
+            }
+        }
+        // A single-homed stub origin is reachable by everyone (its provider
+        // exports the customer route everywhere).
+        assert_eq!(reached, topo.len());
+    }
+
+    #[test]
+    fn computation_is_deterministic() {
+        let topo = TopologyBuilder::default().build();
+        let origins: Vec<(AsId, u32)> = topo
+            .tier_members(Tier::Regional)
+            .iter()
+            .take(3)
+            .enumerate()
+            .map(|(i, &a)| (a, i as u32))
+            .collect();
+        let a = RouteTable::compute(&topo, &origins, &RoutingConfig::default());
+        let b = RouteTable::compute(&topo, &origins, &RoutingConfig::default());
+        for n in topo.nodes() {
+            assert_eq!(a.route(n.id), b.route(n.id));
+        }
+    }
+
+    #[test]
+    fn disabled_link_is_order_insensitive() {
+        let mut cfg = RoutingConfig::default();
+        cfg.disable_link(AsId(5), AsId(2));
+        assert!(cfg.link_disabled(AsId(2), AsId(5)));
+        assert!(cfg.link_disabled(AsId(5), AsId(2)));
+        assert!(!cfg.link_disabled(AsId(2), AsId(4)));
+    }
+
+    #[test]
+    fn route_hop_accessor() {
+        let r = Route {
+            path: vec![AsId(1), AsId(2)],
+            origin: AsId(2),
+            site: 0,
+            pref: 3,
+            class: 3,
+        };
+        assert_eq!(r.hop(0), None);
+        assert_eq!(r.hop(1), Some(AsId(1)));
+        assert_eq!(r.hop(2), Some(AsId(2)));
+        assert_eq!(r.hop(3), None);
+    }
+}

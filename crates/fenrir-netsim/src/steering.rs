@@ -1,0 +1,168 @@
+//! Disturbance search: find third-party routing changes with a *verified*
+//! effect on catchments.
+//!
+//! Fenrir's evaluation needs scripted events that demonstrably shift
+//! catchments — a drain of an empty site or a preference pin that changes
+//! paths but not sites would make the scenarios vacuous. This module
+//! enumerates candidate disturbances (local-pref pins at transit/regional/
+//! probe ASes, and provider-link failures), simulates each against the
+//! quiescent baseline, and reports the fraction of probe ASes whose
+//! catchment moves.
+
+use crate::anycast::AnycastService;
+use crate::events::EventKind;
+use crate::routing::RoutingConfig;
+use crate::topology::{AsId, Relationship, Tier, Topology};
+
+/// A candidate disturbance with its verified effect.
+#[derive(Debug, Clone)]
+pub struct Disturbance {
+    /// The event to schedule (always a `Prefer` or `LinkDown`).
+    pub kind: EventKind,
+    /// Fraction of probe ASes whose catchment changed, in `[0, 1]`.
+    pub effect: f64,
+}
+
+/// Enumerate disturbances affecting at least `min_effect` of `probes`'
+/// catchments toward `service`, sorted by descending effect.
+///
+/// `probes` are the ASes whose catchments matter (VP hosts or block
+/// owners); candidates are preference pins at every transit/regional/probe
+/// AS toward each non-customer neighbor, plus failures of every
+/// provider link of regionals and probes.
+pub fn find_disturbances(
+    topo: &Topology,
+    service: &AnycastService,
+    probes: &[AsId],
+    min_effect: f64,
+) -> Vec<Disturbance> {
+    let base = service.routes(topo, &RoutingConfig::default());
+    let baseline: Vec<Option<u32>> = probes.iter().map(|&p| base.catchment(p)).collect();
+    let effect_of = |cfg: &RoutingConfig| {
+        if probes.is_empty() {
+            return 0.0;
+        }
+        let rt = service.routes(topo, cfg);
+        let moved = probes
+            .iter()
+            .zip(&baseline)
+            .filter(|&(&p, &b)| rt.catchment(p) != b)
+            .count();
+        moved as f64 / probes.len() as f64
+    };
+
+    let mut candidates: Vec<AsId> = topo.tier_members(Tier::Transit);
+    candidates.extend(topo.tier_members(Tier::Regional));
+    candidates.extend(probes.iter().copied());
+    candidates.sort();
+    candidates.dedup();
+
+    let mut out = Vec::new();
+    for r in candidates {
+        for &(n, rel) in topo.neighbors(r) {
+            if rel != Relationship::Customer {
+                let mut cfg = RoutingConfig::default();
+                cfg.prefer(r, n);
+                let effect = effect_of(&cfg);
+                if effect >= min_effect {
+                    out.push(Disturbance {
+                        kind: EventKind::Prefer { who: r, via: n },
+                        effect,
+                    });
+                }
+            }
+            if rel == Relationship::Provider {
+                let mut cfg = RoutingConfig::default();
+                cfg.disable_link(r, n);
+                let effect = effect_of(&cfg);
+                if effect >= min_effect {
+                    out.push(Disturbance {
+                        kind: EventKind::LinkDown { a: r, b: n },
+                        effect,
+                    });
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| b.effect.partial_cmp(&a.effect).expect("finite effects"));
+    out
+}
+
+/// The first disturbance whose effect falls inside `range` — for scripting
+/// "smaller" events like the paper's secondary CMH→SAT shift.
+pub fn find_in_range(
+    topo: &Topology,
+    service: &AnycastService,
+    probes: &[AsId],
+    range: std::ops::Range<f64>,
+) -> Option<Disturbance> {
+    find_disturbances(topo, service, probes, range.start)
+        .into_iter()
+        .rev() // ascending effect
+        .find(|d| range.contains(&d.effect))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::cities;
+    use crate::topology::TopologyBuilder;
+
+    fn setup() -> (Topology, AnycastService, Vec<AsId>) {
+        let topo = TopologyBuilder {
+            transit: 3,
+            regional: 8,
+            stubs: 60,
+            blocks_per_stub: 2,
+            seed: 0x6007,
+            ..Default::default()
+        }
+        .build();
+        let regionals = topo.tier_members(Tier::Regional);
+        let mut svc = AnycastService::new("x");
+        svc.add_site("A", regionals[0], cities::LAX);
+        svc.add_site("B", regionals[1], cities::AMS);
+        svc.add_site("C", regionals[2], cities::SIN);
+        let probes = topo.tier_members(Tier::Stub);
+        (topo, svc, probes)
+    }
+
+    #[test]
+    fn finds_effective_disturbances() {
+        let (topo, svc, probes) = setup();
+        let ds = find_disturbances(&topo, &svc, &probes, 0.02);
+        assert!(!ds.is_empty(), "expected some effective disturbances");
+        // Sorted descending.
+        for w in ds.windows(2) {
+            assert!(w[0].effect >= w[1].effect);
+        }
+        // Every reported effect clears the threshold.
+        assert!(ds.iter().all(|d| d.effect >= 0.02));
+    }
+
+    #[test]
+    fn effects_are_reproducible(){
+        let (topo, svc, probes) = setup();
+        let a = find_disturbances(&topo, &svc, &probes, 0.02);
+        let b = find_disturbances(&topo, &svc, &probes, 0.02);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(x.effect, y.effect);
+        }
+    }
+
+    #[test]
+    fn find_in_range_respects_bounds() {
+        let (topo, svc, probes) = setup();
+        if let Some(d) = find_in_range(&topo, &svc, &probes, 0.02..0.2) {
+            assert!((0.02..0.2).contains(&d.effect), "effect {}", d.effect);
+        }
+    }
+
+    #[test]
+    fn empty_probes_yield_nothing() {
+        let (topo, svc, _) = setup();
+        assert!(find_disturbances(&topo, &svc, &[], 0.01).is_empty());
+    }
+}

@@ -1,0 +1,452 @@
+//! The AS-level topology: nodes, business relationships, and a seeded
+//! generator producing Internet-like three-tier graphs.
+//!
+//! Relationships follow the standard Gao–Rexford model: an edge is either a
+//! **customer–provider** link (the customer pays) or a **peer** link
+//! (settlement-free). Valley-free routing over these relationships is what
+//! makes third-party policy changes shift catchments several hops away —
+//! the phenomenon Fenrir exists to detect.
+
+use crate::geo::GeoPoint;
+use crate::prefix::BlockId;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of an AS within a [`Topology`] (doubles as its ASN for display).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AsId(pub u32);
+
+impl AsId {
+    /// Position in the topology's node table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AsId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// What the *neighbor* is to this AS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Relationship {
+    /// The neighbor is my customer (they pay me).
+    Customer,
+    /// The neighbor is my provider (I pay them).
+    Provider,
+    /// Settlement-free peer.
+    Peer,
+}
+
+impl Relationship {
+    /// The relationship as seen from the other end of the link.
+    pub fn inverse(self) -> Relationship {
+        match self {
+            Relationship::Customer => Relationship::Provider,
+            Relationship::Provider => Relationship::Customer,
+            Relationship::Peer => Relationship::Peer,
+        }
+    }
+}
+
+/// Position in the routing hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Tier {
+    /// Global transit backbone (Tier-1): full peer mesh, no providers.
+    Transit,
+    /// Regional/national provider: buys from transit, sells to stubs.
+    Regional,
+    /// Edge network (enterprise, eyeball, campus): only buys.
+    Stub,
+}
+
+/// One autonomous system.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AsNode {
+    /// Identifier (also the display ASN).
+    pub id: AsId,
+    /// Hierarchy tier.
+    pub tier: Tier,
+    /// Geographic placement (headquarters / main PoP).
+    pub geo: GeoPoint,
+    /// /24 blocks originated by this AS.
+    pub blocks: Vec<BlockId>,
+}
+
+/// The AS graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    nodes: Vec<AsNode>,
+    /// `adj[a]` lists `(neighbor, what-neighbor-is-to-a)`.
+    adj: Vec<Vec<(AsId, Relationship)>>,
+    /// Reverse map from block to originating AS.
+    block_owner: HashMap<BlockId, AsId>,
+}
+
+impl Topology {
+    /// An empty topology (build with [`Topology::add_node`] /
+    /// [`Topology::add_edge`], or use [`TopologyBuilder`]).
+    pub fn new() -> Self {
+        Topology {
+            nodes: Vec::new(),
+            adj: Vec::new(),
+            block_owner: HashMap::new(),
+        }
+    }
+
+    /// Add a node; returns its id.
+    pub fn add_node(&mut self, tier: Tier, geo: GeoPoint, blocks: Vec<BlockId>) -> AsId {
+        let id = AsId(self.nodes.len() as u32);
+        for &b in &blocks {
+            self.block_owner.insert(b, id);
+        }
+        self.nodes.push(AsNode {
+            id,
+            tier,
+            geo,
+            blocks,
+        });
+        self.adj.push(Vec::new());
+        id
+    }
+
+    /// Add an edge; `rel` states what `b` is to `a` (the inverse is stored
+    /// for `b`). Duplicate edges are ignored.
+    pub fn add_edge(&mut self, a: AsId, b: AsId, rel: Relationship) {
+        if a == b || self.adj[a.index()].iter().any(|&(n, _)| n == b) {
+            return;
+        }
+        self.adj[a.index()].push((b, rel));
+        self.adj[b.index()].push((a, rel.inverse()));
+    }
+
+    /// Number of ASes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the topology has no ASes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Node accessor.
+    pub fn node(&self, a: AsId) -> &AsNode {
+        &self.nodes[a.index()]
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[AsNode] {
+        &self.nodes
+    }
+
+    /// Neighbors of `a` with their relationship to `a`.
+    pub fn neighbors(&self, a: AsId) -> &[(AsId, Relationship)] {
+        &self.adj[a.index()]
+    }
+
+    /// The relationship of `b` to `a`, if adjacent.
+    pub fn relationship(&self, a: AsId, b: AsId) -> Option<Relationship> {
+        self.adj[a.index()]
+            .iter()
+            .find(|&&(n, _)| n == b)
+            .map(|&(_, r)| r)
+    }
+
+    /// The AS originating a block.
+    pub fn owner_of(&self, block: BlockId) -> Option<AsId> {
+        self.block_owner.get(&block).copied()
+    }
+
+    /// All blocks in ascending order with their owners.
+    pub fn all_blocks(&self) -> Vec<(BlockId, AsId)> {
+        let mut v: Vec<(BlockId, AsId)> = self
+            .block_owner
+            .iter()
+            .map(|(&b, &a)| (b, a))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Ids of all ASes of a tier.
+    pub fn tier_members(&self, tier: Tier) -> Vec<AsId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.tier == tier)
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Total number of edges (each counted once).
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(|v| v.len()).sum::<usize>() / 2
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Seeded generator for Internet-like topologies.
+///
+/// The shape follows the classic three-tier model: a full mesh of transit
+/// ASes; regional providers buying from 1–2 (geographically near) transit
+/// ASes and sometimes peering with each other; stubs buying from 1–2
+/// regionals, placed near their primary provider, each originating a run of
+/// /24 blocks.
+#[derive(Debug, Clone)]
+pub struct TopologyBuilder {
+    /// Number of Tier-1 transit ASes.
+    pub transit: usize,
+    /// Number of regional providers.
+    pub regional: usize,
+    /// Number of stub ASes.
+    pub stubs: usize,
+    /// /24 blocks originated per stub.
+    pub blocks_per_stub: usize,
+    /// Probability a stub is multihomed (two regional providers).
+    pub multihome_prob: f64,
+    /// Probability a pair of regionals peers.
+    pub regional_peer_prob: f64,
+    /// RNG seed: same seed, same topology.
+    pub seed: u64,
+}
+
+impl Default for TopologyBuilder {
+    fn default() -> Self {
+        TopologyBuilder {
+            transit: 5,
+            regional: 20,
+            stubs: 200,
+            blocks_per_stub: 4,
+            multihome_prob: 0.4,
+            regional_peer_prob: 0.15,
+            seed: 0xFE17_0001,
+        }
+    }
+}
+
+impl TopologyBuilder {
+    /// Generate the topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `transit == 0` or `regional == 0` — a routable Internet
+    /// needs a core.
+    pub fn build(&self) -> Topology {
+        assert!(self.transit > 0, "need at least one transit AS");
+        assert!(self.regional > 0, "need at least one regional AS");
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut topo = Topology::new();
+
+        // Tier-1 core: random placement, full peer mesh.
+        let transit: Vec<AsId> = (0..self.transit)
+            .map(|_| topo.add_node(Tier::Transit, GeoPoint::random(&mut rng), Vec::new()))
+            .collect();
+        for (i, &a) in transit.iter().enumerate() {
+            for &b in &transit[i + 1..] {
+                topo.add_edge(a, b, Relationship::Peer);
+            }
+        }
+
+        // Regionals: 1–2 transit providers, preferring near ones.
+        let regional: Vec<AsId> = (0..self.regional)
+            .map(|_| {
+                let geo = GeoPoint::random(&mut rng);
+                let id = topo.add_node(Tier::Regional, geo, Vec::new());
+                let mut ranked = transit.clone();
+                ranked.sort_by(|&x, &y| {
+                    let dx = topo.node(x).geo.distance_km(geo);
+                    let dy = topo.node(y).geo.distance_km(geo);
+                    dx.partial_cmp(&dy).expect("finite distances")
+                });
+                topo.add_edge(id, ranked[0], Relationship::Provider);
+                if ranked.len() > 1 && rng.gen_bool(0.5) {
+                    topo.add_edge(id, ranked[1], Relationship::Provider);
+                }
+                id
+            })
+            .collect();
+        for (i, &a) in regional.iter().enumerate() {
+            for &b in &regional[i + 1..] {
+                if rng.gen_bool(self.regional_peer_prob) {
+                    topo.add_edge(a, b, Relationship::Peer);
+                }
+            }
+        }
+
+        // Stubs: 1–2 regional providers; placed near the primary; blocks
+        // assigned sequentially from 10.0.0.0-ish space upward.
+        let mut next_block = BlockId::of_addr([10, 0, 0, 0]).0;
+        for _ in 0..self.stubs {
+            let primary = *regional.choose(&mut rng).expect("regionals nonempty");
+            let geo = topo.node(primary).geo.jittered(&mut rng, 300.0);
+            let blocks: Vec<BlockId> = (0..self.blocks_per_stub)
+                .map(|_| {
+                    let b = BlockId(next_block);
+                    next_block += 1;
+                    b
+                })
+                .collect();
+            let id = topo.add_node(Tier::Stub, geo, blocks);
+            topo.add_edge(id, primary, Relationship::Provider);
+            if rng.gen_bool(self.multihome_prob) {
+                let secondary = *regional.choose(&mut rng).expect("regionals nonempty");
+                if secondary != primary {
+                    topo.add_edge(id, secondary, Relationship::Provider);
+                }
+            }
+        }
+        topo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Topology {
+        TopologyBuilder {
+            transit: 3,
+            regional: 6,
+            stubs: 30,
+            blocks_per_stub: 2,
+            seed: 7,
+            ..Default::default()
+        }
+        .build()
+    }
+
+    #[test]
+    fn builder_is_deterministic() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.edge_count(), b.edge_count());
+        for (na, nb) in a.nodes().iter().zip(b.nodes()) {
+            assert_eq!(na.tier, nb.tier);
+            assert_eq!(na.geo, nb.geo);
+            assert_eq!(na.blocks, nb.blocks);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = small();
+        let b = TopologyBuilder {
+            transit: 3,
+            regional: 6,
+            stubs: 30,
+            blocks_per_stub: 2,
+            seed: 8,
+            ..Default::default()
+        }
+        .build();
+        let geos_differ = a
+            .nodes()
+            .iter()
+            .zip(b.nodes())
+            .any(|(x, y)| x.geo != y.geo);
+        assert!(geos_differ);
+    }
+
+    #[test]
+    fn tier_counts_match_parameters() {
+        let t = small();
+        assert_eq!(t.tier_members(Tier::Transit).len(), 3);
+        assert_eq!(t.tier_members(Tier::Regional).len(), 6);
+        assert_eq!(t.tier_members(Tier::Stub).len(), 30);
+        assert_eq!(t.len(), 39);
+    }
+
+    #[test]
+    fn transit_is_full_mesh() {
+        let t = small();
+        let transit = t.tier_members(Tier::Transit);
+        for &a in &transit {
+            for &b in &transit {
+                if a != b {
+                    assert_eq!(t.relationship(a, b), Some(Relationship::Peer));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_nontransit_as_has_a_provider() {
+        let t = small();
+        for n in t.nodes() {
+            if n.tier != Tier::Transit {
+                let has_provider = t
+                    .neighbors(n.id)
+                    .iter()
+                    .any(|&(_, r)| r == Relationship::Provider);
+                assert!(has_provider, "{} lacks a provider", n.id);
+            }
+        }
+    }
+
+    #[test]
+    fn relationships_are_mutually_consistent() {
+        let t = small();
+        for n in t.nodes() {
+            for &(m, rel) in t.neighbors(n.id) {
+                assert_eq!(t.relationship(m, n.id), Some(rel.inverse()));
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_are_unique_and_owned() {
+        let t = small();
+        let all = t.all_blocks();
+        assert_eq!(all.len(), 30 * 2);
+        for w in all.windows(2) {
+            assert!(w[0].0 < w[1].0, "blocks sorted and unique");
+        }
+        for (b, owner) in all {
+            assert!(t.node(owner).blocks.contains(&b));
+            assert_eq!(t.owner_of(b), Some(owner));
+        }
+    }
+
+    #[test]
+    fn add_edge_ignores_duplicates_and_self_loops() {
+        let mut t = Topology::new();
+        let a = t.add_node(Tier::Stub, GeoPoint::default(), vec![]);
+        let b = t.add_node(Tier::Stub, GeoPoint::default(), vec![]);
+        t.add_edge(a, b, Relationship::Peer);
+        t.add_edge(a, b, Relationship::Peer);
+        t.add_edge(b, a, Relationship::Peer);
+        t.add_edge(a, a, Relationship::Peer);
+        assert_eq!(t.edge_count(), 1);
+    }
+
+    #[test]
+    fn relationship_inverse() {
+        assert_eq!(Relationship::Customer.inverse(), Relationship::Provider);
+        assert_eq!(Relationship::Provider.inverse(), Relationship::Customer);
+        assert_eq!(Relationship::Peer.inverse(), Relationship::Peer);
+    }
+
+    #[test]
+    fn display_asid() {
+        assert_eq!(AsId(2152).to_string(), "AS2152");
+    }
+
+    #[test]
+    fn owner_of_unknown_block_is_none() {
+        let t = small();
+        assert_eq!(t.owner_of(BlockId::of_addr([203, 0, 113, 0])), None);
+    }
+}

@@ -1,0 +1,177 @@
+//! Property tests of the routing substrate: on randomly generated
+//! topologies, computed paths must respect the Gao–Rexford contract —
+//! loop-free, valley-free, and consistent under anycast partitioning.
+
+use fenrir_netsim::anycast::AnycastService;
+use fenrir_netsim::geo::GeoPoint;
+use fenrir_netsim::routing::{RouteTable, RoutingConfig};
+use fenrir_netsim::topology::{AsId, Relationship, Tier, Topology, TopologyBuilder};
+use proptest::prelude::*;
+
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    (2usize..5, 3usize..9, 10usize..40, any::<u64>()).prop_map(
+        |(transit, regional, stubs, seed)| {
+            TopologyBuilder {
+                transit,
+                regional,
+                stubs,
+                blocks_per_stub: 1,
+                multihome_prob: 0.5,
+                regional_peer_prob: 0.2,
+                seed,
+            }
+            .build()
+        },
+    )
+}
+
+/// Classify each step of a path by relationship, as seen walking from the
+/// client toward the origin.
+fn steps(topo: &Topology, path: &[AsId]) -> Vec<Relationship> {
+    path.windows(2)
+        .map(|w| topo.relationship(w[0], w[1]).expect("adjacent"))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn unicast_paths_are_loop_free_and_valley_free(topo in arb_topology()) {
+        let origin = topo.tier_members(Tier::Stub)[0];
+        let rt = RouteTable::compute(&topo, &[(origin, 0)], &RoutingConfig::default());
+        for node in topo.nodes() {
+            let Some(path) = rt.full_path(node.id) else { continue };
+            // Loop-free.
+            let mut seen = std::collections::HashSet::new();
+            for a in &path {
+                prop_assert!(seen.insert(*a), "loop in {path:?}");
+            }
+            prop_assert_eq!(*path.last().expect("nonempty"), origin);
+            // Valley-free: once the path goes "down" (toward a customer) or
+            // across a peer link, it may never go "up" (toward a provider)
+            // or cross another peer link.
+            // Walking client→origin, a step to a Provider means the client
+            // is sending *up*; classify the reverse direction (origin→client
+            // announcement flow) instead: announcements go customer→provider
+            // (up), then at most one peer link, then provider→customer
+            // (down). Client-side: steps are Provider* Peer? Customer*.
+            let st = steps(&topo, &path);
+            let mut phase = 0; // 0 = up (provider steps), 1 = peer used, 2 = down
+            for s in st {
+                match s {
+                    Relationship::Provider => {
+                        prop_assert_eq!(phase, 0, "up after peer/down in {:?}", path);
+                    }
+                    Relationship::Peer => {
+                        prop_assert!(phase == 0, "second peer or peer after down");
+                        phase = 1;
+                    }
+                    Relationship::Customer => {
+                        phase = 2;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn anycast_is_a_partition_of_unicast_reachability(topo in arb_topology()) {
+        // Every AS that can reach ANY single site can reach the anycast
+        // set, and its catchment is one of the announced sites.
+        let regionals = topo.tier_members(Tier::Regional);
+        let mut svc = AnycastService::new("p");
+        let origins: Vec<AsId> = regionals.iter().take(3).copied().collect();
+        for (i, &r) in origins.iter().enumerate() {
+            svc.add_site(&format!("S{i}"), r, GeoPoint::default());
+        }
+        let cfg = RoutingConfig::default();
+        let any = svc.routes(&topo, &cfg);
+        let singles: Vec<RouteTable> = origins
+            .iter()
+            .map(|&o| RouteTable::compute(&topo, &[(o, 0)], &cfg))
+            .collect();
+        for node in topo.nodes() {
+            let reach_any_single = singles.iter().any(|rt| rt.route(node.id).is_some());
+            let catch = any.catchment(node.id);
+            prop_assert_eq!(reach_any_single, catch.is_some());
+            if let Some(site) = catch {
+                prop_assert!((site as usize) < origins.len());
+                // The chosen site is individually reachable too.
+                prop_assert!(singles[site as usize].route(node.id).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn anycast_path_never_longer_than_best_single_site(topo in arb_topology()) {
+        // At equal preference class, anycast picks a site at most as far as
+        // the nearest individually-reachable site.
+        let regionals = topo.tier_members(Tier::Regional);
+        let mut svc = AnycastService::new("p");
+        let origins: Vec<AsId> = regionals.iter().take(2).copied().collect();
+        for (i, &r) in origins.iter().enumerate() {
+            svc.add_site(&format!("S{i}"), r, GeoPoint::default());
+        }
+        let cfg = RoutingConfig::default();
+        let any = svc.routes(&topo, &cfg);
+        let singles: Vec<RouteTable> = origins
+            .iter()
+            .map(|&o| RouteTable::compute(&topo, &[(o, 0)], &cfg))
+            .collect();
+        for node in topo.nodes() {
+            let Some(any_route) = any.route(node.id) else { continue };
+            let best_single = singles
+                .iter()
+                .filter_map(|rt| rt.route(node.id))
+                .map(|r| (std::cmp::Reverse(r.pref), r.hops()))
+                .min();
+            if let Some((best_pref, best_hops)) = best_single {
+                let got = (std::cmp::Reverse(any_route.pref), any_route.hops());
+                prop_assert!(
+                    got <= (best_pref, best_hops),
+                    "anycast route worse than best single-site route"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn link_down_never_creates_routes(topo in arb_topology()) {
+        // Disabling a link can only remove reachability, never add it.
+        let origin = topo.tier_members(Tier::Regional)[0];
+        let cfg = RoutingConfig::default();
+        let base = RouteTable::compute(&topo, &[(origin, 0)], &cfg);
+        // Disable the origin's first link.
+        if let Some(&(nbr, _)) = topo.neighbors(origin).first() {
+            let mut broken = RoutingConfig::default();
+            broken.disable_link(origin, nbr);
+            let after = RouteTable::compute(&topo, &[(origin, 0)], &broken);
+            for node in topo.nodes() {
+                if after.route(node.id).is_some() {
+                    prop_assert!(
+                        base.route(node.id).is_some(),
+                        "link-down created reachability for {}",
+                        node.id
+                    );
+                }
+            }
+            prop_assert!(after.reachable_count() <= base.reachable_count());
+        }
+    }
+
+    #[test]
+    fn rtt_is_a_metric_like_quantity(
+        a in -60.0f64..60.0, b in -180.0f64..180.0,
+        c in -60.0f64..60.0, d in -180.0f64..180.0
+    ) {
+        let p = GeoPoint::new(a, b);
+        let q = GeoPoint::new(c, d);
+        let rtt_pq = p.rtt_ms(q);
+        let rtt_qp = q.rtt_ms(p);
+        prop_assert!((rtt_pq - rtt_qp).abs() < 1e-9, "asymmetric RTT");
+        prop_assert!(rtt_pq >= fenrir_netsim::geo::BASE_RTT_MS);
+        // Bounded by half the planet both ways at fibre speed + overhead.
+        prop_assert!(rtt_pq < 210.0 + fenrir_netsim::geo::BASE_RTT_MS);
+    }
+}

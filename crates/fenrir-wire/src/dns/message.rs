@@ -1,0 +1,863 @@
+//! DNS message structure: header, questions, resource records, and the
+//! message-level encoder/decoder with name compression.
+
+use super::edns::{ClientSubnet, EdnsOption};
+use super::name::Name;
+use super::{QClass, QType};
+use crate::error::{Result, WireError};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Message opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Opcode {
+    /// Standard query.
+    #[default]
+    Query,
+    /// Inverse query (obsolete).
+    IQuery,
+    /// Server status request.
+    Status,
+    /// Anything else, by code.
+    Other(u8),
+}
+
+impl Opcode {
+    fn code(self) -> u8 {
+        match self {
+            Opcode::Query => 0,
+            Opcode::IQuery => 1,
+            Opcode::Status => 2,
+            Opcode::Other(c) => c & 0x0F,
+        }
+    }
+
+    fn from_code(c: u8) -> Self {
+        match c & 0x0F {
+            0 => Opcode::Query,
+            1 => Opcode::IQuery,
+            2 => Opcode::Status,
+            other => Opcode::Other(other),
+        }
+    }
+}
+
+/// Response code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Rcode {
+    /// No error.
+    #[default]
+    NoError,
+    /// Format error.
+    FormErr,
+    /// Server failure.
+    ServFail,
+    /// Name does not exist.
+    NxDomain,
+    /// Not implemented.
+    NotImp,
+    /// Refused by policy.
+    Refused,
+    /// Anything else, by code.
+    Other(u8),
+}
+
+impl Rcode {
+    fn code(self) -> u8 {
+        match self {
+            Rcode::NoError => 0,
+            Rcode::FormErr => 1,
+            Rcode::ServFail => 2,
+            Rcode::NxDomain => 3,
+            Rcode::NotImp => 4,
+            Rcode::Refused => 5,
+            Rcode::Other(c) => c & 0x0F,
+        }
+    }
+
+    fn from_code(c: u8) -> Self {
+        match c & 0x0F {
+            0 => Rcode::NoError,
+            1 => Rcode::FormErr,
+            2 => Rcode::ServFail,
+            3 => Rcode::NxDomain,
+            4 => Rcode::NotImp,
+            5 => Rcode::Refused,
+            other => Rcode::Other(other),
+        }
+    }
+}
+
+/// The 12-octet DNS header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Header {
+    /// Query identifier, echoed in responses.
+    pub id: u16,
+    /// Query (false) or response (true).
+    pub qr: bool,
+    /// Operation.
+    pub opcode: Opcode,
+    /// Authoritative answer.
+    pub aa: bool,
+    /// Truncated.
+    pub tc: bool,
+    /// Recursion desired.
+    pub rd: bool,
+    /// Recursion available.
+    pub ra: bool,
+    /// Response code.
+    pub rcode: Rcode,
+}
+
+impl Header {
+    fn encode(self, counts: [u16; 4], out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.id.to_be_bytes());
+        let mut b2: u8 = 0;
+        if self.qr {
+            b2 |= 0x80;
+        }
+        b2 |= self.opcode.code() << 3;
+        if self.aa {
+            b2 |= 0x04;
+        }
+        if self.tc {
+            b2 |= 0x02;
+        }
+        if self.rd {
+            b2 |= 0x01;
+        }
+        let mut b3: u8 = 0;
+        if self.ra {
+            b3 |= 0x80;
+        }
+        b3 |= self.rcode.code();
+        out.push(b2);
+        out.push(b3);
+        for c in counts {
+            out.extend_from_slice(&c.to_be_bytes());
+        }
+    }
+
+    fn decode(buf: &[u8]) -> Result<(Header, [u16; 4])> {
+        if buf.len() < 12 {
+            return Err(WireError::Truncated {
+                what: "dns header",
+                needed: 12 - buf.len(),
+            });
+        }
+        let id = u16::from_be_bytes([buf[0], buf[1]]);
+        let (b2, b3) = (buf[2], buf[3]);
+        let header = Header {
+            id,
+            qr: b2 & 0x80 != 0,
+            opcode: Opcode::from_code((b2 >> 3) & 0x0F),
+            aa: b2 & 0x04 != 0,
+            tc: b2 & 0x02 != 0,
+            rd: b2 & 0x01 != 0,
+            ra: b3 & 0x80 != 0,
+            rcode: Rcode::from_code(b3),
+        };
+        let mut counts = [0u16; 4];
+        for (i, c) in counts.iter_mut().enumerate() {
+            *c = u16::from_be_bytes([buf[4 + 2 * i], buf[5 + 2 * i]]);
+        }
+        Ok((header, counts))
+    }
+}
+
+/// A question entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Question {
+    /// Queried name.
+    pub name: Name,
+    /// Queried type.
+    pub qtype: QType,
+    /// Queried class.
+    pub qclass: QClass,
+}
+
+/// Typed record data. Types Fenrir uses decode structurally; everything else
+/// round-trips as raw bytes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RData {
+    /// IPv4 address.
+    A([u8; 4]),
+    /// IPv6 address.
+    Aaaa([u8; 16]),
+    /// Text strings (each at most 255 octets) — CHAOS identifiers live here.
+    Txt(Vec<Vec<u8>>),
+    /// Canonical name.
+    Cname(Name),
+    /// Name server.
+    Ns(Name),
+    /// Pointer.
+    Ptr(Name),
+    /// EDNS0 options (the OPT pseudo-record's RDATA).
+    Opt(Vec<EdnsOption>),
+    /// Uninterpreted RDATA for other types.
+    Raw(Vec<u8>),
+}
+
+/// A resource record. For OPT pseudo-records the `class` field carries the
+/// advertised UDP payload size and `ttl` the extended flags, per RFC 6891.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Record {
+    /// Record owner name.
+    pub name: Name,
+    /// Record type.
+    pub rtype: QType,
+    /// Class (or UDP size for OPT).
+    pub class: u16,
+    /// Time to live (or extended rcode/flags for OPT).
+    pub ttl: u32,
+    /// Typed data.
+    pub rdata: RData,
+}
+
+impl Record {
+    /// Build a TXT record, e.g. the CHAOS `hostname.bind` answer carrying a
+    /// site identifier.
+    pub fn txt(name: Name, class: QClass, ttl: u32, text: &[u8]) -> Record {
+        Record {
+            name,
+            rtype: QType::Txt,
+            class: class.code(),
+            ttl,
+            rdata: RData::Txt(vec![text.to_vec()]),
+        }
+    }
+
+    /// Build an A record.
+    pub fn a(name: Name, ttl: u32, addr: [u8; 4]) -> Record {
+        Record {
+            name,
+            rtype: QType::A,
+            class: QClass::In.code(),
+            ttl,
+            rdata: RData::A(addr),
+        }
+    }
+
+    /// Build an OPT pseudo-record advertising `udp_size` with the given
+    /// options.
+    pub fn opt(udp_size: u16, options: Vec<EdnsOption>) -> Record {
+        Record {
+            name: Name::root(),
+            rtype: QType::Opt,
+            class: udp_size,
+            ttl: 0,
+            rdata: RData::Opt(options),
+        }
+    }
+
+    fn encode(&self, out: &mut Vec<u8>, table: &mut HashMap<Vec<u8>, u16>) -> Result<()> {
+        self.name.encode_compressed(out, table);
+        out.extend_from_slice(&self.rtype.code().to_be_bytes());
+        out.extend_from_slice(&self.class.to_be_bytes());
+        out.extend_from_slice(&self.ttl.to_be_bytes());
+        let len_pos = out.len();
+        out.extend_from_slice(&[0, 0]);
+        let data_start = out.len();
+        match &self.rdata {
+            RData::A(a) => out.extend_from_slice(a),
+            RData::Aaaa(a) => out.extend_from_slice(a),
+            RData::Txt(strings) => {
+                for s in strings {
+                    if s.len() > 255 {
+                        return Err(WireError::FieldOverflow {
+                            what: "txt string",
+                            value: s.len(),
+                            max: 255,
+                        });
+                    }
+                    out.push(s.len() as u8);
+                    out.extend_from_slice(s);
+                }
+            }
+            // RFC 1035 forbids compressing names in newer RR types' RDATA;
+            // NS/CNAME/PTR may be compressed but we emit them uncompressed
+            // for simplicity and interoperability.
+            RData::Cname(n) | RData::Ns(n) | RData::Ptr(n) => n.encode_uncompressed(out),
+            RData::Opt(options) => {
+                for o in options {
+                    o.encode(out);
+                }
+            }
+            RData::Raw(d) => out.extend_from_slice(d),
+        }
+        let rdlen = out.len() - data_start;
+        if rdlen > usize::from(u16::MAX) {
+            return Err(WireError::FieldOverflow {
+                what: "rdata",
+                value: rdlen,
+                max: usize::from(u16::MAX),
+            });
+        }
+        out[len_pos..len_pos + 2].copy_from_slice(&(rdlen as u16).to_be_bytes());
+        Ok(())
+    }
+
+    fn decode(buf: &[u8], pos: &mut usize) -> Result<Record> {
+        let name = Name::decode(buf, pos)?;
+        if buf.len() < *pos + 10 {
+            return Err(WireError::Truncated {
+                what: "record fixed fields",
+                needed: *pos + 10 - buf.len(),
+            });
+        }
+        let rtype = QType::from_code(u16::from_be_bytes([buf[*pos], buf[*pos + 1]]));
+        let class = u16::from_be_bytes([buf[*pos + 2], buf[*pos + 3]]);
+        let ttl = u32::from_be_bytes([buf[*pos + 4], buf[*pos + 5], buf[*pos + 6], buf[*pos + 7]]);
+        let rdlen = usize::from(u16::from_be_bytes([buf[*pos + 8], buf[*pos + 9]]));
+        *pos += 10;
+        if buf.len() < *pos + rdlen {
+            return Err(WireError::Truncated {
+                what: "rdata",
+                needed: *pos + rdlen - buf.len(),
+            });
+        }
+        let rdata_buf = &buf[*pos..*pos + rdlen];
+        let rdata = match rtype {
+            QType::A => {
+                if rdlen != 4 {
+                    return Err(WireError::FieldOverflow {
+                        what: "A rdata",
+                        value: rdlen,
+                        max: 4,
+                    });
+                }
+                RData::A([rdata_buf[0], rdata_buf[1], rdata_buf[2], rdata_buf[3]])
+            }
+            QType::Aaaa => {
+                if rdlen != 16 {
+                    return Err(WireError::FieldOverflow {
+                        what: "AAAA rdata",
+                        value: rdlen,
+                        max: 16,
+                    });
+                }
+                let mut a = [0u8; 16];
+                a.copy_from_slice(rdata_buf);
+                RData::Aaaa(a)
+            }
+            QType::Txt => {
+                let mut strings = Vec::new();
+                let mut i = 0usize;
+                while i < rdata_buf.len() {
+                    let l = usize::from(rdata_buf[i]);
+                    i += 1;
+                    if i + l > rdata_buf.len() {
+                        return Err(WireError::Truncated {
+                            what: "txt string",
+                            needed: i + l - rdata_buf.len(),
+                        });
+                    }
+                    strings.push(rdata_buf[i..i + l].to_vec());
+                    i += l;
+                }
+                RData::Txt(strings)
+            }
+            QType::Cname | QType::Ns | QType::Ptr => {
+                // Names in RDATA may be compressed against the whole
+                // message, so decode with absolute positions.
+                let mut p = *pos;
+                let n = Name::decode(buf, &mut p)?;
+                if p != *pos + rdlen {
+                    return Err(WireError::TrailingBytes {
+                        count: (*pos + rdlen).abs_diff(p),
+                    });
+                }
+                match rtype {
+                    QType::Cname => RData::Cname(n),
+                    QType::Ns => RData::Ns(n),
+                    _ => RData::Ptr(n),
+                }
+            }
+            QType::Opt => RData::Opt(EdnsOption::decode_all(rdata_buf)?),
+            _ => RData::Raw(rdata_buf.to_vec()),
+        };
+        *pos += rdlen;
+        Ok(Record {
+            name,
+            rtype,
+            class,
+            ttl,
+            rdata,
+        })
+    }
+}
+
+/// A complete DNS message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Message {
+    /// Header flags and id.
+    pub header: Header,
+    /// Question section.
+    pub questions: Vec<Question>,
+    /// Answer section.
+    pub answers: Vec<Record>,
+    /// Authority section.
+    pub authorities: Vec<Record>,
+    /// Additional section (the OPT pseudo-record lives here).
+    pub additionals: Vec<Record>,
+}
+
+impl Message {
+    /// Build a recursive query for `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a valid domain name; use [`Name::parse`] +
+    /// manual construction for untrusted input.
+    pub fn query(id: u16, name: &str, qtype: QType, qclass: QClass) -> Message {
+        Message {
+            header: Header {
+                id,
+                rd: true,
+                ..Header::default()
+            },
+            questions: vec![Question {
+                name: Name::parse(name).expect("valid query name"),
+                qtype,
+                qclass,
+            }],
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        }
+    }
+
+    /// Build the CHAOS `TXT hostname.bind` query RIPE Atlas probes send to
+    /// identify an anycast site.
+    pub fn chaos_hostname_bind(id: u16) -> Message {
+        Message::query(id, "hostname.bind", QType::Txt, QClass::Chaos)
+    }
+
+    /// Build a response skeleton echoing this query's id and question.
+    pub fn response_to(&self, rcode: Rcode) -> Message {
+        Message {
+            header: Header {
+                id: self.header.id,
+                qr: true,
+                aa: true,
+                rd: self.header.rd,
+                ra: true,
+                rcode,
+                ..Header::default()
+            },
+            questions: self.questions.clone(),
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        }
+    }
+
+    /// The message's OPT pseudo-record, if any.
+    pub fn opt_record(&self) -> Option<&Record> {
+        self.additionals.iter().find(|r| r.rtype == QType::Opt)
+    }
+
+    fn opt_record_mut(&mut self) -> &mut Record {
+        if let Some(i) = self.additionals.iter().position(|r| r.rtype == QType::Opt) {
+            &mut self.additionals[i]
+        } else {
+            self.additionals.push(Record::opt(4096, Vec::new()));
+            self.additionals.last_mut().expect("just pushed")
+        }
+    }
+
+    /// Attach (or replace) an EDNS Client Subnet option, creating the OPT
+    /// record if needed.
+    pub fn set_client_subnet(&mut self, cs: ClientSubnet) {
+        let rec = self.opt_record_mut();
+        if let RData::Opt(opts) = &mut rec.rdata {
+            opts.retain(|o| !matches!(o, EdnsOption::ClientSubnet(_)));
+            opts.push(EdnsOption::ClientSubnet(cs));
+        }
+    }
+
+    /// The Client Subnet option, if present.
+    pub fn client_subnet(&self) -> Option<&ClientSubnet> {
+        self.opt_record().and_then(|r| match &r.rdata {
+            RData::Opt(opts) => opts.iter().find_map(|o| match o {
+                EdnsOption::ClientSubnet(cs) => Some(cs),
+                _ => None,
+            }),
+            _ => None,
+        })
+    }
+
+    /// Request NSID (empty option in a query) or set the NSID payload
+    /// (in a response).
+    pub fn set_nsid(&mut self, payload: Vec<u8>) {
+        let rec = self.opt_record_mut();
+        if let RData::Opt(opts) = &mut rec.rdata {
+            opts.retain(|o| !matches!(o, EdnsOption::Nsid(_)));
+            opts.push(EdnsOption::Nsid(payload));
+        }
+    }
+
+    /// The NSID payload, if present.
+    pub fn nsid(&self) -> Option<&[u8]> {
+        self.opt_record().and_then(|r| match &r.rdata {
+            RData::Opt(opts) => opts.iter().find_map(|o| match o {
+                EdnsOption::Nsid(d) => Some(d.as_slice()),
+                _ => None,
+            }),
+            _ => None,
+        })
+    }
+
+    /// First TXT answer string, decoded lossily — how a measurement client
+    /// reads a CHAOS site identifier.
+    pub fn first_txt(&self) -> Option<String> {
+        self.answers.iter().find_map(|r| match &r.rdata {
+            RData::Txt(strings) => strings
+                .first()
+                .map(|s| String::from_utf8_lossy(s).into_owned()),
+            _ => None,
+        })
+    }
+
+    /// All A-record addresses in the answer section.
+    pub fn a_addrs(&self) -> Vec<[u8; 4]> {
+        self.answers
+            .iter()
+            .filter_map(|r| match r.rdata {
+                RData::A(a) => Some(a),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Encode to wire bytes with name compression.
+    pub fn encode(&self) -> Result<Vec<u8>> {
+        for counts in [
+            self.questions.len(),
+            self.answers.len(),
+            self.authorities.len(),
+            self.additionals.len(),
+        ] {
+            if counts > usize::from(u16::MAX) {
+                return Err(WireError::FieldOverflow {
+                    what: "section count",
+                    value: counts,
+                    max: usize::from(u16::MAX),
+                });
+            }
+        }
+        let mut out = Vec::with_capacity(64);
+        self.header.encode(
+            [
+                self.questions.len() as u16,
+                self.answers.len() as u16,
+                self.authorities.len() as u16,
+                self.additionals.len() as u16,
+            ],
+            &mut out,
+        );
+        let mut table = HashMap::new();
+        for q in &self.questions {
+            q.name.encode_compressed(&mut out, &mut table);
+            out.extend_from_slice(&q.qtype.code().to_be_bytes());
+            out.extend_from_slice(&q.qclass.code().to_be_bytes());
+        }
+        for r in self
+            .answers
+            .iter()
+            .chain(&self.authorities)
+            .chain(&self.additionals)
+        {
+            r.encode(&mut out, &mut table)?;
+        }
+        Ok(out)
+    }
+
+    /// Decode from wire bytes. Rejects trailing garbage.
+    pub fn decode(buf: &[u8]) -> Result<Message> {
+        let (header, counts) = Header::decode(buf)?;
+        let mut pos = 12usize;
+        let mut questions = Vec::with_capacity(usize::from(counts[0]).min(16));
+        for _ in 0..counts[0] {
+            let name = Name::decode(buf, &mut pos)?;
+            if buf.len() < pos + 4 {
+                return Err(WireError::Truncated {
+                    what: "question fixed fields",
+                    needed: pos + 4 - buf.len(),
+                });
+            }
+            let qtype = QType::from_code(u16::from_be_bytes([buf[pos], buf[pos + 1]]));
+            let qclass = QClass::from_code(u16::from_be_bytes([buf[pos + 2], buf[pos + 3]]));
+            pos += 4;
+            questions.push(Question {
+                name,
+                qtype,
+                qclass,
+            });
+        }
+        let mut sections: [Vec<Record>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for (si, section) in sections.iter_mut().enumerate() {
+            for _ in 0..counts[si + 1] {
+                section.push(Record::decode(buf, &mut pos)?);
+            }
+        }
+        if pos != buf.len() {
+            return Err(WireError::TrailingBytes {
+                count: buf.len() - pos,
+            });
+        }
+        let [answers, authorities, additionals] = sections;
+        Ok(Message {
+            header,
+            questions,
+            answers,
+            authorities,
+            additionals,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_round_trip() {
+        let q = Message::query(0xBEEF, "www.example.org", QType::A, QClass::In);
+        let bytes = q.encode().unwrap();
+        let back = Message::decode(&bytes).unwrap();
+        assert_eq!(back, q);
+        assert_eq!(back.header.id, 0xBEEF);
+        assert!(back.header.rd);
+        assert!(!back.header.qr);
+        assert_eq!(back.questions[0].qtype, QType::A);
+    }
+
+    #[test]
+    fn chaos_query_shape() {
+        let q = Message::chaos_hostname_bind(7);
+        assert_eq!(q.questions[0].qclass, QClass::Chaos);
+        assert_eq!(q.questions[0].qtype, QType::Txt);
+        assert_eq!(q.questions[0].name.to_string(), "hostname.bind");
+        let bytes = q.encode().unwrap();
+        assert_eq!(Message::decode(&bytes).unwrap(), q);
+    }
+
+    #[test]
+    fn chaos_response_with_txt_identifier() {
+        let q = Message::chaos_hostname_bind(42);
+        let mut r = q.response_to(Rcode::NoError);
+        r.answers.push(Record::txt(
+            q.questions[0].name.clone(),
+            QClass::Chaos,
+            0,
+            b"b4-iad2",
+        ));
+        let bytes = r.encode().unwrap();
+        let back = Message::decode(&bytes).unwrap();
+        assert!(back.header.qr);
+        assert_eq!(back.header.id, 42);
+        assert_eq!(back.first_txt().unwrap(), "b4-iad2");
+    }
+
+    #[test]
+    fn answer_name_is_compressed_against_question() {
+        let q = Message::query(1, "a.very.long.domain.example.org", QType::A, QClass::In);
+        let mut r = q.response_to(Rcode::NoError);
+        r.answers.push(Record::a(
+            q.questions[0].name.clone(),
+            300,
+            [192, 0, 2, 1],
+        ));
+        let bytes = r.encode().unwrap();
+        // Answer owner name should be a 2-byte pointer, so total length is
+        // header(12) + question(name + 4) + answer(2 + 10 + 4).
+        let name_len = q.questions[0].name.encoded_len();
+        assert_eq!(bytes.len(), 12 + name_len + 4 + 2 + 10 + 4);
+        let back = Message::decode(&bytes).unwrap();
+        assert_eq!(back.a_addrs(), vec![[192, 0, 2, 1]]);
+    }
+
+    #[test]
+    fn edns_client_subnet_round_trip() {
+        let mut q = Message::query(9, "www.google.com", QType::A, QClass::In);
+        q.set_client_subnet(ClientSubnet::ipv4([100, 64, 12, 0], 24));
+        let bytes = q.encode().unwrap();
+        let back = Message::decode(&bytes).unwrap();
+        let cs = back.client_subnet().unwrap();
+        assert_eq!(cs.source_prefix_len, 24);
+        assert_eq!(cs.address, vec![100, 64, 12]);
+        assert_eq!(back.opt_record().unwrap().class, 4096);
+    }
+
+    #[test]
+    fn set_client_subnet_replaces_existing() {
+        let mut q = Message::query(9, "example.org", QType::A, QClass::In);
+        q.set_client_subnet(ClientSubnet::ipv4([10, 0, 0, 0], 24));
+        q.set_client_subnet(ClientSubnet::ipv4([10, 1, 0, 0], 24));
+        let opts = match &q.opt_record().unwrap().rdata {
+            RData::Opt(o) => o.clone(),
+            _ => panic!("opt record"),
+        };
+        assert_eq!(opts.len(), 1);
+        assert_eq!(q.client_subnet().unwrap().address, vec![10, 1, 0]);
+    }
+
+    #[test]
+    fn nsid_request_and_response() {
+        let mut q = Message::chaos_hostname_bind(5);
+        q.set_nsid(Vec::new()); // request
+        let bytes = q.encode().unwrap();
+        let back = Message::decode(&bytes).unwrap();
+        assert_eq!(back.nsid(), Some(&[][..]));
+        let mut r = back.response_to(Rcode::NoError);
+        r.set_nsid(b"lax.b.root".to_vec());
+        let rb = Message::decode(&r.encode().unwrap()).unwrap();
+        assert_eq!(rb.nsid(), Some(&b"lax.b.root"[..]));
+    }
+
+    #[test]
+    fn decode_rejects_trailing_bytes() {
+        let q = Message::query(1, "x.y", QType::A, QClass::In);
+        let mut bytes = q.encode().unwrap();
+        bytes.push(0);
+        assert!(matches!(
+            Message::decode(&bytes),
+            Err(WireError::TrailingBytes { count: 1 })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_truncated_everything() {
+        let q = Message::query(1, "host.example.com", QType::Txt, QClass::In);
+        let bytes = q.encode().unwrap();
+        // Every proper prefix must fail cleanly, never panic.
+        for cut in 0..bytes.len() {
+            assert!(Message::decode(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_a_rdlen() {
+        let q = Message::query(1, "a.b", QType::A, QClass::In);
+        let mut r = q.response_to(Rcode::NoError);
+        r.answers.push(Record {
+            name: Name::parse("a.b").unwrap(),
+            rtype: QType::A,
+            class: 1,
+            ttl: 0,
+            rdata: RData::Raw(vec![1, 2, 3]), // 3-byte A record
+        });
+        // Encode writes Raw bytes with rtype A; decoding must reject.
+        let bytes = r.encode().unwrap();
+        assert!(Message::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn txt_multiple_strings_round_trip() {
+        let q = Message::query(1, "t.t", QType::Txt, QClass::In);
+        let mut r = q.response_to(Rcode::NoError);
+        r.answers.push(Record {
+            name: Name::parse("t.t").unwrap(),
+            rtype: QType::Txt,
+            class: 1,
+            ttl: 60,
+            rdata: RData::Txt(vec![b"one".to_vec(), b"two".to_vec()]),
+        });
+        let back = Message::decode(&r.encode().unwrap()).unwrap();
+        match &back.answers[0].rdata {
+            RData::Txt(s) => assert_eq!(s.len(), 2),
+            other => panic!("expected TXT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn txt_overlong_string_rejected_at_encode() {
+        let q = Message::query(1, "t.t", QType::Txt, QClass::In);
+        let mut r = q.response_to(Rcode::NoError);
+        r.answers.push(Record {
+            name: Name::parse("t.t").unwrap(),
+            rtype: QType::Txt,
+            class: 1,
+            ttl: 60,
+            rdata: RData::Txt(vec![vec![0u8; 256]]),
+        });
+        assert!(r.encode().is_err());
+    }
+
+    #[test]
+    fn cname_and_ns_round_trip() {
+        let q = Message::query(1, "alias.example.org", QType::Cname, QClass::In);
+        let mut r = q.response_to(Rcode::NxDomain);
+        r.answers.push(Record {
+            name: Name::parse("alias.example.org").unwrap(),
+            rtype: QType::Cname,
+            class: 1,
+            ttl: 60,
+            rdata: RData::Cname(Name::parse("real.example.org").unwrap()),
+        });
+        r.authorities.push(Record {
+            name: Name::parse("example.org").unwrap(),
+            rtype: QType::Ns,
+            class: 1,
+            ttl: 60,
+            rdata: RData::Ns(Name::parse("ns1.example.org").unwrap()),
+        });
+        let back = Message::decode(&r.encode().unwrap()).unwrap();
+        assert_eq!(back.header.rcode, Rcode::NxDomain);
+        assert_eq!(back.answers.len(), 1);
+        assert_eq!(back.authorities.len(), 1);
+    }
+
+    #[test]
+    fn unknown_rtype_round_trips_as_raw() {
+        let q = Message::query(1, "x.x", QType::Unknown(999), QClass::In);
+        let mut r = q.response_to(Rcode::NoError);
+        r.answers.push(Record {
+            name: Name::parse("x.x").unwrap(),
+            rtype: QType::Unknown(999),
+            class: 1,
+            ttl: 1,
+            rdata: RData::Raw(vec![0xDE, 0xAD]),
+        });
+        let back = Message::decode(&r.encode().unwrap()).unwrap();
+        assert_eq!(back.answers[0].rdata, RData::Raw(vec![0xDE, 0xAD]));
+    }
+
+    #[test]
+    fn header_flag_bits_round_trip() {
+        for qr in [false, true] {
+            for aa in [false, true] {
+                for tc in [false, true] {
+                    for rd in [false, true] {
+                        for ra in [false, true] {
+                            let h = Header {
+                                id: 0x0102,
+                                qr,
+                                opcode: Opcode::Status,
+                                aa,
+                                tc,
+                                rd,
+                                ra,
+                                rcode: Rcode::Refused,
+                            };
+                            let mut buf = Vec::new();
+                            h.encode([0, 0, 0, 0], &mut buf);
+                            let (back, counts) = Header::decode(&buf).unwrap();
+                            assert_eq!(back, h);
+                            assert_eq!(counts, [0, 0, 0, 0]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn opcode_rcode_unknown_round_trip() {
+        assert_eq!(Opcode::from_code(9), Opcode::Other(9));
+        assert_eq!(Opcode::Other(9).code(), 9);
+        assert_eq!(Rcode::from_code(9), Rcode::Other(9));
+        assert_eq!(Rcode::Other(9).code(), 9);
+    }
+}

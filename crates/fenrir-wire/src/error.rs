@@ -1,0 +1,137 @@
+//! Error type for wire-format encoding and decoding.
+
+use std::fmt;
+
+/// Result alias for wire operations.
+pub type Result<T> = std::result::Result<T, WireError>;
+
+/// Decoding/encoding failures. Parsers must never panic on untrusted bytes;
+/// every malformed input maps to one of these variants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the structure was complete.
+    Truncated {
+        /// What was being parsed.
+        what: &'static str,
+        /// Bytes needed beyond what was available.
+        needed: usize,
+    },
+    /// A length or count field exceeds protocol limits
+    /// (e.g. a DNS label longer than 63 octets).
+    FieldOverflow {
+        /// Field name.
+        what: &'static str,
+        /// Offending value.
+        value: usize,
+        /// Maximum allowed.
+        max: usize,
+    },
+    /// A DNS compression pointer loops or points forward.
+    BadPointer {
+        /// Byte offset of the bad pointer.
+        at: usize,
+    },
+    /// A value does not decode to any known variant
+    /// (e.g. an unknown ICMP type where one is required).
+    UnknownValue {
+        /// Field name.
+        what: &'static str,
+        /// The undecodable value.
+        value: u32,
+    },
+    /// Trailing garbage after a complete structure where none is allowed.
+    TrailingBytes {
+        /// Number of leftover bytes.
+        count: usize,
+    },
+    /// Checksum verification failed.
+    BadChecksum {
+        /// Checksum found in the packet.
+        found: u16,
+        /// Checksum computed over the packet.
+        computed: u16,
+    },
+    /// Invalid input to an encoder (e.g. an empty DNS label).
+    InvalidInput(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { what, needed } => {
+                write!(f, "truncated {what}: {needed} more bytes needed")
+            }
+            WireError::FieldOverflow { what, value, max } => {
+                write!(f, "{what} value {value} exceeds maximum {max}")
+            }
+            WireError::BadPointer { at } => {
+                write!(f, "bad DNS compression pointer at offset {at}")
+            }
+            WireError::UnknownValue { what, value } => {
+                write!(f, "unknown {what} value {value}")
+            }
+            WireError::TrailingBytes { count } => {
+                write!(f, "{count} trailing bytes after message")
+            }
+            WireError::BadChecksum { found, computed } => {
+                write!(
+                    f,
+                    "checksum mismatch: packet has {found:#06x}, computed {computed:#06x}"
+                )
+            }
+            WireError::InvalidInput(what) => write!(f, "invalid input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(
+            WireError::Truncated {
+                what: "header",
+                needed: 4
+            }
+            .to_string(),
+            "truncated header: 4 more bytes needed"
+        );
+        assert_eq!(
+            WireError::BadPointer { at: 12 }.to_string(),
+            "bad DNS compression pointer at offset 12"
+        );
+        assert_eq!(
+            WireError::BadChecksum {
+                found: 0xdead,
+                computed: 0xbeef
+            }
+            .to_string(),
+            "checksum mismatch: packet has 0xdead, computed 0xbeef"
+        );
+        assert!(WireError::FieldOverflow {
+            what: "label",
+            value: 64,
+            max: 63
+        }
+        .to_string()
+        .contains("label"));
+        assert!(WireError::UnknownValue {
+            what: "icmp type",
+            value: 250
+        }
+        .to_string()
+        .contains("250"));
+        assert!(WireError::TrailingBytes { count: 3 }.to_string().contains('3'));
+        assert!(WireError::InvalidInput("empty name").to_string().contains("empty"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes(_: &dyn std::error::Error) {}
+        takes(&WireError::InvalidInput("x"));
+    }
+}

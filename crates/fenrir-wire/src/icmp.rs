@@ -1,0 +1,245 @@
+//! ICMPv4 messages (RFC 792) for Verfploeter-style sweeps, Trinocular-style
+//! latency probing, and traceroute.
+//!
+//! Verfploeter "pings targets in millions of networks and watch\[es\] which
+//! catchment the reply goes to"; traceroute elicits *time exceeded* from
+//! intermediate hops. The measurement simulators encode these packets,
+//! carry them through the simulated topology, and decode the replies.
+
+use crate::checksum::{internet_checksum, verify};
+use crate::error::{Result, WireError};
+use serde::{Deserialize, Serialize};
+
+/// ICMP type/code pairs Fenrir uses; everything else is rejected (the
+/// simulators never emit other types, so seeing one indicates corruption).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IcmpKind {
+    /// Echo reply (type 0).
+    EchoReply,
+    /// Destination unreachable (type 3) with code.
+    DestUnreachable(u8),
+    /// Echo request (type 8).
+    EchoRequest,
+    /// Time exceeded (type 11) with code (0 = TTL exceeded in transit).
+    TimeExceeded(u8),
+}
+
+impl IcmpKind {
+    /// `(type, code)` on the wire.
+    pub fn type_code(self) -> (u8, u8) {
+        match self {
+            IcmpKind::EchoReply => (0, 0),
+            IcmpKind::DestUnreachable(c) => (3, c),
+            IcmpKind::EchoRequest => (8, 0),
+            IcmpKind::TimeExceeded(c) => (11, c),
+        }
+    }
+
+    /// Decode from `(type, code)`.
+    pub fn from_type_code(t: u8, c: u8) -> Result<Self> {
+        match t {
+            0 => Ok(IcmpKind::EchoReply),
+            3 => Ok(IcmpKind::DestUnreachable(c)),
+            8 => Ok(IcmpKind::EchoRequest),
+            11 => Ok(IcmpKind::TimeExceeded(c)),
+            other => Err(WireError::UnknownValue {
+                what: "icmp type",
+                value: u32::from(other),
+            }),
+        }
+    }
+}
+
+/// A parsed ICMPv4 packet.
+///
+/// For echo messages, `ident`/`seq` carry the identifier and sequence
+/// number; for error messages (unreachable, time exceeded) they are unused
+/// on the wire (sent as zero) and `payload` carries the quoted original
+/// datagram.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IcmpPacket {
+    /// Message kind.
+    pub kind: IcmpKind,
+    /// Echo identifier (0 for error messages).
+    pub ident: u16,
+    /// Echo sequence number (0 for error messages).
+    pub seq: u16,
+    /// Echo payload or quoted datagram.
+    pub payload: Vec<u8>,
+}
+
+impl IcmpPacket {
+    /// Build an echo request. Verfploeter encodes the probed /24 block id in
+    /// `ident`/`seq` so a reply arriving at *any* anycast site can be
+    /// attributed.
+    pub fn echo_request(ident: u16, seq: u16, payload: Vec<u8>) -> Self {
+        IcmpPacket {
+            kind: IcmpKind::EchoRequest,
+            ident,
+            seq,
+            payload,
+        }
+    }
+
+    /// Build the echo reply mirroring a request.
+    pub fn echo_reply_to(req: &IcmpPacket) -> Self {
+        IcmpPacket {
+            kind: IcmpKind::EchoReply,
+            ident: req.ident,
+            seq: req.seq,
+            payload: req.payload.clone(),
+        }
+    }
+
+    /// Build a time-exceeded error quoting `original` (a router's answer to
+    /// a traceroute probe whose TTL hit zero).
+    pub fn time_exceeded(original: &[u8]) -> Self {
+        IcmpPacket {
+            kind: IcmpKind::TimeExceeded(0),
+            ident: 0,
+            seq: 0,
+            // RFC 792: IP header + 8 octets; we quote up to 28 octets of
+            // the original.
+            payload: original[..original.len().min(28)].to_vec(),
+        }
+    }
+
+    /// Encode with a valid checksum.
+    pub fn encode(&self) -> Vec<u8> {
+        let (t, c) = self.kind.type_code();
+        let mut out = Vec::with_capacity(8 + self.payload.len());
+        out.push(t);
+        out.push(c);
+        out.extend_from_slice(&[0, 0]); // checksum placeholder
+        out.extend_from_slice(&self.ident.to_be_bytes());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        let ck = internet_checksum(&out);
+        out[2..4].copy_from_slice(&ck.to_be_bytes());
+        out
+    }
+
+    /// Decode and verify the checksum.
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        if buf.len() < 8 {
+            return Err(WireError::Truncated {
+                what: "icmp packet",
+                needed: 8 - buf.len(),
+            });
+        }
+        if !verify(buf) {
+            let found = u16::from_be_bytes([buf[2], buf[3]]);
+            let mut zeroed = buf.to_vec();
+            zeroed[2] = 0;
+            zeroed[3] = 0;
+            return Err(WireError::BadChecksum {
+                found,
+                computed: internet_checksum(&zeroed),
+            });
+        }
+        let kind = IcmpKind::from_type_code(buf[0], buf[1])?;
+        Ok(IcmpPacket {
+            kind,
+            ident: u16::from_be_bytes([buf[4], buf[5]]),
+            seq: u16::from_be_bytes([buf[6], buf[7]]),
+            payload: buf[8..].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_round_trip() {
+        let req = IcmpPacket::echo_request(0x1234, 7, b"fenrir".to_vec());
+        let bytes = req.encode();
+        let back = IcmpPacket::decode(&bytes).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(back.kind, IcmpKind::EchoRequest);
+    }
+
+    #[test]
+    fn reply_mirrors_request() {
+        let req = IcmpPacket::echo_request(42, 1, vec![1, 2, 3]);
+        let rep = IcmpPacket::echo_reply_to(&req);
+        assert_eq!(rep.kind, IcmpKind::EchoReply);
+        assert_eq!(rep.ident, 42);
+        assert_eq!(rep.seq, 1);
+        assert_eq!(rep.payload, vec![1, 2, 3]);
+        let back = IcmpPacket::decode(&rep.encode()).unwrap();
+        assert_eq!(back, rep);
+    }
+
+    #[test]
+    fn time_exceeded_quotes_original() {
+        let original = vec![0xAB; 100];
+        let te = IcmpPacket::time_exceeded(&original);
+        assert_eq!(te.payload.len(), 28);
+        let back = IcmpPacket::decode(&te.encode()).unwrap();
+        assert_eq!(back.kind, IcmpKind::TimeExceeded(0));
+    }
+
+    #[test]
+    fn corrupted_packet_fails_checksum() {
+        let mut bytes = IcmpPacket::echo_request(1, 1, vec![9; 16]).encode();
+        bytes[10] ^= 0x01;
+        assert!(matches!(
+            IcmpPacket::decode(&bytes),
+            Err(WireError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_packet_rejected() {
+        let bytes = IcmpPacket::echo_request(1, 1, vec![]).encode();
+        for cut in 0..8 {
+            assert!(IcmpPacket::decode(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        // Type 42 with a correct checksum still rejects on kind.
+        let mut raw = vec![42u8, 0, 0, 0, 0, 0, 0, 0];
+        let ck = internet_checksum(&raw);
+        raw[2..4].copy_from_slice(&ck.to_be_bytes());
+        assert!(matches!(
+            IcmpPacket::decode(&raw),
+            Err(WireError::UnknownValue { .. })
+        ));
+    }
+
+    #[test]
+    fn kind_codes_round_trip() {
+        for k in [
+            IcmpKind::EchoReply,
+            IcmpKind::EchoRequest,
+            IcmpKind::DestUnreachable(1),
+            IcmpKind::TimeExceeded(0),
+        ] {
+            let (t, c) = k.type_code();
+            assert_eq!(IcmpKind::from_type_code(t, c).unwrap(), k);
+        }
+        assert!(IcmpKind::from_type_code(99, 0).is_err());
+    }
+
+    #[test]
+    fn dest_unreachable_round_trip() {
+        let pkt = IcmpPacket {
+            kind: IcmpKind::DestUnreachable(3),
+            ident: 0,
+            seq: 0,
+            payload: vec![1, 2, 3, 4],
+        };
+        let back = IcmpPacket::decode(&pkt.encode()).unwrap();
+        assert_eq!(back.kind, IcmpKind::DestUnreachable(3));
+    }
+
+    #[test]
+    fn odd_payload_length_checksums_correctly() {
+        let pkt = IcmpPacket::echo_request(5, 5, vec![0xFF; 7]);
+        assert!(IcmpPacket::decode(&pkt.encode()).is_ok());
+    }
+}

@@ -1,0 +1,260 @@
+//! IPv4 headers (RFC 791), options-free, with header checksum.
+//!
+//! The measurement simulators ship their probes inside real IPv4 packets:
+//! traceroute decrements the TTL at every simulated hop exactly as routers
+//! do, and the Verfploeter/Atlas paths carry source addresses the anycast
+//! site uses to attribute replies.
+
+use crate::checksum::internet_checksum;
+use crate::error::{Result, WireError};
+use serde::{Deserialize, Serialize};
+
+/// Header length in bytes (no options).
+pub const IPV4_HEADER_LEN: usize = 20;
+
+/// IP protocol numbers Fenrir uses.
+pub mod protocol {
+    /// ICMP.
+    pub const ICMP: u8 = 1;
+    /// UDP.
+    pub const UDP: u8 = 17;
+}
+
+/// An options-free IPv4 packet.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ipv4Packet {
+    /// Time to live.
+    pub ttl: u8,
+    /// Payload protocol ([`protocol::ICMP`] or [`protocol::UDP`]).
+    pub protocol: u8,
+    /// Source address.
+    pub src: [u8; 4],
+    /// Destination address.
+    pub dst: [u8; 4],
+    /// Identification field (for diagnostics; fragmentation unsupported).
+    pub ident: u16,
+    /// Transport payload.
+    pub payload: Vec<u8>,
+}
+
+impl Ipv4Packet {
+    /// Build a packet with a default TTL of 64.
+    pub fn new(protocol: u8, src: [u8; 4], dst: [u8; 4], payload: Vec<u8>) -> Self {
+        Ipv4Packet {
+            ttl: 64,
+            protocol,
+            src,
+            dst,
+            ident: 0,
+            payload,
+        }
+    }
+
+    /// Set the TTL (for traceroute probes).
+    pub fn with_ttl(mut self, ttl: u8) -> Self {
+        self.ttl = ttl;
+        self
+    }
+
+    /// Encode with a valid header checksum.
+    ///
+    /// Errors if the packet would exceed the 65 535-byte total length.
+    pub fn encode(&self) -> Result<Vec<u8>> {
+        let total = IPV4_HEADER_LEN + self.payload.len();
+        if total > usize::from(u16::MAX) {
+            return Err(WireError::FieldOverflow {
+                what: "ipv4 total length",
+                value: total,
+                max: usize::from(u16::MAX),
+            });
+        }
+        let mut out = Vec::with_capacity(total);
+        out.push(0x45); // version 4, IHL 5
+        out.push(0); // DSCP/ECN
+        out.extend_from_slice(&(total as u16).to_be_bytes());
+        out.extend_from_slice(&self.ident.to_be_bytes());
+        out.extend_from_slice(&[0x40, 0x00]); // DF, fragment offset 0
+        out.push(self.ttl);
+        out.push(self.protocol);
+        out.extend_from_slice(&[0, 0]); // checksum placeholder
+        out.extend_from_slice(&self.src);
+        out.extend_from_slice(&self.dst);
+        let ck = internet_checksum(&out[..IPV4_HEADER_LEN]);
+        out[10..12].copy_from_slice(&ck.to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        Ok(out)
+    }
+
+    /// Decode and verify the header checksum. Options (IHL > 5) are
+    /// rejected — the simulators never emit them.
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        if buf.len() < IPV4_HEADER_LEN {
+            return Err(WireError::Truncated {
+                what: "ipv4 header",
+                needed: IPV4_HEADER_LEN - buf.len(),
+            });
+        }
+        let version = buf[0] >> 4;
+        if version != 4 {
+            return Err(WireError::UnknownValue {
+                what: "ip version",
+                value: u32::from(version),
+            });
+        }
+        let ihl = usize::from(buf[0] & 0x0F) * 4;
+        if ihl != IPV4_HEADER_LEN {
+            return Err(WireError::FieldOverflow {
+                what: "ipv4 ihl",
+                value: ihl,
+                max: IPV4_HEADER_LEN,
+            });
+        }
+        if internet_checksum(&buf[..IPV4_HEADER_LEN]) != 0 {
+            let found = u16::from_be_bytes([buf[10], buf[11]]);
+            let mut zeroed = buf[..IPV4_HEADER_LEN].to_vec();
+            zeroed[10] = 0;
+            zeroed[11] = 0;
+            return Err(WireError::BadChecksum {
+                found,
+                computed: internet_checksum(&zeroed),
+            });
+        }
+        let total = usize::from(u16::from_be_bytes([buf[2], buf[3]]));
+        if total < IPV4_HEADER_LEN || total > buf.len() {
+            return Err(WireError::Truncated {
+                what: "ipv4 payload",
+                needed: total.saturating_sub(buf.len()),
+            });
+        }
+        Ok(Ipv4Packet {
+            ttl: buf[8],
+            protocol: buf[9],
+            src: [buf[12], buf[13], buf[14], buf[15]],
+            dst: [buf[16], buf[17], buf[18], buf[19]],
+            ident: u16::from_be_bytes([buf[4], buf[5]]),
+            payload: buf[IPV4_HEADER_LEN..total].to_vec(),
+        })
+    }
+
+    /// Forwarding step at a router: decrement TTL, recompute nothing (the
+    /// caller re-encodes). Returns `false` when the TTL hits zero — time to
+    /// emit an ICMP time-exceeded.
+    pub fn forward(&mut self) -> bool {
+        if self.ttl <= 1 {
+            self.ttl = 0;
+            return false;
+        }
+        self.ttl -= 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ipv4Packet {
+        Ipv4Packet::new(protocol::UDP, [10, 0, 0, 1], [192, 0, 2, 9], vec![1, 2, 3])
+    }
+
+    #[test]
+    fn round_trip() {
+        let p = sample().with_ttl(9);
+        let bytes = p.encode().unwrap();
+        assert_eq!(bytes.len(), 23);
+        let back = Ipv4Packet::decode(&bytes).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn header_checksum_detects_corruption() {
+        let mut bytes = sample().encode().unwrap();
+        bytes[16] ^= 0xFF; // corrupt dst
+        assert!(matches!(
+            Ipv4Packet::decode(&bytes),
+            Err(WireError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn payload_corruption_is_not_header_checksummed() {
+        // IPv4 header checksum covers only the header; transport must
+        // protect the payload (UDP/ICMP checksums do).
+        let mut bytes = sample().encode().unwrap();
+        bytes[22] ^= 0xFF;
+        assert!(Ipv4Packet::decode(&bytes).is_ok());
+    }
+
+    #[test]
+    fn rejects_truncation_and_bad_version() {
+        let bytes = sample().encode().unwrap();
+        for cut in 0..IPV4_HEADER_LEN {
+            assert!(Ipv4Packet::decode(&bytes[..cut]).is_err());
+        }
+        let mut v6 = bytes.clone();
+        v6[0] = 0x65;
+        assert!(matches!(
+            Ipv4Packet::decode(&v6),
+            Err(WireError::UnknownValue { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_options() {
+        let mut bytes = sample().encode().unwrap();
+        bytes[0] = 0x46; // IHL 6
+        // Fix checksum for the mutated header so IHL is the failing check.
+        bytes[10] = 0;
+        bytes[11] = 0;
+        let ck = internet_checksum(&bytes[..IPV4_HEADER_LEN]);
+        bytes[10..12].copy_from_slice(&ck.to_be_bytes());
+        assert!(matches!(
+            Ipv4Packet::decode(&bytes),
+            Err(WireError::FieldOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn total_length_bounds_payload() {
+        let p = sample();
+        let mut bytes = p.encode().unwrap();
+        // Claim 4 more bytes than present.
+        let total = (bytes.len() + 4) as u16;
+        bytes[2..4].copy_from_slice(&total.to_be_bytes());
+        bytes[10] = 0;
+        bytes[11] = 0;
+        let ck = internet_checksum(&bytes[..IPV4_HEADER_LEN]);
+        bytes[10..12].copy_from_slice(&ck.to_be_bytes());
+        assert!(matches!(
+            Ipv4Packet::decode(&bytes),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_beyond_total_length_are_ignored() {
+        // Link padding after the IP datagram is legal.
+        let p = sample();
+        let mut bytes = p.encode().unwrap();
+        bytes.extend_from_slice(&[0xAA; 6]);
+        let back = Ipv4Packet::decode(&bytes).unwrap();
+        assert_eq!(back.payload, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn forward_decrements_to_zero() {
+        let mut p = sample().with_ttl(2);
+        assert!(p.forward());
+        assert_eq!(p.ttl, 1);
+        assert!(!p.forward());
+        assert_eq!(p.ttl, 0);
+        // Forwarding a dead packet stays dead.
+        assert!(!p.forward());
+    }
+
+    #[test]
+    fn oversize_payload_rejected() {
+        let p = Ipv4Packet::new(protocol::UDP, [0; 4], [0; 4], vec![0; 70_000]);
+        assert!(p.encode().is_err());
+    }
+}

@@ -1,0 +1,211 @@
+//! UDP (RFC 768) with the IPv4 pseudo-header checksum.
+//!
+//! DNS probes (CHAOS identification, EDNS Client-Subnet lookups) ride UDP;
+//! the simulators encode full IPv4+UDP+DNS datagrams and parse them on the
+//! receiving side.
+
+use crate::checksum::internet_checksum;
+use crate::error::{Result, WireError};
+use crate::ipv4::{protocol, Ipv4Packet};
+use serde::{Deserialize, Serialize};
+
+/// UDP header length in bytes.
+pub const UDP_HEADER_LEN: usize = 8;
+
+/// The DNS port.
+pub const DNS_PORT: u16 = 53;
+
+/// A UDP datagram (header + payload, addresses supplied externally for the
+/// pseudo-header).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UdpDatagram {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl UdpDatagram {
+    /// Build a datagram.
+    pub fn new(src_port: u16, dst_port: u16, payload: Vec<u8>) -> Self {
+        UdpDatagram {
+            src_port,
+            dst_port,
+            payload,
+        }
+    }
+
+    /// Encode with a checksum over the RFC 768 pseudo-header
+    /// (`src`/`dst`/protocol/length) plus header and payload.
+    pub fn encode(&self, src: [u8; 4], dst: [u8; 4]) -> Result<Vec<u8>> {
+        let len = UDP_HEADER_LEN + self.payload.len();
+        if len > usize::from(u16::MAX) {
+            return Err(WireError::FieldOverflow {
+                what: "udp length",
+                value: len,
+                max: usize::from(u16::MAX),
+            });
+        }
+        let mut out = Vec::with_capacity(len);
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&(len as u16).to_be_bytes());
+        out.extend_from_slice(&[0, 0]); // checksum placeholder
+        out.extend_from_slice(&self.payload);
+        let mut ck = internet_checksum(&pseudo(src, dst, &out));
+        if ck == 0 {
+            ck = 0xFFFF; // RFC 768: zero checksum means "none"; transmit 1s
+        }
+        out[6..8].copy_from_slice(&ck.to_be_bytes());
+        Ok(out)
+    }
+
+    /// Decode, verifying length and checksum against the pseudo-header.
+    pub fn decode(buf: &[u8], src: [u8; 4], dst: [u8; 4]) -> Result<Self> {
+        if buf.len() < UDP_HEADER_LEN {
+            return Err(WireError::Truncated {
+                what: "udp header",
+                needed: UDP_HEADER_LEN - buf.len(),
+            });
+        }
+        let len = usize::from(u16::from_be_bytes([buf[4], buf[5]]));
+        if len < UDP_HEADER_LEN || len > buf.len() {
+            return Err(WireError::Truncated {
+                what: "udp payload",
+                needed: len.saturating_sub(buf.len()),
+            });
+        }
+        let claimed = u16::from_be_bytes([buf[6], buf[7]]);
+        if claimed != 0 {
+            // Verify: checksum over pseudo-header + datagram must be 0.
+            if internet_checksum(&pseudo(src, dst, &buf[..len])) != 0 {
+                let mut zeroed = buf[..len].to_vec();
+                zeroed[6] = 0;
+                zeroed[7] = 0;
+                return Err(WireError::BadChecksum {
+                    found: claimed,
+                    computed: internet_checksum(&pseudo(src, dst, &zeroed)),
+                });
+            }
+        }
+        Ok(UdpDatagram {
+            src_port: u16::from_be_bytes([buf[0], buf[1]]),
+            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            payload: buf[UDP_HEADER_LEN..len].to_vec(),
+        })
+    }
+
+    /// Wrap into a full IPv4 packet.
+    pub fn into_ipv4(self, src: [u8; 4], dst: [u8; 4]) -> Result<Ipv4Packet> {
+        let bytes = self.encode(src, dst)?;
+        Ok(Ipv4Packet::new(protocol::UDP, src, dst, bytes))
+    }
+
+    /// Extract from an IPv4 packet, checking the protocol field and
+    /// verifying the checksum against the packet's addresses.
+    pub fn from_ipv4(packet: &Ipv4Packet) -> Result<Self> {
+        if packet.protocol != protocol::UDP {
+            return Err(WireError::UnknownValue {
+                what: "ip protocol (expected udp)",
+                value: u32::from(packet.protocol),
+            });
+        }
+        Self::decode(&packet.payload, packet.src, packet.dst)
+    }
+}
+
+/// Pseudo-header + datagram buffer for checksumming.
+fn pseudo(src: [u8; 4], dst: [u8; 4], datagram: &[u8]) -> Vec<u8> {
+    let mut v = Vec::with_capacity(12 + datagram.len());
+    v.extend_from_slice(&src);
+    v.extend_from_slice(&dst);
+    v.push(0);
+    v.push(protocol::UDP);
+    v.extend_from_slice(&(datagram.len() as u16).to_be_bytes());
+    v.extend_from_slice(datagram);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: [u8; 4] = [10, 1, 2, 3];
+    const DST: [u8; 4] = [192, 0, 2, 53];
+
+    #[test]
+    fn round_trip() {
+        let d = UdpDatagram::new(33_000, DNS_PORT, b"query".to_vec());
+        let bytes = d.encode(SRC, DST).unwrap();
+        assert_eq!(bytes.len(), 13);
+        let back = UdpDatagram::decode(&bytes, SRC, DST).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn checksum_binds_addresses() {
+        // The pseudo-header makes the checksum address-dependent: decoding
+        // with the wrong addresses fails (anti-spoofing sanity).
+        let d = UdpDatagram::new(1, 2, vec![9; 11]);
+        let bytes = d.encode(SRC, DST).unwrap();
+        assert!(UdpDatagram::decode(&bytes, SRC, [1, 1, 1, 1]).is_err());
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let d = UdpDatagram::new(1, 2, vec![0xAB; 9]);
+        let mut bytes = d.encode(SRC, DST).unwrap();
+        bytes[9] ^= 1;
+        assert!(matches!(
+            UdpDatagram::decode(&bytes, SRC, DST),
+            Err(WireError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_checksum_means_unverified() {
+        let d = UdpDatagram::new(7, 8, vec![1, 2]);
+        let mut bytes = d.encode(SRC, DST).unwrap();
+        bytes[6] = 0;
+        bytes[7] = 0;
+        // Checksum disabled: accepted as-is.
+        let back = UdpDatagram::decode(&bytes, SRC, DST).unwrap();
+        assert_eq!(back.payload, vec![1, 2]);
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let d = UdpDatagram::new(1, 2, vec![1, 2, 3, 4]);
+        let bytes = d.encode(SRC, DST).unwrap();
+        for cut in 0..bytes.len() {
+            assert!(UdpDatagram::decode(&bytes[..cut], SRC, DST).is_err());
+        }
+    }
+
+    #[test]
+    fn ipv4_wrapping_round_trip() {
+        let d = UdpDatagram::new(5_353, DNS_PORT, b"dns-bytes".to_vec());
+        let pkt = d.clone().into_ipv4(SRC, DST).unwrap();
+        let wire = pkt.encode().unwrap();
+        let back_pkt = Ipv4Packet::decode(&wire).unwrap();
+        let back = UdpDatagram::from_ipv4(&back_pkt).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn from_ipv4_rejects_wrong_protocol() {
+        let pkt = Ipv4Packet::new(protocol::ICMP, SRC, DST, vec![0; 8]);
+        assert!(matches!(
+            UdpDatagram::from_ipv4(&pkt),
+            Err(WireError::UnknownValue { .. })
+        ));
+    }
+
+    #[test]
+    fn oversize_payload_rejected() {
+        let d = UdpDatagram::new(1, 2, vec![0; 70_000]);
+        assert!(d.encode(SRC, DST).is_err());
+    }
+}

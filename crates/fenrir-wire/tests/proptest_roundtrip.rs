@@ -1,0 +1,209 @@
+//! Property tests for the wire formats: encode→decode is the identity for
+//! arbitrary well-formed messages, and the decoders never panic on
+//! arbitrary bytes (they are fed simulated-network data, but they must be
+//! robust enough for the real Internet).
+
+use fenrir_wire::checksum::internet_checksum;
+use fenrir_wire::dns::{
+    ClientSubnet, EdnsOption, Header, Message, Name, Opcode, QClass, QType, RData, Rcode, Record,
+};
+use fenrir_wire::icmp::IcmpPacket;
+use proptest::prelude::*;
+
+/// Strategy: a legal DNS label (1..=20 lowercase chars to keep names
+/// within limits).
+fn label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9][a-z0-9-]{0,19}").expect("valid regex")
+}
+
+/// Strategy: a legal domain name of 1..=4 labels.
+fn name() -> impl Strategy<Value = Name> {
+    prop::collection::vec(label(), 1..=4)
+        .prop_map(|ls| Name::parse(&ls.join(".")).expect("legal name"))
+}
+
+fn qtype() -> impl Strategy<Value = QType> {
+    prop_oneof![
+        Just(QType::A),
+        Just(QType::Ns),
+        Just(QType::Cname),
+        Just(QType::Txt),
+        Just(QType::Aaaa),
+        (256u16..9999).prop_map(QType::Unknown),
+    ]
+}
+
+/// Strategy: rdata consistent with a record type.
+fn record() -> impl Strategy<Value = Record> {
+    (name(), qtype(), 0u32..86_400).prop_flat_map(|(n, t, ttl)| {
+        let rdata: BoxedStrategy<RData> = match t {
+            QType::A => any::<[u8; 4]>().prop_map(RData::A).boxed(),
+            QType::Aaaa => any::<[u8; 16]>().prop_map(RData::Aaaa).boxed(),
+            QType::Txt => prop::collection::vec(
+                prop::collection::vec(any::<u8>(), 0..50),
+                1..3,
+            )
+            .prop_map(RData::Txt)
+            .boxed(),
+            QType::Ns => name().prop_map(RData::Ns).boxed(),
+            QType::Cname => name().prop_map(RData::Cname).boxed(),
+            _ => prop::collection::vec(any::<u8>(), 0..40)
+                .prop_map(RData::Raw)
+                .boxed(),
+        };
+        rdata.prop_map(move |rd| Record {
+            name: n.clone(),
+            rtype: t,
+            class: 1,
+            ttl,
+            rdata: rd,
+        })
+    })
+}
+
+fn edns_option() -> impl Strategy<Value = EdnsOption> {
+    prop_oneof![
+        prop::collection::vec(any::<u8>(), 0..16).prop_map(EdnsOption::Nsid),
+        (any::<[u8; 4]>(), 0u8..=32).prop_map(|(a, p)| {
+            EdnsOption::ClientSubnet(ClientSubnet::ipv4(a, p))
+        }),
+        (20u16..100, prop::collection::vec(any::<u8>(), 0..16))
+            .prop_map(|(code, data)| EdnsOption::Unknown { code, data }),
+    ]
+}
+
+fn message() -> impl Strategy<Value = Message> {
+    (
+        any::<u16>(),
+        name(),
+        qtype(),
+        prop::collection::vec(record(), 0..4),
+        prop::collection::vec(record(), 0..2),
+        prop::collection::vec(edns_option(), 0..3),
+        any::<bool>(),
+    )
+        .prop_map(|(id, qname, qt, answers, authorities, opts, qr)| {
+            let mut m = Message {
+                header: Header {
+                    id,
+                    qr,
+                    opcode: Opcode::Query,
+                    aa: qr,
+                    tc: false,
+                    rd: true,
+                    ra: qr,
+                    rcode: Rcode::NoError,
+                },
+                questions: vec![fenrir_wire::dns::Question {
+                    name: qname,
+                    qtype: qt,
+                    qclass: QClass::In,
+                }],
+                answers,
+                authorities,
+                additionals: vec![],
+            };
+            if !opts.is_empty() {
+                m.additionals.push(Record::opt(4096, opts));
+            }
+            m
+        })
+}
+
+proptest! {
+    #[test]
+    fn dns_message_round_trips(m in message()) {
+        let bytes = m.encode().expect("well-formed message encodes");
+        let back = Message::decode(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(back, m);
+    }
+
+    #[test]
+    fn dns_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Message::decode(&bytes); // Err is fine; panic is not.
+    }
+
+    #[test]
+    fn dns_decoder_never_panics_on_mutated_valid_messages(
+        m in message(),
+        flips in prop::collection::vec((0usize..512, any::<u8>()), 1..8)
+    ) {
+        let mut bytes = m.encode().expect("encodes");
+        for (pos, val) in flips {
+            if !bytes.is_empty() {
+                let p = pos % bytes.len();
+                bytes[p] = val;
+            }
+        }
+        let _ = Message::decode(&bytes);
+    }
+
+    #[test]
+    fn name_round_trips_through_compression(
+        names in prop::collection::vec(name(), 1..6)
+    ) {
+        let mut buf = Vec::new();
+        let mut table = std::collections::HashMap::new();
+        for n in &names {
+            n.encode_compressed(&mut buf, &mut table);
+        }
+        let mut pos = 0;
+        for n in &names {
+            let back = Name::decode(&buf, &mut pos).expect("decodes");
+            prop_assert_eq!(&back, n);
+        }
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn client_subnet_round_trips(addr in any::<[u8; 4]>(), plen in 0u8..=32) {
+        let cs = ClientSubnet::ipv4(addr, plen);
+        let back = ClientSubnet::decode_payload(&cs.encode_payload()).expect("decodes");
+        prop_assert_eq!(back, cs);
+    }
+
+    #[test]
+    fn icmp_round_trips(
+        ident in any::<u16>(),
+        seq in any::<u16>(),
+        payload in prop::collection::vec(any::<u8>(), 0..128)
+    ) {
+        let p = IcmpPacket::echo_request(ident, seq, payload);
+        let back = IcmpPacket::decode(&p.encode()).expect("decodes");
+        prop_assert_eq!(back, p);
+    }
+
+    #[test]
+    fn icmp_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = IcmpPacket::decode(&bytes);
+    }
+
+    #[test]
+    fn icmp_detects_any_single_bit_flip(
+        ident in any::<u16>(),
+        payload in prop::collection::vec(any::<u8>(), 1..32),
+        flip_byte in 0usize..16,
+        flip_bit in 0u8..8
+    ) {
+        let p = IcmpPacket::echo_request(ident, 1, payload);
+        let mut bytes = p.encode();
+        let pos = flip_byte % bytes.len();
+        bytes[pos] ^= 1 << flip_bit;
+        // A single bit flip must be caught by the checksum (or decode to a
+        // different-but-valid packet only if the flip hit ident/seq/payload
+        // AND checksum simultaneously — impossible for one bit).
+        prop_assert!(IcmpPacket::decode(&bytes).is_err(), "undetected corruption");
+    }
+
+    #[test]
+    fn checksum_verifies_its_own_output(data in prop::collection::vec(any::<u8>(), 0..64)) {
+        // Append the checksum and the whole thing verifies.
+        let ck = internet_checksum(&data);
+        let mut with = data.clone();
+        with.extend_from_slice(&ck.to_be_bytes());
+        // Checksum placed at the end of an even-length buffer verifies.
+        if data.len() % 2 == 0 {
+            prop_assert!(fenrir_wire::checksum::verify(&with));
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Quickstart: the whole Fenrir pipeline (Table 1 of the paper) on a small
+//! anycast deployment.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Steps walked, in the paper's order:
+//! 1. identify subjects + collect data (simulated Atlas campaign),
+//! 2. clean (interpolation of missing observations),
+//! 3. weight,
+//! 4. pairwise comparison (Gower Φ),
+//! 5. clustering into modes (HAC + adaptive threshold),
+//! 6. quantification (heatmap + transition matrix),
+//! 7. performance (per-catchment latency).
+
+use fenrir_core::prelude::*;
+use fenrir_measure::atlas::AtlasCampaign;
+use fenrir_measure::latency::LatencyProber;
+use fenrir_netsim::anycast::AnycastService;
+use fenrir_netsim::events::Scenario;
+use fenrir_netsim::geo::cities;
+use fenrir_netsim::topology::{Tier, TopologyBuilder};
+
+fn main() {
+    // ── 1. Subjects and data collection ────────────────────────────────
+    // A small simulated Internet and a three-site anycast service.
+    let topo = TopologyBuilder {
+        transit: 3,
+        regional: 8,
+        stubs: 80,
+        blocks_per_stub: 2,
+        seed: 0xF00D,
+        ..Default::default()
+    }
+    .build();
+    let regionals = topo.tier_members(Tier::Regional);
+    let mut service = AnycastService::new("demo-root");
+    service.add_site("LAX", regionals[0], cities::LAX);
+    service.add_site("AMS", regionals[1], cities::AMS);
+    service.add_site("SIN", regionals[2], cities::SIN);
+
+    // One maintenance drain of LAX on days 6..8 — the event Fenrir should
+    // rediscover.
+    let mut scenario = Scenario::new();
+    scenario.drain(
+        0,
+        Timestamp::from_days(6).as_secs(),
+        Timestamp::from_days(8).as_secs(),
+        "neteng",
+    );
+
+    let times: Vec<Timestamp> = (0..20).map(Timestamp::from_days).collect();
+    let campaign = AtlasCampaign {
+        vantage_points: 100,
+        loss_prob: 0.05,
+        ..Default::default()
+    };
+    let run = campaign.run(&topo, &service, &scenario, &times);
+    let mut series = run.series;
+    println!(
+        "collected {} observations of {} vantage points ({} sites)",
+        series.len(),
+        series.networks(),
+        series.sites().len()
+    );
+
+    // ── 2. Cleaning ─────────────────────────────────────────────────────
+    let stats = fenrir_core::clean::interpolate_nearest(&mut series, 3);
+    println!(
+        "interpolation filled {} cells, left {} unknown",
+        stats.filled, stats.unfilled
+    );
+
+    // ── 3. Weighting ────────────────────────────────────────────────────
+    let weights = Weights::uniform(series.networks());
+
+    // ── 4. Pairwise comparison ─────────────────────────────────────────
+    let sim = SimilarityMatrix::compute_parallel(
+        &series,
+        &weights,
+        UnknownPolicy::Pessimistic,
+        4,
+    )
+    .expect("similarity");
+    println!(
+        "\nΦ(day0, day1) = {:.3}   Φ(day0, day6 drained) = {:.3}",
+        sim.get(0, 1),
+        sim.get(0, 6)
+    );
+
+    // ── 5. Clustering into modes ───────────────────────────────────────
+    let modes = ModeAnalysis::discover(
+        &sim,
+        &series.times(),
+        Linkage::Single,
+        AdaptiveThreshold::default(),
+    )
+    .expect("mode analysis");
+    println!("\ndiscovered {} routing modes:", modes.len());
+    print!("{}", modes.summary());
+
+    // ── 6. Quantification: heatmap + transition matrix ─────────────────
+    let heatmap = Heatmap::new(sim.clone(), series.times());
+    println!("\nall-pairs similarity heatmap (dark = similar):");
+    print!("{}", heatmap.render_ascii(20));
+
+    let t = TransitionMatrix::compute(series.get(5), series.get(6), series.sites().len())
+        .expect("transition");
+    println!("\ntransition matrix across the drain (day 5 → day 6):");
+    print!("{}", t.render(series.sites()));
+    println!("top flows:");
+    for f in t.top_flows(series.sites(), 3) {
+        println!("  {:>6} networks: {} → {}", f.weight, f.from, f.to);
+    }
+
+    // ── 7. Performance: latency per catchment ──────────────────────────
+    let blocks: Vec<_> = topo.all_blocks().iter().map(|&(b, _)| b).collect();
+    let panels = LatencyProber::default().probe(
+        &topo,
+        &service,
+        &scenario,
+        &blocks,
+        &[Timestamp::from_days(5), Timestamp::from_days(6)],
+    );
+    // Latency panels cover blocks; build matching vectors from routing so
+    // the summary keys on the current catchments.
+    for (label, t) in [("before drain", 5i64), ("during drain", 6)] {
+        let svc = scenario.service_at(&service, Timestamp::from_days(t).as_secs());
+        let routes = svc.routes(&topo, &scenario.config_at(Timestamp::from_days(t).as_secs()));
+        let v = RoutingVector::from_catchments(
+            Timestamp::from_days(t),
+            blocks
+                .iter()
+                .map(|&b| {
+                    let owner = topo.owner_of(b).expect("owned");
+                    match routes.catchment(owner) {
+                        Some(s) => Catchment::Site(SiteId(s as u16)),
+                        None => Catchment::Err,
+                    }
+                })
+                .collect(),
+        );
+        let panel = if t == 5 { &panels[0] } else { &panels[1] };
+        let sum = fenrir_core::latency::LatencySummary::compute(
+            &v,
+            panel,
+            &Weights::uniform(blocks.len()),
+            service.len(),
+        )
+        .expect("latency summary");
+        println!("\nlatency {label}:");
+        print!("{}", sum.render(series.sites()));
+    }
+
+    println!("\nquickstart complete — see examples/anycast_broot.rs for the full study.");
+}

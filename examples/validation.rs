@@ -1,0 +1,57 @@
+//! The ground-truth validation of §3 (Table 4 of the paper): Fenrir's
+//! change detection scored against an operator maintenance log containing
+//! site drains, traffic engineering, invisible internal work — and
+//! third-party routing changes that appear in no log at all.
+//!
+//! ```text
+//! cargo run --release --example validation
+//! ```
+
+use fenrir_core::detect::group_log_entries;
+use fenrir_core::weight::Weights;
+use fenrir_data::scenarios::{broot_validation, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--paper") {
+        Scale::Paper
+    } else {
+        Scale::Test
+    };
+    eprintln!("building the validation scenario ({scale:?} scale)…");
+    let study = broot_validation(scale);
+    println!(
+        "observed {} instants ({}-min cadence) of {} vantage points",
+        study.times.len(),
+        study.cadence_secs / 60,
+        study.result.series.networks()
+    );
+    let truth = group_log_entries(&study.log, 600);
+    println!(
+        "operator log: {} raw entries grouped into {} events",
+        study.log.len(),
+        truth.len()
+    );
+
+    let detector = study.detector();
+    let w = Weights::uniform(study.result.series.networks());
+    let detected = detector.detect(&study.result.series, &w);
+    println!(
+        "\nFenrir detected {} change events; the first few:",
+        detected.len()
+    );
+    for e in detected.iter().take(5) {
+        println!(
+            "  {}: Φ fell {:.3} below baseline {:.3}",
+            e.time, e.magnitude, e.baseline
+        );
+    }
+
+    let report = study.run_validation();
+    println!("\n─── Table 4 ───────────────────────────────────────");
+    print!("{}", report.render());
+    println!(
+        "\npaper reports: recall 1.0, accuracy 0.84–0.86, precision 0.70,\n\
+         with the 8 FP? and 10 (*) rows interpreted as third-party routing\n\
+         changes — which is exactly what this scenario scripted."
+    );
+}

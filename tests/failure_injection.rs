@@ -1,0 +1,155 @@
+//! Failure-injection integration tests: the pipeline must degrade
+//! gracefully — no panics, no false alarms — under measurement conditions
+//! far worse than the paper's (total loss, near-total loss, heavy noise).
+
+use fenrir::core::detect::ChangeDetector;
+use fenrir::core::similarity::{phi, SimilarityMatrix, UnknownPolicy};
+use fenrir::core::time::Timestamp;
+use fenrir::core::weight::Weights;
+use fenrir::measure::atlas::AtlasCampaign;
+use fenrir::measure::verfploeter::Verfploeter;
+use fenrir::netsim::anycast::AnycastService;
+use fenrir::netsim::events::Scenario;
+use fenrir::netsim::geo::cities;
+use fenrir::netsim::topology::{Tier, Topology, TopologyBuilder};
+
+fn setup() -> (Topology, AnycastService) {
+    let topo = TopologyBuilder {
+        transit: 3,
+        regional: 6,
+        stubs: 40,
+        blocks_per_stub: 2,
+        seed: 0xFA11,
+        ..Default::default()
+    }
+    .build();
+    let regionals = topo.tier_members(Tier::Regional);
+    let mut svc = AnycastService::new("fi-root");
+    svc.add_site("LAX", regionals[0], cities::LAX);
+    svc.add_site("AMS", regionals[1], cities::AMS);
+    (topo, svc)
+}
+
+fn days(n: i64) -> Vec<Timestamp> {
+    (0..n).map(Timestamp::from_days).collect()
+}
+
+#[test]
+fn total_verfploeter_blackout_is_all_unknown_and_quiet() {
+    let (topo, svc) = setup();
+    let vp = Verfploeter {
+        mean_response_rate: 0.0,
+        seed: 1,
+    };
+    let r = vp.run(&topo, &svc, &Scenario::new(), &days(10));
+    assert_eq!(r.series.mean_coverage(), 0.0);
+    let w = Weights::uniform(r.series.networks());
+    // Pessimistic Φ is 0 everywhere; known-only is 0 (nothing known).
+    assert_eq!(
+        phi(r.series.get(0), r.series.get(1), &w, UnknownPolicy::Pessimistic),
+        0.0
+    );
+    assert_eq!(
+        phi(r.series.get(0), r.series.get(1), &w, UnknownPolicy::KnownOnly),
+        0.0
+    );
+    // The detector stays silent rather than alarming on darkness.
+    let events = ChangeDetector::default().detect(&r.series, &w);
+    assert!(events.is_empty(), "{events:?}");
+    // And the similarity matrix still computes.
+    let sim = SimilarityMatrix::compute(&r.series, &w, UnknownPolicy::Pessimistic).unwrap();
+    assert_eq!(sim.len(), 10);
+}
+
+#[test]
+fn atlas_total_loss_is_quiet() {
+    let (topo, svc) = setup();
+    let c = AtlasCampaign {
+        vantage_points: 40,
+        loss_prob: 1.0,
+        ..Default::default()
+    };
+    let r = c.run(&topo, &svc, &Scenario::new(), &days(5));
+    assert_eq!(r.series.mean_coverage(), 0.0);
+    let w = Weights::uniform(40);
+    assert!(ChangeDetector::default().detect(&r.series, &w).is_empty());
+}
+
+#[test]
+fn heavy_loss_does_not_fake_routing_changes() {
+    // 70% loss with stable routing: the known-only detector must not fire.
+    let (topo, svc) = setup();
+    let c = AtlasCampaign {
+        vantage_points: 120,
+        loss_prob: 0.7,
+        ..Default::default()
+    };
+    let r = c.run(&topo, &svc, &Scenario::new(), &days(20));
+    let w = Weights::uniform(120);
+    let detector = ChangeDetector {
+        policy: UnknownPolicy::KnownOnly,
+        ..Default::default()
+    };
+    let events = detector.detect(&r.series, &w);
+    assert!(
+        events.is_empty(),
+        "loss noise must not alarm under known-only Φ: {events:?}"
+    );
+}
+
+#[test]
+fn real_change_still_detected_under_heavy_loss() {
+    let (topo, svc) = setup();
+    let mut sc = Scenario::new();
+    sc.drain(
+        0,
+        Timestamp::from_days(10).as_secs(),
+        Timestamp::from_days(13).as_secs(),
+        "op",
+    );
+    let c = AtlasCampaign {
+        vantage_points: 120,
+        loss_prob: 0.5,
+        ..Default::default()
+    };
+    let r = c.run(&topo, &svc, &sc, &days(20));
+    let w = Weights::uniform(120);
+    let detector = ChangeDetector {
+        policy: UnknownPolicy::KnownOnly,
+        ..Default::default()
+    };
+    let events = detector.detect(&r.series, &w);
+    assert!(
+        events.iter().any(|e| e.time == Timestamp::from_days(10)),
+        "drain missed under 50% loss: {events:?}"
+    );
+}
+
+#[test]
+fn interpolation_after_heavy_loss_recovers_analysis_quality() {
+    let (topo, svc) = setup();
+    let c = AtlasCampaign {
+        vantage_points: 100,
+        loss_prob: 0.4,
+        ..Default::default()
+    };
+    let mut series = c.run(&topo, &svc, &Scenario::new(), &days(15)).series;
+    let w = Weights::uniform(100);
+    let before = phi(
+        series.get(5),
+        series.get(6),
+        &w,
+        UnknownPolicy::Pessimistic,
+    );
+    fenrir::core::clean::interpolate_nearest(&mut series, 3);
+    let after = phi(
+        series.get(5),
+        series.get(6),
+        &w,
+        UnknownPolicy::Pessimistic,
+    );
+    assert!(
+        after > before + 0.2,
+        "interpolation should lift pessimistic Φ: {before} -> {after}"
+    );
+}

@@ -1,0 +1,226 @@
+//! Property-based tests of the core invariants, using proptest. These
+//! cover the mathematical contracts the paper's methodology relies on:
+//! Φ's range and symmetry, the identity Φ(v,v)=coverage, transition-matrix
+//! mass conservation, dendrogram monotonicity, cut-count monotonicity, and
+//! cleaning passes never *reducing* coverage.
+
+use fenrir::core::clean::{forward_fill, interpolate_nearest};
+use fenrir::core::cluster::{Dendrogram, Linkage};
+use fenrir::core::ids::{SiteId, SiteTable};
+use fenrir::core::series::VectorSeries;
+use fenrir::core::similarity::{phi, SimilarityMatrix, UnknownPolicy};
+use fenrir::core::time::Timestamp;
+use fenrir::core::transition::TransitionMatrix;
+use fenrir::core::vector::{Catchment, RoutingVector};
+use fenrir::core::weight::Weights;
+use proptest::prelude::*;
+
+const SITES: u16 = 5;
+
+/// Strategy: an arbitrary catchment over `SITES` sites.
+fn catchment() -> impl Strategy<Value = Catchment> {
+    prop_oneof![
+        4 => (0..SITES).prop_map(|s| Catchment::Site(SiteId(s))),
+        1 => Just(Catchment::Err),
+        1 => Just(Catchment::Other),
+        2 => Just(Catchment::Unknown),
+    ]
+}
+
+/// Strategy: a routing vector of length `n` at day `day`.
+fn vector(n: usize, day: i64) -> impl Strategy<Value = RoutingVector> {
+    prop::collection::vec(catchment(), n)
+        .prop_map(move |cs| RoutingVector::from_catchments(Timestamp::from_days(day), cs))
+}
+
+/// Strategy: positive weights of length `n`.
+fn weights(n: usize) -> impl Strategy<Value = Weights> {
+    prop::collection::vec(0.1f64..100.0, n)
+        .prop_map(|v| Weights::from_values(v).expect("positive"))
+}
+
+proptest! {
+    #[test]
+    fn phi_is_in_unit_range_and_symmetric(
+        (a, b, w) in (4usize..40).prop_flat_map(|n| (vector(n, 0), vector(n, 1), weights(n)))
+    ) {
+        for policy in [UnknownPolicy::Pessimistic, UnknownPolicy::KnownOnly] {
+            let pab = phi(&a, &b, &w, policy);
+            let pba = phi(&b, &a, &w, policy);
+            prop_assert!((0.0..=1.0).contains(&pab), "Φ out of range: {pab}");
+            prop_assert!((pab - pba).abs() < 1e-12, "asymmetric: {pab} vs {pba}");
+        }
+    }
+
+    #[test]
+    fn phi_self_similarity_equals_weighted_coverage(
+        (a, w) in (4usize..40).prop_flat_map(|n| (vector(n, 0), weights(n)))
+    ) {
+        // Pessimistic Φ(v, v) = weighted fraction of known networks.
+        let known_mass: f64 = a
+            .iter()
+            .zip(w.values())
+            .filter(|(c, _)| c.is_known())
+            .map(|(_, &wn)| wn)
+            .sum();
+        let expected = known_mass / w.total();
+        let got = phi(&a, &a, &w, UnknownPolicy::Pessimistic);
+        prop_assert!((got - expected).abs() < 1e-12);
+        // Known-only Φ(v, v) is 1 whenever anything is known.
+        let ko = phi(&a, &a, &w, UnknownPolicy::KnownOnly);
+        if a.known_count() > 0 {
+            prop_assert!((ko - 1.0).abs() < 1e-12);
+        } else {
+            prop_assert_eq!(ko, 0.0);
+        }
+    }
+
+    #[test]
+    fn pessimistic_phi_never_exceeds_known_only(
+        (a, b, w) in (4usize..40).prop_flat_map(|n| (vector(n, 0), vector(n, 1), weights(n)))
+    ) {
+        // Dropping unknowns from the denominator can only help (when any
+        // commonly-known networks exist).
+        let pess = phi(&a, &b, &w, UnknownPolicy::Pessimistic);
+        let known = phi(&a, &b, &w, UnknownPolicy::KnownOnly);
+        let any_common = a
+            .iter()
+            .zip(b.iter())
+            .any(|(x, y)| x.is_known() && y.is_known());
+        if any_common {
+            prop_assert!(pess <= known + 1e-12, "pess {pess} > known {known}");
+        }
+    }
+
+    #[test]
+    fn transition_matrix_conserves_mass(
+        (a, b, w) in (4usize..40).prop_flat_map(|n| (vector(n, 0), vector(n, 1), weights(n)))
+    ) {
+        let t = TransitionMatrix::compute_weighted(&a, &b, SITES as usize, &w).expect("ok");
+        prop_assert!((t.total() - w.total()).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&t.churn()));
+        // Row sums equal the weighted initial-state aggregate.
+        let agg = a.aggregate_weighted(SITES as usize, w.values());
+        for s in 0..SITES as usize {
+            let row: f64 = (0..t.states()).map(|j| t.get(s, j)).sum();
+            prop_assert!((row - agg.per_site[s]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn phi_relates_to_transition_diagonal(
+        (a, b) in (4usize..40).prop_flat_map(|n| (vector(n, 0), vector(n, 1)))
+    ) {
+        // With uniform weights, pessimistic Φ = diagonal mass excluding the
+        // unknown→unknown cell, divided by N.
+        let n = a.len();
+        let w = Weights::uniform(n);
+        let t = TransitionMatrix::compute(&a, &b, SITES as usize).expect("ok");
+        let unk = SITES as usize + 2;
+        let diag_known: f64 = (0..t.states())
+            .filter(|&s| s != unk)
+            .map(|s| t.get(s, s))
+            .sum();
+        let p = phi(&a, &b, &w, UnknownPolicy::Pessimistic);
+        prop_assert!((p - diag_known / n as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dendrogram_is_monotone_and_cut_counts_decrease(
+        raw in prop::collection::vec(0.0f64..1.0, 36)
+    ) {
+        // Build a symmetric similarity matrix from arbitrary upper-triangle
+        // values (6x6).
+        let n = 6;
+        let mut v = vec![1.0; n * n];
+        let mut it = raw.into_iter();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let x = it.next().expect("enough");
+                v[i * n + j] = x;
+                v[j * n + i] = x;
+            }
+        }
+        let sim = SimilarityMatrix::from_raw(n, v).expect("square");
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let d = Dendrogram::build(&sim, linkage).expect("ok");
+            prop_assert_eq!(d.merges().len(), n - 1);
+            for w in d.merges().windows(2) {
+                prop_assert!(w[0].distance <= w[1].distance + 1e-12);
+            }
+            // Cluster count is non-increasing in the threshold.
+            let mut prev = usize::MAX;
+            for k in 0..=10 {
+                let c = d.cluster_count(k as f64 / 10.0);
+                prop_assert!(c <= prev);
+                prev = c;
+            }
+            prop_assert_eq!(d.cluster_count(1.0), 1);
+        }
+    }
+
+    #[test]
+    fn cleaning_never_reduces_coverage(
+        columns in prop::collection::vec(prop::collection::vec(catchment(), 12), 3)
+    ) {
+        // 3 networks observed 12 times.
+        let sites = SiteTable::from_names(["A", "B", "C", "D", "E"]);
+        let mut series = VectorSeries::new(sites, 3);
+        for t in 0..12 {
+            let cs: Vec<Catchment> = columns.iter().map(|col| col[t]).collect();
+            series
+                .push(RoutingVector::from_catchments(Timestamp::from_days(t as i64), cs))
+                .expect("ordered");
+        }
+        for clean in [
+            |s: &mut VectorSeries| interpolate_nearest(s, 3),
+            |s: &mut VectorSeries| forward_fill(s, 3),
+        ] {
+            let mut copy = series.clone();
+            let before = copy.mean_coverage();
+            let stats = clean(&mut copy);
+            prop_assert!(copy.mean_coverage() >= before - 1e-12);
+            // Every cell that was known stays exactly as it was.
+            for (orig, cleaned) in series.vectors().iter().zip(copy.vectors()) {
+                for i in 0..3 {
+                    if orig.get(i).is_known() {
+                        prop_assert_eq!(orig.get(i), cleaned.get(i));
+                    }
+                }
+            }
+            // Accounting adds up.
+            let unknown_before: usize =
+                series.vectors().iter().map(|v| v.len() - v.known_count()).sum();
+            let unknown_after: usize =
+                copy.vectors().iter().map(|v| v.len() - v.known_count()).sum();
+            prop_assert_eq!(unknown_before - unknown_after, stats.filled);
+        }
+    }
+
+    #[test]
+    fn interpolation_only_copies_neighbouring_values(
+        column in prop::collection::vec(catchment(), 16)
+    ) {
+        let sites = SiteTable::from_names(["A", "B", "C", "D", "E"]);
+        let mut series = VectorSeries::new(sites, 1);
+        for (t, &c) in column.iter().enumerate() {
+            series
+                .push(RoutingVector::from_catchments(Timestamp::from_days(t as i64), vec![c]))
+                .expect("ordered");
+        }
+        let mut filled = series.clone();
+        interpolate_nearest(&mut filled, 3);
+        for t in 0..column.len() {
+            let c = filled.get(t).get(0);
+            if column[t] == Catchment::Unknown && c != Catchment::Unknown {
+                // The filled value must equal a known original within 3.
+                let lo = t.saturating_sub(3);
+                let hi = (t + 3).min(column.len() - 1);
+                prop_assert!(
+                    (lo..=hi).any(|u| column[u] == c),
+                    "fabricated value {c:?} at {t}"
+                );
+            }
+        }
+    }
+}
