@@ -58,8 +58,7 @@ fn bench_linkage(c: &mut Criterion) {
     group.sample_size(10);
     let series = synth(256, 500, 0.3);
     let w = Weights::uniform(500);
-    let sim =
-        SimilarityMatrix::compute(&series, &w, UnknownPolicy::Pessimistic).expect("ok");
+    let sim = SimilarityMatrix::compute(&series, &w, UnknownPolicy::Pessimistic).expect("ok");
     for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
         group.bench_function(format!("{linkage:?}"), |b| {
             b.iter(|| Dendrogram::build(black_box(&sim), linkage).expect("ok"))
@@ -88,7 +87,9 @@ fn bench_weighting(c: &mut Criterion) {
     group.sample_size(10);
     let series = synth(96, 2_000, 0.5);
     let uniform = Weights::uniform(2_000);
-    let prefixes: Vec<u8> = (0..2_000).map(|i| if i % 7 == 0 { 16 } else { 24 }).collect();
+    let prefixes: Vec<u8> = (0..2_000)
+        .map(|i| if i % 7 == 0 { 16 } else { 24 })
+        .collect();
     let weighted = Weights::from_prefix_lengths(&prefixes).expect("ok");
     group.bench_function("uniform", |b| {
         b.iter(|| {

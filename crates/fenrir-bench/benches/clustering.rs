@@ -17,7 +17,11 @@ fn planted_modes(n: usize, modes: usize) -> SimilarityMatrix {
         for j in 0..n {
             let base = if labels[i] == labels[j] { 0.9 } else { 0.3 };
             let noise: f64 = rng.gen_range(-0.05..0.05);
-            let s = if i == j { 1.0 } else { (base + noise).clamp(0.0, 1.0) };
+            let s = if i == j {
+                1.0
+            } else {
+                (base + noise).clamp(0.0, 1.0)
+            };
             v[i * n + j] = s;
             v[j * n + i] = s;
         }
@@ -31,11 +35,9 @@ fn bench_dendrogram(c: &mut Criterion) {
     for &n in &[128usize, 512, 1024] {
         let sim = planted_modes(n, 6);
         for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("{linkage:?}"), n),
-                &n,
-                |b, _| b.iter(|| Dendrogram::build(black_box(&sim), linkage).expect("ok")),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("{linkage:?}"), n), &n, |b, _| {
+                b.iter(|| Dendrogram::build(black_box(&sim), linkage).expect("ok"))
+            });
         }
     }
     group.finish();

@@ -39,18 +39,14 @@ fn bench_routes(c: &mut Criterion) {
             .map(|(i, &a)| (a, i as u32))
             .collect();
         let cfg = RoutingConfig::default();
-        group.bench_with_input(
-            BenchmarkId::new("anycast4", stubs),
-            &stubs,
-            |b, _| b.iter(|| RouteTable::compute(black_box(&topo), &origins, &cfg)),
-        );
+        group.bench_with_input(BenchmarkId::new("anycast4", stubs), &stubs, |b, _| {
+            b.iter(|| RouteTable::compute(black_box(&topo), &origins, &cfg))
+        });
         // Unicast toward a stub (the traceroute per-destination cost).
         let dest = topo.tier_members(Tier::Stub)[0];
-        group.bench_with_input(
-            BenchmarkId::new("unicast", stubs),
-            &stubs,
-            |b, _| b.iter(|| RouteTable::compute(black_box(&topo), &[(dest, 0)], &cfg)),
-        );
+        group.bench_with_input(BenchmarkId::new("unicast", stubs), &stubs, |b, _| {
+            b.iter(|| RouteTable::compute(black_box(&topo), &[(dest, 0)], &cfg))
+        });
     }
     group.finish();
 }

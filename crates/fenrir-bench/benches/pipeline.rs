@@ -31,8 +31,8 @@ fn bench_pipeline(c: &mut Criterion) {
         })
     });
 
-    let sim = SimilarityMatrix::compute_parallel(&series, &w, UnknownPolicy::Pessimistic, 4)
-        .expect("ok");
+    let sim =
+        SimilarityMatrix::compute_parallel(&series, &w, UnknownPolicy::Pessimistic, 4).expect("ok");
     group.bench_function("similarity(all-pairs)", |b| {
         b.iter(|| {
             SimilarityMatrix::compute_parallel(&series, &w, UnknownPolicy::Pessimistic, 4)

@@ -39,11 +39,8 @@ fn bench_dns(c: &mut Criterion) {
     let q = Message::query(9, "cdn.front.example.net", QType::A, QClass::In);
     let mut fat = q.response_to(Rcode::NoError);
     for i in 0..10u8 {
-        fat.answers.push(Record::a(
-            q.questions[0].name.clone(),
-            60,
-            [198, 18, 0, i],
-        ));
+        fat.answers
+            .push(Record::a(q.questions[0].name.clone(), 60, [198, 18, 0, i]));
     }
     group.bench_function("encode_compressed_10rr", |b| {
         b.iter(|| black_box(&fat).encode().expect("ok"))
@@ -55,9 +52,7 @@ fn bench_icmp(c: &mut Criterion) {
     let mut group = c.benchmark_group("icmp");
     let echo = IcmpPacket::echo_request(0xBEEF, 42, vec![0u8; 56]);
     let bytes = echo.encode();
-    group.bench_function("encode_echo", |b| {
-        b.iter(|| black_box(&echo).encode())
-    });
+    group.bench_function("encode_echo", |b| b.iter(|| black_box(&echo).encode()));
     group.bench_function("decode_echo", |b| {
         b.iter(|| IcmpPacket::decode(black_box(&bytes)).expect("ok"))
     });

@@ -63,7 +63,9 @@ fn main() {
             "--paper" => scale = Scale::Paper,
             "--out" => {
                 i += 1;
-                out = Some(PathBuf::from(args.get(i).cloned().unwrap_or_else(|| usage())));
+                out = Some(PathBuf::from(
+                    args.get(i).cloned().unwrap_or_else(|| usage()),
+                ));
             }
             "--datasets" => {
                 i += 1;

@@ -30,7 +30,10 @@ pub fn fig1(scale: Scale) -> ExperimentReport {
                 .sites()
                 .iter()
                 .map(|(_, name)| {
-                    format!("{name} {:>4}", stack.counts[idx][stack.column(name).expect("site")])
+                    format!(
+                        "{name} {:>4}",
+                        stack.counts[idx][stack.column(name).expect("site")]
+                    )
                 })
                 .collect();
             body.push_str(&format!("  2020-03-0{day}: {}\n", counts.join("  ")));

@@ -125,7 +125,10 @@ pub fn fig7(scale: Scale) -> ExperimentReport {
         }
         body.push('\n');
         artifacts.push(super::Artifact {
-            name: format!("usc_sankey_{}.txt", if idx < change { "before" } else { "after" }),
+            name: format!(
+                "usc_sankey_{}.txt",
+                if idx < change { "before" } else { "after" }
+            ),
             contents: sankey.render(),
         });
     }

@@ -28,4 +28,6 @@
 
 pub mod experiments;
 
-pub use experiments::{all_experiments, run_experiment, Artifact, ExperimentReport, EXPERIMENT_IDS};
+pub use experiments::{
+    all_experiments, run_experiment, Artifact, ExperimentReport, EXPERIMENT_IDS,
+};

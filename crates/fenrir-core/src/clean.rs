@@ -278,17 +278,15 @@ mod tests {
         let stats = interpolate_nearest(&mut series, 3);
         assert_eq!(stats.filled, 3);
         assert_eq!(stats.unfilled, 0);
-        assert_eq!(catchments_of(&series, 0), vec![s(0), s(0), s(0), s(1), s(1)]);
+        assert_eq!(
+            catchments_of(&series, 0),
+            vec![s(0), s(0), s(0), s(1), s(1)]
+        );
     }
 
     #[test]
     fn interpolate_even_gap_splits_evenly() {
-        let mut series = single_net_series(&[
-            s(0),
-            Catchment::Unknown,
-            Catchment::Unknown,
-            s(1),
-        ]);
+        let mut series = single_net_series(&[s(0), Catchment::Unknown, Catchment::Unknown, s(1)]);
         interpolate_nearest(&mut series, 3);
         assert_eq!(catchments_of(&series, 0), vec![s(0), s(0), s(1), s(1)]);
     }
@@ -313,11 +311,7 @@ mod tests {
 
     #[test]
     fn interpolate_leaves_edges_untouched() {
-        let mut series = single_net_series(&[
-            Catchment::Unknown,
-            s(0),
-            Catchment::Unknown,
-        ]);
+        let mut series = single_net_series(&[Catchment::Unknown, s(0), Catchment::Unknown]);
         let stats = interpolate_nearest(&mut series, 3);
         assert_eq!(stats.filled, 0);
         assert_eq!(stats.unfilled, 2);
@@ -440,5 +434,166 @@ mod tests {
     fn nearest_viable_all_none() {
         let seq: [Option<u8>; 3] = [None, None, None];
         assert_eq!(nearest_viable(&seq, 1, 5), None);
+    }
+
+    #[test]
+    fn all_unknown_series_stays_all_unknown() {
+        // With no known observation anywhere, neither pass can invent
+        // data; every cell counts as unfilled and nothing changes.
+        let codes = vec![Catchment::Unknown; 5];
+        let mut a = single_net_series(&codes);
+        let stats = interpolate_nearest(&mut a, 3);
+        assert_eq!(
+            stats,
+            FillStats {
+                filled: 0,
+                unfilled: 5
+            }
+        );
+        assert_eq!(catchments_of(&a, 0), codes);
+        let mut b = single_net_series(&codes);
+        let stats = forward_fill(&mut b, usize::MAX);
+        assert_eq!(
+            stats,
+            FillStats {
+                filled: 0,
+                unfilled: 5
+            }
+        );
+        assert_eq!(catchments_of(&b, 0), codes);
+    }
+
+    #[test]
+    fn single_observation_series_is_a_no_op() {
+        for c in [Catchment::Unknown, s(0)] {
+            let mut a = single_net_series(&[c]);
+            let i = interpolate_nearest(&mut a, 3);
+            assert_eq!(i.filled, 0);
+            assert_eq!(catchments_of(&a, 0), vec![c]);
+            let mut b = single_net_series(&[c]);
+            let f = forward_fill(&mut b, usize::MAX);
+            assert_eq!(f.filled, 0);
+            assert_eq!(catchments_of(&b, 0), vec![c]);
+        }
+    }
+
+    #[test]
+    fn interpolate_fill_exactly_at_travel_limit() {
+        // Gap of 6 with limit 3: every cell is at distance <= 3 from its
+        // source, so the whole gap fills — the boundary case where the
+        // farthest fill sits exactly at the cap.
+        let mut codes = vec![s(0)];
+        codes.extend(std::iter::repeat_n(Catchment::Unknown, 6));
+        codes.push(s(1));
+        let mut series = single_net_series(&codes);
+        let stats = interpolate_nearest(&mut series, 3);
+        assert_eq!(
+            stats,
+            FillStats {
+                filled: 6,
+                unfilled: 0
+            }
+        );
+        assert_eq!(
+            catchments_of(&series, 0),
+            vec![s(0), s(0), s(0), s(0), s(1), s(1), s(1), s(1)]
+        );
+        // One wider (gap of 7) and the middle cell is beyond the cap.
+        let mut codes = vec![s(0)];
+        codes.extend(std::iter::repeat_n(Catchment::Unknown, 7));
+        codes.push(s(1));
+        let mut series = single_net_series(&codes);
+        let stats = interpolate_nearest(&mut series, 3);
+        assert_eq!(
+            stats,
+            FillStats {
+                filled: 6,
+                unfilled: 1
+            }
+        );
+        assert_eq!(catchments_of(&series, 0)[4], Catchment::Unknown);
+    }
+
+    #[test]
+    fn forward_fill_exactly_at_travel_limit() {
+        // The cell `limit` steps after the source fills; one step further
+        // does not.
+        let mut series = single_net_series(&[
+            s(0),
+            Catchment::Unknown,
+            Catchment::Unknown,
+            Catchment::Unknown,
+        ]);
+        let stats = forward_fill(&mut series, 3);
+        assert_eq!(
+            stats,
+            FillStats {
+                filled: 3,
+                unfilled: 0
+            }
+        );
+        assert_eq!(catchments_of(&series, 0), vec![s(0); 4]);
+    }
+
+    #[test]
+    fn unknown_runs_at_both_series_boundaries() {
+        // _ _ A B _ _ : the leading run has no left bound and the trailing
+        // run has no right bound; interpolation must leave both alone.
+        let mut series = single_net_series(&[
+            Catchment::Unknown,
+            Catchment::Unknown,
+            s(0),
+            s(1),
+            Catchment::Unknown,
+            Catchment::Unknown,
+        ]);
+        let stats = interpolate_nearest(&mut series, 3);
+        assert_eq!(
+            stats,
+            FillStats {
+                filled: 0,
+                unfilled: 4
+            }
+        );
+        assert_eq!(
+            catchments_of(&series, 0),
+            vec![
+                Catchment::Unknown,
+                Catchment::Unknown,
+                s(0),
+                s(1),
+                Catchment::Unknown,
+                Catchment::Unknown
+            ]
+        );
+        // Forward fill handles the trailing run (from B) but still has no
+        // source for the leading one.
+        let mut series = single_net_series(&[
+            Catchment::Unknown,
+            Catchment::Unknown,
+            s(0),
+            s(1),
+            Catchment::Unknown,
+            Catchment::Unknown,
+        ]);
+        let stats = forward_fill(&mut series, usize::MAX);
+        assert_eq!(
+            stats,
+            FillStats {
+                filled: 2,
+                unfilled: 2
+            }
+        );
+        assert_eq!(
+            catchments_of(&series, 0),
+            vec![
+                Catchment::Unknown,
+                Catchment::Unknown,
+                s(0),
+                s(1),
+                s(1),
+                s(1)
+            ]
+        );
     }
 }

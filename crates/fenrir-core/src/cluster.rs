@@ -140,9 +140,7 @@ impl Dendrogram {
                 let new = match linkage {
                     Linkage::Single => dxm.min(dym),
                     Linkage::Complete => dxm.max(dym),
-                    Linkage::Average => {
-                        (sx as f64 * dxm + sy as f64 * dym) / (sx + sy) as f64
-                    }
+                    Linkage::Average => (sx as f64 * dxm + sy as f64 * dym) / (sx + sy) as f64,
                 };
                 d[x * n + m] = new;
                 d[m * n + x] = new;
@@ -464,7 +462,10 @@ mod tests {
         let ds = Dendrogram::build(&sim, Linkage::Single).unwrap();
         assert_eq!(ds.cluster_count(0.25), 1, "single linkage chains");
         let dc = Dendrogram::build(&sim, Linkage::Complete).unwrap();
-        assert!(dc.cluster_count(0.25) > 1, "complete linkage resists chains");
+        assert!(
+            dc.cluster_count(0.25) > 1,
+            "complete linkage resists chains"
+        );
     }
 
     #[test]
@@ -490,7 +491,10 @@ mod tests {
             height(Linkage::Average),
             height(Linkage::Complete),
         );
-        assert!(s <= a && a <= c, "single {s} <= average {a} <= complete {c}");
+        assert!(
+            s <= a && a <= c,
+            "single {s} <= average {a} <= complete {c}"
+        );
     }
 
     #[test]

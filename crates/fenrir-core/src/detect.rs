@@ -13,6 +13,8 @@
 //! suspected **third-party changes** — per the paper, these are not false
 //! positives but Fenrir's design goal.
 
+use crate::error::{Error, Result};
+use crate::health::CampaignHealth;
 use crate::series::VectorSeries;
 use crate::similarity::{phi, UnknownPolicy};
 use crate::time::Timestamp;
@@ -33,6 +35,48 @@ pub struct DetectedEvent {
     /// `baseline − phi`: how far similarity fell.
     pub magnitude: f64,
 }
+
+/// Why a detection was withheld by the data-quality gate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SuppressReason {
+    /// Measurement coverage around the flagged step was below the floor:
+    /// the apparent routing change is indistinguishable from a
+    /// measurement outage.
+    LowCoverage {
+        /// The lower of the two coverages bracketing the step.
+        coverage: f64,
+        /// The configured floor it fell below.
+        floor: f64,
+    },
+}
+
+/// A detection the gate refused to report as a routing change.
+///
+/// Suppressed events are *recorded*, not dropped: a blackout must show up
+/// as "something happened here, but the data cannot support an alarm",
+/// never as silence.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SuppressedEvent {
+    /// The detection as the ungated detector saw it.
+    pub event: DetectedEvent,
+    /// Why it was withheld.
+    pub reason: SuppressReason,
+}
+
+/// Result of coverage-gated detection: trusted events plus the detections
+/// withheld for data-quality reasons.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GatedDetection {
+    /// Detections at adequately-covered observations.
+    pub events: Vec<DetectedEvent>,
+    /// Detections withheld because the data could not support them.
+    pub suppressed: Vec<SuppressedEvent>,
+}
+
+/// Default coverage floor for [`ChangeDetector::detect_gated`]: below
+/// one-fifth coverage a Φ drop says more about the measurement than about
+/// routing.
+pub const DEFAULT_COVERAGE_FLOOR: f64 = 0.2;
 
 /// Sliding-baseline change detector over consecutive-pair similarities.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -127,6 +171,54 @@ impl ChangeDetector {
         }
         out
     }
+
+    /// Run detection gated by per-observation campaign health.
+    ///
+    /// A detection at step `i → i+1` is only trustworthy when *both*
+    /// bracketing observations were adequately measured: a sweep that
+    /// went dark produces an apparent change both entering and leaving
+    /// the outage. Any detection where the lower of the two coverages is
+    /// below `floor` is moved to [`GatedDetection::suppressed`] instead
+    /// of being reported as a routing change.
+    ///
+    /// `health` must align one-to-one with the series' observations.
+    pub fn detect_gated(
+        &self,
+        series: &VectorSeries,
+        w: &Weights,
+        health: &[CampaignHealth],
+        floor: f64,
+    ) -> Result<GatedDetection> {
+        if !(0.0..=1.0).contains(&floor) {
+            return Err(Error::InvalidParameter {
+                name: "coverage_floor",
+                message: format!("must lie in [0, 1], got {floor}"),
+            });
+        }
+        if health.len() != series.len() {
+            return Err(Error::ShapeMismatch {
+                what: "health series",
+                expected: series.len(),
+                actual: health.len(),
+            });
+        }
+        let mut gated = GatedDetection::default();
+        for event in self.detect(series, w) {
+            // `detect` never fires at index 0, so `index - 1` is in range.
+            let before = health[event.index - 1].coverage();
+            let at = health[event.index].coverage();
+            let coverage = before.min(at);
+            if coverage < floor {
+                gated.suppressed.push(SuppressedEvent {
+                    event,
+                    reason: SuppressReason::LowCoverage { coverage, floor },
+                });
+            } else {
+                gated.events.push(event);
+            }
+        }
+        Ok(gated)
+    }
 }
 
 fn median(xs: &[f64]) -> f64 {
@@ -193,9 +285,10 @@ pub fn group_log_entries(entries: &[LogEntry], gap_secs: i64) -> Vec<EventGroup>
     sorted.sort_by_key(|e| (e.time, e.operator.clone()));
     let mut groups: Vec<EventGroup> = Vec::new();
     for e in sorted {
-        let joined = groups.iter_mut().rev().find(|g| {
-            g.operator == e.operator && (e.time - g.time).abs() <= gap_secs
-        });
+        let joined = groups
+            .iter_mut()
+            .rev()
+            .find(|g| g.operator == e.operator && (e.time - g.time).abs() <= gap_secs);
         match joined {
             Some(g) => {
                 g.entries += 1;
@@ -396,6 +489,64 @@ mod tests {
         assert_eq!(events[0].index, 10);
         assert_eq!(events[0].time, ts(10));
         assert!(events[0].magnitude >= 0.9);
+    }
+
+    /// Health series for `n` observations over 4 targets, all fully covered.
+    fn full_health(n: usize) -> Vec<CampaignHealth> {
+        (0..n)
+            .map(|d| {
+                let mut h = CampaignHealth::new(ts(d as i64), 4);
+                h.responses = 4;
+                h
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gate_passes_well_covered_detections() {
+        let (series, w) = shifting_series();
+        let det = ChangeDetector::default();
+        let gated = det
+            .detect_gated(&series, &w, &full_health(20), DEFAULT_COVERAGE_FLOOR)
+            .unwrap();
+        assert_eq!(gated.events.len(), 1);
+        assert!(gated.suppressed.is_empty());
+        assert_eq!(gated.events[0].index, 10);
+    }
+
+    #[test]
+    fn gate_suppresses_detections_bracketing_low_coverage() {
+        let (series, w) = shifting_series();
+        let mut health = full_health(20);
+        // The sweep *before* the shift went dark: the change cannot be
+        // distinguished from the outage's edge.
+        health[9].responses = 0;
+        let det = ChangeDetector::default();
+        let gated = det.detect_gated(&series, &w, &health, 0.5).unwrap();
+        assert!(gated.events.is_empty(), "{:?}", gated.events);
+        assert_eq!(gated.suppressed.len(), 1);
+        assert_eq!(gated.suppressed[0].event.index, 10);
+        let SuppressReason::LowCoverage { coverage, floor } = gated.suppressed[0].reason;
+        assert_eq!(coverage, 0.0);
+        assert_eq!(floor, 0.5);
+    }
+
+    #[test]
+    fn gate_rejects_misaligned_health() {
+        let (series, w) = shifting_series();
+        let err = ChangeDetector::default()
+            .detect_gated(&series, &w, &full_health(19), 0.2)
+            .unwrap_err();
+        assert!(matches!(err, Error::ShapeMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn gate_rejects_bad_floor() {
+        let (series, w) = shifting_series();
+        let err = ChangeDetector::default()
+            .detect_gated(&series, &w, &full_health(20), 1.5)
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidParameter { .. }), "{err}");
     }
 
     #[test]

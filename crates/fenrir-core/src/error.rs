@@ -12,7 +12,12 @@ use std::fmt;
 pub type Result<T> = std::result::Result<T, Error>;
 
 /// All the ways an analysis step can fail.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Marked `#[non_exhaustive]`: downstream matches must carry a wildcard arm
+/// so the pipeline can grow new failure modes (as it did for campaign
+/// health) without a breaking release.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum Error {
     /// Two objects that must describe the same network population disagree
     /// on length (e.g. a vector of 100 networks against 99 weights).
@@ -39,6 +44,32 @@ pub enum Error {
     },
     /// Weights summed to zero, so the weighted similarity is undefined.
     ZeroWeight,
+    /// An observation's measurement coverage fell below the configured
+    /// floor, so any verdict derived from it would be untrustworthy.
+    CoverageTooLow {
+        /// Index of the offending observation within its series.
+        observation: usize,
+        /// Fraction of targets that produced a usable classification.
+        coverage: f64,
+        /// The configured minimum acceptable coverage.
+        floor: f64,
+    },
+    /// A measurement campaign gave up before producing a usable series
+    /// (e.g. every sweep blew its probe budget or deadline).
+    CampaignAborted {
+        /// Which campaign aborted (e.g. "verfploeter").
+        campaign: &'static str,
+        /// Human-readable description of why.
+        reason: String,
+    },
+    /// A wire-format payload failed to encode or decode.
+    Wire(fenrir_wire::WireError),
+}
+
+impl From<fenrir_wire::WireError> for Error {
+    fn from(e: fenrir_wire::WireError) -> Self {
+        Error::Wire(e)
+    }
 }
 
 impl fmt::Display for Error {
@@ -58,11 +89,30 @@ impl fmt::Display for Error {
                 write!(f, "invalid parameter {name}: {message}")
             }
             Error::ZeroWeight => write!(f, "weights sum to zero; similarity undefined"),
+            Error::CoverageTooLow {
+                observation,
+                coverage,
+                floor,
+            } => write!(
+                f,
+                "coverage {coverage:.3} at observation {observation} is below the floor {floor:.3}"
+            ),
+            Error::CampaignAborted { campaign, reason } => {
+                write!(f, "campaign {campaign} aborted: {reason}")
+            }
+            Error::Wire(e) => write!(f, "wire format error: {e}"),
         }
     }
 }
 
-impl std::error::Error for Error {}
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -103,7 +153,10 @@ mod tests {
             name: "threshold",
             message: "must lie in [0, 1]".into(),
         };
-        assert_eq!(e.to_string(), "invalid parameter threshold: must lie in [0, 1]");
+        assert_eq!(
+            e.to_string(),
+            "invalid parameter threshold: must lie in [0, 1]"
+        );
     }
 
     #[test]
@@ -118,5 +171,42 @@ mod tests {
     fn error_is_std_error() {
         fn takes_err(_: &dyn std::error::Error) {}
         takes_err(&Error::ZeroWeight);
+    }
+
+    #[test]
+    fn display_coverage_too_low() {
+        let e = Error::CoverageTooLow {
+            observation: 7,
+            coverage: 0.125,
+            floor: 0.25,
+        };
+        assert_eq!(
+            e.to_string(),
+            "coverage 0.125 at observation 7 is below the floor 0.250"
+        );
+    }
+
+    #[test]
+    fn display_campaign_aborted() {
+        let e = Error::CampaignAborted {
+            campaign: "verfploeter",
+            reason: "probe budget exhausted on every sweep".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "campaign verfploeter aborted: probe budget exhausted on every sweep"
+        );
+    }
+
+    #[test]
+    fn wire_errors_convert_and_chain() {
+        let wire = fenrir_wire::WireError::Truncated {
+            what: "icmp header",
+            needed: 8,
+        };
+        let e: Error = wire.clone().into();
+        assert_eq!(e, Error::Wire(wire));
+        // The source chain exposes the underlying wire error.
+        assert!(std::error::Error::source(&e).is_some());
     }
 }

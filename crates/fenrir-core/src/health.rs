@@ -1,0 +1,139 @@
+//! Per-observation campaign health records.
+//!
+//! Every measurement sweep — whether it ran cleanly or through injected
+//! faults — produces one [`CampaignHealth`] record describing how much of
+//! the target population actually answered and how hard the runner had to
+//! work to get those answers (retries, quarantines, decode failures).
+//!
+//! The record lives in `fenrir-core` rather than `fenrir-measure` because
+//! the *analysis* side consumes it: change detection uses the coverage
+//! series to refuse to alarm on observations where the measurement itself
+//! was broken (see `detect::ChangeDetector::detect_gated`). Keeping data
+//! quality alongside the data is the paper's own lesson — recurring
+//! "routing changes" in longitudinal studies are often recurring
+//! measurement failures.
+
+use crate::time::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// Health of a single observation (one sweep over all targets).
+///
+/// Counters are cumulative over the sweep, including retries: `attempts`
+/// can exceed `targets`, and `responses <= targets` always holds.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignHealth {
+    /// Observation timestamp (post clock-skew normalisation, if any).
+    pub time: Timestamp,
+    /// Total probe targets in the sweep (blocks, VPs, destinations).
+    pub targets: usize,
+    /// Targets that yielded a usable classification this sweep.
+    pub responses: usize,
+    /// Probe attempts made, including retries.
+    pub attempts: usize,
+    /// Retry attempts (attempts beyond the first per target).
+    pub retries: usize,
+    /// Targets skipped because they were quarantined as persistently
+    /// failing in earlier sweeps.
+    pub quarantined: usize,
+    /// Targets absent this sweep due to an injected churn window or
+    /// blackout.
+    pub churned_out: usize,
+    /// Attempts lost in-network by the injected loss process.
+    pub lost: usize,
+    /// Responses that arrived too late to be used and were retried.
+    pub late: usize,
+    /// Duplicate responses observed (counted, then discarded).
+    pub duplicates: usize,
+    /// Replies that failed wire-format decoding (or decoded to a
+    /// mismatched probe) and were classified Unknown.
+    pub decode_failures: usize,
+    /// The sweep ran out of probe budget before covering every target.
+    pub budget_exhausted: bool,
+    /// The sweep hit its simulated-time deadline before covering every
+    /// target.
+    pub deadline_exceeded: bool,
+}
+
+impl CampaignHealth {
+    /// A fresh all-zero record for a sweep over `targets` targets.
+    pub fn new(time: Timestamp, targets: usize) -> Self {
+        CampaignHealth {
+            time,
+            targets,
+            responses: 0,
+            attempts: 0,
+            retries: 0,
+            quarantined: 0,
+            churned_out: 0,
+            lost: 0,
+            late: 0,
+            duplicates: 0,
+            decode_failures: 0,
+            budget_exhausted: false,
+            deadline_exceeded: false,
+        }
+    }
+
+    /// Fraction of targets that produced a usable classification.
+    ///
+    /// An empty sweep (zero targets) has coverage 0: no data is the same
+    /// as all-dark data for gating purposes.
+    pub fn coverage(&self) -> f64 {
+        if self.targets == 0 {
+            0.0
+        } else {
+            self.responses as f64 / self.targets as f64
+        }
+    }
+
+    /// True when coverage is below `floor` — the sweep should not be
+    /// trusted to witness a routing change.
+    pub fn is_degraded(&self, floor: f64) -> bool {
+        self.coverage() < floor
+    }
+}
+
+/// Mean coverage over a health series (0 for an empty series).
+pub fn mean_coverage(health: &[CampaignHealth]) -> f64 {
+    if health.is_empty() {
+        return 0.0;
+    }
+    health.iter().map(CampaignHealth::coverage).sum::<f64>() / health.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(responses: usize, targets: usize) -> CampaignHealth {
+        let mut h = CampaignHealth::new(Timestamp::from_days(0), targets);
+        h.responses = responses;
+        h
+    }
+
+    #[test]
+    fn coverage_is_response_fraction() {
+        assert_eq!(record(3, 4).coverage(), 0.75);
+        assert_eq!(record(0, 4).coverage(), 0.0);
+        assert_eq!(record(4, 4).coverage(), 1.0);
+    }
+
+    #[test]
+    fn empty_sweep_has_zero_coverage() {
+        assert_eq!(record(0, 0).coverage(), 0.0);
+    }
+
+    #[test]
+    fn degradation_uses_strict_floor() {
+        let h = record(1, 4);
+        assert!(h.is_degraded(0.5));
+        assert!(!h.is_degraded(0.25)); // exactly at the floor is acceptable
+    }
+
+    #[test]
+    fn mean_coverage_averages() {
+        let series = [record(4, 4), record(0, 4), record(2, 4)];
+        assert!((mean_coverage(&series) - 0.5).abs() < 1e-12);
+        assert_eq!(mean_coverage(&[]), 0.0);
+    }
+}

@@ -280,14 +280,8 @@ mod tests {
 
     #[test]
     fn summary_per_site() {
-        let v = RoutingVector::from_catchments(
-            ts(),
-            vec![s(0), s(0), s(1), Catchment::Err],
-        );
-        let panel = LatencyPanel::new(
-            ts(),
-            vec![Some(10.0), Some(30.0), Some(100.0), Some(500.0)],
-        );
+        let v = RoutingVector::from_catchments(ts(), vec![s(0), s(0), s(1), Catchment::Err]);
+        let panel = LatencyPanel::new(ts(), vec![Some(10.0), Some(30.0), Some(100.0), Some(500.0)]);
         let w = Weights::uniform(4);
         let sum = LatencySummary::compute(&v, &panel, &w, 2).unwrap();
         assert_eq!(sum.site(SiteId(0)).samples, 2);
@@ -343,14 +337,10 @@ mod tests {
         let mut series = LatencySeries::default();
         for d in 0..3 {
             let t = Timestamp::from_days(d);
-            let v = RoutingVector::from_catchments(
-                t,
-                vec![if d < 2 { s(0) } else { Catchment::Err }],
-            );
+            let v =
+                RoutingVector::from_catchments(t, vec![if d < 2 { s(0) } else { Catchment::Err }]);
             let panel = LatencyPanel::new(t, vec![Some(200.0 + d as f64)]);
-            series.push(
-                LatencySummary::compute(&v, &panel, &Weights::uniform(1), 1).unwrap(),
-            );
+            series.push(LatencySummary::compute(&v, &panel, &Weights::uniform(1), 1).unwrap());
         }
         // ARI vanishes on day 2 (shut down, like the paper's Chile site).
         let curve = series.p90_curve(SiteId(0));

@@ -56,6 +56,7 @@ pub mod clean;
 pub mod cluster;
 pub mod detect;
 pub mod error;
+pub mod health;
 pub mod heatmap;
 pub mod ids;
 pub mod latency;
@@ -72,8 +73,11 @@ pub mod weight;
 /// Convenient glob-import of the types used by almost every Fenrir program.
 pub mod prelude {
     pub use crate::cluster::{AdaptiveThreshold, Dendrogram, Linkage};
-    pub use crate::detect::{ChangeDetector, DetectedEvent, ValidationReport};
+    pub use crate::detect::{
+        ChangeDetector, DetectedEvent, GatedDetection, SuppressedEvent, ValidationReport,
+    };
     pub use crate::error::{Error, Result};
+    pub use crate::health::CampaignHealth;
     pub use crate::heatmap::Heatmap;
     pub use crate::ids::{NetworkId, SiteId, SiteTable};
     pub use crate::latency::{LatencyPanel, LatencySummary};

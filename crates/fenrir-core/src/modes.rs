@@ -255,13 +255,7 @@ impl ModeAnalysis {
             let spans: Vec<String> = m
                 .intervals
                 .iter()
-                .map(|iv| {
-                    format!(
-                        "{}..{}",
-                        self.times[iv.start],
-                        self.times[iv.end]
-                    )
-                })
+                .map(|iv| format!("{}..{}", self.times[iv.start], self.times[iv.end]))
                 .collect();
             out.push_str(&format!(
                 "mode ({}) | {} obs | Φ in {} | {}{}\n",
@@ -440,7 +434,15 @@ mod tests {
     fn most_similar_mode_finds_the_recurrence_partner() {
         // Three groups: 0..2 (A), 3..4 (B), 5..6 (C). A and C similar (0.3
         // apart), B far from both (0.9).
-        let g = |i: usize| if i < 3 { 0 } else if i < 5 { 1 } else { 2 };
+        let g = |i: usize| {
+            if i < 3 {
+                0
+            } else if i < 5 {
+                1
+            } else {
+                2
+            }
+        };
         let sim = sim_from_dist(7, move |i, j| {
             let (a, b) = (g(i), g(j));
             if a == b {

@@ -157,7 +157,11 @@ mod tests {
         let sites = SiteTable::from_names(["LAX", "AMS"]);
         let mut s = VectorSeries::new(sites, 6);
         for d in 0..12 {
-            let site = if (4..6).contains(&d) { SiteId(1) } else { SiteId(0) };
+            let site = if (4..6).contains(&d) {
+                SiteId(1)
+            } else {
+                SiteId(0)
+            };
             s.push(RoutingVector::from_catchments(
                 Timestamp::from_days(d),
                 vec![Catchment::Site(site); 6],

@@ -90,11 +90,7 @@ impl VectorSeries {
             if v.time() <= last.time() {
                 return Err(Error::InvalidParameter {
                     name: "vector.time",
-                    message: format!(
-                        "out of order: {} does not follow {}",
-                        v.time(),
-                        last.time()
-                    ),
+                    message: format!("out of order: {} does not follow {}", v.time(), last.time()),
                 });
             }
         }
@@ -214,7 +210,14 @@ mod tests {
     fn push_enforces_length() {
         let mut s = VectorSeries::new(table(), 3);
         let err = s.push(RoutingVector::unknown(ts(0), 2)).unwrap_err();
-        assert!(matches!(err, Error::ShapeMismatch { expected: 3, actual: 2, .. }));
+        assert!(matches!(
+            err,
+            Error::ShapeMismatch {
+                expected: 3,
+                actual: 2,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -234,10 +237,7 @@ mod tests {
             RoutingVector::unknown(ts(1), 1),
         ];
         let s = VectorSeries::from_vectors(table(), 1, v).unwrap();
-        assert_eq!(
-            s.times(),
-            vec![ts(0), ts(1), ts(2)]
-        );
+        assert_eq!(s.times(), vec![ts(0), ts(1), ts(2)]);
     }
 
     #[test]

@@ -319,7 +319,10 @@ impl SimilarityMatrix {
 
     /// `[min, max]` of Φ over a set of index pairs — the paper reports mode
     /// similarity as ranges like `Φ in [0.31, 0.65]`.
-    pub fn range_over<I: IntoIterator<Item = (usize, usize)>>(&self, pairs: I) -> Option<(f64, f64)> {
+    pub fn range_over<I: IntoIterator<Item = (usize, usize)>>(
+        &self,
+        pairs: I,
+    ) -> Option<(f64, f64)> {
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
         let mut any = false;
@@ -548,10 +551,7 @@ mod tests {
     fn extend_matches_full_recompute() {
         let (series, w) = small_series();
         // Compute over the 2-observation prefix, then extend to 4.
-        let prefix = series.slice_time(
-            series.get(0).time(),
-            series.get(1).time(),
-        );
+        let prefix = series.slice_time(series.get(0).time(), series.get(1).time());
         for policy in [UnknownPolicy::Pessimistic, UnknownPolicy::KnownOnly] {
             let mut m = SimilarityMatrix::compute(&prefix, &w, policy).unwrap();
             m.extend(&series, &w, policy).unwrap();

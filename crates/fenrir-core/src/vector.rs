@@ -366,7 +366,13 @@ mod tests {
 
     #[test]
     fn code_round_trip_for_all_states() {
-        for c in [site(0), site(41), Catchment::Err, Catchment::Other, Catchment::Unknown] {
+        for c in [
+            site(0),
+            site(41),
+            Catchment::Err,
+            Catchment::Other,
+            Catchment::Unknown,
+        ] {
             assert_eq!(Catchment::from_code(c.code()), c);
         }
     }
@@ -461,7 +467,12 @@ mod tests {
     fn one_hot_rows_sum_to_one() {
         let d = RoutingVector::from_catchments(
             Timestamp::from_days(0),
-            vec![site(0), Catchment::Err, Catchment::Other, Catchment::Unknown],
+            vec![
+                site(0),
+                Catchment::Err,
+                Catchment::Other,
+                Catchment::Unknown,
+            ],
         );
         let m = d.one_hot(2);
         let cols = 5;
@@ -494,10 +505,8 @@ mod tests {
 
     #[test]
     fn iter_yields_catchments_in_order() {
-        let d = RoutingVector::from_catchments(
-            Timestamp::from_days(0),
-            vec![site(1), Catchment::Err],
-        );
+        let d =
+            RoutingVector::from_catchments(Timestamp::from_days(0), vec![site(1), Catchment::Err]);
         let v: Vec<_> = d.iter().collect();
         assert_eq!(v, vec![site(1), Catchment::Err]);
     }

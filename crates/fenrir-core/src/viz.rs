@@ -213,7 +213,15 @@ impl SankeyDiagram {
             .into_iter()
             .map(|((from, to), weight)| SankeyLink { from, to, weight })
             .collect();
-        links.sort_by(|a, b| b.weight.cmp(&a.weight).then(a.from.cmp(&b.from)));
+        // Total order: node ids are deterministic (insertion order above),
+        // so tie-breaking on (from, to) keeps the output stable across
+        // processes — a partial key would leak HashMap drain order.
+        links.sort_by(|a, b| {
+            b.weight
+                .cmp(&a.weight)
+                .then(a.from.cmp(&b.from))
+                .then(a.to.cmp(&b.to))
+        });
         diagram.links = links;
         diagram
     }
@@ -359,9 +367,7 @@ mod tests {
     fn stack_share_zero_denominator() {
         let sites = SiteTable::from_names(["A"]);
         let mut series = VectorSeries::new(sites, 1);
-        series
-            .push(RoutingVector::unknown(ts(0), 1))
-            .unwrap();
+        series.push(RoutingVector::unknown(ts(0), 1)).unwrap();
         let st = StackSeries::from_series(&series);
         assert_eq!(st.share("A", 0), Some(0.0));
     }
@@ -389,14 +395,8 @@ mod tests {
     fn hop_vectors() -> (Vec<RoutingVector>, SiteTable) {
         // Entities: AS1, AS2 at hop 1; AS3, AS4 at hop 2.
         let sites = SiteTable::from_names(["AS1", "AS2", "AS3", "AS4"]);
-        let hop1 = RoutingVector::from_catchments(
-            ts(0),
-            vec![s(0), s(0), s(1), Catchment::Err],
-        );
-        let hop2 = RoutingVector::from_catchments(
-            ts(0),
-            vec![s(2), s(3), s(3), s(3)],
-        );
+        let hop1 = RoutingVector::from_catchments(ts(0), vec![s(0), s(0), s(1), Catchment::Err]);
+        let hop2 = RoutingVector::from_catchments(ts(0), vec![s(2), s(3), s(3), s(3)]);
         (vec![hop1, hop2], sites)
     }
 

@@ -69,7 +69,11 @@ impl Weights {
                     message: format!("prefix length {p} at index {i} exceeds 32"),
                 });
             }
-            let blocks = if p >= 24 { 1.0 } else { f64::from(1u32 << (24 - p)) };
+            let blocks = if p >= 24 {
+                1.0
+            } else {
+                f64::from(1u32 << (24 - p))
+            };
             values.push(blocks);
         }
         Self::from_values(values)

@@ -175,8 +175,7 @@ pub fn release_all(dir: &Path, scale: Scale) -> std::io::Result<Vec<PathBuf>> {
     let wiki = scenarios::wikipedia(scale);
     write(
         "wikipedia-ednscs.jsonl",
-        to_jsonl(&wiki.result.series, &block_labels(&wiki.result.blocks))
-            .expect("aligned labels"),
+        to_jsonl(&wiki.result.series, &block_labels(&wiki.result.blocks)).expect("aligned labels"),
     )?;
 
     write(
@@ -219,7 +218,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("fenrir-release-{}", std::process::id()));
         let written = release_all(&dir, Scale::Test).unwrap();
         assert_eq!(written.len(), 8); // 6 datasets + ground truth + manifest
-        // Every JSONL loads back and is non-empty.
+                                      // Every JSONL loads back and is non-empty.
         for path in &written {
             if path.extension().is_some_and(|e| e == "jsonl") {
                 let contents = std::fs::read_to_string(path).unwrap();

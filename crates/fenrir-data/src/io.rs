@@ -85,8 +85,7 @@ pub fn from_csv(csv: &str) -> Result<(VectorSeries, Vec<String>)> {
             continue;
         }
         let mut parts = line.splitn(3, ',');
-        let (Some(t), Some(net), Some(catch)) = (parts.next(), parts.next(), parts.next())
-        else {
+        let (Some(t), Some(net), Some(catch)) = (parts.next(), parts.next(), parts.next()) else {
             return Err(Error::InvalidParameter {
                 name: "csv row",
                 message: format!("line {}: expected 3 fields", lineno + 2),
@@ -218,7 +217,11 @@ mod tests {
                 vec![s(0), Catchment::Err, Catchment::Other],
             ))
             .unwrap();
-        let labels = vec!["10.0.0.0/24".into(), "10.0.1.0/24".into(), "10.0.2.0/24".into()];
+        let labels = vec![
+            "10.0.0.0/24".into(),
+            "10.0.1.0/24".into(),
+            "10.0.2.0/24".into(),
+        ];
         (series, labels)
     }
 
@@ -297,7 +300,10 @@ mod tests {
             assert_eq!(a, b);
         }
         assert_eq!(
-            back.sites().iter().map(|(_, n)| n.to_owned()).collect::<Vec<_>>(),
+            back.sites()
+                .iter()
+                .map(|(_, n)| n.to_owned())
+                .collect::<Vec<_>>(),
             vec!["LAX".to_owned(), "AMS".to_owned()]
         );
     }

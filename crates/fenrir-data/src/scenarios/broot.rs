@@ -153,7 +153,12 @@ pub fn broot(scale: Scale) -> BrootStudy {
     // Intra-mode events iv.a-iv.d: small third-party disturbances from the
     // weak tail of the candidate list, each bounded so they end with the
     // mid-2023 reversion.
-    let small: Vec<&Disturbance> = tp.iter().rev().filter(|d| d.effect < 0.05).take(3).collect();
+    let small: Vec<&Disturbance> = tp
+        .iter()
+        .rev()
+        .filter(|d| d.effect < 0.05)
+        .take(3)
+        .collect();
     let windows = [(2022, 9, 16), (2023, 2, 12), (2023, 4, 13)];
     for (i, (y, m, d)) in windows.iter().enumerate() {
         let cand = small.get(i).copied().unwrap_or(&tp[tp.len() - 1]);
@@ -208,7 +213,13 @@ impl BrootStudy {
             jitter_ms: 6.0,
             seed: 0xB0077A,
         }
-        .probe(&self.topo, &self.service, &self.scenario, &self.result.blocks, &window)
+        .probe(
+            &self.topo,
+            &self.service,
+            &self.scenario,
+            &self.result.blocks,
+            &window,
+        )
     }
 }
 
@@ -225,10 +236,7 @@ mod tests {
         let s = broot(Scale::Test);
         let outage_lo = Timestamp::from_ymd(2023, 7, 5);
         let outage_hi = Timestamp::from_ymd(2023, 12, 1);
-        assert!(s
-            .times
-            .iter()
-            .all(|&t| t < outage_lo || t >= outage_hi));
+        assert!(s.times.iter().all(|&t| t < outage_lo || t >= outage_hi));
         assert!(s.times.len() > 100, "still plenty of observations");
     }
 
@@ -288,13 +296,9 @@ mod tests {
     fn modes_emerge_and_early_mode_recurs_in_similarity() {
         let s = broot(Scale::Test);
         let w = Weights::uniform(s.result.series.networks());
-        let sim = SimilarityMatrix::compute_parallel(
-            &s.result.series,
-            &w,
-            UnknownPolicy::KnownOnly,
-            4,
-        )
-        .unwrap();
+        let sim =
+            SimilarityMatrix::compute_parallel(&s.result.series, &w, UnknownPolicy::KnownOnly, 4)
+                .unwrap();
         let ma = ModeAnalysis::discover(
             &sim,
             &s.times,

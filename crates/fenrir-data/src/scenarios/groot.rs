@@ -68,7 +68,12 @@ pub fn groot(scale: Scale) -> GrootStudy {
         day(5).plus_secs(16_200).as_secs(),
         "groot-neteng",
     );
-    scenario.drain(str_site, day(7).as_secs(), day(10).as_secs(), "groot-neteng");
+    scenario.drain(
+        str_site,
+        day(7).as_secs(),
+        day(10).as_secs(),
+        "groot-neteng",
+    );
     // Secondary third-party shift for two days starting 2020-03-06 (the
     // paper's smaller CMH→SAT event). Search link-failure candidates and
     // keep the first whose effect on catchments is real but smaller than a

@@ -66,7 +66,12 @@ impl Scale {
 
 /// Observation instants from `start` to `end` (exclusive) every
 /// `step_secs`, thinned by the scale.
-pub(crate) fn cadence(scale: Scale, start: Timestamp, end: Timestamp, step_secs: i64) -> Vec<Timestamp> {
+pub(crate) fn cadence(
+    scale: Scale,
+    start: Timestamp,
+    end: Timestamp,
+    step_secs: i64,
+) -> Vec<Timestamp> {
     let step = step_secs * scale.thin();
     let mut out = Vec::new();
     let mut t = start.as_secs();

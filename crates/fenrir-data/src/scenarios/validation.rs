@@ -17,8 +17,7 @@
 
 use super::Scale;
 use fenrir_core::detect::{
-    group_log_entries, validate, ChangeDetector, EventKind as CoreKind, LogEntry,
-    ValidationReport,
+    group_log_entries, validate, ChangeDetector, EventKind as CoreKind, LogEntry, ValidationReport,
 };
 use fenrir_core::time::Timestamp;
 use fenrir_core::weight::Weights;
@@ -71,7 +70,7 @@ fn shape(scale: Scale) -> Shape {
             vantage_points: 150,
         },
         Scale::Paper => Shape {
-            window_days: 122, // four months
+            window_days: 122,  // four months
             cadence_secs: 960, // 16 min
             duration_secs: 40 * 60,
             spacing_secs: 44 * 3_600,
@@ -87,11 +86,7 @@ const MIN_EFFECT: f64 = 0.02;
 /// Find effective third-party `(who, via)` preference pins: each must shift
 /// at least `MIN_EFFECT` of the vantage points' catchments relative to the
 /// quiescent baseline.
-fn effective_pins(
-    topo: &Topology,
-    service: &AnycastService,
-    vps: &[AsId],
-) -> Vec<(AsId, AsId)> {
+fn effective_pins(topo: &Topology, service: &AnycastService, vps: &[AsId]) -> Vec<(AsId, AsId)> {
     let base = service.routes(topo, &RoutingConfig::default());
     let baseline: Vec<Option<u32>> = vps.iter().map(|&v| base.catchment(v)).collect();
     let effect_of = |cfg: &RoutingConfig| {
@@ -129,11 +124,7 @@ fn effective_pins(
 
 /// Sites whose catchment holds at least `MIN_EFFECT` of the vantage points
 /// (draining them is guaranteed visible).
-fn drainable_sites(
-    topo: &Topology,
-    service: &AnycastService,
-    vps: &[AsId],
-) -> Vec<usize> {
+fn drainable_sites(topo: &Topology, service: &AnycastService, vps: &[AsId]) -> Vec<usize> {
     let base = service.routes(topo, &RoutingConfig::default());
     let mut counts = vec![0usize; service.len()];
     for &v in vps {
@@ -210,7 +201,10 @@ pub fn broot_validation(scale: Scale) -> ValidationStudy {
     let vps = campaign.place_vps(&topo);
     let pins = effective_pins(&topo, &service, &vps);
     let drains = drainable_sites(&topo, &service, &vps);
-    assert!(!pins.is_empty(), "no effective third-party pins in topology");
+    assert!(
+        !pins.is_empty(),
+        "no effective third-party pins in topology"
+    );
     assert!(!drains.is_empty(), "no drainable sites in topology");
 
     let start = Timestamp::from_ymd(2023, 3, 1);
@@ -225,7 +219,12 @@ pub fn broot_validation(scale: Scale) -> ValidationStudy {
     // 17 drains.
     for i in 0..17 {
         let t = next();
-        scenario.drain(drains[i % drains.len()], t, t + sh.duration_secs, "neteng-a");
+        scenario.drain(
+            drains[i % drains.len()],
+            t,
+            t + sh.duration_secs,
+            "neteng-a",
+        );
     }
     // 2 operator TE events (windowed, logged): AS-path prepending from a
     // big site's host when that visibly moves VPs, otherwise a preference

@@ -76,11 +76,13 @@ pub fn google(scale: Scale) -> WebsiteStudy {
     let split = times.partition_point(|&t| t < Timestamp::from_ymd(2020, 1, 1));
     let r2013 = run_era(2013, &times[..split]);
     let r2024 = run_era(2024, &times[split..]);
-    // Stitch the two eras into one series.
+    // Stitch the two eras into one series (and one health record).
     let mut series = r2013.series;
     for v in r2024.series.vectors() {
         series.push(v.clone()).expect("eras are time-ordered");
     }
+    let mut health = r2013.health;
+    health.extend(r2024.health);
     WebsiteStudy {
         topo,
         service,
@@ -89,6 +91,7 @@ pub fn google(scale: Scale) -> WebsiteStudy {
         result: EdnsCsResult {
             series,
             blocks: r2013.blocks,
+            health,
         },
     }
 }
@@ -130,7 +133,11 @@ fn wiki_topology(scale: Scale) -> Topology {
     for (_, lat, lon) in WIKI_SITES {
         let geo = GeoPoint::new(lat, lon);
         let id = topo.add_node(Tier::Regional, geo, vec![]);
-        topo.add_edge(id, transit[rng.gen_range(0..transit.len())], Relationship::Provider);
+        topo.add_edge(
+            id,
+            transit[rng.gen_range(0..transit.len())],
+            Relationship::Provider,
+        );
         regionals.push(id);
     }
     let mut next_block = 10u32 << 16;
@@ -158,7 +165,11 @@ pub fn wikipedia(scale: Scale) -> WebsiteStudy {
     let regionals = topo.tier_members(Tier::Regional);
     let mut service = AnycastService::new("wikipedia");
     for (i, (name, lat, lon)) in WIKI_SITES.iter().enumerate() {
-        service.add_site(name, regionals[i % regionals.len()], GeoPoint::new(*lat, *lon));
+        service.add_site(
+            name,
+            regionals[i % regionals.len()],
+            GeoPoint::new(*lat, *lon),
+        );
     }
     let codfw = service.site_index("codfw").expect("codfw defined");
     let mut scenario = Scenario::new();
@@ -214,9 +225,8 @@ mod tests {
             let t = Timestamp::from_ymd(y, m, d);
             s.times.iter().position(|&x| x >= t).expect("in window")
         };
-        let p = |a: usize, b: usize| {
-            phi(series.get(a), series.get(b), &w, UnknownPolicy::Pessimistic)
-        };
+        let p =
+            |a: usize, b: usize| phi(series.get(a), series.get(b), &w, UnknownPolicy::Pessimistic);
         let intra = p(idx_of(2024, 2, 26), idx_of(2024, 2, 27));
         let cross = p(idx_of(2024, 2, 26), idx_of(2024, 3, 20));
         let era = p(idx_of(2013, 5, 26), idx_of(2024, 3, 1));
@@ -265,9 +275,8 @@ mod tests {
             let t = Timestamp::from_ymd(2025, m, d);
             s.times.iter().position(|&x| x >= t).expect("in window")
         };
-        let p = |a: usize, b: usize| {
-            phi(series.get(a), series.get(b), &w, UnknownPolicy::KnownOnly)
-        };
+        let p =
+            |a: usize, b: usize| phi(series.get(a), series.get(b), &w, UnknownPolicy::KnownOnly);
         // Stable within mode (i).
         let stable = p(idx_of(3, 15), idx_of(3, 17));
         assert!(stable > 0.9, "intra-mode Φ {stable}");

@@ -14,6 +14,10 @@
 //! answer with identifiers like `"b4-lax"`; an unknown identifier (a site
 //! the mapping has not learned) decodes to [`Catchment::Other`].
 
+use crate::fault::FaultPlan;
+use crate::runner::{CampaignRunner, ProbeOutcome, ProbeReply, RunnerConfig};
+use fenrir_core::error::{Error, Result};
+use fenrir_core::health::CampaignHealth;
 use fenrir_core::ids::{SiteId, SiteTable};
 use fenrir_core::series::VectorSeries;
 use fenrir_core::time::Timestamp;
@@ -63,6 +67,8 @@ pub struct AtlasResult {
     pub series: VectorSeries,
     /// Host AS of each VP.
     pub vp_ases: Vec<AsId>,
+    /// Per-observation campaign health, aligned with the series.
+    pub health: Vec<CampaignHealth>,
 }
 
 impl AtlasCampaign {
@@ -88,6 +94,32 @@ impl AtlasCampaign {
         scenario: &Scenario,
         times: &[Timestamp],
     ) -> AtlasResult {
+        self.run_with(topo, base, scenario, times, &RunnerConfig::default(), None)
+            .expect("default atlas campaign cannot fail")
+    }
+
+    /// Run the campaign under an explicit execution policy and an
+    /// optional fault plan. `run` is `run_with` with defaults.
+    pub fn run_with(
+        &self,
+        topo: &Topology,
+        base: &AnycastService,
+        scenario: &Scenario,
+        times: &[Timestamp],
+        cfg: &RunnerConfig,
+        faults: Option<&FaultPlan>,
+    ) -> Result<AtlasResult> {
+        for (name, p) in [
+            ("loss_prob", self.loss_prob),
+            ("unmapped_identifier_prob", self.unmapped_identifier_prob),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(Error::InvalidParameter {
+                    name,
+                    message: format!("must lie in [0, 1], got {p}"),
+                });
+            }
+        }
         let vp_ases = self.place_vps(topo);
         let sites = SiteTable::from_names(base.sites().iter().map(|s| s.name.as_str()));
         // Identifier mapping: "b4-<lowercase site>" -> site, as built from
@@ -100,67 +132,105 @@ impl AtlasCampaign {
             .collect();
 
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed.wrapping_add(1));
-        let mut series = VectorSeries::new(sites, vp_ases.len());
+        let mut runner = CampaignRunner::new(cfg, faults, vp_ases.len(), times.len())?;
+        let mut rows: Vec<RoutingVector> = Vec::with_capacity(times.len());
         for &t in times {
             let svc = scenario.service_at(base, t.as_secs());
-            let cfg = scenario.config_at(t.as_secs());
-            let routes = svc.routes(topo, &cfg);
+            let cfg_t = scenario.config_at(t.as_secs());
+            let routes = svc.routes(topo, &cfg_t);
+            runner.begin_sweep(t);
             let mut v = RoutingVector::unknown(t, vp_ases.len());
             for (n, &vp) in vp_ases.iter().enumerate() {
-                if rng.gen_bool(self.loss_prob) {
-                    continue; // timeout: stays Unknown
-                }
-                // Real wire round trip: the CHAOS query travels inside a
-                // UDP/IPv4 datagram from the VP to the anycast prefix.
-                let vp_addr = [100, 64, (n >> 8) as u8, n as u8];
-                let service_addr = [192, 0, 2, 1];
-                let query = Message::chaos_hostname_bind(n as u16);
-                let qbytes = query.encode().expect("query encodes");
-                let dgram = UdpDatagram::new(33_000 + n as u16, DNS_PORT, qbytes)
-                    .into_ipv4(vp_addr, service_addr)
-                    .expect("datagram fits");
-                let on_wire = dgram.encode().expect("packet encodes");
-                let at_site = Ipv4Packet::decode(&on_wire).expect("site parses IP");
-                let udp_in = UdpDatagram::from_ipv4(&at_site).expect("site parses UDP");
-                debug_assert_eq!(udp_in.dst_port, DNS_PORT);
-                let at_server = Message::decode(&udp_in.payload).expect("server parses query");
-                let Some(site) = routes.catchment(vp) else {
-                    // Query reached no site at all.
-                    v.set(n, Catchment::Err);
-                    continue;
-                };
-                // ... identifier back. Occasionally a site announces an
-                // identifier the mapping has not learned.
-                let unmapped = rng.gen_bool(self.unmapped_identifier_prob);
-                let ident = if unmapped {
-                    format!("anon-{site}")
-                } else {
-                    format!("b4-{}", svc.sites()[site as usize].name.to_lowercase())
-                };
-                let mut resp = at_server.response_to(Rcode::NoError);
-                resp.answers.push(Record::txt(
-                    at_server.questions[0].name.clone(),
-                    QClass::Chaos,
-                    0,
-                    ident.as_bytes(),
-                ));
-                let rbytes = resp.encode().expect("response encodes");
-                let rdgram = UdpDatagram::new(DNS_PORT, udp_in.src_port, rbytes)
-                    .into_ipv4(service_addr, vp_addr)
-                    .expect("datagram fits");
-                let back_wire = rdgram.encode().expect("packet encodes");
-                let at_vp_ip = Ipv4Packet::decode(&back_wire).expect("vp parses IP");
-                let udp_back = UdpDatagram::from_ipv4(&at_vp_ip).expect("vp parses UDP");
-                let at_vp = Message::decode(&udp_back.payload).expect("vp parses response");
-                let got = at_vp.first_txt().expect("txt answer present");
-                match mapping.get(&got) {
-                    Some(&sid) => v.set(n, Catchment::Site(sid)),
-                    None => v.set(n, Catchment::Other),
+                let outcome = runner.probe(n, |wire| {
+                    if rng.gen_bool(self.loss_prob) {
+                        return ProbeReply::NoResponse; // timeout
+                    }
+                    // Real wire round trip: the CHAOS query travels inside
+                    // a UDP/IPv4 datagram from the VP to the anycast
+                    // prefix, and may be mangled in either direction.
+                    let vp_addr = [100, 64, (n >> 8) as u8, n as u8];
+                    let service_addr = [192, 0, 2, 1];
+                    let query = Message::chaos_hostname_bind(n as u16);
+                    let qbytes = query.encode().expect("query encodes");
+                    let dgram = UdpDatagram::new(33_000 + n as u16, DNS_PORT, qbytes)
+                        .into_ipv4(vp_addr, service_addr)
+                        .expect("datagram fits");
+                    let mut on_wire = dgram.encode().expect("packet encodes");
+                    wire.corrupt(&mut on_wire);
+                    let (udp_in, at_server) = match Ipv4Packet::decode(&on_wire)
+                        .and_then(|ip| UdpDatagram::from_ipv4(&ip))
+                        .and_then(|udp| Message::decode(&udp.payload).map(|m| (udp, m)))
+                    {
+                        Ok(parsed) => parsed,
+                        // The site could not parse the query: it never
+                        // answers, and the VP records a failure.
+                        Err(_) => return ProbeReply::DecodeFailure,
+                    };
+                    if udp_in.dst_port != DNS_PORT {
+                        return ProbeReply::DecodeFailure;
+                    }
+                    let Some(site) = routes.catchment(vp) else {
+                        // Query reached no site at all.
+                        return ProbeReply::Response(Catchment::Err);
+                    };
+                    // ... identifier back. Occasionally a site announces
+                    // an identifier the mapping has not learned.
+                    let unmapped = rng.gen_bool(self.unmapped_identifier_prob);
+                    let ident = if unmapped {
+                        format!("anon-{site}")
+                    } else {
+                        format!("b4-{}", svc.sites()[site as usize].name.to_lowercase())
+                    };
+                    let mut resp = at_server.response_to(Rcode::NoError);
+                    resp.answers.push(Record::txt(
+                        at_server.questions[0].name.clone(),
+                        QClass::Chaos,
+                        0,
+                        ident.as_bytes(),
+                    ));
+                    let rbytes = resp.encode().expect("response encodes");
+                    let rdgram = UdpDatagram::new(DNS_PORT, udp_in.src_port, rbytes)
+                        .into_ipv4(service_addr, vp_addr)
+                        .expect("datagram fits");
+                    let mut back_wire = rdgram.encode().expect("packet encodes");
+                    wire.corrupt(&mut back_wire);
+                    let at_vp = match Ipv4Packet::decode(&back_wire)
+                        .and_then(|ip| UdpDatagram::from_ipv4(&ip))
+                        .and_then(|udp| Message::decode(&udp.payload))
+                    {
+                        Ok(m) => m,
+                        Err(_) => return ProbeReply::DecodeFailure,
+                    };
+                    // A mangled-but-parseable answer that lost its TXT or
+                    // its transaction id is discarded, never mapped.
+                    if at_vp.header.id != n as u16 {
+                        return ProbeReply::DecodeFailure;
+                    }
+                    let Some(got) = at_vp.first_txt() else {
+                        return ProbeReply::DecodeFailure;
+                    };
+                    match mapping.get(&got) {
+                        Some(&sid) => ProbeReply::Response(Catchment::Site(sid)),
+                        None => ProbeReply::Response(Catchment::Other),
+                    }
+                });
+                if let ProbeOutcome::Response(c) = outcome {
+                    v.set(n, c);
                 }
             }
-            series.push(v).expect("times strictly increasing");
+            rows.push(v);
         }
-        AtlasResult { series, vp_ases }
+        let (order, health) = runner.finish();
+        let mut series = VectorSeries::new(sites, vp_ases.len());
+        for &(orig, t) in &order {
+            let v = RoutingVector::from_codes(t, rows[orig].codes().to_vec());
+            series.push(v).expect("normalised times strictly increase");
+        }
+        Ok(AtlasResult {
+            series,
+            vp_ases,
+            health,
+        })
     }
 }
 

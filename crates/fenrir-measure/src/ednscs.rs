@@ -19,6 +19,10 @@
 //! A-record answer back, with the front-end identity encoded in the
 //! address.
 
+use crate::fault::FaultPlan;
+use crate::runner::{CampaignRunner, ProbeOutcome, ProbeReply, RunnerConfig, WireFault};
+use fenrir_core::error::{Error, Result};
+use fenrir_core::health::CampaignHealth;
 use fenrir_core::ids::{SiteId, SiteTable};
 use fenrir_core::series::VectorSeries;
 use fenrir_core::time::Timestamp;
@@ -79,6 +83,8 @@ pub struct EdnsCsResult {
     pub series: VectorSeries,
     /// The client blocks, aligned with vector positions.
     pub blocks: Vec<BlockId>,
+    /// Per-observation campaign health, aligned with the series.
+    pub health: Vec<CampaignHealth>,
 }
 
 /// Stable per-block hash (splitmix-style) for deterministic policies.
@@ -103,10 +109,46 @@ impl EdnsCsCampaign {
         scenario: &Scenario,
         times: &[Timestamp],
     ) -> EdnsCsResult {
+        self.run_with(topo, base, scenario, times, &RunnerConfig::default(), None)
+            .expect("default edns-cs campaign cannot fail")
+    }
+
+    /// Like [`run`](Self::run), but executed through a configurable
+    /// [`CampaignRunner`] with an optional fault plan.
+    pub fn run_with(
+        &self,
+        topo: &Topology,
+        base: &AnycastService,
+        scenario: &Scenario,
+        times: &[Timestamp],
+        cfg: &RunnerConfig,
+        faults: Option<&FaultPlan>,
+    ) -> Result<EdnsCsResult> {
+        if !(0.0..=1.0).contains(&self.loss_prob) {
+            return Err(Error::InvalidParameter {
+                name: "loss_prob",
+                message: format!("must lie in [0, 1], got {}", self.loss_prob),
+            });
+        }
         let blocks: Vec<BlockId> = topo.all_blocks().iter().map(|&(b, _)| b).collect();
         match &self.policy {
             FrontendPolicy::Geo { sticky_return_frac } => {
-                self.run_geo(topo, base, scenario, times, &blocks, *sticky_return_frac)
+                if !(0.0..=1.0).contains(sticky_return_frac) {
+                    return Err(Error::InvalidParameter {
+                        name: "sticky_return_frac",
+                        message: format!("must lie in [0, 1], got {sticky_return_frac}"),
+                    });
+                }
+                self.run_geo(
+                    topo,
+                    base,
+                    scenario,
+                    times,
+                    &blocks,
+                    *sticky_return_frac,
+                    cfg,
+                    faults,
+                )
             }
             FrontendPolicy::Churn {
                 clusters,
@@ -114,37 +156,75 @@ impl EdnsCsCampaign {
                 era,
                 sticky_frac,
                 daily_churn,
-            } => self.run_churn(
-                times,
-                &blocks,
-                *clusters,
-                *epoch_secs,
-                *era,
-                *sticky_frac,
-                *daily_churn,
-            ),
+            } => {
+                for (name, p) in [("sticky_frac", *sticky_frac), ("daily_churn", *daily_churn)] {
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(Error::InvalidParameter {
+                            name,
+                            message: format!("must lie in [0, 1], got {p}"),
+                        });
+                    }
+                }
+                if *clusters == 0 {
+                    return Err(Error::InvalidParameter {
+                        name: "clusters",
+                        message: "need at least one front-end cluster".into(),
+                    });
+                }
+                if *epoch_secs < 1 {
+                    return Err(Error::InvalidParameter {
+                        name: "epoch_secs",
+                        message: format!("must be at least 1 second, got {epoch_secs}"),
+                    });
+                }
+                self.run_churn(
+                    times,
+                    &blocks,
+                    *clusters,
+                    *epoch_secs,
+                    *era,
+                    *sticky_frac,
+                    *daily_churn,
+                    cfg,
+                    faults,
+                )
+            }
         }
     }
 
     /// One wire round trip: the ECS query travels inside UDP/IPv4 from the
     /// vantage point to the authoritative server; the A answer carries the
-    /// assigned front-end, echoed back the same way.
-    fn wire_round_trip(&self, qid: u16, block: BlockId, site_idx: u16) -> u16 {
+    /// assigned front-end, echoed back the same way. Both directions pass
+    /// through `wire` so a fault plan can corrupt them; any decode failure
+    /// or mismatch against the query yields `None`.
+    fn wire_round_trip(
+        &self,
+        qid: u16,
+        block: BlockId,
+        site_idx: u16,
+        wire: &mut WireFault<'_>,
+    ) -> Option<u16> {
         let vantage = [198, 51, 100, 7];
         let auth = [192, 0, 2, 33];
         let mut q = Message::query(qid, &self.hostname, QType::A, QClass::In);
         q.set_client_subnet(ClientSubnet::ipv4(block.addr(0), 24));
         let qbytes = q.encode().expect("query encodes");
-        let wire = UdpDatagram::new(40_000 ^ qid, DNS_PORT, qbytes)
+        let mut out = UdpDatagram::new(40_000 ^ qid, DNS_PORT, qbytes)
             .into_ipv4(vantage, auth)
             .expect("datagram fits")
             .encode()
             .expect("packet encodes");
-        let at_ip = Ipv4Packet::decode(&wire).expect("server parses IP");
-        let at_udp = UdpDatagram::from_ipv4(&at_ip).expect("server parses UDP");
-        let at_server = Message::decode(&at_udp.payload).expect("server parses");
-        let ecs = at_server.client_subnet().expect("ecs present");
-        debug_assert_eq!(ecs.slash24(), Some(block.0));
+        wire.corrupt(&mut out);
+        let at_ip = Ipv4Packet::decode(&out).ok()?;
+        let at_udp = UdpDatagram::from_ipv4(&at_ip).ok()?;
+        let at_server = Message::decode(&at_udp.payload).ok()?;
+        if at_udp.dst_port != DNS_PORT || at_server.questions.is_empty() {
+            return None;
+        }
+        let ecs = at_server.client_subnet()?;
+        if ecs.slash24() != Some(block.0) {
+            return None;
+        }
         let mut resp = at_server.response_to(Rcode::NoError);
         resp.answers.push(Record::a(
             at_server.questions[0].name.clone(),
@@ -152,18 +232,23 @@ impl EdnsCsCampaign {
             [198, 18, (site_idx >> 8) as u8, site_idx as u8],
         ));
         let rbytes = resp.encode().expect("response encodes");
-        let back = UdpDatagram::new(DNS_PORT, at_udp.src_port, rbytes)
+        let mut back = UdpDatagram::new(DNS_PORT, at_udp.src_port, rbytes)
             .into_ipv4(auth, vantage)
             .expect("datagram fits")
             .encode()
             .expect("packet encodes");
-        let back_ip = Ipv4Packet::decode(&back).expect("client parses IP");
-        let back_udp = UdpDatagram::from_ipv4(&back_ip).expect("client parses UDP");
-        let at_client = Message::decode(&back_udp.payload).expect("client parses");
-        let addr = at_client.a_addrs()[0];
-        (u16::from(addr[2]) << 8) | u16::from(addr[3])
+        wire.corrupt(&mut back);
+        let back_ip = Ipv4Packet::decode(&back).ok()?;
+        let back_udp = UdpDatagram::from_ipv4(&back_ip).ok()?;
+        let at_client = Message::decode(&back_udp.payload).ok()?;
+        if at_client.header.id != qid {
+            return None;
+        }
+        let addr = *at_client.a_addrs().first()?;
+        Some((u16::from(addr[2]) << 8) | u16::from(addr[3]))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_geo(
         &self,
         topo: &Topology,
@@ -172,7 +257,9 @@ impl EdnsCsCampaign {
         times: &[Timestamp],
         blocks: &[BlockId],
         sticky_return_frac: f64,
-    ) -> EdnsCsResult {
+        cfg: &RunnerConfig,
+        faults: Option<&FaultPlan>,
+    ) -> Result<EdnsCsResult> {
         let sites = SiteTable::from_names(base.sites().iter().map(|s| s.name.as_str()));
         let block_geo: Vec<_> = blocks
             .iter()
@@ -188,51 +275,74 @@ impl EdnsCsCampaign {
             .collect();
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let mut current: Vec<Option<u16>> = vec![None; blocks.len()];
-        let mut series = VectorSeries::new(sites, blocks.len());
+        let mut runner = CampaignRunner::new(cfg, faults, blocks.len(), times.len())?;
+        let mut rows: Vec<RoutingVector> = Vec::with_capacity(times.len());
         for &t in times {
             let svc = scenario.service_at(base, t.as_secs());
             let active: Vec<usize> = (0..svc.len()).filter(|&i| svc.is_active(i)).collect();
+            runner.begin_sweep(t);
             let mut v = RoutingVector::unknown(t, blocks.len());
             for (n, &block) in blocks.iter().enumerate() {
-                if rng.gen_bool(self.loss_prob) {
-                    continue;
-                }
-                if active.is_empty() {
-                    v.set(n, Catchment::Err);
-                    continue;
-                }
-                let nearest = *active
-                    .iter()
-                    .min_by(|&&a, &&b| {
-                        let da = block_geo[n].distance_km(svc.sites()[a].geo);
-                        let db = block_geo[n].distance_km(svc.sites()[b].geo);
-                        da.partial_cmp(&db).expect("finite")
-                    })
-                    .expect("active nonempty");
-                let assigned = match current[n] {
-                    // Current site still active: sticky blocks move back to
-                    // their nearest site when it differs; others stay.
-                    Some(cur) if active.contains(&(cur as usize)) => {
-                        if returns[n] {
-                            nearest as u16
-                        } else {
-                            cur
-                        }
+                let cur = current[n];
+                let outcome = runner.probe(n, |wire| {
+                    if rng.gen_bool(self.loss_prob) {
+                        return ProbeReply::NoResponse;
                     }
-                    // Current site gone (or first observation): nearest
-                    // active site.
-                    _ => nearest as u16,
-                };
-                let echoed = self.wire_round_trip(n as u16, block, assigned);
-                current[n] = Some(echoed);
-                v.set(n, Catchment::Site(SiteId(echoed)));
+                    if active.is_empty() {
+                        // No active front-end anywhere: a hard error, not a
+                        // timeout.
+                        return ProbeReply::Response(None);
+                    }
+                    let nearest = *active
+                        .iter()
+                        .min_by(|&&a, &&b| {
+                            let da = block_geo[n].distance_km(svc.sites()[a].geo);
+                            let db = block_geo[n].distance_km(svc.sites()[b].geo);
+                            da.partial_cmp(&db).expect("finite")
+                        })
+                        .expect("active nonempty");
+                    let assigned = match cur {
+                        // Current site still active: sticky blocks move back
+                        // to their nearest site when it differs; others stay.
+                        Some(cur) if active.contains(&(cur as usize)) => {
+                            if returns[n] {
+                                nearest as u16
+                            } else {
+                                cur
+                            }
+                        }
+                        // Current site gone (or first observation): nearest
+                        // active site.
+                        _ => nearest as u16,
+                    };
+                    match self.wire_round_trip(n as u16, block, assigned, wire) {
+                        Some(echoed) => ProbeReply::Response(Some(echoed)),
+                        None => ProbeReply::DecodeFailure,
+                    }
+                });
+                match outcome {
+                    ProbeOutcome::Response(Some(echoed)) => {
+                        current[n] = Some(echoed);
+                        v.set(n, Catchment::Site(SiteId(echoed)));
+                    }
+                    ProbeOutcome::Response(None) => v.set(n, Catchment::Err),
+                    ProbeOutcome::Unknown => {}
+                }
             }
-            series.push(v).expect("times strictly increasing");
+            rows.push(v);
         }
-        EdnsCsResult {
+        let (order, health) = runner.finish();
+        let mut series = VectorSeries::new(sites, blocks.len());
+        for (orig, t) in order {
+            series
+                .push(RoutingVector::from_codes(t, rows[orig].codes().to_vec()))
+                .expect("times strictly increasing");
+        }
+        Ok(EdnsCsResult {
             series,
             blocks: blocks.to_vec(),
-        }
+            health,
+        })
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -245,39 +355,57 @@ impl EdnsCsCampaign {
         era: u64,
         sticky_frac: f64,
         daily_churn: f64,
-    ) -> EdnsCsResult {
+        cfg: &RunnerConfig,
+        faults: Option<&FaultPlan>,
+    ) -> Result<EdnsCsResult> {
         let sites = SiteTable::from_names((0..clusters).map(|i| format!("fe-{i:03}")));
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
-        let mut series = VectorSeries::new(sites, blocks.len());
+        let mut runner = CampaignRunner::new(cfg, faults, blocks.len(), times.len())?;
+        let mut rows: Vec<RoutingVector> = Vec::with_capacity(times.len());
         for &t in times {
             let epoch = t.as_secs().div_euclid(epoch_secs) as u64;
+            runner.begin_sweep(t);
             let mut v = RoutingVector::unknown(t, blocks.len());
             for (n, &block) in blocks.iter().enumerate() {
-                if rng.gen_bool(self.loss_prob) {
-                    continue;
+                let outcome = runner.probe(n, |wire| {
+                    if rng.gen_bool(self.loss_prob) {
+                        return ProbeReply::NoResponse;
+                    }
+                    let b = u64::from(block.0);
+                    let sticky = (hash2(b, era ^ 0x571C) as f64 / u64::MAX as f64) < sticky_frac;
+                    let cluster = if sticky {
+                        // Sticky blocks keep one era-stable cluster.
+                        hash2(b, era) as usize % clusters
+                    } else if rng.gen_bool(daily_churn) {
+                        // Transient intra-week churn.
+                        hash2(b, era ^ hash2(epoch, t.as_secs() as u64)) as usize % clusters
+                    } else {
+                        // Week-stable assignment.
+                        hash2(b, era ^ mix(epoch)) as usize % clusters
+                    };
+                    match self.wire_round_trip(n as u16, block, cluster as u16, wire) {
+                        Some(echoed) => ProbeReply::Response(echoed),
+                        None => ProbeReply::DecodeFailure,
+                    }
+                });
+                if let ProbeOutcome::Response(echoed) = outcome {
+                    v.set(n, Catchment::Site(SiteId(echoed)));
                 }
-                let b = u64::from(block.0);
-                let sticky =
-                    (hash2(b, era ^ 0x571C) as f64 / u64::MAX as f64) < sticky_frac;
-                let cluster = if sticky {
-                    // Sticky blocks keep one era-stable cluster.
-                    hash2(b, era) as usize % clusters
-                } else if rng.gen_bool(daily_churn) {
-                    // Transient intra-week churn.
-                    hash2(b, era ^ hash2(epoch, t.as_secs() as u64)) as usize % clusters
-                } else {
-                    // Week-stable assignment.
-                    hash2(b, era ^ mix(epoch)) as usize % clusters
-                };
-                let echoed = self.wire_round_trip(n as u16, block, cluster as u16);
-                v.set(n, Catchment::Site(SiteId(echoed)));
             }
-            series.push(v).expect("times strictly increasing");
+            rows.push(v);
         }
-        EdnsCsResult {
+        let (order, health) = runner.finish();
+        let mut series = VectorSeries::new(sites, blocks.len());
+        for (orig, t) in order {
+            series
+                .push(RoutingVector::from_codes(t, rows[orig].codes().to_vec()))
+                .expect("times strictly increasing");
+        }
+        Ok(EdnsCsResult {
             series,
             blocks: blocks.to_vec(),
-        }
+            health,
+        })
     }
 }
 

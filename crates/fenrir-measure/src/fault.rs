@@ -1,0 +1,595 @@
+//! Composable, seed-deterministic fault injection for measurement
+//! campaigns.
+//!
+//! The paper's longitudinal datasets are full of *measurement* pathology —
+//! bursty loss, vantage points that vanish for days, replies that arrive
+//! late, duplicated, or mangled — and the analysis must tell those apart
+//! from routing changes. A [`FaultPlan`] describes which pathologies to
+//! inject into a simulated campaign; [`FaultPlan::session`] freezes the
+//! plan into a [`FaultSession`] whose every draw comes from its own
+//! `ChaCha8Rng`, so fault injection never perturbs the measurement
+//! simulators' random streams: a campaign with `FaultPlan::new(s)` and no
+//! faults enabled is byte-identical to one run without a plan at all.
+//!
+//! Fault dimensions (all optional, freely composable):
+//!
+//! * **Bursty loss** — a per-target Gilbert–Elliott two-state chain;
+//!   losses cluster in bad states rather than landing i.i.d.
+//! * **VP churn** — whole vantage points disappear for a contiguous
+//!   window of observations, plus an optional total **blackout** window.
+//! * **Response timing** — replies duplicated or delayed past their
+//!   usefulness window.
+//! * **Clock skew** — observation timestamps jittered (and possibly
+//!   reordered); the campaign runner re-normalises them.
+//! * **Wire corruption** — bit flips and truncation applied to encoded
+//!   ICMP/DNS payloads, so decode failures exercise the real parsers.
+
+use fenrir_core::error::{Error, Result};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Gilbert–Elliott bursty-loss process: a per-target two-state Markov
+/// chain with distinct loss rates in the good and bad states.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstyLoss {
+    /// Per-observation probability of transitioning good → bad.
+    pub p_enter_bad: f64,
+    /// Per-observation probability of transitioning bad → good.
+    pub p_exit_bad: f64,
+    /// Loss probability per attempt while in the good state.
+    pub loss_good: f64,
+    /// Loss probability per attempt while in the bad state.
+    pub loss_bad: f64,
+}
+
+impl Default for BurstyLoss {
+    fn default() -> Self {
+        BurstyLoss {
+            p_enter_bad: 0.05,
+            p_exit_bad: 0.4,
+            loss_good: 0.05,
+            loss_bad: 0.9,
+        }
+    }
+}
+
+impl BurstyLoss {
+    /// Stationary fraction of time spent in the bad state.
+    pub fn bad_fraction(&self) -> f64 {
+        let denom = self.p_enter_bad + self.p_exit_bad;
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.p_enter_bad / denom
+        }
+    }
+
+    /// Long-run mean per-attempt loss probability.
+    pub fn mean_loss(&self) -> f64 {
+        let bad = self.bad_fraction();
+        (1.0 - bad) * self.loss_good + bad * self.loss_bad
+    }
+}
+
+/// Vantage-point churn: a fraction of targets go dark for one contiguous
+/// window of observations each.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VpChurn {
+    /// Fraction of targets that churn at all.
+    pub churn_frac: f64,
+    /// Shortest absence, in observations.
+    pub min_window: usize,
+    /// Longest absence, in observations.
+    pub max_window: usize,
+}
+
+impl Default for VpChurn {
+    fn default() -> Self {
+        VpChurn {
+            churn_frac: 0.2,
+            min_window: 2,
+            max_window: 6,
+        }
+    }
+}
+
+/// Response duplication and late arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ResponseTiming {
+    /// Probability a successful reply is also duplicated (duplicates are
+    /// counted and discarded — they must never double-classify).
+    pub dup_prob: f64,
+    /// Probability a successful reply arrives too late to use (it is
+    /// counted as late and the attempt treated as lost).
+    pub delay_prob: f64,
+}
+
+/// Observation-timestamp skew: each sweep's nominal time is jittered by
+/// up to `max_skew_secs` either way, possibly reordering sweeps. The
+/// campaign runner restores strict time order afterwards.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClockSkew {
+    /// Maximum absolute skew, in seconds.
+    pub max_skew_secs: i64,
+}
+
+/// Wire-level corruption of encoded probe/response payloads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireCorruption {
+    /// Probability a payload is corrupted at all.
+    pub corrupt_prob: f64,
+    /// Up to this many random bit flips per corrupted payload.
+    pub max_bit_flips: usize,
+    /// Probability a corrupted payload is additionally truncated.
+    pub truncate_prob: f64,
+}
+
+impl Default for WireCorruption {
+    fn default() -> Self {
+        WireCorruption {
+            corrupt_prob: 0.01,
+            max_bit_flips: 4,
+            truncate_prob: 0.25,
+        }
+    }
+}
+
+/// A composable description of what to break in a campaign.
+///
+/// Every dimension is optional; `FaultPlan::new(seed)` with nothing
+/// enabled injects no faults and makes no random draws.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Seed for the fault RNG (separate from the campaign's seed).
+    pub seed: u64,
+    /// Bursty (Gilbert–Elliott) loss.
+    pub loss: Option<BurstyLoss>,
+    /// Per-VP churn windows.
+    pub churn: Option<VpChurn>,
+    /// Total blackout: *every* target is dark for observations in
+    /// `[start, end)`.
+    pub blackout: Option<(usize, usize)>,
+    /// Duplication and delay of responses.
+    pub timing: Option<ResponseTiming>,
+    /// Observation clock skew.
+    pub skew: Option<ClockSkew>,
+    /// Wire payload corruption.
+    pub corruption: Option<WireCorruption>,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults enabled.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Enable Gilbert–Elliott bursty loss.
+    pub fn with_bursty_loss(mut self, loss: BurstyLoss) -> Self {
+        self.loss = Some(loss);
+        self
+    }
+
+    /// Enable per-VP churn windows.
+    pub fn with_vp_churn(mut self, churn: VpChurn) -> Self {
+        self.churn = Some(churn);
+        self
+    }
+
+    /// Black out every target for observations in `[start, end)`.
+    pub fn with_blackout(mut self, start: usize, end: usize) -> Self {
+        self.blackout = Some((start, end));
+        self
+    }
+
+    /// Enable response duplication/delay.
+    pub fn with_response_timing(mut self, timing: ResponseTiming) -> Self {
+        self.timing = Some(timing);
+        self
+    }
+
+    /// Enable observation clock skew.
+    pub fn with_clock_skew(mut self, skew: ClockSkew) -> Self {
+        self.skew = Some(skew);
+        self
+    }
+
+    /// Enable wire payload corruption.
+    pub fn with_wire_corruption(mut self, corruption: WireCorruption) -> Self {
+        self.corruption = Some(corruption);
+        self
+    }
+
+    /// Check every probability and window for validity.
+    pub fn validate(&self) -> Result<()> {
+        fn prob(name: &'static str, p: f64) -> Result<()> {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(Error::InvalidParameter {
+                    name,
+                    message: format!("must lie in [0, 1], got {p}"),
+                });
+            }
+            Ok(())
+        }
+        if let Some(l) = &self.loss {
+            prob("loss.p_enter_bad", l.p_enter_bad)?;
+            prob("loss.p_exit_bad", l.p_exit_bad)?;
+            prob("loss.loss_good", l.loss_good)?;
+            prob("loss.loss_bad", l.loss_bad)?;
+        }
+        if let Some(c) = &self.churn {
+            prob("churn.churn_frac", c.churn_frac)?;
+            if c.min_window == 0 || c.max_window < c.min_window {
+                return Err(Error::InvalidParameter {
+                    name: "churn.window",
+                    message: format!(
+                        "need 1 <= min <= max, got {}..={}",
+                        c.min_window, c.max_window
+                    ),
+                });
+            }
+        }
+        if let Some((start, end)) = self.blackout {
+            if end < start {
+                return Err(Error::InvalidParameter {
+                    name: "blackout",
+                    message: format!("window end {end} precedes start {start}"),
+                });
+            }
+        }
+        if let Some(t) = &self.timing {
+            prob("timing.dup_prob", t.dup_prob)?;
+            prob("timing.delay_prob", t.delay_prob)?;
+        }
+        if let Some(s) = &self.skew {
+            if s.max_skew_secs < 0 {
+                return Err(Error::InvalidParameter {
+                    name: "skew.max_skew_secs",
+                    message: format!("must be non-negative, got {}", s.max_skew_secs),
+                });
+            }
+        }
+        if let Some(c) = &self.corruption {
+            prob("corruption.corrupt_prob", c.corrupt_prob)?;
+            prob("corruption.truncate_prob", c.truncate_prob)?;
+            if c.max_bit_flips == 0 {
+                return Err(Error::InvalidParameter {
+                    name: "corruption.max_bit_flips",
+                    message: "must be at least 1".into(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Freeze the plan for a campaign of `targets` targets over
+    /// `observations` sweeps, precomputing loss states, churn windows, and
+    /// per-observation skew so lookups are deterministic regardless of the
+    /// order the campaign queries them in.
+    pub fn session(&self, targets: usize, observations: usize) -> Result<FaultSession> {
+        self.validate()?;
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        // Target-major Gilbert–Elliott chains: each target walks its own
+        // good/bad state across the campaign.
+        let mut bad_state = vec![false; targets * observations];
+        if let Some(loss) = &self.loss {
+            for t in 0..targets {
+                let mut bad = false;
+                for o in 0..observations {
+                    bad = if bad {
+                        !rng.gen_bool(loss.p_exit_bad)
+                    } else {
+                        rng.gen_bool(loss.p_enter_bad)
+                    };
+                    bad_state[o * targets + t] = bad;
+                }
+            }
+        }
+        let mut absent = vec![false; targets * observations];
+        if let Some(churn) = &self.churn {
+            for t in 0..targets {
+                if observations == 0 || !rng.gen_bool(churn.churn_frac) {
+                    continue;
+                }
+                let len = rng
+                    .gen_range(churn.min_window..=churn.max_window)
+                    .min(observations);
+                let start = rng.gen_range(0..=observations - len);
+                for o in start..start + len {
+                    absent[o * targets + t] = true;
+                }
+            }
+        }
+        if let Some((start, end)) = self.blackout {
+            for o in start..end.min(observations) {
+                for t in 0..targets {
+                    absent[o * targets + t] = true;
+                }
+            }
+        }
+        let mut skew_secs = vec![0i64; observations];
+        if let Some(skew) = &self.skew {
+            if skew.max_skew_secs > 0 {
+                for s in skew_secs.iter_mut() {
+                    *s = rng.gen_range(-skew.max_skew_secs..=skew.max_skew_secs);
+                }
+            }
+        }
+        Ok(FaultSession {
+            plan: *self,
+            rng,
+            bad_state,
+            absent,
+            skew_secs,
+            targets,
+        })
+    }
+}
+
+/// A [`FaultPlan`] frozen for one campaign run. All randomness is drawn
+/// from the session's own RNG, never the campaign's.
+#[derive(Debug, Clone)]
+pub struct FaultSession {
+    plan: FaultPlan,
+    rng: ChaCha8Rng,
+    /// `bad_state[obs * targets + target]`: Gilbert–Elliott state.
+    bad_state: Vec<bool>,
+    /// `absent[obs * targets + target]`: churned out or blacked out.
+    absent: Vec<bool>,
+    /// Per-observation clock skew in seconds.
+    skew_secs: Vec<i64>,
+    targets: usize,
+}
+
+impl FaultSession {
+    /// The plan this session was frozen from.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Is this target churned out (or blacked out) for this observation?
+    pub fn vp_absent(&self, target: usize, obs: usize) -> bool {
+        self.absent
+            .get(obs * self.targets + target)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Draw whether one probe attempt is lost in-network. Retries draw
+    /// again, so a burst does not doom every retry deterministically.
+    pub fn attempt_lost(&mut self, target: usize, obs: usize) -> bool {
+        let Some(loss) = &self.plan.loss else {
+            return false;
+        };
+        let bad = self
+            .bad_state
+            .get(obs * self.targets + target)
+            .copied()
+            .unwrap_or(false);
+        let p = if bad { loss.loss_bad } else { loss.loss_good };
+        self.rng.gen_bool(p)
+    }
+
+    /// Draw whether a successful reply is duplicated.
+    pub fn duplicated(&mut self) -> bool {
+        match &self.plan.timing {
+            Some(t) => self.rng.gen_bool(t.dup_prob),
+            None => false,
+        }
+    }
+
+    /// Draw whether a successful reply arrives too late to use.
+    pub fn delayed(&mut self) -> bool {
+        match &self.plan.timing {
+            Some(t) => self.rng.gen_bool(t.delay_prob),
+            None => false,
+        }
+    }
+
+    /// Possibly corrupt an encoded payload in place (bit flips, then
+    /// maybe truncation). Returns whether anything was mutated.
+    pub fn corrupt(&mut self, bytes: &mut Vec<u8>) -> bool {
+        let Some(c) = &self.plan.corruption else {
+            return false;
+        };
+        if bytes.is_empty() || !self.rng.gen_bool(c.corrupt_prob) {
+            return false;
+        }
+        let flips = self.rng.gen_range(1..=c.max_bit_flips);
+        for _ in 0..flips {
+            let byte = self.rng.gen_range(0..bytes.len());
+            let bit = self.rng.gen_range(0..8u32);
+            bytes[byte] ^= 1u8 << bit;
+        }
+        if self.rng.gen_bool(c.truncate_prob) {
+            let keep = self.rng.gen_range(0..bytes.len());
+            bytes.truncate(keep);
+        }
+        true
+    }
+
+    /// Clock skew for an observation, in seconds (0 when skew is off).
+    pub fn skew_for(&self, obs: usize) -> i64 {
+        self.skew_secs.get(obs).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_draws_nothing_and_injects_nothing() {
+        let mut s = FaultPlan::new(7).session(10, 20).unwrap();
+        for obs in 0..20 {
+            for t in 0..10 {
+                assert!(!s.vp_absent(t, obs));
+                assert!(!s.attempt_lost(t, obs));
+            }
+            assert_eq!(s.skew_for(obs), 0);
+        }
+        assert!(!s.duplicated());
+        assert!(!s.delayed());
+        let mut bytes = vec![0xAA; 32];
+        assert!(!s.corrupt(&mut bytes));
+        assert_eq!(bytes, vec![0xAA; 32]);
+    }
+
+    #[test]
+    fn sessions_are_deterministic() {
+        let plan = FaultPlan::new(42)
+            .with_bursty_loss(BurstyLoss::default())
+            .with_vp_churn(VpChurn::default())
+            .with_response_timing(ResponseTiming {
+                dup_prob: 0.1,
+                delay_prob: 0.1,
+            })
+            .with_clock_skew(ClockSkew { max_skew_secs: 300 })
+            .with_wire_corruption(WireCorruption::default());
+        let mut a = plan.session(25, 30).unwrap();
+        let mut b = plan.session(25, 30).unwrap();
+        for obs in 0..30 {
+            assert_eq!(a.skew_for(obs), b.skew_for(obs));
+            for t in 0..25 {
+                assert_eq!(a.vp_absent(t, obs), b.vp_absent(t, obs));
+                assert_eq!(a.attempt_lost(t, obs), b.attempt_lost(t, obs));
+            }
+            assert_eq!(a.duplicated(), b.duplicated());
+            assert_eq!(a.delayed(), b.delayed());
+            let mut ba = vec![0x5Au8; 40];
+            let mut bb = vec![0x5Au8; 40];
+            assert_eq!(a.corrupt(&mut ba), b.corrupt(&mut bb));
+            assert_eq!(ba, bb);
+        }
+    }
+
+    #[test]
+    fn gilbert_elliott_loss_matches_mean_and_bursts() {
+        let loss = BurstyLoss {
+            p_enter_bad: 0.15,
+            p_exit_bad: 0.35,
+            loss_good: 0.3,
+            loss_bad: 0.95,
+        };
+        // bad fraction = 0.15 / 0.5 = 0.3; mean = 0.7*0.3 + 0.3*0.95.
+        assert!((loss.bad_fraction() - 0.3).abs() < 1e-12);
+        assert!((loss.mean_loss() - 0.495).abs() < 1e-12);
+        let plan = FaultPlan::new(9).with_bursty_loss(loss);
+        let mut s = plan.session(50, 200).unwrap();
+        let mut lost = 0usize;
+        let total = 50 * 200;
+        for obs in 0..200 {
+            for t in 0..50 {
+                if s.attempt_lost(t, obs) {
+                    lost += 1;
+                }
+            }
+        }
+        let rate = lost as f64 / total as f64;
+        assert!(
+            (rate - loss.mean_loss()).abs() < 0.05,
+            "observed loss {rate} far from stationary mean {}",
+            loss.mean_loss()
+        );
+    }
+
+    #[test]
+    fn churn_windows_are_contiguous_and_bounded() {
+        let plan = FaultPlan::new(3).with_vp_churn(VpChurn {
+            churn_frac: 1.0,
+            min_window: 2,
+            max_window: 5,
+        });
+        let s = plan.session(30, 40).unwrap();
+        for t in 0..30 {
+            let dark: Vec<usize> = (0..40).filter(|&o| s.vp_absent(t, o)).collect();
+            assert!(
+                (2..=5).contains(&dark.len()),
+                "target {t} dark {} observations",
+                dark.len()
+            );
+            for pair in dark.windows(2) {
+                assert_eq!(pair[1], pair[0] + 1, "window not contiguous for {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn blackout_covers_every_target() {
+        let s = FaultPlan::new(1)
+            .with_blackout(5, 8)
+            .session(12, 10)
+            .unwrap();
+        for obs in 0..10 {
+            for t in 0..12 {
+                assert_eq!(s.vp_absent(t, obs), (5..8).contains(&obs));
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_mutates_or_truncates() {
+        let plan = FaultPlan::new(11).with_wire_corruption(WireCorruption {
+            corrupt_prob: 1.0,
+            max_bit_flips: 4,
+            truncate_prob: 0.5,
+        });
+        let mut s = plan.session(1, 1).unwrap();
+        let original = vec![0u8; 64];
+        let mut saw_mutation = false;
+        for _ in 0..50 {
+            let mut bytes = original.clone();
+            assert!(s.corrupt(&mut bytes));
+            if bytes != original {
+                saw_mutation = true;
+            }
+            assert!(bytes.len() <= original.len());
+        }
+        assert!(saw_mutation);
+    }
+
+    #[test]
+    fn skew_is_bounded() {
+        let s = FaultPlan::new(4)
+            .with_clock_skew(ClockSkew { max_skew_secs: 120 })
+            .session(5, 50)
+            .unwrap();
+        let mut nonzero = 0;
+        for obs in 0..50 {
+            let skew = s.skew_for(obs);
+            assert!(skew.abs() <= 120);
+            if skew != 0 {
+                nonzero += 1;
+            }
+        }
+        assert!(nonzero > 0, "120s skew range never produced skew");
+    }
+
+    #[test]
+    fn invalid_probabilities_are_rejected() {
+        let bad = FaultPlan::new(0).with_bursty_loss(BurstyLoss {
+            p_enter_bad: 1.5,
+            ..BurstyLoss::default()
+        });
+        assert!(matches!(
+            bad.validate(),
+            Err(Error::InvalidParameter {
+                name: "loss.p_enter_bad",
+                ..
+            })
+        ));
+        let bad = FaultPlan::new(0).with_vp_churn(VpChurn {
+            churn_frac: 0.5,
+            min_window: 4,
+            max_window: 2,
+        });
+        assert!(bad.validate().is_err());
+        let bad = FaultPlan::new(0).with_wire_corruption(WireCorruption {
+            corrupt_prob: -0.1,
+            ..WireCorruption::default()
+        });
+        assert!(bad.session(3, 3).is_err());
+    }
+}

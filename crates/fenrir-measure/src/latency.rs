@@ -9,6 +9,10 @@
 //! adds last-mile jitter, and samples coverage (not every block yields an
 //! RTT every round).
 
+use crate::fault::FaultPlan;
+use crate::runner::{CampaignRunner, ProbeOutcome, ProbeReply, RunnerConfig};
+use fenrir_core::error::{Error, Result};
+use fenrir_core::health::CampaignHealth;
 use fenrir_core::latency::LatencyPanel;
 use fenrir_core::time::Timestamp;
 use fenrir_netsim::anycast::AnycastService;
@@ -40,6 +44,15 @@ impl Default for LatencyProber {
     }
 }
 
+/// Output of a latency campaign run through the campaign runner.
+#[derive(Debug, Clone)]
+pub struct LatencyResult {
+    /// One panel per observation, aligned with `blocks`.
+    pub panels: Vec<LatencyPanel>,
+    /// Per-observation campaign health, aligned with the panels.
+    pub health: Vec<CampaignHealth>,
+}
+
 impl LatencyProber {
     /// Produce one panel per observation time for the given blocks, with
     /// RTT measured toward the anycast site each block's AS currently
@@ -52,30 +65,84 @@ impl LatencyProber {
         blocks: &[BlockId],
         times: &[Timestamp],
     ) -> Vec<LatencyPanel> {
+        self.probe_with(
+            topo,
+            base,
+            scenario,
+            blocks,
+            times,
+            &RunnerConfig::default(),
+            None,
+        )
+        .expect("default latency campaign cannot fail")
+        .panels
+    }
+
+    /// Like [`probe`](Self::probe), but executed through a configurable
+    /// [`CampaignRunner`] with an optional fault plan, and returning the
+    /// per-observation health record alongside the panels.
+    #[allow(clippy::too_many_arguments)]
+    pub fn probe_with(
+        &self,
+        topo: &Topology,
+        base: &AnycastService,
+        scenario: &Scenario,
+        blocks: &[BlockId],
+        times: &[Timestamp],
+        cfg: &RunnerConfig,
+        faults: Option<&FaultPlan>,
+    ) -> Result<LatencyResult> {
+        if !(0.0..=1.0).contains(&self.coverage) {
+            return Err(Error::InvalidParameter {
+                name: "coverage",
+                message: format!("must lie in [0, 1], got {}", self.coverage),
+            });
+        }
+        if self.jitter_ms <= 0.0 || !self.jitter_ms.is_finite() {
+            return Err(Error::InvalidParameter {
+                name: "jitter_ms",
+                message: format!("must be positive and finite, got {}", self.jitter_ms),
+            });
+        }
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let owners: Vec<_> = blocks
             .iter()
             .map(|&b| topo.owner_of(b).expect("owned block"))
             .collect();
-        times
-            .iter()
-            .map(|&t| {
-                let svc = scenario.service_at(base, t.as_secs());
-                let cfg = scenario.config_at(t.as_secs());
-                let routes = svc.routes(topo, &cfg);
-                let samples: Vec<Option<f64>> = owners
-                    .iter()
-                    .map(|&owner| {
-                        if !rng.gen_bool(self.coverage) {
-                            return None;
-                        }
-                        let base_rtt = svc.client_rtt_ms(topo, &routes, owner)?;
-                        Some(base_rtt + rng.gen_range(0.0..self.jitter_ms))
-                    })
-                    .collect();
-                LatencyPanel::new(t, samples)
-            })
-            .collect()
+        let mut runner = CampaignRunner::new(cfg, faults, blocks.len(), times.len())?;
+        let mut rows: Vec<Vec<Option<f64>>> = Vec::with_capacity(times.len());
+        for &t in times {
+            let svc = scenario.service_at(base, t.as_secs());
+            let scfg = scenario.config_at(t.as_secs());
+            let routes = svc.routes(topo, &scfg);
+            runner.begin_sweep(t);
+            let mut samples: Vec<Option<f64>> = vec![None; blocks.len()];
+            for (n, &owner) in owners.iter().enumerate() {
+                let outcome = runner.probe(n, |_wire| {
+                    if !rng.gen_bool(self.coverage) {
+                        return ProbeReply::NoResponse;
+                    }
+                    match svc.client_rtt_ms(topo, &routes, owner) {
+                        // A probe that completes against an unreachable
+                        // block is an answer ("no route"), not a timeout.
+                        None => ProbeReply::Response(None),
+                        Some(base_rtt) => ProbeReply::Response(Some(
+                            base_rtt + rng.gen_range(0.0..self.jitter_ms),
+                        )),
+                    }
+                });
+                if let ProbeOutcome::Response(s) = outcome {
+                    samples[n] = s;
+                }
+            }
+            rows.push(samples);
+        }
+        let (order, health) = runner.finish();
+        let panels = order
+            .into_iter()
+            .map(|(orig, t)| LatencyPanel::new(t, rows[orig].clone()))
+            .collect();
+        Ok(LatencyResult { panels, health })
     }
 }
 

@@ -16,10 +16,22 @@
 //! DNS CHAOS TXT, DNS + EDNS Client Subnet) so the parsing paths a live
 //! deployment would exercise are exercised here too, and every simulator is
 //! deterministic under a seed.
+//!
+//! All simulators execute through the shared [`runner`] campaign executor
+//! (retries, probe budgets, quarantine, per-sweep [`fenrir_core::health::
+//! CampaignHealth`] records) and accept an optional [`fault`] plan that
+//! injects bursty loss, VP churn, duplicated/late replies, clock skew, and
+//! wire-level corruption — deterministically under the plan's own seed.
 
 pub mod atlas;
 pub mod ednscs;
+pub mod fault;
 pub mod latency;
 pub mod routeviews;
+pub mod runner;
 pub mod traceroute;
 pub mod verfploeter;
+
+pub use fault::FaultPlan;
+pub use fenrir_core::health::CampaignHealth;
+pub use runner::RunnerConfig;

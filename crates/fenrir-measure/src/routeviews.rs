@@ -60,7 +60,12 @@ pub struct RouteViewsResult {
 impl RouteCollector {
     /// Dump RIBs at each time under the scenario's routing config and
     /// derive per-peer catchment series.
-    pub fn run(&self, topo: &Topology, scenario: &Scenario, times: &[Timestamp]) -> RouteViewsResult {
+    pub fn run(
+        &self,
+        topo: &Topology,
+        scenario: &Scenario,
+        times: &[Timestamp],
+    ) -> RouteViewsResult {
         let blocks: Vec<BlockId> = topo.all_blocks().iter().map(|&(b, _)| b).collect();
         let owners: Vec<AsId> = blocks
             .iter()
@@ -108,7 +113,9 @@ impl RouteCollector {
                 }
             }
             for (p, v) in vectors.into_iter().enumerate() {
-                per_peer_series[p].push(v).expect("times strictly increasing");
+                per_peer_series[p]
+                    .push(v)
+                    .expect("times strictly increasing");
             }
             snapshots.push(snap);
         }
@@ -155,10 +162,7 @@ pub fn hegemony(snapshot: &RibSnapshot, trim: f64) -> HashMap<AsId, f64> {
         per_peer.push(fracs);
     }
     // Union of scored ASes.
-    let mut all: Vec<AsId> = per_peer
-        .iter()
-        .flat_map(|m| m.keys().copied())
-        .collect();
+    let mut all: Vec<AsId> = per_peer.iter().flat_map(|m| m.keys().copied()).collect();
     all.sort();
     all.dedup();
     // Trimmed mean across peers.

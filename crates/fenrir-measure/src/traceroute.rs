@@ -15,7 +15,11 @@
 //! spatial gap-fill ([`TracerouteResult::fill_gaps`], using the
 //! nearest-viable-hop rule) repairs.
 
+use crate::fault::FaultPlan;
+use crate::runner::{CampaignRunner, ProbeOutcome, ProbeReply, RunnerConfig};
 use fenrir_core::clean::nearest_viable;
+use fenrir_core::error::{Error, Result};
+use fenrir_core::health::CampaignHealth;
 use fenrir_core::ids::SiteTable;
 use fenrir_core::series::VectorSeries;
 use fenrir_core::time::Timestamp;
@@ -66,12 +70,51 @@ pub struct TracerouteResult {
     pub hop_series: Vec<VectorSeries>,
     /// Destination blocks, aligned with vector positions.
     pub blocks: Vec<BlockId>,
+    /// Per-observation campaign health (a destination counts as covered
+    /// when its traceroute ran, regardless of per-hop gaps).
+    pub health: Vec<CampaignHealth>,
 }
 
 impl TracerouteCampaign {
     /// Run the campaign over `times`. The routing config at each instant
     /// comes from `scenario` (link failures, preference changes).
-    pub fn run(&self, topo: &Topology, scenario: &Scenario, times: &[Timestamp]) -> TracerouteResult {
+    pub fn run(
+        &self,
+        topo: &Topology,
+        scenario: &Scenario,
+        times: &[Timestamp],
+    ) -> TracerouteResult {
+        self.run_with(topo, scenario, times, &RunnerConfig::default(), None)
+            .expect("default traceroute campaign cannot fail")
+    }
+
+    /// Run the campaign under an explicit execution policy and an
+    /// optional fault plan. `run` is `run_with` with defaults.
+    pub fn run_with(
+        &self,
+        topo: &Topology,
+        scenario: &Scenario,
+        times: &[Timestamp],
+        cfg: &RunnerConfig,
+        faults: Option<&FaultPlan>,
+    ) -> Result<TracerouteResult> {
+        for (name, p) in [
+            ("hop_loss_prob", self.hop_loss_prob),
+            ("filtered_frac", self.filtered_frac),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(Error::InvalidParameter {
+                    name,
+                    message: format!("must lie in [0, 1], got {p}"),
+                });
+            }
+        }
+        if self.max_hops == 0 {
+            return Err(Error::InvalidParameter {
+                name: "max_hops",
+                message: "a traceroute must keep at least one hop".into(),
+            });
+        }
         let blocks: Vec<BlockId> = topo.all_blocks().iter().map(|&(b, _)| b).collect();
         let owners: Vec<AsId> = blocks
             .iter()
@@ -88,77 +131,113 @@ impl TracerouteCampaign {
             .map(|_| rng.gen_bool(self.filtered_frac))
             .collect();
 
-        let mut hop_series: Vec<VectorSeries> = (0..self.max_hops)
-            .map(|_| VectorSeries::new(sites.clone(), blocks.len()))
-            .collect();
-
+        let mut runner = CampaignRunner::new(cfg, faults, blocks.len(), times.len())?;
+        let mut rows: Vec<Vec<RoutingVector>> = Vec::with_capacity(times.len());
         for &t in times {
-            let cfg = scenario.config_at(t.as_secs());
+            let cfg_t = scenario.config_at(t.as_secs());
             // One route table per distinct destination AS, computed lazily.
             let mut tables: HashMap<AsId, RouteTable> = HashMap::new();
+            runner.begin_sweep(t);
             let mut vectors: Vec<RoutingVector> = (0..self.max_hops)
                 .map(|_| RoutingVector::unknown(t, blocks.len()))
                 .collect();
             for (n, &dest) in owners.iter().enumerate() {
                 let table = tables
                     .entry(dest)
-                    .or_insert_with(|| RouteTable::compute(topo, &[(dest, 0)], &cfg));
-                let Some(path) = table.full_path(self.source) else {
-                    // Unreachable destination: every hop reports err.
-                    for v in &mut vectors {
-                        v.set(n, Catchment::Err);
-                    }
-                    continue;
-                };
-                // path[0] is the source; hop k is path[k].
-                for k in 1..=self.max_hops {
-                    let state = match path.get(k) {
-                        Some(&hop_as) => {
-                            // Each hop answer is a real packet exchange:
-                            // an IPv4 ICMP echo with TTL = k leaves the
-                            // source, every router on the path decrements
-                            // the TTL, and the hop where it dies answers
-                            // with time-exceeded. Lost or filtered hops
-                            // stay Unknown.
-                            if filtered[hop_as.index()] || rng.gen_bool(self.hop_loss_prob) {
-                                continue;
-                            }
-                            let echo =
-                                IcmpPacket::echo_request(n as u16, k as u16, vec![0u8; 32]);
-                            let mut pkt = Ipv4Packet::new(
-                                protocol::ICMP,
-                                [10, 0, 0, 1],
-                                blocks[n].addr(1),
-                                echo.encode(),
-                            )
-                            .with_ttl(k as u8);
-                            // Forward through the first k-1 routers.
-                            let mut died_at = None;
-                            for step in 1..=k {
-                                if !pkt.forward() {
-                                    died_at = Some(step);
-                                    break;
+                    .or_insert_with(|| RouteTable::compute(topo, &[(dest, 0)], &cfg_t));
+                let path = table.full_path(self.source);
+                // One probe per destination: the whole traceroute either
+                // runs (with per-hop gaps) or is lost/retried as a unit.
+                let outcome = runner.probe(n, |wire| {
+                    let Some(path) = &path else {
+                        // Unreachable destination: every hop reports err.
+                        return ProbeReply::Response(
+                            (0..self.max_hops).map(|k| (k, Catchment::Err)).collect(),
+                        );
+                    };
+                    let mut hops: Vec<(usize, Catchment)> = Vec::with_capacity(self.max_hops);
+                    // path[0] is the source; hop k is path[k].
+                    for k in 1..=self.max_hops {
+                        match path.get(k) {
+                            Some(&hop_as) => {
+                                // Each hop answer is a real packet
+                                // exchange: an IPv4 ICMP echo with TTL = k
+                                // leaves the source, every router on the
+                                // path decrements the TTL, and the hop
+                                // where it dies answers with
+                                // time-exceeded. Lost or filtered hops
+                                // stay Unknown.
+                                if filtered[hop_as.index()] || rng.gen_bool(self.hop_loss_prob) {
+                                    continue;
+                                }
+                                let echo =
+                                    IcmpPacket::echo_request(n as u16, k as u16, vec![0u8; 32]);
+                                let mut pkt = Ipv4Packet::new(
+                                    protocol::ICMP,
+                                    [10, 0, 0, 1],
+                                    blocks[n].addr(1),
+                                    echo.encode(),
+                                )
+                                .with_ttl(k as u8);
+                                // Forward through the first k-1 routers.
+                                let mut died_at = None;
+                                for step in 1..=k {
+                                    if !pkt.forward() {
+                                        died_at = Some(step);
+                                        break;
+                                    }
+                                }
+                                debug_assert_eq!(died_at, Some(k), "TTL k dies at hop k");
+                                let te = IcmpPacket::time_exceeded(&pkt.encode().expect("fits"));
+                                let mut te_bytes = te.encode();
+                                wire.corrupt(&mut te_bytes);
+                                match IcmpPacket::decode(&te_bytes) {
+                                    Ok(back) if back.kind == IcmpKind::TimeExceeded(0) => {
+                                        hops.push((
+                                            k - 1,
+                                            Catchment::Site(fenrir_core::ids::SiteId(
+                                                hop_as.0 as u16,
+                                            )),
+                                        ));
+                                    }
+                                    // A mangled time-exceeded leaves this
+                                    // hop Unknown but not the whole trace.
+                                    _ => wire.note_decode_failure(),
                                 }
                             }
-                            debug_assert_eq!(died_at, Some(k), "TTL k dies at hop k");
-                            let te = IcmpPacket::time_exceeded(&pkt.encode().expect("fits"));
-                            let back =
-                                IcmpPacket::decode(&te.encode()).expect("valid time-exceeded");
-                            debug_assert_eq!(back.kind, IcmpKind::TimeExceeded(0));
-                            Catchment::Site(fenrir_core::ids::SiteId(hop_as.0 as u16))
+                            // Path ended before hop k: the probe reached
+                            // the destination; deeper hops have no
+                            // transit entity.
+                            None => hops.push((k - 1, Catchment::Other)),
                         }
-                        // Path ended before hop k: the probe reached the
-                        // destination; deeper hops have no transit entity.
-                        None => Catchment::Other,
-                    };
-                    vectors[k - 1].set(n, state);
+                    }
+                    ProbeReply::Response(hops)
+                });
+                if let ProbeOutcome::Response(hops) = outcome {
+                    for (ki, c) in hops {
+                        vectors[ki].set(n, c);
+                    }
                 }
             }
-            for (k, v) in vectors.into_iter().enumerate() {
-                hop_series[k].push(v).expect("times strictly increasing");
+            rows.push(vectors);
+        }
+        let (order, health) = runner.finish();
+        let mut hop_series: Vec<VectorSeries> = (0..self.max_hops)
+            .map(|_| VectorSeries::new(sites.clone(), blocks.len()))
+            .collect();
+        for &(orig, t) in &order {
+            for (k, v) in rows[orig].iter().enumerate() {
+                let v = RoutingVector::from_codes(t, v.codes().to_vec());
+                hop_series[k]
+                    .push(v)
+                    .expect("normalised times strictly increase");
             }
         }
-        TracerouteResult { hop_series, blocks }
+        Ok(TracerouteResult {
+            hop_series,
+            blocks,
+            health,
+        })
     }
 }
 

@@ -13,6 +13,10 @@
 //! never answer), replies route to the block's AS's best anycast site, and
 //! every probe round-trips a real ICMP echo packet.
 
+use crate::fault::FaultPlan;
+use crate::runner::{CampaignRunner, ProbeOutcome, ProbeReply, RunnerConfig};
+use fenrir_core::error::{Error, Result};
+use fenrir_core::health::CampaignHealth;
 use fenrir_core::ids::SiteTable;
 use fenrir_core::series::VectorSeries;
 use fenrir_core::time::Timestamp;
@@ -51,6 +55,8 @@ pub struct SweepResult {
     pub series: VectorSeries,
     /// The probed blocks, aligned with vector positions.
     pub blocks: Vec<BlockId>,
+    /// Per-observation campaign health, aligned with the series.
+    pub health: Vec<CampaignHealth>,
 }
 
 impl Verfploeter {
@@ -67,6 +73,27 @@ impl Verfploeter {
         scenario: &Scenario,
         times: &[Timestamp],
     ) -> SweepResult {
+        self.run_with(topo, base, scenario, times, &RunnerConfig::default(), None)
+            .expect("default verfploeter campaign cannot fail")
+    }
+
+    /// Run the campaign under an explicit execution policy and an
+    /// optional fault plan. `run` is `run_with` with defaults.
+    pub fn run_with(
+        &self,
+        topo: &Topology,
+        base: &AnycastService,
+        scenario: &Scenario,
+        times: &[Timestamp],
+        cfg: &RunnerConfig,
+        faults: Option<&FaultPlan>,
+    ) -> Result<SweepResult> {
+        if !(0.0..=1.0).contains(&self.mean_response_rate) {
+            return Err(Error::InvalidParameter {
+                name: "mean_response_rate",
+                message: format!("must lie in [0, 1], got {}", self.mean_response_rate),
+            });
+        }
         let blocks: Vec<BlockId> = topo.all_blocks().iter().map(|&(b, _)| b).collect();
         let owners: Vec<AsId> = blocks
             .iter()
@@ -95,40 +122,68 @@ impl Verfploeter {
             })
             .collect();
 
-        let mut series = VectorSeries::new(sites, blocks.len());
+        let mut runner = CampaignRunner::new(cfg, faults, blocks.len(), times.len())?;
+        let mut rows: Vec<RoutingVector> = Vec::with_capacity(times.len());
         for &t in times {
             let svc = scenario.service_at(base, t.as_secs());
-            let cfg = scenario.config_at(t.as_secs());
-            let routes = svc.routes(topo, &cfg);
+            let cfg_t = scenario.config_at(t.as_secs());
+            let routes = svc.routes(topo, &cfg_t);
+            runner.begin_sweep(t);
             let mut v = RoutingVector::unknown(t, blocks.len());
             for (n, (&block, &owner)) in blocks.iter().zip(&owners).enumerate() {
-                // Encode the probe exactly as Verfploeter does: block id in
-                // the ICMP ident/seq so any site can attribute the reply.
-                let ident = (block.0 >> 16) as u16;
-                let seq = block.0 as u16;
-                let probe = IcmpPacket::echo_request(ident, seq, b"fenrir-vp".to_vec());
-                if !rng.gen_bool(response_prob[n]) {
-                    continue; // target silent: stays Unknown
-                }
-                // The target answers; the reply follows the target AS's
-                // best route to the anycast prefix.
-                let reply_bytes = IcmpPacket::echo_reply_to(&probe).encode();
-                let reply = IcmpPacket::decode(&reply_bytes).expect("valid echo reply");
-                debug_assert_eq!(reply.kind, IcmpKind::EchoReply);
-                debug_assert_eq!(
-                    (u32::from(reply.ident) << 16) | u32::from(reply.seq),
-                    block.0
-                );
-                match routes.catchment(owner) {
-                    Some(site) => v.set(n, Catchment::Site(fenrir_core::ids::SiteId(site as u16))),
-                    // Responsive block, but no site reachable (all drained):
-                    // the reply goes nowhere — the paper's err state.
-                    None => v.set(n, Catchment::Err),
+                let outcome = runner.probe(n, |wire| {
+                    // Encode the probe exactly as Verfploeter does: block
+                    // id in the ICMP ident/seq so any site can attribute
+                    // the reply.
+                    let ident = (block.0 >> 16) as u16;
+                    let seq = block.0 as u16;
+                    let probe = IcmpPacket::echo_request(ident, seq, b"fenrir-vp".to_vec());
+                    if !rng.gen_bool(response_prob[n]) {
+                        return ProbeReply::NoResponse; // target silent
+                    }
+                    // The target answers; the reply follows the target
+                    // AS's best route to the anycast prefix, possibly
+                    // mangled on the way.
+                    let mut reply_bytes = IcmpPacket::echo_reply_to(&probe).encode();
+                    wire.corrupt(&mut reply_bytes);
+                    let reply = match IcmpPacket::decode(&reply_bytes) {
+                        Ok(r) => r,
+                        Err(_) => return ProbeReply::DecodeFailure,
+                    };
+                    // A corrupted-but-parseable reply that no longer
+                    // matches the probe is discarded, never misattributed.
+                    if reply.kind != IcmpKind::EchoReply
+                        || (u32::from(reply.ident) << 16) | u32::from(reply.seq) != block.0
+                    {
+                        return ProbeReply::DecodeFailure;
+                    }
+                    match routes.catchment(owner) {
+                        Some(site) => ProbeReply::Response(Catchment::Site(
+                            fenrir_core::ids::SiteId(site as u16),
+                        )),
+                        // Responsive block, but no site reachable (all
+                        // drained): the reply goes nowhere — the paper's
+                        // err state.
+                        None => ProbeReply::Response(Catchment::Err),
+                    }
+                });
+                if let ProbeOutcome::Response(c) = outcome {
+                    v.set(n, c);
                 }
             }
-            series.push(v).expect("times are strictly increasing");
+            rows.push(v);
         }
-        SweepResult { series, blocks }
+        let (order, health) = runner.finish();
+        let mut series = VectorSeries::new(sites, blocks.len());
+        for &(orig, t) in &order {
+            let v = RoutingVector::from_codes(t, rows[orig].codes().to_vec());
+            series.push(v).expect("normalised times strictly increase");
+        }
+        Ok(SweepResult {
+            series,
+            blocks,
+            health,
+        })
     }
 }
 

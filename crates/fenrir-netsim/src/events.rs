@@ -198,11 +198,8 @@ impl Scenario {
     pub fn service_at(&self, base: &AnycastService, t: i64) -> AnycastService {
         let mut svc = base.clone();
         // Apply permanent changes in start order so later moves win.
-        let mut permanent: Vec<&ScenarioEvent> = self
-            .events
-            .iter()
-            .filter(|e| e.started_by(t))
-            .collect();
+        let mut permanent: Vec<&ScenarioEvent> =
+            self.events.iter().filter(|e| e.started_by(t)).collect();
         permanent.sort_by_key(|e| e.start);
         for e in permanent {
             match &e.kind {
@@ -402,17 +399,11 @@ mod tests {
         let (t, svc, _, _, s) = setup();
         let mut sc = Scenario::new();
         sc.drain(0, 100, 200, "op");
-        let before = sc
-            .service_at(&svc, 50)
-            .routes(&t, &sc.config_at(50));
+        let before = sc.service_at(&svc, 50).routes(&t, &sc.config_at(50));
         assert_eq!(before.catchment(s), Some(0));
-        let during = sc
-            .service_at(&svc, 150)
-            .routes(&t, &sc.config_at(150));
+        let during = sc.service_at(&svc, 150).routes(&t, &sc.config_at(150));
         assert_eq!(during.catchment(s), Some(1));
-        let after = sc
-            .service_at(&svc, 250)
-            .routes(&t, &sc.config_at(250));
+        let after = sc.service_at(&svc, 250).routes(&t, &sc.config_at(250));
         assert_eq!(after.catchment(s), Some(0), "mode recurs after the drain");
     }
 

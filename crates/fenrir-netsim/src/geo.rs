@@ -43,8 +43,7 @@ impl GeoPoint {
         let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
         let dlat = lat2 - lat1;
         let dlon = lon2 - lon1;
-        let a = (dlat / 2.0).sin().powi(2)
-            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
         2.0 * EARTH_RADIUS_KM * a.sqrt().atan2((1.0 - a).sqrt())
     }
 
@@ -78,31 +77,70 @@ pub mod cities {
     use super::GeoPoint;
 
     /// Los Angeles (the paper's LAX).
-    pub const LAX: GeoPoint = GeoPoint { lat: 33.94, lon: -118.41 };
+    pub const LAX: GeoPoint = GeoPoint {
+        lat: 33.94,
+        lon: -118.41,
+    };
     /// Miami.
-    pub const MIA: GeoPoint = GeoPoint { lat: 25.79, lon: -80.29 };
+    pub const MIA: GeoPoint = GeoPoint {
+        lat: 25.79,
+        lon: -80.29,
+    };
     /// Amsterdam (AMS, added to B-Root in 2020).
-    pub const AMS: GeoPoint = GeoPoint { lat: 52.31, lon: 4.76 };
+    pub const AMS: GeoPoint = GeoPoint {
+        lat: 52.31,
+        lon: 4.76,
+    };
     /// Singapore (SIN, added to B-Root in 2020).
-    pub const SIN: GeoPoint = GeoPoint { lat: 1.36, lon: 103.99 };
+    pub const SIN: GeoPoint = GeoPoint {
+        lat: 1.36,
+        lon: 103.99,
+    };
     /// Washington D.C. (IAD, added to B-Root in 2020).
-    pub const IAD: GeoPoint = GeoPoint { lat: 38.95, lon: -77.46 };
+    pub const IAD: GeoPoint = GeoPoint {
+        lat: 38.95,
+        lon: -77.46,
+    };
     /// Arica, Chile (ARI, shut down 2023-03-06 in the paper).
-    pub const ARI: GeoPoint = GeoPoint { lat: -18.35, lon: -70.34 };
+    pub const ARI: GeoPoint = GeoPoint {
+        lat: -18.35,
+        lon: -70.34,
+    };
     /// Santiago, Chile (SCL, ARI's replacement).
-    pub const SCL: GeoPoint = GeoPoint { lat: -33.39, lon: -70.79 };
+    pub const SCL: GeoPoint = GeoPoint {
+        lat: -33.39,
+        lon: -70.79,
+    };
     /// Stuttgart (STR, the G-Root site that drains in Figure 1).
-    pub const STR: GeoPoint = GeoPoint { lat: 48.69, lon: 9.19 };
+    pub const STR: GeoPoint = GeoPoint {
+        lat: 48.69,
+        lon: 9.19,
+    };
     /// Naples (NAP, where STR's users shift).
-    pub const NAP: GeoPoint = GeoPoint { lat: 40.88, lon: 14.29 };
+    pub const NAP: GeoPoint = GeoPoint {
+        lat: 40.88,
+        lon: 14.29,
+    };
     /// Columbus, Ohio (CMH).
-    pub const CMH: GeoPoint = GeoPoint { lat: 39.99, lon: -82.88 };
+    pub const CMH: GeoPoint = GeoPoint {
+        lat: 39.99,
+        lon: -82.88,
+    };
     /// San Antonio (SAT).
-    pub const SAT: GeoPoint = GeoPoint { lat: 29.53, lon: -98.47 };
+    pub const SAT: GeoPoint = GeoPoint {
+        lat: 29.53,
+        lon: -98.47,
+    };
     /// Tokyo (NRT).
-    pub const NRT: GeoPoint = GeoPoint { lat: 35.76, lon: 140.38 };
+    pub const NRT: GeoPoint = GeoPoint {
+        lat: 35.76,
+        lon: 140.38,
+    };
     /// Honolulu (HNL).
-    pub const HNL: GeoPoint = GeoPoint { lat: 21.32, lon: -157.92 };
+    pub const HNL: GeoPoint = GeoPoint {
+        lat: 21.32,
+        lon: -157.92,
+    };
 }
 
 #[cfg(test)]

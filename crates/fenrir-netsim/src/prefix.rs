@@ -20,11 +20,7 @@ impl BlockId {
 
     /// First three octets of the block.
     pub fn octets(self) -> [u8; 3] {
-        [
-            (self.0 >> 16) as u8,
-            (self.0 >> 8) as u8,
-            self.0 as u8,
-        ]
+        [(self.0 >> 16) as u8, (self.0 >> 8) as u8, self.0 as u8]
     }
 
     /// An address inside the block with the given host octet.
@@ -62,7 +58,10 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(BlockId::of_addr([198, 51, 100, 9]).to_string(), "198.51.100.0/24");
+        assert_eq!(
+            BlockId::of_addr([198, 51, 100, 9]).to_string(),
+            "198.51.100.0/24"
+        );
     }
 
     #[test]

@@ -315,7 +315,11 @@ mod tests {
         let rt = RouteTable::compute(&t, &[(origin, 0)], &RoutingConfig::default());
         let r = rt.route(p).unwrap();
         assert_eq!(r.pref, PREF_CUSTOMER);
-        assert_eq!(r.path, vec![c1, c2, origin], "3-hop customer beats 2-hop peer");
+        assert_eq!(
+            r.path,
+            vec![c1, c2, origin],
+            "3-hop customer beats 2-hop peer"
+        );
     }
 
     #[test]

@@ -141,7 +141,7 @@ mod tests {
     }
 
     #[test]
-    fn effects_are_reproducible(){
+    fn effects_are_reproducible() {
         let (topo, svc, probes) = setup();
         let a = find_disturbances(&topo, &svc, &probes, 0.02);
         let b = find_disturbances(&topo, &svc, &probes, 0.02);

@@ -167,11 +167,7 @@ impl Topology {
 
     /// All blocks in ascending order with their owners.
     pub fn all_blocks(&self) -> Vec<(BlockId, AsId)> {
-        let mut v: Vec<(BlockId, AsId)> = self
-            .block_owner
-            .iter()
-            .map(|(&b, &a)| (b, a))
-            .collect();
+        let mut v: Vec<(BlockId, AsId)> = self.block_owner.iter().map(|(&b, &a)| (b, a)).collect();
         v.sort();
         v
     }
@@ -352,11 +348,7 @@ mod tests {
             ..Default::default()
         }
         .build();
-        let geos_differ = a
-            .nodes()
-            .iter()
-            .zip(b.nodes())
-            .any(|(x, y)| x.geo != y.geo);
+        let geos_differ = a.nodes().iter().zip(b.nodes()).any(|(x, y)| x.geo != y.geo);
         assert!(geos_differ);
     }
 

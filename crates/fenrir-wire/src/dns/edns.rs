@@ -185,7 +185,9 @@ impl EdnsOption {
             let payload = &buf[4..4 + len];
             out.push(match code {
                 OPT_NSID => EdnsOption::Nsid(payload.to_vec()),
-                OPT_CLIENT_SUBNET => EdnsOption::ClientSubnet(ClientSubnet::decode_payload(payload)?),
+                OPT_CLIENT_SUBNET => {
+                    EdnsOption::ClientSubnet(ClientSubnet::decode_payload(payload)?)
+                }
                 other => EdnsOption::Unknown {
                     code: other,
                     data: payload.to_vec(),

@@ -664,11 +664,8 @@ mod tests {
     fn answer_name_is_compressed_against_question() {
         let q = Message::query(1, "a.very.long.domain.example.org", QType::A, QClass::In);
         let mut r = q.response_to(Rcode::NoError);
-        r.answers.push(Record::a(
-            q.questions[0].name.clone(),
-            300,
-            [192, 0, 2, 1],
-        ));
+        r.answers
+            .push(Record::a(q.questions[0].name.clone(), 300, [192, 0, 2, 1]));
         let bytes = r.encode().unwrap();
         // Answer owner name should be a 2-byte pointer, so total length is
         // header(12) + question(name + 4) + answer(2 + 10 + 4).

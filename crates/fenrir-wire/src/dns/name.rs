@@ -256,7 +256,10 @@ mod tests {
         let n = Name::parse("hostname.bind").unwrap();
         assert_eq!(n.label_count(), 2);
         assert_eq!(n.to_string(), "hostname.bind");
-        assert_eq!(Name::parse("example.org.").unwrap().to_string(), "example.org");
+        assert_eq!(
+            Name::parse("example.org.").unwrap().to_string(),
+            "example.org"
+        );
         assert_eq!(Name::root().to_string(), ".");
         assert_eq!(Name::parse("").unwrap(), Name::root());
         assert_eq!(Name::parse(".").unwrap(), Name::root());

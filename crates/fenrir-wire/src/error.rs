@@ -125,8 +125,12 @@ mod tests {
         }
         .to_string()
         .contains("250"));
-        assert!(WireError::TrailingBytes { count: 3 }.to_string().contains('3'));
-        assert!(WireError::InvalidInput("empty name").to_string().contains("empty"));
+        assert!(WireError::TrailingBytes { count: 3 }
+            .to_string()
+            .contains('3'));
+        assert!(WireError::InvalidInput("empty name")
+            .to_string()
+            .contains("empty"));
     }
 
     #[test]

@@ -203,7 +203,7 @@ mod tests {
     fn rejects_options() {
         let mut bytes = sample().encode().unwrap();
         bytes[0] = 0x46; // IHL 6
-        // Fix checksum for the mutated header so IHL is the failing check.
+                         // Fix checksum for the mutated header so IHL is the failing check.
         bytes[10] = 0;
         bytes[11] = 0;
         let ck = internet_checksum(&bytes[..IPV4_HEADER_LEN]);

@@ -39,12 +39,9 @@ fn record() -> impl Strategy<Value = Record> {
         let rdata: BoxedStrategy<RData> = match t {
             QType::A => any::<[u8; 4]>().prop_map(RData::A).boxed(),
             QType::Aaaa => any::<[u8; 16]>().prop_map(RData::Aaaa).boxed(),
-            QType::Txt => prop::collection::vec(
-                prop::collection::vec(any::<u8>(), 0..50),
-                1..3,
-            )
-            .prop_map(RData::Txt)
-            .boxed(),
+            QType::Txt => prop::collection::vec(prop::collection::vec(any::<u8>(), 0..50), 1..3)
+                .prop_map(RData::Txt)
+                .boxed(),
             QType::Ns => name().prop_map(RData::Ns).boxed(),
             QType::Cname => name().prop_map(RData::Cname).boxed(),
             _ => prop::collection::vec(any::<u8>(), 0..40)
@@ -64,9 +61,8 @@ fn record() -> impl Strategy<Value = Record> {
 fn edns_option() -> impl Strategy<Value = EdnsOption> {
     prop_oneof![
         prop::collection::vec(any::<u8>(), 0..16).prop_map(EdnsOption::Nsid),
-        (any::<[u8; 4]>(), 0u8..=32).prop_map(|(a, p)| {
-            EdnsOption::ClientSubnet(ClientSubnet::ipv4(a, p))
-        }),
+        (any::<[u8; 4]>(), 0u8..=32)
+            .prop_map(|(a, p)| { EdnsOption::ClientSubnet(ClientSubnet::ipv4(a, p)) }),
         (20u16..100, prop::collection::vec(any::<u8>(), 0..16))
             .prop_map(|(code, data)| EdnsOption::Unknown { code, data }),
     ]

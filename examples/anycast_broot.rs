@@ -69,7 +69,11 @@ fn main() {
     println!("\n{} routing modes:", modes.len());
     print!("{}", modes.summary());
     for m in modes.recurring() {
-        println!("mode ({}) RECURS across {} intervals", m.id + 1, m.intervals.len());
+        println!(
+            "mode ({}) RECURS across {} intervals",
+            m.id + 1,
+            m.intervals.len()
+        );
     }
     // The paper's "is the current routing like a mode I saw before?"
     if modes.len() >= 2 {

@@ -42,7 +42,10 @@ fn main() {
         .iter()
         .position(|&t| t >= study.change_at)
         .expect("change inside window");
-    println!("\nhop-3 carriers before/after the {} change:", study.change_at);
+    println!(
+        "\nhop-3 carriers before/after the {} change:",
+        study.change_at
+    );
     for idx in [change_idx.saturating_sub(2), change_idx + 2] {
         let mut shares: Vec<(String, f64)> = stack
             .labels
@@ -82,8 +85,10 @@ fn main() {
 
     // Sankey diagrams before/after (Figures 7–8): hops 1-4 flows.
     let max_hop = study.result.hop_series.len().min(4);
-    for (label, idx) in [("before (Fig. 7)", change_idx - 1), ("after (Fig. 8)", change_idx + 1)]
-    {
+    for (label, idx) in [
+        ("before (Fig. 7)", change_idx - 1),
+        ("after (Fig. 8)", change_idx + 1),
+    ] {
         let hops: Vec<&fenrir_core::vector::RoutingVector> = (1..=max_hop)
             .map(|k| study.result.hop(k).get(idx))
             .collect();

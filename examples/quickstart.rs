@@ -76,13 +76,8 @@ fn main() {
     let weights = Weights::uniform(series.networks());
 
     // ── 4. Pairwise comparison ─────────────────────────────────────────
-    let sim = SimilarityMatrix::compute_parallel(
-        &series,
-        &weights,
-        UnknownPolicy::Pessimistic,
-        4,
-    )
-    .expect("similarity");
+    let sim = SimilarityMatrix::compute_parallel(&series, &weights, UnknownPolicy::Pessimistic, 4)
+        .expect("similarity");
     println!(
         "\nΦ(day0, day1) = {:.3}   Φ(day0, day6 drained) = {:.3}",
         sim.get(0, 1),
@@ -127,7 +122,10 @@ fn main() {
     // the summary keys on the current catchments.
     for (label, t) in [("before drain", 5i64), ("during drain", 6)] {
         let svc = scenario.service_at(&service, Timestamp::from_days(t).as_secs());
-        let routes = svc.routes(&topo, &scenario.config_at(Timestamp::from_days(t).as_secs()));
+        let routes = svc.routes(
+            &topo,
+            &scenario.config_at(Timestamp::from_days(t).as_secs()),
+        );
         let v = RoutingVector::from_catchments(
             Timestamp::from_days(t),
             blocks

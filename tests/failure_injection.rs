@@ -2,11 +2,13 @@
 //! gracefully — no panics, no false alarms — under measurement conditions
 //! far worse than the paper's (total loss, near-total loss, heavy noise).
 
-use fenrir::core::detect::ChangeDetector;
+use fenrir::core::detect::{ChangeDetector, DEFAULT_COVERAGE_FLOOR};
 use fenrir::core::similarity::{phi, SimilarityMatrix, UnknownPolicy};
 use fenrir::core::time::Timestamp;
 use fenrir::core::weight::Weights;
 use fenrir::measure::atlas::AtlasCampaign;
+use fenrir::measure::fault::{BurstyLoss, FaultPlan, VpChurn, WireCorruption};
+use fenrir::measure::runner::RunnerConfig;
 use fenrir::measure::verfploeter::Verfploeter;
 use fenrir::netsim::anycast::AnycastService;
 use fenrir::netsim::events::Scenario;
@@ -46,11 +48,21 @@ fn total_verfploeter_blackout_is_all_unknown_and_quiet() {
     let w = Weights::uniform(r.series.networks());
     // Pessimistic Φ is 0 everywhere; known-only is 0 (nothing known).
     assert_eq!(
-        phi(r.series.get(0), r.series.get(1), &w, UnknownPolicy::Pessimistic),
+        phi(
+            r.series.get(0),
+            r.series.get(1),
+            &w,
+            UnknownPolicy::Pessimistic
+        ),
         0.0
     );
     assert_eq!(
-        phi(r.series.get(0), r.series.get(1), &w, UnknownPolicy::KnownOnly),
+        phi(
+            r.series.get(0),
+            r.series.get(1),
+            &w,
+            UnknownPolicy::KnownOnly
+        ),
         0.0
     );
     // The detector stays silent rather than alarming on darkness.
@@ -135,21 +147,249 @@ fn interpolation_after_heavy_loss_recovers_analysis_quality() {
     };
     let mut series = c.run(&topo, &svc, &Scenario::new(), &days(15)).series;
     let w = Weights::uniform(100);
-    let before = phi(
-        series.get(5),
-        series.get(6),
-        &w,
-        UnknownPolicy::Pessimistic,
-    );
+    let before = phi(series.get(5), series.get(6), &w, UnknownPolicy::Pessimistic);
     fenrir::core::clean::interpolate_nearest(&mut series, 3);
-    let after = phi(
-        series.get(5),
-        series.get(6),
-        &w,
-        UnknownPolicy::Pessimistic,
-    );
+    let after = phi(series.get(5), series.get(6), &w, UnknownPolicy::Pessimistic);
     assert!(
         after > before + 0.2,
         "interpolation should lift pessimistic Φ: {before} -> {after}"
     );
+}
+
+/// The chaos conditions from the fault-injection acceptance bar: bursty
+/// loss averaging ~50% with ≥90% loss inside bursts, 30% of vantage
+/// points churning out for multi-observation windows, and 1% wire-level
+/// corruption.
+fn chaos_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .with_bursty_loss(BurstyLoss {
+            p_enter_bad: 0.15,
+            p_exit_bad: 0.35,
+            loss_good: 0.3,
+            loss_bad: 0.95,
+        })
+        .with_vp_churn(VpChurn {
+            churn_frac: 0.3,
+            min_window: 2,
+            max_window: 5,
+        })
+        .with_wire_corruption(WireCorruption {
+            corrupt_prob: 0.01,
+            max_bit_flips: 4,
+            truncate_prob: 0.25,
+        })
+}
+
+fn retrying() -> RunnerConfig {
+    RunnerConfig {
+        max_retries: 3,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn chaos_on_stable_routing_never_alarms() {
+    let (topo, svc) = setup();
+    let c = AtlasCampaign {
+        vantage_points: 120,
+        loss_prob: 0.0,
+        ..Default::default()
+    };
+    let plan = chaos_plan(0xC4A05);
+    let r = c
+        .run_with(
+            &topo,
+            &svc,
+            &Scenario::new(),
+            &days(20),
+            &retrying(),
+            Some(&plan),
+        )
+        .unwrap();
+    assert_eq!(r.health.len(), 20);
+    let w = Weights::uniform(120);
+    let detector = ChangeDetector {
+        policy: UnknownPolicy::KnownOnly,
+        ..Default::default()
+    };
+    let gated = detector
+        .detect_gated(&r.series, &w, &r.health, DEFAULT_COVERAGE_FLOOR)
+        .unwrap();
+    assert!(
+        gated.events.is_empty(),
+        "stable routing under chaos must not raise unsuppressed alarms: {:?}",
+        gated.events
+    );
+}
+
+#[test]
+fn chaos_does_not_hide_a_real_drain() {
+    let (topo, svc) = setup();
+    let mut sc = Scenario::new();
+    sc.drain(
+        0,
+        Timestamp::from_days(10).as_secs(),
+        Timestamp::from_days(13).as_secs(),
+        "op",
+    );
+    let c = AtlasCampaign {
+        vantage_points: 120,
+        loss_prob: 0.0,
+        ..Default::default()
+    };
+    let plan = chaos_plan(0xC4A06);
+    let r = c
+        .run_with(&topo, &svc, &sc, &days(20), &retrying(), Some(&plan))
+        .unwrap();
+    let w = Weights::uniform(120);
+    let detector = ChangeDetector {
+        policy: UnknownPolicy::KnownOnly,
+        ..Default::default()
+    };
+    let gated = detector
+        .detect_gated(&r.series, &w, &r.health, DEFAULT_COVERAGE_FLOOR)
+        .unwrap();
+    assert!(
+        gated
+            .events
+            .iter()
+            .any(|e| e.time == Timestamp::from_days(10)),
+        "drain missed under chaos: {:?} (suppressed: {:?})",
+        gated.events,
+        gated.suppressed
+    );
+}
+
+#[test]
+fn total_blackout_is_suppressed_not_alarmed() {
+    let (topo, svc) = setup();
+    let vp = Verfploeter {
+        mean_response_rate: 0.95,
+        seed: 7,
+    };
+    // Observations 4..=6 are a total outage of the measurement system.
+    let plan = FaultPlan::new(0xB1AC).with_blackout(4, 7);
+    let r = vp
+        .run_with(
+            &topo,
+            &svc,
+            &Scenario::new(),
+            &days(12),
+            &RunnerConfig::default(),
+            Some(&plan),
+        )
+        .unwrap();
+    for obs in 4..=6 {
+        assert_eq!(r.health[obs].coverage(), 0.0, "obs {obs} is dark");
+        assert_eq!(r.health[obs].responses, 0);
+    }
+    let w = Weights::uniform(r.series.networks());
+    let gated = ChangeDetector::default()
+        .detect_gated(&r.series, &w, &r.health, DEFAULT_COVERAGE_FLOOR)
+        .unwrap();
+    assert!(
+        gated.events.is_empty(),
+        "a measurement outage must not alarm: {:?}",
+        gated.events
+    );
+    assert!(
+        !gated.suppressed.is_empty(),
+        "the blackout edge must be recorded as suppressed, not dropped"
+    );
+    // The ungated detector would have fired — that is exactly what the
+    // gate is for.
+    assert!(!ChangeDetector::default().detect(&r.series, &w).is_empty());
+}
+
+#[test]
+fn heavy_corruption_degrades_to_unknown_without_panic() {
+    let (topo, svc) = setup();
+    let c = AtlasCampaign {
+        vantage_points: 80,
+        loss_prob: 0.0,
+        ..Default::default()
+    };
+    let plan = FaultPlan::new(0xC0DE).with_wire_corruption(WireCorruption {
+        corrupt_prob: 0.7,
+        max_bit_flips: 6,
+        truncate_prob: 0.5,
+    });
+    let r = c
+        .run_with(
+            &topo,
+            &svc,
+            &Scenario::new(),
+            &days(8),
+            &RunnerConfig::default(),
+            Some(&plan),
+        )
+        .unwrap();
+    let decode_failures: usize = r.health.iter().map(|h| h.decode_failures).sum();
+    assert!(
+        decode_failures > 0,
+        "corruption this heavy must break decodes"
+    );
+    // Mangled replies become Unknown, so coverage collapses — and the
+    // coverage gate keeps whatever Φ noise remains from alarming.
+    let cov = r.series.mean_coverage();
+    assert!(
+        cov < 0.3,
+        "70% per-direction corruption leaves little ({cov})"
+    );
+    let w = Weights::uniform(80);
+    let detector = ChangeDetector {
+        policy: UnknownPolicy::KnownOnly,
+        ..Default::default()
+    };
+    let gated = detector
+        .detect_gated(&r.series, &w, &r.health, DEFAULT_COVERAGE_FLOOR)
+        .unwrap();
+    assert!(
+        gated.events.is_empty(),
+        "corruption noise must not survive the gate: {:?}",
+        gated.events
+    );
+}
+
+#[test]
+fn retries_recover_coverage_lost_to_bursts() {
+    let (topo, svc) = setup();
+    let vp = Verfploeter {
+        mean_response_rate: 1.0,
+        seed: 3,
+    };
+    let plan = FaultPlan::new(0x9E7).with_bursty_loss(BurstyLoss {
+        p_enter_bad: 0.15,
+        p_exit_bad: 0.35,
+        loss_good: 0.3,
+        loss_bad: 0.95,
+    });
+    let once = vp
+        .run_with(
+            &topo,
+            &svc,
+            &Scenario::new(),
+            &days(10),
+            &RunnerConfig::default(),
+            Some(&plan),
+        )
+        .unwrap();
+    let with_retries = vp
+        .run_with(
+            &topo,
+            &svc,
+            &Scenario::new(),
+            &days(10),
+            &retrying(),
+            Some(&plan),
+        )
+        .unwrap();
+    let c0 = once.series.mean_coverage();
+    let c3 = with_retries.series.mean_coverage();
+    assert!(
+        c3 > c0 + 0.15,
+        "three retries should lift coverage well past single-shot: {c0} -> {c3}"
+    );
+    let retried: usize = with_retries.health.iter().map(|h| h.retries).sum();
+    assert!(retried > 0);
 }

@@ -66,14 +66,14 @@ fn pipeline_rediscovers_a_drain() {
 
     // Cluster: the drain days form their own mode, and the pre-drain mode
     // recurs after the drain.
-    let modes = ModeAnalysis::discover(
-        &sim,
-        &times,
-        Linkage::Single,
-        AdaptiveThreshold::default(),
-    )
-    .expect("modes");
-    assert_eq!(modes.len(), 2, "baseline mode + drain mode: {}", modes.summary());
+    let modes = ModeAnalysis::discover(&sim, &times, Linkage::Single, AdaptiveThreshold::default())
+        .expect("modes");
+    assert_eq!(
+        modes.len(),
+        2,
+        "baseline mode + drain mode: {}",
+        modes.summary()
+    );
     let baseline = &modes.modes[0];
     assert!(baseline.recurs(), "baseline mode returns after the drain");
     let drain_mode = &modes.modes[1];
@@ -90,7 +90,9 @@ fn pipeline_rediscovers_a_drain() {
     assert!(t.churn() > 0.0);
     let flows = t.top_flows(series.sites(), 5);
     assert!(
-        flows.iter().all(|f| f.from == "LAX" || f.to == "LAX" || f.weight <= 2.0),
+        flows
+            .iter()
+            .all(|f| f.from == "LAX" || f.to == "LAX" || f.weight <= 2.0),
         "dominant flows leave LAX: {flows:?}"
     );
 
@@ -129,7 +131,9 @@ fn pipeline_survives_serialization() {
         ..Default::default()
     };
     let run = campaign.run(&topo, &service, &Scenario::new(), &times);
-    let labels: Vec<String> = (0..run.series.networks()).map(|i| format!("vp{i}")).collect();
+    let labels: Vec<String> = (0..run.series.networks())
+        .map(|i| format!("vp{i}"))
+        .collect();
 
     let jsonl = fenrir::data::io::to_jsonl(&run.series, &labels).expect("jsonl");
     let (back, back_labels) = fenrir::data::io::from_jsonl(&jsonl).expect("parse");
@@ -139,7 +143,11 @@ fn pipeline_survives_serialization() {
     let sim_orig =
         SimilarityMatrix::compute(&run.series, &w, UnknownPolicy::Pessimistic).expect("ok");
     let sim_back = SimilarityMatrix::compute(&back, &w, UnknownPolicy::Pessimistic).expect("ok");
-    assert_eq!(sim_orig.raw(), sim_back.raw(), "analysis identical after round trip");
+    assert_eq!(
+        sim_orig.raw(),
+        sim_back.raw(),
+        "analysis identical after round trip"
+    );
 
     // CSV drops nothing that matters either (unknowns are implicit).
     let csv = fenrir::data::io::to_csv(&run.series, &labels).expect("csv");

@@ -35,8 +35,7 @@ fn vector(n: usize, day: i64) -> impl Strategy<Value = RoutingVector> {
 
 /// Strategy: positive weights of length `n`.
 fn weights(n: usize) -> impl Strategy<Value = Weights> {
-    prop::collection::vec(0.1f64..100.0, n)
-        .prop_map(|v| Weights::from_values(v).expect("positive"))
+    prop::collection::vec(0.1f64..100.0, n).prop_map(|v| Weights::from_values(v).expect("positive"))
 }
 
 proptest! {
