@@ -1,0 +1,211 @@
+//! Incremental-vs-batch benchmarks: the daily-operations path.
+//!
+//! An operator appending one sweep per day to a multi-year series should
+//! pay for the delta, not the history. This bench times the two hot
+//! incremental paths against their from-scratch counterparts:
+//!
+//! 1. single-event route reconvergence — `RouteTable::recompute_after`
+//!    on one link flap vs a full `RouteTable::compute`;
+//! 2. single-observation matrix extension — `SimilarityMatrix::extend`
+//!    by one appended observation vs recomputing all pairs.
+//!
+//! Unlike the criterion-driven groups, this bench runs as its own binary
+//! (`harness = false`) and emits `BENCH_incremental.json` at the workspace
+//! root — the perf-trajectory artifact CI uploads. The vendored
+//! `serde_json` stub cannot serialize offline, so the JSON is formatted by
+//! hand; the schema is flat on purpose.
+
+use fenrir_core::ids::SiteId;
+use fenrir_core::ids::SiteTable;
+use fenrir_core::series::VectorSeries;
+use fenrir_core::similarity::{SimilarityMatrix, UnknownPolicy};
+use fenrir_core::time::Timestamp;
+use fenrir_core::vector::{Catchment, RoutingVector};
+use fenrir_core::weight::Weights;
+use fenrir_netsim::routing::{RouteEvent, RouteTable, RoutingConfig};
+use fenrir_netsim::topology::{Tier, TopologyBuilder};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Default topology size, matching the mid point of the netsim bench grid.
+const STUBS: usize = 400;
+/// Default series shape: one year of daily sweeps over 800 networks.
+const OBSERVATIONS: usize = 365;
+const NETWORKS: usize = 800;
+
+/// Average wall time of `f` in nanoseconds over `iters` runs (plus one
+/// discarded warmup).
+fn time_ns<R>(iters: u32, mut f: impl FnMut() -> R) -> f64 {
+    black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    start.elapsed().as_nanos() as f64 / f64::from(iters)
+}
+
+struct Comparison {
+    name: &'static str,
+    batch_ns: f64,
+    incremental_ns: f64,
+}
+
+impl Comparison {
+    fn speedup(&self) -> f64 {
+        self.batch_ns / self.incremental_ns
+    }
+}
+
+/// Time one link-flap reconvergence against a from-scratch fixed point.
+fn bench_route_reconvergence() -> Comparison {
+    let topo = TopologyBuilder {
+        transit: 5,
+        regional: STUBS / 16,
+        stubs: STUBS,
+        blocks_per_stub: 2,
+        seed: 1,
+        ..Default::default()
+    }
+    .build();
+    let origins: Vec<_> = topo
+        .tier_members(Tier::Regional)
+        .iter()
+        .take(4)
+        .enumerate()
+        .map(|(i, &a)| (a, i as u32))
+        .collect();
+    let cfg = RoutingConfig::default();
+    let base = RouteTable::compute(&topo, &origins, &cfg);
+
+    // The event: one stub's access link goes down. No preference pins are
+    // involved, so the fixed point stays unique and the dirty-frontier
+    // path (not the batch fallback) is what gets measured.
+    let stub = topo.tier_members(Tier::Stub)[STUBS / 2];
+    let provider = topo.neighbors(stub)[0].0;
+    let down = RouteEvent::LinkDown {
+        a: stub,
+        b: provider,
+    };
+
+    let mut down_cfg = cfg.clone();
+    down_cfg.disable_link(stub, provider);
+    let batch_ns = time_ns(30, || RouteTable::compute(&topo, &origins, &down_cfg));
+    // The incremental side pays for cloning the converged table too — that
+    // is the real cost an `IncrementalRoutes`-style caller avoids by
+    // mutating in place, so this measurement is an upper bound.
+    let incremental_ns = time_ns(200, || {
+        let mut table = base.clone();
+        let mut origins = origins.clone();
+        let mut cfg = cfg.clone();
+        table.recompute_after(&topo, &mut origins, &mut cfg, &down);
+        table
+    });
+    Comparison {
+        name: "route_reconvergence",
+        batch_ns,
+        incremental_ns,
+    }
+}
+
+/// A deterministic one-year series: 4 sites, `NETWORKS` networks, with a
+/// sprinkle of unknowns so Φ exercises its policy branch.
+fn series(observations: usize) -> VectorSeries {
+    let sites = SiteTable::from_names(["LAX", "MIA", "ARI", "SIN"]);
+    let mut s = VectorSeries::new(sites, NETWORKS);
+    let mut state = 0x5EED_u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for day in 0..observations {
+        let catchments: Vec<Catchment> = (0..NETWORKS)
+            .map(|_| {
+                let r = next();
+                if r % 16 == 0 {
+                    Catchment::Unknown
+                } else {
+                    Catchment::Site(SiteId((r % 4) as u16))
+                }
+            })
+            .collect();
+        s.push(RoutingVector::from_catchments(
+            Timestamp::from_days(day as i64),
+            catchments,
+        ))
+        .expect("ordered timestamps");
+    }
+    s
+}
+
+/// Time one-observation `extend` against an all-pairs recompute.
+fn bench_matrix_extension() -> Comparison {
+    let full = series(OBSERVATIONS);
+    let prefix = series(OBSERVATIONS - 1);
+    let w = Weights::uniform(NETWORKS);
+    let policy = UnknownPolicy::Pessimistic;
+    let base = SimilarityMatrix::compute(&prefix, &w, policy).expect("prefix matrix");
+
+    let batch_ns = time_ns(3, || SimilarityMatrix::compute(&full, &w, policy));
+    let incremental_ns = time_ns(20, || {
+        let mut m = base.clone();
+        m.extend(&full, &w, policy).expect("extend by one");
+        m
+    });
+    Comparison {
+        name: "matrix_extension",
+        batch_ns,
+        incremental_ns,
+    }
+}
+
+/// Hand-formatted JSON — the vendored serde_json stub cannot serialize.
+fn render_json(comparisons: &[Comparison]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"incremental\",\n");
+    out.push_str(&format!("  \"topology_stubs\": {STUBS},\n"));
+    out.push_str(&format!("  \"series_observations\": {OBSERVATIONS},\n"));
+    out.push_str(&format!("  \"series_networks\": {NETWORKS},\n"));
+    out.push_str("  \"groups\": {\n");
+    for (i, c) in comparisons.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{ \"batch_ns\": {:.0}, \"incremental_ns\": {:.0}, \"speedup\": {:.2} }}{}\n",
+            c.name,
+            c.batch_ns,
+            c.incremental_ns,
+            c.speedup(),
+            if i + 1 < comparisons.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+fn main() {
+    // `cargo bench`/`cargo test --benches` pass harness flags; none apply.
+    let comparisons = [bench_route_reconvergence(), bench_matrix_extension()];
+    for c in &comparisons {
+        println!(
+            "{:<24} batch {:>12.0} ns   incremental {:>12.0} ns   speedup {:>8.2}x",
+            c.name,
+            c.batch_ns,
+            c.incremental_ns,
+            c.speedup()
+        );
+    }
+    let json = render_json(&comparisons);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_incremental.json");
+    std::fs::write(path, &json).expect("write BENCH_incremental.json");
+    println!("wrote {path}");
+    // The acceptance bar for the incremental paths: each must beat its
+    // from-scratch counterpart by at least 5x on the default sizes.
+    for c in &comparisons {
+        assert!(
+            c.speedup() >= 5.0,
+            "{} speedup {:.2}x is below the 5x bar",
+            c.name,
+            c.speedup()
+        );
+    }
+}

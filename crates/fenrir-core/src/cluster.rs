@@ -47,16 +47,180 @@ pub struct Merge {
     pub size: usize,
 }
 
-/// The full merge tree produced by HAC, with merges sorted by ascending
-/// distance so that cutting at a threshold is a single union-find pass.
+/// The full merge tree produced by HAC, with merges in ascending distance
+/// order so that cutting at a threshold is a single union-find pass.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Dendrogram {
     n: usize,
+    #[serde(default)]
+    linkage: Linkage,
     merges: Vec<Merge>,
+}
+
+/// Working state of the greedy global-minimum agglomeration shared by
+/// [`Dendrogram::build`] and [`Dendrogram::extend`].
+///
+/// Each *slot* is one leaf index; a merged cluster lives on in the slot of
+/// its smaller member and the other slot retires. Every candidate pair is
+/// ranked by a total-order key (see [`Engine::key`]) so the merge sequence
+/// is a pure function of the distance matrix — independent of discovery
+/// order, which is what lets an incremental resume reproduce the batch
+/// result bit for bit.
+struct Engine {
+    linkage: Linkage,
+    slots: usize,
+    /// `slots × slots` working distances, Lance-Williams-updated on merge.
+    d: Vec<f64>,
+    active: Vec<bool>,
+    size: Vec<usize>,
+    /// Current dendrogram cluster id (scipy numbering) held by each slot.
+    cluster_id: Vec<usize>,
+    next_id: usize,
+    /// Cached nearest neighbour per slot `(distance, neighbour_slot)`,
+    /// cleared whenever a merge could change the answer.
+    nn: Vec<Option<(f64, usize)>>,
+}
+
+impl Engine {
+    fn from_leaves(sim: &SimilarityMatrix, linkage: Linkage) -> Engine {
+        let n = sim.len();
+        let mut d = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                d[i * n + j] = sim.distance(i, j);
+            }
+        }
+        Engine {
+            linkage,
+            slots: n,
+            d,
+            active: vec![true; n],
+            size: vec![1; n],
+            cluster_id: (0..n).collect(),
+            next_id: n,
+            nn: vec![None; n],
+        }
+    }
+
+    /// Lexicographic merge key: distance first under `f64::total_cmp` (so a
+    /// NaN distance sorts after every number instead of panicking the sort,
+    /// and ties are never resolved by discovery order), then the cluster-id
+    /// pair. Keys are distinct across candidate pairs, making the greedy
+    /// choice canonical.
+    fn key(&self, dist: f64, i: usize, j: usize) -> (f64, usize, usize) {
+        let (ci, cj) = (self.cluster_id[i], self.cluster_id[j]);
+        (dist, ci.min(cj), ci.max(cj))
+    }
+
+    fn key_lt(a: &(f64, usize, usize), b: &(f64, usize, usize)) -> bool {
+        a.0.total_cmp(&b.0)
+            .then(a.1.cmp(&b.1))
+            .then(a.2.cmp(&b.2))
+            .is_lt()
+    }
+
+    /// Nearest active neighbour of slot `i` by merge key.
+    fn nearest(&self, i: usize) -> (f64, usize) {
+        let mut best: Option<((f64, usize, usize), usize)> = None;
+        for j in 0..self.slots {
+            if j == i || !self.active[j] {
+                continue;
+            }
+            let k = self.key(self.d[i * self.slots + j], i, j);
+            if best.is_none_or(|(bk, _)| Self::key_lt(&k, &bk)) {
+                best = Some((k, j));
+            }
+        }
+        let (k, j) = best.expect("at least two active clusters");
+        (k.0, j)
+    }
+
+    /// Merge the clusters in slots `x < y`, retiring `y`. Returns the
+    /// recorded merge step.
+    fn merge_slots(&mut self, x: usize, y: usize) -> Merge {
+        debug_assert!(x < y && self.active[x] && self.active[y]);
+        let n = self.slots;
+        let dist = self.d[x * n + y];
+        let (sx, sy) = (self.size[x], self.size[y]);
+        let merge = Merge {
+            a: self.cluster_id[x].min(self.cluster_id[y]),
+            b: self.cluster_id[x].max(self.cluster_id[y]),
+            distance: dist,
+            size: sx + sy,
+        };
+        for m in 0..n {
+            if m == x || m == y || !self.active[m] {
+                continue;
+            }
+            let dxm = self.d[x * n + m];
+            let dym = self.d[y * n + m];
+            let new = match self.linkage {
+                Linkage::Single => dxm.min(dym),
+                Linkage::Complete => dxm.max(dym),
+                Linkage::Average => (sx as f64 * dxm + sy as f64 * dym) / (sx + sy) as f64,
+            };
+            self.d[x * n + m] = new;
+            self.d[m * n + x] = new;
+            // The cache survives only if it cannot have been affected: its
+            // neighbour still exists and the merged cluster is strictly
+            // farther (a tie would need the id-based key re-evaluated).
+            if let Some((cd, cj)) = self.nn[m] {
+                if cj == x || cj == y || new.total_cmp(&cd).is_le() {
+                    self.nn[m] = None;
+                }
+            }
+        }
+        self.active[y] = false;
+        self.nn[y] = None;
+        self.nn[x] = None;
+        self.size[x] = sx + sy;
+        self.cluster_id[x] = self.next_id;
+        self.next_id += 1;
+        merge
+    }
+
+    /// One greedy step: merge the globally closest pair of active clusters.
+    fn merge_best(&mut self) -> Merge {
+        let mut best: Option<((f64, usize, usize), usize, usize)> = None;
+        for i in 0..self.slots {
+            if !self.active[i] {
+                continue;
+            }
+            let (dist, j) = match self.nn[i] {
+                Some(cached) => cached,
+                None => {
+                    let fresh = self.nearest(i);
+                    self.nn[i] = Some(fresh);
+                    fresh
+                }
+            };
+            let k = self.key(dist, i, j);
+            if best.is_none_or(|(bk, _, _)| Self::key_lt(&k, &bk)) {
+                best = Some((k, i, j));
+            }
+        }
+        let (_, a, b) = best.expect("at least two active clusters");
+        self.merge_slots(a.min(b), a.max(b))
+    }
+
+    /// Run greedy agglomeration until one cluster remains, appending each
+    /// merge to `out`.
+    fn run(&mut self, out: &mut Vec<Merge>) {
+        let mut remaining = self.active.iter().filter(|&&a| a).count();
+        while remaining > 1 {
+            out.push(self.merge_best());
+            remaining -= 1;
+        }
+    }
 }
 
 impl Dendrogram {
     /// Run HAC over the Gower distances of `sim` with the given linkage.
+    ///
+    /// The merge sequence is canonical: at every step the pair with the
+    /// smallest `(distance, min id, max id)` key merges, so the output is a
+    /// pure function of the matrix and two builds (or a build and an
+    /// incremental [`Dendrogram::extend`]) agree exactly.
     ///
     /// Errors if the matrix is empty.
     pub fn build(sim: &SimilarityMatrix, linkage: Linkage) -> Result<Self> {
@@ -64,133 +228,92 @@ impl Dendrogram {
         if n == 0 {
             return Err(Error::EmptyInput("similarity matrix"));
         }
-        if n == 1 {
-            return Ok(Dendrogram {
-                n,
-                merges: Vec::new(),
+        let mut merges = Vec::with_capacity(n - 1);
+        if n > 1 {
+            Engine::from_leaves(sim, linkage).run(&mut merges);
+        }
+        debug_assert!(
+            merges
+                .windows(2)
+                .all(|w| w[0].distance.total_cmp(&w[1].distance).is_le()),
+            "greedy merges must come out in ascending distance order"
+        );
+        Ok(Dendrogram { n, linkage, merges })
+    }
+
+    /// Grow the tree over observations newly appended to `sim` — the
+    /// daily-operations path where an operator adds one sweep per day.
+    ///
+    /// Let `cutoff` be the smallest distance involving any new observation.
+    /// No cluster containing a new observation can take part in a merge
+    /// below `cutoff`, so the existing merges strictly below it are exactly
+    /// the prefix a batch build over the grown matrix would produce. Those
+    /// are replayed (Lance-Williams updates only — no neighbour search),
+    /// and greedy agglomeration resumes from the reconstructed state. The
+    /// result is identical to `Dendrogram::build(sim, linkage)` — bit for
+    /// bit, including tie resolution — which the property tests assert.
+    ///
+    /// The first `self.len()` observations of `sim` must be the ones this
+    /// tree was built from. Errors if the matrix shrank.
+    pub fn extend(&mut self, sim: &SimilarityMatrix) -> Result<()> {
+        let old_n = self.n;
+        let new_n = sim.len();
+        if new_n < old_n {
+            return Err(Error::ShapeMismatch {
+                what: "extended similarity matrix",
+                expected: old_n,
+                actual: new_n,
             });
         }
-
-        // Working copy of the condensed distance matrix, mutated by
-        // Lance-Williams updates as clusters merge.
-        let mut d = vec![0.0f64; n * n];
-        for i in 0..n {
-            for j in 0..n {
-                d[i * n + j] = sim.distance(i, j);
-            }
+        if new_n == old_n {
+            return Ok(());
         }
-        let mut size = vec![1usize; n]; // leaves per active cluster
-        let mut active = vec![true; n];
-        // Map slot -> current dendrogram cluster id (scipy numbering).
-        let mut cluster_id: Vec<usize> = (0..n).collect();
-        let mut next_id = n;
-
-        let mut raw_merges: Vec<Merge> = Vec::with_capacity(n - 1);
-        let mut chain: Vec<usize> = Vec::with_capacity(n);
-
-        for _ in 0..n - 1 {
-            // Start (or resume) the nearest-neighbour chain.
-            if chain.is_empty() {
-                let start = active
-                    .iter()
-                    .position(|&a| a)
-                    .expect("at least two active clusters remain");
-                chain.push(start);
-            }
-            let (x, y, dist) = loop {
-                let x = *chain.last().expect("chain nonempty");
-                // Nearest active neighbour of x (smallest distance; ties to
-                // the lowest index for determinism).
-                let mut best = usize::MAX;
-                let mut best_d = f64::INFINITY;
-                for j in 0..n {
-                    if j != x && active[j] {
-                        let dj = d[x * n + j];
-                        if dj < best_d {
-                            best_d = dj;
-                            best = j;
-                        }
+        let mut cutoff = f64::INFINITY;
+        for j in old_n..new_n {
+            for i in 0..new_n {
+                if i != j {
+                    let dij = sim.distance(i, j);
+                    if dij.total_cmp(&cutoff).is_lt() {
+                        cutoff = dij;
                     }
                 }
-                debug_assert_ne!(best, usize::MAX);
-                // Reciprocal pair found when the nearest neighbour is the
-                // previous chain element.
-                if chain.len() >= 2 && best == chain[chain.len() - 2] {
-                    chain.pop();
-                    let y = chain.pop().expect("chain had two elements");
-                    break (x, y, best_d);
-                }
-                chain.push(best);
-            };
-
-            // Merge y into slot x; retire slot y.
-            let (sx, sy) = (size[x], size[y]);
-            raw_merges.push(Merge {
-                a: cluster_id[x.min(y)],
-                b: cluster_id[x.max(y)],
-                distance: dist,
-                size: sx + sy,
-            });
-            for m in 0..n {
-                if m == x || m == y || !active[m] {
-                    continue;
-                }
-                let dxm = d[x * n + m];
-                let dym = d[y * n + m];
-                let new = match linkage {
-                    Linkage::Single => dxm.min(dym),
-                    Linkage::Complete => dxm.max(dym),
-                    Linkage::Average => (sx as f64 * dxm + sy as f64 * dym) / (sx + sy) as f64,
-                };
-                d[x * n + m] = new;
-                d[m * n + x] = new;
-            }
-            active[y] = false;
-            size[x] = sx + sy;
-            cluster_id[x] = next_id;
-            next_id += 1;
-            // Under tied distances the remaining chain can still reference
-            // x or y; truncate at the first stale entry so every element
-            // stays an active, pre-merge cluster.
-            if let Some(pos) = chain.iter().position(|&e| e == x || e == y) {
-                chain.truncate(pos);
             }
         }
-
-        // NN-chain discovers merges out of height order; sort ascending and
-        // relabel the internal cluster ids to match the sorted order.
-        let mut order: Vec<usize> = (0..raw_merges.len()).collect();
-        order.sort_by(|&i, &j| {
-            raw_merges[i]
-                .distance
-                .partial_cmp(&raw_merges[j].distance)
-                .expect("distances are finite")
-                .then(i.cmp(&j))
-        });
-        let mut relabel = vec![0usize; raw_merges.len()];
-        for (new_pos, &old_pos) in order.iter().enumerate() {
-            relabel[old_pos] = n + new_pos;
-        }
-        let remap = |id: usize| if id < n { id } else { relabel[id - n] };
-        let merges: Vec<Merge> = order
+        // Stable prefix: merges strictly below the cutoff. Internal ids are
+        // rebased from `old_n + p` to `new_n + p`; the remap preserves the
+        // relative order of every id pair that can tie below the cutoff, so
+        // replayed tie-breaks match what the batch build would choose.
+        let keep = self
+            .merges
             .iter()
-            .map(|&old| {
-                let m = raw_merges[old];
-                let (a, b) = (remap(m.a), remap(m.b));
-                Merge {
-                    a: a.min(b),
-                    b: a.max(b),
-                    distance: m.distance,
-                    size: m.size,
-                }
-            })
-            .collect();
-        debug_assert!(
-            merges.windows(2).all(|w| w[0].distance <= w[1].distance),
-            "merge heights must be monotone after sorting"
-        );
+            .take_while(|m| m.distance.total_cmp(&cutoff).is_lt())
+            .count();
+        let remap = |id: usize| if id < old_n { id } else { new_n + (id - old_n) };
 
-        Ok(Dendrogram { n, merges })
+        let mut engine = Engine::from_leaves(sim, self.linkage);
+        let mut merges: Vec<Merge> = Vec::with_capacity(new_n - 1);
+        // Slot currently holding each replayed cluster id.
+        let mut slot_of: Vec<usize> = (0..new_n).collect();
+        for m in &self.merges[..keep] {
+            let (a, b) = (remap(m.a), remap(m.b));
+            let (x, y) = (slot_of[a], slot_of[b]);
+            let new_id = engine.next_id;
+            let replayed = engine.merge_slots(x.min(y), x.max(y));
+            debug_assert_eq!(replayed.distance.to_bits(), m.distance.to_bits());
+            debug_assert_eq!((replayed.a, replayed.b), (a.min(b), a.max(b)));
+            slot_of.push(x.min(y));
+            debug_assert_eq!(slot_of.len() - 1, new_id);
+            merges.push(replayed);
+        }
+        engine.run(&mut merges);
+        self.n = new_n;
+        self.merges = merges;
+        Ok(())
+    }
+
+    /// The linkage this tree was built with.
+    pub fn linkage(&self) -> Linkage {
+        self.linkage
     }
 
     /// Number of leaves (observation times).
@@ -322,13 +445,23 @@ impl AdaptiveThreshold {
                 message: "must be at least 1".into(),
             });
         }
-        let mut t = 0.0;
-        while t <= 1.0 + 1e-9 {
+        // Sweep by integer index: `t += step` accumulates binary
+        // representation error (0.01 is not exactly representable), so the
+        // swept thresholds would drift and 1.0 might be skipped or tested
+        // twice depending on a fudge factor. `i as f64 * step` keeps each
+        // threshold within one rounding of the ideal value, and the final
+        // index is clamped so exactly 1.0 is always the last threshold.
+        let steps = (1.0 / self.step).ceil() as usize;
+        for i in 0..=steps {
+            let t = if i == steps {
+                1.0
+            } else {
+                i as f64 * self.step
+            };
             let labels = dendro.cut(t);
             if let Some(choice) = self.qualify(t, labels) {
                 return Ok(choice);
             }
-            t += self.step;
         }
         let labels = dendro.cut(1.0);
         let clusters = labels.iter().copied().max().map_or(0, |m| m + 1);
@@ -571,5 +704,107 @@ mod tests {
         let sim = sim_from_dist(3, |_, _| 0.0);
         let d = Dendrogram::build(&sim, Linkage::Complete).unwrap();
         assert_eq!(d.cluster_count(0.0), 1);
+    }
+
+    #[test]
+    fn nan_distances_do_not_panic() {
+        // A NaN distance (e.g. from a degenerate weights edge case smuggled
+        // in through from_raw) must not panic the merge ordering; under
+        // total_cmp NaN sorts after every number, so NaN-distance merges
+        // come last and everything else is unaffected.
+        let mut v = vec![f64::NAN; 9];
+        for i in 0..3 {
+            v[i * 3 + i] = 1.0;
+        }
+        // Observations 0 and 1 are close; 2 is NaN-distant from both.
+        v[1] = 0.9;
+        v[3] = 0.9;
+        let sim = SimilarityMatrix::from_raw(3, v).unwrap();
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let d = Dendrogram::build(&sim, linkage).unwrap();
+            assert_eq!(d.merges().len(), 2, "{linkage:?}");
+            assert!((d.merges()[0].distance - 0.1).abs() < 1e-12);
+            assert!(d.merges()[1].distance.is_nan());
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic_under_ties() {
+        // Every pair equidistant: the canonical key must resolve ties the
+        // same way on every run, so two builds agree exactly.
+        let sim = sim_from_dist(6, |_, _| 0.5);
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let a = Dendrogram::build(&sim, linkage).unwrap();
+            let b = Dendrogram::build(&sim, linkage).unwrap();
+            assert_eq!(a.merges(), b.merges());
+            // First merge is the smallest-id pair, and ids ascend.
+            assert_eq!((a.merges()[0].a, a.merges()[0].b), (0, 1));
+        }
+    }
+
+    #[test]
+    fn extend_matches_batch_build() {
+        // Grow 5 -> 8 observations; the incrementally extended tree must be
+        // bit-for-bit the batch tree over the full matrix.
+        let full = sim_from_dist(8, |i, j| {
+            let g = |x: usize| if x >= 6 { 2 } else { usize::from(x >= 3) };
+            if g(i) == g(j) {
+                0.1 + 0.01 * i.abs_diff(j) as f64
+            } else {
+                0.8 + 0.01 * (i + j) as f64 / 10.0
+            }
+        });
+        let prefix = {
+            let n = 5;
+            let mut v = vec![0.0; n * n];
+            for i in 0..n {
+                for j in 0..n {
+                    v[i * n + j] = full.get(i, j);
+                }
+            }
+            SimilarityMatrix::from_raw(n, v).unwrap()
+        };
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let mut grown = Dendrogram::build(&prefix, linkage).unwrap();
+            grown.extend(&full).unwrap();
+            let batch = Dendrogram::build(&full, linkage).unwrap();
+            assert_eq!(grown.merges(), batch.merges(), "{linkage:?}");
+            assert_eq!(grown.len(), batch.len());
+        }
+    }
+
+    #[test]
+    fn extend_matches_batch_under_ties() {
+        // All-equal distances maximise tie-break pressure on the replayed
+        // prefix; the id rebasing must preserve every tie resolution.
+        let full = sim_from_dist(7, |_, _| 0.5);
+        let prefix = sim_from_dist(4, |_, _| 0.5);
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let mut grown = Dendrogram::build(&prefix, linkage).unwrap();
+            grown.extend(&full).unwrap();
+            let batch = Dendrogram::build(&full, linkage).unwrap();
+            assert_eq!(grown.merges(), batch.merges(), "{linkage:?}");
+        }
+    }
+
+    #[test]
+    fn extend_noop_and_shrink() {
+        let sim = two_blobs();
+        let mut d = Dendrogram::build(&sim, Linkage::Single).unwrap();
+        let before = d.merges().to_vec();
+        d.extend(&sim).unwrap();
+        assert_eq!(d.merges(), &before[..]);
+        let small = sim_from_dist(2, |_, _| 0.5);
+        assert!(d.extend(&small).is_err());
+    }
+
+    #[test]
+    fn extend_from_single_leaf() {
+        let prefix = SimilarityMatrix::from_raw(1, vec![1.0]).unwrap();
+        let full = two_blobs();
+        let mut grown = Dendrogram::build(&prefix, Linkage::Average).unwrap();
+        grown.extend(&full).unwrap();
+        let batch = Dendrogram::build(&full, Linkage::Average).unwrap();
+        assert_eq!(grown.merges(), batch.merges());
     }
 }

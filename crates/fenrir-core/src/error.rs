@@ -34,6 +34,10 @@ pub enum Error {
     EmptyInput(&'static str),
     /// A timestamp lookup failed: the series has no vector at that time.
     NoSuchTime(i64),
+    /// Two observations claim the same timestamp. Sorted-by-time storage
+    /// relies on strict ordering for binary-search lookups, so duplicates
+    /// are rejected at every entry point rather than silently kept.
+    DuplicateTimestamp(i64),
     /// A parameter is outside its documented domain
     /// (e.g. a distance threshold not in `[0, 1]`).
     InvalidParameter {
@@ -64,6 +68,15 @@ pub enum Error {
     },
     /// A wire-format payload failed to encode or decode.
     Wire(fenrir_wire::WireError),
+    /// An internal execution failure (e.g. a worker thread panicked).
+    /// Surfaced as an error instead of aborting the process so campaign
+    /// runners can quarantine the failing analysis and continue.
+    Internal {
+        /// Which subsystem failed (e.g. "similarity worker").
+        what: &'static str,
+        /// Human-readable description of the failure.
+        message: String,
+    },
 }
 
 impl From<fenrir_wire::WireError> for Error {
@@ -85,6 +98,9 @@ impl fmt::Display for Error {
             ),
             Error::EmptyInput(what) => write!(f, "empty input: {what}"),
             Error::NoSuchTime(t) => write!(f, "no vector recorded at timestamp {t}"),
+            Error::DuplicateTimestamp(t) => {
+                write!(f, "duplicate observation at timestamp {t}")
+            }
             Error::InvalidParameter { name, message } => {
                 write!(f, "invalid parameter {name}: {message}")
             }
@@ -101,6 +117,9 @@ impl fmt::Display for Error {
                 write!(f, "campaign {campaign} aborted: {reason}")
             }
             Error::Wire(e) => write!(f, "wire format error: {e}"),
+            Error::Internal { what, message } => {
+                write!(f, "internal failure in {what}: {message}")
+            }
         }
     }
 }
@@ -195,6 +214,26 @@ mod tests {
         assert_eq!(
             e.to_string(),
             "campaign verfploeter aborted: probe budget exhausted on every sweep"
+        );
+    }
+
+    #[test]
+    fn display_duplicate_timestamp() {
+        assert_eq!(
+            Error::DuplicateTimestamp(86_400).to_string(),
+            "duplicate observation at timestamp 86400"
+        );
+    }
+
+    #[test]
+    fn display_internal() {
+        let e = Error::Internal {
+            what: "similarity worker",
+            message: "worker thread panicked".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "internal failure in similarity worker: worker thread panicked"
         );
     }
 

@@ -63,10 +63,7 @@ impl VectorSeries {
         }
         for w in vectors.windows(2) {
             if w[0].time() == w[1].time() {
-                return Err(Error::InvalidParameter {
-                    name: "vectors",
-                    message: format!("duplicate timestamp {}", w[0].time()),
-                });
+                return Err(Error::DuplicateTimestamp(w[0].time().as_secs()));
             }
         }
         Ok(VectorSeries {
@@ -87,7 +84,10 @@ impl VectorSeries {
             });
         }
         if let Some(last) = self.vectors.last() {
-            if v.time() <= last.time() {
+            if v.time() == last.time() {
+                return Err(Error::DuplicateTimestamp(v.time().as_secs()));
+            }
+            if v.time() < last.time() {
                 return Err(Error::InvalidParameter {
                     name: "vector.time",
                     message: format!("out of order: {} does not follow {}", v.time(), last.time()),
@@ -224,8 +224,15 @@ mod tests {
     fn push_enforces_time_order() {
         let mut s = VectorSeries::new(table(), 1);
         s.push(RoutingVector::unknown(ts(5), 1)).unwrap();
-        assert!(s.push(RoutingVector::unknown(ts(5), 1)).is_err());
-        assert!(s.push(RoutingVector::unknown(ts(4), 1)).is_err());
+        // A duplicate gets the typed error; merely-out-of-order does not.
+        assert!(matches!(
+            s.push(RoutingVector::unknown(ts(5), 1)),
+            Err(Error::DuplicateTimestamp(t)) if t == ts(5).as_secs()
+        ));
+        assert!(matches!(
+            s.push(RoutingVector::unknown(ts(4), 1)),
+            Err(Error::InvalidParameter { .. })
+        ));
         assert!(s.push(RoutingVector::unknown(ts(6), 1)).is_ok());
     }
 
@@ -246,7 +253,26 @@ mod tests {
             RoutingVector::unknown(ts(1), 1),
             RoutingVector::unknown(ts(1), 1),
         ];
-        assert!(VectorSeries::from_vectors(table(), 1, v).is_err());
+        assert!(matches!(
+            VectorSeries::from_vectors(table(), 1, v),
+            Err(Error::DuplicateTimestamp(t)) if t == ts(1).as_secs()
+        ));
+    }
+
+    #[test]
+    fn from_vectors_rejects_duplicates_hidden_by_sorting() {
+        // Duplicates that are not adjacent in the input must still be
+        // caught after the sort pass (binary-search `index_of`/`at` would
+        // silently resolve to an arbitrary one of the pair otherwise).
+        let v = vec![
+            RoutingVector::unknown(ts(2), 1),
+            RoutingVector::unknown(ts(0), 1),
+            RoutingVector::unknown(ts(2), 1),
+        ];
+        assert!(matches!(
+            VectorSeries::from_vectors(table(), 1, v),
+            Err(Error::DuplicateTimestamp(t)) if t == ts(2).as_secs()
+        ));
     }
 
     #[test]

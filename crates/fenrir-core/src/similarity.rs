@@ -122,28 +122,50 @@ pub fn gower_distance(
     1.0 - phi(a, b, w, policy)
 }
 
+/// Number of stored cells for an `n × n` symmetric matrix kept as its lower
+/// triangle (diagonal included).
+#[inline]
+fn tri_len(n: usize) -> usize {
+    n * (n + 1) / 2
+}
+
 /// Symmetric all-pairs similarity matrix over a series — the backing data of
 /// the paper's heatmaps (Figures 2b, 3b, 5, 6b) and the input to clustering.
+///
+/// Φ is symmetric, so only the lower triangle (diagonal included) is stored:
+/// `n·(n+1)/2` cells instead of `n²`, halving resident memory and serialized
+/// size for the multi-year matrices the daily-operations workflow keeps
+/// around. The triangle is row-major — row `i` holds `Φ(i, 0..=i)` — so
+/// appending an observation appends one contiguous row and
+/// [`SimilarityMatrix::extend`] never re-embeds history.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimilarityMatrix {
     n: usize,
-    /// Row-major `n × n`, symmetric, diagonal = Φ(t,t).
+    /// Lower triangle with diagonal, row-major: `values[i·(i+1)/2 + j]` is
+    /// `Φ(i, j)` for `j ≤ i`.
     values: Vec<f64>,
 }
 
 impl SimilarityMatrix {
+    /// Position of `(i, j)` in the condensed buffer (order-insensitive).
+    #[inline]
+    fn idx(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.n && j < self.n, "({i}, {j}) out of {}", self.n);
+        let (lo, hi) = if i <= j { (i, j) } else { (j, i) };
+        hi * (hi + 1) / 2 + lo
+    }
+
     /// Compute Φ for all pairs of vectors in `series`, sequentially.
     ///
     /// Errors if the series is empty or weights mismatch the population.
     pub fn compute(series: &VectorSeries, w: &Weights, policy: UnknownPolicy) -> Result<Self> {
         Self::validate(series, w)?;
         let n = series.len();
-        let mut values = vec![0.0; n * n];
+        let mut values = Vec::with_capacity(tri_len(n));
         for i in 0..n {
-            for j in i..n {
-                let p = phi(series.get(i), series.get(j), w, policy);
-                values[i * n + j] = p;
-                values[j * n + i] = p;
+            let a = series.get(i);
+            for j in 0..=i {
+                values.push(phi(a, series.get(j), w, policy));
             }
         }
         Ok(SimilarityMatrix { n, values })
@@ -152,6 +174,10 @@ impl SimilarityMatrix {
     /// Like [`SimilarityMatrix::compute`] but splits rows across `threads`
     /// OS threads with `crossbeam::scope`. All-pairs Φ is `O(|T|²·N)` and is
     /// the dominant cost on multi-year datasets.
+    ///
+    /// A worker panic surfaces as [`Error::Internal`] instead of aborting
+    /// the process, so campaign runners can quarantine the analysis and
+    /// continue with the rest of the batch.
     pub fn compute_parallel(
         series: &VectorSeries,
         w: &Weights,
@@ -161,35 +187,35 @@ impl SimilarityMatrix {
         Self::validate(series, w)?;
         let n = series.len();
         let threads = threads.max(1).min(n);
-        let mut values = vec![0.0; n * n];
+        let mut values = vec![0.0; tri_len(n)];
         {
-            // Hand each worker a disjoint set of rows (strided so the upper
-            // triangle's shrinking rows balance out).
-            let chunks: Vec<&mut [f64]> = values.chunks_mut(n).collect();
+            // Hand each worker a disjoint set of triangle rows, strided so
+            // the growing rows (row i holds i+1 cells) balance out.
             let mut per_thread: Vec<Vec<(usize, &mut [f64])>> =
                 (0..threads).map(|_| Vec::new()).collect();
-            for (i, row) in chunks.into_iter().enumerate() {
+            let mut rest: &mut [f64] = &mut values;
+            for i in 0..n {
+                let (row, tail) = rest.split_at_mut(i + 1);
                 per_thread[i % threads].push((i, row));
+                rest = tail;
             }
-            crossbeam::scope(|scope| {
+            let joined = crossbeam::scope(|scope| {
                 for rows in per_thread {
                     scope.spawn(move |_| {
                         for (i, row) in rows {
                             let a = series.get(i);
-                            // Lower triangle only; mirrored below. Halves
-                            // the Φ evaluations versus the full square.
-                            for (j, cell) in row.iter_mut().enumerate().take(i + 1) {
+                            for (j, cell) in row.iter_mut().enumerate() {
                                 *cell = phi(a, series.get(j), w, policy);
                             }
                         }
                     });
                 }
-            })
-            .expect("similarity worker panicked");
-        }
-        for i in 0..n {
-            for j in (i + 1)..n {
-                values[i * n + j] = values[j * n + i];
+            });
+            if joined.is_err() {
+                return Err(Error::Internal {
+                    what: "similarity worker",
+                    message: "a worker thread panicked while computing Φ rows".into(),
+                });
             }
         }
         Ok(SimilarityMatrix { n, values })
@@ -251,27 +277,22 @@ impl SimilarityMatrix {
                 ),
             });
         }
-        // Re-embed the old matrix into the larger buffer.
-        let mut values = vec![0.0; new_n * new_n];
-        for i in 0..old_n {
-            values[i * new_n..i * new_n + old_n]
-                .copy_from_slice(&self.values[i * old_n..(i + 1) * old_n]);
-        }
+        // The condensed triangle grows by appending one contiguous row per
+        // new observation — stored history is never touched or re-embedded.
+        self.values.reserve(tri_len(new_n) - tri_len(old_n));
         for i in old_n..new_n {
             let a = series.get(i);
             for j in 0..=i {
-                let p = phi(a, series.get(j), w, policy);
-                values[i * new_n + j] = p;
-                values[j * new_n + i] = p;
+                self.values.push(phi(a, series.get(j), w, policy));
             }
         }
         self.n = new_n;
-        self.values = values;
         Ok(())
     }
 
-    /// Build from a precomputed row-major `n × n` buffer (used by tests and
-    /// deserialization paths).
+    /// Build from a precomputed row-major `n × n` dense buffer (used by
+    /// tests and ingestion paths). The buffer must be exactly symmetric;
+    /// only its lower triangle is kept.
     pub fn from_raw(n: usize, values: Vec<f64>) -> Result<Self> {
         if values.len() != n * n {
             return Err(Error::ShapeMismatch {
@@ -280,7 +301,26 @@ impl SimilarityMatrix {
                 actual: values.len(),
             });
         }
-        Ok(SimilarityMatrix { n, values })
+        let mut condensed = Vec::with_capacity(tri_len(n));
+        for i in 0..n {
+            for j in 0..=i {
+                let lower = values[i * n + j];
+                let upper = values[j * n + i];
+                if lower.to_bits() != upper.to_bits() {
+                    return Err(Error::InvalidParameter {
+                        name: "values",
+                        message: format!(
+                            "matrix is not symmetric at ({i}, {j}): {lower} vs {upper}"
+                        ),
+                    });
+                }
+                condensed.push(lower);
+            }
+        }
+        Ok(SimilarityMatrix {
+            n,
+            values: condensed,
+        })
     }
 
     /// Matrix dimension (number of observation times).
@@ -298,7 +338,7 @@ impl SimilarityMatrix {
     /// `Φ` between observations `i` and `j`.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> f64 {
-        self.values[i * self.n + j]
+        self.values[self.idx(i, j)]
     }
 
     /// Gower distance `1 − Φ` between observations `i` and `j`.
@@ -307,12 +347,14 @@ impl SimilarityMatrix {
         1.0 - self.get(i, j)
     }
 
-    /// Row `i` as a slice.
-    pub fn row(&self, i: usize) -> &[f64] {
-        &self.values[i * self.n..(i + 1) * self.n]
+    /// Full row `i` (all `n` columns, symmetry expanded).
+    pub fn row(&self, i: usize) -> Vec<f64> {
+        (0..self.n).map(|j| self.get(i, j)).collect()
     }
 
-    /// Raw row-major buffer.
+    /// Raw condensed buffer: the lower triangle with diagonal, row-major
+    /// (`n·(n+1)/2` cells). Two matrices over the same observations are
+    /// equal iff their raw buffers are equal.
     pub fn raw(&self) -> &[f64] {
         &self.values
     }
@@ -618,6 +660,21 @@ mod tests {
     }
 
     #[test]
+    fn from_raw_rejects_asymmetry() {
+        let m = SimilarityMatrix::from_raw(2, vec![1.0, 0.3, 0.4, 1.0]);
+        assert!(matches!(m, Err(Error::InvalidParameter { .. })));
+    }
+
+    #[test]
+    fn from_raw_round_trips_through_get() {
+        let dense = vec![1.0, 0.25, 0.25, 1.0];
+        let m = SimilarityMatrix::from_raw(2, dense).unwrap();
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 1), 0.25);
+        assert_eq!(m.get(1, 0), 0.25);
+    }
+
+    #[test]
     fn ranges() {
         let (series, w) = small_series();
         let m = SimilarityMatrix::compute(&series, &w, UnknownPolicy::Pessimistic).unwrap();
@@ -637,6 +694,8 @@ mod tests {
         let m = SimilarityMatrix::compute(&series, &w, UnknownPolicy::Pessimistic).unwrap();
         assert_eq!(m.row(0).len(), 4);
         assert_eq!(m.row(0)[1], m.get(0, 1));
-        assert_eq!(m.raw().len(), 16);
+        assert_eq!(m.row(2), (0..4).map(|j| m.get(2, j)).collect::<Vec<_>>());
+        // Condensed storage: lower triangle with diagonal, not n².
+        assert_eq!(m.raw().len(), 10);
     }
 }

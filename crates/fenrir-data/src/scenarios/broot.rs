@@ -130,12 +130,15 @@ pub fn broot(scale: Scale) -> BrootStudy {
     );
     // Each mode boundary is a composite of several disturbances so the
     // shifted population is large (the paper's mode (iii) moved ~70% of
-    // LAX's catchment).
+    // LAX's catchment). Since an origin host never abandons its own
+    // announcement, every candidate here is a genuinely third-party shift
+    // at a transit or non-host AS; their individual effects are modest, so
+    // the composites take several apiece.
     let strong: Vec<&Disturbance> = tp.iter().filter(|d| d.effect >= 0.05).collect();
-    for d in strong.iter().step_by(2).take(3) {
+    for d in strong.iter().step_by(2).take(5) {
         disturb(&mut scenario, d, ymd(2020, 4, 15), ymd(2023, 6, 29));
     }
-    for d in strong.iter().skip(1).step_by(2).take(3) {
+    for d in strong.iter().skip(1).step_by(2).take(5) {
         disturb(&mut scenario, d, ymd(2021, 3, 1), ymd(2023, 6, 29));
     }
     // ARI shut down 2023-03-06; SCL blips 2023-05-01 and 2023-05-24, then

@@ -134,10 +134,9 @@ impl AtlasCampaign {
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed.wrapping_add(1));
         let mut runner = CampaignRunner::new(cfg, faults, vp_ases.len(), times.len())?;
         let mut rows: Vec<RoutingVector> = Vec::with_capacity(times.len());
+        let mut live = crate::routes::ScenarioRoutes::new();
         for &t in times {
-            let svc = scenario.service_at(base, t.as_secs());
-            let cfg_t = scenario.config_at(t.as_secs());
-            let routes = svc.routes(topo, &cfg_t);
+            let (svc, routes) = live.at(topo, base, scenario, t.as_secs());
             runner.begin_sweep(t);
             let mut v = RoutingVector::unknown(t, vp_ases.len());
             for (n, &vp) in vp_ases.iter().enumerate() {

@@ -111,10 +111,9 @@ impl LatencyProber {
             .collect();
         let mut runner = CampaignRunner::new(cfg, faults, blocks.len(), times.len())?;
         let mut rows: Vec<Vec<Option<f64>>> = Vec::with_capacity(times.len());
+        let mut live = crate::routes::ScenarioRoutes::new();
         for &t in times {
-            let svc = scenario.service_at(base, t.as_secs());
-            let scfg = scenario.config_at(t.as_secs());
-            let routes = svc.routes(topo, &scfg);
+            let (svc, routes) = live.at(topo, base, scenario, t.as_secs());
             runner.begin_sweep(t);
             let mut samples: Vec<Option<f64>> = vec![None; blocks.len()];
             for (n, &owner) in owners.iter().enumerate() {
@@ -122,7 +121,7 @@ impl LatencyProber {
                     if !rng.gen_bool(self.coverage) {
                         return ProbeReply::NoResponse;
                     }
-                    match svc.client_rtt_ms(topo, &routes, owner) {
+                    match svc.client_rtt_ms(topo, routes, owner) {
                         // A probe that completes against an unreachable
                         // block is an answer ("no route"), not a timeout.
                         None => ProbeReply::Response(None),

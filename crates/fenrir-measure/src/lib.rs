@@ -22,11 +22,19 @@
 //! CampaignHealth`] records) and accept an optional [`fault`] plan that
 //! injects bursty loss, VP churn, duplicated/late replies, clock skew, and
 //! wire-level corruption — deterministically under the plan's own seed.
+//!
+//! Routing state is carried *incrementally* across the timeline: instead
+//! of recomputing the global routing fixed point at every observation
+//! instant, each campaign diffs the scenario state against the previous
+//! instant and reconverges only the perturbed neighborhood
+//! ([`fenrir_netsim::IncrementalRoutes`]); debug builds assert the result
+//! is bit-for-bit identical to a from-scratch computation.
 
 pub mod atlas;
 pub mod ednscs;
 pub mod fault;
 pub mod latency;
+pub(crate) mod routes;
 pub mod routeviews;
 pub mod runner;
 pub mod traceroute;

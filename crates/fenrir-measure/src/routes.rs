@@ -1,0 +1,166 @@
+//! Incremental route maintenance for campaign loops.
+//!
+//! Every campaign walks a scenario timeline and needs the routing state at
+//! each observation instant. Day-to-day that state is almost always
+//! identical — a scenario event lands on a handful of days out of
+//! thousands — so recomputing the global Gao–Rexford fixed point per
+//! instant wastes nearly all of its work. The helpers here keep a live
+//! [`IncrementalRoutes`] per route computation, diff each instant against
+//! the previous one, and reconverge only the perturbed neighborhood. Debug
+//! builds cross-check every transition against a from-scratch computation
+//! (see [`IncrementalRoutes::advance_to`]), so campaign results are
+//! bit-for-bit identical to the batch path.
+
+use fenrir_netsim::anycast::AnycastService;
+use fenrir_netsim::events::Scenario;
+use fenrir_netsim::routing::{RouteTable, RoutingConfig};
+use fenrir_netsim::topology::{AsId, Topology};
+use fenrir_netsim::IncrementalRoutes;
+use std::collections::HashMap;
+
+/// A live anycast route table advanced along a scenario timeline.
+#[derive(Debug, Default)]
+pub(crate) struct ScenarioRoutes {
+    inc: Option<IncrementalRoutes>,
+}
+
+impl ScenarioRoutes {
+    pub(crate) fn new() -> Self {
+        ScenarioRoutes::default()
+    }
+
+    /// The service and routes at `secs`: materializes the scenario state
+    /// and reconverges the table from the previous instant's fixed point.
+    pub(crate) fn at(
+        &mut self,
+        topo: &Topology,
+        base: &AnycastService,
+        scenario: &Scenario,
+        secs: i64,
+    ) -> (AnycastService, &RouteTable) {
+        let svc = scenario.service_at(base, secs);
+        let cfg = scenario.config_at(secs);
+        let inc = match &mut self.inc {
+            Some(inc) => {
+                inc.advance_to(topo, &svc.origins(), &cfg);
+                inc
+            }
+            none => none.insert(IncrementalRoutes::new(topo, svc.origins(), cfg)),
+        };
+        (svc, inc.table())
+    }
+}
+
+/// Per-destination unicast route tables advanced along a scenario
+/// timeline — for collectors (traceroute, RouteViews) that compute routes
+/// *toward* each probed block's AS rather than toward an anycast prefix.
+#[derive(Debug, Default)]
+pub(crate) struct DestRoutes {
+    tables: HashMap<AsId, IncrementalRoutes>,
+}
+
+impl DestRoutes {
+    pub(crate) fn new() -> Self {
+        DestRoutes::default()
+    }
+
+    /// Routes toward `dest` under `cfg`, reconverged from this
+    /// destination's previous fixed point (computed fresh on first use).
+    pub(crate) fn at(&mut self, topo: &Topology, dest: AsId, cfg: &RoutingConfig) -> &RouteTable {
+        let inc = self
+            .tables
+            .entry(dest)
+            .and_modify(|inc| {
+                inc.advance_to(topo, &[(dest, 0)], cfg);
+            })
+            .or_insert_with(|| IncrementalRoutes::new(topo, vec![(dest, 0)], cfg.clone()));
+        inc.table()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fenrir_core::time::Timestamp;
+    use fenrir_netsim::geo::cities;
+    use fenrir_netsim::steering::find_disturbances;
+    use fenrir_netsim::topology::{Tier, TopologyBuilder};
+
+    fn setup() -> (Topology, AnycastService) {
+        let topo = TopologyBuilder {
+            transit: 3,
+            regional: 6,
+            stubs: 30,
+            blocks_per_stub: 2,
+            seed: 77,
+            ..Default::default()
+        }
+        .build();
+        let regionals = topo.tier_members(Tier::Regional);
+        let mut svc = AnycastService::new("T-Root");
+        svc.add_site("LAX", regionals[0], cities::LAX);
+        svc.add_site("AMS", regionals[1], cities::AMS);
+        (topo, svc)
+    }
+
+    /// A scenario with a drain window and a third-party disturbance, so the
+    /// timeline actually exercises event application.
+    fn eventful_scenario(topo: &Topology, svc: &AnycastService) -> Scenario {
+        let mut sc = Scenario::new();
+        sc.drain(
+            1,
+            Timestamp::from_days(3).as_secs(),
+            Timestamp::from_days(6).as_secs(),
+            "op",
+        );
+        let probes: Vec<AsId> = topo.all_blocks().iter().map(|&(_, a)| a).collect();
+        if let Some(d) = find_disturbances(topo, svc, &probes, 0.01).first() {
+            sc.push(fenrir_netsim::events::ScenarioEvent {
+                start: Timestamp::from_days(4).as_secs(),
+                end: Some(Timestamp::from_days(8).as_secs()),
+                kind: d.kind.clone(),
+                party: fenrir_netsim::events::Party::ThirdParty,
+                operator: "third-party".to_owned(),
+            });
+        }
+        sc
+    }
+
+    #[test]
+    fn scenario_routes_match_per_instant_batch() {
+        let (topo, svc) = setup();
+        let sc = eventful_scenario(&topo, &svc);
+        let mut live = ScenarioRoutes::new();
+        for day in 0..10 {
+            let secs = Timestamp::from_days(day).as_secs();
+            let (svc_t, routes) = live.at(&topo, &svc, &sc, secs);
+            let batch = svc_t.routes(&topo, &sc.config_at(secs));
+            for node in topo.nodes() {
+                assert_eq!(routes.route(node.id), batch.route(node.id), "day {day}");
+            }
+        }
+    }
+
+    #[test]
+    fn dest_routes_match_per_instant_batch() {
+        let (topo, svc) = setup();
+        let sc = eventful_scenario(&topo, &svc);
+        let dests: Vec<AsId> = topo.tier_members(Tier::Stub).into_iter().take(4).collect();
+        let mut live = DestRoutes::new();
+        for day in 0..10 {
+            let secs = Timestamp::from_days(day).as_secs();
+            let cfg = sc.config_at(secs);
+            for &dest in &dests {
+                let routes = live.at(&topo, dest, &cfg);
+                let batch = RouteTable::compute(&topo, &[(dest, 0)], &cfg);
+                for node in topo.nodes() {
+                    assert_eq!(
+                        routes.route(node.id),
+                        batch.route(node.id),
+                        "day {day} dest {dest:?}"
+                    );
+                }
+            }
+        }
+    }
+}

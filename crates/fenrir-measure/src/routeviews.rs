@@ -19,7 +19,6 @@ use fenrir_core::time::Timestamp;
 use fenrir_core::vector::{Catchment, RoutingVector};
 use fenrir_netsim::events::Scenario;
 use fenrir_netsim::prefix::BlockId;
-use fenrir_netsim::routing::RouteTable;
 use fenrir_netsim::topology::{AsId, Topology};
 use std::collections::HashMap;
 
@@ -79,9 +78,11 @@ impl RouteCollector {
             .collect();
         let mut snapshots = Vec::with_capacity(times.len());
 
+        // One live route table per distinct destination AS, advanced
+        // incrementally across RIB dumps.
+        let mut tables = crate::routes::DestRoutes::new();
         for &t in times {
             let cfg = scenario.config_at(t.as_secs());
-            let mut tables: HashMap<AsId, RouteTable> = HashMap::new();
             let mut snap = RibSnapshot {
                 time: t,
                 paths: vec![vec![None; blocks.len()]; self.peers.len()],
@@ -92,9 +93,7 @@ impl RouteCollector {
                 .map(|_| RoutingVector::unknown(t, blocks.len()))
                 .collect();
             for (n, &dest) in owners.iter().enumerate() {
-                let table = tables
-                    .entry(dest)
-                    .or_insert_with(|| RouteTable::compute(topo, &[(dest, 0)], &cfg));
+                let table = tables.at(topo, dest, &cfg);
                 for (p, &peer) in self.peers.iter().enumerate() {
                     match table.full_path(peer) {
                         Some(path) => {

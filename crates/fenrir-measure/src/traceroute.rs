@@ -26,13 +26,11 @@ use fenrir_core::time::Timestamp;
 use fenrir_core::vector::{Catchment, RoutingVector, CODE_UNKNOWN};
 use fenrir_netsim::events::Scenario;
 use fenrir_netsim::prefix::BlockId;
-use fenrir_netsim::routing::RouteTable;
 use fenrir_netsim::topology::{AsId, Topology};
 use fenrir_wire::icmp::{IcmpKind, IcmpPacket};
 use fenrir_wire::ipv4::{protocol, Ipv4Packet};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use std::collections::HashMap;
 
 /// Configuration of a traceroute campaign.
 #[derive(Debug, Clone)]
@@ -133,18 +131,17 @@ impl TracerouteCampaign {
 
         let mut runner = CampaignRunner::new(cfg, faults, blocks.len(), times.len())?;
         let mut rows: Vec<Vec<RoutingVector>> = Vec::with_capacity(times.len());
+        // One live route table per distinct destination AS, created lazily
+        // on first use and advanced incrementally across sweeps.
+        let mut tables = crate::routes::DestRoutes::new();
         for &t in times {
             let cfg_t = scenario.config_at(t.as_secs());
-            // One route table per distinct destination AS, computed lazily.
-            let mut tables: HashMap<AsId, RouteTable> = HashMap::new();
             runner.begin_sweep(t);
             let mut vectors: Vec<RoutingVector> = (0..self.max_hops)
                 .map(|_| RoutingVector::unknown(t, blocks.len()))
                 .collect();
             for (n, &dest) in owners.iter().enumerate() {
-                let table = tables
-                    .entry(dest)
-                    .or_insert_with(|| RouteTable::compute(topo, &[(dest, 0)], &cfg_t));
+                let table = tables.at(topo, dest, &cfg_t);
                 let path = table.full_path(self.source);
                 // One probe per destination: the whole traceroute either
                 // runs (with per-hop gaps) or is lost/retried as a unit.

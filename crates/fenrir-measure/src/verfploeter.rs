@@ -124,10 +124,9 @@ impl Verfploeter {
 
         let mut runner = CampaignRunner::new(cfg, faults, blocks.len(), times.len())?;
         let mut rows: Vec<RoutingVector> = Vec::with_capacity(times.len());
+        let mut live = crate::routes::ScenarioRoutes::new();
         for &t in times {
-            let svc = scenario.service_at(base, t.as_secs());
-            let cfg_t = scenario.config_at(t.as_secs());
-            let routes = svc.routes(topo, &cfg_t);
+            let (_svc, routes) = live.at(topo, base, scenario, t.as_secs());
             runner.begin_sweep(t);
             let mut v = RoutingVector::unknown(t, blocks.len());
             for (n, (&block, &owner)) in blocks.iter().zip(&owners).enumerate() {

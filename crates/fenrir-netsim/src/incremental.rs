@@ -1,0 +1,320 @@
+//! Incremental route maintenance across configuration changes.
+//!
+//! The measurement crates walk a scenario timeline, materialising an
+//! `(origins, config)` pair per observation instant and asking for routes.
+//! Recomputing the Gao–Rexford fixed point from scratch at every instant
+//! repeats almost all of the work: day-to-day, the topology is identical
+//! and only a link or a policy entry changed. [`IncrementalRoutes`] keeps a
+//! converged [`RouteTable`] alive, diffs each requested state against the
+//! previous one into [`RouteEvent`]s, and reconverges each event from its
+//! dirty frontier via [`RouteTable::recompute_after`] — provably reaching
+//! the same fixed point the batch computation would (asserted by the
+//! equivalence property tests), at a cost proportional to the perturbed
+//! neighborhood instead of the topology.
+
+use crate::routing::{RouteEvent, RouteTable, RoutingConfig};
+use crate::topology::{AsId, Topology};
+use std::collections::HashMap;
+
+/// A live route table plus the `(origins, config)` state it is converged
+/// for, advanced by events instead of rebuilt.
+#[derive(Debug, Clone)]
+pub struct IncrementalRoutes {
+    origins: Vec<(AsId, u32)>,
+    config: RoutingConfig,
+    table: RouteTable,
+    events_applied: usize,
+}
+
+impl IncrementalRoutes {
+    /// Converge an initial table for `(origins, config)` from scratch.
+    pub fn new(topo: &Topology, origins: Vec<(AsId, u32)>, config: RoutingConfig) -> Self {
+        let table = RouteTable::compute(topo, &origins, &config);
+        IncrementalRoutes {
+            origins,
+            config,
+            table,
+            events_applied: 0,
+        }
+    }
+
+    /// The current converged route table.
+    pub fn table(&self) -> &RouteTable {
+        &self.table
+    }
+
+    /// The origin set the table is converged for.
+    pub fn origins(&self) -> &[(AsId, u32)] {
+        &self.origins
+    }
+
+    /// The routing config the table is converged for.
+    pub fn config(&self) -> &RoutingConfig {
+        &self.config
+    }
+
+    /// Total events applied since construction.
+    pub fn events_applied(&self) -> usize {
+        self.events_applied
+    }
+
+    /// Apply one event and reconverge from its dirty frontier.
+    pub fn apply(&mut self, topo: &Topology, event: &RouteEvent) {
+        self.table
+            .recompute_after(topo, &mut self.origins, &mut self.config, event);
+        self.events_applied += 1;
+    }
+
+    /// Advance to an absolute target state, applying only the delta.
+    /// Returns the number of events the diff produced (0 when the state is
+    /// unchanged — the common day-to-day case, which then costs nothing).
+    pub fn advance_to(
+        &mut self,
+        topo: &Topology,
+        origins: &[(AsId, u32)],
+        config: &RoutingConfig,
+    ) -> usize {
+        let events = diff_states(&self.origins, &self.config, origins, config);
+        let applied = events.len();
+        for ev in &events {
+            self.apply(topo, ev);
+        }
+        // Origins are a multiset: applying a remove+add cycle reorders the
+        // Vec (remove from the middle, push to the end) without changing
+        // the set routing sees.
+        debug_assert_eq!(
+            {
+                let mut mine = self.origins.clone();
+                mine.sort_unstable();
+                mine
+            },
+            {
+                let mut theirs = origins.to_vec();
+                theirs.sort_unstable();
+                theirs
+            },
+            "diff must reproduce the origins"
+        );
+        debug_assert_eq!(
+            self.config.disabled_links, config.disabled_links,
+            "diff must reproduce the link set"
+        );
+        debug_assert_eq!(self.config.pref_override, config.pref_override);
+        debug_assert_eq!(self.config.prepend, config.prepend);
+        // Debug builds cross-check the incremental fixed point against a
+        // from-scratch computation after every transition, so any
+        // configuration outside the uniqueness guarantee (a preference pin
+        // ranking a peer/provider route above customer routes can admit two
+        // stable states — an RFC 4264 "BGP wedgie") fails loudly in tests
+        // instead of silently skewing measurements. Release builds keep the
+        // incremental speedup.
+        #[cfg(debug_assertions)]
+        if applied > 0 {
+            let batch = RouteTable::compute(topo, origins, config);
+            for node in topo.nodes() {
+                debug_assert_eq!(
+                    self.table.route(node.id),
+                    batch.route(node.id),
+                    "incremental reconvergence diverged from batch at {:?}",
+                    node.id
+                );
+            }
+        }
+        applied
+    }
+}
+
+/// Diff two `(origins, config)` states into the event sequence that
+/// transforms the old one into the new one. Events come out in a
+/// deterministic order (sorted within each kind); the final fixed point is
+/// order-independent, so any order is correct.
+pub fn diff_states(
+    old_origins: &[(AsId, u32)],
+    old_config: &RoutingConfig,
+    new_origins: &[(AsId, u32)],
+    new_config: &RoutingConfig,
+) -> Vec<RouteEvent> {
+    let mut events = Vec::new();
+
+    let mut downs: Vec<(AsId, AsId)> = new_config
+        .disabled_links
+        .difference(&old_config.disabled_links)
+        .copied()
+        .collect();
+    downs.sort();
+    events.extend(
+        downs
+            .into_iter()
+            .map(|(a, b)| RouteEvent::LinkDown { a, b }),
+    );
+    let mut ups: Vec<(AsId, AsId)> = old_config
+        .disabled_links
+        .difference(&new_config.disabled_links)
+        .copied()
+        .collect();
+    ups.sort();
+    events.extend(ups.into_iter().map(|(a, b)| RouteEvent::LinkUp { a, b }));
+
+    let mut clears: Vec<AsId> = old_config
+        .pref_override
+        .keys()
+        .filter(|who| !new_config.pref_override.contains_key(who))
+        .copied()
+        .collect();
+    clears.sort();
+    events.extend(clears.into_iter().map(|who| RouteEvent::PrefClear { who }));
+    let mut sets: Vec<(AsId, AsId)> = new_config
+        .pref_override
+        .iter()
+        .filter(|(who, via)| old_config.pref_override.get(who) != Some(via))
+        .map(|(&who, &via)| (who, via))
+        .collect();
+    sets.sort();
+    events.extend(
+        sets.into_iter()
+            .map(|(who, via)| RouteEvent::PrefSet { who, via }),
+    );
+
+    let mut prepends: Vec<(AsId, u8)> = old_config
+        .prepend
+        .keys()
+        .filter(|o| !new_config.prepend.contains_key(o))
+        .map(|&o| (o, 0))
+        .chain(
+            new_config
+                .prepend
+                .iter()
+                .filter(|(o, count)| old_config.prepend.get(o) != Some(count))
+                .map(|(&o, &count)| (o, count)),
+        )
+        .collect();
+    prepends.sort();
+    events.extend(
+        prepends
+            .into_iter()
+            .map(|(origin, count)| RouteEvent::PrependSet { origin, count }),
+    );
+
+    // Origins are a multiset of (AS, site) pairs.
+    let mut counts: HashMap<(AsId, u32), i64> = HashMap::new();
+    for &e in old_origins {
+        *counts.entry(e).or_insert(0) -= 1;
+    }
+    for &e in new_origins {
+        *counts.entry(e).or_insert(0) += 1;
+    }
+    let mut removes = Vec::new();
+    let mut adds = Vec::new();
+    for (&(origin, site), &delta) in &counts {
+        for _ in 0..(-delta).max(0) {
+            removes.push((origin, site));
+        }
+        for _ in 0..delta.max(0) {
+            adds.push((origin, site));
+        }
+    }
+    removes.sort();
+    adds.sort();
+    events.extend(
+        removes
+            .into_iter()
+            .map(|(origin, site)| RouteEvent::OriginRemove { origin, site }),
+    );
+    events.extend(
+        adds.into_iter()
+            .map(|(origin, site)| RouteEvent::OriginAdd { origin, site }),
+    );
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::GeoPoint;
+    use crate::topology::{Relationship, Tier};
+
+    fn diamond() -> (Topology, [AsId; 5]) {
+        let mut t = Topology::new();
+        let t0 = t.add_node(Tier::Transit, GeoPoint::default(), vec![]);
+        let t1 = t.add_node(Tier::Transit, GeoPoint::default(), vec![]);
+        let r0 = t.add_node(Tier::Regional, GeoPoint::default(), vec![]);
+        let r1 = t.add_node(Tier::Regional, GeoPoint::default(), vec![]);
+        let s0 = t.add_node(Tier::Stub, GeoPoint::default(), vec![]);
+        t.add_edge(t0, t1, Relationship::Peer);
+        t.add_edge(r0, t0, Relationship::Provider);
+        t.add_edge(r1, t1, Relationship::Provider);
+        t.add_edge(s0, r0, Relationship::Provider);
+        t.add_edge(s0, r1, Relationship::Provider);
+        (t, [t0, t1, r0, r1, s0])
+    }
+
+    #[test]
+    fn diff_of_identical_states_is_empty() {
+        let origins = vec![(AsId(2), 0)];
+        let cfg = RoutingConfig::default();
+        assert!(diff_states(&origins, &cfg, &origins, &cfg).is_empty());
+    }
+
+    #[test]
+    fn diff_covers_every_field() {
+        let old_origins = vec![(AsId(2), 0), (AsId(3), 1)];
+        let new_origins = vec![(AsId(2), 0), (AsId(4), 2)];
+        let mut old_cfg = RoutingConfig::default();
+        old_cfg.disable_link(AsId(0), AsId(1));
+        old_cfg.prefer(AsId(4), AsId(2));
+        old_cfg.prepend(AsId(2), 1);
+        let mut new_cfg = RoutingConfig::default();
+        new_cfg.disable_link(AsId(2), AsId(0));
+        new_cfg.prefer(AsId(4), AsId(3));
+        let events = diff_states(&old_origins, &old_cfg, &new_origins, &new_cfg);
+        assert_eq!(
+            events,
+            vec![
+                RouteEvent::LinkDown {
+                    a: AsId(0),
+                    b: AsId(2)
+                },
+                RouteEvent::LinkUp {
+                    a: AsId(0),
+                    b: AsId(1)
+                },
+                RouteEvent::PrefSet {
+                    who: AsId(4),
+                    via: AsId(3)
+                },
+                RouteEvent::PrependSet {
+                    origin: AsId(2),
+                    count: 0
+                },
+                RouteEvent::OriginRemove {
+                    origin: AsId(3),
+                    site: 1
+                },
+                RouteEvent::OriginAdd {
+                    origin: AsId(4),
+                    site: 2
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn advance_to_matches_batch_compute() {
+        let (t, [.., r0, r1, s0]) = diamond();
+        let mut inc = IncrementalRoutes::new(&t, vec![(r0, 0)], RoutingConfig::default());
+        // Target state: second site added, a link down, a pref pin.
+        let target_origins = vec![(r0, 0), (r1, 1)];
+        let mut target_cfg = RoutingConfig::default();
+        target_cfg.disable_link(s0, r0);
+        target_cfg.prefer(s0, r1);
+        let applied = inc.advance_to(&t, &target_origins, &target_cfg);
+        assert_eq!(applied, 3);
+        let batch = RouteTable::compute(&t, &target_origins, &target_cfg);
+        for node in t.nodes() {
+            assert_eq!(inc.table().route(node.id), batch.route(node.id));
+        }
+        // Advancing to the same state again is free.
+        assert_eq!(inc.advance_to(&t, &target_origins, &target_cfg), 0);
+        assert_eq!(inc.events_applied(), 3);
+    }
+}

@@ -28,6 +28,7 @@
 pub mod anycast;
 pub mod events;
 pub mod geo;
+pub mod incremental;
 pub mod prefix;
 pub mod routing;
 pub mod steering;
@@ -36,7 +37,8 @@ pub mod topology;
 pub use anycast::{AnycastService, SiteDef};
 pub use events::{EventKind, Scenario, ScenarioEvent};
 pub use geo::GeoPoint;
+pub use incremental::{diff_states, IncrementalRoutes};
 pub use prefix::BlockId;
-pub use routing::{Route, RouteTable};
+pub use routing::{ConvergenceStats, Route, RouteEvent, RouteTable};
 pub use steering::{find_disturbances, find_in_range, Disturbance};
 pub use topology::{AsId, Relationship, Tier, Topology, TopologyBuilder};

@@ -20,10 +20,18 @@
 
 use crate::topology::{AsId, Relationship, Topology};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 
-/// Local-preference classes, highest first.
-const PREF_ORIGIN: u8 = 4;
+/// Local-preference classes, highest first. `PREF_ORIGIN` sits above
+/// `PREF_CUSTOMER + PREF_OVERRIDE_BONUS` so a locally-originated route wins
+/// over *any* learned route, boosted or not — as in real BGP, where local
+/// routes beat learned local-pref. This is not cosmetic: if an override
+/// bonus could outrank an AS's own origin route, bringing a site up at an
+/// AS with a preference pin would admit two stable fixpoints (keep the
+/// pinned route vs. switch to the origin route), and incremental
+/// reconvergence could legitimately settle differently than a from-scratch
+/// computation.
+const PREF_ORIGIN: u8 = 16;
 const PREF_CUSTOMER: u8 = 3;
 const PREF_PEER: u8 = 2;
 const PREF_PROVIDER: u8 = 1;
@@ -108,23 +116,198 @@ impl Route {
     }
 }
 
-/// Best routes of every AS toward one origin set.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct RouteTable {
-    routes: Vec<Option<Route>>,
+/// How a route computation reached (or failed to reach) its fixed point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConvergenceStats {
+    /// Work-queue pops performed — the actual amount of recomputation, the
+    /// quantity the incremental path is designed to shrink.
+    pub pops: usize,
+    /// Whether the queue drained (and, for batch computes, the final
+    /// verification sweep found no violations) within the pop budget.
+    /// `false` only for pathological configurations, e.g. a cycle of
+    /// preference overrides forming a dispute wheel.
+    pub converged: bool,
 }
 
-impl RouteTable {
-    /// Compute routes toward `origins` (each an `(AS, site-tag)` pair)
-    /// under `config`.
+impl Default for ConvergenceStats {
+    fn default() -> Self {
+        ConvergenceStats {
+            pops: 0,
+            converged: true,
+        }
+    }
+}
+
+/// A single routing-relevant change, the unit [`RouteTable::recompute_after`]
+/// reconverges from. Where [`crate::events::EventKind`] describes operator
+/// intent on a scenario timeline, a `RouteEvent` is the low-level delta to
+/// the `(origins, config)` pair the route computation actually consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouteEvent {
+    /// The link between `a` and `b` goes down.
+    LinkDown {
+        /// One endpoint.
+        a: AsId,
+        /// The other endpoint.
+        b: AsId,
+    },
+    /// The link between `a` and `b` comes back up.
+    LinkUp {
+        /// One endpoint.
+        a: AsId,
+        /// The other endpoint.
+        b: AsId,
+    },
+    /// AS `who` starts preferring routes learned from `via`.
+    PrefSet {
+        /// The AS applying the local-pref pin.
+        who: AsId,
+        /// The neighbor it pins to.
+        via: AsId,
+    },
+    /// AS `who` drops its preference override.
+    PrefClear {
+        /// The AS clearing its pin.
+        who: AsId,
+    },
+    /// Announcements originated by `origin` compare as `count` hops longer
+    /// (`count = 0` clears the prepend).
+    PrependSet {
+        /// The prepending origin.
+        origin: AsId,
+        /// Extra hops; 0 removes the entry.
+        count: u8,
+    },
+    /// `origin` starts announcing for site `site`.
+    OriginAdd {
+        /// The announcing AS.
+        origin: AsId,
+        /// Site tag it announces for.
+        site: u32,
+    },
+    /// `origin` withdraws its announcement for site `site`.
+    OriginRemove {
+        /// The withdrawing AS.
+        origin: AsId,
+        /// Site tag being withdrawn.
+        site: u32,
+    },
+}
+
+impl RouteEvent {
+    /// Apply this event to the `(origins, config)` state the route
+    /// computation consumes.
+    pub fn apply(&self, origins: &mut Vec<(AsId, u32)>, config: &mut RoutingConfig) {
+        match *self {
+            RouteEvent::LinkDown { a, b } => config.disable_link(a, b),
+            RouteEvent::LinkUp { a, b } => {
+                config.disabled_links.remove(&(a.min(b), a.max(b)));
+            }
+            RouteEvent::PrefSet { who, via } => {
+                config.pref_override.insert(who, via);
+            }
+            RouteEvent::PrefClear { who } => {
+                config.pref_override.remove(&who);
+            }
+            RouteEvent::PrependSet { origin, count } => {
+                if count == 0 {
+                    config.prepend.remove(&origin);
+                } else {
+                    config.prepend.insert(origin, count);
+                }
+            }
+            RouteEvent::OriginAdd { origin, site } => origins.push((origin, site)),
+            RouteEvent::OriginRemove { origin, site } => {
+                if let Some(p) = origins.iter().position(|&e| e == (origin, site)) {
+                    origins.remove(p);
+                }
+            }
+        }
+    }
+
+    /// The dirty frontier: every AS whose *local* best-route decision can
+    /// change immediately when this event lands on a converged table. At a
+    /// fixed point an AS's decision depends only on its own candidates
+    /// (its origin entries plus its neighbors' current routes), so:
     ///
-    /// Runs policy relaxation to a fixpoint; Gao–Rexford preferences
-    /// guarantee convergence, and a safety bound of `2·|AS|` sweeps guards
-    /// against pathological configurations.
-    pub fn compute(topo: &Topology, origins: &[(AsId, u32)], config: &RoutingConfig) -> Self {
-        let n = topo.len();
-        let mut best: Vec<Option<Route>> = vec![None; n];
-        for &(o, site) in origins {
+    /// - a link event perturbs only its two endpoints;
+    /// - a preference event perturbs only the overriding AS (its import
+    ///   preferences change, nobody else's);
+    /// - an origin event perturbs only the announcing AS;
+    /// - a prepend event perturbs every AS currently *carrying* a route
+    ///   from that origin (its incumbent re-ranks) and their neighbors
+    ///   (a candidate re-ranks).
+    ///
+    /// Everyone else changes only if a neighbor's route changes first,
+    /// which the propagation queue handles.
+    fn frontier(&self, topo: &Topology, routes: &[Option<Route>]) -> Vec<AsId> {
+        match *self {
+            RouteEvent::LinkDown { a, b } | RouteEvent::LinkUp { a, b } => vec![a, b],
+            RouteEvent::PrefSet { who, .. } | RouteEvent::PrefClear { who } => vec![who],
+            RouteEvent::OriginAdd { origin, .. } | RouteEvent::OriginRemove { origin, .. } => {
+                vec![origin]
+            }
+            RouteEvent::PrependSet { origin, .. } => {
+                let mut f = Vec::new();
+                for node in topo.nodes() {
+                    let carries = routes[node.id.index()]
+                        .as_ref()
+                        .is_some_and(|r| r.origin == origin);
+                    if carries {
+                        f.push(node.id);
+                        for &(nb, _) in topo.neighbors(node.id) {
+                            f.push(nb);
+                        }
+                    }
+                }
+                f
+            }
+        }
+    }
+}
+
+/// Pop budget for one fixpoint run. Safe Gao–Rexford configurations settle
+/// in a few pops per AS; the slack covers deep withdrawal cascades, and
+/// blowing the budget is how dispute-wheel configurations are detected.
+fn pop_budget(n: usize) -> usize {
+    32 * n.max(1) + 1024
+}
+
+/// Whether `config` stays inside the class of configurations whose routing
+/// fixed point is provably unique. The Gao–Rexford conditions (customer
+/// routes preferred over peer/provider routes, valley-free export, acyclic
+/// customer-provider hierarchy) exclude dispute wheels, and intra-class
+/// re-ranking (prepends, customer pins) cannot reintroduce one. A
+/// preference pin toward a *peer or provider*, however, ranks that route
+/// above customer routes — the inversion behind RFC 4264 "BGP wedgies" —
+/// and then several stable states can exist, so which one a computation
+/// lands in depends on where it started. Incremental reconvergence must
+/// not trust its warm start in that regime.
+fn unique_fixpoint(topo: &Topology, config: &RoutingConfig) -> bool {
+    config.pref_override.iter().all(|(&who, &via)| {
+        topo.neighbors(who)
+            .iter()
+            .find(|&&(b, _)| b == via)
+            // A pin naming a non-neighbor never matches an import, so it
+            // cannot invert anything.
+            .is_none_or(|&(_, rel)| rel == Relationship::Customer)
+    })
+}
+
+/// Recompute AS `x`'s best route from its own origin entries and its
+/// neighbors' current routes — the per-node step of the fixpoint. Unlike
+/// monotone relaxation this re-derives the decision from scratch, so a
+/// neighbor's route getting *worse* (or vanishing) is picked up too.
+fn local_best(
+    topo: &Topology,
+    origins: &[(AsId, u32)],
+    config: &RoutingConfig,
+    best: &[Option<Route>],
+    x: AsId,
+) -> Option<Route> {
+    let mut cur: Option<Route> = None;
+    for &(o, site) in origins {
+        if o == x {
             let candidate = Route {
                 path: Vec::new(),
                 origin: o,
@@ -133,67 +316,236 @@ impl RouteTable {
                 class: PREF_ORIGIN,
             };
             // An AS originating for two sites keeps the lower site tag.
-            if better(&candidate, best[o.index()].as_ref(), config) {
-                best[o.index()] = Some(candidate);
+            if better(&candidate, cur.as_ref(), config) {
+                cur = Some(candidate);
             }
         }
+    }
+    for &(a, rel_a_to_x) in topo.neighbors(x) {
+        if config.link_disabled(x, a) {
+            continue;
+        }
+        let Some(route_a) = best[a.index()].as_ref() else {
+            continue;
+        };
+        // Export rule at a: customer/origin routes go to everyone;
+        // peer/provider routes only to a's customers. `rel_a_to_x` is what
+        // a is to x, so x is a's customer exactly when a is x's provider.
+        let export_widely = route_a.class >= PREF_CUSTOMER;
+        if !export_widely && rel_a_to_x != Relationship::Provider {
+            continue;
+        }
+        // Loop prevention: x must not already appear in the path.
+        if x == route_a.origin || route_a.path.contains(&x) {
+            continue;
+        }
+        // Import preference at x: what a is to x.
+        let class = match rel_a_to_x {
+            Relationship::Customer => PREF_CUSTOMER,
+            Relationship::Peer => PREF_PEER,
+            Relationship::Provider => PREF_PROVIDER,
+        };
+        let mut pref = class;
+        if config.pref_override.get(&x) == Some(&a) {
+            pref += PREF_OVERRIDE_BONUS;
+        }
+        let mut path = Vec::with_capacity(route_a.path.len() + 1);
+        path.push(a);
+        path.extend_from_slice(&route_a.path);
+        let candidate = Route {
+            path,
+            origin: route_a.origin,
+            site: route_a.site,
+            pref,
+            class,
+        };
+        if better(&candidate, cur.as_ref(), config) {
+            cur = Some(candidate);
+        }
+    }
+    cur
+}
 
-        for _sweep in 0..2 * n.max(1) {
-            let mut changed = false;
-            for a_idx in 0..n {
-                let Some(route_a) = best[a_idx].clone() else {
-                    continue;
-                };
-                let a = topo.nodes()[a_idx].id;
-                // Export rule: customer/origin routes go to everyone;
-                // peer/provider routes only to customers. Keyed on the
-                // relationship class, never on override-boosted pref.
-                let export_widely = route_a.class >= PREF_CUSTOMER;
-                for &(b, rel_b_to_a) in topo.neighbors(a) {
-                    if config.link_disabled(a, b) {
-                        continue;
-                    }
-                    // `rel_b_to_a` is what b is to a; export to b when b is
-                    // a's customer, or always for widely exportable routes.
-                    if !export_widely && rel_b_to_a != Relationship::Customer {
-                        continue;
-                    }
-                    // Loop prevention: b must not already appear.
-                    if b == route_a.origin || route_a.path.contains(&b) || b == a {
-                        continue;
-                    }
-                    // Import preference at b: what a is to b.
-                    let rel_a_to_b = rel_b_to_a.inverse();
-                    let class = match rel_a_to_b {
-                        Relationship::Customer => PREF_CUSTOMER,
-                        Relationship::Peer => PREF_PEER,
-                        Relationship::Provider => PREF_PROVIDER,
-                    };
-                    let mut pref = class;
-                    if config.pref_override.get(&b) == Some(&a) {
-                        pref += PREF_OVERRIDE_BONUS;
-                    }
-                    let mut path = Vec::with_capacity(route_a.path.len() + 1);
-                    path.push(a);
-                    path.extend_from_slice(&route_a.path);
-                    let candidate = Route {
-                        path,
-                        origin: route_a.origin,
-                        site: route_a.site,
-                        pref,
-                        class,
-                    };
-                    if better(&candidate, best[b.index()].as_ref(), config) {
-                        best[b.index()] = Some(candidate);
-                        changed = true;
-                    }
+/// Drain the work queue to quiescence: pop an AS, re-derive its local best,
+/// and on change enqueue its neighbors. Returns `false` if the pop budget
+/// ran out first.
+#[allow(clippy::too_many_arguments)]
+fn drain(
+    topo: &Topology,
+    origins: &[(AsId, u32)],
+    config: &RoutingConfig,
+    best: &mut [Option<Route>],
+    queue: &mut VecDeque<AsId>,
+    in_queue: &mut [bool],
+    pops: &mut usize,
+    budget: usize,
+) -> bool {
+    while let Some(x) = queue.pop_front() {
+        in_queue[x.index()] = false;
+        if *pops >= budget {
+            return false;
+        }
+        *pops += 1;
+        let nb = local_best(topo, origins, config, best, x);
+        if nb != best[x.index()] {
+            best[x.index()] = nb;
+            for &(b, _) in topo.neighbors(x) {
+                if !in_queue[b.index()] {
+                    in_queue[b.index()] = true;
+                    queue.push_back(b);
                 }
             }
-            if !changed {
-                break;
+        }
+    }
+    true
+}
+
+/// Best routes of every AS toward one origin set.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RouteTable {
+    routes: Vec<Option<Route>>,
+    #[serde(default)]
+    stats: ConvergenceStats,
+}
+
+impl RouteTable {
+    /// Compute routes toward `origins` (each an `(AS, site-tag)` pair)
+    /// under `config`.
+    ///
+    /// Runs a work-queue fixpoint seeded at the origin ASes: each pop
+    /// re-derives one AS's best route from its neighbors, and changes
+    /// enqueue the neighborhood. The queue draining *is* the convergence
+    /// check — quiescence means no AS's decision can change — and a final
+    /// verification sweep re-derives every AS once to confirm it (checked,
+    /// not assumed). A pop budget guards against dispute-wheel
+    /// configurations; exhaustion is recorded in
+    /// [`RouteTable::convergence`].
+    pub fn compute(topo: &Topology, origins: &[(AsId, u32)], config: &RoutingConfig) -> Self {
+        let n = topo.len();
+        let mut best: Vec<Option<Route>> = vec![None; n];
+        let mut queue = VecDeque::new();
+        let mut in_queue = vec![false; n];
+        for &(o, _) in origins {
+            if !in_queue[o.index()] {
+                in_queue[o.index()] = true;
+                queue.push_back(o);
             }
         }
-        RouteTable { routes: best }
+        let budget = pop_budget(n);
+        let mut pops = 0;
+        let mut converged = drain(
+            topo,
+            origins,
+            config,
+            &mut best,
+            &mut queue,
+            &mut in_queue,
+            &mut pops,
+            budget,
+        );
+        while converged {
+            // Verification sweep: every AS's decision must reproduce from
+            // the final state. Violations (none are expected — the queue
+            // invariant covers them) are re-enqueued and drained again.
+            for node in topo.nodes() {
+                let x = node.id;
+                if local_best(topo, origins, config, &best, x) != best[x.index()]
+                    && !in_queue[x.index()]
+                {
+                    in_queue[x.index()] = true;
+                    queue.push_back(x);
+                }
+            }
+            if queue.is_empty() {
+                break;
+            }
+            converged = drain(
+                topo,
+                origins,
+                config,
+                &mut best,
+                &mut queue,
+                &mut in_queue,
+                &mut pops,
+                budget,
+            );
+        }
+        RouteTable {
+            routes: best,
+            stats: ConvergenceStats { pops, converged },
+        }
+    }
+
+    /// Reconverge after a single event instead of recomputing from scratch.
+    ///
+    /// Seeds the work queue with the event's dirty frontier — only the
+    /// ASes whose local decision the event can directly change — applies
+    /// the event to `(origins, config)`, and propagates until quiescent. On
+    /// a converged table this reaches the same fixed point as a full
+    /// [`RouteTable::compute`] of the post-event state (the property tests
+    /// assert equality), while touching a neighborhood instead of the whole
+    /// topology: a single link flap costs pops proportional to the
+    /// affected region.
+    ///
+    /// Falls back to a full compute when the table was not converged to
+    /// begin with (the frontier argument needs a fixed point as its
+    /// starting state), when propagation blows its pop budget, or when the
+    /// post-event configuration contains a peer/provider preference pin —
+    /// outside the Gao–Rexford uniqueness guarantee several stable states
+    /// can exist, and reconverging from a warm start could settle in a
+    /// different one than a from-scratch computation would.
+    pub fn recompute_after(
+        &mut self,
+        topo: &Topology,
+        origins: &mut Vec<(AsId, u32)>,
+        config: &mut RoutingConfig,
+        event: &RouteEvent,
+    ) {
+        if !self.stats.converged {
+            event.apply(origins, config);
+            *self = Self::compute(topo, origins, config);
+            return;
+        }
+        let n = topo.len();
+        let frontier = event.frontier(topo, &self.routes);
+        event.apply(origins, config);
+        if !unique_fixpoint(topo, config) {
+            *self = Self::compute(topo, origins, config);
+            return;
+        }
+        let mut queue = VecDeque::new();
+        let mut in_queue = vec![false; n];
+        for a in frontier {
+            if !in_queue[a.index()] {
+                in_queue[a.index()] = true;
+                queue.push_back(a);
+            }
+        }
+        let budget = pop_budget(n);
+        let mut pops = 0;
+        let ok = drain(
+            topo,
+            origins,
+            config,
+            &mut self.routes,
+            &mut queue,
+            &mut in_queue,
+            &mut pops,
+            budget,
+        );
+        if ok {
+            self.stats = ConvergenceStats {
+                pops,
+                converged: true,
+            };
+        } else {
+            *self = Self::compute(topo, origins, config);
+        }
+    }
+
+    /// How the last (re)computation converged.
+    pub fn convergence(&self) -> ConvergenceStats {
+        self.stats
     }
 
     /// The best route of `a`, if it has any.
@@ -450,6 +802,310 @@ mod tests {
         assert!(cfg.link_disabled(AsId(2), AsId(5)));
         assert!(cfg.link_disabled(AsId(5), AsId(2)));
         assert!(!cfg.link_disabled(AsId(2), AsId(4)));
+    }
+
+    #[test]
+    fn compute_reports_convergence() {
+        let (t, [t0, ..]) = diamond();
+        let rt = RouteTable::compute(&t, &[(t0, 0)], &RoutingConfig::default());
+        let stats = rt.convergence();
+        assert!(stats.converged);
+        assert!(stats.pops > 0);
+    }
+
+    /// Assert `recompute_after` over `events` lands on the same table as a
+    /// batch compute of the final state, and return the incremental table.
+    fn assert_incremental_matches_batch(
+        topo: &Topology,
+        mut origins: Vec<(AsId, u32)>,
+        mut config: RoutingConfig,
+        events: &[RouteEvent],
+    ) -> RouteTable {
+        let mut table = RouteTable::compute(topo, &origins, &config);
+        for ev in events {
+            table.recompute_after(topo, &mut origins, &mut config, ev);
+        }
+        let batch = RouteTable::compute(topo, &origins, &config);
+        for node in topo.nodes() {
+            assert_eq!(
+                table.route(node.id),
+                batch.route(node.id),
+                "divergence at {:?} after {events:?}",
+                node.id
+            );
+        }
+        assert!(table.convergence().converged);
+        table
+    }
+
+    #[test]
+    fn recompute_after_link_down_and_up() {
+        let (t, [.., r0, _, s0]) = diamond();
+        let origins = vec![(r0, 0), (AsId(3), 1)];
+        let rt = assert_incremental_matches_batch(
+            &t,
+            origins.clone(),
+            RoutingConfig::default(),
+            &[RouteEvent::LinkDown { a: s0, b: r0 }],
+        );
+        assert_eq!(rt.catchment(s0), Some(1), "catchment shifted by the flap");
+        // Down then up restores the original table.
+        let restored = assert_incremental_matches_batch(
+            &t,
+            origins,
+            RoutingConfig::default(),
+            &[
+                RouteEvent::LinkDown { a: s0, b: r0 },
+                RouteEvent::LinkUp { a: s0, b: r0 },
+            ],
+        );
+        assert_eq!(restored.catchment(s0), Some(0));
+    }
+
+    #[test]
+    fn recompute_after_pref_set_and_clear() {
+        let (t, [.., r1, s0]) = diamond();
+        let r0 = AsId(2);
+        let origins = vec![(r0, 0), (r1, 1)];
+        let rt = assert_incremental_matches_batch(
+            &t,
+            origins.clone(),
+            RoutingConfig::default(),
+            &[RouteEvent::PrefSet { who: s0, via: r1 }],
+        );
+        assert_eq!(rt.catchment(s0), Some(1));
+        let cleared = assert_incremental_matches_batch(
+            &t,
+            origins,
+            RoutingConfig::default(),
+            &[
+                RouteEvent::PrefSet { who: s0, via: r1 },
+                RouteEvent::PrefClear { who: s0 },
+            ],
+        );
+        assert_eq!(cleared.catchment(s0), Some(0));
+    }
+
+    #[test]
+    fn recompute_after_origin_add_and_remove() {
+        let (t, [_, _, r0, r1, s0]) = diamond();
+        // Start unicast at r0; add a second site at r1, then withdraw it.
+        let rt = assert_incremental_matches_batch(
+            &t,
+            vec![(r0, 0)],
+            RoutingConfig::default(),
+            &[RouteEvent::OriginAdd {
+                origin: r1,
+                site: 1,
+            }],
+        );
+        assert_eq!(rt.catchment(r1), Some(1));
+        let rt = assert_incremental_matches_batch(
+            &t,
+            vec![(r0, 0)],
+            RoutingConfig::default(),
+            &[
+                RouteEvent::OriginAdd {
+                    origin: r1,
+                    site: 1,
+                },
+                RouteEvent::OriginRemove {
+                    origin: r1,
+                    site: 1,
+                },
+            ],
+        );
+        assert_eq!(rt.catchment(r1), Some(0), "withdrawal fully propagates");
+        assert_eq!(rt.catchment(s0), Some(0));
+    }
+
+    #[test]
+    fn recompute_after_prepend() {
+        let (t, [.., s0]) = diamond();
+        let (r0, r1) = (AsId(2), AsId(3));
+        // s0 ties between the two sites and picks r0; prepending r0's
+        // announcements deflates its catchment so s0 moves to r1.
+        let rt = assert_incremental_matches_batch(
+            &t,
+            vec![(r0, 0), (r1, 1)],
+            RoutingConfig::default(),
+            &[RouteEvent::PrependSet {
+                origin: r0,
+                count: 2,
+            }],
+        );
+        assert_eq!(rt.catchment(s0), Some(1));
+        // Clearing the prepend (count 0) restores the tie-break.
+        let rt = assert_incremental_matches_batch(
+            &t,
+            vec![(r0, 0), (r1, 1)],
+            RoutingConfig::default(),
+            &[
+                RouteEvent::PrependSet {
+                    origin: r0,
+                    count: 2,
+                },
+                RouteEvent::PrependSet {
+                    origin: r0,
+                    count: 0,
+                },
+            ],
+        );
+        assert_eq!(rt.catchment(s0), Some(0));
+    }
+
+    #[test]
+    fn single_link_flap_touches_a_neighborhood_not_the_topology() {
+        let topo = TopologyBuilder {
+            transit: 5,
+            regional: 20,
+            stubs: 200,
+            blocks_per_stub: 1,
+            seed: 7,
+            ..Default::default()
+        }
+        .build();
+        let origin = topo.tier_members(Tier::Regional)[0];
+        let mut origins = vec![(origin, 0)];
+        let mut config = RoutingConfig::default();
+        let mut table = RouteTable::compute(&topo, &origins, &config);
+        let full_pops = table.convergence().pops;
+        // Flap a stub's access link: only the stub's neighborhood reroutes.
+        let stub = topo.tier_members(Tier::Stub)[0];
+        let &(provider, _) = topo.neighbors(stub).first().expect("stub has a provider");
+        table.recompute_after(
+            &topo,
+            &mut origins,
+            &mut config,
+            &RouteEvent::LinkDown {
+                a: stub,
+                b: provider,
+            },
+        );
+        let incr_pops = table.convergence().pops;
+        assert!(
+            incr_pops * 5 <= full_pops,
+            "incremental reconvergence ({incr_pops} pops) should be at least \
+             5x cheaper than from scratch ({full_pops} pops)"
+        );
+        let batch = RouteTable::compute(&topo, &origins, &config);
+        for n in topo.nodes() {
+            assert_eq!(table.route(n.id), batch.route(n.id));
+        }
+    }
+
+    #[test]
+    fn recompute_after_event_sequence_on_generated_topology() {
+        let topo = TopologyBuilder {
+            transit: 4,
+            regional: 10,
+            stubs: 60,
+            blocks_per_stub: 1,
+            seed: 3,
+            ..Default::default()
+        }
+        .build();
+        let regionals = topo.tier_members(Tier::Regional);
+        let stubs = topo.tier_members(Tier::Stub);
+        let events = [
+            RouteEvent::OriginAdd {
+                origin: regionals[1],
+                site: 1,
+            },
+            RouteEvent::LinkDown {
+                a: stubs[0],
+                b: topo.neighbors(stubs[0])[0].0,
+            },
+            RouteEvent::PrefSet {
+                who: stubs[5],
+                via: topo.neighbors(stubs[5])[0].0,
+            },
+            RouteEvent::PrependSet {
+                origin: regionals[0],
+                count: 3,
+            },
+            RouteEvent::LinkUp {
+                a: stubs[0],
+                b: topo.neighbors(stubs[0])[0].0,
+            },
+            RouteEvent::OriginRemove {
+                origin: regionals[1],
+                site: 1,
+            },
+        ];
+        assert_incremental_matches_batch(
+            &topo,
+            vec![(regionals[0], 0)],
+            RoutingConfig::default(),
+            &events,
+        );
+    }
+
+    #[test]
+    fn inversion_pins_leave_the_uniqueness_class() {
+        let (t, [t0, _, r0, _, s0]) = diamond();
+        let mut cfg = RoutingConfig::default();
+        assert!(unique_fixpoint(&t, &cfg));
+        // A regional pinning its stub customer stays safe.
+        cfg.prefer(r0, s0);
+        assert!(unique_fixpoint(&t, &cfg));
+        // A stub pinning one of its providers is the wedgie-prone shape.
+        cfg.prefer(s0, r0);
+        assert!(!unique_fixpoint(&t, &cfg));
+        cfg.pref_override.remove(&s0);
+        // A pin naming a non-neighbor matches no import and stays safe.
+        cfg.prefer(t0, s0);
+        assert!(unique_fixpoint(&t, &cfg));
+    }
+
+    /// The RFC 4264 wedgie shape: a regional pinned to its *provider*
+    /// prefers that route over a customer route, so when its customer
+    /// starts originating, "keep the pinned route" and "switch to the
+    /// customer" are both stable. `recompute_after` must detect the
+    /// inversion pin and fall back to a from-scratch computation so its
+    /// answer still matches batch bit-for-bit.
+    #[test]
+    fn recompute_after_falls_back_to_batch_under_inversion_pins() {
+        let topo = TopologyBuilder {
+            transit: 3,
+            regional: 6,
+            stubs: 25,
+            blocks_per_stub: 1,
+            seed: 4,
+            ..Default::default()
+        }
+        .build();
+        let regionals = topo.tier_members(Tier::Regional);
+        let stubs = topo.tier_members(Tier::Stub);
+        // Pin every regional to its first provider (a transit): maximally
+        // inversion-prone.
+        let mut config = RoutingConfig::default();
+        for &r in &regionals {
+            if let Some(&(p, _)) = topo
+                .neighbors(r)
+                .iter()
+                .find(|&&(_, rel)| rel == Relationship::Provider)
+            {
+                config.prefer(r, p);
+            }
+        }
+        assert!(!unique_fixpoint(&topo, &config));
+        let mut origins = vec![(regionals[0], 0)];
+        let mut table = RouteTable::compute(&topo, &origins, &config);
+        // New origins light up under several pinned regionals: without the
+        // fallback, incremental can legitimately keep the pinned routes
+        // while batch switches to the new customer routes.
+        for (i, &s) in stubs.iter().take(4).enumerate() {
+            let ev = RouteEvent::OriginAdd {
+                origin: s,
+                site: 1 + i as u32,
+            };
+            table.recompute_after(&topo, &mut origins, &mut config, &ev);
+            let batch = RouteTable::compute(&topo, &origins, &config);
+            for n in topo.nodes() {
+                assert_eq!(table.route(n.id), batch.route(n.id), "after {ev:?}");
+            }
+        }
     }
 
     #[test]

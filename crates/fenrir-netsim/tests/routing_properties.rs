@@ -4,7 +4,7 @@
 
 use fenrir_netsim::anycast::AnycastService;
 use fenrir_netsim::geo::GeoPoint;
-use fenrir_netsim::routing::{RouteTable, RoutingConfig};
+use fenrir_netsim::routing::{RouteEvent, RouteTable, RoutingConfig};
 use fenrir_netsim::topology::{AsId, Relationship, Tier, Topology, TopologyBuilder};
 use proptest::prelude::*;
 
@@ -31,6 +31,156 @@ fn steps(topo: &Topology, path: &[AsId]) -> Vec<Relationship> {
     path.windows(2)
         .map(|w| topo.relationship(w[0], w[1]).expect("adjacent"))
         .collect()
+}
+
+/// Minimal deterministic generator (splitmix64) for the seeded equivalence
+/// tests below, which must run even where the proptest runner is absent.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn pick(&mut self, bound: usize) -> usize {
+        (self.next() % bound as u64) as usize
+    }
+}
+
+/// Draw a random but valid `RouteEvent` for `topo` given the current state.
+/// Preference pins are restricted to *customer* neighbors: pinning a peer
+/// or provider ranks that route above customer routes, which breaks the
+/// Gao–Rexford prefer-customer condition and admits multiple stable fixed
+/// points (an RFC 4264 "BGP wedgie") — batch and incremental could then
+/// legitimately settle in different, equally stable, states. Customer pins
+/// only reorder routes *within* the customer class, which preserves the
+/// uniqueness guarantee.
+fn random_event(
+    mix: &mut Mix,
+    topo: &Topology,
+    origins: &[(AsId, u32)],
+    config: &RoutingConfig,
+) -> RouteEvent {
+    let nodes = topo.nodes();
+    loop {
+        match mix.pick(8) {
+            0 => {
+                let x = nodes[mix.pick(nodes.len())].id;
+                let nbrs = topo.neighbors(x);
+                if nbrs.is_empty() {
+                    continue;
+                }
+                let (b, _) = nbrs[mix.pick(nbrs.len())];
+                return RouteEvent::LinkDown { a: x, b };
+            }
+            1 => {
+                // Sort before picking: set iteration order is not stable.
+                let mut down: Vec<(AsId, AsId)> = config.disabled_links.iter().copied().collect();
+                if down.is_empty() {
+                    continue;
+                }
+                down.sort();
+                let (a, b) = down[mix.pick(down.len())];
+                return RouteEvent::LinkUp { a, b };
+            }
+            2 => {
+                let x = nodes[mix.pick(nodes.len())].id;
+                let customers: Vec<AsId> = topo
+                    .neighbors(x)
+                    .iter()
+                    .filter(|&&(_, rel)| rel == Relationship::Customer)
+                    .map(|&(b, _)| b)
+                    .collect();
+                if customers.is_empty() {
+                    continue;
+                }
+                let via = customers[mix.pick(customers.len())];
+                return RouteEvent::PrefSet { who: x, via };
+            }
+            3 => {
+                let mut pinned: Vec<AsId> = config.pref_override.keys().copied().collect();
+                if pinned.is_empty() {
+                    continue;
+                }
+                pinned.sort();
+                let who = pinned[mix.pick(pinned.len())];
+                return RouteEvent::PrefClear { who };
+            }
+            4 => {
+                let &(origin, _) = &origins[mix.pick(origins.len())];
+                return RouteEvent::PrependSet {
+                    origin,
+                    count: mix.pick(4) as u8,
+                };
+            }
+            5 => {
+                let origin = nodes[mix.pick(nodes.len())].id;
+                return RouteEvent::OriginAdd {
+                    origin,
+                    site: mix.pick(4) as u32,
+                };
+            }
+            6 if origins.len() > 1 => {
+                let &(origin, site) = &origins[mix.pick(origins.len())];
+                return RouteEvent::OriginRemove { origin, site };
+            }
+            _ => {
+                let x = nodes[mix.pick(nodes.len())].id;
+                let nbrs = topo.neighbors(x);
+                if nbrs.is_empty() {
+                    continue;
+                }
+                let (b, _) = nbrs[mix.pick(nbrs.len())];
+                return RouteEvent::LinkUp { a: x, b };
+            }
+        }
+    }
+}
+
+/// Core equivalence check: drive a table through `events` incrementally and
+/// compare against a batch fixed point of the final state.
+fn check_incremental_equivalence(topo: &Topology, seed: u64, events_count: usize) {
+    let mut mix = Mix(seed);
+    let regionals = topo.tier_members(Tier::Regional);
+    let mut origins: Vec<(AsId, u32)> = vec![(regionals[0], 0)];
+    let mut config = RoutingConfig::default();
+    let mut table = RouteTable::compute(topo, &origins, &config);
+    for step in 0..events_count {
+        let ev = random_event(&mut mix, topo, &origins, &config);
+        table.recompute_after(topo, &mut origins, &mut config, &ev);
+        let batch = RouteTable::compute(topo, &origins, &config);
+        for node in topo.nodes() {
+            assert_eq!(
+                table.route(node.id),
+                batch.route(node.id),
+                "seed {seed}: divergence at {:?} after step {step} ({ev:?})",
+                node.id
+            );
+        }
+    }
+}
+
+/// Runs without the proptest runner: randomized event sequences on several
+/// seeded topologies, incremental must equal batch after every event.
+#[test]
+fn recompute_after_equals_compute_over_random_event_sequences() {
+    for seed in 0..12u64 {
+        let topo = TopologyBuilder {
+            transit: 3,
+            regional: 6,
+            stubs: 25,
+            blocks_per_stub: 1,
+            multihome_prob: 0.5,
+            regional_peer_prob: 0.2,
+            seed,
+        }
+        .build();
+        check_incremental_equivalence(&topo, seed * 31 + 7, 12);
+    }
 }
 
 proptest! {
@@ -134,6 +284,14 @@ proptest! {
                 );
             }
         }
+    }
+
+    #[test]
+    fn incremental_reconvergence_equals_batch(topo in arb_topology(), seed in any::<u64>()) {
+        // The tentpole invariant: after every event, recompute_after's
+        // frontier-seeded reconvergence lands on the same fixed point as a
+        // from-scratch compute of the post-event state.
+        check_incremental_equivalence(&topo, seed, 10);
     }
 
     #[test]

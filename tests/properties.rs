@@ -159,6 +159,43 @@ proptest! {
     }
 
     #[test]
+    fn extended_matrix_and_dendrogram_match_batch(
+        columns in prop::collection::vec(prop::collection::vec(catchment(), 14), 4),
+        split in 2usize..12
+    ) {
+        // Growing a condensed matrix (and its dendrogram) one observation
+        // at a time must reproduce the from-scratch result bit for bit.
+        let sites = SiteTable::from_names(["A", "B", "C", "D", "E"]);
+        let mut series = VectorSeries::new(sites, 4);
+        for t in 0..14 {
+            let cs: Vec<Catchment> = columns.iter().map(|col| col[t]).collect();
+            series
+                .push(RoutingVector::from_catchments(Timestamp::from_days(t as i64), cs))
+                .expect("ordered");
+        }
+        let w = Weights::uniform(4);
+        let policy = UnknownPolicy::Pessimistic;
+        let prefix = series.slice_time(
+            Timestamp::from_days(0),
+            Timestamp::from_days(split as i64 - 1),
+        );
+        let mut grown = SimilarityMatrix::compute(&prefix, &w, policy).expect("prefix matrix");
+        grown.extend(&series, &w, policy).expect("extend");
+        let fresh = SimilarityMatrix::compute(&series, &w, policy).expect("full matrix");
+        prop_assert_eq!(&grown, &fresh);
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let mut tree = Dendrogram::build(
+                &SimilarityMatrix::compute(&prefix, &w, policy).expect("prefix matrix"),
+                linkage,
+            )
+            .expect("prefix tree");
+            tree.extend(&grown).expect("extend tree");
+            let batch = Dendrogram::build(&fresh, linkage).expect("batch tree");
+            prop_assert_eq!(tree.merges(), batch.merges());
+        }
+    }
+
+    #[test]
     fn cleaning_never_reduces_coverage(
         columns in prop::collection::vec(prop::collection::vec(catchment(), 12), 3)
     ) {
@@ -220,6 +257,106 @@ proptest! {
                     "fabricated value {c:?} at {t}"
                 );
             }
+        }
+    }
+}
+
+/// Seeded splitmix64 — keeps the incremental-equivalence checks runnable
+/// even when the proptest harness is unavailable offline.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn pick(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+fn seeded_series(seed: u64, observations: usize, networks: usize) -> VectorSeries {
+    let sites = SiteTable::from_names(["A", "B", "C", "D", "E"]);
+    let mut series = VectorSeries::new(sites, networks);
+    let mut mix = Mix(seed);
+    for t in 0..observations {
+        let cs: Vec<Catchment> = (0..networks)
+            .map(|_| match mix.pick(8) {
+                0 => Catchment::Unknown,
+                1 => Catchment::Err,
+                2 => Catchment::Other,
+                _ => Catchment::Site(SiteId(mix.pick(SITES as usize) as u16)),
+            })
+            .collect();
+        series
+            .push(RoutingVector::from_catchments(
+                Timestamp::from_days(t as i64),
+                cs,
+            ))
+            .expect("ordered");
+    }
+    series
+}
+
+/// The condensed matrix grown by `extend` must equal a fresh `compute`
+/// over the full series — bit for bit, across random series and split
+/// points. This is the core daily-operations contract: appending a sweep
+/// never perturbs history.
+#[test]
+fn extend_grown_matrix_equals_fresh_compute_over_random_series() {
+    for seed in 0..16u64 {
+        let mut mix = Mix(seed.wrapping_mul(0x51AB).wrapping_add(3));
+        let observations = 6 + mix.pick(10);
+        let networks = 3 + mix.pick(9);
+        let series = seeded_series(seed * 97 + 11, observations, networks);
+        let w = Weights::uniform(networks);
+        for policy in [UnknownPolicy::Pessimistic, UnknownPolicy::KnownOnly] {
+            let fresh = SimilarityMatrix::compute(&series, &w, policy).expect("full");
+            // Grow from every split point, including one-at-a-time.
+            for split in 1..observations {
+                let prefix = series.slice_time(
+                    Timestamp::from_days(0),
+                    Timestamp::from_days(split as i64 - 1),
+                );
+                let mut grown = SimilarityMatrix::compute(&prefix, &w, policy).expect("prefix");
+                grown.extend(&series, &w, policy).expect("extend");
+                assert_eq!(grown, fresh, "seed {seed} split {split} {policy:?}");
+            }
+        }
+    }
+}
+
+/// A dendrogram extended with newly-appended observations must reproduce
+/// the batch build over the grown matrix exactly, including tie breaks.
+#[test]
+fn extended_dendrogram_equals_batch_build_over_random_series() {
+    for seed in 0..12u64 {
+        let mut mix = Mix(seed.wrapping_mul(0xC0FE).wrapping_add(7));
+        let observations = 6 + mix.pick(8);
+        let networks = 3 + mix.pick(6);
+        let series = seeded_series(seed * 131 + 5, observations, networks);
+        let w = Weights::uniform(networks);
+        let policy = UnknownPolicy::Pessimistic;
+        let fresh = SimilarityMatrix::compute(&series, &w, policy).expect("full");
+        let split = 2 + mix.pick(observations - 2);
+        let prefix = series.slice_time(
+            Timestamp::from_days(0),
+            Timestamp::from_days(split as i64 - 1),
+        );
+        let prefix_matrix = SimilarityMatrix::compute(&prefix, &w, policy).expect("prefix");
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let mut tree = Dendrogram::build(&prefix_matrix, linkage).expect("prefix tree");
+            tree.extend(&fresh).expect("extend tree");
+            let batch = Dendrogram::build(&fresh, linkage).expect("batch tree");
+            assert_eq!(
+                tree.merges(),
+                batch.merges(),
+                "seed {seed} split {split} {linkage:?}"
+            );
         }
     }
 }
