@@ -12,6 +12,7 @@
 //! by at least 2 valid observations.
 
 use crate::error::{Error, Result};
+use crate::guard::DivergenceGuard;
 use crate::similarity::SimilarityMatrix;
 use serde::{Deserialize, Serialize};
 
@@ -309,6 +310,104 @@ impl Dendrogram {
         self.n = new_n;
         self.merges = merges;
         Ok(())
+    }
+
+    /// Like [`Dendrogram::extend`], but wrapped in a runtime
+    /// [`DivergenceGuard`]: sampled extends are cross-checked bit-for-bit
+    /// against a batch [`Dendrogram::build`] over the same matrix. On
+    /// mismatch the guard records a typed
+    /// [`Error::IncrementalDivergence`](crate::error::Error), the batch
+    /// tree replaces the diverged one, and the guard's quarantine steers
+    /// every later call straight to the batch path — the campaign
+    /// continues with correct results instead of aborting.
+    pub fn extend_guarded(
+        &mut self,
+        sim: &SimilarityMatrix,
+        guard: &mut DivergenceGuard,
+    ) -> Result<()> {
+        if guard.quarantined() {
+            *self = Dendrogram::build(sim, self.linkage)?;
+            return Ok(());
+        }
+        let old_n = self.n;
+        self.extend(sim)?;
+        if guard.should_check(self.n > old_n) {
+            let batch = Dendrogram::build(sim, self.linkage)?;
+            let same = |x: &Merge, y: &Merge| {
+                x.a == y.a
+                    && x.b == y.b
+                    && x.size == y.size
+                    && x.distance.to_bits() == y.distance.to_bits()
+            };
+            let mismatch = self.n != batch.n
+                || self.merges.len() != batch.merges.len()
+                || self
+                    .merges
+                    .iter()
+                    .zip(&batch.merges)
+                    .any(|(a, b)| !same(a, b));
+            if mismatch {
+                let step = self
+                    .merges
+                    .iter()
+                    .zip(&batch.merges)
+                    .position(|(a, b)| !same(a, b));
+                guard.record(
+                    "dendrogram",
+                    match step {
+                        Some(k) => format!(
+                            "merge {k} is {:?}, batch built {:?}",
+                            self.merges[k], batch.merges[k]
+                        ),
+                        None => format!(
+                            "{} leaves / {} merges vs batch {} / {}",
+                            self.n,
+                            self.merges.len(),
+                            batch.n,
+                            batch.merges.len()
+                        ),
+                    },
+                );
+                *self = batch;
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuild a tree from previously recorded parts — the journal restore
+    /// path, reusing a persisted merge prefix instead of re-clustering.
+    /// Validates the merge count (`n − 1` for a complete tree), ascending
+    /// distance order, and the scipy id convention (merge `k` references
+    /// only clusters `< n + k` and creates cluster `n + k`).
+    pub fn from_parts(n: usize, linkage: Linkage, merges: Vec<Merge>) -> Result<Self> {
+        if n == 0 {
+            return Err(Error::EmptyInput("dendrogram leaves"));
+        }
+        if merges.len() != n - 1 {
+            return Err(Error::ShapeMismatch {
+                what: "dendrogram merges",
+                expected: n - 1,
+                actual: merges.len(),
+            });
+        }
+        for (k, m) in merges.iter().enumerate() {
+            if m.a >= m.b || m.b >= n + k || m.size < 2 || m.size > n {
+                return Err(Error::InvalidParameter {
+                    name: "merges",
+                    message: format!("merge {k} ({m:?}) violates the id/size convention"),
+                });
+            }
+        }
+        if merges
+            .windows(2)
+            .any(|w| w[0].distance.total_cmp(&w[1].distance).is_gt())
+        {
+            return Err(Error::InvalidParameter {
+                name: "merges",
+                message: "merge distances are not ascending".into(),
+            });
+        }
+        Ok(Dendrogram { n, linkage, merges })
     }
 
     /// The linkage this tree was built with.
@@ -796,6 +895,97 @@ mod tests {
         assert_eq!(d.merges(), &before[..]);
         let small = sim_from_dist(2, |_, _| 0.5);
         assert!(d.extend(&small).is_err());
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let d = Dendrogram::build(&two_blobs(), Linkage::Average).unwrap();
+        let back = Dendrogram::from_parts(d.len(), d.linkage(), d.merges().to_vec()).unwrap();
+        assert_eq!(back.merges(), d.merges());
+        assert_eq!(back.len(), d.len());
+        assert_eq!(back.linkage(), d.linkage());
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_trees() {
+        let d = Dendrogram::build(&two_blobs(), Linkage::Single).unwrap();
+        let merges = d.merges().to_vec();
+        // Wrong merge count.
+        assert!(Dendrogram::from_parts(d.len(), Linkage::Single, merges[..2].to_vec()).is_err());
+        // Descending distances.
+        let mut reversed = merges.clone();
+        reversed.reverse();
+        assert!(Dendrogram::from_parts(d.len(), Linkage::Single, reversed).is_err());
+        // Id out of the scipy range for its position.
+        let mut bad = merges.clone();
+        bad[0].b = d.len() + 5;
+        assert!(Dendrogram::from_parts(d.len(), Linkage::Single, bad).is_err());
+        assert!(Dendrogram::from_parts(0, Linkage::Single, vec![]).is_err());
+    }
+
+    #[test]
+    fn extend_guarded_repairs_and_quarantines_on_divergence() {
+        use crate::guard::{DivergenceGuard, SamplingRate};
+        // Two tied pairs {0,1} and {2,3} at 0.1, far apart; a new
+        // observation 4 lands at 0.3 from everyone.
+        let full = sim_from_dist(5, |i, j| match (i / 2, j / 2) {
+            _ if i == 4 || j == 4 => 0.3,
+            (gi, gj) if gi == gj => 0.1,
+            _ => 0.5,
+        });
+        // A *replayable but non-canonical* prefix: the tied 0.1 merges
+        // recorded in the order (2,3) before (0,1). Batch tie-breaking
+        // always picks the smaller id pair first, so no batch build ever
+        // produces this tree — exactly the kind of state an incremental
+        // bug would leave behind, and one the replay path accepts without
+        // noticing (each merge is individually genuine).
+        // Distances must be the bit-exact `1 − Φ` values the replay will
+        // recompute, not decimal literals.
+        let tie = full.distance(0, 1);
+        let far = full.distance(0, 2);
+        let poisoned = vec![
+            Merge {
+                a: 2,
+                b: 3,
+                distance: tie,
+                size: 2,
+            },
+            Merge {
+                a: 0,
+                b: 1,
+                distance: tie,
+                size: 2,
+            },
+            Merge {
+                a: 4,
+                b: 5,
+                distance: far,
+                size: 4,
+            },
+        ];
+        let mut d = Dendrogram::from_parts(4, Linkage::Single, poisoned).unwrap();
+        let mut guard = DivergenceGuard::new(SamplingRate::always());
+        d.extend_guarded(&full, &mut guard).unwrap();
+        let batch = Dendrogram::build(&full, Linkage::Single).unwrap();
+        assert_eq!(d.merges(), batch.merges());
+        assert!(guard.quarantined());
+        assert_eq!(guard.drain_new(), 1);
+        // Quarantined extends keep producing the batch tree.
+        d.extend_guarded(&full, &mut guard).unwrap();
+        assert_eq!(d.merges(), batch.merges());
+    }
+
+    #[test]
+    fn extend_guarded_clean_path_matches_batch() {
+        use crate::guard::{DivergenceGuard, SamplingRate};
+        let full = two_blobs();
+        let prefix = sim_from_dist(3, |i, j| if i == j { 0.0 } else { 0.1 });
+        let mut guard = DivergenceGuard::new(SamplingRate::always());
+        let mut d = Dendrogram::build(&prefix, Linkage::Single).unwrap();
+        d.extend_guarded(&full, &mut guard).unwrap();
+        let batch = Dendrogram::build(&full, Linkage::Single).unwrap();
+        assert_eq!(d.merges(), batch.merges());
+        assert!(!guard.quarantined());
     }
 
     #[test]

@@ -66,6 +66,42 @@ pub enum Error {
         /// Human-readable description of why.
         reason: String,
     },
+    /// A campaign or runner configuration is inconsistent and was rejected
+    /// eagerly at construction time, before any probe was sent. Distinct
+    /// from [`Error::InvalidParameter`] (a single value outside its
+    /// domain): `Config` marks a whole configuration object a caller
+    /// assembled, so call sites can report "fix your config" instead of
+    /// "fix this argument".
+    Config {
+        /// The offending configuration field (e.g. "retries").
+        name: &'static str,
+        /// Human-readable description of the inconsistency.
+        message: String,
+    },
+    /// An incremental recomputation (routes, similarity, dendrogram)
+    /// disagreed with the batch computation it is required to reproduce
+    /// bit-for-bit. Recorded by the runtime `DivergenceGuard` when a
+    /// sampled cross-check fails; the guard falls back to the batch result
+    /// and quarantines the incremental state, so this error is surfaced as
+    /// telemetry rather than aborting the campaign.
+    IncrementalDivergence {
+        /// Which incremental structure diverged (e.g. "routes").
+        what: &'static str,
+        /// Human-readable description of the first observed mismatch.
+        detail: String,
+    },
+    /// Persistent state (e.g. a checkpoint journal) failed validation in a
+    /// way that cannot be recovered by dropping a torn tail — a bad magic
+    /// number, an unsupported version, or an in-sequence frame that
+    /// contradicts the frames before it.
+    Corrupted {
+        /// What was being loaded (e.g. "journal header").
+        what: &'static str,
+        /// Byte offset of the corruption within the file.
+        offset: usize,
+        /// Human-readable description of the corruption.
+        message: String,
+    },
     /// A wire-format payload failed to encode or decode.
     Wire(fenrir_wire::WireError),
     /// An internal execution failure (e.g. a worker thread panicked).
@@ -116,6 +152,17 @@ impl fmt::Display for Error {
             Error::CampaignAborted { campaign, reason } => {
                 write!(f, "campaign {campaign} aborted: {reason}")
             }
+            Error::Config { name, message } => {
+                write!(f, "invalid configuration: {name}: {message}")
+            }
+            Error::IncrementalDivergence { what, detail } => {
+                write!(f, "incremental {what} diverged from batch: {detail}")
+            }
+            Error::Corrupted {
+                what,
+                offset,
+                message,
+            } => write!(f, "corrupted {what} at byte {offset}: {message}"),
             Error::Wire(e) => write!(f, "wire format error: {e}"),
             Error::Internal { what, message } => {
                 write!(f, "internal failure in {what}: {message}")
@@ -234,6 +281,43 @@ mod tests {
         assert_eq!(
             e.to_string(),
             "internal failure in similarity worker: worker thread panicked"
+        );
+    }
+
+    #[test]
+    fn display_config() {
+        let e = Error::Config {
+            name: "retries",
+            message: "must leave room for at least one attempt".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "invalid configuration: retries: must leave room for at least one attempt"
+        );
+    }
+
+    #[test]
+    fn display_incremental_divergence() {
+        let e = Error::IncrementalDivergence {
+            what: "routes",
+            detail: "AS 17 routed to site 2, batch says site 0".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "incremental routes diverged from batch: AS 17 routed to site 2, batch says site 0"
+        );
+    }
+
+    #[test]
+    fn display_corrupted() {
+        let e = Error::Corrupted {
+            what: "journal header",
+            offset: 4,
+            message: "bad magic".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "corrupted journal header at byte 4: bad magic"
         );
     }
 

@@ -47,6 +47,12 @@ pub struct CampaignHealth {
     /// Replies that failed wire-format decoding (or decoded to a
     /// mismatched probe) and were classified Unknown.
     pub decode_failures: usize,
+    /// Incremental-vs-batch divergences detected by the runtime
+    /// `DivergenceGuard` during this sweep. Each one was already repaired
+    /// (the batch result replaced the diverged incremental state, which is
+    /// now quarantined), so a non-zero count marks a sweep whose result is
+    /// correct but whose incremental machinery misbehaved.
+    pub divergences: usize,
     /// The sweep ran out of probe budget before covering every target.
     pub budget_exhausted: bool,
     /// The sweep hit its simulated-time deadline before covering every
@@ -69,6 +75,7 @@ impl CampaignHealth {
             late: 0,
             duplicates: 0,
             decode_failures: 0,
+            divergences: 0,
             budget_exhausted: false,
             deadline_exceeded: false,
         }

@@ -56,6 +56,7 @@ pub mod clean;
 pub mod cluster;
 pub mod detect;
 pub mod error;
+pub mod guard;
 pub mod health;
 pub mod heatmap;
 pub mod ids;
@@ -77,6 +78,7 @@ pub mod prelude {
         ChangeDetector, DetectedEvent, GatedDetection, SuppressedEvent, ValidationReport,
     };
     pub use crate::error::{Error, Result};
+    pub use crate::guard::{DivergenceGuard, SamplingRate};
     pub use crate::health::CampaignHealth;
     pub use crate::heatmap::Heatmap;
     pub use crate::ids::{NetworkId, SiteId, SiteTable};

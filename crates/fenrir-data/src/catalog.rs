@@ -4,7 +4,10 @@
 //! release our enterprise and top-website datasets").
 
 use crate::io::to_jsonl;
+use crate::json::{self, Json};
 use crate::scenarios::{self, Scale};
+use fenrir_core::detect::{EventKind, LogEntry};
+use fenrir_core::error::{Error, Result};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 
@@ -114,6 +117,96 @@ pub fn catalog() -> Vec<DatasetMeta> {
     ]
 }
 
+fn meta_to_json(d: &DatasetMeta) -> String {
+    format!(
+        "{{\"id\":\"{}\",\"case_study\":\"{}\",\"service\":\"{}\",\"catchment\":\"{}\",\
+         \"method\":\"{}\",\"start\":\"{}\",\"duration_days\":{},\"cadence_secs\":{}}}",
+        json::escape(&d.id),
+        json::escape(&d.case_study),
+        json::escape(&d.service),
+        json::escape(&d.catchment),
+        json::escape(&d.method),
+        json::escape(&d.start),
+        d.duration_days,
+        d.cadence_secs,
+    )
+}
+
+/// The catalog as a JSON array (the `MANIFEST.json` content).
+pub fn manifest_json(catalog: &[DatasetMeta]) -> String {
+    let rows: Vec<String> = catalog
+        .iter()
+        .map(|d| format!("  {}", meta_to_json(d)))
+        .collect();
+    format!("[\n{}\n]\n", rows.join(",\n"))
+}
+
+/// Parse a catalog back from [`manifest_json`] output.
+pub fn catalog_from_json(s: &str) -> Result<Vec<DatasetMeta>> {
+    let bad = |message: String| Error::InvalidParameter {
+        name: "manifest",
+        message,
+    };
+    let doc = json::parse(s).map_err(&bad)?;
+    let rows = doc
+        .as_arr()
+        .ok_or_else(|| bad("expected a JSON array".into()))?;
+    rows.iter()
+        .map(|row| {
+            let field = |key: &str| -> Result<String> {
+                match row.get(key) {
+                    Some(Json::Str(s)) => Ok(s.clone()),
+                    other => Err(bad(format!(
+                        "field {key:?}: expected a string, got {other:?}"
+                    ))),
+                }
+            };
+            let int = |key: &str| -> Result<u32> {
+                match row.get(key) {
+                    Some(&Json::Num(x))
+                        if x.fract() == 0.0 && (0.0..=u32::MAX as f64).contains(&x) =>
+                    {
+                        Ok(x as u32)
+                    }
+                    other => Err(bad(format!("field {key:?}: expected a u32, got {other:?}"))),
+                }
+            };
+            Ok(DatasetMeta {
+                id: field("id")?,
+                case_study: field("case_study")?,
+                service: field("service")?,
+                catchment: field("catchment")?,
+                method: field("method")?,
+                start: field("start")?,
+                duration_days: int("duration_days")?,
+                cadence_secs: int("cadence_secs")?,
+            })
+        })
+        .collect()
+}
+
+/// The validation study's operator log as a JSON array (ground truth for
+/// the Table 4 experiment).
+pub fn ground_truth_json(log: &[LogEntry]) -> String {
+    let kind = |k: EventKind| match k {
+        EventKind::SiteDrain => "SiteDrain",
+        EventKind::TrafficEngineering => "TrafficEngineering",
+        EventKind::Internal => "Internal",
+    };
+    let rows: Vec<String> = log
+        .iter()
+        .map(|e| {
+            format!(
+                "  {{\"time\":{},\"operator\":\"{}\",\"kind\":\"{}\"}}",
+                e.time.as_secs(),
+                json::escape(&e.operator),
+                kind(e.kind)
+            )
+        })
+        .collect();
+    format!("[\n{}\n]\n", rows.join(",\n"))
+}
+
 /// Write every dataset as JSONL under `dir`, plus a `MANIFEST.json` with
 /// the catalog. Returns the written paths.
 pub fn release_all(dir: &Path, scale: Scale) -> std::io::Result<Vec<PathBuf>> {
@@ -156,7 +249,7 @@ pub fn release_all(dir: &Path, scale: Scale) -> std::io::Result<Vec<PathBuf>> {
     )?;
     write(
         "broot-atlas-validation.groundtruth.json",
-        serde_json::to_string_pretty(&val.log).expect("serializable log"),
+        ground_truth_json(&val.log),
     )?;
 
     let usc = scenarios::usc(scale);
@@ -178,10 +271,7 @@ pub fn release_all(dir: &Path, scale: Scale) -> std::io::Result<Vec<PathBuf>> {
         to_jsonl(&wiki.result.series, &block_labels(&wiki.result.blocks)).expect("aligned labels"),
     )?;
 
-    write(
-        "MANIFEST.json",
-        serde_json::to_string_pretty(&catalog()).expect("serializable catalog"),
-    )?;
+    write("MANIFEST.json", manifest_json(&catalog()))?;
     Ok(written)
 }
 
@@ -208,8 +298,8 @@ mod tests {
 
     #[test]
     fn catalog_serializes() {
-        let json = serde_json::to_string(&catalog()).unwrap();
-        let back: Vec<DatasetMeta> = serde_json::from_str(&json).unwrap();
+        let json = manifest_json(&catalog());
+        let back = catalog_from_json(&json).unwrap();
         assert_eq!(back, catalog());
     }
 

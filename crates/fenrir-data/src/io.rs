@@ -9,13 +9,13 @@
 //! * **JSONL**: one JSON object per observation time with the full dense
 //!   code vector — lossless, including unknowns, for exact round-trips.
 
+use crate::json::{self, Json};
 use fenrir_core::error::{Error, Result};
 use fenrir_core::ids::SiteTable;
 use fenrir_core::series::VectorSeries;
 use fenrir_core::time::Timestamp;
 use fenrir_core::vector::{Catchment, RoutingVector};
-use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Export a series as long-form CSV. `network_labels` names each vector
 /// position (block or VP id); unknown cells are omitted.
@@ -65,6 +65,13 @@ pub fn to_csv(series: &VectorSeries, network_labels: &[String]) -> Result<String
 /// The network population and site table are reconstructed from the rows
 /// (networks ordered by first appearance); cells absent from the file are
 /// `Unknown`.
+///
+/// The importer is strict about hostile or corrupted input: ragged rows
+/// (not exactly 3 fields), empty fields, unparseable timestamps, times
+/// that go backwards (a sweep reappearing after a later one), and
+/// duplicate `(time, network)` cells are all typed errors — silently
+/// reordering or last-wins overwriting would let a mangled file load as
+/// plausible data.
 pub fn from_csv(csv: &str) -> Result<(VectorSeries, Vec<String>)> {
     let mut lines = csv.lines();
     let header = lines.next().ok_or(Error::EmptyInput("csv"))?;
@@ -80,25 +87,53 @@ pub fn from_csv(csv: &str) -> Result<(VectorSeries, Vec<String>)> {
     // (time, network, catchment) triples with catchments resolved late so
     // the site table fills in file order.
     let mut rows: Vec<(i64, usize, Catchment)> = Vec::new();
+    let mut seen_cells: HashSet<(i64, usize)> = HashSet::new();
+    let mut last_time: Option<i64> = None;
     for (lineno, line) in lines.enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        let mut parts = line.splitn(3, ',');
-        let (Some(t), Some(net), Some(catch)) = (parts.next(), parts.next(), parts.next()) else {
+        let parts: Vec<&str> = line.split(',').collect();
+        let [t, net, catch] = parts[..] else {
             return Err(Error::InvalidParameter {
                 name: "csv row",
-                message: format!("line {}: expected 3 fields", lineno + 2),
+                message: format!(
+                    "line {}: expected 3 fields, got {}",
+                    lineno + 2,
+                    parts.len()
+                ),
             });
         };
+        if net.is_empty() || catch.is_empty() {
+            return Err(Error::InvalidParameter {
+                name: "csv row",
+                message: format!("line {}: empty field", lineno + 2),
+            });
+        }
         let t: i64 = t.parse().map_err(|_| Error::InvalidParameter {
             name: "csv time",
             message: format!("line {}: bad timestamp {t:?}", lineno + 2),
         })?;
+        if last_time.is_some_and(|last| t < last) {
+            return Err(Error::InvalidParameter {
+                name: "csv time",
+                message: format!("line {}: time {t} goes backwards", lineno + 2),
+            });
+        }
+        last_time = Some(t);
         let n = *net_index.entry(net.to_owned()).or_insert_with(|| {
             net_labels.push(net.to_owned());
             net_labels.len() - 1
         });
+        if !seen_cells.insert((t, n)) {
+            return Err(Error::InvalidParameter {
+                name: "csv row",
+                message: format!(
+                    "line {}: duplicate cell for {net:?} at time {t}",
+                    lineno + 2
+                ),
+            });
+        }
         let c = match catch {
             "err" => Catchment::Err,
             "other" => Catchment::Other,
@@ -108,7 +143,6 @@ pub fn from_csv(csv: &str) -> Result<(VectorSeries, Vec<String>)> {
         rows.push((t, n, c));
     }
     let mut times: Vec<i64> = rows.iter().map(|&(t, _, _)| t).collect();
-    times.sort_unstable();
     times.dedup();
     let t_index: HashMap<i64, usize> = times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
     let mut vectors: Vec<RoutingVector> = times
@@ -122,22 +156,6 @@ pub fn from_csv(csv: &str) -> Result<(VectorSeries, Vec<String>)> {
     Ok((series, net_labels))
 }
 
-/// One JSONL record: a full observation.
-#[derive(Debug, Serialize, Deserialize)]
-struct JsonlRow {
-    /// Seconds since epoch.
-    t: i64,
-    /// Dense catchment codes (see `fenrir_core::vector`).
-    codes: Vec<u16>,
-}
-
-/// JSONL header record carrying the site table and network labels.
-#[derive(Debug, Serialize, Deserialize)]
-struct JsonlHeader {
-    sites: Vec<String>,
-    networks: Vec<String>,
-}
-
 /// Export a series as JSONL: a header line, then one line per observation.
 pub fn to_jsonl(series: &VectorSeries, network_labels: &[String]) -> Result<String> {
     if network_labels.len() != series.networks() {
@@ -147,53 +165,144 @@ pub fn to_jsonl(series: &VectorSeries, network_labels: &[String]) -> Result<Stri
             actual: network_labels.len(),
         });
     }
-    let header = JsonlHeader {
-        sites: series.sites().iter().map(|(_, n)| n.to_owned()).collect(),
-        networks: network_labels.to_vec(),
+    let quoted = |items: &mut dyn Iterator<Item = String>| {
+        items
+            .map(|s| format!("\"{}\"", json::escape(&s)))
+            .collect::<Vec<_>>()
+            .join(",")
     };
-    let mut out = serde_json::to_string(&header).expect("header serializes");
-    out.push('\n');
+    let mut out = format!(
+        "{{\"sites\":[{}],\"networks\":[{}]}}\n",
+        quoted(&mut series.sites().iter().map(|(_, n)| n.to_owned())),
+        quoted(&mut network_labels.iter().cloned()),
+    );
     for v in series.vectors() {
-        let row = JsonlRow {
-            t: v.time().as_secs(),
-            codes: v.codes().to_vec(),
-        };
-        out.push_str(&serde_json::to_string(&row).expect("row serializes"));
-        out.push('\n');
+        let codes: Vec<String> = v.codes().iter().map(|c| c.to_string()).collect();
+        out.push_str(&format!(
+            "{{\"t\":{},\"codes\":[{}]}}\n",
+            v.time().as_secs(),
+            codes.join(",")
+        ));
     }
     Ok(out)
 }
 
+/// An integer field of a JSONL record, rejecting fractions and values
+/// outside `[lo, hi]` — a 1.5 or a 70000 in a code array is corruption,
+/// not something to round or wrap.
+fn jsonl_int(v: &Json, name: &'static str, line: usize, lo: f64, hi: f64) -> Result<i64> {
+    let bad = |message: String| Error::InvalidParameter {
+        name,
+        message: format!("line {line}: {message}"),
+    };
+    let Json::Num(x) = v else {
+        return Err(bad(format!("expected a number, got {v:?}")));
+    };
+    if x.fract() != 0.0 {
+        return Err(bad(format!("{x} is not an integer")));
+    }
+    if *x < lo || *x > hi {
+        return Err(bad(format!("{x} is outside [{lo}, {hi}]")));
+    }
+    Ok(*x as i64)
+}
+
+fn jsonl_strings(v: &Json, name: &'static str) -> Result<Vec<String>> {
+    let arr = v.as_arr().ok_or_else(|| Error::InvalidParameter {
+        name,
+        message: format!("expected an array of strings, got {v:?}"),
+    })?;
+    arr.iter()
+        .map(|s| match s {
+            Json::Str(s) => Ok(s.clone()),
+            other => Err(Error::InvalidParameter {
+                name,
+                message: format!("expected a string, got {other:?}"),
+            }),
+        })
+        .collect()
+}
+
 /// Import JSONL produced by [`to_jsonl`]. Lossless round trip.
+///
+/// Hostile input is rejected with typed errors, never a panic: malformed
+/// or non-finite JSON numbers, fractional or out-of-range timestamps and
+/// codes, ragged code arrays, and out-of-order or duplicate observation
+/// times all fail the load.
 pub fn from_jsonl(jsonl: &str) -> Result<(VectorSeries, Vec<String>)> {
     let mut lines = jsonl.lines().filter(|l| !l.trim().is_empty());
     let header_line = lines.next().ok_or(Error::EmptyInput("jsonl"))?;
-    let header: JsonlHeader =
-        serde_json::from_str(header_line).map_err(|e| Error::InvalidParameter {
+    let header = json::parse(header_line).map_err(|e| Error::InvalidParameter {
+        name: "jsonl header",
+        message: e,
+    })?;
+    let site_names = jsonl_strings(
+        header.get("sites").ok_or(Error::InvalidParameter {
             name: "jsonl header",
-            message: e.to_string(),
-        })?;
-    let sites = SiteTable::from_names(&header.sites);
-    let mut vectors = Vec::new();
+            message: "missing \"sites\"".into(),
+        })?,
+        "jsonl sites",
+    )?;
+    let networks = jsonl_strings(
+        header.get("networks").ok_or(Error::InvalidParameter {
+            name: "jsonl header",
+            message: "missing \"networks\"".into(),
+        })?,
+        "jsonl networks",
+    )?;
+    let sites = SiteTable::from_names(&site_names);
+    let mut vectors: Vec<RoutingVector> = Vec::new();
     for (i, line) in lines.enumerate() {
-        let row: JsonlRow = serde_json::from_str(line).map_err(|e| Error::InvalidParameter {
+        let lineno = i + 2;
+        let row = json::parse(line).map_err(|e| Error::InvalidParameter {
             name: "jsonl row",
-            message: format!("line {}: {e}", i + 2),
+            message: format!("line {lineno}: {e}"),
         })?;
-        if row.codes.len() != header.networks.len() {
+        let t = jsonl_int(
+            row.get("t").ok_or_else(|| Error::InvalidParameter {
+                name: "jsonl row",
+                message: format!("line {lineno}: missing \"t\""),
+            })?,
+            "jsonl t",
+            lineno,
+            -(2f64.powi(53)),
+            2f64.powi(53),
+        )?;
+        if let Some(last) = vectors.last() {
+            let last_t = last.time().as_secs();
+            if t == last_t {
+                return Err(Error::DuplicateTimestamp(t));
+            }
+            if t < last_t {
+                return Err(Error::InvalidParameter {
+                    name: "jsonl t",
+                    message: format!("line {lineno}: time {t} goes backwards from {last_t}"),
+                });
+            }
+        }
+        let codes_val = row.get("codes").ok_or_else(|| Error::InvalidParameter {
+            name: "jsonl row",
+            message: format!("line {lineno}: missing \"codes\""),
+        })?;
+        let arr = codes_val.as_arr().ok_or_else(|| Error::InvalidParameter {
+            name: "jsonl codes",
+            message: format!("line {lineno}: expected an array"),
+        })?;
+        let codes: Vec<u16> = arr
+            .iter()
+            .map(|c| jsonl_int(c, "jsonl codes", lineno, 0.0, u16::MAX as f64).map(|v| v as u16))
+            .collect::<Result<_>>()?;
+        if codes.len() != networks.len() {
             return Err(Error::ShapeMismatch {
                 what: "jsonl row codes",
-                expected: header.networks.len(),
-                actual: row.codes.len(),
+                expected: networks.len(),
+                actual: codes.len(),
             });
         }
-        vectors.push(RoutingVector::from_codes(
-            Timestamp::from_secs(row.t),
-            row.codes,
-        ));
+        vectors.push(RoutingVector::from_codes(Timestamp::from_secs(t), codes));
     }
-    let series = VectorSeries::from_vectors(sites, header.networks.len(), vectors)?;
-    Ok((series, header.networks))
+    let series = VectorSeries::from_vectors(sites, networks.len(), vectors)?;
+    Ok((series, networks))
 }
 
 #[cfg(test)]
@@ -324,5 +433,120 @@ mod tests {
     fn jsonl_rejects_label_mismatch() {
         let (series, _) = sample();
         assert!(to_jsonl(&series, &["x".into()]).is_err());
+    }
+
+    #[test]
+    fn csv_rejects_ragged_rows_with_extra_fields() {
+        let csv = "time,network,catchment\n0,a,LAX,extra\n";
+        assert!(matches!(
+            from_csv(csv),
+            Err(Error::InvalidParameter {
+                name: "csv row",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn csv_rejects_empty_fields() {
+        assert!(from_csv("time,network,catchment\n0,,LAX\n").is_err());
+        assert!(from_csv("time,network,catchment\n0,a,\n").is_err());
+    }
+
+    #[test]
+    fn csv_rejects_out_of_order_times() {
+        let csv = "time,network,catchment\n86400,a,LAX\n0,b,AMS\n";
+        assert!(matches!(
+            from_csv(csv),
+            Err(Error::InvalidParameter {
+                name: "csv time",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn csv_rejects_duplicate_cells() {
+        let csv = "time,network,catchment\n0,a,LAX\n0,a,AMS\n";
+        assert!(matches!(
+            from_csv(csv),
+            Err(Error::InvalidParameter {
+                name: "csv row",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn jsonl_rejects_non_finite_numbers() {
+        let jsonl = "{\"sites\":[],\"networks\":[\"a\"]}\n{\"t\":1e999,\"codes\":[0]}\n";
+        assert!(from_jsonl(jsonl).is_err());
+        let jsonl = "{\"sites\":[],\"networks\":[\"a\"]}\n{\"t\":0,\"codes\":[NaN]}\n";
+        assert!(from_jsonl(jsonl).is_err());
+    }
+
+    #[test]
+    fn jsonl_rejects_fractional_and_out_of_range_codes() {
+        for codes in ["[1.5]", "[-1]", "[70000]", "[true]", "42"] {
+            let jsonl =
+                format!("{{\"sites\":[],\"networks\":[\"a\"]}}\n{{\"t\":0,\"codes\":{codes}}}\n");
+            assert!(from_jsonl(&jsonl).is_err(), "accepted codes {codes}");
+        }
+    }
+
+    #[test]
+    fn jsonl_rejects_duplicate_and_out_of_order_times() {
+        let dup = "{\"sites\":[],\"networks\":[\"a\"]}\n\
+                   {\"t\":5,\"codes\":[0]}\n{\"t\":5,\"codes\":[0]}\n";
+        assert!(matches!(from_jsonl(dup), Err(Error::DuplicateTimestamp(5))));
+        let rev = "{\"sites\":[],\"networks\":[\"a\"]}\n\
+                   {\"t\":5,\"codes\":[0]}\n{\"t\":4,\"codes\":[0]}\n";
+        assert!(matches!(
+            from_jsonl(rev),
+            Err(Error::InvalidParameter {
+                name: "jsonl t",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn jsonl_never_panics_on_garbage() {
+        for bad in [
+            "{\"sites\":0,\"networks\":[]}\n",
+            "{\"sites\":[],\"networks\":[0]}\n",
+            "{\"networks\":[]}\n",
+            "{\"sites\":[],\"networks\":[\"a\"]}\n{\"codes\":[0]}\n",
+            "{\"sites\":[],\"networks\":[\"a\"]}\n{\"t\":0}\n",
+            "{\"sites\":[],\"networks\":[\"a\"]}\n{\"t\":1e40,\"codes\":[0]}\n",
+            "\u{0}\n",
+        ] {
+            assert!(from_jsonl(bad).is_err(), "accepted {bad:?}");
+        }
+        let deep = format!("{}\n", "[".repeat(1_000_000));
+        assert!(from_jsonl(&deep).is_err());
+    }
+
+    #[test]
+    fn jsonl_round_trips_nasty_labels() {
+        let sites = SiteTable::from_names(["L\"A\\X\n"]);
+        let mut series = VectorSeries::new(sites, 1);
+        series
+            .push(RoutingVector::from_catchments(
+                Timestamp::from_days(0),
+                vec![Catchment::Site(SiteId(0))],
+            ))
+            .unwrap();
+        let labels = vec!["net,\twith\u{1}control".to_owned()];
+        let jsonl = to_jsonl(&series, &labels).unwrap();
+        let (back, back_labels) = from_jsonl(&jsonl).unwrap();
+        assert_eq!(back_labels, labels);
+        assert_eq!(
+            back.sites()
+                .iter()
+                .map(|(_, n)| n.to_owned())
+                .collect::<Vec<_>>(),
+            vec!["L\"A\\X\n".to_owned()]
+        );
     }
 }

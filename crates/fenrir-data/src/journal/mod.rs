@@ -1,0 +1,470 @@
+//! Append-only, checksummed checkpoint journal.
+//!
+//! Campaign progress is irreplaceable — the paper's longitudinal results
+//! exist only because years of sweeps survived on disk — so Fenrir
+//! persists every completed sweep through this journal before starting
+//! the next one. The format is built for the failure modes long-running
+//! collectors actually see:
+//!
+//! * **Torn writes.** A crash mid-append leaves a truncated or garbled
+//!   trailing frame. Every frame carries a checksum (reusing
+//!   `fenrir-wire`'s RFC 1071 internet checksum — the same integrity
+//!   primitive the probe packets use), so loading detects the torn tail,
+//!   drops it, reports it in a [`RecoveryReport`], and resumes from the
+//!   clean prefix instead of poisoning the load.
+//! * **Unbounded growth.** Append-only journals grow forever; snapshot
+//!   frames let a sink periodically rewrite the journal as one folded
+//!   snapshot plus subsequent deltas (see [`sink`] and [`pipeline`]).
+//! * **Version drift.** The header carries a format version; a journal
+//!   from an incompatible future version is refused with a typed error
+//!   rather than misread.
+//!
+//! ## Layout
+//!
+//! ```text
+//! header  := magic "FNRJ" | version u16 LE | flags u16 LE
+//! frame   := len u32 LE | kind u16 LE | sum u16 LE | payload (len bytes)
+//! journal := header frame*
+//! ```
+//!
+//! `sum` is the internet checksum over `len ‖ kind ‖ payload`. Frame
+//! kinds are allocated per consumer ([`sink`] for campaign checkpoints,
+//! [`pipeline`] for analysis state); the core journal treats payloads as
+//! opaque bytes.
+
+pub mod codec;
+pub mod pipeline;
+pub mod sink;
+
+pub use pipeline::{PipelineConfig, RecoverablePipeline};
+pub use sink::{CampaignMeta, JournalSink};
+
+use fenrir_core::error::{Error, Result};
+use fenrir_wire::checksum::internet_checksum;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// First four bytes of every journal file.
+pub const MAGIC: [u8; 4] = *b"FNRJ";
+/// Current format version; bumped on any frame-layout change.
+pub const VERSION: u16 = 1;
+/// Journal header length in bytes.
+const HEADER_LEN: usize = 8;
+/// Per-frame header length in bytes (len + kind + sum).
+const FRAME_HEADER_LEN: usize = 8;
+
+/// One decoded frame: an opaque payload with its kind tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Consumer-allocated frame kind.
+    pub kind: u16,
+    /// Checksummed payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// What loading a journal found and what it had to drop.
+///
+/// A non-clean report is not an error: the clean prefix loaded fine and
+/// the campaign resumes from it. Callers log the report so a recurring
+/// torn tail (disk trouble, repeated crashes mid-append) stays visible.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Frames recovered from the clean prefix.
+    pub frames: usize,
+    /// Bytes of the clean prefix, including the header.
+    pub clean_bytes: usize,
+    /// Bytes dropped from the torn tail (0 when clean).
+    pub dropped_bytes: usize,
+    /// Why the tail was dropped, with its byte offset; `None` when the
+    /// journal was fully intact.
+    pub torn: Option<TornTail>,
+}
+
+/// Description of a dropped journal tail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TornTail {
+    /// Byte offset where the first unreadable frame starts.
+    pub offset: usize,
+    /// Human-readable reason the tail was unreadable.
+    pub reason: String,
+}
+
+impl RecoveryReport {
+    /// True when nothing was dropped.
+    pub fn is_clean(&self) -> bool {
+        self.torn.is_none()
+    }
+}
+
+impl fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.torn {
+            None => write!(f, "journal clean: {} frames", self.frames),
+            Some(t) => write!(
+                f,
+                "journal recovered: {} frames kept, {} bytes dropped at offset {} ({})",
+                self.frames, self.dropped_bytes, t.offset, t.reason
+            ),
+        }
+    }
+}
+
+fn frame_checksum(kind: u16, payload: &[u8]) -> u16 {
+    let mut data = Vec::with_capacity(6 + payload.len());
+    data.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    data.extend_from_slice(&kind.to_le_bytes());
+    data.extend_from_slice(payload);
+    internet_checksum(&data)
+}
+
+fn header_bytes() -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[..4].copy_from_slice(&MAGIC);
+    h[4..6].copy_from_slice(&VERSION.to_le_bytes());
+    // flags (reserved, must be zero in version 1) occupy h[6..8].
+    h
+}
+
+fn io_err(what: &'static str, e: std::io::Error) -> Error {
+    Error::Internal {
+        what,
+        message: e.to_string(),
+    }
+}
+
+/// An append-only checksummed frame log, in memory or file-backed.
+///
+/// Appends go to the in-memory buffer and, when file-backed, are written
+/// through and flushed before `append` returns — a frame handed to the
+/// journal is durable by the time the caller learns it succeeded.
+#[derive(Debug)]
+pub struct Journal {
+    buf: Vec<u8>,
+    file: Option<File>,
+    path: Option<PathBuf>,
+}
+
+impl Journal {
+    /// A fresh in-memory journal (header only, no frames).
+    pub fn in_memory() -> Self {
+        Journal {
+            buf: header_bytes().to_vec(),
+            file: None,
+            path: None,
+        }
+    }
+
+    /// Decode journal bytes into the clean frame prefix plus a recovery
+    /// report. Torn or corrupt trailing frames are dropped and reported;
+    /// a bad header (wrong magic, unsupported version, nonzero flags) is
+    /// unrecoverable and returns [`Error::Corrupted`]. Empty input is a
+    /// journal that was never started: zero frames, clean.
+    pub fn decode(bytes: &[u8]) -> Result<(Vec<Frame>, RecoveryReport)> {
+        if bytes.is_empty() {
+            return Ok((Vec::new(), RecoveryReport::default()));
+        }
+        if bytes.len() < HEADER_LEN {
+            return Err(Error::Corrupted {
+                what: "journal header",
+                offset: bytes.len(),
+                message: format!("header truncated to {} bytes", bytes.len()),
+            });
+        }
+        if bytes[..4] != MAGIC {
+            return Err(Error::Corrupted {
+                what: "journal header",
+                offset: 0,
+                message: format!("bad magic {:02x?}", &bytes[..4]),
+            });
+        }
+        let version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
+        if version != VERSION {
+            return Err(Error::Corrupted {
+                what: "journal header",
+                offset: 4,
+                message: format!("unsupported version {version} (this build reads {VERSION})"),
+            });
+        }
+        let flags = u16::from_le_bytes(bytes[6..8].try_into().unwrap());
+        if flags != 0 {
+            return Err(Error::Corrupted {
+                what: "journal header",
+                offset: 6,
+                message: format!("unknown flags {flags:#06x}"),
+            });
+        }
+        let mut frames = Vec::new();
+        let mut pos = HEADER_LEN;
+        let mut torn = None;
+        while pos < bytes.len() {
+            let rem = bytes.len() - pos;
+            if rem < FRAME_HEADER_LEN {
+                torn = Some(TornTail {
+                    offset: pos,
+                    reason: format!("frame header truncated to {rem} bytes"),
+                });
+                break;
+            }
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            let kind = u16::from_le_bytes(bytes[pos + 4..pos + 6].try_into().unwrap());
+            let sum = u16::from_le_bytes(bytes[pos + 6..pos + 8].try_into().unwrap());
+            if len > rem - FRAME_HEADER_LEN {
+                torn = Some(TornTail {
+                    offset: pos,
+                    reason: format!(
+                        "frame payload truncated: {len} bytes declared, {} present",
+                        rem - FRAME_HEADER_LEN
+                    ),
+                });
+                break;
+            }
+            let payload = &bytes[pos + FRAME_HEADER_LEN..pos + FRAME_HEADER_LEN + len];
+            if frame_checksum(kind, payload) != sum {
+                torn = Some(TornTail {
+                    offset: pos,
+                    reason: format!("frame checksum mismatch (kind {kind})"),
+                });
+                break;
+            }
+            frames.push(Frame {
+                kind,
+                payload: payload.to_vec(),
+            });
+            pos += FRAME_HEADER_LEN + len;
+        }
+        let report = RecoveryReport {
+            frames: frames.len(),
+            clean_bytes: pos,
+            dropped_bytes: bytes.len() - pos,
+            torn,
+        };
+        Ok((frames, report))
+    }
+
+    /// Adopt existing journal bytes (e.g. read from elsewhere), keeping
+    /// only the clean prefix in the buffer.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<(Self, Vec<Frame>, RecoveryReport)> {
+        let (frames, report) = Self::decode(&bytes)?;
+        let mut buf = bytes;
+        buf.truncate(report.clean_bytes);
+        if buf.is_empty() {
+            buf = header_bytes().to_vec();
+        }
+        Ok((
+            Journal {
+                buf,
+                file: None,
+                path: None,
+            },
+            frames,
+            report,
+        ))
+    }
+
+    /// Open (or create) a file-backed journal, recovering the clean
+    /// prefix. A torn tail is truncated off the file on open, so a second
+    /// crash cannot re-discover the same garbage.
+    pub fn open(path: &Path) -> Result<(Self, Vec<Frame>, RecoveryReport)> {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(io_err("journal read", e)),
+        };
+        let (frames, report) = Self::decode(&bytes)?;
+        let mut buf = bytes;
+        buf.truncate(report.clean_bytes);
+        if buf.is_empty() {
+            buf = header_bytes().to_vec();
+        }
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| io_err("journal open", e))?;
+        file.write_all(&buf)
+            .map_err(|e| io_err("journal write", e))?;
+        file.sync_data().map_err(|e| io_err("journal sync", e))?;
+        Ok((
+            Journal {
+                buf,
+                file: Some(file),
+                path: Some(path.to_path_buf()),
+            },
+            frames,
+            report,
+        ))
+    }
+
+    /// Append one frame. File-backed journals flush before returning:
+    /// success means the frame is durable.
+    pub fn append(&mut self, kind: u16, payload: &[u8]) -> Result<()> {
+        if payload.len() > u32::MAX as usize {
+            return Err(Error::InvalidParameter {
+                name: "frame payload",
+                message: format!("{} bytes exceeds the u32 frame length", payload.len()),
+            });
+        }
+        let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&kind.to_le_bytes());
+        frame.extend_from_slice(&frame_checksum(kind, payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        if let Some(file) = &mut self.file {
+            file.write_all(&frame)
+                .map_err(|e| io_err("journal append", e))?;
+            file.sync_data().map_err(|e| io_err("journal sync", e))?;
+        }
+        self.buf.extend_from_slice(&frame);
+        Ok(())
+    }
+
+    /// Replace the journal's whole content with `frames` — the compaction
+    /// primitive. File-backed journals write the replacement to a sibling
+    /// temp file and rename it into place, so a crash mid-compaction
+    /// leaves either the old journal or the new one, never a mix.
+    pub fn rewrite(&mut self, frames: &[(u16, Vec<u8>)]) -> Result<()> {
+        let mut buf = header_bytes().to_vec();
+        for (kind, payload) in frames {
+            if payload.len() > u32::MAX as usize {
+                return Err(Error::InvalidParameter {
+                    name: "frame payload",
+                    message: format!("{} bytes exceeds the u32 frame length", payload.len()),
+                });
+            }
+            buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            buf.extend_from_slice(&kind.to_le_bytes());
+            buf.extend_from_slice(&frame_checksum(*kind, payload).to_le_bytes());
+            buf.extend_from_slice(payload);
+        }
+        if let Some(path) = &self.path {
+            let tmp = path.with_extension("compact.tmp");
+            let mut f = File::create(&tmp).map_err(|e| io_err("journal compact", e))?;
+            f.write_all(&buf)
+                .map_err(|e| io_err("journal compact", e))?;
+            f.sync_data().map_err(|e| io_err("journal sync", e))?;
+            drop(f);
+            std::fs::rename(&tmp, path).map_err(|e| io_err("journal compact", e))?;
+            let file = OpenOptions::new()
+                .append(true)
+                .open(path)
+                .map_err(|e| io_err("journal open", e))?;
+            self.file = Some(file);
+        }
+        self.buf = buf;
+        Ok(())
+    }
+
+    /// The journal's current bytes (header + clean frames).
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Journal {
+        let mut j = Journal::in_memory();
+        j.append(1, b"alpha").unwrap();
+        j.append(2, b"").unwrap();
+        j.append(3, &[0xAB; 40]).unwrap();
+        j
+    }
+
+    #[test]
+    fn round_trip_recovers_every_frame() {
+        let j = sample();
+        let (frames, report) = Journal::decode(j.bytes()).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.frames, 3);
+        assert_eq!(
+            frames[0],
+            Frame {
+                kind: 1,
+                payload: b"alpha".to_vec()
+            }
+        );
+        assert_eq!(frames[1].payload, b"");
+        assert_eq!(frames[2].payload, vec![0xAB; 40]);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_reported() {
+        let j = sample();
+        let full = j.bytes().to_vec();
+        // Cut mid-way through the last frame's payload.
+        let cut = full.len() - 17;
+        let (frames, report) = Journal::decode(&full[..cut]).unwrap();
+        assert_eq!(frames.len(), 2);
+        assert!(!report.is_clean());
+        assert_eq!(report.dropped_bytes, cut - report.clean_bytes);
+        assert!(report.torn.as_ref().unwrap().reason.contains("truncated"));
+    }
+
+    #[test]
+    fn corrupt_trailing_frame_is_dropped() {
+        let j = sample();
+        let mut bytes = j.bytes().to_vec();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        let (frames, report) = Journal::decode(&bytes).unwrap();
+        assert_eq!(frames.len(), 2);
+        assert!(report.torn.as_ref().unwrap().reason.contains("checksum"));
+    }
+
+    #[test]
+    fn bad_header_is_a_typed_error() {
+        let mut bytes = sample().bytes().to_vec();
+        bytes[0] = b'X';
+        assert!(matches!(
+            Journal::decode(&bytes),
+            Err(Error::Corrupted {
+                what: "journal header",
+                ..
+            })
+        ));
+        let mut versioned = sample().bytes().to_vec();
+        versioned[4] = 0xFF;
+        assert!(Journal::decode(&versioned).is_err());
+    }
+
+    #[test]
+    fn file_backed_journal_truncates_torn_tail_on_open() {
+        let path = std::env::temp_dir().join(format!("fenrir-journal-{}.fnrj", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut j, frames, report) = Journal::open(&path).unwrap();
+            assert!(frames.is_empty() && report.is_clean());
+            j.append(1, b"first").unwrap();
+            j.append(2, b"second").unwrap();
+        }
+        // Tear the tail on disk.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.truncate(bytes.len() - 3);
+        std::fs::write(&path, &bytes).unwrap();
+        {
+            let (_, frames, report) = Journal::open(&path).unwrap();
+            assert_eq!(frames.len(), 1);
+            assert!(!report.is_clean());
+        }
+        // The truncation is persisted: reopening is clean.
+        let (_, frames, report) = Journal::open(&path).unwrap();
+        assert_eq!(frames.len(), 1);
+        assert!(report.is_clean());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rewrite_replaces_content() {
+        let mut j = sample();
+        j.rewrite(&[(9, b"snapshot".to_vec())]).unwrap();
+        let (frames, report) = Journal::decode(j.bytes()).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].kind, 9);
+    }
+}

@@ -1,0 +1,623 @@
+//! Crash-recoverable analysis pipeline: series → similarity → dendrogram,
+//! journaled one observation at a time.
+//!
+//! The measurement side checkpoints raw sweeps ([`super::sink`]); this
+//! module journals the *derived* state so a crash does not force the
+//! O(T²) similarity matrix to be recomputed from scratch. Each observed
+//! vector appends one delta frame carrying the observation, its condensed
+//! similarity row (the only matrix cells a new observation adds — history
+//! rows never change), and its health record; snapshots additionally
+//! persist the dendrogram merge prefix so a restore replays
+//! [`Dendrogram::extend`] from the prefix instead of re-clustering from
+//! zero.
+//!
+//! Restores are bit-exact: journaled Φ rows are the exact IEEE-754 bits
+//! the pipeline computed, and the incremental extend they feed is the
+//! same code path a straight-through run uses — the kill/resume
+//! equivalence tests assert `D(t)` comes out identical either way.
+//!
+//! Incremental extends run behind the runtime [`DivergenceGuard`]: a
+//! sampled incremental-vs-batch mismatch repairs from the batch result,
+//! quarantines the incremental path, and surfaces through the
+//! observation's [`CampaignHealth::divergences`] counter instead of
+//! aborting the pipeline. Guard sampling counters reset on restore (they
+//! are pacing state, not data), so a resumed run may *check* at different
+//! sweeps than an uninterrupted one — but since checks only repair
+//! already-wrong state, results are unaffected when the incremental path
+//! is healthy.
+
+use super::codec::{self, Dec};
+use super::{Frame, Journal, RecoveryReport};
+use fenrir_core::cluster::{Dendrogram, Linkage, Merge};
+use fenrir_core::error::{Error, Result};
+use fenrir_core::guard::{DivergenceGuard, SamplingRate};
+use fenrir_core::health::CampaignHealth;
+use fenrir_core::ids::SiteTable;
+use fenrir_core::series::VectorSeries;
+use fenrir_core::similarity::{SimilarityMatrix, UnknownPolicy};
+use fenrir_core::time::Timestamp;
+use fenrir_core::vector::RoutingVector;
+use fenrir_core::weight::Weights;
+use std::path::Path;
+
+/// Frame kind: pipeline metadata (always the first frame).
+pub const KIND_PIPELINE_META: u16 = 0x20;
+/// Frame kind: one observation delta (vector + Φ row + health).
+pub const KIND_OBSERVATION: u16 = 0x21;
+/// Frame kind: folded snapshot (series + matrix + merge prefix + health).
+pub const KIND_PIPELINE_SNAPSHOT: u16 = 0x22;
+
+/// Analysis parameters a pipeline journal is bound to. Weights, unknown
+/// policy and linkage all change Φ bit patterns or the merge tree, so a
+/// journal written under one configuration is refused under another.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Per-network weights for Φ.
+    pub weights: Weights,
+    /// Unknown-handling policy for Φ.
+    pub policy: UnknownPolicy,
+    /// HAC linkage.
+    pub linkage: Linkage,
+    /// Divergence-guard sampling rate for the incremental extends.
+    pub sampling: SamplingRate,
+    /// Compact once this many observation deltas accumulate after the
+    /// last snapshot (`None` = never compact automatically).
+    pub compact_every: Option<usize>,
+}
+
+impl PipelineConfig {
+    /// Uniform weights, paper-default policy and linkage, build-default
+    /// guard sampling, compaction every 64 observations.
+    pub fn new(networks: usize) -> Self {
+        PipelineConfig {
+            weights: Weights::uniform(networks),
+            policy: UnknownPolicy::default(),
+            linkage: Linkage::default(),
+            sampling: SamplingRate::default_for_build(),
+            compact_every: Some(64),
+        }
+    }
+}
+
+fn linkage_code(l: Linkage) -> u8 {
+    match l {
+        Linkage::Single => 0,
+        Linkage::Complete => 1,
+        Linkage::Average => 2,
+    }
+}
+
+fn linkage_from(code: u8) -> Result<Linkage> {
+    match code {
+        0 => Ok(Linkage::Single),
+        1 => Ok(Linkage::Complete),
+        2 => Ok(Linkage::Average),
+        c => Err(Error::Corrupted {
+            what: "pipeline meta",
+            offset: 0,
+            message: format!("unknown linkage code {c}"),
+        }),
+    }
+}
+
+fn policy_code(p: UnknownPolicy) -> u8 {
+    match p {
+        UnknownPolicy::Pessimistic => 0,
+        UnknownPolicy::KnownOnly => 1,
+    }
+}
+
+fn policy_from(code: u8) -> Result<UnknownPolicy> {
+    match code {
+        0 => Ok(UnknownPolicy::Pessimistic),
+        1 => Ok(UnknownPolicy::KnownOnly),
+        c => Err(Error::Corrupted {
+            what: "pipeline meta",
+            offset: 0,
+            message: format!("unknown policy code {c}"),
+        }),
+    }
+}
+
+/// A journaled series → matrix → dendrogram pipeline.
+#[derive(Debug)]
+pub struct RecoverablePipeline {
+    journal: Journal,
+    cfg: PipelineConfig,
+    series: VectorSeries,
+    matrix: Option<SimilarityMatrix>,
+    dendro: Option<Dendrogram>,
+    health: Vec<CampaignHealth>,
+    guard: DivergenceGuard,
+    deltas: usize,
+    report: RecoveryReport,
+}
+
+impl RecoverablePipeline {
+    /// A fresh in-memory pipeline.
+    pub fn in_memory(sites: SiteTable, networks: usize, cfg: PipelineConfig) -> Result<Self> {
+        Self::attach(
+            Journal::in_memory(),
+            Vec::new(),
+            RecoveryReport::default(),
+            sites,
+            networks,
+            cfg,
+        )
+    }
+
+    /// Open (or create) a file-backed pipeline journal, restoring all
+    /// derived state from the clean frame prefix.
+    pub fn open(
+        path: &Path,
+        sites: SiteTable,
+        networks: usize,
+        cfg: PipelineConfig,
+    ) -> Result<Self> {
+        let (journal, frames, report) = Journal::open(path)?;
+        Self::attach(journal, frames, report, sites, networks, cfg)
+    }
+
+    /// Adopt raw journal bytes (corruption tests, in-memory round trips).
+    pub fn from_bytes(
+        bytes: Vec<u8>,
+        sites: SiteTable,
+        networks: usize,
+        cfg: PipelineConfig,
+    ) -> Result<Self> {
+        let (journal, frames, report) = Journal::from_bytes(bytes)?;
+        Self::attach(journal, frames, report, sites, networks, cfg)
+    }
+
+    fn meta_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        codec::put_usize(&mut out, self.series.networks());
+        out.push(linkage_code(self.cfg.linkage));
+        out.push(policy_code(self.cfg.policy));
+        codec::put_seq(&mut out, self.cfg.weights.values(), |o, &w| {
+            codec::put_f64(o, w)
+        });
+        let names: Vec<String> = self
+            .series
+            .sites()
+            .iter()
+            .map(|(_, n)| n.to_owned())
+            .collect();
+        codec::put_seq(&mut out, &names, |o, n| codec::put_str(o, n));
+        out
+    }
+
+    fn attach(
+        mut journal: Journal,
+        frames: Vec<Frame>,
+        report: RecoveryReport,
+        sites: SiteTable,
+        networks: usize,
+        cfg: PipelineConfig,
+    ) -> Result<Self> {
+        if cfg.weights.len() != networks {
+            return Err(Error::ShapeMismatch {
+                what: "pipeline weights",
+                expected: networks,
+                actual: cfg.weights.len(),
+            });
+        }
+        let guard = DivergenceGuard::new(cfg.sampling);
+        let mut pipe = RecoverablePipeline {
+            journal: Journal::in_memory(),
+            cfg,
+            series: VectorSeries::new(sites, networks),
+            matrix: None,
+            dendro: None,
+            health: Vec::new(),
+            guard,
+            deltas: 0,
+            report,
+        };
+        if frames.is_empty() {
+            journal.append(KIND_PIPELINE_META, &pipe.meta_payload())?;
+            pipe.journal = journal;
+            return Ok(pipe);
+        }
+        let first = &frames[0];
+        if first.kind != KIND_PIPELINE_META {
+            return Err(Error::Corrupted {
+                what: "pipeline journal",
+                offset: 0,
+                message: format!("first frame has kind {:#06x}, expected meta", first.kind),
+            });
+        }
+        pipe.check_meta(&first.payload)?;
+        // Collect the clean prefix, then rebuild the derived state once.
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        let mut vectors: Vec<RoutingVector> = Vec::new();
+        let mut merges: Option<(usize, Vec<Merge>)> = None;
+        for frame in &frames[1..] {
+            match frame.kind {
+                KIND_OBSERVATION => {
+                    let mut d = Dec::new(&frame.payload, "pipeline observation");
+                    let t = d.i64()?;
+                    let nc = d.seq_len(2)?;
+                    let codes = (0..nc).map(|_| d.u16()).collect::<Result<Vec<_>>>()?;
+                    let nr = d.seq_len(8)?;
+                    let row = (0..nr).map(|_| d.f64()).collect::<Result<Vec<_>>>()?;
+                    let health = codec::read_health(&mut d)?;
+                    d.finish()?;
+                    if codes.len() != networks {
+                        return Err(Error::ShapeMismatch {
+                            what: "journaled observation",
+                            expected: networks,
+                            actual: codes.len(),
+                        });
+                    }
+                    if row.len() != vectors.len() + 1 {
+                        return Err(Error::Corrupted {
+                            what: "pipeline observation",
+                            offset: 0,
+                            message: format!(
+                                "Φ row of {} cells for observation {}",
+                                row.len(),
+                                vectors.len()
+                            ),
+                        });
+                    }
+                    vectors.push(RoutingVector::from_codes(Timestamp::from_secs(t), codes));
+                    rows.push(row);
+                    pipe.health.push(health);
+                }
+                KIND_PIPELINE_SNAPSHOT => {
+                    let mut d = Dec::new(&frame.payload, "pipeline snapshot");
+                    let n = d.seq_len(8)?;
+                    let mut snap_vectors = Vec::with_capacity(n);
+                    let mut snap_rows = Vec::with_capacity(n);
+                    for i in 0..n {
+                        let t = d.i64()?;
+                        let ncodes = d.seq_len(2)?;
+                        let codes = (0..ncodes).map(|_| d.u16()).collect::<Result<Vec<_>>>()?;
+                        let nr = d.seq_len(8)?;
+                        let row = (0..nr).map(|_| d.f64()).collect::<Result<Vec<_>>>()?;
+                        if codes.len() != networks || row.len() != i + 1 {
+                            return Err(Error::Corrupted {
+                                what: "pipeline snapshot",
+                                offset: 0,
+                                message: format!("malformed observation {i}"),
+                            });
+                        }
+                        snap_vectors
+                            .push(RoutingVector::from_codes(Timestamp::from_secs(t), codes));
+                        snap_rows.push(row);
+                    }
+                    let nm = d.seq_len(8)?;
+                    let snap_merges = (0..nm)
+                        .map(|_| {
+                            Ok(Merge {
+                                a: d.usize()?,
+                                b: d.usize()?,
+                                distance: d.f64()?,
+                                size: d.usize()?,
+                            })
+                        })
+                        .collect::<Result<Vec<_>>>()?;
+                    let nh = d.seq_len(8)?;
+                    let snap_health = (0..nh)
+                        .map(|_| codec::read_health(&mut d))
+                        .collect::<Result<Vec<_>>>()?;
+                    d.finish()?;
+                    if snap_health.len() != n || (n > 0 && snap_merges.len() != n - 1) {
+                        return Err(Error::Corrupted {
+                            what: "pipeline snapshot",
+                            offset: 0,
+                            message: format!(
+                                "{n} observations with {} merges / {} health records",
+                                snap_merges.len(),
+                                snap_health.len()
+                            ),
+                        });
+                    }
+                    vectors = snap_vectors;
+                    rows = snap_rows;
+                    merges = Some((n, snap_merges));
+                    pipe.health = snap_health;
+                }
+                kind => {
+                    return Err(Error::Corrupted {
+                        what: "pipeline journal",
+                        offset: 0,
+                        message: format!("unknown frame kind {kind:#06x}"),
+                    });
+                }
+            }
+        }
+        pipe.deltas = vectors.len() - merges.as_ref().map_or(0, |(n, _)| *n);
+        if !vectors.is_empty() {
+            let n = vectors.len();
+            pipe.series =
+                VectorSeries::from_vectors(pipe.series.sites().clone(), networks, vectors)?;
+            let condensed: Vec<f64> = rows.into_iter().flatten().collect();
+            let matrix = SimilarityMatrix::from_condensed(n, condensed)?;
+            // Replay the dendrogram from the persisted merge prefix where
+            // one exists, then extend over the delta observations — the
+            // same incremental path a live run takes.
+            let mut dendro = match merges {
+                Some((sn, m)) if sn > 0 => Dendrogram::from_parts(sn, pipe.cfg.linkage, m)?,
+                _ => Dendrogram::build(&matrix, pipe.cfg.linkage)?,
+            };
+            dendro.extend(&matrix)?;
+            pipe.matrix = Some(matrix);
+            pipe.dendro = Some(dendro);
+        }
+        pipe.journal = journal;
+        Ok(pipe)
+    }
+
+    fn check_meta(&self, payload: &[u8]) -> Result<()> {
+        let mut d = Dec::new(payload, "pipeline meta");
+        let networks = d.usize()?;
+        let linkage = linkage_from(d.u8()?)?;
+        let policy = policy_from(d.u8()?)?;
+        let nw = d.seq_len(8)?;
+        let weights = (0..nw).map(|_| d.f64()).collect::<Result<Vec<_>>>()?;
+        let ns = d.seq_len(8)?;
+        let sites = (0..ns).map(|_| d.str()).collect::<Result<Vec<_>>>()?;
+        d.finish()?;
+        let my_sites: Vec<String> = self
+            .series
+            .sites()
+            .iter()
+            .map(|(_, n)| n.to_owned())
+            .collect();
+        let same_weights = weights.len() == self.cfg.weights.len()
+            && weights
+                .iter()
+                .zip(self.cfg.weights.values())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        if networks != self.series.networks()
+            || linkage != self.cfg.linkage
+            || policy != self.cfg.policy
+            || !same_weights
+            || sites != my_sites
+        {
+            return Err(Error::Config {
+                name: "pipeline journal",
+                message: format!(
+                    "journal was written under a different analysis configuration \
+                     ({networks} networks, {linkage:?}/{policy:?}) than the caller's \
+                     ({} networks, {:?}/{:?}) — Φ bits would not line up",
+                    self.series.networks(),
+                    self.cfg.linkage,
+                    self.cfg.policy
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Ingest one observation: push it into the series, extend the matrix
+    /// and dendrogram behind the divergence guard, fold any divergence
+    /// events into the health record, and journal the delta durably.
+    pub fn observe(&mut self, v: RoutingVector, health: CampaignHealth) -> Result<()> {
+        self.series.push(v)?;
+        let i = self.series.len() - 1;
+        match &mut self.matrix {
+            None => {
+                self.matrix = Some(SimilarityMatrix::compute(
+                    &self.series,
+                    &self.cfg.weights,
+                    self.cfg.policy,
+                )?);
+            }
+            Some(m) => m.extend_guarded(
+                &self.series,
+                &self.cfg.weights,
+                self.cfg.policy,
+                &mut self.guard,
+            )?,
+        }
+        let matrix = self.matrix.as_ref().expect("matrix exists after extend");
+        match &mut self.dendro {
+            None => self.dendro = Some(Dendrogram::build(matrix, self.cfg.linkage)?),
+            Some(dd) => dd.extend_guarded(matrix, &mut self.guard)?,
+        }
+        let mut health = health;
+        health.divergences += self.guard.drain_new();
+        let mut payload = Vec::new();
+        let vec = self.series.get(i);
+        codec::put_i64(&mut payload, vec.time().as_secs());
+        codec::put_seq(&mut payload, vec.codes(), |o, &c| codec::put_u16(o, c));
+        codec::put_seq(&mut payload, matrix.condensed_row(i), |o, &p| {
+            codec::put_f64(o, p)
+        });
+        codec::put_health(&mut payload, &health);
+        self.journal.append(KIND_OBSERVATION, &payload)?;
+        self.health.push(health);
+        self.deltas += 1;
+        if self.cfg.compact_every.is_some_and(|n| self.deltas >= n) {
+            self.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Fold everything into one snapshot frame (meta ‖ snapshot) — the
+    /// compaction that bounds journal growth and restore replay cost.
+    pub fn compact(&mut self) -> Result<()> {
+        let mut snap = Vec::new();
+        codec::put_usize(&mut snap, self.series.len());
+        for (i, v) in self.series.vectors().iter().enumerate() {
+            codec::put_i64(&mut snap, v.time().as_secs());
+            codec::put_seq(&mut snap, v.codes(), |o, &c| codec::put_u16(o, c));
+            let row = self.matrix.as_ref().map_or(&[][..], |m| m.condensed_row(i));
+            codec::put_seq(&mut snap, row, |o, &p| codec::put_f64(o, p));
+        }
+        let merges = self.dendro.as_ref().map_or(&[][..], |d| d.merges());
+        codec::put_seq(&mut snap, merges, |o, m| {
+            codec::put_usize(o, m.a);
+            codec::put_usize(o, m.b);
+            codec::put_f64(o, m.distance);
+            codec::put_usize(o, m.size);
+        });
+        codec::put_seq(&mut snap, &self.health, codec::put_health);
+        self.journal.rewrite(&[
+            (KIND_PIPELINE_META, self.meta_payload()),
+            (KIND_PIPELINE_SNAPSHOT, snap),
+        ])?;
+        self.deltas = 0;
+        Ok(())
+    }
+
+    /// The accumulated series.
+    pub fn series(&self) -> &VectorSeries {
+        &self.series
+    }
+
+    /// The similarity matrix (`None` before the first observation).
+    pub fn matrix(&self) -> Option<&SimilarityMatrix> {
+        self.matrix.as_ref()
+    }
+
+    /// The dendrogram (`None` before the first observation).
+    pub fn dendrogram(&self) -> Option<&Dendrogram> {
+        self.dendro.as_ref()
+    }
+
+    /// Per-observation health records (with pipeline divergences folded
+    /// into [`CampaignHealth::divergences`]).
+    pub fn health(&self) -> &[CampaignHealth] {
+        &self.health
+    }
+
+    /// The divergence guard driving the incremental cross-checks.
+    pub fn guard(&self) -> &DivergenceGuard {
+        &self.guard
+    }
+
+    /// What recovery found when this pipeline opened its journal.
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.report
+    }
+
+    /// The journal's current bytes.
+    pub fn bytes(&self) -> &[u8] {
+        self.journal.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fenrir_core::ids::SiteId;
+    use fenrir_core::vector::Catchment;
+
+    fn vec_at(day: i64, sites: [u16; 4]) -> RoutingVector {
+        RoutingVector::from_catchments(
+            Timestamp::from_days(day),
+            sites.iter().map(|&s| Catchment::Site(SiteId(s))).collect(),
+        )
+    }
+
+    fn cfg() -> PipelineConfig {
+        PipelineConfig {
+            compact_every: None,
+            ..PipelineConfig::new(4)
+        }
+    }
+
+    fn feed(pipe: &mut RecoverablePipeline, days: std::ops::Range<i64>) {
+        for day in days {
+            let flip = if day % 3 == 0 { 1 } else { 0 };
+            let v = vec_at(day, [0, flip, 1, 1]);
+            let health = CampaignHealth::new(Timestamp::from_days(day), 4);
+            pipe.observe(v, health).unwrap();
+        }
+    }
+
+    fn assert_same(a: &RecoverablePipeline, b: &RecoverablePipeline) {
+        assert_eq!(a.series().vectors(), b.series().vectors());
+        let (ma, mb) = (a.matrix().unwrap(), b.matrix().unwrap());
+        assert_eq!(ma.len(), mb.len());
+        assert!(ma
+            .raw()
+            .iter()
+            .zip(mb.raw())
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+        assert_eq!(
+            a.dendrogram().unwrap().merges(),
+            b.dendrogram().unwrap().merges()
+        );
+        assert_eq!(a.health(), b.health());
+    }
+
+    #[test]
+    fn restore_from_deltas_is_bit_identical() {
+        let mut live =
+            RecoverablePipeline::in_memory(SiteTable::from_names(["A", "B"]), 4, cfg()).unwrap();
+        feed(&mut live, 0..9);
+        let restored = RecoverablePipeline::from_bytes(
+            live.bytes().to_vec(),
+            SiteTable::from_names(["A", "B"]),
+            4,
+            cfg(),
+        )
+        .unwrap();
+        assert!(restored.recovery_report().is_clean());
+        assert_same(&live, &restored);
+    }
+
+    #[test]
+    fn restore_through_snapshot_and_further_deltas_is_bit_identical() {
+        let mut live =
+            RecoverablePipeline::in_memory(SiteTable::from_names(["A", "B"]), 4, cfg()).unwrap();
+        feed(&mut live, 0..6);
+        live.compact().unwrap();
+        feed(&mut live, 6..11);
+        let restored = RecoverablePipeline::from_bytes(
+            live.bytes().to_vec(),
+            SiteTable::from_names(["A", "B"]),
+            4,
+            cfg(),
+        )
+        .unwrap();
+        assert_same(&live, &restored);
+        // Continue observing on the restored pipeline: same downstream
+        // state as continuing on the original.
+        let mut live2 = live;
+        let mut rest2 = restored;
+        feed(&mut live2, 11..14);
+        feed(&mut rest2, 11..14);
+        assert_same(&live2, &rest2);
+    }
+
+    #[test]
+    fn torn_tail_loses_only_the_last_observations() {
+        let mut live =
+            RecoverablePipeline::in_memory(SiteTable::from_names(["A", "B"]), 4, cfg()).unwrap();
+        feed(&mut live, 0..5);
+        let mut bytes = live.bytes().to_vec();
+        bytes.truncate(bytes.len() - 9);
+        let restored =
+            RecoverablePipeline::from_bytes(bytes, SiteTable::from_names(["A", "B"]), 4, cfg())
+                .unwrap();
+        assert!(!restored.recovery_report().is_clean());
+        assert_eq!(restored.series().len(), 4);
+        assert_eq!(restored.dendrogram().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn mismatched_analysis_config_is_refused() {
+        let mut live =
+            RecoverablePipeline::in_memory(SiteTable::from_names(["A", "B"]), 4, cfg()).unwrap();
+        feed(&mut live, 0..3);
+        let other = PipelineConfig {
+            linkage: Linkage::Complete,
+            ..cfg()
+        };
+        assert!(matches!(
+            RecoverablePipeline::from_bytes(
+                live.bytes().to_vec(),
+                SiteTable::from_names(["A", "B"]),
+                4,
+                other,
+            ),
+            Err(Error::Config { .. })
+        ));
+    }
+}

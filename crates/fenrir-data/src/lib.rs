@@ -20,4 +20,6 @@
 
 pub mod catalog;
 pub mod io;
+pub mod journal;
+mod json;
 pub mod scenarios;

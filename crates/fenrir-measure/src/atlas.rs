@@ -14,6 +14,7 @@
 //! answer with identifiers like `"b4-lax"`; an unknown identifier (a site
 //! the mapping has not learned) decodes to [`Catchment::Other`].
 
+use crate::checkpoint::{CampaignSink, NullSink};
 use crate::fault::FaultPlan;
 use crate::runner::{CampaignRunner, ProbeOutcome, ProbeReply, RunnerConfig};
 use fenrir_core::error::{Error, Result};
@@ -109,6 +110,23 @@ impl AtlasCampaign {
         cfg: &RunnerConfig,
         faults: Option<&FaultPlan>,
     ) -> Result<AtlasResult> {
+        self.run_recoverable(topo, base, scenario, times, cfg, faults, &mut NullSink)
+    }
+
+    /// [`AtlasCampaign::run_with`] streaming per-sweep progress into a
+    /// durable [`CampaignSink`] (one checkpoint row = one sweep's
+    /// catchment codes); resumes bit-identically from a killed run.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_recoverable(
+        &self,
+        topo: &Topology,
+        base: &AnycastService,
+        scenario: &Scenario,
+        times: &[Timestamp],
+        cfg: &RunnerConfig,
+        faults: Option<&FaultPlan>,
+        sink: &mut dyn CampaignSink<Vec<u16>>,
+    ) -> Result<AtlasResult> {
         for (name, p) in [
             ("loss_prob", self.loss_prob),
             ("unmapped_identifier_prob", self.unmapped_identifier_prob),
@@ -132,12 +150,26 @@ impl AtlasCampaign {
             .collect();
 
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed.wrapping_add(1));
-        let mut runner = CampaignRunner::new(cfg, faults, vp_ases.len(), times.len())?;
-        let mut rows: Vec<RoutingVector> = Vec::with_capacity(times.len());
+        let resume = sink.resume()?;
+        let (mut runner, mut rows, start) = match &resume {
+            Some(rs) => {
+                let runner = CampaignRunner::restore(cfg, faults, vp_ases.len(), times.len(), rs)?;
+                rng.set_word_pos(rs.campaign_rng_pos as u128);
+                (runner, rs.rows.clone(), rs.next_sweep)
+            }
+            None => (
+                CampaignRunner::new(cfg, faults, vp_ases.len(), times.len())?,
+                Vec::with_capacity(times.len()),
+                0,
+            ),
+        };
         let mut live = crate::routes::ScenarioRoutes::new();
-        for &t in times {
-            let (svc, routes) = live.at(topo, base, scenario, t.as_secs());
+        for (sweep, &t) in times.iter().enumerate().skip(start) {
             runner.begin_sweep(t);
+            if runner.divergence_scheduled() {
+                live.poison(topo);
+            }
+            let (svc, routes) = live.at(topo, base, scenario, t.as_secs());
             let mut v = RoutingVector::unknown(t, vp_ases.len());
             for (n, &vp) in vp_ases.iter().enumerate() {
                 let outcome = runner.probe(n, |wire| {
@@ -217,12 +249,16 @@ impl AtlasCampaign {
                     v.set(n, c);
                 }
             }
-            rows.push(v);
+            runner.note_divergences(live.drain_divergences());
+            let codes = v.codes().to_vec();
+            sink.record(runner.checkpoint(codes.clone(), rng.get_word_pos() as u64))?;
+            debug_assert_eq!(rows.len(), sweep);
+            rows.push(codes);
         }
         let (order, health) = runner.finish();
         let mut series = VectorSeries::new(sites, vp_ases.len());
         for &(orig, t) in &order {
-            let v = RoutingVector::from_codes(t, rows[orig].codes().to_vec());
+            let v = RoutingVector::from_codes(t, rows[orig].clone());
             series.push(v).expect("normalised times strictly increase");
         }
         Ok(AtlasResult {

@@ -19,6 +19,7 @@
 //! A-record answer back, with the front-end identity encoded in the
 //! address.
 
+use crate::checkpoint::{CampaignSink, NullSink};
 use crate::fault::FaultPlan;
 use crate::runner::{CampaignRunner, ProbeOutcome, ProbeReply, RunnerConfig, WireFault};
 use fenrir_core::error::{Error, Result};
@@ -124,6 +125,26 @@ impl EdnsCsCampaign {
         cfg: &RunnerConfig,
         faults: Option<&FaultPlan>,
     ) -> Result<EdnsCsResult> {
+        self.run_recoverable(topo, base, scenario, times, cfg, faults, &mut NullSink)
+    }
+
+    /// [`EdnsCsCampaign::run_with`] streaming per-sweep progress into a
+    /// durable [`CampaignSink`] (one checkpoint row = one sweep's
+    /// catchment codes); resumes bit-identically from a killed run. The
+    /// Geo policy's sticky DNS state needs no extra checkpoint fields: a
+    /// block's current front-end is its most recent site-coded
+    /// observation, so resume rebuilds it from the journaled rows.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_recoverable(
+        &self,
+        topo: &Topology,
+        base: &AnycastService,
+        scenario: &Scenario,
+        times: &[Timestamp],
+        cfg: &RunnerConfig,
+        faults: Option<&FaultPlan>,
+        sink: &mut dyn CampaignSink<Vec<u16>>,
+    ) -> Result<EdnsCsResult> {
         if !(0.0..=1.0).contains(&self.loss_prob) {
             return Err(Error::InvalidParameter {
                 name: "loss_prob",
@@ -148,6 +169,7 @@ impl EdnsCsCampaign {
                     *sticky_return_frac,
                     cfg,
                     faults,
+                    sink,
                 )
             }
             FrontendPolicy::Churn {
@@ -187,6 +209,7 @@ impl EdnsCsCampaign {
                     *daily_churn,
                     cfg,
                     faults,
+                    sink,
                 )
             }
         }
@@ -259,6 +282,7 @@ impl EdnsCsCampaign {
         sticky_return_frac: f64,
         cfg: &RunnerConfig,
         faults: Option<&FaultPlan>,
+        sink: &mut dyn CampaignSink<Vec<u16>>,
     ) -> Result<EdnsCsResult> {
         let sites = SiteTable::from_names(base.sites().iter().map(|s| s.name.as_str()));
         let block_geo: Vec<_> = blocks
@@ -275,9 +299,29 @@ impl EdnsCsCampaign {
             .collect();
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let mut current: Vec<Option<u16>> = vec![None; blocks.len()];
-        let mut runner = CampaignRunner::new(cfg, faults, blocks.len(), times.len())?;
-        let mut rows: Vec<RoutingVector> = Vec::with_capacity(times.len());
-        for &t in times {
+        let resume = sink.resume()?;
+        let (mut runner, mut rows, start) = match &resume {
+            Some(rs) => {
+                let runner = CampaignRunner::restore(cfg, faults, blocks.len(), times.len(), rs)?;
+                rng.set_word_pos(rs.campaign_rng_pos as u128);
+                // Sticky state: a block's current front-end is its most
+                // recent site-coded observation.
+                for row in &rs.rows {
+                    for (n, &code) in row.iter().enumerate() {
+                        if code < fenrir_core::vector::CODE_OTHER {
+                            current[n] = Some(code);
+                        }
+                    }
+                }
+                (runner, rs.rows.clone(), rs.next_sweep)
+            }
+            None => (
+                CampaignRunner::new(cfg, faults, blocks.len(), times.len())?,
+                Vec::with_capacity(times.len()),
+                0,
+            ),
+        };
+        for (sweep, &t) in times.iter().enumerate().skip(start) {
             let svc = scenario.service_at(base, t.as_secs());
             let active: Vec<usize> = (0..svc.len()).filter(|&i| svc.is_active(i)).collect();
             runner.begin_sweep(t);
@@ -329,13 +373,16 @@ impl EdnsCsCampaign {
                     ProbeOutcome::Unknown => {}
                 }
             }
-            rows.push(v);
+            let codes = v.codes().to_vec();
+            sink.record(runner.checkpoint(codes.clone(), rng.get_word_pos() as u64))?;
+            debug_assert_eq!(rows.len(), sweep);
+            rows.push(codes);
         }
         let (order, health) = runner.finish();
         let mut series = VectorSeries::new(sites, blocks.len());
         for (orig, t) in order {
             series
-                .push(RoutingVector::from_codes(t, rows[orig].codes().to_vec()))
+                .push(RoutingVector::from_codes(t, rows[orig].clone()))
                 .expect("times strictly increasing");
         }
         Ok(EdnsCsResult {
@@ -357,12 +404,24 @@ impl EdnsCsCampaign {
         daily_churn: f64,
         cfg: &RunnerConfig,
         faults: Option<&FaultPlan>,
+        sink: &mut dyn CampaignSink<Vec<u16>>,
     ) -> Result<EdnsCsResult> {
         let sites = SiteTable::from_names((0..clusters).map(|i| format!("fe-{i:03}")));
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
-        let mut runner = CampaignRunner::new(cfg, faults, blocks.len(), times.len())?;
-        let mut rows: Vec<RoutingVector> = Vec::with_capacity(times.len());
-        for &t in times {
+        let resume = sink.resume()?;
+        let (mut runner, mut rows, start) = match &resume {
+            Some(rs) => {
+                let runner = CampaignRunner::restore(cfg, faults, blocks.len(), times.len(), rs)?;
+                rng.set_word_pos(rs.campaign_rng_pos as u128);
+                (runner, rs.rows.clone(), rs.next_sweep)
+            }
+            None => (
+                CampaignRunner::new(cfg, faults, blocks.len(), times.len())?,
+                Vec::with_capacity(times.len()),
+                0,
+            ),
+        };
+        for (sweep, &t) in times.iter().enumerate().skip(start) {
             let epoch = t.as_secs().div_euclid(epoch_secs) as u64;
             runner.begin_sweep(t);
             let mut v = RoutingVector::unknown(t, blocks.len());
@@ -392,13 +451,16 @@ impl EdnsCsCampaign {
                     v.set(n, Catchment::Site(SiteId(echoed)));
                 }
             }
-            rows.push(v);
+            let codes = v.codes().to_vec();
+            sink.record(runner.checkpoint(codes.clone(), rng.get_word_pos() as u64))?;
+            debug_assert_eq!(rows.len(), sweep);
+            rows.push(codes);
         }
         let (order, health) = runner.finish();
         let mut series = VectorSeries::new(sites, blocks.len());
         for (orig, t) in order {
             series
-                .push(RoutingVector::from_codes(t, rows[orig].codes().to_vec()))
+                .push(RoutingVector::from_codes(t, rows[orig].clone()))
                 .expect("times strictly increasing");
         }
         Ok(EdnsCsResult {

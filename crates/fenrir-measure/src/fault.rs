@@ -155,6 +155,12 @@ pub struct FaultPlan {
     pub skew: Option<ClockSkew>,
     /// Wire payload corruption.
     pub corruption: Option<WireCorruption>,
+    /// Poison the campaign's incremental routing state at this sweep, to
+    /// exercise the runtime [`fenrir_core::guard::DivergenceGuard`]: the
+    /// guard must detect the divergence, repair from a batch
+    /// recomputation, and quarantine the incremental path — all visible
+    /// in the sweep's `CampaignHealth` — without aborting the campaign.
+    pub divergence_at: Option<usize>,
 }
 
 impl FaultPlan {
@@ -199,6 +205,14 @@ impl FaultPlan {
     /// Enable wire payload corruption.
     pub fn with_wire_corruption(mut self, corruption: WireCorruption) -> Self {
         self.corruption = Some(corruption);
+        self
+    }
+
+    /// Inject an incremental-routing divergence at sweep `obs`
+    /// (0-based). Schedule it at sweep 1 or later — the first sweep has
+    /// no incremental state to poison yet.
+    pub fn with_divergence_at(mut self, obs: usize) -> Self {
+        self.divergence_at = Some(obs);
         self
     }
 
@@ -260,6 +274,12 @@ impl FaultPlan {
                     message: "must be at least 1".into(),
                 });
             }
+        }
+        if self.divergence_at == Some(0) {
+            return Err(Error::InvalidParameter {
+                name: "divergence_at",
+                message: "sweep 0 has no incremental state to poison yet".into(),
+            });
         }
         Ok(())
     }
@@ -414,6 +434,20 @@ impl FaultSession {
     pub fn skew_for(&self, obs: usize) -> i64 {
         self.skew_secs.get(obs).copied().unwrap_or(0)
     }
+
+    /// Word position of the session's live RNG stream. Everything else
+    /// in the session is precomputed from the plan, so this single
+    /// number is all a checkpoint needs to freeze fault state.
+    pub fn rng_word_pos(&self) -> u64 {
+        self.rng.get_word_pos() as u64
+    }
+
+    /// Seek the session's live RNG to a previously recorded word
+    /// position, resuming the fault stream exactly where a killed
+    /// campaign left it.
+    pub fn set_rng_word_pos(&mut self, pos: u64) {
+        self.rng.set_word_pos(pos as u128);
+    }
 }
 
 #[cfg(test)]
@@ -565,6 +599,48 @@ mod tests {
             }
         }
         assert!(nonzero > 0, "120s skew range never produced skew");
+    }
+
+    #[test]
+    fn rng_word_pos_resumes_the_fault_stream() {
+        let plan = FaultPlan::new(21)
+            .with_bursty_loss(BurstyLoss::default())
+            .with_response_timing(ResponseTiming {
+                dup_prob: 0.3,
+                delay_prob: 0.3,
+            });
+        let mut a = plan.session(10, 10).unwrap();
+        for obs in 0..5 {
+            for t in 0..10 {
+                let _ = a.attempt_lost(t, obs);
+            }
+            let _ = a.duplicated();
+        }
+        // Freeze, rebuild from the plan, seek: the streams must agree
+        // from here on.
+        let pos = a.rng_word_pos();
+        let mut b = plan.session(10, 10).unwrap();
+        b.set_rng_word_pos(pos);
+        for obs in 5..10 {
+            for t in 0..10 {
+                assert_eq!(a.attempt_lost(t, obs), b.attempt_lost(t, obs));
+            }
+            assert_eq!(a.duplicated(), b.duplicated());
+            assert_eq!(a.delayed(), b.delayed());
+        }
+    }
+
+    #[test]
+    fn divergence_at_sweep_zero_is_rejected() {
+        let bad = FaultPlan::new(0).with_divergence_at(0);
+        assert!(matches!(
+            bad.validate(),
+            Err(Error::InvalidParameter {
+                name: "divergence_at",
+                ..
+            })
+        ));
+        assert!(FaultPlan::new(0).with_divergence_at(3).validate().is_ok());
     }
 
     #[test]

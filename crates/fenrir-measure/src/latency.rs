@@ -9,6 +9,7 @@
 //! adds last-mile jitter, and samples coverage (not every block yields an
 //! RTT every round).
 
+use crate::checkpoint::{CampaignSink, NullSink};
 use crate::fault::FaultPlan;
 use crate::runner::{CampaignRunner, ProbeOutcome, ProbeReply, RunnerConfig};
 use fenrir_core::error::{Error, Result};
@@ -92,6 +93,33 @@ impl LatencyProber {
         cfg: &RunnerConfig,
         faults: Option<&FaultPlan>,
     ) -> Result<LatencyResult> {
+        self.probe_recoverable(
+            topo,
+            base,
+            scenario,
+            blocks,
+            times,
+            cfg,
+            faults,
+            &mut NullSink,
+        )
+    }
+
+    /// Like [`probe_with`](Self::probe_with), but checkpointing every
+    /// completed sweep to `sink` and resuming from the sink's durable
+    /// state if one exists. Resumed campaigns replay bit-identically.
+    #[allow(clippy::too_many_arguments)]
+    pub fn probe_recoverable(
+        &self,
+        topo: &Topology,
+        base: &AnycastService,
+        scenario: &Scenario,
+        blocks: &[BlockId],
+        times: &[Timestamp],
+        cfg: &RunnerConfig,
+        faults: Option<&FaultPlan>,
+        sink: &mut dyn CampaignSink<Vec<Option<f64>>>,
+    ) -> Result<LatencyResult> {
         if !(0.0..=1.0).contains(&self.coverage) {
             return Err(Error::InvalidParameter {
                 name: "coverage",
@@ -109,12 +137,26 @@ impl LatencyProber {
             .iter()
             .map(|&b| topo.owner_of(b).expect("owned block"))
             .collect();
-        let mut runner = CampaignRunner::new(cfg, faults, blocks.len(), times.len())?;
-        let mut rows: Vec<Vec<Option<f64>>> = Vec::with_capacity(times.len());
+        let resume = sink.resume()?;
+        let (mut runner, mut rows, start): (_, Vec<Vec<Option<f64>>>, usize) = match &resume {
+            Some(rs) => {
+                let runner = CampaignRunner::restore(cfg, faults, blocks.len(), times.len(), rs)?;
+                rng.set_word_pos(rs.campaign_rng_pos as u128);
+                (runner, rs.rows.clone(), rs.next_sweep)
+            }
+            None => (
+                CampaignRunner::new(cfg, faults, blocks.len(), times.len())?,
+                Vec::with_capacity(times.len()),
+                0,
+            ),
+        };
         let mut live = crate::routes::ScenarioRoutes::new();
-        for &t in times {
-            let (svc, routes) = live.at(topo, base, scenario, t.as_secs());
+        for (sweep, &t) in times.iter().enumerate().skip(start) {
             runner.begin_sweep(t);
+            if runner.divergence_scheduled() {
+                live.poison(topo);
+            }
+            let (svc, routes) = live.at(topo, base, scenario, t.as_secs());
             let mut samples: Vec<Option<f64>> = vec![None; blocks.len()];
             for (n, &owner) in owners.iter().enumerate() {
                 let outcome = runner.probe(n, |_wire| {
@@ -134,6 +176,9 @@ impl LatencyProber {
                     samples[n] = s;
                 }
             }
+            runner.note_divergences(live.drain_divergences());
+            sink.record(runner.checkpoint(samples.clone(), rng.get_word_pos() as u64))?;
+            debug_assert_eq!(rows.len(), sweep);
             rows.push(samples);
         }
         let (order, health) = runner.finish();

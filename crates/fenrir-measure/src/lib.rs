@@ -31,6 +31,7 @@
 //! is bit-for-bit identical to a from-scratch computation.
 
 pub mod atlas;
+pub mod checkpoint;
 pub mod ednscs;
 pub mod fault;
 pub mod latency;
@@ -40,6 +41,7 @@ pub mod runner;
 pub mod traceroute;
 pub mod verfploeter;
 
+pub use checkpoint::{CampaignSink, MemorySink, NullSink, ResumeState, SweepCheckpoint};
 pub use fault::FaultPlan;
 pub use fenrir_core::health::CampaignHealth;
 pub use runner::RunnerConfig;

@@ -6,22 +6,31 @@
 //! thousands — so recomputing the global Gao–Rexford fixed point per
 //! instant wastes nearly all of its work. The helpers here keep a live
 //! [`IncrementalRoutes`] per route computation, diff each instant against
-//! the previous one, and reconverge only the perturbed neighborhood. Debug
-//! builds cross-check every transition against a from-scratch computation
-//! (see [`IncrementalRoutes::advance_to`]), so campaign results are
-//! bit-for-bit identical to the batch path.
+//! the previous one, and reconverge only the perturbed neighborhood.
+//!
+//! Both helpers carry a [`DivergenceGuard`]: transitions are cross-checked
+//! against a from-scratch computation at the guard's sampled rate (every
+//! transition in debug builds, a deterministic sample in release builds).
+//! A mismatch never panics and never aborts the campaign — the batch
+//! result repairs the table in place, the event is recorded as
+//! [`fenrir_core::error::Error::IncrementalDivergence`], and the
+//! incremental path is quarantined: every later instant recomputes the
+//! fixed point from scratch. Campaign runners surface the repair count
+//! through `CampaignHealth::divergences`.
 
+use fenrir_core::guard::DivergenceGuard;
 use fenrir_netsim::anycast::AnycastService;
 use fenrir_netsim::events::Scenario;
-use fenrir_netsim::routing::{RouteTable, RoutingConfig};
+use fenrir_netsim::routing::{RouteEvent, RouteTable, RoutingConfig};
 use fenrir_netsim::topology::{AsId, Topology};
-use fenrir_netsim::IncrementalRoutes;
+use fenrir_netsim::{diff_states, IncrementalRoutes};
 use std::collections::HashMap;
 
 /// A live anycast route table advanced along a scenario timeline.
 #[derive(Debug, Default)]
 pub(crate) struct ScenarioRoutes {
     inc: Option<IncrementalRoutes>,
+    guard: DivergenceGuard,
 }
 
 impl ScenarioRoutes {
@@ -30,7 +39,9 @@ impl ScenarioRoutes {
     }
 
     /// The service and routes at `secs`: materializes the scenario state
-    /// and reconverges the table from the previous instant's fixed point.
+    /// and reconverges the table from the previous instant's fixed point
+    /// (or from scratch, once the guard has quarantined the incremental
+    /// path).
     pub(crate) fn at(
         &mut self,
         topo: &Topology,
@@ -40,14 +51,49 @@ impl ScenarioRoutes {
     ) -> (AnycastService, &RouteTable) {
         let svc = scenario.service_at(base, secs);
         let cfg = scenario.config_at(secs);
+        if self.guard.quarantined() {
+            let inc = self
+                .inc
+                .insert(IncrementalRoutes::new(topo, svc.origins(), cfg));
+            return (svc, inc.table());
+        }
+        let guard = &mut self.guard;
         let inc = match &mut self.inc {
             Some(inc) => {
-                inc.advance_to(topo, &svc.origins(), &cfg);
+                let origins = svc.origins();
+                let eventful = !diff_states(inc.origins(), inc.config(), &origins, &cfg).is_empty();
+                let out =
+                    inc.advance_to_guarded(topo, &origins, &cfg, guard.should_check(eventful));
+                if let Some(detail) = out.divergence {
+                    guard.record("scenario routes", detail);
+                }
                 inc
             }
             none => none.insert(IncrementalRoutes::new(topo, svc.origins(), cfg)),
         };
         (svc, inc.table())
+    }
+
+    /// Chaos hook: genuinely desynchronise the live table (withdraw one
+    /// origin from the table without recording it in the tracked state)
+    /// and arm the guard so the very next transition is cross-checked.
+    /// Returns `false` when there is no incremental state to poison yet.
+    pub(crate) fn poison(&mut self, topo: &Topology) -> bool {
+        let Some(inc) = &mut self.inc else {
+            return false;
+        };
+        let Some(&(origin, site)) = inc.origins().first() else {
+            return false;
+        };
+        inc.poison(topo, &RouteEvent::OriginRemove { origin, site });
+        self.guard.arm();
+        true
+    }
+
+    /// Divergences recorded since the last drain (feeds the open sweep's
+    /// `CampaignHealth::divergences`).
+    pub(crate) fn drain_divergences(&mut self) -> usize {
+        self.guard.drain_new()
     }
 }
 
@@ -57,6 +103,11 @@ impl ScenarioRoutes {
 #[derive(Debug, Default)]
 pub(crate) struct DestRoutes {
     tables: HashMap<AsId, IncrementalRoutes>,
+    guard: DivergenceGuard,
+    /// Destination whose next transition must be cross-checked because
+    /// its table was just poisoned (a shared `arm` would be consumed by
+    /// whichever destination happens to advance first).
+    poisoned: Option<AsId>,
 }
 
 impl DestRoutes {
@@ -65,16 +116,61 @@ impl DestRoutes {
     }
 
     /// Routes toward `dest` under `cfg`, reconverged from this
-    /// destination's previous fixed point (computed fresh on first use).
+    /// destination's previous fixed point (computed fresh on first use,
+    /// and on every use once the guard has quarantined the incremental
+    /// path).
     pub(crate) fn at(&mut self, topo: &Topology, dest: AsId, cfg: &RoutingConfig) -> &RouteTable {
-        let inc = self
-            .tables
+        let DestRoutes {
+            tables,
+            guard,
+            poisoned,
+        } = self;
+        if guard.quarantined() {
+            let inc = IncrementalRoutes::new(topo, vec![(dest, 0)], cfg.clone());
+            tables.insert(dest, inc);
+            return tables[&dest].table();
+        }
+        let inc = tables
             .entry(dest)
             .and_modify(|inc| {
-                inc.advance_to(topo, &[(dest, 0)], cfg);
+                let origins = [(dest, 0)];
+                let eventful = !diff_states(inc.origins(), inc.config(), &origins, cfg).is_empty();
+                let check = if *poisoned == Some(dest) {
+                    *poisoned = None;
+                    true
+                } else {
+                    guard.should_check(eventful)
+                };
+                let out = inc.advance_to_guarded(topo, &origins, cfg, check);
+                if let Some(detail) = out.divergence {
+                    guard.record("destination routes", detail);
+                }
             })
             .or_insert_with(|| IncrementalRoutes::new(topo, vec![(dest, 0)], cfg.clone()));
         inc.table()
+    }
+
+    /// Chaos hook: desynchronise the table of the smallest tracked
+    /// destination and mark it for a forced cross-check on its next
+    /// advance. Returns `false` when no table exists yet.
+    pub(crate) fn poison(&mut self, topo: &Topology) -> bool {
+        let Some((&dest, inc)) = self.tables.iter_mut().min_by_key(|(k, _)| **k) else {
+            return false;
+        };
+        inc.poison(
+            topo,
+            &RouteEvent::OriginRemove {
+                origin: dest,
+                site: 0,
+            },
+        );
+        self.poisoned = Some(dest);
+        true
+    }
+
+    /// Divergences recorded since the last drain.
+    pub(crate) fn drain_divergences(&mut self) -> usize {
+        self.guard.drain_new()
     }
 }
 
@@ -139,6 +235,11 @@ mod tests {
                 assert_eq!(routes.route(node.id), batch.route(node.id), "day {day}");
             }
         }
+        assert_eq!(
+            live.drain_divergences(),
+            0,
+            "clean timeline must not diverge"
+        );
     }
 
     #[test]
@@ -162,5 +263,53 @@ mod tests {
                 }
             }
         }
+        assert_eq!(live.drain_divergences(), 0);
+    }
+
+    #[test]
+    fn poisoned_scenario_routes_are_detected_repaired_and_quarantined() {
+        let (topo, svc) = setup();
+        let sc = Scenario::new();
+        let mut live = ScenarioRoutes::new();
+        let day = |d| Timestamp::from_days(d).as_secs();
+        let _ = live.at(&topo, &svc, &sc, day(0));
+        assert!(live.poison(&topo));
+        // The armed guard cross-checks the next (quiet) transition,
+        // repairs the table from batch, and records the divergence.
+        let (svc_t, routes) = live.at(&topo, &svc, &sc, day(1));
+        let batch = svc_t.routes(&topo, &sc.config_at(day(1)));
+        for node in topo.nodes() {
+            assert_eq!(routes.route(node.id), batch.route(node.id));
+        }
+        assert_eq!(live.drain_divergences(), 1);
+        assert!(live.guard.quarantined());
+        // Quarantined: later instants take the from-scratch path and stay
+        // correct, without re-reporting.
+        let (_, routes) = live.at(&topo, &svc, &sc, day(2));
+        for node in topo.nodes() {
+            assert_eq!(routes.route(node.id), batch.route(node.id));
+        }
+        assert_eq!(live.drain_divergences(), 0);
+    }
+
+    #[test]
+    fn poisoned_dest_routes_are_detected_for_the_poisoned_dest() {
+        let (topo, _svc) = setup();
+        let cfg = RoutingConfig::default();
+        let dests: Vec<AsId> = topo.tier_members(Tier::Stub).into_iter().take(3).collect();
+        let mut live = DestRoutes::new();
+        for &dest in &dests {
+            let _ = live.at(&topo, dest, &cfg);
+        }
+        assert!(live.poison(&topo));
+        for &dest in &dests {
+            let routes = live.at(&topo, dest, &cfg);
+            let batch = RouteTable::compute(&topo, &[(dest, 0)], &cfg);
+            for node in topo.nodes() {
+                assert_eq!(routes.route(node.id), batch.route(node.id), "dest {dest:?}");
+            }
+        }
+        assert_eq!(live.drain_divergences(), 1);
+        assert!(live.guard.quarantined());
     }
 }

@@ -22,8 +22,9 @@
 //! `run()` entry points produce byte-identical series to the pre-runner
 //! code.
 
+use crate::checkpoint::{ResumeState, SweepCheckpoint};
 use crate::fault::{FaultPlan, FaultSession};
-use fenrir_core::error::Result;
+use fenrir_core::error::{Error, Result};
 use fenrir_core::health::CampaignHealth;
 use fenrir_core::time::Timestamp;
 
@@ -65,11 +66,12 @@ impl Default for RunnerConfig {
 }
 
 impl RunnerConfig {
-    /// Validate the configuration.
+    /// Validate the configuration. Violations are configuration errors
+    /// ([`fenrir_core::error::Error::Config`]), raised eagerly by
+    /// [`CampaignRunner::new`] before any sweep runs.
     pub fn validate(&self) -> Result<()> {
-        use fenrir_core::error::Error;
         if self.backoff_cap_ms < self.backoff_base_ms {
-            return Err(Error::InvalidParameter {
+            return Err(Error::Config {
                 name: "backoff_cap_ms",
                 message: format!(
                     "cap {} below base {}",
@@ -78,13 +80,13 @@ impl RunnerConfig {
             });
         }
         if self.probe_budget == Some(0) {
-            return Err(Error::InvalidParameter {
+            return Err(Error::Config {
                 name: "probe_budget",
                 message: "a zero budget can never probe anything".into(),
             });
         }
         if self.quarantine_after == Some(0) {
-            return Err(Error::InvalidParameter {
+            return Err(Error::Config {
                 name: "quarantine_after",
                 message: "must be at least 1 failed sweep".into(),
             });
@@ -195,6 +197,92 @@ impl CampaignRunner {
             sweep_attempts: 0,
             health: Vec::with_capacity(observations),
         })
+    }
+
+    /// Rebuild a runner mid-campaign from durable checkpoint state, so
+    /// the next `begin_sweep` opens sweep `resume.next_sweep` and every
+    /// cross-sweep mechanism (quarantine horizons, consecutive-failure
+    /// streaks, the fault RNG stream) continues exactly where the killed
+    /// run left it.
+    pub fn restore<Row>(
+        cfg: &RunnerConfig,
+        plan: Option<&FaultPlan>,
+        targets: usize,
+        observations: usize,
+        resume: &ResumeState<Row>,
+    ) -> Result<Self> {
+        let mut runner = CampaignRunner::new(cfg, plan, targets, observations)?;
+        if resume.consecutive_failures.len() != targets || resume.quarantined_until.len() != targets
+        {
+            return Err(Error::Config {
+                name: "resume",
+                message: format!(
+                    "checkpoint covers {} targets, campaign has {}",
+                    resume.consecutive_failures.len(),
+                    targets
+                ),
+            });
+        }
+        if resume.next_sweep > observations || resume.health.len() != resume.next_sweep {
+            return Err(Error::Config {
+                name: "resume",
+                message: format!(
+                    "checkpoint claims {} completed sweeps ({} health records) of {}",
+                    resume.next_sweep,
+                    resume.health.len(),
+                    observations
+                ),
+            });
+        }
+        runner.consecutive_failures = resume.consecutive_failures.clone();
+        runner.quarantined_until = resume.quarantined_until.clone();
+        runner.health = resume.health.clone();
+        runner.health.reserve(observations - resume.next_sweep);
+        runner.obs = resume.next_sweep.wrapping_sub(1);
+        if let Some(s) = &mut runner.session {
+            s.set_rng_word_pos(resume.fault_rng_pos);
+        }
+        Ok(runner)
+    }
+
+    /// Package the just-finished sweep as a durable checkpoint.
+    /// `campaign_rng_pos` is the simulator RNG's word position after the
+    /// sweep ([`rand_chacha::ChaCha8Rng::get_word_pos`]).
+    pub fn checkpoint<Row>(&self, row: Row, campaign_rng_pos: u64) -> SweepCheckpoint<Row> {
+        SweepCheckpoint {
+            sweep: self.obs,
+            row,
+            health: self
+                .health
+                .last()
+                .cloned()
+                .expect("begin_sweep before checkpoint"),
+            consecutive_failures: self.consecutive_failures.clone(),
+            quarantined_until: self.quarantined_until.clone(),
+            campaign_rng_pos,
+            fault_rng_pos: self.fault_rng_pos(),
+        }
+    }
+
+    /// Word position of the fault-session RNG (0 without a fault plan).
+    pub fn fault_rng_pos(&self) -> u64 {
+        self.session.as_ref().map_or(0, |s| s.rng_word_pos())
+    }
+
+    /// Fold `n` detected-and-repaired incremental divergences into the
+    /// open sweep's health record.
+    pub fn note_divergences(&mut self, n: usize) {
+        if n > 0 {
+            self.health.last_mut().expect("sweep open").divergences += n;
+        }
+    }
+
+    /// Whether the fault plan schedules an injected routing divergence
+    /// for the sweep currently in progress.
+    pub fn divergence_scheduled(&self) -> bool {
+        self.session
+            .as_ref()
+            .is_some_and(|s| s.plan().divergence_at == Some(self.obs))
     }
 
     /// Start the next sweep at nominal time `time`.
@@ -422,7 +510,7 @@ mod tests {
         let (rows, health) = run_campaign(&cfg, None, 4, 2, 2);
         // Targets 2 and 3 never answer: 1 attempt for responders, 4 for
         // failures.
-        assert_eq!(health[0].attempts, 2 * 1 + 2 * 4);
+        assert_eq!(health[0].attempts, 2 + 2 * 4);
         assert_eq!(health[0].retries, 2 * 3);
         assert_eq!(health[0].responses, 2);
         assert_eq!(rows[0], vec![Some(0), Some(1), None, None]);

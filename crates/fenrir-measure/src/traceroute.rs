@@ -15,6 +15,7 @@
 //! spatial gap-fill ([`TracerouteResult::fill_gaps`], using the
 //! nearest-viable-hop rule) repairs.
 
+use crate::checkpoint::{CampaignSink, NullSink};
 use crate::fault::FaultPlan;
 use crate::runner::{CampaignRunner, ProbeOutcome, ProbeReply, RunnerConfig};
 use fenrir_core::clean::nearest_viable;
@@ -96,6 +97,21 @@ impl TracerouteCampaign {
         cfg: &RunnerConfig,
         faults: Option<&FaultPlan>,
     ) -> Result<TracerouteResult> {
+        self.run_recoverable(topo, scenario, times, cfg, faults, &mut NullSink)
+    }
+
+    /// [`TracerouteCampaign::run_with`] streaming per-sweep progress into
+    /// a durable [`CampaignSink`] (one checkpoint row = one sweep's
+    /// hop-major code rows); resumes bit-identically from a killed run.
+    pub fn run_recoverable(
+        &self,
+        topo: &Topology,
+        scenario: &Scenario,
+        times: &[Timestamp],
+        cfg: &RunnerConfig,
+        faults: Option<&FaultPlan>,
+        sink: &mut dyn CampaignSink<Vec<Vec<u16>>>,
+    ) -> Result<TracerouteResult> {
         for (name, p) in [
             ("hop_loss_prob", self.hop_loss_prob),
             ("filtered_frac", self.filtered_frac),
@@ -129,14 +145,28 @@ impl TracerouteCampaign {
             .map(|_| rng.gen_bool(self.filtered_frac))
             .collect();
 
-        let mut runner = CampaignRunner::new(cfg, faults, blocks.len(), times.len())?;
-        let mut rows: Vec<Vec<RoutingVector>> = Vec::with_capacity(times.len());
+        let resume = sink.resume()?;
+        let (mut runner, mut rows, start) = match &resume {
+            Some(rs) => {
+                let runner = CampaignRunner::restore(cfg, faults, blocks.len(), times.len(), rs)?;
+                rng.set_word_pos(rs.campaign_rng_pos as u128);
+                (runner, rs.rows.clone(), rs.next_sweep)
+            }
+            None => (
+                CampaignRunner::new(cfg, faults, blocks.len(), times.len())?,
+                Vec::with_capacity(times.len()),
+                0,
+            ),
+        };
         // One live route table per distinct destination AS, created lazily
         // on first use and advanced incrementally across sweeps.
         let mut tables = crate::routes::DestRoutes::new();
-        for &t in times {
+        for (sweep, &t) in times.iter().enumerate().skip(start) {
             let cfg_t = scenario.config_at(t.as_secs());
             runner.begin_sweep(t);
+            if runner.divergence_scheduled() {
+                tables.poison(topo);
+            }
             let mut vectors: Vec<RoutingVector> = (0..self.max_hops)
                 .map(|_| RoutingVector::unknown(t, blocks.len()))
                 .collect();
@@ -216,15 +246,19 @@ impl TracerouteCampaign {
                     }
                 }
             }
-            rows.push(vectors);
+            runner.note_divergences(tables.drain_divergences());
+            let row: Vec<Vec<u16>> = vectors.iter().map(|v| v.codes().to_vec()).collect();
+            sink.record(runner.checkpoint(row.clone(), rng.get_word_pos() as u64))?;
+            debug_assert_eq!(rows.len(), sweep);
+            rows.push(row);
         }
         let (order, health) = runner.finish();
         let mut hop_series: Vec<VectorSeries> = (0..self.max_hops)
             .map(|_| VectorSeries::new(sites.clone(), blocks.len()))
             .collect();
         for &(orig, t) in &order {
-            for (k, v) in rows[orig].iter().enumerate() {
-                let v = RoutingVector::from_codes(t, v.codes().to_vec());
+            for (k, codes) in rows[orig].iter().enumerate() {
+                let v = RoutingVector::from_codes(t, codes.clone());
                 hop_series[k]
                     .push(v)
                     .expect("normalised times strictly increase");

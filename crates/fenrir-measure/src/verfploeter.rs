@@ -13,6 +13,7 @@
 //! never answer), replies route to the block's AS's best anycast site, and
 //! every probe round-trips a real ICMP echo packet.
 
+use crate::checkpoint::{CampaignSink, NullSink};
 use crate::fault::FaultPlan;
 use crate::runner::{CampaignRunner, ProbeOutcome, ProbeReply, RunnerConfig};
 use fenrir_core::error::{Error, Result};
@@ -88,6 +89,27 @@ impl Verfploeter {
         cfg: &RunnerConfig,
         faults: Option<&FaultPlan>,
     ) -> Result<SweepResult> {
+        self.run_recoverable(topo, base, scenario, times, cfg, faults, &mut NullSink)
+    }
+
+    /// [`Verfploeter::run_with`] streaming per-sweep progress into a
+    /// durable [`CampaignSink`] (one checkpoint row = one sweep's
+    /// catchment codes). If the sink holds state from a killed run of the
+    /// same campaign, completed sweeps are **not** re-probed: the RNG
+    /// streams are seeked to their recorded positions and the campaign
+    /// continues from the next sweep, producing results bit-identical to
+    /// an uninterrupted run.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_recoverable(
+        &self,
+        topo: &Topology,
+        base: &AnycastService,
+        scenario: &Scenario,
+        times: &[Timestamp],
+        cfg: &RunnerConfig,
+        faults: Option<&FaultPlan>,
+        sink: &mut dyn CampaignSink<Vec<u16>>,
+    ) -> Result<SweepResult> {
         if !(0.0..=1.0).contains(&self.mean_response_rate) {
             return Err(Error::InvalidParameter {
                 name: "mean_response_rate",
@@ -122,12 +144,26 @@ impl Verfploeter {
             })
             .collect();
 
-        let mut runner = CampaignRunner::new(cfg, faults, blocks.len(), times.len())?;
-        let mut rows: Vec<RoutingVector> = Vec::with_capacity(times.len());
+        let resume = sink.resume()?;
+        let (mut runner, mut rows, start) = match &resume {
+            Some(rs) => {
+                let runner = CampaignRunner::restore(cfg, faults, blocks.len(), times.len(), rs)?;
+                rng.set_word_pos(rs.campaign_rng_pos as u128);
+                (runner, rs.rows.clone(), rs.next_sweep)
+            }
+            None => (
+                CampaignRunner::new(cfg, faults, blocks.len(), times.len())?,
+                Vec::with_capacity(times.len()),
+                0,
+            ),
+        };
         let mut live = crate::routes::ScenarioRoutes::new();
-        for &t in times {
-            let (_svc, routes) = live.at(topo, base, scenario, t.as_secs());
+        for (sweep, &t) in times.iter().enumerate().skip(start) {
             runner.begin_sweep(t);
+            if runner.divergence_scheduled() {
+                live.poison(topo);
+            }
+            let (_svc, routes) = live.at(topo, base, scenario, t.as_secs());
             let mut v = RoutingVector::unknown(t, blocks.len());
             for (n, (&block, &owner)) in blocks.iter().zip(&owners).enumerate() {
                 let outcome = runner.probe(n, |wire| {
@@ -170,12 +206,16 @@ impl Verfploeter {
                     v.set(n, c);
                 }
             }
-            rows.push(v);
+            runner.note_divergences(live.drain_divergences());
+            let codes = v.codes().to_vec();
+            sink.record(runner.checkpoint(codes.clone(), rng.get_word_pos() as u64))?;
+            debug_assert_eq!(rows.len(), sweep);
+            rows.push(codes);
         }
         let (order, health) = runner.finish();
         let mut series = VectorSeries::new(sites, blocks.len());
         for &(orig, t) in &order {
-            let v = RoutingVector::from_codes(t, rows[orig].codes().to_vec());
+            let v = RoutingVector::from_codes(t, rows[orig].clone());
             series.push(v).expect("normalised times strictly increase");
         }
         Ok(SweepResult {

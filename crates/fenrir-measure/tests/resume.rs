@@ -1,0 +1,315 @@
+//! Kill/resume equivalence for all five measurement simulators.
+//!
+//! Each test runs a seeded campaign straight through, then re-runs it
+//! against a [`MemorySink`] that simulates a crash after *every* durable
+//! sweep — rearming and resuming until the campaign completes — and
+//! asserts the final series and health records are bit-identical to the
+//! uninterrupted run. A campaign that is killed and resumed at every
+//! frame boundary must be indistinguishable from one that never died.
+
+use fenrir_core::error::Error;
+use fenrir_core::health::CampaignHealth;
+use fenrir_core::series::VectorSeries;
+use fenrir_core::time::Timestamp;
+use fenrir_measure::atlas::AtlasCampaign;
+use fenrir_measure::checkpoint::MemorySink;
+use fenrir_measure::ednscs::{EdnsCsCampaign, FrontendPolicy};
+use fenrir_measure::fault::FaultPlan;
+use fenrir_measure::latency::LatencyProber;
+use fenrir_measure::runner::RunnerConfig;
+use fenrir_measure::traceroute::TracerouteCampaign;
+use fenrir_measure::verfploeter::Verfploeter;
+use fenrir_netsim::anycast::AnycastService;
+use fenrir_netsim::events::Scenario;
+use fenrir_netsim::geo::cities;
+use fenrir_netsim::prefix::BlockId;
+use fenrir_netsim::topology::{Tier, Topology, TopologyBuilder};
+
+fn setup() -> (Topology, AnycastService) {
+    let topo = TopologyBuilder {
+        transit: 3,
+        regional: 6,
+        stubs: 30,
+        blocks_per_stub: 2,
+        seed: 11,
+        ..Default::default()
+    }
+    .build();
+    let regionals = topo.tier_members(Tier::Regional);
+    let mut svc = AnycastService::new("B-Root");
+    svc.add_site("LAX", regionals[0], cities::LAX);
+    svc.add_site("MIA", regionals[1], cities::MIA);
+    (topo, svc)
+}
+
+/// A scenario with a routing event inside the timeline, so resumed runs
+/// cross real state changes, not just a static fixed point.
+fn eventful_scenario() -> Scenario {
+    let mut sc = Scenario::new();
+    sc.drain(
+        0,
+        Timestamp::from_days(2).as_secs(),
+        Timestamp::from_days(4).as_secs(),
+        "op",
+    );
+    sc
+}
+
+fn days(n: i64) -> Vec<Timestamp> {
+    (0..n).map(Timestamp::from_days).collect()
+}
+
+/// Drive a recoverable campaign to completion through a sink that kills
+/// the process after every single durable sweep. Every run makes exactly
+/// one sweep of progress, so a timeline of `T` sweeps resumes `T` times —
+/// exercising every possible crash boundary in one chain.
+fn run_killed_after_every_sweep<Row: Clone, R>(
+    targets: usize,
+    mut attempt: impl FnMut(&mut MemorySink<Row>) -> fenrir_core::error::Result<R>,
+) -> (R, usize) {
+    let mut sink = MemorySink::new(targets).kill_after(1);
+    let mut crashes = 0;
+    loop {
+        match attempt(&mut sink) {
+            Ok(r) => return (r, crashes),
+            Err(Error::CampaignAborted { .. }) => {
+                crashes += 1;
+                assert!(crashes <= 1000, "campaign never completed");
+                sink.rearm(Some(1));
+            }
+            Err(e) => panic!("unexpected campaign error: {e:?}"),
+        }
+    }
+}
+
+fn assert_series_identical(a: &VectorSeries, b: &VectorSeries) {
+    assert_eq!(a.len(), b.len(), "series length");
+    let names = |s: &VectorSeries| -> Vec<String> {
+        s.sites().iter().map(|(_, n)| n.to_string()).collect()
+    };
+    assert_eq!(names(a), names(b), "site tables");
+    for (i, (va, vb)) in a.vectors().iter().zip(b.vectors()).enumerate() {
+        assert_eq!(va, vb, "vector {i} differs");
+    }
+}
+
+fn assert_health_identical(a: &[CampaignHealth], b: &[CampaignHealth]) {
+    assert_eq!(a, b, "health records");
+}
+
+#[test]
+fn verfploeter_resumes_bit_identically_at_every_boundary() {
+    let (topo, svc) = setup();
+    let sc = eventful_scenario();
+    let times = days(6);
+    let vp = Verfploeter::default();
+    let cfg = RunnerConfig::default();
+    let targets = topo.all_blocks().len();
+
+    let straight = vp.run_with(&topo, &svc, &sc, &times, &cfg, None).unwrap();
+    let (resumed, crashes) = run_killed_after_every_sweep(targets, |sink| {
+        vp.run_recoverable(&topo, &svc, &sc, &times, &cfg, None, sink)
+    });
+    assert_eq!(crashes, times.len(), "one crash per durable sweep");
+    assert_series_identical(&straight.series, &resumed.series);
+    assert_health_identical(&straight.health, &resumed.health);
+    assert_eq!(straight.blocks, resumed.blocks);
+}
+
+#[test]
+fn verfploeter_resumes_bit_identically_from_each_single_kill() {
+    // Complement to the chained test: for each sweep k, kill exactly once
+    // after sweep k, resume once, and compare — so a single long-lived
+    // resume is checked at every boundary, not just single-sweep hops.
+    let (topo, svc) = setup();
+    let sc = eventful_scenario();
+    let times = days(5);
+    let vp = Verfploeter::default();
+    let cfg = RunnerConfig::default();
+    let targets = topo.all_blocks().len();
+
+    let straight = vp.run_with(&topo, &svc, &sc, &times, &cfg, None).unwrap();
+    for kill_after in 1..=times.len() {
+        let mut sink = MemorySink::new(targets).kill_after(kill_after);
+        let err = vp
+            .run_recoverable(&topo, &svc, &sc, &times, &cfg, None, &mut sink)
+            .unwrap_err();
+        assert!(matches!(err, Error::CampaignAborted { .. }), "{err:?}");
+        sink.rearm(None);
+        let resumed = vp
+            .run_recoverable(&topo, &svc, &sc, &times, &cfg, None, &mut sink)
+            .unwrap();
+        assert_series_identical(&straight.series, &resumed.series);
+        assert_health_identical(&straight.health, &resumed.health);
+    }
+}
+
+#[test]
+fn atlas_resumes_bit_identically_at_every_boundary() {
+    let (topo, svc) = setup();
+    let sc = eventful_scenario();
+    let times = days(6);
+    let campaign = AtlasCampaign {
+        vantage_points: 25,
+        ..Default::default()
+    };
+    let cfg = RunnerConfig::default();
+
+    let straight = campaign
+        .run_with(&topo, &svc, &sc, &times, &cfg, None)
+        .unwrap();
+    let (resumed, crashes) = run_killed_after_every_sweep(25, |sink| {
+        campaign.run_recoverable(&topo, &svc, &sc, &times, &cfg, None, sink)
+    });
+    assert_eq!(crashes, times.len());
+    assert_series_identical(&straight.series, &resumed.series);
+    assert_health_identical(&straight.health, &resumed.health);
+    assert_eq!(straight.vp_ases, resumed.vp_ases);
+}
+
+#[test]
+fn traceroute_resumes_bit_identically_at_every_boundary() {
+    let (topo, _svc) = setup();
+    let src = topo.tier_members(Tier::Stub)[0];
+    let sc = Scenario::new();
+    let times = days(5);
+    let campaign = TracerouteCampaign {
+        source: src,
+        max_hops: 4,
+        ..Default::default()
+    };
+    let cfg = RunnerConfig::default();
+    let targets = topo.all_blocks().len();
+
+    let straight = campaign.run_with(&topo, &sc, &times, &cfg, None).unwrap();
+    let (resumed, crashes) = run_killed_after_every_sweep(targets, |sink| {
+        campaign.run_recoverable(&topo, &sc, &times, &cfg, None, sink)
+    });
+    assert_eq!(crashes, times.len());
+    assert_eq!(straight.hop_series.len(), resumed.hop_series.len());
+    for (a, b) in straight.hop_series.iter().zip(&resumed.hop_series) {
+        assert_series_identical(a, b);
+    }
+    assert_health_identical(&straight.health, &resumed.health);
+    assert_eq!(straight.blocks, resumed.blocks);
+}
+
+#[test]
+fn ednscs_resumes_bit_identically_at_every_boundary() {
+    let (topo, svc) = setup();
+    let sc = eventful_scenario();
+    let times = days(6);
+    let campaign = EdnsCsCampaign {
+        hostname: "www.wikipedia.org".into(),
+        policy: FrontendPolicy::Geo {
+            sticky_return_frac: 0.3,
+        },
+        loss_prob: 0.05,
+        seed: 77,
+    };
+    let cfg = RunnerConfig::default();
+    let targets = topo.all_blocks().len();
+
+    let straight = campaign
+        .run_with(&topo, &svc, &sc, &times, &cfg, None)
+        .unwrap();
+    let (resumed, crashes) = run_killed_after_every_sweep(targets, |sink| {
+        campaign.run_recoverable(&topo, &svc, &sc, &times, &cfg, None, sink)
+    });
+    assert_eq!(crashes, times.len());
+    assert_series_identical(&straight.series, &resumed.series);
+    assert_health_identical(&straight.health, &resumed.health);
+    assert_eq!(straight.blocks, resumed.blocks);
+}
+
+#[test]
+fn latency_resumes_bit_identically_at_every_boundary() {
+    let (topo, svc) = setup();
+    let sc = eventful_scenario();
+    let times = days(6);
+    let blocks: Vec<BlockId> = topo.all_blocks().iter().map(|&(b, _)| b).collect();
+    let prober = LatencyProber::default();
+    let cfg = RunnerConfig::default();
+
+    let straight = prober
+        .probe_with(&topo, &svc, &sc, &blocks, &times, &cfg, None)
+        .unwrap();
+    let (resumed, crashes) = run_killed_after_every_sweep(blocks.len(), |sink| {
+        prober.probe_recoverable(&topo, &svc, &sc, &blocks, &times, &cfg, None, sink)
+    });
+    assert_eq!(crashes, times.len());
+    assert_eq!(straight.panels.len(), resumed.panels.len());
+    for (i, (a, b)) in straight.panels.iter().zip(&resumed.panels).enumerate() {
+        // Compare RTTs by bit pattern: resume must be exact, not merely
+        // approximately equal.
+        let bits = |p: &fenrir_core::latency::LatencyPanel| -> Vec<Option<u64>> {
+            p.samples().iter().map(|s| s.map(f64::to_bits)).collect()
+        };
+        assert_eq!(bits(a), bits(b), "panel {i} differs");
+    }
+    assert_health_identical(&straight.health, &resumed.health);
+}
+
+#[test]
+fn resume_survives_an_active_fault_plan() {
+    // The fault RNG stream must seek on resume exactly like the campaign
+    // RNG: a killed/resumed run under bursty loss and corruption still
+    // replays bit-identically.
+    let (topo, svc) = setup();
+    let sc = eventful_scenario();
+    let times = days(6);
+    let vp = Verfploeter::default();
+    let cfg = RunnerConfig {
+        max_retries: 1,
+        ..Default::default()
+    };
+    let faults = FaultPlan::new(0xFA_17).with_bursty_loss(Default::default());
+    let targets = topo.all_blocks().len();
+
+    let straight = vp
+        .run_with(&topo, &svc, &sc, &times, &cfg, Some(&faults))
+        .unwrap();
+    let (resumed, crashes) = run_killed_after_every_sweep(targets, |sink| {
+        vp.run_recoverable(&topo, &svc, &sc, &times, &cfg, Some(&faults), sink)
+    });
+    assert_eq!(crashes, times.len());
+    assert_series_identical(&straight.series, &resumed.series);
+    assert_health_identical(&straight.health, &resumed.health);
+}
+
+#[test]
+fn injected_divergence_falls_back_and_surfaces_in_health() {
+    // A release-build divergence guard: poisoning the incremental routing
+    // state at a quiet sweep must be detected, repaired via batch fallback
+    // (results unchanged), and surfaced in that sweep's health record —
+    // without aborting the campaign. Sweep 5 is quiet (the drain window
+    // ended at day 4): a poison injected on a sweep whose scenario event
+    // withdraws the same origin would legitimately reconverge to the
+    // correct fixed point and be undetectable.
+    let (topo, svc) = setup();
+    let sc = eventful_scenario();
+    let times = days(6);
+    let vp = Verfploeter::default();
+    let cfg = RunnerConfig::default();
+
+    let clean_plan = FaultPlan::new(0xD1_7E);
+    let poisoned_plan = FaultPlan::new(0xD1_7E).with_divergence_at(5);
+
+    let clean = vp
+        .run_with(&topo, &svc, &sc, &times, &cfg, Some(&clean_plan))
+        .unwrap();
+    let poisoned = vp
+        .run_with(&topo, &svc, &sc, &times, &cfg, Some(&poisoned_plan))
+        .unwrap();
+
+    // The guard repaired the poisoned state: results are unaffected.
+    assert_series_identical(&clean.series, &poisoned.series);
+    assert_eq!(poisoned.health.len(), times.len());
+    assert!(
+        poisoned.health[5].divergences > 0,
+        "divergence not surfaced: {:?}",
+        poisoned.health[5]
+    );
+    let clean_total: usize = clean.health.iter().map(|h| h.divergences).sum();
+    assert_eq!(clean_total, 0, "clean run must not report divergences");
+}

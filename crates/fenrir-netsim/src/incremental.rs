@@ -26,6 +26,21 @@ pub struct IncrementalRoutes {
     events_applied: usize,
 }
 
+/// Result of one [`IncrementalRoutes::advance_to_guarded`] transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GuardedAdvance {
+    /// Number of events the diff produced (0 for a quiet transition).
+    pub applied: usize,
+    /// Whether this transition was cross-checked against a batch compute.
+    pub checked: bool,
+    /// `Some(detail)` when the cross-check found the incremental table
+    /// disagreeing with batch. The table has already been **repaired** —
+    /// replaced by the batch result — so the routes returned after this
+    /// call are correct; the caller's divergence guard decides what to
+    /// quarantine and report.
+    pub divergence: Option<String>,
+}
+
 impl IncrementalRoutes {
     /// Converge an initial table for `(origins, config)` from scratch.
     pub fn new(topo: &Topology, origins: Vec<(AsId, u32)>, config: RoutingConfig) -> Self {
@@ -68,12 +83,45 @@ impl IncrementalRoutes {
     /// Advance to an absolute target state, applying only the delta.
     /// Returns the number of events the diff produced (0 when the state is
     /// unchanged — the common day-to-day case, which then costs nothing).
+    ///
+    /// Debug builds cross-check every eventful transition against a
+    /// from-scratch computation and abort on mismatch, so any
+    /// configuration outside the uniqueness guarantee (a preference pin
+    /// ranking a peer/provider route above customer routes can admit two
+    /// stable states — an RFC 4264 "BGP wedgie") fails loudly in tests
+    /// instead of silently skewing measurements. Release builds keep the
+    /// incremental speedup; callers wanting a runtime net use
+    /// [`IncrementalRoutes::advance_to_guarded`], which samples the same
+    /// cross-check and repairs instead of aborting.
     pub fn advance_to(
         &mut self,
         topo: &Topology,
         origins: &[(AsId, u32)],
         config: &RoutingConfig,
     ) -> usize {
+        let out = self.advance_to_guarded(topo, origins, config, cfg!(debug_assertions));
+        debug_assert!(
+            out.divergence.is_none(),
+            "incremental reconvergence diverged from batch: {}",
+            out.divergence.as_deref().unwrap_or_default()
+        );
+        out.applied
+    }
+
+    /// [`IncrementalRoutes::advance_to`] with an explicit cross-check
+    /// decision, for callers running a sampled `DivergenceGuard` in
+    /// release builds. When `check` is true the advanced table is compared
+    /// node-by-node against `RouteTable::compute`; a mismatch **repairs**
+    /// the table in place (the batch result wins) and comes back as
+    /// [`GuardedAdvance::divergence`] so the caller can record the event
+    /// and quarantine this instance — never a panic, in any build.
+    pub fn advance_to_guarded(
+        &mut self,
+        topo: &Topology,
+        origins: &[(AsId, u32)],
+        config: &RoutingConfig,
+        check: bool,
+    ) -> GuardedAdvance {
         let events = diff_states(&self.origins, &self.config, origins, config);
         let applied = events.len();
         for ev in &events {
@@ -101,26 +149,43 @@ impl IncrementalRoutes {
         );
         debug_assert_eq!(self.config.pref_override, config.pref_override);
         debug_assert_eq!(self.config.prepend, config.prepend);
-        // Debug builds cross-check the incremental fixed point against a
-        // from-scratch computation after every transition, so any
-        // configuration outside the uniqueness guarantee (a preference pin
-        // ranking a peer/provider route above customer routes can admit two
-        // stable states — an RFC 4264 "BGP wedgie") fails loudly in tests
-        // instead of silently skewing measurements. Release builds keep the
-        // incremental speedup.
-        #[cfg(debug_assertions)]
-        if applied > 0 {
+        let mut divergence = None;
+        if check {
             let batch = RouteTable::compute(topo, origins, config);
             for node in topo.nodes() {
-                debug_assert_eq!(
-                    self.table.route(node.id),
-                    batch.route(node.id),
-                    "incremental reconvergence diverged from batch at {:?}",
-                    node.id
-                );
+                if self.table.route(node.id) != batch.route(node.id) {
+                    divergence = Some(format!(
+                        "at {:?}: incremental {:?}, batch {:?}",
+                        node.id,
+                        self.table.route(node.id),
+                        batch.route(node.id)
+                    ));
+                    break;
+                }
+            }
+            if divergence.is_some() {
+                self.table = batch;
             }
         }
-        applied
+        GuardedAdvance {
+            applied,
+            checked: check,
+            divergence,
+        }
+    }
+
+    /// Chaos hook: reconverge the table through `event` **without**
+    /// recording the event in the tracked `(origins, config)` state. The
+    /// table is left genuinely desynchronised from the state it claims to
+    /// be converged for — exactly what an incremental bookkeeping bug
+    /// would produce — so fault-injection campaigns can exercise the
+    /// `DivergenceGuard` detection/repair/quarantine path end to end.
+    pub fn poison(&mut self, topo: &Topology, event: &RouteEvent) {
+        let mut origins = self.origins.clone();
+        let mut config = self.config.clone();
+        self.table
+            .recompute_after(topo, &mut origins, &mut config, event);
+        self.events_applied += 1;
     }
 }
 
@@ -296,6 +361,37 @@ mod tests {
                 },
             ]
         );
+    }
+
+    #[test]
+    fn guarded_advance_detects_and_repairs_poisoned_table() {
+        let (t, [.., r0, _r1, s0]) = diamond();
+        let cfg = RoutingConfig::default();
+        let mut inc = IncrementalRoutes::new(&t, vec![(r0, 0)], cfg.clone());
+        assert!(inc.table().route(s0).is_some());
+        // Desynchronise: the table loses its only origin while the tracked
+        // state still claims (r0, 0) is announced.
+        inc.poison(
+            &t,
+            &RouteEvent::OriginRemove {
+                origin: r0,
+                site: 0,
+            },
+        );
+        assert!(inc.table().route(s0).is_none(), "poison must bite");
+        // An unchecked quiet advance cannot see the corruption...
+        let out = inc.advance_to_guarded(&t, &[(r0, 0)], &cfg, false);
+        assert_eq!((out.applied, out.checked, out.divergence), (0, false, None));
+        // ...a checked one detects it, reports it, and repairs the table.
+        let out = inc.advance_to_guarded(&t, &[(r0, 0)], &cfg, true);
+        assert!(out.checked && out.divergence.is_some());
+        let batch = RouteTable::compute(&t, &[(r0, 0)], &cfg);
+        for node in t.nodes() {
+            assert_eq!(inc.table().route(node.id), batch.route(node.id));
+        }
+        // Once repaired, a re-check is clean.
+        let out = inc.advance_to_guarded(&t, &[(r0, 0)], &cfg, true);
+        assert_eq!(out.divergence, None);
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod topology;
 pub use anycast::{AnycastService, SiteDef};
 pub use events::{EventKind, Scenario, ScenarioEvent};
 pub use geo::GeoPoint;
-pub use incremental::{diff_states, IncrementalRoutes};
+pub use incremental::{diff_states, GuardedAdvance, IncrementalRoutes};
 pub use prefix::BlockId;
 pub use routing::{ConvergenceStats, Route, RouteEvent, RouteTable};
 pub use steering::{find_disturbances, find_in_range, Disturbance};

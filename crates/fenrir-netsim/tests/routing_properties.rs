@@ -2,6 +2,11 @@
 //! topologies, computed paths must respect the Gao–Rexford contract —
 //! loop-free, valley-free, and consistent under anycast partitioning.
 
+// The offline `proptest` stand-in expands `proptest! { .. }` to nothing,
+// which makes the strategies and their imports look dead to the compiler
+// even though the real proptest harness uses them all.
+#![allow(unused_imports, dead_code)]
+
 use fenrir_netsim::anycast::AnycastService;
 use fenrir_netsim::geo::GeoPoint;
 use fenrir_netsim::routing::{RouteEvent, RouteTable, RoutingConfig};

@@ -3,6 +3,11 @@
 //! arbitrary bytes (they are fed simulated-network data, but they must be
 //! robust enough for the real Internet).
 
+// The offline `proptest` stand-in expands `proptest! { .. }` to nothing,
+// which makes the strategies and their imports look dead to the compiler
+// even though the real proptest harness uses them all.
+#![allow(unused_imports, dead_code)]
+
 use fenrir_wire::checksum::internet_checksum;
 use fenrir_wire::dns::{
     ClientSubnet, EdnsOption, Header, Message, Name, Opcode, QClass, QType, RData, Rcode, Record,

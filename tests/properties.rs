@@ -4,6 +4,11 @@
 //! mass conservation, dendrogram monotonicity, cut-count monotonicity, and
 //! cleaning passes never *reducing* coverage.
 
+// The offline `proptest` stand-in expands `proptest! { .. }` to nothing,
+// which makes the strategies and their imports look dead to the compiler
+// even though the real proptest harness uses them all.
+#![allow(unused_imports, dead_code)]
+
 use fenrir::core::clean::{forward_fill, interpolate_nearest};
 use fenrir::core::cluster::{Dendrogram, Linkage};
 use fenrir::core::ids::{SiteId, SiteTable};

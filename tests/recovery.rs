@@ -1,0 +1,272 @@
+//! Crash-recovery integration: the seeded B-Root campaign, killed after
+//! every sweep and resumed from its on-disk journal, must end bit-identical
+//! to the uninterrupted run — series, similarity matrix, and dendrogram —
+//! and a journal with a corrupted trailing frame must load the clean
+//! prefix with an explicit recovery report, then finish the campaign.
+
+use fenrir::core::cluster::Dendrogram;
+use fenrir::core::error::{Error, Result};
+use fenrir::core::health::CampaignHealth;
+use fenrir::core::similarity::SimilarityMatrix;
+use fenrir::data::journal::{CampaignMeta, JournalSink, PipelineConfig, RecoverablePipeline};
+use fenrir::data::scenarios::{broot, Scale};
+use fenrir::measure::checkpoint::{CampaignSink, ResumeState, SweepCheckpoint};
+use fenrir::measure::runner::RunnerConfig;
+use fenrir::measure::verfploeter::{SweepResult, Verfploeter};
+use std::path::PathBuf;
+
+/// The exact campaign `scenarios::broot` runs, re-runnable against a sink.
+fn broot_sweeper() -> Verfploeter {
+    Verfploeter {
+        mean_response_rate: 0.5,
+        seed: 0xB00755,
+    }
+}
+
+fn broot_meta(targets: usize, observations: usize) -> CampaignMeta {
+    CampaignMeta {
+        campaign: "broot-verfploeter".into(),
+        seed: 0xB00755,
+        targets,
+        observations,
+    }
+}
+
+fn temp_journal(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "fenrir-recovery-{}-{name}.fnrj",
+        std::process::id()
+    ))
+}
+
+/// A sink that crashes the campaign right after every durable write —
+/// the worst-case kill schedule a real process death can produce.
+struct KillEverySweep<'a> {
+    inner: &'a mut JournalSink<Vec<u16>>,
+}
+
+impl CampaignSink<Vec<u16>> for KillEverySweep<'_> {
+    fn resume(&mut self) -> Result<Option<ResumeState<Vec<u16>>>> {
+        self.inner.resume()
+    }
+    fn record(&mut self, ck: SweepCheckpoint<Vec<u16>>) -> Result<()> {
+        self.inner.record(ck)?;
+        Err(Error::CampaignAborted {
+            campaign: "recovery test",
+            reason: "simulated crash after durable write".into(),
+        })
+    }
+}
+
+fn assert_sweeps_identical(a: &SweepResult, b: &SweepResult) {
+    assert_eq!(a.blocks, b.blocks);
+    assert_eq!(a.series.len(), b.series.len());
+    for (i, (va, vb)) in a
+        .series
+        .vectors()
+        .iter()
+        .zip(b.series.vectors())
+        .enumerate()
+    {
+        assert_eq!(va, vb, "observation {i} differs");
+    }
+    assert_eq!(a.health, b.health);
+}
+
+#[test]
+fn broot_killed_after_every_sweep_is_bit_identical() {
+    let study = broot(Scale::Test);
+    let times = &study.times[..40]; // every boundary is exercised; 40 keeps the chain fast
+    let cfg = RunnerConfig::default();
+    let sweeper = broot_sweeper();
+
+    let straight = sweeper
+        .run_with(
+            &study.topo,
+            &study.service,
+            &study.scenario,
+            times,
+            &cfg,
+            None,
+        )
+        .unwrap();
+
+    let path = temp_journal("kill-every-sweep");
+    std::fs::remove_file(&path).ok();
+    let meta = broot_meta(straight.blocks.len(), times.len());
+
+    let mut crashes = 0;
+    let resumed = loop {
+        // Each iteration is one process lifetime: reopen the journal from
+        // disk, resume, make one sweep of progress, die.
+        let mut sink = JournalSink::open(&path, meta.clone())
+            .unwrap()
+            .compact_every(16);
+        let run = sweeper.run_recoverable(
+            &study.topo,
+            &study.service,
+            &study.scenario,
+            times,
+            &cfg,
+            None,
+            &mut KillEverySweep { inner: &mut sink },
+        );
+        match run {
+            Ok(result) => break result,
+            Err(Error::CampaignAborted { .. }) => {
+                crashes += 1;
+                assert!(crashes <= times.len(), "campaign never completed");
+            }
+            Err(e) => panic!("unexpected campaign error: {e:?}"),
+        }
+    };
+    assert_eq!(crashes, times.len(), "one crash per durable sweep");
+    assert_sweeps_identical(&straight, &resumed);
+
+    // Downstream analysis from the resumed series matches the straight
+    // run's bit-for-bit: matrix and dendrogram.
+    let pc = PipelineConfig::new(straight.series.networks());
+    let m_a = SimilarityMatrix::compute(&straight.series, &pc.weights, pc.policy).unwrap();
+    let m_b = SimilarityMatrix::compute(&resumed.series, &pc.weights, pc.policy).unwrap();
+    let bits = |m: &SimilarityMatrix| -> Vec<u64> { m.raw().iter().map(|v| v.to_bits()).collect() };
+    assert_eq!(bits(&m_a), bits(&m_b));
+    let d_a = Dendrogram::build(&m_a, pc.linkage).unwrap();
+    let d_b = Dendrogram::build(&m_b, pc.linkage).unwrap();
+    assert_eq!(d_a.merges(), d_b.merges());
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn corrupted_trailing_frame_loads_clean_prefix_and_campaign_finishes() {
+    let study = broot(Scale::Test);
+    let times = &study.times[..24];
+    let cfg = RunnerConfig::default();
+    let sweeper = broot_sweeper();
+
+    let straight = sweeper
+        .run_with(
+            &study.topo,
+            &study.service,
+            &study.scenario,
+            times,
+            &cfg,
+            None,
+        )
+        .unwrap();
+
+    // Write the whole campaign's journal to disk, uninterrupted.
+    let path = temp_journal("torn-tail");
+    std::fs::remove_file(&path).ok();
+    let meta = broot_meta(straight.blocks.len(), times.len());
+    {
+        let mut sink = JournalSink::open(&path, meta.clone()).unwrap();
+        let full = sweeper
+            .run_recoverable(
+                &study.topo,
+                &study.service,
+                &study.scenario,
+                times,
+                &cfg,
+                None,
+                &mut sink,
+            )
+            .unwrap();
+        assert_sweeps_identical(&straight, &full);
+        assert_eq!(sink.state().next_sweep, times.len());
+    }
+
+    // Corrupt the trailing frame on disk, as a torn write would.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF;
+    std::fs::write(&path, &bytes).unwrap();
+
+    // Reopening detects the damage, reports it, and drops only the tail.
+    let mut sink = JournalSink::open(&path, meta.clone()).unwrap();
+    let report = sink.recovery_report().clone();
+    assert!(!report.is_clean(), "damage must be reported");
+    assert!(report.torn.is_some());
+    assert!(report.dropped_bytes > 0);
+    assert_eq!(sink.state().next_sweep, times.len() - 1);
+    assert_eq!(
+        sink.state().rows[..],
+        straight
+            .series
+            .vectors()
+            .iter()
+            .take(times.len() - 1)
+            .map(|v| v.codes().to_vec())
+            .collect::<Vec<_>>()[..],
+        "clean prefix must match the original sweeps exactly"
+    );
+
+    // Resuming replays only the lost sweep and lands bit-identical.
+    let resumed = sweeper
+        .run_recoverable(
+            &study.topo,
+            &study.service,
+            &study.scenario,
+            times,
+            &cfg,
+            None,
+            &mut sink,
+        )
+        .unwrap();
+    assert_sweeps_identical(&straight, &resumed);
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn analysis_pipeline_killed_after_every_observation_is_bit_identical() {
+    // The full D(t) pipeline — series, incremental Φ matrix, dendrogram —
+    // restored from its on-disk journal after every single observation,
+    // against a pipeline that never died.
+    let study = broot(Scale::Test);
+    let series = &study.result.series;
+    let take = 30.min(series.len());
+    let networks = series.networks();
+    let cfg = PipelineConfig {
+        compact_every: Some(8),
+        ..PipelineConfig::new(networks)
+    };
+    let sites = series.sites().clone();
+
+    let mut straight =
+        RecoverablePipeline::in_memory(sites.clone(), networks, cfg.clone()).unwrap();
+
+    let path = temp_journal("pipeline");
+    std::fs::remove_file(&path).ok();
+    for (i, v) in series.vectors().iter().take(take).enumerate() {
+        let health = study.result.health[i].clone();
+        straight.observe(v.clone(), health.clone()).unwrap();
+
+        // One process lifetime per observation: reopen from disk, check
+        // the restored state matches the never-killed pipeline, observe
+        // once, die (drop).
+        let mut pipe =
+            RecoverablePipeline::open(&path, sites.clone(), networks, cfg.clone()).unwrap();
+        assert!(pipe.recovery_report().is_clean());
+        assert_eq!(pipe.series().len(), i);
+        pipe.observe(v.clone(), health).unwrap();
+
+        assert_eq!(pipe.series().len(), straight.series().len());
+        let bits =
+            |m: &SimilarityMatrix| -> Vec<u64> { m.raw().iter().map(|v| v.to_bits()).collect() };
+        assert_eq!(
+            bits(pipe.matrix().unwrap()),
+            bits(straight.matrix().unwrap()),
+            "matrix diverged at observation {i}"
+        );
+        assert_eq!(
+            pipe.dendrogram().map(Dendrogram::merges),
+            straight.dendrogram().map(Dendrogram::merges),
+            "dendrogram diverged at observation {i}"
+        );
+        let healths: &[CampaignHealth] = pipe.health();
+        assert_eq!(healths, straight.health());
+    }
+
+    std::fs::remove_file(&path).ok();
+}
