@@ -161,6 +161,18 @@ impl VectorSeries {
         self.index_of(t).map(|i| &self.vectors[i])
     }
 
+    /// Position of the latest vector observed at or before `t` — the
+    /// as-of lookup a query server needs ("which catchment served this
+    /// block at time t?" between observation instants). `None` when `t`
+    /// precedes the first observation or the series is empty.
+    pub fn index_at_or_before(&self, t: Timestamp) -> Option<usize> {
+        match self.vectors.binary_search_by_key(&t, |v| v.time()) {
+            Ok(i) => Some(i),
+            Err(0) => None,
+            Err(i) => Some(i - 1),
+        }
+    }
+
     /// Aggregate `A(t)` for every observation time — the input to the
     /// paper's stack plots (Figures 1, 2a, 3a, 6a).
     pub fn aggregates(&self) -> Vec<Aggregate> {
@@ -245,6 +257,25 @@ mod tests {
         ];
         let s = VectorSeries::from_vectors(table(), 1, v).unwrap();
         assert_eq!(s.times(), vec![ts(0), ts(1), ts(2)]);
+    }
+
+    #[test]
+    fn index_at_or_before_resolves_between_observations() {
+        let v = vec![
+            RoutingVector::unknown(ts(0), 1),
+            RoutingVector::unknown(ts(10), 1),
+            RoutingVector::unknown(ts(20), 1),
+        ];
+        let s = VectorSeries::from_vectors(table(), 1, v).unwrap();
+        assert_eq!(s.index_at_or_before(ts(-1)), None);
+        assert_eq!(s.index_at_or_before(ts(0)), Some(0));
+        assert_eq!(s.index_at_or_before(ts(15)), Some(1));
+        assert_eq!(s.index_at_or_before(ts(20)), Some(2));
+        assert_eq!(s.index_at_or_before(ts(99)), Some(2));
+        assert_eq!(
+            VectorSeries::new(table(), 1).index_at_or_before(ts(0)),
+            None
+        );
     }
 
     #[test]

@@ -433,6 +433,20 @@ impl SimilarityMatrix {
         1.0 - self.get(i, j)
     }
 
+    /// `Φ` between observations `i` and `j` with bounds checking — the
+    /// single-pair lookup for callers holding untrusted indices (a query
+    /// server resolving client-supplied times). [`SimilarityMatrix::get`]
+    /// stays the hot unchecked path for internal iteration.
+    pub fn get_checked(&self, i: usize, j: usize) -> Result<f64> {
+        if i >= self.n || j >= self.n {
+            return Err(Error::InvalidParameter {
+                name: "similarity index",
+                message: format!("pair ({i}, {j}) out of range for {} observations", self.n),
+            });
+        }
+        Ok(self.get(i, j))
+    }
+
     /// Full row `i` (all `n` columns, symmetry expanded).
     pub fn row(&self, i: usize) -> Vec<f64> {
         (0..self.n).map(|j| self.get(i, j)).collect()
@@ -528,6 +542,26 @@ mod tests {
         let w = Weights::uniform(3);
         assert_eq!(phi(&a, &b, &w, UnknownPolicy::Pessimistic), 1.0);
         assert_eq!(phi(&a, &b, &w, UnknownPolicy::KnownOnly), 1.0);
+    }
+
+    #[test]
+    fn get_checked_rejects_out_of_range_pairs() {
+        let a = v(0, &[s(0), s(1)]);
+        let b = v(1, &[s(0), s(0)]);
+        let series =
+            VectorSeries::from_vectors(SiteTable::from_names(["A", "B"]), 2, vec![a, b]).unwrap();
+        let m =
+            SimilarityMatrix::compute(&series, &Weights::uniform(2), UnknownPolicy::Pessimistic)
+                .unwrap();
+        assert_eq!(
+            m.get_checked(0, 1).unwrap().to_bits(),
+            m.get(0, 1).to_bits()
+        );
+        assert!(matches!(
+            m.get_checked(0, 2),
+            Err(Error::InvalidParameter { .. })
+        ));
+        assert!(m.get_checked(5, 0).is_err());
     }
 
     #[test]

@@ -102,6 +102,13 @@ impl TransitionMatrix {
         self.cells[from * self.states() + to]
     }
 
+    /// The raw cell buffer, row-major `states() × states()` — the
+    /// zero-copy slice a serialiser or query server reads instead of
+    /// calling [`TransitionMatrix::get`] per cell.
+    pub fn cells(&self) -> &[f64] {
+        &self.cells
+    }
+
     /// Cell addressed by catchment states.
     pub fn get_catchment(&self, from: Catchment, to: Catchment) -> f64 {
         self.get(
@@ -246,6 +253,10 @@ mod tests {
         assert_eq!(t.get(1, 1), 2.0);
         assert_eq!(t.get_catchment(Catchment::Err, Catchment::Err), 1.0);
         assert_eq!(t.total(), 4.0);
+        // The raw buffer is the same data get() reads, row-major.
+        assert_eq!(t.cells().len(), t.states() * t.states());
+        assert_eq!(t.cells()[0], 1.0);
+        assert_eq!(t.cells().iter().sum::<f64>(), t.total());
     }
 
     #[test]

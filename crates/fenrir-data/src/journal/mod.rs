@@ -36,7 +36,7 @@ pub mod codec;
 pub mod pipeline;
 pub mod sink;
 
-pub use pipeline::{PipelineConfig, RecoverablePipeline};
+pub use pipeline::{PipelineConfig, PipelineMeta, RecoverablePipeline};
 pub use sink::{CampaignMeta, JournalSink};
 
 use fenrir_core::error::{Error, Result};

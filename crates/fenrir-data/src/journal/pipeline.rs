@@ -33,6 +33,7 @@ use fenrir_core::error::{Error, Result};
 use fenrir_core::guard::{DivergenceGuard, SamplingRate};
 use fenrir_core::health::CampaignHealth;
 use fenrir_core::ids::SiteTable;
+use fenrir_core::latency::LatencyPanel;
 use fenrir_core::series::VectorSeries;
 use fenrir_core::similarity::{SimilarityMatrix, UnknownPolicy};
 use fenrir_core::time::Timestamp;
@@ -46,6 +47,8 @@ pub const KIND_PIPELINE_META: u16 = 0x20;
 pub const KIND_OBSERVATION: u16 = 0x21;
 /// Frame kind: folded snapshot (series + matrix + merge prefix + health).
 pub const KIND_PIPELINE_SNAPSHOT: u16 = 0x22;
+/// Frame kind: latency panel for one already-journaled observation.
+pub const KIND_OBS_LATENCY: u16 = 0x23;
 
 /// Analysis parameters a pipeline journal is bound to. Weights, unknown
 /// policy and linkage all change Φ bit patterns or the merge tree, so a
@@ -119,6 +122,65 @@ fn policy_from(code: u8) -> Result<UnknownPolicy> {
     }
 }
 
+/// Encode a [`KIND_OBS_LATENCY`] payload: observation index, panel time,
+/// then one `present` flag (+ RTT bits when present) per network.
+fn latency_payload(idx: usize, p: &LatencyPanel) -> Vec<u8> {
+    let mut out = Vec::new();
+    codec::put_usize(&mut out, idx);
+    codec::put_i64(&mut out, p.time().as_secs());
+    codec::put_seq(&mut out, p.samples(), |o, s| match s {
+        Some(rtt) => {
+            codec::put_bool(o, true);
+            codec::put_f64(o, *rtt);
+        }
+        None => codec::put_bool(o, false),
+    });
+    out
+}
+
+/// Decoded pipeline-journal metadata: the analysis configuration and site
+/// table the journal's Φ bits were computed under.
+///
+/// Public so read-only consumers (most importantly the `fenrir-serve`
+/// query server) can adopt a journal's own configuration instead of
+/// requiring the operator to re-supply weights, policy, and linkage that
+/// are already durably recorded in the first frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineMeta {
+    /// Number of client networks per observation.
+    pub networks: usize,
+    /// HAC linkage the merge tree was built with.
+    pub linkage: Linkage,
+    /// Unknown-handling policy the Φ bits were computed under.
+    pub policy: UnknownPolicy,
+    /// Per-network weights, in journal bit order.
+    pub weights: Vec<f64>,
+    /// Site names in `SiteId` order.
+    pub sites: Vec<String>,
+}
+
+impl PipelineMeta {
+    /// Decode a [`KIND_PIPELINE_META`] frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Self> {
+        let mut d = Dec::new(payload, "pipeline meta");
+        let networks = d.usize()?;
+        let linkage = linkage_from(d.u8()?)?;
+        let policy = policy_from(d.u8()?)?;
+        let nw = d.seq_len(8)?;
+        let weights = (0..nw).map(|_| d.f64()).collect::<Result<Vec<_>>>()?;
+        let ns = d.seq_len(8)?;
+        let sites = (0..ns).map(|_| d.str()).collect::<Result<Vec<_>>>()?;
+        d.finish()?;
+        Ok(PipelineMeta {
+            networks,
+            linkage,
+            policy,
+            weights,
+            sites,
+        })
+    }
+}
+
 /// A journaled series → matrix → dendrogram pipeline.
 #[derive(Debug)]
 pub struct RecoverablePipeline {
@@ -128,6 +190,7 @@ pub struct RecoverablePipeline {
     matrix: Option<SimilarityMatrix>,
     dendro: Option<Dendrogram>,
     health: Vec<CampaignHealth>,
+    panels: Vec<Option<LatencyPanel>>,
     guard: DivergenceGuard,
     deltas: usize,
     report: RecoveryReport,
@@ -167,6 +230,47 @@ impl RecoverablePipeline {
     ) -> Result<Self> {
         let (journal, frames, report) = Journal::from_bytes(bytes)?;
         Self::attach(journal, frames, report, sites, networks, cfg)
+    }
+
+    /// Open a pipeline journal *without* taking ownership of the file:
+    /// the analysis configuration and site table are adopted from the
+    /// journal's own meta frame, nothing on disk is truncated or
+    /// rewritten (a torn tail is dropped from the in-memory view only),
+    /// and the returned pipeline holds no file handle. This is the load
+    /// path for read-only consumers — most importantly the `fenrir-serve`
+    /// query server, which follows a journal another process is
+    /// appending to and must never race its writer.
+    pub fn open_read_only(path: &Path) -> Result<Self> {
+        let bytes = std::fs::read(path).map_err(|e| Error::Internal {
+            what: "journal read",
+            message: format!("{}: {e}", path.display()),
+        })?;
+        Self::from_bytes_read_only(bytes)
+    }
+
+    /// [`Self::open_read_only`] over bytes already in memory.
+    pub fn from_bytes_read_only(bytes: Vec<u8>) -> Result<Self> {
+        let (journal, frames, report) = Journal::from_bytes(bytes)?;
+        let Some(first) = frames.first() else {
+            return Err(Error::EmptyInput("pipeline journal"));
+        };
+        if first.kind != KIND_PIPELINE_META {
+            return Err(Error::Corrupted {
+                what: "pipeline journal",
+                offset: 0,
+                message: format!("first frame has kind {:#06x}, expected meta", first.kind),
+            });
+        }
+        let meta = PipelineMeta::decode(&first.payload)?;
+        let sites = SiteTable::from_names(meta.sites.iter().map(String::as_str));
+        let cfg = PipelineConfig {
+            weights: Weights::from_values(meta.weights.clone())?,
+            policy: meta.policy,
+            linkage: meta.linkage,
+            sampling: SamplingRate::default_for_build(),
+            compact_every: None,
+        };
+        Self::attach(journal, frames, report, sites, meta.networks, cfg)
     }
 
     fn meta_payload(&self) -> Vec<u8> {
@@ -210,6 +314,7 @@ impl RecoverablePipeline {
             matrix: None,
             dendro: None,
             health: Vec::new(),
+            panels: Vec::new(),
             guard,
             deltas: 0,
             report,
@@ -231,6 +336,7 @@ impl RecoverablePipeline {
         // Collect the clean prefix, then rebuild the derived state once.
         let mut rows: Vec<Vec<f64>> = Vec::new();
         let mut vectors: Vec<RoutingVector> = Vec::new();
+        let mut panels: Vec<Option<LatencyPanel>> = Vec::new();
         let mut merges: Option<(usize, Vec<Merge>)> = None;
         for frame in &frames[1..] {
             match frame.kind {
@@ -263,7 +369,30 @@ impl RecoverablePipeline {
                     }
                     vectors.push(RoutingVector::from_codes(Timestamp::from_secs(t), codes));
                     rows.push(row);
+                    panels.push(None);
                     pipe.health.push(health);
+                }
+                KIND_OBS_LATENCY => {
+                    let mut d = Dec::new(&frame.payload, "pipeline latency");
+                    let idx = d.usize()?;
+                    let t = d.i64()?;
+                    let ns = d.seq_len(1)?;
+                    let samples = (0..ns)
+                        .map(|_| Ok(if d.bool()? { Some(d.f64()?) } else { None }))
+                        .collect::<Result<Vec<_>>>()?;
+                    d.finish()?;
+                    if samples.len() != networks || idx >= vectors.len() {
+                        return Err(Error::Corrupted {
+                            what: "pipeline latency",
+                            offset: 0,
+                            message: format!(
+                                "panel of {} samples for observation {idx} of {}",
+                                samples.len(),
+                                vectors.len()
+                            ),
+                        });
+                    }
+                    panels[idx] = Some(LatencyPanel::new(Timestamp::from_secs(t), samples));
                 }
                 KIND_PIPELINE_SNAPSHOT => {
                     let mut d = Dec::new(&frame.payload, "pipeline snapshot");
@@ -316,6 +445,7 @@ impl RecoverablePipeline {
                     }
                     vectors = snap_vectors;
                     rows = snap_rows;
+                    panels = vec![None; n];
                     merges = Some((n, snap_merges));
                     pipe.health = snap_health;
                 }
@@ -329,6 +459,7 @@ impl RecoverablePipeline {
             }
         }
         pipe.deltas = vectors.len() - merges.as_ref().map_or(0, |(n, _)| *n);
+        pipe.panels = panels;
         if !vectors.is_empty() {
             let n = vectors.len();
             pipe.series =
@@ -351,38 +482,34 @@ impl RecoverablePipeline {
     }
 
     fn check_meta(&self, payload: &[u8]) -> Result<()> {
-        let mut d = Dec::new(payload, "pipeline meta");
-        let networks = d.usize()?;
-        let linkage = linkage_from(d.u8()?)?;
-        let policy = policy_from(d.u8()?)?;
-        let nw = d.seq_len(8)?;
-        let weights = (0..nw).map(|_| d.f64()).collect::<Result<Vec<_>>>()?;
-        let ns = d.seq_len(8)?;
-        let sites = (0..ns).map(|_| d.str()).collect::<Result<Vec<_>>>()?;
-        d.finish()?;
+        let meta = PipelineMeta::decode(payload)?;
         let my_sites: Vec<String> = self
             .series
             .sites()
             .iter()
             .map(|(_, n)| n.to_owned())
             .collect();
-        let same_weights = weights.len() == self.cfg.weights.len()
-            && weights
+        let same_weights = meta.weights.len() == self.cfg.weights.len()
+            && meta
+                .weights
                 .iter()
                 .zip(self.cfg.weights.values())
                 .all(|(a, b)| a.to_bits() == b.to_bits());
-        if networks != self.series.networks()
-            || linkage != self.cfg.linkage
-            || policy != self.cfg.policy
+        if meta.networks != self.series.networks()
+            || meta.linkage != self.cfg.linkage
+            || meta.policy != self.cfg.policy
             || !same_weights
-            || sites != my_sites
+            || meta.sites != my_sites
         {
             return Err(Error::Config {
                 name: "pipeline journal",
                 message: format!(
                     "journal was written under a different analysis configuration \
-                     ({networks} networks, {linkage:?}/{policy:?}) than the caller's \
+                     ({} networks, {:?}/{:?}) than the caller's \
                      ({} networks, {:?}/{:?}) — Φ bits would not line up",
+                    meta.networks,
+                    meta.linkage,
+                    meta.policy,
                     self.series.networks(),
                     self.cfg.linkage,
                     self.cfg.policy
@@ -396,6 +523,33 @@ impl RecoverablePipeline {
     /// and dendrogram behind the divergence guard, fold any divergence
     /// events into the health record, and journal the delta durably.
     pub fn observe(&mut self, v: RoutingVector, health: CampaignHealth) -> Result<()> {
+        self.observe_with_latency(v, None, health)
+    }
+
+    /// [`Self::observe`] plus an optional aligned latency panel, journaled
+    /// durably in its own frame so read-only consumers can serve
+    /// per-catchment latency summaries for this observation.
+    pub fn observe_with_latency(
+        &mut self,
+        v: RoutingVector,
+        panel: Option<LatencyPanel>,
+        health: CampaignHealth,
+    ) -> Result<()> {
+        if let Some(p) = &panel {
+            if p.len() != self.series.networks() {
+                return Err(Error::ShapeMismatch {
+                    what: "latency panel",
+                    expected: self.series.networks(),
+                    actual: p.len(),
+                });
+            }
+            if let Some(bad) = p.samples().iter().flatten().find(|s| !s.is_finite()) {
+                return Err(Error::InvalidParameter {
+                    name: "latency panel",
+                    message: format!("non-finite RTT sample {bad}"),
+                });
+            }
+        }
         self.series.push(v)?;
         let i = self.series.len() - 1;
         match &mut self.matrix {
@@ -430,6 +584,13 @@ impl RecoverablePipeline {
         codec::put_health(&mut payload, &health);
         self.journal.append(KIND_OBSERVATION, &payload)?;
         self.health.push(health);
+        if let Some(p) = panel {
+            self.journal
+                .append(KIND_OBS_LATENCY, &latency_payload(i, &p))?;
+            self.panels.push(Some(p));
+        } else {
+            self.panels.push(None);
+        }
         self.deltas += 1;
         if self.cfg.compact_every.is_some_and(|n| self.deltas >= n) {
             self.compact()?;
@@ -456,10 +617,18 @@ impl RecoverablePipeline {
             codec::put_usize(o, m.size);
         });
         codec::put_seq(&mut snap, &self.health, codec::put_health);
-        self.journal.rewrite(&[
+        let mut frames = vec![
             (KIND_PIPELINE_META, self.meta_payload()),
             (KIND_PIPELINE_SNAPSHOT, snap),
-        ])?;
+        ];
+        // Latency panels survive compaction as their own frames after the
+        // snapshot (the snapshot layout itself is unchanged).
+        for (i, panel) in self.panels.iter().enumerate() {
+            if let Some(p) = panel {
+                frames.push((KIND_OBS_LATENCY, latency_payload(i, p)));
+            }
+        }
+        self.journal.rewrite(&frames)?;
         self.deltas = 0;
         Ok(())
     }
@@ -483,6 +652,18 @@ impl RecoverablePipeline {
     /// into [`CampaignHealth::divergences`]).
     pub fn health(&self) -> &[CampaignHealth] {
         &self.health
+    }
+
+    /// Journaled latency panels, aligned with the series (`None` for
+    /// observations that carried no panel).
+    pub fn panels(&self) -> &[Option<LatencyPanel>] {
+        &self.panels
+    }
+
+    /// The analysis configuration this pipeline is bound to (adopted from
+    /// the journal's meta frame on a read-only open).
+    pub fn config(&self) -> &PipelineConfig {
+        &self.cfg
     }
 
     /// The divergence guard driving the incremental cross-checks.
@@ -599,6 +780,131 @@ mod tests {
         assert!(!restored.recovery_report().is_clean());
         assert_eq!(restored.series().len(), 4);
         assert_eq!(restored.dendrogram().unwrap().len(), 4);
+    }
+
+    fn panel_at(day: i64) -> LatencyPanel {
+        LatencyPanel::new(
+            Timestamp::from_days(day),
+            (0..4)
+                .map(|n| {
+                    if (n + day) % 3 == 0 {
+                        None
+                    } else {
+                        Some(10.0 + day as f64 + n as f64)
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn latency_panels_survive_restore_and_compaction() {
+        let mut live =
+            RecoverablePipeline::in_memory(SiteTable::from_names(["A", "B"]), 4, cfg()).unwrap();
+        for day in 0..6 {
+            let v = vec_at(day, [0, 1, 1, 0]);
+            let health = CampaignHealth::new(Timestamp::from_days(day), 4);
+            let panel = (day % 2 == 0).then(|| panel_at(day));
+            live.observe_with_latency(v, panel, health).unwrap();
+        }
+        let check = |pipe: &RecoverablePipeline| {
+            assert_eq!(pipe.panels().len(), 6);
+            for day in 0..6i64 {
+                match &pipe.panels()[day as usize] {
+                    Some(p) if day % 2 == 0 => assert_eq!(*p, panel_at(day)),
+                    None if day % 2 != 0 => {}
+                    other => panic!("day {day}: {other:?}"),
+                }
+            }
+        };
+        check(&live);
+        let restored = RecoverablePipeline::from_bytes(
+            live.bytes().to_vec(),
+            SiteTable::from_names(["A", "B"]),
+            4,
+            cfg(),
+        )
+        .unwrap();
+        check(&restored);
+        assert_same(&live, &restored);
+        // Panels ride through compaction too.
+        let mut compacted = live;
+        compacted.compact().unwrap();
+        check(&compacted);
+        let recompacted = RecoverablePipeline::from_bytes(
+            compacted.bytes().to_vec(),
+            SiteTable::from_names(["A", "B"]),
+            4,
+            cfg(),
+        )
+        .unwrap();
+        check(&recompacted);
+        assert_same(&compacted, &recompacted);
+    }
+
+    #[test]
+    fn observe_rejects_malformed_panels() {
+        let mut pipe =
+            RecoverablePipeline::in_memory(SiteTable::from_names(["A", "B"]), 4, cfg()).unwrap();
+        let health = CampaignHealth::new(Timestamp::from_days(0), 4);
+        let short = LatencyPanel::new(Timestamp::from_days(0), vec![Some(1.0); 3]);
+        assert!(matches!(
+            pipe.observe_with_latency(vec_at(0, [0, 0, 1, 1]), Some(short), health.clone()),
+            Err(Error::ShapeMismatch { .. })
+        ));
+        let nan = LatencyPanel::new(Timestamp::from_days(0), vec![Some(f64::NAN); 4]);
+        assert!(matches!(
+            pipe.observe_with_latency(vec_at(0, [0, 0, 1, 1]), Some(nan), health),
+            Err(Error::InvalidParameter { .. })
+        ));
+        // Nothing was journaled by the rejected observations.
+        assert_eq!(pipe.series().len(), 0);
+    }
+
+    #[test]
+    fn read_only_open_adopts_the_journal_configuration() {
+        let mut live =
+            RecoverablePipeline::in_memory(SiteTable::from_names(["LAX", "MIA"]), 4, cfg())
+                .unwrap();
+        for day in 0..5 {
+            let v = vec_at(day, [0, 1, 1, 0]);
+            let health = CampaignHealth::new(Timestamp::from_days(day), 4);
+            live.observe_with_latency(v, Some(panel_at(day)), health)
+                .unwrap();
+        }
+        let ro = RecoverablePipeline::from_bytes_read_only(live.bytes().to_vec()).unwrap();
+        assert_same(&live, &ro);
+        assert_eq!(ro.panels(), live.panels());
+        let names: Vec<&str> = ro.series().sites().iter().map(|(_, n)| n).collect();
+        assert_eq!(names, ["LAX", "MIA"]);
+        // An empty journal has no meta frame to adopt.
+        assert!(matches!(
+            RecoverablePipeline::from_bytes_read_only(Vec::new()),
+            Err(Error::EmptyInput(_))
+        ));
+    }
+
+    #[test]
+    fn read_only_open_does_not_rewrite_the_file() {
+        let path =
+            std::env::temp_dir().join(format!("fenrir-ro-pipeline-{}.fnrj", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut live =
+                RecoverablePipeline::open(&path, SiteTable::from_names(["A", "B"]), 4, cfg())
+                    .unwrap();
+            feed(&mut live, 0..4);
+        }
+        // Tear the tail on disk; a read-only open must report the tear
+        // but leave the damaged bytes in place for the owning writer.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.truncate(bytes.len() - 5);
+        std::fs::write(&path, &bytes).unwrap();
+        let ro = RecoverablePipeline::open_read_only(&path).unwrap();
+        assert!(!ro.recovery_report().is_clean());
+        assert_eq!(ro.series().len(), 3);
+        assert_eq!(std::fs::read(&path).unwrap(), bytes, "file was modified");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

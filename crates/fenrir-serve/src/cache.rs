@@ -1,0 +1,183 @@
+//! A small sharded cache for derived answers.
+//!
+//! Transition slices and latency summaries are recomputed per query
+//! from the loaded snapshot; repeats of the same query (dashboards
+//! polling a fixed window are the common access pattern) hit this
+//! cache instead. Keys carry the store epoch, so a hot reload
+//! implicitly invalidates every cached answer without any flush
+//! coordination — stale entries just stop matching and age out.
+//!
+//! The cache is bounded: each shard evicts its least-recently-used
+//! entry on overflow. Recency is a per-shard monotonic tick stamped on
+//! every hit; eviction scans the shard for the minimum tick, which is
+//! `O(shard capacity)` — deliberate, since shards are small (hundreds
+//! of entries) and eviction is rare compared to lookups.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// Cache key: query kind, resolved observation indices, store epoch.
+///
+/// Indices (not raw query times) are the key, so distinct query times
+/// that resolve to the same observation share one entry.
+pub type Key = (u8, u64, u64, u64);
+
+#[derive(Debug)]
+struct Entry {
+    tick: u64,
+    kind: u8,
+    payload: Vec<u8>,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<Key, Entry>,
+    tick: u64,
+}
+
+/// Bounded, sharded, epoch-keyed answer cache.
+pub struct QueryCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+const SHARDS: usize = 8;
+
+impl QueryCache {
+    /// A cache holding at most `capacity` entries (split across shards).
+    /// A zero capacity disables caching entirely.
+    pub fn new(capacity: usize) -> Self {
+        QueryCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard: capacity / SHARDS,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &Key) -> &Mutex<Shard> {
+        // Mix the key fields; the epoch alone would put every live
+        // entry in one shard.
+        let h = key
+            .1
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(key.2.rotate_left(17))
+            .wrapping_add(key.0 as u64)
+            .wrapping_add(key.3.rotate_left(41));
+        &self.shards[(h % SHARDS as u64) as usize]
+    }
+
+    /// Cached `(kind, payload)` for `key`, if present.
+    pub fn get(&self, key: &Key) -> Option<(u8, Vec<u8>)> {
+        if self.per_shard == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut shard = self.shard(key).lock();
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.map.get_mut(key) {
+            Some(e) => {
+                e.tick = tick;
+                let out = (e.kind, e.payload.clone());
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(out)
+            }
+            None => {
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert an answer, evicting the shard's oldest entry on overflow.
+    pub fn put(&self, key: Key, kind: u8, payload: Vec<u8>) {
+        if self.per_shard == 0 {
+            return;
+        }
+        let mut shard = self.shard(&key).lock();
+        shard.tick += 1;
+        let tick = shard.tick;
+        if shard.map.len() >= self.per_shard && !shard.map.contains_key(&key) {
+            if let Some(oldest) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| *k)
+            {
+                shard.map.remove(&oldest);
+            }
+        }
+        shard.map.insert(
+            key,
+            Entry {
+                tick,
+                kind,
+                payload,
+            },
+        );
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_and_misses_are_counted_and_epochs_partition_keys() {
+        let cache = QueryCache::new(64);
+        let k0: Key = (1, 2, 3, 0);
+        let k1: Key = (1, 2, 3, 1); // same query, next epoch
+        assert!(cache.get(&k0).is_none());
+        cache.put(k0, 0x84, vec![1, 2, 3]);
+        assert_eq!(cache.get(&k0), Some((0x84, vec![1, 2, 3])));
+        assert!(cache.get(&k1).is_none());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn capacity_is_bounded_and_eviction_prefers_the_oldest() {
+        let cache = QueryCache::new(SHARDS); // one entry per shard
+                                             // Two keys engineered into the same shard by identical fields
+                                             // except the index, re-keyed until they collide.
+        let base: Key = (9, 0, 0, 0);
+        let mut other = None;
+        for i in 1..10_000u64 {
+            let k: Key = (9, i, 0, 0);
+            if std::ptr::eq(cache.shard(&k), cache.shard(&base)) {
+                other = Some(k);
+                break;
+            }
+        }
+        let other = other.expect("no colliding key found");
+        cache.put(base, 1, vec![1]);
+        cache.put(other, 2, vec![2]); // evicts base (older tick)
+        assert!(cache.get(&base).is_none());
+        assert_eq!(cache.get(&other), Some((2, vec![2])));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = QueryCache::new(0);
+        cache.put((1, 1, 1, 1), 2, vec![9]);
+        assert!(cache.get(&(1, 1, 1, 1)).is_none());
+        assert_eq!(cache.hits(), 0);
+    }
+}

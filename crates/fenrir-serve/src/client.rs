@@ -1,0 +1,95 @@
+//! A small blocking client for the fenrir-serve protocol.
+//!
+//! One TCP connection, buffered in both directions. Requests can be
+//! pipelined: `send` queues frames, `flush` pushes them out, and
+//! `recv` reads replies in order. `request` is the one-shot
+//! convenience wrapper around all three.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use fenrir_core::error::{Error, Result};
+
+use crate::protocol::{read_frame, FrameEvent, Reply, Request};
+
+/// A blocking fenrir-serve client.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+fn io_err(what: &'static str, e: std::io::Error) -> Error {
+    Error::Internal {
+        what,
+        message: e.to_string(),
+    }
+}
+
+impl Client {
+    /// Connect to a running server.
+    pub fn connect(addr: SocketAddr) -> Result<Client> {
+        let conn = TcpStream::connect(addr).map_err(|e| io_err("serve connect", e))?;
+        conn.set_nodelay(true)
+            .map_err(|e| io_err("serve connect", e))?;
+        let write_half = conn.try_clone().map_err(|e| io_err("serve connect", e))?;
+        Ok(Client {
+            reader: BufReader::new(conn),
+            writer: BufWriter::new(write_half),
+        })
+    }
+
+    /// Optional receive timeout (None blocks indefinitely).
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<()> {
+        self.reader
+            .get_ref()
+            .set_read_timeout(timeout)
+            .map_err(|e| io_err("serve timeout", e))
+    }
+
+    /// Queue one request (pipelining-friendly; call [`Self::flush`]).
+    pub fn send(&mut self, req: &Request) -> Result<()> {
+        self.writer
+            .write_all(&req.encode())
+            .map_err(|e| io_err("serve send", e))
+    }
+
+    /// Push queued requests to the server.
+    pub fn flush(&mut self) -> Result<()> {
+        self.writer.flush().map_err(|e| io_err("serve send", e))
+    }
+
+    /// Write raw bytes (for hostile-input tests).
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<()> {
+        self.writer
+            .write_all(bytes)
+            .map_err(|e| io_err("serve send", e))?;
+        self.flush()
+    }
+
+    /// Read the next reply. With a read timeout set, an idle wire
+    /// surfaces as an `Internal("reply timed out")` error.
+    pub fn recv(&mut self) -> Result<Reply> {
+        match read_frame(&mut self.reader) {
+            FrameEvent::Frame { kind, payload } => Reply::decode(kind, &payload),
+            FrameEvent::Tick => Err(Error::Internal {
+                what: "serve recv",
+                message: "reply timed out".into(),
+            }),
+            FrameEvent::Eof => Err(Error::Internal {
+                what: "serve recv",
+                message: "connection closed by server".into(),
+            }),
+            FrameEvent::Corrupt(e) => Err(e),
+            FrameEvent::Io(e) => Err(io_err("serve recv", e)),
+        }
+    }
+
+    /// Send one request and wait for its reply.
+    pub fn request(&mut self, req: &Request) -> Result<Reply> {
+        self.send(req)?;
+        self.flush()?;
+        self.recv()
+    }
+}

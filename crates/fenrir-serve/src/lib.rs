@@ -1,0 +1,43 @@
+//! # fenrir-serve — a sharded, cache-aware query server
+//!
+//! The analysis crates answer questions about recurring routing modes
+//! *offline*: load a journal, compute, print. `fenrir-serve` makes the
+//! same answers available *online* — a multi-threaded TCP server that
+//! loads a [fenrir-data pipeline journal](fenrir_data::journal) into
+//! an immutable in-memory snapshot and answers six query kinds over a
+//! length-prefixed, checksummed binary protocol:
+//!
+//! | query | answer |
+//! |---|---|
+//! | `Assign` | which site served a network at a time |
+//! | `Similarity` | Φ(t, t′) from the condensed matrix |
+//! | `Mode` | mode membership at the adaptive threshold |
+//! | `Transition` | the weighted transition-matrix slice |
+//! | `Latency` | the per-catchment latency summary |
+//! | `Health` / `Stats` | liveness, shape, counters |
+//!
+//! Answers are **bit-identical** to calling the fenrir-core entry
+//! points directly: the server stores the journaled floats verbatim
+//! and every derived statistic runs the same code paths.
+//!
+//! The layering:
+//!
+//! * [`protocol`] — frames, requests, replies (hostile-input safe);
+//! * [`store`] — [`store::Snapshot`] + [`store::ModeStore`], the
+//!   epoch-swapped, sharded snapshot holder with journal tail-follow;
+//! * [`cache`] — the bounded, epoch-keyed derived-answer cache;
+//! * [`server`] — acceptor, worker pool, admission control, drain;
+//! * [`client`] — a small blocking client (also the test harness).
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod store;
+
+pub use client::Client;
+pub use protocol::{Reply, Request};
+pub use server::{ServeConfig, Server};
+pub use store::{ModeStore, Snapshot, StoreOptions};

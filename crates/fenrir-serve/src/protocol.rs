@@ -1,0 +1,834 @@
+//! The fenrir-serve wire protocol.
+//!
+//! Queries and replies travel as length-prefixed, checksummed binary
+//! frames over TCP, following the same conventions as the journal
+//! format in `fenrir-data`: little-endian integers, `f64` as exact
+//! IEEE-754 bit patterns, length-prefixed sequences, and an RFC 1071
+//! internet checksum binding the header to the payload. Decoding is
+//! hostile-input safe — every malformed frame surfaces as a typed
+//! [`Error::Corrupted`], never a panic, and a hostile length can at
+//! most allocate [`MAX_PAYLOAD`] bytes.
+//!
+//! ## Frame layout
+//!
+//! ```text
+//! +---------+--------+---------+---------+=============+
+//! | len u32 | ver u8 | kind u8 | sum u16 | payload ... |
+//! +---------+--------+---------+---------+=============+
+//! ```
+//!
+//! `len` counts payload bytes only. `sum` is the internet checksum of
+//! `len_le ‖ ver ‖ kind ‖ payload` — a frame whose header or body was
+//! corrupted in flight fails verification before any payload decoding
+//! runs. Request kinds occupy `0x01..=0x07`; each reply kind is its
+//! request kind with the high bit set, plus two out-of-band replies:
+//! [`KIND_ERROR`] and [`KIND_OVERLOADED`].
+
+use std::io::{ErrorKind, Read};
+
+use fenrir_core::error::{Error, Result};
+use fenrir_data::journal::codec::{self, Dec};
+use fenrir_wire::checksum::internet_checksum;
+
+/// Current protocol version; bumped on any incompatible layout change.
+pub const PROTOCOL_VERSION: u8 = 1;
+/// Bytes in the fixed frame header.
+pub const FRAME_HEADER_LEN: usize = 8;
+/// Upper bound on payload size — caps what a hostile length field can
+/// make the server allocate.
+pub const MAX_PAYLOAD: usize = 1 << 20;
+
+// Request kinds.
+/// Catchment of one network at one time.
+pub const KIND_ASSIGN: u8 = 0x01;
+/// Routing similarity Φ between two observation times.
+pub const KIND_SIMILARITY: u8 = 0x02;
+/// Mode membership of an observation time.
+pub const KIND_MODE: u8 = 0x03;
+/// Transition-matrix slice between two observation times.
+pub const KIND_TRANSITION: u8 = 0x04;
+/// Per-catchment latency summary at one time.
+pub const KIND_LATENCY: u8 = 0x05;
+/// Liveness and dataset shape.
+pub const KIND_HEALTH: u8 = 0x06;
+/// Server counters.
+pub const KIND_STATS: u8 = 0x07;
+
+// Reply kinds (request kind | 0x80).
+/// Reply to [`KIND_ASSIGN`].
+pub const KIND_ASSIGN_REPLY: u8 = 0x81;
+/// Reply to [`KIND_SIMILARITY`].
+pub const KIND_SIMILARITY_REPLY: u8 = 0x82;
+/// Reply to [`KIND_MODE`].
+pub const KIND_MODE_REPLY: u8 = 0x83;
+/// Reply to [`KIND_TRANSITION`].
+pub const KIND_TRANSITION_REPLY: u8 = 0x84;
+/// Reply to [`KIND_LATENCY`].
+pub const KIND_LATENCY_REPLY: u8 = 0x85;
+/// Reply to [`KIND_HEALTH`].
+pub const KIND_HEALTH_REPLY: u8 = 0x86;
+/// Reply to [`KIND_STATS`].
+pub const KIND_STATS_REPLY: u8 = 0x87;
+/// A query that could not be answered; carries a code and message.
+pub const KIND_ERROR: u8 = 0xE0;
+/// The server is saturated; retry later.
+pub const KIND_OVERLOADED: u8 = 0xE1;
+
+// Error codes carried by [`KIND_ERROR`] replies.
+/// The request payload decoded but asked for something malformed.
+pub const ERR_BAD_REQUEST: u8 = 1;
+/// The requested time precedes every observation.
+pub const ERR_NOT_FOUND: u8 = 2;
+/// The data needed for this answer was never journaled.
+pub const ERR_UNAVAILABLE: u8 = 3;
+/// The server failed internally while answering.
+pub const ERR_INTERNAL: u8 = 4;
+
+/// Encode one frame: header, checksum, payload.
+pub fn encode_frame(kind: u8, payload: &[u8]) -> Vec<u8> {
+    assert!(payload.len() <= MAX_PAYLOAD, "oversized frame payload");
+    let len = payload.len() as u32;
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(&len.to_le_bytes());
+    out.push(PROTOCOL_VERSION);
+    out.push(kind);
+    let sum = frame_checksum(len, PROTOCOL_VERSION, kind, payload);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// The checksum a well-formed frame must carry.
+fn frame_checksum(len: u32, ver: u8, kind: u8, payload: &[u8]) -> u16 {
+    let mut buf = Vec::with_capacity(6 + payload.len());
+    buf.extend_from_slice(&len.to_le_bytes());
+    buf.push(ver);
+    buf.push(kind);
+    buf.extend_from_slice(payload);
+    internet_checksum(&buf)
+}
+
+/// What one blocking read attempt on a connection produced.
+#[derive(Debug)]
+pub enum FrameEvent {
+    /// A verified frame.
+    Frame {
+        /// Frame kind byte.
+        kind: u8,
+        /// Payload bytes (checksum already verified).
+        payload: Vec<u8>,
+    },
+    /// The peer closed the connection cleanly between frames.
+    Eof,
+    /// The read timed out with no bytes consumed — the connection is
+    /// idle, not broken; callers use ticks to poll shutdown flags.
+    Tick,
+    /// The bytes received cannot be a valid frame. The connection must
+    /// be closed: framing is lost.
+    Corrupt(Error),
+    /// The transport failed.
+    Io(std::io::Error),
+}
+
+/// Read one frame from `r`, which should have a read timeout set so
+/// idle connections produce [`FrameEvent::Tick`] instead of blocking
+/// forever.
+///
+/// A timeout that fires *mid-frame* is reported as corruption rather
+/// than a tick: resuming a half-read frame is impossible once bytes
+/// were consumed.
+pub fn read_frame(r: &mut impl Read) -> FrameEvent {
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => return FrameEvent::Eof,
+            Ok(_) => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) if would_block(&e) => return FrameEvent::Tick,
+            Err(e) => return FrameEvent::Io(e),
+        }
+    }
+    let mut rest = [0u8; FRAME_HEADER_LEN - 1];
+    if let Err(e) = read_exact_frame(r, &mut rest) {
+        return e;
+    }
+    let header = [
+        first[0], rest[0], rest[1], rest[2], rest[3], rest[4], rest[5], rest[6],
+    ];
+    let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    let ver = header[4];
+    let kind = header[5];
+    let sum = u16::from_le_bytes(header[6..8].try_into().unwrap());
+    if len as usize > MAX_PAYLOAD {
+        return FrameEvent::Corrupt(corrupt(format!("frame length {len} exceeds {MAX_PAYLOAD}")));
+    }
+    if ver != PROTOCOL_VERSION {
+        return FrameEvent::Corrupt(corrupt(format!("protocol version {ver}")));
+    }
+    let mut payload = vec![0u8; len as usize];
+    if let Err(e) = read_exact_frame(r, &mut payload) {
+        return e;
+    }
+    if frame_checksum(len, ver, kind, &payload) != sum {
+        return FrameEvent::Corrupt(corrupt(format!("checksum mismatch on kind {kind:#04x}")));
+    }
+    FrameEvent::Frame { kind, payload }
+}
+
+/// `read_exact` with frame-aware error mapping: any failure mid-frame
+/// (including a timeout) means framing is lost.
+fn read_exact_frame(r: &mut impl Read, buf: &mut [u8]) -> std::result::Result<(), FrameEvent> {
+    match r.read_exact(buf) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == ErrorKind::UnexpectedEof || would_block(&e) => Err(
+            FrameEvent::Corrupt(corrupt(format!("frame truncated mid-read: {e}"))),
+        ),
+        Err(e) => Err(FrameEvent::Io(e)),
+    }
+}
+
+fn would_block(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+fn corrupt(message: String) -> Error {
+    Error::Corrupted {
+        what: "serve frame",
+        offset: 0,
+        message,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Requests.
+
+/// A query a client can send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// Which site served `network` at the observation covering `t`?
+    Assign {
+        /// Query time (seconds).
+        t: i64,
+        /// Network (probe block) index.
+        network: u32,
+    },
+    /// Routing similarity Φ between the observations covering `t`, `u`.
+    Similarity {
+        /// First time.
+        t: i64,
+        /// Second time.
+        u: i64,
+    },
+    /// Mode membership of the observation covering `t`.
+    Mode {
+        /// Query time.
+        t: i64,
+    },
+    /// Transition-matrix slice between the observations covering `t`, `u`.
+    Transition {
+        /// From-time.
+        t: i64,
+        /// To-time.
+        u: i64,
+    },
+    /// Per-catchment latency summary at the observation covering `t`.
+    Latency {
+        /// Query time.
+        t: i64,
+    },
+    /// Liveness and dataset shape.
+    Health,
+    /// Server counters.
+    Stats,
+}
+
+impl Request {
+    /// Frame kind plus encoded payload.
+    pub fn kind_and_payload(&self) -> (u8, Vec<u8>) {
+        let mut p = Vec::new();
+        match *self {
+            Request::Assign { t, network } => {
+                codec::put_i64(&mut p, t);
+                codec::put_u32(&mut p, network);
+                (KIND_ASSIGN, p)
+            }
+            Request::Similarity { t, u } => {
+                codec::put_i64(&mut p, t);
+                codec::put_i64(&mut p, u);
+                (KIND_SIMILARITY, p)
+            }
+            Request::Mode { t } => {
+                codec::put_i64(&mut p, t);
+                (KIND_MODE, p)
+            }
+            Request::Transition { t, u } => {
+                codec::put_i64(&mut p, t);
+                codec::put_i64(&mut p, u);
+                (KIND_TRANSITION, p)
+            }
+            Request::Latency { t } => {
+                codec::put_i64(&mut p, t);
+                (KIND_LATENCY, p)
+            }
+            Request::Health => (KIND_HEALTH, p),
+            Request::Stats => (KIND_STATS, p),
+        }
+    }
+
+    /// Encode as a complete frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let (kind, payload) = self.kind_and_payload();
+        encode_frame(kind, &payload)
+    }
+
+    /// Decode a request from a verified frame.
+    pub fn decode(kind: u8, payload: &[u8]) -> Result<Request> {
+        let mut d = Dec::new(payload, "serve request");
+        let req = match kind {
+            KIND_ASSIGN => Request::Assign {
+                t: d.i64()?,
+                network: d.u32()?,
+            },
+            KIND_SIMILARITY => Request::Similarity {
+                t: d.i64()?,
+                u: d.i64()?,
+            },
+            KIND_MODE => Request::Mode { t: d.i64()? },
+            KIND_TRANSITION => Request::Transition {
+                t: d.i64()?,
+                u: d.i64()?,
+            },
+            KIND_LATENCY => Request::Latency { t: d.i64()? },
+            KIND_HEALTH => Request::Health,
+            KIND_STATS => Request::Stats,
+            other => {
+                return Err(Error::Corrupted {
+                    what: "serve request",
+                    offset: 0,
+                    message: format!("unknown request kind {other:#04x}"),
+                })
+            }
+        };
+        d.finish()?;
+        Ok(req)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Replies.
+
+/// Per-catchment latency row in a [`Reply::Latency`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteLatency {
+    /// Catchment label (site name, `err`, `other`, or `unknown`).
+    pub label: String,
+    /// Mean RTT in milliseconds.
+    pub mean_ms: f64,
+    /// Median RTT.
+    pub p50_ms: f64,
+    /// 90th-percentile RTT.
+    pub p90_ms: f64,
+    /// Number of RTT samples behind the row.
+    pub samples: u64,
+}
+
+/// Liveness and dataset shape, from [`Reply::Health`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthInfo {
+    /// Store epoch; bumps on every hot reload.
+    pub epoch: u64,
+    /// Observations loaded.
+    pub observations: u64,
+    /// Network slots per observation.
+    pub networks: u64,
+    /// Known service sites.
+    pub sites: u64,
+    /// Discovered routing modes.
+    pub modes: u64,
+    /// Adaptive clustering threshold in effect.
+    pub threshold: f64,
+    /// Whether the journal had a torn tail at load.
+    pub torn: bool,
+    /// Whether the server is draining for shutdown.
+    pub draining: bool,
+}
+
+/// Server counters, from [`Reply::Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsInfo {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Queries answered (including errors).
+    pub queries: u64,
+    /// Error replies sent.
+    pub errors: u64,
+    /// Overloaded replies sent.
+    pub overloaded: u64,
+    /// Cache hits.
+    pub cache_hits: u64,
+    /// Cache misses.
+    pub cache_misses: u64,
+    /// Hot reloads performed.
+    pub reloads: u64,
+    /// Connections currently holding a service slot.
+    pub inflight: u64,
+}
+
+/// A server reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// Answer to [`Request::Assign`].
+    Assign {
+        /// Observation time actually answered (≤ query time).
+        time: i64,
+        /// Raw catchment code.
+        code: u16,
+        /// Human-readable catchment label.
+        label: String,
+    },
+    /// Answer to [`Request::Similarity`].
+    Similarity {
+        /// First resolved observation time.
+        t: i64,
+        /// Second resolved observation time.
+        u: i64,
+        /// Weighted similarity Φ(t, u).
+        phi: f64,
+    },
+    /// Answer to [`Request::Mode`].
+    Mode {
+        /// Resolved observation time.
+        time: i64,
+        /// Mode id.
+        mode: u64,
+        /// Clustering threshold in effect.
+        threshold: f64,
+        /// Whether the mode recurs (≥ 2 disjoint intervals).
+        recurs: bool,
+        /// Observations in the mode.
+        members: u64,
+        /// Min/mean intra-mode Φ, when the mode has ≥ 2 members.
+        intra_phi: Option<(f64, f64)>,
+    },
+    /// Answer to [`Request::Transition`].
+    Transition {
+        /// Resolved from-time.
+        from: i64,
+        /// Resolved to-time.
+        to: i64,
+        /// Site count (states = sites + 3).
+        num_sites: u64,
+        /// Row-major `states × states` mass matrix.
+        cells: Vec<f64>,
+    },
+    /// Answer to [`Request::Latency`].
+    Latency {
+        /// Resolved observation time.
+        time: i64,
+        /// Response-weighted mean over all catchments.
+        overall_mean_ms: Option<f64>,
+        /// Per-catchment rows (catchments with samples only).
+        per_site: Vec<SiteLatency>,
+    },
+    /// Answer to [`Request::Health`].
+    Health(HealthInfo),
+    /// Answer to [`Request::Stats`].
+    Stats(StatsInfo),
+    /// The query failed; `code` is one of the `ERR_*` constants.
+    Error {
+        /// Machine-readable error class.
+        code: u8,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server is saturated; the query was not processed.
+    Overloaded {
+        /// In-flight connections when the query was shed.
+        inflight: u64,
+    },
+}
+
+fn put_opt_f64(out: &mut Vec<u8>, v: Option<f64>) {
+    match v {
+        Some(x) => {
+            codec::put_bool(out, true);
+            codec::put_f64(out, x);
+        }
+        None => codec::put_bool(out, false),
+    }
+}
+
+fn read_opt_f64(d: &mut Dec) -> Result<Option<f64>> {
+    Ok(if d.bool()? { Some(d.f64()?) } else { None })
+}
+
+impl Reply {
+    /// Frame kind plus encoded payload.
+    pub fn kind_and_payload(&self) -> (u8, Vec<u8>) {
+        let mut p = Vec::new();
+        match self {
+            Reply::Assign { time, code, label } => {
+                codec::put_i64(&mut p, *time);
+                codec::put_u16(&mut p, *code);
+                codec::put_str(&mut p, label);
+                (KIND_ASSIGN_REPLY, p)
+            }
+            Reply::Similarity { t, u, phi } => {
+                codec::put_i64(&mut p, *t);
+                codec::put_i64(&mut p, *u);
+                codec::put_f64(&mut p, *phi);
+                (KIND_SIMILARITY_REPLY, p)
+            }
+            Reply::Mode {
+                time,
+                mode,
+                threshold,
+                recurs,
+                members,
+                intra_phi,
+            } => {
+                codec::put_i64(&mut p, *time);
+                codec::put_u64(&mut p, *mode);
+                codec::put_f64(&mut p, *threshold);
+                codec::put_bool(&mut p, *recurs);
+                codec::put_u64(&mut p, *members);
+                match intra_phi {
+                    Some((min, mean)) => {
+                        codec::put_bool(&mut p, true);
+                        codec::put_f64(&mut p, *min);
+                        codec::put_f64(&mut p, *mean);
+                    }
+                    None => codec::put_bool(&mut p, false),
+                }
+                (KIND_MODE_REPLY, p)
+            }
+            Reply::Transition {
+                from,
+                to,
+                num_sites,
+                cells,
+            } => {
+                codec::put_i64(&mut p, *from);
+                codec::put_i64(&mut p, *to);
+                codec::put_u64(&mut p, *num_sites);
+                codec::put_seq(&mut p, cells, |o, &c| codec::put_f64(o, c));
+                (KIND_TRANSITION_REPLY, p)
+            }
+            Reply::Latency {
+                time,
+                overall_mean_ms,
+                per_site,
+            } => {
+                codec::put_i64(&mut p, *time);
+                put_opt_f64(&mut p, *overall_mean_ms);
+                codec::put_seq(&mut p, per_site, |o, s| {
+                    codec::put_str(o, &s.label);
+                    codec::put_f64(o, s.mean_ms);
+                    codec::put_f64(o, s.p50_ms);
+                    codec::put_f64(o, s.p90_ms);
+                    codec::put_u64(o, s.samples);
+                });
+                (KIND_LATENCY_REPLY, p)
+            }
+            Reply::Health(h) => {
+                codec::put_u64(&mut p, h.epoch);
+                codec::put_u64(&mut p, h.observations);
+                codec::put_u64(&mut p, h.networks);
+                codec::put_u64(&mut p, h.sites);
+                codec::put_u64(&mut p, h.modes);
+                codec::put_f64(&mut p, h.threshold);
+                codec::put_bool(&mut p, h.torn);
+                codec::put_bool(&mut p, h.draining);
+                (KIND_HEALTH_REPLY, p)
+            }
+            Reply::Stats(s) => {
+                codec::put_u64(&mut p, s.connections);
+                codec::put_u64(&mut p, s.queries);
+                codec::put_u64(&mut p, s.errors);
+                codec::put_u64(&mut p, s.overloaded);
+                codec::put_u64(&mut p, s.cache_hits);
+                codec::put_u64(&mut p, s.cache_misses);
+                codec::put_u64(&mut p, s.reloads);
+                codec::put_u64(&mut p, s.inflight);
+                (KIND_STATS_REPLY, p)
+            }
+            Reply::Error { code, message } => {
+                p.push(*code);
+                codec::put_str(&mut p, message);
+                (KIND_ERROR, p)
+            }
+            Reply::Overloaded { inflight } => {
+                codec::put_u64(&mut p, *inflight);
+                (KIND_OVERLOADED, p)
+            }
+        }
+    }
+
+    /// Encode as a complete frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let (kind, payload) = self.kind_and_payload();
+        encode_frame(kind, &payload)
+    }
+
+    /// Decode a reply from a verified frame.
+    pub fn decode(kind: u8, payload: &[u8]) -> Result<Reply> {
+        let mut d = Dec::new(payload, "serve reply");
+        let reply = match kind {
+            KIND_ASSIGN_REPLY => Reply::Assign {
+                time: d.i64()?,
+                code: d.u16()?,
+                label: d.str()?,
+            },
+            KIND_SIMILARITY_REPLY => Reply::Similarity {
+                t: d.i64()?,
+                u: d.i64()?,
+                phi: d.f64()?,
+            },
+            KIND_MODE_REPLY => {
+                let time = d.i64()?;
+                let mode = d.u64()?;
+                let threshold = d.f64()?;
+                let recurs = d.bool()?;
+                let members = d.u64()?;
+                let intra_phi = if d.bool()? {
+                    Some((d.f64()?, d.f64()?))
+                } else {
+                    None
+                };
+                Reply::Mode {
+                    time,
+                    mode,
+                    threshold,
+                    recurs,
+                    members,
+                    intra_phi,
+                }
+            }
+            KIND_TRANSITION_REPLY => {
+                let from = d.i64()?;
+                let to = d.i64()?;
+                let num_sites = d.u64()?;
+                let n = d.seq_len(8)?;
+                let cells = (0..n).map(|_| d.f64()).collect::<Result<Vec<_>>>()?;
+                Reply::Transition {
+                    from,
+                    to,
+                    num_sites,
+                    cells,
+                }
+            }
+            KIND_LATENCY_REPLY => {
+                let time = d.i64()?;
+                let overall_mean_ms = read_opt_f64(&mut d)?;
+                let n = d.seq_len(8)?;
+                let per_site = (0..n)
+                    .map(|_| {
+                        Ok(SiteLatency {
+                            label: d.str()?,
+                            mean_ms: d.f64()?,
+                            p50_ms: d.f64()?,
+                            p90_ms: d.f64()?,
+                            samples: d.u64()?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                Reply::Latency {
+                    time,
+                    overall_mean_ms,
+                    per_site,
+                }
+            }
+            KIND_HEALTH_REPLY => Reply::Health(HealthInfo {
+                epoch: d.u64()?,
+                observations: d.u64()?,
+                networks: d.u64()?,
+                sites: d.u64()?,
+                modes: d.u64()?,
+                threshold: d.f64()?,
+                torn: d.bool()?,
+                draining: d.bool()?,
+            }),
+            KIND_STATS_REPLY => Reply::Stats(StatsInfo {
+                connections: d.u64()?,
+                queries: d.u64()?,
+                errors: d.u64()?,
+                overloaded: d.u64()?,
+                cache_hits: d.u64()?,
+                cache_misses: d.u64()?,
+                reloads: d.u64()?,
+                inflight: d.u64()?,
+            }),
+            KIND_ERROR => Reply::Error {
+                code: d.u8()?,
+                message: d.str()?,
+            },
+            KIND_OVERLOADED => Reply::Overloaded { inflight: d.u64()? },
+            other => {
+                return Err(Error::Corrupted {
+                    what: "serve reply",
+                    offset: 0,
+                    message: format!("unknown reply kind {other:#04x}"),
+                })
+            }
+        };
+        d.finish()?;
+        Ok(reply)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_through_a_reader() {
+        let req = Request::Similarity { t: 100, u: 200 };
+        let bytes = req.encode();
+        let mut cursor = std::io::Cursor::new(bytes);
+        match read_frame(&mut cursor) {
+            FrameEvent::Frame { kind, payload } => {
+                assert_eq!(Request::decode(kind, &payload).unwrap(), req);
+            }
+            other => panic!("expected frame, got {other:?}"),
+        }
+        match read_frame(&mut cursor) {
+            FrameEvent::Eof => {}
+            other => panic!("expected eof, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bit_flips_anywhere_are_detected() {
+        let frame = Request::Assign { t: 7, network: 3 }.encode();
+        for byte in 0..frame.len() {
+            for bit in 0..8 {
+                let mut bad = frame.clone();
+                bad[byte] ^= 1 << bit;
+                let mut cursor = std::io::Cursor::new(bad);
+                match read_frame(&mut cursor) {
+                    FrameEvent::Corrupt(_) => {}
+                    // A flip in the length field can also leave the
+                    // reader waiting for bytes that never arrive; a
+                    // cursor reports that as truncation (corrupt) too,
+                    // so any non-Frame outcome would be a pass — but a
+                    // verified Frame with mutated bytes is the failure
+                    // we are guarding against.
+                    FrameEvent::Frame { .. } => {
+                        panic!("bit flip at byte {byte} bit {bit} went undetected")
+                    }
+                    other => panic!("unexpected event {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_boundary_is_corrupt_or_eof() {
+        let frame = Request::Transition { t: 1, u: 2 }.encode();
+        for cut in 1..frame.len() {
+            let mut cursor = std::io::Cursor::new(frame[..cut].to_vec());
+            match read_frame(&mut cursor) {
+                FrameEvent::Corrupt(_) => {}
+                other => panic!("cut at {cut}: expected corrupt, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_length_fields_cannot_trigger_huge_allocations() {
+        let mut bad = vec![0u8; FRAME_HEADER_LEN];
+        bad[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        bad[4] = PROTOCOL_VERSION;
+        bad[5] = KIND_HEALTH;
+        let mut cursor = std::io::Cursor::new(bad);
+        match read_frame(&mut cursor) {
+            FrameEvent::Corrupt(e) => {
+                assert!(e.to_string().contains("exceeds"), "{e}");
+            }
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_reply_shape_round_trips_bit_exactly() {
+        let replies = vec![
+            Reply::Assign {
+                time: -5,
+                code: 3,
+                label: "LAX".into(),
+            },
+            Reply::Similarity {
+                t: 1,
+                u: 2,
+                phi: 0.1 + 0.2,
+            },
+            Reply::Mode {
+                time: 9,
+                mode: 2,
+                threshold: 0.25,
+                recurs: true,
+                members: 4,
+                intra_phi: Some((0.9, 0.95)),
+            },
+            Reply::Mode {
+                time: 9,
+                mode: 0,
+                threshold: 0.25,
+                recurs: false,
+                members: 1,
+                intra_phi: None,
+            },
+            Reply::Transition {
+                from: 0,
+                to: 86400,
+                num_sites: 2,
+                cells: vec![0.5, 0.25, 0.0, 0.25, 1.0],
+            },
+            Reply::Latency {
+                time: 3,
+                overall_mean_ms: Some(42.5),
+                per_site: vec![SiteLatency {
+                    label: "MIA".into(),
+                    mean_ms: 40.0,
+                    p50_ms: 39.0,
+                    p90_ms: 55.0,
+                    samples: 17,
+                }],
+            },
+            Reply::Latency {
+                time: 3,
+                overall_mean_ms: None,
+                per_site: vec![],
+            },
+            Reply::Health(HealthInfo {
+                epoch: 2,
+                observations: 10,
+                networks: 64,
+                sites: 8,
+                modes: 3,
+                threshold: 0.31,
+                torn: true,
+                draining: false,
+            }),
+            Reply::Stats(StatsInfo {
+                connections: 1,
+                queries: 2,
+                errors: 3,
+                overloaded: 4,
+                cache_hits: 5,
+                cache_misses: 6,
+                reloads: 7,
+                inflight: 8,
+            }),
+            Reply::Error {
+                code: ERR_NOT_FOUND,
+                message: "before first observation".into(),
+            },
+            Reply::Overloaded { inflight: 64 },
+        ];
+        for reply in replies {
+            let (kind, payload) = reply.kind_and_payload();
+            assert_eq!(Reply::decode(kind, &payload).unwrap(), reply);
+        }
+    }
+}

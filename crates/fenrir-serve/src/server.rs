@@ -1,0 +1,421 @@
+//! The TCP server: acceptor, worker pool, admission control, drain.
+//!
+//! One acceptor thread distributes connections round-robin over
+//! bounded per-worker channels; each worker owns its connections for
+//! their whole lifetime (no cross-worker migration, no locks on the
+//! hot path — a worker's snapshot `Arc` and its shard hint are all it
+//! needs). Overload is explicit at two levels:
+//!
+//! * **accept-time** — if every worker's queue is full, the acceptor
+//!   writes a single `Overloaded` frame straight onto the new
+//!   connection and drops it;
+//! * **service-time** — a connection must hold one of `max_inflight`
+//!   service slots for its queries to be computed. Without a slot the
+//!   worker still reads frames but answers each with `Overloaded`
+//!   immediately (bounded latency under saturation), re-trying the
+//!   slot before every query so capacity freed by a departing
+//!   connection is picked up promptly.
+//!
+//! Shutdown is graceful: the stop flag flips, the acceptor wakes and
+//! exits (closing the channels), and each worker finishes the queries
+//! already readable on its connections before hanging up — in-flight
+//! work is drained, not dropped.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use fenrir_core::error::{Error, Result};
+
+use crate::protocol::{
+    read_frame, FrameEvent, Reply, Request, StatsInfo, ERR_BAD_REQUEST, KIND_LATENCY,
+    KIND_TRANSITION,
+};
+use crate::store::ModeStore;
+
+/// How often an idle connection wakes to poll the stop flag.
+const TICK: Duration = Duration::from_millis(100);
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads.
+    pub workers: usize,
+    /// Service slots: connections whose queries are computed
+    /// concurrently. Beyond this, queries get `Overloaded` replies.
+    pub max_inflight: usize,
+    /// Per-worker pending-connection queue depth.
+    pub backlog: usize,
+    /// Idle connections are closed after this long without a frame.
+    pub read_deadline: Duration,
+    /// Poll the journal for growth this often (None disables follow).
+    pub follow: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            max_inflight: 64,
+            backlog: 64,
+            read_deadline: Duration::from_secs(30),
+            follow: None,
+        }
+    }
+}
+
+/// Monotonic counters reported by `Stats`.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Queries answered (including error replies).
+    pub queries: AtomicU64,
+    /// Error replies sent.
+    pub errors: AtomicU64,
+    /// Overloaded replies sent.
+    pub overloaded: AtomicU64,
+}
+
+/// State shared by the acceptor, workers, and reloader.
+struct Shared {
+    store: Arc<ModeStore>,
+    counters: Counters,
+    stop: AtomicBool,
+    inflight: AtomicUsize,
+    max_inflight: usize,
+    read_deadline: Duration,
+}
+
+impl Shared {
+    fn stats(&self) -> StatsInfo {
+        StatsInfo {
+            connections: self.counters.connections.load(Ordering::Relaxed),
+            queries: self.counters.queries.load(Ordering::Relaxed),
+            errors: self.counters.errors.load(Ordering::Relaxed),
+            overloaded: self.counters.overloaded.load(Ordering::Relaxed),
+            cache_hits: self.store.cache.hits(),
+            cache_misses: self.store.cache.misses(),
+            reloads: self.store.reloads(),
+            inflight: self.inflight.load(Ordering::Relaxed) as u64,
+        }
+    }
+}
+
+/// RAII service slot: released on drop.
+struct Slot<'a>(&'a Shared);
+
+impl Drop for Slot<'_> {
+    fn drop(&mut self) {
+        self.0.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+fn try_acquire(shared: &Shared) -> Option<Slot<'_>> {
+    let mut cur = shared.inflight.load(Ordering::Acquire);
+    loop {
+        if cur >= shared.max_inflight {
+            return None;
+        }
+        match shared.inflight.compare_exchange_weak(
+            cur,
+            cur + 1,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => return Some(Slot(shared)),
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// A running fenrir-serve instance.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    reloader: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spawn the worker pool, and start serving `store`.
+    pub fn start(store: Arc<ModeStore>, cfg: ServeConfig) -> Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr).map_err(|e| Error::Internal {
+            what: "serve bind",
+            message: format!("{}: {e}", cfg.addr),
+        })?;
+        let addr = listener.local_addr().map_err(|e| Error::Internal {
+            what: "serve bind",
+            message: e.to_string(),
+        })?;
+        let shared = Arc::new(Shared {
+            store: Arc::clone(&store),
+            counters: Counters::default(),
+            stop: AtomicBool::new(false),
+            inflight: AtomicUsize::new(0),
+            max_inflight: cfg.max_inflight.max(1),
+            read_deadline: cfg.read_deadline,
+        });
+
+        let workers_n = cfg.workers.max(1);
+        let mut senders: Vec<SyncSender<TcpStream>> = Vec::with_capacity(workers_n);
+        let mut workers = Vec::with_capacity(workers_n);
+        for id in 0..workers_n {
+            let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) =
+                sync_channel(cfg.backlog.max(1));
+            senders.push(tx);
+            let shared = Arc::clone(&shared);
+            workers.push(std::thread::spawn(move || worker_loop(id, rx, shared)));
+        }
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(listener, senders, shared))
+        };
+
+        let reloader = cfg.follow.map(|period| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                while !shared.stop.load(Ordering::SeqCst) {
+                    // A reload failure (e.g. the writer mid-rewrite)
+                    // is transient: keep the current snapshot and try
+                    // again next period.
+                    let _ = shared.store.maybe_reload();
+                    let mut slept = Duration::ZERO;
+                    while slept < period && !shared.stop.load(Ordering::SeqCst) {
+                        let step = TICK.min(period - slept);
+                        std::thread::sleep(step);
+                        slept += step;
+                    }
+                }
+            })
+        });
+
+        Ok(Server {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+            reloader,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, drain in-flight queries, and join every thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // `accept` has no timeout: poke the listener so the acceptor
+        // observes the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.reloader.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, senders: Vec<SyncSender<TcpStream>>, shared: Arc<Shared>) {
+    let mut next = 0usize;
+    for conn in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(conn) = conn else { continue };
+        shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+        // Round-robin with failover: a busy worker's full queue does
+        // not strand the connection if another worker has room.
+        let mut pending = Some(conn);
+        for i in 0..senders.len() {
+            let w = (next + i) % senders.len();
+            match senders[w].try_send(pending.take().expect("connection in hand")) {
+                Ok(()) => {
+                    next = (w + 1) % senders.len();
+                    break;
+                }
+                Err(TrySendError::Full(back)) | Err(TrySendError::Disconnected(back)) => {
+                    pending = Some(back);
+                }
+            }
+        }
+        if let Some(mut conn) = pending {
+            // Every queue is full: shed at accept time with an
+            // explicit reply rather than letting the connection hang.
+            shared.counters.overloaded.fetch_add(1, Ordering::Relaxed);
+            let inflight = shared.inflight.load(Ordering::Relaxed) as u64;
+            let frame = Reply::Overloaded { inflight }.encode();
+            let _ = conn.write_all(&frame);
+        }
+    }
+    // Dropping the senders closes every worker's queue; workers exit
+    // after serving what was already handed to them.
+}
+
+fn worker_loop(id: usize, rx: Receiver<TcpStream>, shared: Arc<Shared>) {
+    for conn in rx.iter() {
+        serve_connection(id, conn, &shared);
+    }
+}
+
+/// Serve one connection to completion.
+fn serve_connection(worker: usize, conn: TcpStream, shared: &Shared) {
+    let _ = conn.set_nodelay(true);
+    if conn.set_read_timeout(Some(TICK)).is_err() {
+        return;
+    }
+    let Ok(write_half) = conn.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(conn);
+    let mut writer = BufWriter::new(write_half);
+    let mut slot = try_acquire(shared);
+    let mut idle_since = Instant::now();
+    loop {
+        match read_frame(&mut reader) {
+            FrameEvent::Frame { kind, payload } => {
+                idle_since = Instant::now();
+                if slot.is_none() {
+                    // Shed mode: re-try the slot before every query so
+                    // freed capacity is used promptly.
+                    slot = try_acquire(shared);
+                }
+                let reply = match slot {
+                    Some(_) => answer(worker, kind, &payload, shared),
+                    None => {
+                        shared.counters.overloaded.fetch_add(1, Ordering::Relaxed);
+                        Reply::Overloaded {
+                            inflight: shared.inflight.load(Ordering::Relaxed) as u64,
+                        }
+                    }
+                };
+                if writer.write_all(&reply.encode()).is_err() {
+                    return;
+                }
+                // Flush once the pipelined burst is exhausted; batching
+                // replies across a burst is what makes pipelining fast.
+                if reader.buffer().is_empty() && writer.flush().is_err() {
+                    return;
+                }
+            }
+            FrameEvent::Tick => {
+                if writer.flush().is_err() {
+                    return;
+                }
+                if shared.stop.load(Ordering::SeqCst) {
+                    return; // drained: no frame was readable
+                }
+                if idle_since.elapsed() >= shared.read_deadline {
+                    return; // idle past the deadline
+                }
+            }
+            FrameEvent::Corrupt(e) => {
+                // Framing is lost; tell the peer why, then hang up.
+                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                let reply = Reply::Error {
+                    code: ERR_BAD_REQUEST,
+                    message: e.to_string(),
+                };
+                let _ = writer.write_all(&reply.encode());
+                let _ = writer.flush();
+                return;
+            }
+            FrameEvent::Eof | FrameEvent::Io(_) => return,
+        }
+    }
+}
+
+/// Compute the reply to one verified frame.
+fn answer(worker: usize, kind: u8, payload: &[u8], shared: &Shared) -> Reply {
+    shared.counters.queries.fetch_add(1, Ordering::Relaxed);
+    let req = match Request::decode(kind, payload) {
+        Ok(req) => req,
+        Err(e) => {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            return Reply::Error {
+                code: ERR_BAD_REQUEST,
+                message: e.to_string(),
+            };
+        }
+    };
+    let snap = shared.store.snapshot(worker);
+    let reply = match req {
+        Request::Assign { t, network } => snap.assign(t, network),
+        Request::Similarity { t, u } => snap.similarity(t, u),
+        Request::Mode { t } => snap.mode(t),
+        Request::Transition { t, u } => {
+            cached_pair(shared, &snap, KIND_TRANSITION, t, Some(u), |s| {
+                s.transition(t, u)
+            })
+        }
+        Request::Latency { t } => {
+            cached_pair(shared, &snap, KIND_LATENCY, t, None, |s| s.latency(t))
+        }
+        Request::Health => snap.health(shared.stop.load(Ordering::SeqCst)),
+        Request::Stats => Reply::Stats(shared.stats()),
+    };
+    if matches!(reply, Reply::Error { .. }) {
+        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    reply
+}
+
+/// Serve a derived answer through the cache, keyed by resolved indices.
+fn cached_pair(
+    shared: &Shared,
+    snap: &crate::store::Snapshot,
+    kind: u8,
+    t: i64,
+    u: Option<i64>,
+    compute: impl FnOnce(&crate::store::Snapshot) -> Reply,
+) -> Reply {
+    // Unresolvable times can't be cache keys; compute (and fail)
+    // directly.
+    let Ok(i) = snap.resolve(t) else {
+        return compute(snap);
+    };
+    let j = match u {
+        Some(u) => match snap.resolve(u) {
+            Ok(j) => j,
+            Err(_) => return compute(snap),
+        },
+        None => usize::MAX, // single-time queries share the key space
+    };
+    let key = (kind, i as u64, j as u64, snap.epoch);
+    if let Some((k, payload)) = shared.store.cache.get(&key) {
+        if let Ok(reply) = Reply::decode(k, &payload) {
+            return reply;
+        }
+    }
+    let reply = compute(snap);
+    if !matches!(reply, Reply::Error { .. }) {
+        let (k, payload) = reply.kind_and_payload();
+        shared.store.cache.put(key, k, payload);
+    }
+    reply
+}

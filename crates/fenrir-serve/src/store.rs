@@ -1,0 +1,369 @@
+//! The in-memory query store: immutable snapshots behind sharded locks.
+//!
+//! A [`Snapshot`] is everything one query needs — the routing series,
+//! the condensed similarity matrix, the dendrogram, the mode analysis
+//! at the adaptive threshold, and the journaled latency panels —
+//! loaded from a fenrir-data pipeline journal. Snapshots are immutable
+//! and shared through `Arc`s; queries clone an `Arc` (cheap) and never
+//! hold a lock while computing.
+//!
+//! Hot reload is epoch-based: when the journal file grows, one loader
+//! rebuilds a fresh snapshot off to the side and swaps it into every
+//! shard. Readers racing the swap keep the `Arc` they already cloned
+//! and finish their query against the old epoch — they never block,
+//! and they never observe a half-loaded state. The lock array is
+//! sharded purely to spread reader cache-line traffic; every shard
+//! holds the same `Arc` between reloads.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use fenrir_core::cluster::{AdaptiveThreshold, Dendrogram};
+use fenrir_core::error::{Error, Result};
+use fenrir_core::latency::{LatencyPanel, LatencySummary};
+use fenrir_core::modes::ModeAnalysis;
+use fenrir_core::series::VectorSeries;
+use fenrir_core::similarity::SimilarityMatrix;
+use fenrir_core::time::Timestamp;
+use fenrir_core::transition::TransitionMatrix;
+use fenrir_core::weight::Weights;
+use fenrir_data::journal::RecoverablePipeline;
+use parking_lot::{Mutex, RwLock};
+
+use crate::cache::QueryCache;
+use crate::protocol::{HealthInfo, Reply, SiteLatency, ERR_NOT_FOUND, ERR_UNAVAILABLE};
+
+/// Tuning knobs for [`ModeStore`].
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Reader lock shards.
+    pub shards: usize,
+    /// Adaptive-threshold policy for mode discovery.
+    pub adaptive: AdaptiveThreshold,
+    /// Answer-cache capacity (entries); 0 disables caching.
+    pub cache_capacity: usize,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            shards: 8,
+            adaptive: AdaptiveThreshold::default(),
+            cache_capacity: 4096,
+        }
+    }
+}
+
+/// One immutable, fully-derived view of the dataset.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// Store epoch this snapshot belongs to (0 for the initial load).
+    pub epoch: u64,
+    /// The routing series.
+    pub series: VectorSeries,
+    /// Condensed pairwise similarity.
+    pub matrix: SimilarityMatrix,
+    /// Agglomerative clustering of the series.
+    pub dendro: Dendrogram,
+    /// Modes at the adaptive threshold.
+    pub modes: ModeAnalysis,
+    /// Journaled latency panels, aligned with the series.
+    pub panels: Vec<Option<LatencyPanel>>,
+    /// §2.5 network weights.
+    pub weights: Weights,
+    /// Whether the journal had a torn tail at load.
+    pub torn: bool,
+}
+
+impl Snapshot {
+    /// Derive a snapshot from a loaded pipeline.
+    pub fn build(
+        pipe: &RecoverablePipeline,
+        adaptive: &AdaptiveThreshold,
+        epoch: u64,
+    ) -> Result<Self> {
+        let series = pipe.series().clone();
+        if series.is_empty() {
+            return Err(Error::EmptyInput("serve snapshot"));
+        }
+        let matrix = pipe
+            .matrix()
+            .cloned()
+            .ok_or(Error::EmptyInput("similarity matrix"))?;
+        let dendro = pipe
+            .dendrogram()
+            .cloned()
+            .ok_or(Error::EmptyInput("dendrogram"))?;
+        let choice = adaptive.choose(&dendro)?;
+        // Route the flat labels through the public cut accessor so the
+        // snapshot exercises the same path external consumers use.
+        let labels = dendro.membership_at(choice.threshold)?;
+        debug_assert_eq!(labels, choice.labels);
+        let modes = ModeAnalysis::from_choice(&matrix, &series.times(), &choice);
+        Ok(Snapshot {
+            epoch,
+            series,
+            matrix,
+            dendro,
+            modes,
+            panels: pipe.panels().to_vec(),
+            weights: pipe.config().weights.clone(),
+            torn: pipe.recovery_report().torn.is_some(),
+        })
+    }
+
+    /// Resolve a query time to the observation covering it (the latest
+    /// observation at or before `t`).
+    pub fn resolve(&self, t: i64) -> Result<usize> {
+        self.series
+            .index_at_or_before(Timestamp::from_secs(t))
+            .ok_or(Error::NoSuchTime(t))
+    }
+
+    fn not_found(t: i64) -> Reply {
+        Reply::Error {
+            code: ERR_NOT_FOUND,
+            message: format!("no observation at or before t={t}"),
+        }
+    }
+
+    /// Answer an Assign query.
+    pub fn assign(&self, t: i64, network: u32) -> Reply {
+        let Ok(i) = self.resolve(t) else {
+            return Self::not_found(t);
+        };
+        let v = self.series.get(i);
+        let n = network as usize;
+        if n >= v.len() {
+            return Reply::Error {
+                code: ERR_UNAVAILABLE,
+                message: format!("network {n} out of range for {} slots", v.len()),
+            };
+        }
+        let c = v.get(n);
+        Reply::Assign {
+            time: v.time().as_secs(),
+            code: c.code(),
+            label: c.display(self.series.sites()).to_string(),
+        }
+    }
+
+    /// Answer a Similarity query.
+    pub fn similarity(&self, t: i64, u: i64) -> Reply {
+        let (Ok(i), Ok(j)) = (self.resolve(t), self.resolve(u)) else {
+            return Self::not_found(if self.resolve(t).is_err() { t } else { u });
+        };
+        match self.matrix.get_checked(i, j) {
+            Ok(phi) => Reply::Similarity {
+                t: self.series.get(i).time().as_secs(),
+                u: self.series.get(j).time().as_secs(),
+                phi,
+            },
+            Err(e) => Reply::Error {
+                code: ERR_UNAVAILABLE,
+                message: e.to_string(),
+            },
+        }
+    }
+
+    /// Answer a Mode query.
+    pub fn mode(&self, t: i64) -> Reply {
+        let Ok(i) = self.resolve(t) else {
+            return Self::not_found(t);
+        };
+        let label = self.modes.labels[i];
+        let mode = &self.modes.modes[label];
+        Reply::Mode {
+            time: self.series.get(i).time().as_secs(),
+            mode: mode.id as u64,
+            threshold: self.modes.threshold,
+            recurs: mode.recurs(),
+            members: mode.members.len() as u64,
+            intra_phi: mode.intra_phi,
+        }
+    }
+
+    /// Answer a Transition query.
+    pub fn transition(&self, t: i64, u: i64) -> Reply {
+        let (Ok(i), Ok(j)) = (self.resolve(t), self.resolve(u)) else {
+            return Self::not_found(if self.resolve(t).is_err() { t } else { u });
+        };
+        let num_sites = self.series.sites().len();
+        match TransitionMatrix::compute_weighted(
+            self.series.get(i),
+            self.series.get(j),
+            num_sites,
+            &self.weights,
+        ) {
+            Ok(m) => Reply::Transition {
+                from: self.series.get(i).time().as_secs(),
+                to: self.series.get(j).time().as_secs(),
+                num_sites: num_sites as u64,
+                cells: m.cells().to_vec(),
+            },
+            Err(e) => Reply::Error {
+                code: ERR_UNAVAILABLE,
+                message: e.to_string(),
+            },
+        }
+    }
+
+    /// Answer a Latency query.
+    pub fn latency(&self, t: i64) -> Reply {
+        let Ok(i) = self.resolve(t) else {
+            return Self::not_found(t);
+        };
+        let v = self.series.get(i);
+        let Some(panel) = &self.panels[i] else {
+            return Reply::Error {
+                code: ERR_UNAVAILABLE,
+                message: format!(
+                    "no latency panel journaled for observation at t={}",
+                    v.time().as_secs()
+                ),
+            };
+        };
+        let num_sites = self.series.sites().len();
+        match LatencySummary::compute(v, panel, &self.weights, num_sites) {
+            Ok(s) => {
+                let per_site = s
+                    .per_site
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(id, c)| {
+                        Some(SiteLatency {
+                            label: self
+                                .series
+                                .sites()
+                                .name(fenrir_core::ids::SiteId(id as u16))
+                                .to_string(),
+                            mean_ms: c.mean_ms?,
+                            p50_ms: c.p50_ms?,
+                            p90_ms: c.p90_ms?,
+                            samples: c.samples as u64,
+                        })
+                    })
+                    .collect();
+                Reply::Latency {
+                    time: s.time.as_secs(),
+                    overall_mean_ms: s.overall_mean_ms,
+                    per_site,
+                }
+            }
+            Err(e) => Reply::Error {
+                code: ERR_UNAVAILABLE,
+                message: e.to_string(),
+            },
+        }
+    }
+
+    /// Answer a Health query (`draining` is filled in by the server).
+    pub fn health(&self, draining: bool) -> Reply {
+        Reply::Health(HealthInfo {
+            epoch: self.epoch,
+            observations: self.series.len() as u64,
+            networks: self.series.networks() as u64,
+            sites: self.series.sites().len() as u64,
+            modes: self.modes.modes.len() as u64,
+            threshold: self.modes.threshold,
+            torn: self.torn,
+            draining,
+        })
+    }
+}
+
+/// Sharded, hot-reloadable snapshot store.
+pub struct ModeStore {
+    path: Option<PathBuf>,
+    shards: Vec<RwLock<Arc<Snapshot>>>,
+    epoch: AtomicU64,
+    loaded_len: AtomicU64,
+    reloads: AtomicU64,
+    /// Derived-answer cache, epoch-keyed.
+    pub cache: QueryCache,
+    adaptive: AdaptiveThreshold,
+    reload_lock: Mutex<()>,
+}
+
+impl ModeStore {
+    /// Open a journal file read-only and build the initial snapshot.
+    pub fn open(path: &Path, opts: StoreOptions) -> Result<Self> {
+        let pipe = RecoverablePipeline::open_read_only(path)?;
+        let len = std::fs::metadata(path)
+            .map(|m| m.len())
+            .map_err(|e| Error::Internal {
+                what: "journal metadata",
+                message: format!("{}: {e}", path.display()),
+            })?;
+        let mut store = Self::from_pipeline(&pipe, opts)?;
+        store.path = Some(path.to_path_buf());
+        store.loaded_len.store(len, Ordering::SeqCst);
+        Ok(store)
+    }
+
+    /// Build a store from an already-loaded pipeline (no reload support).
+    pub fn from_pipeline(pipe: &RecoverablePipeline, opts: StoreOptions) -> Result<Self> {
+        let snap = Arc::new(Snapshot::build(pipe, &opts.adaptive, 0)?);
+        let shards = opts.shards.max(1);
+        Ok(ModeStore {
+            path: None,
+            shards: (0..shards)
+                .map(|_| RwLock::new(Arc::clone(&snap)))
+                .collect(),
+            epoch: AtomicU64::new(0),
+            loaded_len: AtomicU64::new(0),
+            reloads: AtomicU64::new(0),
+            cache: QueryCache::new(opts.cache_capacity),
+            adaptive: opts.adaptive,
+            reload_lock: Mutex::new(()),
+        })
+    }
+
+    /// The current snapshot; `hint` (e.g. a worker id) spreads readers
+    /// across lock shards.
+    pub fn snapshot(&self, hint: usize) -> Arc<Snapshot> {
+        Arc::clone(&self.shards[hint % self.shards.len()].read())
+    }
+
+    /// Current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Hot reloads performed.
+    pub fn reloads(&self) -> u64 {
+        self.reloads.load(Ordering::SeqCst)
+    }
+
+    /// If the journal file has grown since the last load, rebuild and
+    /// swap in a fresh snapshot. Returns whether a reload happened.
+    ///
+    /// Cheap when nothing changed: one `stat` call. Concurrent callers
+    /// serialise on an internal lock; queries never wait on it.
+    pub fn maybe_reload(&self) -> Result<bool> {
+        let Some(path) = &self.path else {
+            return Ok(false);
+        };
+        let _guard = self.reload_lock.lock();
+        let len = std::fs::metadata(path)
+            .map(|m| m.len())
+            .map_err(|e| Error::Internal {
+                what: "journal metadata",
+                message: format!("{}: {e}", path.display()),
+            })?;
+        if len == self.loaded_len.load(Ordering::SeqCst) {
+            return Ok(false);
+        }
+        let pipe = RecoverablePipeline::open_read_only(path)?;
+        let epoch = self.epoch.load(Ordering::SeqCst) + 1;
+        let snap = Arc::new(Snapshot::build(&pipe, &self.adaptive, epoch)?);
+        for shard in &self.shards {
+            *shard.write() = Arc::clone(&snap);
+        }
+        self.epoch.store(epoch, Ordering::SeqCst);
+        self.loaded_len.store(len, Ordering::SeqCst);
+        self.reloads.fetch_add(1, Ordering::SeqCst);
+        Ok(true)
+    }
+}

@@ -1,0 +1,363 @@
+//! Property tests for the serve protocol: encode→decode is the identity
+//! for arbitrary well-formed requests and replies, and the frame reader
+//! never panics — and never silently accepts — truncated or bit-flipped
+//! frames of any kind.
+//!
+//! The `proptest!` blocks exercise randomized inputs under the real
+//! proptest harness; the deterministic `#[test]` functions below them
+//! cover the same properties exhaustively over every frame kind, every
+//! truncation point, and every bit position, so the guarantees hold
+//! even where the offline `proptest` stand-in expands to nothing.
+
+// The offline `proptest` stand-in expands `proptest! { .. }` to nothing,
+// which makes the strategies and their imports look dead to the compiler
+// even though the real proptest harness uses them all.
+#![allow(unused_imports, dead_code)]
+
+use fenrir_serve::protocol::{
+    read_frame, FrameEvent, HealthInfo, Reply, Request, SiteLatency, StatsInfo, FRAME_HEADER_LEN,
+    MAX_PAYLOAD, PROTOCOL_VERSION,
+};
+use proptest::prelude::*;
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    any::<f64>().prop_filter("finite", |v| v.is_finite())
+}
+
+fn text(pattern: &str) -> impl Strategy<Value = String> {
+    proptest::string::string_regex(pattern).expect("valid regex")
+}
+
+fn opt_f64() -> impl Strategy<Value = Option<f64>> {
+    (any::<bool>(), finite_f64()).prop_map(|(some, v)| some.then_some(v))
+}
+
+fn request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (any::<i64>(), any::<u32>()).prop_map(|(t, network)| Request::Assign { t, network }),
+        (any::<i64>(), any::<i64>()).prop_map(|(t, u)| Request::Similarity { t, u }),
+        any::<i64>().prop_map(|t| Request::Mode { t }),
+        (any::<i64>(), any::<i64>()).prop_map(|(t, u)| Request::Transition { t, u }),
+        any::<i64>().prop_map(|t| Request::Latency { t }),
+        Just(Request::Health),
+        Just(Request::Stats),
+    ]
+}
+
+fn site_latency() -> impl Strategy<Value = SiteLatency> {
+    (
+        text("[A-Z]{3}"),
+        finite_f64(),
+        finite_f64(),
+        finite_f64(),
+        any::<u64>(),
+    )
+        .prop_map(|(label, mean_ms, p50_ms, p90_ms, samples)| SiteLatency {
+            label,
+            mean_ms,
+            p50_ms,
+            p90_ms,
+            samples,
+        })
+}
+
+fn reply() -> impl Strategy<Value = Reply> {
+    prop_oneof![
+        (any::<i64>(), any::<u16>(), text("[a-z]{1,8}"))
+            .prop_map(|(time, code, label)| Reply::Assign { time, code, label }),
+        (any::<i64>(), any::<i64>(), finite_f64()).prop_map(|(t, u, phi)| Reply::Similarity {
+            t,
+            u,
+            phi
+        }),
+        (
+            any::<i64>(),
+            any::<u64>(),
+            finite_f64(),
+            any::<bool>(),
+            any::<u64>(),
+            (any::<bool>(), finite_f64(), finite_f64())
+                .prop_map(|(some, a, b)| some.then_some((a, b))),
+        )
+            .prop_map(|(time, mode, threshold, recurs, members, intra_phi)| {
+                Reply::Mode {
+                    time,
+                    mode,
+                    threshold,
+                    recurs,
+                    members,
+                    intra_phi,
+                }
+            }),
+        (
+            any::<i64>(),
+            any::<i64>(),
+            any::<u64>(),
+            prop::collection::vec(finite_f64(), 0..25),
+        )
+            .prop_map(|(from, to, num_sites, cells)| Reply::Transition {
+                from,
+                to,
+                num_sites,
+                cells,
+            }),
+        (
+            any::<i64>(),
+            opt_f64(),
+            prop::collection::vec(site_latency(), 0..6),
+        )
+            .prop_map(|(time, overall_mean_ms, per_site)| Reply::Latency {
+                time,
+                overall_mean_ms,
+                per_site,
+            }),
+        (any::<u8>(), text("[ -~]{0,40}"))
+            .prop_map(|(code, message)| Reply::Error { code, message }),
+        any::<u64>().prop_map(|inflight| Reply::Overloaded { inflight }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn requests_round_trip(req in request()) {
+        let bytes = req.encode();
+        let mut cursor = std::io::Cursor::new(bytes);
+        match read_frame(&mut cursor) {
+            FrameEvent::Frame { kind, payload } => {
+                prop_assert_eq!(Request::decode(kind, &payload).unwrap(), req);
+            }
+            other => prop_assert!(false, "expected frame, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn replies_round_trip(rep in reply()) {
+        let (kind, payload) = rep.kind_and_payload();
+        prop_assert_eq!(&Reply::decode(kind, &payload).unwrap(), &rep);
+        // And through the framed reader too.
+        let bytes = rep.encode();
+        let mut cursor = std::io::Cursor::new(bytes);
+        match read_frame(&mut cursor) {
+            FrameEvent::Frame { kind, payload } => {
+                prop_assert_eq!(Reply::decode(kind, &payload).unwrap(), rep);
+            }
+            other => prop_assert!(false, "expected frame, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_reader(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let mut cursor = std::io::Cursor::new(bytes);
+        // Any outcome is fine; panicking or looping is not.
+        let _ = read_frame(&mut cursor);
+    }
+
+    #[test]
+    fn bit_flips_never_yield_a_verified_frame(
+        rep in reply(),
+        byte_frac in 0.0f64..1.0,
+        bit in 0usize..8,
+    ) {
+        let mut frame = rep.encode();
+        let byte = ((frame.len() as f64 * byte_frac) as usize).min(frame.len() - 1);
+        frame[byte] ^= 1 << bit;
+        let mut cursor = std::io::Cursor::new(frame);
+        match read_frame(&mut cursor) {
+            FrameEvent::Frame { .. } => prop_assert!(false, "flip at {} went undetected", byte),
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic mirrors: exhaustive over every frame kind, truncation
+// point, and bit position. These run with or without the real proptest
+// harness.
+
+/// One representative of every request kind.
+fn all_requests() -> Vec<Request> {
+    vec![
+        Request::Assign {
+            t: -86_400,
+            network: 7,
+        },
+        Request::Similarity { t: 0, u: i64::MAX },
+        Request::Mode { t: 12_345 },
+        Request::Transition { t: i64::MIN, u: -1 },
+        Request::Latency { t: 99 },
+        Request::Health,
+        Request::Stats,
+    ]
+}
+
+/// One representative of every reply kind (both `Option` arms where a
+/// shape has them).
+fn all_replies() -> Vec<Reply> {
+    vec![
+        Reply::Assign {
+            time: 86_400,
+            code: u16::MAX,
+            label: "unknown".into(),
+        },
+        Reply::Similarity {
+            t: 1,
+            u: 2,
+            phi: 0.1 + 0.2,
+        },
+        Reply::Mode {
+            time: 3,
+            mode: 1,
+            threshold: 0.31,
+            recurs: true,
+            members: 9,
+            intra_phi: Some((0.875, 0.9375)),
+        },
+        Reply::Mode {
+            time: 3,
+            mode: 0,
+            threshold: 1.0,
+            recurs: false,
+            members: 1,
+            intra_phi: None,
+        },
+        Reply::Transition {
+            from: 0,
+            to: 86_400,
+            num_sites: 2,
+            cells: vec![0.5; 25],
+        },
+        Reply::Latency {
+            time: 5,
+            overall_mean_ms: Some(33.25),
+            per_site: vec![SiteLatency {
+                label: "LAX".into(),
+                mean_ms: 31.0,
+                p50_ms: 30.5,
+                p90_ms: 44.0,
+                samples: 12,
+            }],
+        },
+        Reply::Latency {
+            time: 5,
+            overall_mean_ms: None,
+            per_site: vec![],
+        },
+        Reply::Health(HealthInfo {
+            epoch: 1,
+            observations: 730,
+            networks: 4096,
+            sites: 8,
+            modes: 4,
+            threshold: 0.27,
+            torn: false,
+            draining: true,
+        }),
+        Reply::Stats(StatsInfo {
+            connections: 10,
+            queries: 100_000,
+            errors: 3,
+            overloaded: 14,
+            cache_hits: 90_000,
+            cache_misses: 10_000,
+            reloads: 2,
+            inflight: 6,
+        }),
+        Reply::Error {
+            code: 2,
+            message: "no observation at or before t=-1".into(),
+        },
+        Reply::Overloaded { inflight: 64 },
+    ]
+}
+
+#[test]
+fn every_request_kind_round_trips_through_the_reader() {
+    for req in all_requests() {
+        let mut cursor = std::io::Cursor::new(req.encode());
+        match read_frame(&mut cursor) {
+            FrameEvent::Frame { kind, payload } => {
+                assert_eq!(Request::decode(kind, &payload).unwrap(), req);
+            }
+            other => panic!("{req:?}: expected frame, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn every_reply_kind_round_trips_through_the_reader() {
+    for rep in all_replies() {
+        let mut cursor = std::io::Cursor::new(rep.encode());
+        match read_frame(&mut cursor) {
+            FrameEvent::Frame { kind, payload } => {
+                assert_eq!(Reply::decode(kind, &payload).unwrap(), rep);
+            }
+            other => panic!("{rep:?}: expected frame, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn truncation_at_every_byte_of_every_frame_kind_is_never_accepted() {
+    let frames: Vec<Vec<u8>> = all_requests()
+        .iter()
+        .map(Request::encode)
+        .chain(all_replies().iter().map(Reply::encode))
+        .collect();
+    for frame in frames {
+        for cut in 0..frame.len() {
+            let mut cursor = std::io::Cursor::new(frame[..cut].to_vec());
+            match read_frame(&mut cursor) {
+                FrameEvent::Eof => assert_eq!(cut, 0, "eof only at the empty prefix"),
+                FrameEvent::Corrupt(_) => assert!(cut > 0),
+                other => panic!("cut at {cut}: accepted as {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn single_bit_flips_in_every_position_of_every_frame_kind_are_detected() {
+    let frames: Vec<Vec<u8>> = all_requests()
+        .iter()
+        .map(Request::encode)
+        .chain(all_replies().iter().map(Reply::encode))
+        .collect();
+    for frame in frames {
+        for byte in 0..frame.len() {
+            for bit in 0..8 {
+                let mut bad = frame.clone();
+                bad[byte] ^= 1 << bit;
+                let mut cursor = std::io::Cursor::new(bad);
+                match read_frame(&mut cursor) {
+                    // Corrupt (checksum/version/length) is the expected
+                    // outcome everywhere: a flipped length field that
+                    // shrinks the frame still changes the checksum
+                    // input, and one that grows it truncates.
+                    FrameEvent::Corrupt(_) => {}
+                    FrameEvent::Frame { .. } => {
+                        panic!("flip at byte {byte} bit {bit} went undetected")
+                    }
+                    other => panic!("flip at byte {byte} bit {bit}: {other:?}"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn decoders_reject_trailing_bytes_and_unknown_kinds() {
+    let (kind, mut payload) = Request::Mode { t: 5 }.kind_and_payload();
+    payload.push(0);
+    assert!(Request::decode(kind, &payload).is_err());
+    assert!(Request::decode(0x7F, &[]).is_err());
+    assert!(Reply::decode(0x7F, &[]).is_err());
+
+    // A reply payload with a hostile sequence length must fail fast
+    // (bounded allocation), not OOM.
+    let mut p = Vec::new();
+    fenrir_data::journal::codec::put_i64(&mut p, 0);
+    fenrir_data::journal::codec::put_i64(&mut p, 0);
+    fenrir_data::journal::codec::put_u64(&mut p, 2);
+    fenrir_data::journal::codec::put_u64(&mut p, u64::MAX / 2); // cells length
+    assert!(Reply::decode(0x84, &p).is_err());
+}

@@ -15,6 +15,8 @@
 //!   traceroute, EDNS-CS, and latency measurement simulators.
 //! * [`data`] (`fenrir-data`) — dataset IO and the paper's case-study
 //!   scenario builders.
+//! * [`serve`] (`fenrir-serve`) — sharded, cache-aware TCP query server
+//!   over a pipeline journal (catchments, modes, similarity, latency).
 //!
 //! Start with `examples/quickstart.rs`, which walks the whole Table 1
 //! pipeline on a small anycast deployment.
@@ -23,4 +25,5 @@ pub use fenrir_core as core;
 pub use fenrir_data as data;
 pub use fenrir_measure as measure;
 pub use fenrir_netsim as netsim;
+pub use fenrir_serve as serve;
 pub use fenrir_wire as wire;
