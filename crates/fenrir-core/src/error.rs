@@ -113,6 +113,18 @@ pub enum Error {
         /// Human-readable description of the failure.
         message: String,
     },
+    /// A retrying caller (e.g. a resilient serving client) exhausted its
+    /// attempt budget: every try against every candidate backend failed.
+    /// Carries the last underlying failure so operators can see *why*
+    /// the final attempt died, not just that retries ran out.
+    Exhausted {
+        /// Which operation ran out of attempts (e.g. "serve request").
+        what: &'static str,
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// Human-readable description of the last failure.
+        message: String,
+    },
 }
 
 impl From<fenrir_wire::WireError> for Error {
@@ -167,6 +179,14 @@ impl fmt::Display for Error {
             Error::Internal { what, message } => {
                 write!(f, "internal failure in {what}: {message}")
             }
+            Error::Exhausted {
+                what,
+                attempts,
+                message,
+            } => write!(
+                f,
+                "{what} failed after {attempts} attempts; last error: {message}"
+            ),
         }
     }
 }

@@ -1,0 +1,213 @@
+//! Per-replica circuit breakers.
+//!
+//! A breaker sits between the resilient client and one replica and
+//! keeps a doomed endpoint from eating the retry budget: after
+//! `failure_threshold` consecutive failures the breaker **opens** and
+//! the replica is skipped outright; once `cooldown` has passed it goes
+//! **half-open** and admits a single probe at a time — a probe success
+//! (or `probe_successes` of them) closes the breaker, a probe failure
+//! re-opens it for another cooldown. This is the classic three-state
+//! machine from the graceful-degradation playbook, kept deliberately
+//! deterministic: every transition is driven by an explicit `now`
+//! passed in by the caller, so tests never sleep.
+//!
+//! The breaker itself is not thread-safe; the resilient client wraps
+//! each one in a mutex and holds it only for the microseconds a
+//! transition takes.
+
+use std::time::{Duration, Instant};
+
+/// Where a breaker currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: every request is admitted.
+    Closed,
+    /// Tripped: requests are refused until the cooldown passes.
+    Open,
+    /// Probing: one request at a time is admitted to test the replica.
+    HalfOpen,
+}
+
+/// Breaker tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long an open breaker refuses before probing.
+    pub cooldown: Duration,
+    /// Probe successes required to close from half-open.
+    pub probe_successes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(500),
+            probe_successes: 1,
+        }
+    }
+}
+
+/// The closed / open / half-open state machine for one replica.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    probe_successes: u32,
+    probe_inflight: bool,
+    opened_at: Option<Instant>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given thresholds (clamped to sane
+    /// minimums: at least one failure to trip, one success to close).
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg: BreakerConfig {
+                failure_threshold: cfg.failure_threshold.max(1),
+                probe_successes: cfg.probe_successes.max(1),
+                ..cfg
+            },
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            probe_successes: 0,
+            probe_inflight: false,
+            opened_at: None,
+        }
+    }
+
+    /// Current state, advancing open → half-open if the cooldown has
+    /// passed by `now`.
+    pub fn state(&mut self, now: Instant) -> BreakerState {
+        if self.state == BreakerState::Open {
+            if let Some(at) = self.opened_at {
+                if now.duration_since(at) >= self.cfg.cooldown {
+                    self.state = BreakerState::HalfOpen;
+                    self.probe_successes = 0;
+                    self.probe_inflight = false;
+                }
+            }
+        }
+        self.state
+    }
+
+    /// May a request be sent to this replica right now? A half-open
+    /// breaker admits a single in-flight probe; further callers are
+    /// refused until the probe reports back.
+    pub fn admit(&mut self, now: Instant) -> bool {
+        match self.state(now) {
+            BreakerState::Closed => true,
+            BreakerState::Open => false,
+            BreakerState::HalfOpen => {
+                if self.probe_inflight {
+                    false
+                } else {
+                    self.probe_inflight = true;
+                    true
+                }
+            }
+        }
+    }
+
+    /// The admitted request succeeded.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        match self.state {
+            BreakerState::Closed | BreakerState::Open => {}
+            BreakerState::HalfOpen => {
+                self.probe_inflight = false;
+                self.probe_successes += 1;
+                if self.probe_successes >= self.cfg.probe_successes {
+                    self.state = BreakerState::Closed;
+                    self.opened_at = None;
+                }
+            }
+        }
+    }
+
+    /// The admitted request failed at `now`.
+    pub fn record_failure(&mut self, now: Instant) {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.cfg.failure_threshold {
+                    self.trip(now);
+                }
+            }
+            // A half-open probe failing re-opens for a fresh cooldown.
+            BreakerState::HalfOpen => self.trip(now),
+            BreakerState::Open => {}
+        }
+    }
+
+    fn trip(&mut self, now: Instant) {
+        self.state = BreakerState::Open;
+        self.opened_at = Some(now);
+        self.consecutive_failures = 0;
+        self.probe_successes = 0;
+        self.probe_inflight = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_secs(1),
+            probe_successes: 2,
+        }
+    }
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures_only() {
+        let mut b = CircuitBreaker::new(cfg());
+        let t0 = Instant::now();
+        b.record_failure(t0);
+        b.record_failure(t0);
+        b.record_success(); // resets the streak
+        b.record_failure(t0);
+        b.record_failure(t0);
+        assert_eq!(b.state(t0), BreakerState::Closed);
+        b.record_failure(t0);
+        assert_eq!(b.state(t0), BreakerState::Open);
+        assert!(!b.admit(t0));
+    }
+
+    #[test]
+    fn cooldown_admits_a_single_probe_then_closes_on_success() {
+        let mut b = CircuitBreaker::new(cfg());
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.record_failure(t0);
+        }
+        assert!(!b.admit(t0 + Duration::from_millis(999)));
+        let later = t0 + Duration::from_secs(1);
+        assert!(b.admit(later), "cooldown passed: probe admitted");
+        assert!(!b.admit(later), "second concurrent probe refused");
+        b.record_success();
+        assert_eq!(b.state(later), BreakerState::HalfOpen, "needs 2 probes");
+        assert!(b.admit(later));
+        b.record_success();
+        assert_eq!(b.state(later), BreakerState::Closed);
+    }
+
+    #[test]
+    fn a_failed_probe_reopens_for_a_fresh_cooldown() {
+        let mut b = CircuitBreaker::new(cfg());
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.record_failure(t0);
+        }
+        let probe_at = t0 + Duration::from_secs(1);
+        assert!(b.admit(probe_at));
+        b.record_failure(probe_at);
+        assert_eq!(b.state(probe_at), BreakerState::Open);
+        assert!(!b.admit(probe_at + Duration::from_millis(500)));
+        assert!(b.admit(probe_at + Duration::from_secs(1)));
+    }
+}

@@ -1,0 +1,405 @@
+//! TCP-level chaos: a fault-injecting proxy between client and server.
+//!
+//! [`FaultyListener`] accepts connections on its own ephemeral port and
+//! proxies each to an upstream server, injecting wire-level pathology
+//! according to a [`ChaosPlan`] — refused connections, abrupt resets
+//! mid-reply, stalls long enough to trip read deadlines, single-bit
+//! flips (which the frame checksum must catch), and byte-by-byte
+//! dribbling (which the frame reader must reassemble). This is the
+//! serving-layer sibling of `fenrir-measure`'s `FaultPlan`: the same
+//! philosophy — every fault drawn from a seed-deterministic
+//! `ChaCha8Rng`, so a failing chaos test replays exactly — applied one
+//! layer down, to the TCP stream itself rather than to simulated
+//! measurements.
+//!
+//! Faults are injected only in the **reply** direction (server →
+//! client). Requests pass through verbatim, so the server never sees
+//! hostile input the tests didn't send on purpose; everything the
+//! chaos proxy breaks is the *client's* problem to survive, which is
+//! exactly the contract under test: a resilient client must return
+//! either an answer bit-identical to the direct computation or a typed
+//! error — never a hang, never silent corruption.
+//!
+//! Determinism: each accepted connection gets its own rng derived from
+//! `plan.seed` and the accept ordinal, so fault placement depends only
+//! on the plan and the order connections arrive — not on wall-clock
+//! time or thread interleaving within a connection.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use fenrir_core::error::{Error, Result};
+use parking_lot::Mutex;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// How often proxy threads wake to poll the stop flag.
+const TICK: Duration = Duration::from_millis(20);
+
+/// Which faults the proxy injects, and how often.
+///
+/// All probabilities default to zero: `ChaosPlan::new(seed)` is a
+/// transparent proxy, and each fault is opted into via its builder
+/// method. Connection-level faults (`refuse`) are drawn once per
+/// accept; stream-level faults (`reset`, `stall`, `flip`, `dribble`)
+/// are drawn once per reply-direction chunk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosPlan {
+    /// Seed for every random draw the proxy makes.
+    pub seed: u64,
+    /// Probability an accepted connection is closed immediately,
+    /// before any byte flows.
+    pub refuse_prob: f64,
+    /// Per-chunk probability the connection is cut abruptly after
+    /// forwarding a random prefix of the chunk.
+    pub reset_prob: f64,
+    /// Per-chunk probability the proxy stalls for [`ChaosPlan::stall`]
+    /// mid-chunk (after forwarding the first half).
+    pub stall_prob: f64,
+    /// How long a stall lasts.
+    pub stall: Duration,
+    /// Per-chunk probability a single random bit is flipped.
+    pub flip_prob: f64,
+    /// Per-chunk probability the chunk is forwarded one byte per
+    /// `write(2)`.
+    pub dribble_prob: f64,
+}
+
+impl ChaosPlan {
+    /// A transparent plan: no faults until builder methods enable them.
+    pub fn new(seed: u64) -> Self {
+        ChaosPlan {
+            seed,
+            refuse_prob: 0.0,
+            reset_prob: 0.0,
+            stall_prob: 0.0,
+            stall: Duration::from_millis(200),
+            flip_prob: 0.0,
+            dribble_prob: 0.0,
+        }
+    }
+
+    /// Refuse this fraction of connections at accept.
+    pub fn refuse(mut self, prob: f64) -> Self {
+        self.refuse_prob = prob;
+        self
+    }
+
+    /// Cut this fraction of reply chunks mid-write.
+    pub fn reset(mut self, prob: f64) -> Self {
+        self.reset_prob = prob;
+        self
+    }
+
+    /// Stall this fraction of reply chunks for `dur`.
+    pub fn stall(mut self, prob: f64, dur: Duration) -> Self {
+        self.stall_prob = prob;
+        self.stall = dur;
+        self
+    }
+
+    /// Flip one bit in this fraction of reply chunks.
+    pub fn flip(mut self, prob: f64) -> Self {
+        self.flip_prob = prob;
+        self
+    }
+
+    /// Dribble this fraction of reply chunks byte-by-byte.
+    pub fn dribble(mut self, prob: f64) -> Self {
+        self.dribble_prob = prob;
+        self
+    }
+
+    /// Reject probabilities outside `[0, 1]`.
+    pub fn validate(&self) -> Result<()> {
+        for (name, p) in [
+            ("refuse_prob", self.refuse_prob),
+            ("reset_prob", self.reset_prob),
+            ("stall_prob", self.stall_prob),
+            ("flip_prob", self.flip_prob),
+            ("dribble_prob", self.dribble_prob),
+        ] {
+            if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+                return Err(Error::Config {
+                    name,
+                    message: format!("probability {p} outside [0, 1]"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The rng for the `n`-th accepted connection: derived from the
+    /// plan seed and the accept ordinal only.
+    fn conn_rng(&self, n: u64) -> ChaCha8Rng {
+        // splitmix-style stride keeps per-connection streams disjoint.
+        ChaCha8Rng::seed_from_u64(self.seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+/// State shared by the acceptor and every proxied connection.
+struct ProxyShared {
+    plan: ChaosPlan,
+    upstream: SocketAddr,
+    stop: AtomicBool,
+    accepted: AtomicU64,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A fault-injecting TCP proxy in front of one upstream server.
+pub struct FaultyListener {
+    addr: SocketAddr,
+    shared: Arc<ProxyShared>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl FaultyListener {
+    /// Bind an ephemeral port and start proxying to `upstream` with
+    /// `plan`'s faults.
+    pub fn start(upstream: SocketAddr, plan: ChaosPlan) -> Result<FaultyListener> {
+        plan.validate()?;
+        let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| Error::Internal {
+            what: "chaos bind",
+            message: e.to_string(),
+        })?;
+        let addr = listener.local_addr().map_err(|e| Error::Internal {
+            what: "chaos bind",
+            message: e.to_string(),
+        })?;
+        let shared = Arc::new(ProxyShared {
+            plan,
+            upstream,
+            stop: AtomicBool::new(false),
+            accepted: AtomicU64::new(0),
+            conns: Mutex::new(Vec::new()),
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                for conn in listener.incoming() {
+                    if shared.stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(conn) = conn else { continue };
+                    let n = shared.accepted.fetch_add(1, Ordering::SeqCst);
+                    let mut rng = shared.plan.conn_rng(n);
+                    if rng.gen::<f64>() < shared.plan.refuse_prob {
+                        drop(conn); // refused: close before any byte
+                        continue;
+                    }
+                    let inner = Arc::clone(&shared);
+                    let handle = std::thread::spawn(move || proxy_connection(conn, rng, inner));
+                    shared.conns.lock().push(handle);
+                }
+                let handles = std::mem::take(&mut *shared.conns.lock());
+                for h in handles {
+                    let _ = h.join();
+                }
+            })
+        };
+        Ok(FaultyListener {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The proxy's own address — point clients here.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections accepted so far (refused ones included).
+    pub fn accepted(&self) -> u64 {
+        self.shared.accepted.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting, sever every proxied connection, join threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept so the stop flag is observed.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for FaultyListener {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Proxy one connection until either side hangs up, a fault cuts it,
+/// or the listener shuts down.
+fn proxy_connection(client: TcpStream, rng: ChaCha8Rng, shared: Arc<ProxyShared>) {
+    let Ok(server) = TcpStream::connect_timeout(&shared.upstream, Duration::from_secs(1)) else {
+        return; // upstream gone: the client sees a clean close
+    };
+    let _ = client.set_nodelay(true);
+    let _ = server.set_nodelay(true);
+    // Ticked reads so both pumps poll the stop flag.
+    if client.set_read_timeout(Some(TICK)).is_err() || server.set_read_timeout(Some(TICK)).is_err()
+    {
+        return;
+    }
+    let (Ok(client_r), Ok(server_w)) = (client.try_clone(), server.try_clone()) else {
+        return;
+    };
+    // Request direction: verbatim forwarding, no faults.
+    let forward = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || pump_verbatim(client_r, server_w, &shared))
+    };
+    // Reply direction: faults applied here.
+    pump_faulty(server, client, rng, &shared);
+    let _ = forward.join();
+}
+
+/// Forward bytes unchanged until EOF or shutdown.
+fn pump_verbatim(mut from: TcpStream, mut to: TcpStream, shared: &ProxyShared) {
+    let mut buf = [0u8; 4096];
+    loop {
+        match from.read(&mut buf) {
+            Ok(0) => {
+                let _ = to.shutdown(Shutdown::Write);
+                return;
+            }
+            Ok(n) => {
+                if to.write_all(&buf[..n]).is_err() {
+                    return;
+                }
+            }
+            Err(e) if would_block(&e) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Forward reply bytes with the plan's chunk-level faults applied.
+fn pump_faulty(mut from: TcpStream, mut to: TcpStream, mut rng: ChaCha8Rng, shared: &ProxyShared) {
+    let plan = shared.plan;
+    let mut buf = [0u8; 4096];
+    loop {
+        match from.read(&mut buf) {
+            Ok(0) => {
+                let _ = to.shutdown(Shutdown::Write);
+                return;
+            }
+            Ok(n) => {
+                let chunk = &mut buf[..n];
+                if rng.gen::<f64>() < plan.reset_prob {
+                    // Abrupt cut after a random prefix: the client sees
+                    // a frame truncated mid-read.
+                    let keep = rng.gen_range(0..n);
+                    let _ = to.write_all(&chunk[..keep]);
+                    let _ = to.shutdown(Shutdown::Both);
+                    let _ = from.shutdown(Shutdown::Both);
+                    return;
+                }
+                if rng.gen::<f64>() < plan.flip_prob {
+                    // One flipped bit: the frame checksum must catch it.
+                    let byte = rng.gen_range(0..n);
+                    let bit = rng.gen_range(0..8u8);
+                    chunk[byte] ^= 1 << bit;
+                }
+                let stall_here = rng.gen::<f64>() < plan.stall_prob;
+                let dribble_here = rng.gen::<f64>() < plan.dribble_prob;
+                let half = if stall_here { n / 2 } else { n };
+                if write_chunk(&mut to, &chunk[..half], dribble_here).is_err() {
+                    return;
+                }
+                if stall_here {
+                    if sleep_interruptible(plan.stall, shared) {
+                        return;
+                    }
+                    if write_chunk(&mut to, &chunk[half..], dribble_here).is_err() {
+                        return;
+                    }
+                }
+            }
+            Err(e) if would_block(&e) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Write a chunk, optionally one byte per syscall.
+fn write_chunk(to: &mut TcpStream, chunk: &[u8], dribble: bool) -> std::io::Result<()> {
+    if dribble {
+        for b in chunk {
+            to.write_all(std::slice::from_ref(b))?;
+            to.flush()?;
+        }
+        Ok(())
+    } else {
+        to.write_all(chunk)
+    }
+}
+
+/// Sleep `dur` in short ticks; returns true if shutdown interrupted.
+fn sleep_interruptible(dur: Duration, shared: &ProxyShared) -> bool {
+    let mut slept = Duration::ZERO;
+    while slept < dur {
+        if shared.stop.load(Ordering::SeqCst) {
+            return true;
+        }
+        let step = TICK.min(dur - slept);
+        std::thread::sleep(step);
+        slept += step;
+    }
+    shared.stop.load(Ordering::SeqCst)
+}
+
+fn would_block(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_reject_probabilities_outside_unit_interval() {
+        assert!(ChaosPlan::new(1).refuse(1.5).validate().is_err());
+        assert!(ChaosPlan::new(1).flip(-0.1).validate().is_err());
+        assert!(ChaosPlan::new(1)
+            .refuse(0.5)
+            .reset(0.1)
+            .stall(0.05, Duration::from_millis(10))
+            .flip(1.0)
+            .dribble(0.0)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn connection_rngs_are_deterministic_per_ordinal() {
+        let plan = ChaosPlan::new(42);
+        let a: f64 = plan.conn_rng(7).gen();
+        let b: f64 = plan.conn_rng(7).gen();
+        let c: f64 = plan.conn_rng(8).gen();
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert_ne!(a.to_bits(), c.to_bits());
+    }
+}

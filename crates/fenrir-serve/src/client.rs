@@ -4,20 +4,37 @@
 //! pipelined: `send` queues frames, `flush` pushes them out, and
 //! `recv` reads replies in order. `request` is the one-shot
 //! convenience wrapper around all three.
+//!
+//! ## Timeouts and slow peers
+//!
+//! [`Client::set_read_timeout`] bounds the *whole reply*, not each
+//! `read(2)`. Internally the socket carries a short tick and `recv`
+//! loops [`read_frame_deadline`] over it, so a peer (or a chaos proxy)
+//! that dribbles a reply byte-by-byte still completes as long as the
+//! full frame lands before the deadline — a short read mid-frame is
+//! refilled, never misreported as a corrupt frame. Only two things end
+//! a `recv` early: the deadline actually expiring (a typed timeout
+//! error) or the peer hanging up / sending bytes that cannot be a
+//! frame (a typed `Corrupted` error).
 
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use fenrir_core::error::{Error, Result};
 
-use crate::protocol::{read_frame, FrameEvent, Reply, Request};
+use crate::protocol::{read_frame, read_frame_deadline, FrameEvent, Reply, Request};
+
+/// Socket-level read tick; `recv` loops this until the caller's
+/// deadline so mid-frame stalls shorter than the deadline are survived.
+const CLIENT_TICK: Duration = Duration::from_millis(50);
 
 /// A blocking fenrir-serve client.
 #[derive(Debug)]
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    deadline: Option<Duration>,
 }
 
 fn io_err(what: &'static str, e: std::io::Error) -> Error {
@@ -27,24 +44,46 @@ fn io_err(what: &'static str, e: std::io::Error) -> Error {
     }
 }
 
+fn timed_out(what: &'static str) -> Error {
+    Error::Internal {
+        what,
+        message: "reply timed out".into(),
+    }
+}
+
 impl Client {
     /// Connect to a running server.
     pub fn connect(addr: SocketAddr) -> Result<Client> {
         let conn = TcpStream::connect(addr).map_err(|e| io_err("serve connect", e))?;
+        Self::from_stream(conn)
+    }
+
+    /// Connect, giving up after `timeout`.
+    pub fn connect_timeout(addr: SocketAddr, timeout: Duration) -> Result<Client> {
+        let conn =
+            TcpStream::connect_timeout(&addr, timeout).map_err(|e| io_err("serve connect", e))?;
+        Self::from_stream(conn)
+    }
+
+    fn from_stream(conn: TcpStream) -> Result<Client> {
         conn.set_nodelay(true)
             .map_err(|e| io_err("serve connect", e))?;
         let write_half = conn.try_clone().map_err(|e| io_err("serve connect", e))?;
         Ok(Client {
             reader: BufReader::new(conn),
             writer: BufWriter::new(write_half),
+            deadline: None,
         })
     }
 
-    /// Optional receive timeout (None blocks indefinitely).
+    /// Optional whole-reply deadline for `recv` (None blocks
+    /// indefinitely). The socket's own timeout is kept at a short tick
+    /// so a slowly-dribbled reply is still assembled.
     pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<()> {
+        self.deadline = timeout;
         self.reader
             .get_ref()
-            .set_read_timeout(timeout)
+            .set_read_timeout(timeout.map(|t| t.min(CLIENT_TICK)))
             .map_err(|e| io_err("serve timeout", e))
     }
 
@@ -68,15 +107,17 @@ impl Client {
         self.flush()
     }
 
-    /// Read the next reply. With a read timeout set, an idle wire
-    /// surfaces as an `Internal("reply timed out")` error.
+    /// Read the next reply. With a read timeout set, an idle wire or a
+    /// reply that stalls mid-frame surfaces as a typed
+    /// `Internal("reply timed out")` error — never as corruption.
     pub fn recv(&mut self) -> Result<Reply> {
-        match read_frame(&mut self.reader) {
+        let event = match self.deadline {
+            Some(d) => read_frame_deadline(&mut self.reader, Instant::now() + d),
+            None => read_frame(&mut self.reader),
+        };
+        match event {
             FrameEvent::Frame { kind, payload } => Reply::decode(kind, &payload),
-            FrameEvent::Tick => Err(Error::Internal {
-                what: "serve recv",
-                message: "reply timed out".into(),
-            }),
+            FrameEvent::Tick | FrameEvent::TimedOut => Err(timed_out("serve recv")),
             FrameEvent::Eof => Err(Error::Internal {
                 what: "serve recv",
                 message: "connection closed by server".into(),

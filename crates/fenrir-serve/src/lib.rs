@@ -24,20 +24,43 @@
 //!
 //! * [`protocol`] — frames, requests, replies (hostile-input safe);
 //! * [`store`] — [`store::Snapshot`] + [`store::ModeStore`], the
-//!   epoch-swapped, sharded snapshot holder with journal tail-follow;
+//!   epoch-swapped, sharded snapshot holder with journal tail-follow
+//!   and graceful degradation to the last-good epoch on reload failure;
 //! * [`cache`] — the bounded, epoch-keyed derived-answer cache;
 //! * [`server`] — acceptor, worker pool, admission control, drain;
 //! * [`client`] — a small blocking client (also the test harness).
+//!
+//! High availability on top of that single-server core:
+//!
+//! * [`replica`] — [`replica::ReplicaSet`], N independent servers over
+//!   one journal (shared-nothing: one replica degrading or dying never
+//!   touches the others);
+//! * [`breaker`] — per-replica closed/open/half-open circuit breakers;
+//! * [`resilient`] — [`resilient::ResilientClient`], the retrying,
+//!   breaker-guarded, health-aware, optionally *hedging* client that
+//!   turns a replica group into one logical endpoint;
+//! * [`chaos`] — [`chaos::FaultyListener`], a seed-deterministic
+//!   fault-injecting TCP proxy (resets, stalls, bit flips, dribbles)
+//!   used to prove the client's contract: a bit-identical answer or a
+//!   typed error, never a hang.
 
 #![warn(missing_docs)]
 
+pub mod breaker;
 pub mod cache;
+pub mod chaos;
 pub mod client;
 pub mod protocol;
+pub mod replica;
+pub mod resilient;
 pub mod server;
 pub mod store;
 
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use chaos::{ChaosPlan, FaultyListener};
 pub use client::Client;
 pub use protocol::{Reply, Request};
+pub use replica::ReplicaSet;
+pub use resilient::{ResilientClient, ResilientConfig};
 pub use server::{ServeConfig, Server};
 pub use store::{ModeStore, Snapshot, StoreOptions};

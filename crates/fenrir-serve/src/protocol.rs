@@ -25,13 +25,22 @@
 //! [`KIND_ERROR`] and [`KIND_OVERLOADED`].
 
 use std::io::{ErrorKind, Read};
+use std::time::Instant;
 
 use fenrir_core::error::{Error, Result};
 use fenrir_data::journal::codec::{self, Dec};
 use fenrir_wire::checksum::internet_checksum;
 
 /// Current protocol version; bumped on any incompatible layout change.
-pub const PROTOCOL_VERSION: u8 = 1;
+///
+/// Version history:
+/// * **1** — the original six query kinds.
+/// * **2** — `Health` gained `replica`/`stale`, `Stats` gained
+///   `reload_failures`, and `Overloaded` gained `retry_after_ms`. A v1
+///   peer rejects v2 frames (and vice versa) at the version byte with a
+///   typed `Corrupted` error before any payload decoding runs — mixed
+///   deployments fail closed instead of misdecoding.
+pub const PROTOCOL_VERSION: u8 = 2;
 /// Bytes in the fixed frame header.
 pub const FRAME_HEADER_LEN: usize = 8;
 /// Upper bound on payload size — caps what a hostile length field can
@@ -123,6 +132,11 @@ pub enum FrameEvent {
     /// The read timed out with no bytes consumed — the connection is
     /// idle, not broken; callers use ticks to poll shutdown flags.
     Tick,
+    /// A deadline expired *mid-frame*: the peer is alive but too slow.
+    /// The connection must be closed (framing is lost), but unlike
+    /// [`FrameEvent::Corrupt`] the bytes themselves were fine — callers
+    /// should surface a timeout, not corruption.
+    TimedOut,
     /// The bytes received cannot be a valid frame. The connection must
     /// be closed: framing is lost.
     Corrupt(Error),
@@ -136,25 +150,46 @@ pub enum FrameEvent {
 ///
 /// A timeout that fires *mid-frame* is reported as corruption rather
 /// than a tick: resuming a half-read frame is impossible once bytes
-/// were consumed.
+/// were consumed. Callers that want to ride out slow peers instead
+/// (a dribbling proxy, a stalled NIC) should use
+/// [`read_frame_deadline`], which keeps filling the frame across
+/// socket-timeout ticks until an overall deadline.
 pub fn read_frame(r: &mut impl Read) -> FrameEvent {
-    let mut first = [0u8; 1];
+    read_frame_until(r, None)
+}
+
+/// Read one frame, retrying short reads and socket-timeout ticks until
+/// `deadline`.
+///
+/// The transport should carry a *short* read timeout (a tick, e.g.
+/// 50–100 ms); this function loops over those ticks, so a peer that
+/// dribbles a frame byte-by-byte still completes as long as the whole
+/// frame lands before `deadline`. Expiry with no bytes consumed is a
+/// [`FrameEvent::Tick`] (the wire was idle); expiry mid-frame is a
+/// [`FrameEvent::TimedOut`] — the connection is unusable (framing is
+/// lost) but the peer is slow, not corrupt.
+pub fn read_frame_deadline(r: &mut impl Read, deadline: Instant) -> FrameEvent {
+    read_frame_until(r, Some(deadline))
+}
+
+fn read_frame_until(r: &mut impl Read, deadline: Option<Instant>) -> FrameEvent {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    // The first byte separates "idle wire" from "frame under way".
     loop {
-        match r.read(&mut first) {
+        match r.read(&mut header[..1]) {
             Ok(0) => return FrameEvent::Eof,
             Ok(_) => break,
             Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-            Err(e) if would_block(&e) => return FrameEvent::Tick,
+            Err(e) if would_block(&e) => match deadline {
+                Some(d) if Instant::now() < d => continue,
+                _ => return FrameEvent::Tick,
+            },
             Err(e) => return FrameEvent::Io(e),
         }
     }
-    let mut rest = [0u8; FRAME_HEADER_LEN - 1];
-    if let Err(e) = read_exact_frame(r, &mut rest) {
+    if let Err(e) = fill_frame(r, &mut header[1..], deadline) {
         return e;
     }
-    let header = [
-        first[0], rest[0], rest[1], rest[2], rest[3], rest[4], rest[5], rest[6],
-    ];
     let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
     let ver = header[4];
     let kind = header[5];
@@ -166,7 +201,7 @@ pub fn read_frame(r: &mut impl Read) -> FrameEvent {
         return FrameEvent::Corrupt(corrupt(format!("protocol version {ver}")));
     }
     let mut payload = vec![0u8; len as usize];
-    if let Err(e) = read_exact_frame(r, &mut payload) {
+    if let Err(e) = fill_frame(r, &mut payload, deadline) {
         return e;
     }
     if frame_checksum(len, ver, kind, &payload) != sum {
@@ -175,16 +210,42 @@ pub fn read_frame(r: &mut impl Read) -> FrameEvent {
     FrameEvent::Frame { kind, payload }
 }
 
-/// `read_exact` with frame-aware error mapping: any failure mid-frame
-/// (including a timeout) means framing is lost.
-fn read_exact_frame(r: &mut impl Read, buf: &mut [u8]) -> std::result::Result<(), FrameEvent> {
-    match r.read_exact(buf) {
-        Ok(()) => Ok(()),
-        Err(e) if e.kind() == ErrorKind::UnexpectedEof || would_block(&e) => Err(
-            FrameEvent::Corrupt(corrupt(format!("frame truncated mid-read: {e}"))),
-        ),
-        Err(e) => Err(FrameEvent::Io(e)),
+/// Fill `buf` completely, looping over short reads. A short `read` is
+/// normal TCP behaviour, not corruption — only EOF mid-frame (the peer
+/// hung up with a frame half-sent) is corrupt. A socket timeout is
+/// retried while the deadline allows, reported as [`FrameEvent::TimedOut`]
+/// once it doesn't, and treated as truncation when no deadline was given
+/// (single-shot mode: the caller's tick already expired).
+fn fill_frame(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    deadline: Option<Instant>,
+) -> std::result::Result<(), FrameEvent> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(FrameEvent::Corrupt(corrupt(format!(
+                    "frame truncated mid-read: eof after {filled} of {} bytes",
+                    buf.len()
+                ))))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) if would_block(&e) => match deadline {
+                Some(d) if Instant::now() < d => continue,
+                Some(_) => return Err(FrameEvent::TimedOut),
+                None => {
+                    return Err(FrameEvent::Corrupt(corrupt(format!(
+                        "frame truncated mid-read: timed out after {filled} of {} bytes",
+                        buf.len()
+                    ))))
+                }
+            },
+            Err(e) => return Err(FrameEvent::Io(e)),
+        }
     }
+    Ok(())
 }
 
 fn would_block(e: &std::io::Error) -> bool {
@@ -335,6 +396,9 @@ pub struct SiteLatency {
 /// Liveness and dataset shape, from [`Reply::Health`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct HealthInfo {
+    /// Replica id within its [`crate::replica::ReplicaSet`] (0 for a
+    /// standalone server).
+    pub replica: u64,
     /// Store epoch; bumps on every hot reload.
     pub epoch: u64,
     /// Observations loaded.
@@ -349,6 +413,11 @@ pub struct HealthInfo {
     pub threshold: f64,
     /// Whether the journal had a torn tail at load.
     pub torn: bool,
+    /// Whether the served snapshot is *stale*: a reload attempt failed
+    /// (corrupt tail, missing file) and the store degraded to its
+    /// last-good epoch instead of dying. Resilient clients prefer
+    /// fresher replicas but may still read a stale one.
+    pub stale: bool,
     /// Whether the server is draining for shutdown.
     pub draining: bool,
 }
@@ -370,6 +439,9 @@ pub struct StatsInfo {
     pub cache_misses: u64,
     /// Hot reloads performed.
     pub reloads: u64,
+    /// Reload attempts that failed (torn tail, missing or corrupt
+    /// journal) and left the store serving its last-good epoch.
+    pub reload_failures: u64,
     /// Connections currently holding a service slot.
     pub inflight: u64,
 }
@@ -445,6 +517,12 @@ pub enum Reply {
     Overloaded {
         /// In-flight connections when the query was shed.
         inflight: u64,
+        /// How long the client should wait before retrying, in
+        /// milliseconds. The server sizes this to its own recovery
+        /// horizon (service-tick granularity at slot-shed, longer at
+        /// accept-shed) so resilient clients can back off precisely
+        /// instead of guessing.
+        retry_after_ms: u64,
     },
 }
 
@@ -531,6 +609,7 @@ impl Reply {
                 (KIND_LATENCY_REPLY, p)
             }
             Reply::Health(h) => {
+                codec::put_u64(&mut p, h.replica);
                 codec::put_u64(&mut p, h.epoch);
                 codec::put_u64(&mut p, h.observations);
                 codec::put_u64(&mut p, h.networks);
@@ -538,6 +617,7 @@ impl Reply {
                 codec::put_u64(&mut p, h.modes);
                 codec::put_f64(&mut p, h.threshold);
                 codec::put_bool(&mut p, h.torn);
+                codec::put_bool(&mut p, h.stale);
                 codec::put_bool(&mut p, h.draining);
                 (KIND_HEALTH_REPLY, p)
             }
@@ -549,6 +629,7 @@ impl Reply {
                 codec::put_u64(&mut p, s.cache_hits);
                 codec::put_u64(&mut p, s.cache_misses);
                 codec::put_u64(&mut p, s.reloads);
+                codec::put_u64(&mut p, s.reload_failures);
                 codec::put_u64(&mut p, s.inflight);
                 (KIND_STATS_REPLY, p)
             }
@@ -557,8 +638,12 @@ impl Reply {
                 codec::put_str(&mut p, message);
                 (KIND_ERROR, p)
             }
-            Reply::Overloaded { inflight } => {
+            Reply::Overloaded {
+                inflight,
+                retry_after_ms,
+            } => {
                 codec::put_u64(&mut p, *inflight);
+                codec::put_u64(&mut p, *retry_after_ms);
                 (KIND_OVERLOADED, p)
             }
         }
@@ -639,6 +724,7 @@ impl Reply {
                 }
             }
             KIND_HEALTH_REPLY => Reply::Health(HealthInfo {
+                replica: d.u64()?,
                 epoch: d.u64()?,
                 observations: d.u64()?,
                 networks: d.u64()?,
@@ -646,6 +732,7 @@ impl Reply {
                 modes: d.u64()?,
                 threshold: d.f64()?,
                 torn: d.bool()?,
+                stale: d.bool()?,
                 draining: d.bool()?,
             }),
             KIND_STATS_REPLY => Reply::Stats(StatsInfo {
@@ -656,13 +743,17 @@ impl Reply {
                 cache_hits: d.u64()?,
                 cache_misses: d.u64()?,
                 reloads: d.u64()?,
+                reload_failures: d.u64()?,
                 inflight: d.u64()?,
             }),
             KIND_ERROR => Reply::Error {
                 code: d.u8()?,
                 message: d.str()?,
             },
-            KIND_OVERLOADED => Reply::Overloaded { inflight: d.u64()? },
+            KIND_OVERLOADED => Reply::Overloaded {
+                inflight: d.u64()?,
+                retry_after_ms: d.u64()?,
+            },
             other => {
                 return Err(Error::Corrupted {
                     what: "serve reply",
@@ -694,6 +785,96 @@ mod tests {
         match read_frame(&mut cursor) {
             FrameEvent::Eof => {}
             other => panic!("expected eof, got {other:?}"),
+        }
+    }
+
+    /// Yields one byte per `read`, optionally interleaving a
+    /// `WouldBlock` before every byte — a worst-case dribbling socket.
+    struct Dribble {
+        data: Vec<u8>,
+        pos: usize,
+        block_first: bool,
+        blocked: bool,
+    }
+
+    impl Read for Dribble {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.block_first && !self.blocked {
+                self.blocked = true;
+                return Err(std::io::Error::new(ErrorKind::WouldBlock, "tick"));
+            }
+            self.blocked = false;
+            if self.pos >= self.data.len() {
+                return Ok(0);
+            }
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn one_byte_short_reads_still_assemble_a_frame() {
+        let req = Request::Transition { t: 10, u: 20 };
+        let mut r = Dribble {
+            data: req.encode(),
+            pos: 0,
+            block_first: false,
+            blocked: false,
+        };
+        match read_frame(&mut r) {
+            FrameEvent::Frame { kind, payload } => {
+                assert_eq!(Request::decode(kind, &payload).unwrap(), req);
+            }
+            other => panic!("dribbled frame: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_reader_rides_out_ticks_between_dribbled_bytes() {
+        let req = Request::Mode { t: 5 };
+        let mut r = Dribble {
+            data: req.encode(),
+            pos: 0,
+            block_first: true,
+            blocked: false,
+        };
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        match read_frame_deadline(&mut r, deadline) {
+            FrameEvent::Frame { kind, payload } => {
+                assert_eq!(Request::decode(kind, &payload).unwrap(), req);
+            }
+            other => panic!("dribbled frame with ticks: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_expiry_mid_frame_is_timeout_not_corruption() {
+        // Half a frame, then the wire goes silent (endless WouldBlock).
+        struct HalfThenStall {
+            data: Vec<u8>,
+            pos: usize,
+        }
+        impl Read for HalfThenStall {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.pos >= self.data.len() {
+                    return Err(std::io::Error::new(ErrorKind::WouldBlock, "stalled"));
+                }
+                buf[0] = self.data[self.pos];
+                self.pos += 1;
+                Ok(1)
+            }
+        }
+        let frame = Request::Health.encode();
+        let half = frame.len() / 2;
+        let mut r = HalfThenStall {
+            data: frame[..half].to_vec(),
+            pos: 0,
+        };
+        let deadline = Instant::now() + std::time::Duration::from_millis(50);
+        match read_frame_deadline(&mut r, deadline) {
+            FrameEvent::TimedOut => {}
+            other => panic!("mid-frame stall: expected TimedOut, got {other:?}"),
         }
     }
 
@@ -801,6 +982,7 @@ mod tests {
                 per_site: vec![],
             },
             Reply::Health(HealthInfo {
+                replica: 1,
                 epoch: 2,
                 observations: 10,
                 networks: 64,
@@ -808,6 +990,7 @@ mod tests {
                 modes: 3,
                 threshold: 0.31,
                 torn: true,
+                stale: true,
                 draining: false,
             }),
             Reply::Stats(StatsInfo {
@@ -818,13 +1001,17 @@ mod tests {
                 cache_hits: 5,
                 cache_misses: 6,
                 reloads: 7,
+                reload_failures: 9,
                 inflight: 8,
             }),
             Reply::Error {
                 code: ERR_NOT_FOUND,
                 message: "before first observation".into(),
             },
-            Reply::Overloaded { inflight: 64 },
+            Reply::Overloaded {
+                inflight: 64,
+                retry_after_ms: 50,
+            },
         ];
         for reply in replies {
             let (kind, payload) = reply.kind_and_payload();

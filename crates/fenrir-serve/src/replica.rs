@@ -1,0 +1,123 @@
+//! Replica groups: N servers over one journal.
+//!
+//! A [`ReplicaSet`] starts `n` independent [`Server`]s, each with its
+//! **own** [`ModeStore`] opened read-only over the same journal path
+//! and its own ephemeral listener. Replicas share nothing at runtime —
+//! no locks, no common snapshot — so one replica losing its journal
+//! tail, degrading to a stale epoch, or being stopped outright never
+//! touches the others. Health replies carry the replica id plus that
+//! replica's epoch and stale flag, which is exactly what the
+//! [`crate::resilient::ResilientClient`] uses to steer away from the
+//! unhealthy member.
+//!
+//! Because each replica reloads independently, their epochs can skew
+//! transiently while the journal grows; answers stay bit-identical for
+//! any query both epochs can answer (snapshots store journaled floats
+//! verbatim), which is what makes hedging across replicas safe.
+
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use fenrir_core::error::{Error, Result};
+
+use crate::server::{ServeConfig, Server};
+use crate::store::{ModeStore, StoreOptions};
+
+/// One member of a [`ReplicaSet`].
+struct Replica {
+    server: Option<Server>,
+    store: Arc<ModeStore>,
+    addr: SocketAddr,
+}
+
+/// A group of independent servers over the same journal.
+pub struct ReplicaSet {
+    path: PathBuf,
+    replicas: Vec<Replica>,
+}
+
+impl ReplicaSet {
+    /// Open `journal` once per replica and start `n` servers. Each
+    /// replica gets `cfg` with its own ephemeral bind address and its
+    /// index as the replica id; `cfg.addr` is ignored (replicas cannot
+    /// share a port).
+    pub fn start(journal: &Path, n: usize, opts: StoreOptions, cfg: ServeConfig) -> Result<Self> {
+        if n == 0 {
+            return Err(Error::Config {
+                name: "replicas",
+                message: "need at least one replica".into(),
+            });
+        }
+        let mut replicas = Vec::with_capacity(n);
+        for i in 0..n {
+            let store = Arc::new(ModeStore::open(journal, opts.clone())?);
+            let server = Server::start(
+                Arc::clone(&store),
+                ServeConfig {
+                    addr: "127.0.0.1:0".into(),
+                    replica: i as u64,
+                    ..cfg.clone()
+                },
+            )?;
+            let addr = server.addr();
+            replicas.push(Replica {
+                server: Some(server),
+                store,
+                addr,
+            });
+        }
+        Ok(ReplicaSet {
+            path: journal.to_path_buf(),
+            replicas,
+        })
+    }
+
+    /// The journal every replica serves.
+    pub fn journal(&self) -> &Path {
+        &self.path
+    }
+
+    /// How many replicas were started (stopped ones still count —
+    /// indices are stable for the set's lifetime).
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Whether the set is empty (never true for a started set).
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// The bound addresses, in replica order. Stopped replicas keep
+    /// their (now-dead) address so indices stay aligned.
+    pub fn addrs(&self) -> Vec<SocketAddr> {
+        self.replicas.iter().map(|r| r.addr).collect()
+    }
+
+    /// Replica `i`'s store (its epoch, stale flag, and counters remain
+    /// readable after the replica is stopped).
+    pub fn store(&self, i: usize) -> &Arc<ModeStore> {
+        &self.replicas[i].store
+    }
+
+    /// Whether replica `i` is still serving.
+    pub fn is_running(&self, i: usize) -> bool {
+        self.replicas[i].server.is_some()
+    }
+
+    /// Stop replica `i` (drain and join its threads), leaving the rest
+    /// of the set serving. Idempotent.
+    pub fn stop(&mut self, i: usize) {
+        if let Some(server) = self.replicas[i].server.take() {
+            server.shutdown();
+        }
+    }
+
+    /// Stop every replica still running.
+    pub fn shutdown(mut self) {
+        for i in 0..self.replicas.len() {
+            self.stop(i);
+        }
+    }
+}

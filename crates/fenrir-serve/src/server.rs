@@ -56,6 +56,13 @@ pub struct ServeConfig {
     pub read_deadline: Duration,
     /// Poll the journal for growth this often (None disables follow).
     pub follow: Option<Duration>,
+    /// Replica id reported in `Health` replies (0 for a standalone
+    /// server; a [`crate::replica::ReplicaSet`] numbers its members).
+    pub replica: u64,
+    /// Base retry-after hint carried by `Overloaded` replies: slot-shed
+    /// queries advertise this, accept-shed connections twice it (a full
+    /// accept queue recovers slower than a busy service slot).
+    pub retry_after: Duration,
 }
 
 impl Default for ServeConfig {
@@ -67,6 +74,8 @@ impl Default for ServeConfig {
             backlog: 64,
             read_deadline: Duration::from_secs(30),
             follow: None,
+            replica: 0,
+            retry_after: Duration::from_millis(50),
         }
     }
 }
@@ -92,6 +101,8 @@ struct Shared {
     inflight: AtomicUsize,
     max_inflight: usize,
     read_deadline: Duration,
+    replica: u64,
+    retry_after_ms: u64,
 }
 
 impl Shared {
@@ -104,7 +115,22 @@ impl Shared {
             cache_hits: self.store.cache.hits(),
             cache_misses: self.store.cache.misses(),
             reloads: self.store.reloads(),
+            reload_failures: self.store.reload_failures(),
             inflight: self.inflight.load(Ordering::Relaxed) as u64,
+        }
+    }
+
+    /// An `Overloaded` reply with the retry-after hint scaled to where
+    /// the shed happened.
+    fn overloaded(&self, at_accept: bool) -> Reply {
+        self.counters.overloaded.fetch_add(1, Ordering::Relaxed);
+        Reply::Overloaded {
+            inflight: self.inflight.load(Ordering::Relaxed) as u64,
+            retry_after_ms: if at_accept {
+                self.retry_after_ms * 2
+            } else {
+                self.retry_after_ms
+            },
         }
     }
 }
@@ -163,6 +189,8 @@ impl Server {
             inflight: AtomicUsize::new(0),
             max_inflight: cfg.max_inflight.max(1),
             read_deadline: cfg.read_deadline,
+            replica: cfg.replica,
+            retry_after_ms: cfg.retry_after.as_millis() as u64,
         });
 
         let workers_n = cfg.workers.max(1);
@@ -267,9 +295,7 @@ fn accept_loop(listener: TcpListener, senders: Vec<SyncSender<TcpStream>>, share
         if let Some(mut conn) = pending {
             // Every queue is full: shed at accept time with an
             // explicit reply rather than letting the connection hang.
-            shared.counters.overloaded.fetch_add(1, Ordering::Relaxed);
-            let inflight = shared.inflight.load(Ordering::Relaxed) as u64;
-            let frame = Reply::Overloaded { inflight }.encode();
+            let frame = shared.overloaded(true).encode();
             let _ = conn.write_all(&frame);
         }
     }
@@ -307,12 +333,7 @@ fn serve_connection(worker: usize, conn: TcpStream, shared: &Shared) {
                 }
                 let reply = match slot {
                     Some(_) => answer(worker, kind, &payload, shared),
-                    None => {
-                        shared.counters.overloaded.fetch_add(1, Ordering::Relaxed);
-                        Reply::Overloaded {
-                            inflight: shared.inflight.load(Ordering::Relaxed) as u64,
-                        }
-                    }
+                    None => shared.overloaded(false),
                 };
                 if writer.write_all(&reply.encode()).is_err() {
                     return;
@@ -345,7 +366,9 @@ fn serve_connection(worker: usize, conn: TcpStream, shared: &Shared) {
                 let _ = writer.flush();
                 return;
             }
-            FrameEvent::Eof | FrameEvent::Io(_) => return,
+            // `read_frame` without a deadline never yields `TimedOut`,
+            // but treat it like a transport failure if it ever does.
+            FrameEvent::Eof | FrameEvent::Io(_) | FrameEvent::TimedOut => return,
         }
     }
 }
@@ -376,7 +399,11 @@ fn answer(worker: usize, kind: u8, payload: &[u8], shared: &Shared) -> Reply {
         Request::Latency { t } => {
             cached_pair(shared, &snap, KIND_LATENCY, t, None, |s| s.latency(t))
         }
-        Request::Health => snap.health(shared.stop.load(Ordering::SeqCst)),
+        Request::Health => snap.health(
+            shared.replica,
+            shared.store.stale(),
+            shared.stop.load(Ordering::SeqCst),
+        ),
         Request::Stats => Reply::Stats(shared.stats()),
     };
     if matches!(reply, Reply::Error { .. }) {

@@ -16,7 +16,7 @@
 //! holds the same `Arc` between reloads.
 
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use fenrir_core::cluster::{AdaptiveThreshold, Dendrogram};
@@ -258,9 +258,12 @@ impl Snapshot {
         }
     }
 
-    /// Answer a Health query (`draining` is filled in by the server).
-    pub fn health(&self, draining: bool) -> Reply {
+    /// Answer a Health query (`replica`, `stale`, and `draining` are
+    /// filled in by the server — they are properties of the serving
+    /// process, not of the snapshot).
+    pub fn health(&self, replica: u64, stale: bool, draining: bool) -> Reply {
         Reply::Health(HealthInfo {
+            replica,
             epoch: self.epoch,
             observations: self.series.len() as u64,
             networks: self.series.networks() as u64,
@@ -268,6 +271,7 @@ impl Snapshot {
             modes: self.modes.modes.len() as u64,
             threshold: self.modes.threshold,
             torn: self.torn,
+            stale,
             draining,
         })
     }
@@ -280,6 +284,8 @@ pub struct ModeStore {
     epoch: AtomicU64,
     loaded_len: AtomicU64,
     reloads: AtomicU64,
+    reload_failures: AtomicU64,
+    stale: AtomicBool,
     /// Derived-answer cache, epoch-keyed.
     pub cache: QueryCache,
     adaptive: AdaptiveThreshold,
@@ -314,6 +320,8 @@ impl ModeStore {
             epoch: AtomicU64::new(0),
             loaded_len: AtomicU64::new(0),
             reloads: AtomicU64::new(0),
+            reload_failures: AtomicU64::new(0),
+            stale: AtomicBool::new(false),
             cache: QueryCache::new(opts.cache_capacity),
             adaptive: opts.adaptive,
             reload_lock: Mutex::new(()),
@@ -336,8 +344,30 @@ impl ModeStore {
         self.reloads.load(Ordering::SeqCst)
     }
 
-    /// If the journal file has grown since the last load, rebuild and
-    /// swap in a fresh snapshot. Returns whether a reload happened.
+    /// Reload attempts that failed and left the store serving its
+    /// last-good epoch.
+    pub fn reload_failures(&self) -> u64 {
+        self.reload_failures.load(Ordering::SeqCst)
+    }
+
+    /// Whether the served snapshot is stale: the most recent reload
+    /// attempt failed and the store degraded to its last-good epoch.
+    pub fn stale(&self) -> bool {
+        self.stale.load(Ordering::SeqCst)
+    }
+
+    /// If the journal file has changed since the last load (or the
+    /// store is marked stale), rebuild and swap in a fresh snapshot.
+    /// Returns whether a reload happened.
+    ///
+    /// This is the graceful-degradation seam: a reload that fails —
+    /// the file vanished, the header is corrupt, or the tail is torn
+    /// without offering any *new* observations — keeps the last-good
+    /// snapshot in every shard, marks the store [`ModeStore::stale`],
+    /// counts a [`ModeStore::reload_failures`], and returns the error.
+    /// Queries keep being answered from the old epoch throughout; the
+    /// next poll retries (and a marked-stale store retries even if the
+    /// file length matches, so a repaired journal clears the flag).
     ///
     /// Cheap when nothing changed: one `stat` call. Concurrent callers
     /// serialise on an internal lock; queries never wait on it.
@@ -346,24 +376,58 @@ impl ModeStore {
             return Ok(false);
         };
         let _guard = self.reload_lock.lock();
-        let len = std::fs::metadata(path)
-            .map(|m| m.len())
-            .map_err(|e| Error::Internal {
-                what: "journal metadata",
-                message: format!("{}: {e}", path.display()),
-            })?;
-        if len == self.loaded_len.load(Ordering::SeqCst) {
+        let len = match std::fs::metadata(path).map(|m| m.len()) {
+            Ok(len) => len,
+            Err(e) => {
+                return Err(self.degrade(Error::Internal {
+                    what: "journal metadata",
+                    message: format!("{}: {e}", path.display()),
+                }))
+            }
+        };
+        if len == self.loaded_len.load(Ordering::SeqCst) && !self.stale() {
             return Ok(false);
         }
-        let pipe = RecoverablePipeline::open_read_only(path)?;
+        let current = self.snapshot(0);
+        let pipe = match RecoverablePipeline::open_read_only(path) {
+            Ok(pipe) => pipe,
+            Err(e) => return Err(self.degrade(e)),
+        };
+        // A torn tail that offers nothing beyond what we already serve
+        // is a failed reload, not progress: keep the richer last-good
+        // epoch rather than swapping to a recovered prefix that may
+        // have *lost* observations. A torn tail beyond the current
+        // horizon still ships the clean prefix (progress beats purity).
+        if pipe.recovery_report().torn.is_some() && pipe.series().len() <= current.series.len() {
+            return Err(self.degrade(Error::Corrupted {
+                what: "journal reload",
+                offset: pipe.recovery_report().clean_bytes,
+                message: format!(
+                    "torn tail with no new observations ({} loaded, {} recovered)",
+                    current.series.len(),
+                    pipe.series().len()
+                ),
+            }));
+        }
         let epoch = self.epoch.load(Ordering::SeqCst) + 1;
-        let snap = Arc::new(Snapshot::build(&pipe, &self.adaptive, epoch)?);
+        let snap = match Snapshot::build(&pipe, &self.adaptive, epoch) {
+            Ok(snap) => Arc::new(snap),
+            Err(e) => return Err(self.degrade(e)),
+        };
         for shard in &self.shards {
             *shard.write() = Arc::clone(&snap);
         }
         self.epoch.store(epoch, Ordering::SeqCst);
         self.loaded_len.store(len, Ordering::SeqCst);
         self.reloads.fetch_add(1, Ordering::SeqCst);
+        self.stale.store(false, Ordering::SeqCst);
         Ok(true)
+    }
+
+    /// Record a failed reload: the last-good snapshot stays in place.
+    fn degrade(&self, e: Error) -> Error {
+        self.reload_failures.fetch_add(1, Ordering::SeqCst);
+        self.stale.store(true, Ordering::SeqCst);
+        e
     }
 }

@@ -1,0 +1,287 @@
+//! The end-to-end chaos suite: a three-replica group behind
+//! fault-injecting TCP proxies, queried by the resilient client. The
+//! contract under test: every request returns either an answer
+//! **bit-identical** to direct fenrir-core computation, or a typed
+//! error — never a hang, never silently wrong data.
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use fenrir_core::error::Error;
+use fenrir_core::health::CampaignHealth;
+use fenrir_core::ids::SiteTable;
+use fenrir_core::time::Timestamp;
+use fenrir_core::vector::RoutingVector;
+use fenrir_data::journal::{PipelineConfig, RecoverablePipeline};
+use fenrir_serve::breaker::BreakerConfig;
+use fenrir_serve::protocol::{Reply, Request};
+use fenrir_serve::{
+    ChaosPlan, Client, FaultyListener, ModeStore, ReplicaSet, ResilientClient, ResilientConfig,
+    ServeConfig, StoreOptions,
+};
+
+const NETWORKS: usize = 12;
+const DAY: i64 = 86_400;
+const DAYS: i64 = 8;
+
+fn scratch(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("fenrir-chaos-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+fn write_journal(path: &Path) {
+    let sites = SiteTable::from_names(["NRT", "SYD", "GRU"].map(str::to_string));
+    let cfg = PipelineConfig::new(NETWORKS);
+    let mut pipe = RecoverablePipeline::open(path, sites, NETWORKS, cfg).unwrap();
+    for day in 0..DAYS {
+        // Period-2 routing so recurring modes exist.
+        let codes = (0..NETWORKS)
+            .map(|n| match (n + (day % 2) as usize) % 4 {
+                3 => u16::MAX,
+                s => s as u16,
+            })
+            .collect();
+        let v = RoutingVector::from_codes(Timestamp::from_secs(day * DAY), codes);
+        let mut h = CampaignHealth::new(Timestamp::from_secs(day * DAY), NETWORKS);
+        h.responses = NETWORKS;
+        pipe.observe(v, h).unwrap();
+    }
+}
+
+/// The direct (no server, no wire) answer to a request, as the exact
+/// reply frame payload it should produce.
+fn direct_answer(store: &ModeStore, req: &Request) -> (u8, Vec<u8>) {
+    let snap = store.snapshot(0);
+    let reply = match *req {
+        Request::Assign { t, network } => snap.assign(t, network),
+        Request::Similarity { t, u } => snap.similarity(t, u),
+        Request::Mode { t } => snap.mode(t),
+        Request::Transition { t, u } => snap.transition(t, u),
+        Request::Latency { t } => snap.latency(t),
+        Request::Health | Request::Stats => unreachable!("per-process replies are not compared"),
+    };
+    reply.kind_and_payload()
+}
+
+#[test]
+fn chaotic_cluster_answers_bit_identically_or_with_typed_errors() {
+    let path = scratch("bitident");
+    write_journal(&path);
+    let set = ReplicaSet::start(&path, 3, StoreOptions::default(), ServeConfig::default()).unwrap();
+
+    // A proxy with every fault class enabled in front of each replica,
+    // all driven from one fixed seed (CI runs this exact storm).
+    let seed: u64 = std::env::var("FENRIR_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xFE2206);
+    let mut proxies = Vec::new();
+    for (i, addr) in set.addrs().into_iter().enumerate() {
+        let plan = ChaosPlan::new(seed.wrapping_add(i as u64))
+            .refuse(0.15)
+            .reset(0.10)
+            .stall(0.05, Duration::from_millis(400))
+            .flip(0.10)
+            .dribble(0.25);
+        proxies.push(FaultyListener::start(addr, plan).unwrap());
+    }
+    let proxy_addrs: Vec<_> = proxies.iter().map(|p| p.addr()).collect();
+
+    let client = ResilientClient::new(
+        &proxy_addrs,
+        ResilientConfig {
+            connect_timeout: Duration::from_millis(300),
+            read_timeout: Duration::from_millis(250),
+            max_attempts: 8,
+            deadline: Duration::from_secs(8),
+            backoff_base: Duration::from_millis(2),
+            backoff_max: Duration::from_millis(20),
+            seed,
+            hedge_after: Some(Duration::from_millis(60)),
+            breaker: BreakerConfig {
+                failure_threshold: 4,
+                cooldown: Duration::from_millis(200),
+                probe_successes: 1,
+            },
+        },
+    )
+    .unwrap();
+
+    // The reference store computes every expected answer directly.
+    let reference = ModeStore::open(&path, StoreOptions::default()).unwrap();
+
+    let mut queries = Vec::new();
+    for t in 0..DAYS {
+        queries.push(Request::Mode { t: t * DAY });
+        queries.push(Request::Assign {
+            t: t * DAY,
+            network: (t % NETWORKS as i64) as u32,
+        });
+        if t > 0 {
+            queries.push(Request::Similarity {
+                t: (t - 1) * DAY,
+                u: t * DAY,
+            });
+            queries.push(Request::Transition {
+                t: (t - 1) * DAY,
+                u: t * DAY,
+            });
+        }
+    }
+    // Out-of-range queries must come back as the same typed server-side
+    // errors the direct path produces.
+    queries.push(Request::Similarity { t: -DAY, u: 0 });
+    queries.push(Request::Latency { t: 0 });
+
+    let mut answered = 0usize;
+    let mut exhausted = 0usize;
+    for req in &queries {
+        let started = Instant::now();
+        match client.request(req) {
+            Ok(reply) => {
+                let (kind, payload) = reply.kind_and_payload();
+                let (want_kind, want_payload) = direct_answer(&reference, req);
+                assert_eq!(
+                    (kind, &payload),
+                    (want_kind, &want_payload),
+                    "{req:?}: served answer differs from direct computation"
+                );
+                answered += 1;
+            }
+            // A typed exhaustion is an acceptable outcome under this
+            // much injected fault; silent wrongness or a hang is not.
+            Err(Error::Exhausted { .. }) => exhausted += 1,
+            Err(other) => panic!("{req:?}: untyped failure {other:?}"),
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "{req:?}: request exceeded its deadline"
+        );
+    }
+    assert!(
+        answered >= queries.len() / 2,
+        "retries should beat this fault rate: {answered}/{} answered ({exhausted} exhausted)",
+        queries.len()
+    );
+
+    for p in proxies {
+        p.shutdown();
+    }
+    set.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn flipped_reply_bits_surface_as_errors_never_as_answers() {
+    let path = scratch("flip");
+    write_journal(&path);
+    let set = ReplicaSet::start(&path, 1, StoreOptions::default(), ServeConfig::default()).unwrap();
+    let proxy = FaultyListener::start(set.addrs()[0], ChaosPlan::new(3).flip(1.0)).unwrap();
+
+    // Every reply chunk has one bit flipped: the checksum must reject
+    // each one. Whatever happens, a flipped frame never decodes.
+    for _ in 0..4 {
+        match Client::connect(proxy.addr()).and_then(|mut c| {
+            c.set_read_timeout(Some(Duration::from_secs(3)))?;
+            c.request(&Request::Health)
+        }) {
+            Err(_) => {}
+            Ok(reply) => panic!("bit-flipped reply decoded: {reply:?}"),
+        }
+    }
+
+    proxy.shutdown();
+    set.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn stalls_past_the_deadline_are_typed_timeouts_not_corruption() {
+    let path = scratch("stall");
+    write_journal(&path);
+    let set = ReplicaSet::start(&path, 1, StoreOptions::default(), ServeConfig::default()).unwrap();
+    // Every reply stalls for 2 s mid-chunk; the client deadline is
+    // 300 ms. The failure must be the typed timeout, not `Corrupted`.
+    let proxy = FaultyListener::start(
+        set.addrs()[0],
+        ChaosPlan::new(5).stall(1.0, Duration::from_secs(2)),
+    )
+    .unwrap();
+
+    let mut client = Client::connect(proxy.addr()).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_millis(300)))
+        .unwrap();
+    let started = Instant::now();
+    match client.request(&Request::Health) {
+        Err(Error::Internal { what, message }) => {
+            assert_eq!(what, "serve recv");
+            assert!(message.contains("timed out"), "message: {message}");
+        }
+        other => panic!("expected typed timeout, got {other:?}"),
+    }
+    assert!(started.elapsed() < Duration::from_secs(2));
+
+    proxy.shutdown();
+    set.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn hedged_reads_win_when_one_replica_stalls() {
+    let path = scratch("hedge");
+    write_journal(&path);
+    let set = ReplicaSet::start(&path, 2, StoreOptions::default(), ServeConfig::default()).unwrap();
+    // Replica 0 sits behind a proxy that stalls EVERY reply past the
+    // hedge delay; replica 1 is direct. Hedging must answer from
+    // replica 1 without waiting out the stall.
+    let proxy = FaultyListener::start(
+        set.addrs()[0],
+        ChaosPlan::new(9).stall(1.0, Duration::from_millis(800)),
+    )
+    .unwrap();
+    let addrs = vec![proxy.addr(), set.addrs()[1]];
+
+    let client = ResilientClient::new(
+        &addrs,
+        ResilientConfig {
+            connect_timeout: Duration::from_millis(300),
+            read_timeout: Duration::from_secs(2),
+            max_attempts: 4,
+            deadline: Duration::from_secs(8),
+            backoff_base: Duration::from_millis(5),
+            backoff_max: Duration::from_millis(50),
+            seed: 1,
+            hedge_after: Some(Duration::from_millis(50)),
+            breaker: BreakerConfig::default(),
+        },
+    )
+    .unwrap();
+
+    let mut hedged_answers = 0;
+    for _ in 0..6 {
+        let started = Instant::now();
+        match client.request(&Request::Mode { t: 3 * DAY }) {
+            Ok(Reply::Mode { time, .. }) => {
+                assert_eq!(time, 3 * DAY);
+                if started.elapsed() < Duration::from_millis(700) {
+                    hedged_answers += 1;
+                }
+            }
+            other => panic!("hedged mode query: {other:?}"),
+        }
+    }
+    // The stall is 800 ms per reply; answering faster than that on most
+    // rounds means the hedge (or a rotation to the healthy replica) did
+    // its job.
+    assert!(
+        hedged_answers >= 4,
+        "expected most answers to beat the stall, got {hedged_answers}/6"
+    );
+
+    proxy.shutdown();
+    set.shutdown();
+    let _ = std::fs::remove_file(&path);
+}

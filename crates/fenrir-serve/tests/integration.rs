@@ -367,6 +367,73 @@ fn journal_growth_is_served_after_hot_reload() {
 }
 
 #[test]
+fn torn_tail_on_reload_degrades_to_last_good_epoch_and_recovers() {
+    let path = scratch("degrade");
+    write_journal(&path, 6);
+    let good_bytes = std::fs::read(&path).unwrap();
+    let (server, store) = start(&path, Some(Duration::from_millis(50)));
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Tear the journal tail: drop the last byte so the final frame is
+    // torn and the recovered prefix holds fewer observations than the
+    // epoch already being served.
+    std::fs::write(&path, &good_bytes[..good_bytes.len() - 1]).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while store.reload_failures() == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(store.reload_failures() >= 1, "reload failure never counted");
+    assert!(store.stale(), "store should be marked stale");
+    assert_eq!(store.epoch(), 0, "degradation must not swap epochs");
+
+    // The server keeps answering from the last-good snapshot, and says
+    // so: Health carries stale=true, Stats counts the failed reload.
+    match client.request(&Request::Health).unwrap() {
+        Reply::Health(h) => {
+            assert_eq!(h.observations, 6);
+            assert_eq!(h.epoch, 0);
+            assert!(h.stale, "health must advertise the degraded state");
+        }
+        other => panic!("health while degraded: {other:?}"),
+    }
+    match client
+        .request(&Request::Assign {
+            t: 5 * DAY,
+            network: 1,
+        })
+        .unwrap()
+    {
+        Reply::Assign { time, .. } => assert_eq!(time, 5 * DAY),
+        other => panic!("assign while degraded: {other:?}"),
+    }
+    match client.request(&Request::Stats).unwrap() {
+        Reply::Stats(s) => assert!(s.reload_failures >= 1),
+        other => panic!("stats while degraded: {other:?}"),
+    }
+
+    // Repair the journal in place. The file length matches the original
+    // load, so only the stale flag makes the reloader look again — a
+    // repaired journal must clear the degradation.
+    std::fs::write(&path, &good_bytes).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while store.stale() && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(!store.stale(), "repair never cleared the stale flag");
+    match client.request(&Request::Health).unwrap() {
+        Reply::Health(h) => {
+            assert_eq!(h.observations, 6);
+            assert!(!h.stale);
+            assert!(h.epoch >= 1, "recovery reload must bump the epoch");
+        }
+        other => panic!("health after repair: {other:?}"),
+    }
+
+    server.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn repeated_derived_queries_hit_the_cache() {
     let path = scratch("cache");
     write_journal(&path, 6);

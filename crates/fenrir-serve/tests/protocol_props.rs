@@ -113,7 +113,10 @@ fn reply() -> impl Strategy<Value = Reply> {
             }),
         (any::<u8>(), text("[ -~]{0,40}"))
             .prop_map(|(code, message)| Reply::Error { code, message }),
-        any::<u64>().prop_map(|inflight| Reply::Overloaded { inflight }),
+        (any::<u64>(), any::<u64>()).prop_map(|(inflight, retry_after_ms)| Reply::Overloaded {
+            inflight,
+            retry_after_ms,
+        }),
     ]
 }
 
@@ -243,6 +246,7 @@ fn all_replies() -> Vec<Reply> {
             per_site: vec![],
         },
         Reply::Health(HealthInfo {
+            replica: 2,
             epoch: 1,
             observations: 730,
             networks: 4096,
@@ -250,6 +254,7 @@ fn all_replies() -> Vec<Reply> {
             modes: 4,
             threshold: 0.27,
             torn: false,
+            stale: true,
             draining: true,
         }),
         Reply::Stats(StatsInfo {
@@ -260,13 +265,17 @@ fn all_replies() -> Vec<Reply> {
             cache_hits: 90_000,
             cache_misses: 10_000,
             reloads: 2,
+            reload_failures: 1,
             inflight: 6,
         }),
         Reply::Error {
             code: 2,
             message: "no observation at or before t=-1".into(),
         },
-        Reply::Overloaded { inflight: 64 },
+        Reply::Overloaded {
+            inflight: 64,
+            retry_after_ms: 100,
+        },
     ]
 }
 
