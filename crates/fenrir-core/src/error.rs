@@ -113,6 +113,24 @@ pub enum Error {
         /// Human-readable description of the failure.
         message: String,
     },
+    /// A storage-tier operation (put/get/list/delete/rename over named
+    /// segments) failed. `retryable` carries the backend's own verdict:
+    /// `true` for transient conditions a caller should retry with
+    /// backoff (an S3-style `SlowDown` throttle, a network blip, an
+    /// object not yet visible after its put), `false` for permanent
+    /// ones (a key that cannot exist, an invalid argument). Retry loops
+    /// branch on the flag; everything else just prints it.
+    Storage {
+        /// The storage operation that failed ("put", "get", "list",
+        /// "delete", "rename").
+        op: &'static str,
+        /// The object key (or key prefix) involved.
+        key: String,
+        /// Whether retrying the same operation can succeed.
+        retryable: bool,
+        /// Human-readable description of the failure.
+        message: String,
+    },
     /// A retrying caller (e.g. a resilient serving client) exhausted its
     /// attempt budget: every try against every candidate backend failed.
     /// Carries the last underlying failure so operators can see *why*
@@ -179,6 +197,16 @@ impl fmt::Display for Error {
             Error::Internal { what, message } => {
                 write!(f, "internal failure in {what}: {message}")
             }
+            Error::Storage {
+                op,
+                key,
+                retryable,
+                message,
+            } => write!(
+                f,
+                "storage {op} of {key:?} failed ({}): {message}",
+                if *retryable { "retryable" } else { "permanent" }
+            ),
             Error::Exhausted {
                 what,
                 attempts,
@@ -339,6 +367,28 @@ mod tests {
             e.to_string(),
             "corrupted journal header at byte 4: bad magic"
         );
+    }
+
+    #[test]
+    fn display_storage() {
+        let e = Error::Storage {
+            op: "put",
+            key: "segments/seg-00000007".into(),
+            retryable: true,
+            message: "SlowDown: request rate exceeded".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "storage put of \"segments/seg-00000007\" failed (retryable): \
+             SlowDown: request rate exceeded"
+        );
+        let p = Error::Storage {
+            op: "rename",
+            key: "manifest".into(),
+            retryable: false,
+            message: "source object does not exist".into(),
+        };
+        assert!(p.to_string().contains("(permanent)"));
     }
 
     #[test]

@@ -134,6 +134,80 @@ fn io_err(what: &'static str, e: std::io::Error) -> Error {
     }
 }
 
+/// Encode `frames` as complete journal bytes (header included) — the
+/// shared serializer behind [`Journal::rewrite`] and the tiered
+/// storage layer's sealed snapshot segments.
+pub(crate) fn encode_frames(frames: &[(u16, Vec<u8>)]) -> Result<Vec<u8>> {
+    let mut buf = header_bytes().to_vec();
+    for (kind, payload) in frames {
+        if payload.len() > u32::MAX as usize {
+            return Err(Error::InvalidParameter {
+                name: "frame payload",
+                message: format!("{} bytes exceeds the u32 frame length", payload.len()),
+            });
+        }
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&kind.to_le_bytes());
+        buf.extend_from_slice(&frame_checksum(*kind, payload).to_le_bytes());
+        buf.extend_from_slice(payload);
+    }
+    Ok(buf)
+}
+
+/// The compaction staging file for a journal at `path`.
+fn compact_tmp(path: &Path) -> PathBuf {
+    path.with_extension("compact.tmp")
+}
+
+/// The persistence backend a sink or pipeline writes through: a flat
+/// [`Journal`] (one file holds everything) or a
+/// [`crate::storage::TieredJournal`] (hot tail locally, sealed epochs
+/// in an object tier). Consumers append deltas and periodically replace
+/// the whole logical content; only the replacement differs per backend.
+#[derive(Debug)]
+pub(crate) enum Backend {
+    Flat(Journal),
+    Tiered(crate::storage::TieredJournal),
+}
+
+impl Backend {
+    pub(crate) fn append(&mut self, kind: u16, payload: &[u8]) -> Result<()> {
+        match self {
+            Backend::Flat(j) => j.append(kind, payload),
+            Backend::Tiered(t) => t.append(kind, payload),
+        }
+    }
+
+    /// Replace the logical journal content with `frames`: a flat journal
+    /// rewrites its file in place; a tiered journal seals `frames` as
+    /// the next epoch in the object tier. Either way an error —
+    /// including retry exhaustion against a throttling tier — leaves
+    /// the previous content fully intact.
+    pub(crate) fn replace_all(&mut self, frames: &[(u16, Vec<u8>)]) -> Result<()> {
+        match self {
+            Backend::Flat(j) => j.rewrite(frames),
+            Backend::Tiered(t) => t.seal(frames).map(|_| ()),
+        }
+    }
+
+    /// Locally durable bytes: the whole journal for a flat backend, only
+    /// the hot tail (base marker + deltas) for a tiered one.
+    pub(crate) fn bytes(&self) -> &[u8] {
+        match self {
+            Backend::Flat(j) => j.bytes(),
+            Backend::Tiered(t) => t.hot_bytes(),
+        }
+    }
+
+    /// The tiered backend, when this is one.
+    pub(crate) fn tier(&self) -> Option<&crate::storage::TieredJournal> {
+        match self {
+            Backend::Flat(_) => None,
+            Backend::Tiered(t) => Some(t),
+        }
+    }
+}
+
 /// An append-only checksummed frame log, in memory or file-backed.
 ///
 /// Appends go to the in-memory buffer and, when file-backed, are written
@@ -265,8 +339,16 @@ impl Journal {
 
     /// Open (or create) a file-backed journal, recovering the clean
     /// prefix. A torn tail is truncated off the file on open, so a second
-    /// crash cannot re-discover the same garbage.
+    /// crash cannot re-discover the same garbage. A leftover
+    /// `.compact.tmp` from a crash mid-compaction is removed — whatever
+    /// it holds, the named journal file is the authority, and keeping
+    /// the staging file around would leak it indefinitely.
     pub fn open(path: &Path) -> Result<(Self, Vec<Frame>, RecoveryReport)> {
+        match std::fs::remove_file(compact_tmp(path)) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(io_err("journal tmp cleanup", e)),
+        }
         let bytes = match std::fs::read(path) {
             Ok(b) => b,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
@@ -323,30 +405,16 @@ impl Journal {
 
     /// Replace the journal's whole content with `frames` — the compaction
     /// primitive. File-backed journals write the replacement to a sibling
-    /// temp file and rename it into place, so a crash mid-compaction
-    /// leaves either the old journal or the new one, never a mix.
+    /// temp file, fsync it, rename it into place, and **fsync the parent
+    /// directory**, so a crash mid-compaction (power loss included)
+    /// leaves either the old journal or the new one, never a mix — the
+    /// rename is a directory-entry mutation and is not durable until the
+    /// directory itself is synced.
     pub fn rewrite(&mut self, frames: &[(u16, Vec<u8>)]) -> Result<()> {
-        let mut buf = header_bytes().to_vec();
-        for (kind, payload) in frames {
-            if payload.len() > u32::MAX as usize {
-                return Err(Error::InvalidParameter {
-                    name: "frame payload",
-                    message: format!("{} bytes exceeds the u32 frame length", payload.len()),
-                });
-            }
-            buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-            buf.extend_from_slice(&kind.to_le_bytes());
-            buf.extend_from_slice(&frame_checksum(*kind, payload).to_le_bytes());
-            buf.extend_from_slice(payload);
-        }
+        let buf = encode_frames(frames)?;
         if let Some(path) = &self.path {
-            let tmp = path.with_extension("compact.tmp");
-            let mut f = File::create(&tmp).map_err(|e| io_err("journal compact", e))?;
-            f.write_all(&buf)
+            crate::storage::local::durable_replace_via(path, &compact_tmp(path), &buf)
                 .map_err(|e| io_err("journal compact", e))?;
-            f.sync_data().map_err(|e| io_err("journal sync", e))?;
-            drop(f);
-            std::fs::rename(&tmp, path).map_err(|e| io_err("journal compact", e))?;
             let file = OpenOptions::new()
                 .append(true)
                 .open(path)

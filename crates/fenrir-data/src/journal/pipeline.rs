@@ -27,7 +27,9 @@
 //! is healthy.
 
 use super::codec::{self, Dec};
-use super::{Frame, Journal, RecoveryReport};
+use super::{Backend, Frame, Journal, RecoveryReport};
+use crate::storage::tiered::hydrate_latest;
+use crate::storage::{RetryPolicy, Storage, TieredJournal};
 use fenrir_core::cluster::{Dendrogram, Linkage, Merge};
 use fenrir_core::error::{Error, Result};
 use fenrir_core::guard::{DivergenceGuard, SamplingRate};
@@ -40,6 +42,7 @@ use fenrir_core::time::Timestamp;
 use fenrir_core::vector::RoutingVector;
 use fenrir_core::weight::Weights;
 use std::path::Path;
+use std::sync::Arc;
 
 /// Frame kind: pipeline metadata (always the first frame).
 pub const KIND_PIPELINE_META: u16 = 0x20;
@@ -184,7 +187,7 @@ impl PipelineMeta {
 /// A journaled series → matrix → dendrogram pipeline.
 #[derive(Debug)]
 pub struct RecoverablePipeline {
-    journal: Journal,
+    journal: Backend,
     cfg: PipelineConfig,
     series: VectorSeries,
     matrix: Option<SimilarityMatrix>,
@@ -200,7 +203,7 @@ impl RecoverablePipeline {
     /// A fresh in-memory pipeline.
     pub fn in_memory(sites: SiteTable, networks: usize, cfg: PipelineConfig) -> Result<Self> {
         Self::attach(
-            Journal::in_memory(),
+            Backend::Flat(Journal::in_memory()),
             Vec::new(),
             RecoveryReport::default(),
             sites,
@@ -218,7 +221,33 @@ impl RecoverablePipeline {
         cfg: PipelineConfig,
     ) -> Result<Self> {
         let (journal, frames, report) = Journal::open(path)?;
-        Self::attach(journal, frames, report, sites, networks, cfg)
+        Self::attach(Backend::Flat(journal), frames, report, sites, networks, cfg)
+    }
+
+    /// Open (or create) a tiered pipeline journal: the hot tail lives at
+    /// `hot_path`, sealed epochs live under `prefix` in the object tier,
+    /// and [`Self::compact`] seals into the tier instead of rewriting
+    /// the local file. Recovery restores the current epoch's snapshot
+    /// plus the hot deltas, finishing any seal that crashed after its
+    /// commit point (see [`TieredJournal`]).
+    pub fn open_tiered(
+        hot_path: &Path,
+        store: Arc<dyn Storage>,
+        prefix: &str,
+        retry: RetryPolicy,
+        sites: SiteTable,
+        networks: usize,
+        cfg: PipelineConfig,
+    ) -> Result<Self> {
+        let (tiered, frames, report) = TieredJournal::open(hot_path, store, prefix, retry)?;
+        Self::attach(
+            Backend::Tiered(tiered),
+            frames,
+            report,
+            sites,
+            networks,
+            cfg,
+        )
     }
 
     /// Adopt raw journal bytes (corruption tests, in-memory round trips).
@@ -229,7 +258,7 @@ impl RecoverablePipeline {
         cfg: PipelineConfig,
     ) -> Result<Self> {
         let (journal, frames, report) = Journal::from_bytes(bytes)?;
-        Self::attach(journal, frames, report, sites, networks, cfg)
+        Self::attach(Backend::Flat(journal), frames, report, sites, networks, cfg)
     }
 
     /// Open a pipeline journal *without* taking ownership of the file:
@@ -246,6 +275,26 @@ impl RecoverablePipeline {
             message: format!("{}: {e}", path.display()),
         })?;
         Self::from_bytes_read_only(bytes)
+    }
+
+    /// Hydrate a read-only pipeline from the object tier alone: fetch
+    /// the newest sealed epoch under `prefix` and adopt its journaled
+    /// configuration, exactly like [`Self::open_read_only`] does for a
+    /// local file. No hot tail is read and no local state is required —
+    /// this is how a serving replica bootstraps on a machine that never
+    /// ran the writer. `Err(Error::EmptyInput)` means the tier answered
+    /// but nothing has been sealed yet; storage failures surface typed
+    /// (retried per `retry` first).
+    pub fn hydrate_read_only(
+        store: &dyn Storage,
+        prefix: &str,
+        retry: &RetryPolicy,
+    ) -> Result<Self> {
+        let Some((_gen, frames)) = hydrate_latest(store, prefix, retry)? else {
+            return Err(Error::EmptyInput("sealed tier epoch"));
+        };
+        let pairs: Vec<(u16, Vec<u8>)> = frames.into_iter().map(|f| (f.kind, f.payload)).collect();
+        Self::from_bytes_read_only(super::encode_frames(&pairs)?)
     }
 
     /// [`Self::open_read_only`] over bytes already in memory.
@@ -270,7 +319,14 @@ impl RecoverablePipeline {
             sampling: SamplingRate::default_for_build(),
             compact_every: None,
         };
-        Self::attach(journal, frames, report, sites, meta.networks, cfg)
+        Self::attach(
+            Backend::Flat(journal),
+            frames,
+            report,
+            sites,
+            meta.networks,
+            cfg,
+        )
     }
 
     fn meta_payload(&self) -> Vec<u8> {
@@ -292,7 +348,7 @@ impl RecoverablePipeline {
     }
 
     fn attach(
-        mut journal: Journal,
+        mut journal: Backend,
         frames: Vec<Frame>,
         report: RecoveryReport,
         sites: SiteTable,
@@ -308,7 +364,7 @@ impl RecoverablePipeline {
         }
         let guard = DivergenceGuard::new(cfg.sampling);
         let mut pipe = RecoverablePipeline {
-            journal: Journal::in_memory(),
+            journal: Backend::Flat(Journal::in_memory()),
             cfg,
             series: VectorSeries::new(sites, networks),
             matrix: None,
@@ -600,6 +656,11 @@ impl RecoverablePipeline {
 
     /// Fold everything into one snapshot frame (meta ‖ snapshot) — the
     /// compaction that bounds journal growth and restore replay cost.
+    /// On a tiered pipeline this *seals* the folded state as a new epoch
+    /// in the object tier and resets the hot tail; on error (including
+    /// retry exhaustion against a throttling tier) the previous epoch,
+    /// the hot deltas, and the delta counter are all untouched, so the
+    /// next compaction attempt simply retries the seal.
     pub fn compact(&mut self) -> Result<()> {
         let mut snap = Vec::new();
         codec::put_usize(&mut snap, self.series.len());
@@ -628,9 +689,15 @@ impl RecoverablePipeline {
                 frames.push((KIND_OBS_LATENCY, latency_payload(i, p)));
             }
         }
-        self.journal.rewrite(&frames)?;
+        self.journal.replace_all(&frames)?;
         self.deltas = 0;
         Ok(())
+    }
+
+    /// The tiered backend, when this pipeline was opened with
+    /// [`Self::open_tiered`].
+    pub fn tier(&self) -> Option<&TieredJournal> {
+        self.journal.tier()
     }
 
     /// The accumulated series.
@@ -676,7 +743,8 @@ impl RecoverablePipeline {
         &self.report
     }
 
-    /// The journal's current bytes.
+    /// The locally durable journal bytes: everything for a flat
+    /// pipeline, only the hot tail for a tiered one.
     pub fn bytes(&self) -> &[u8] {
         self.journal.bytes()
     }

@@ -15,10 +15,12 @@
 //! `run_recoverable` entry points are written against.
 
 use super::codec::{self, Dec, JournalRow};
-use super::{Frame, Journal, RecoveryReport};
+use super::{Backend, Frame, Journal, RecoveryReport};
+use crate::storage::{RetryPolicy, Storage, TieredJournal};
 use fenrir_core::error::{Error, Result};
 use fenrir_measure::{CampaignSink, ResumeState, SweepCheckpoint};
 use std::path::Path;
+use std::sync::Arc;
 
 /// Frame kind: campaign metadata (always the first frame).
 pub const KIND_CAMPAIGN_META: u16 = 0x10;
@@ -71,7 +73,7 @@ impl CampaignMeta {
 /// A [`CampaignSink`] that journals every sweep before acknowledging it.
 #[derive(Debug)]
 pub struct JournalSink<Row> {
-    journal: Journal,
+    journal: Backend,
     meta: CampaignMeta,
     state: ResumeState<Row>,
     deltas: usize,
@@ -83,7 +85,7 @@ impl<Row: JournalRow> JournalSink<Row> {
     /// A fresh in-memory sink (tests, dry runs).
     pub fn in_memory(meta: CampaignMeta) -> Result<Self> {
         Self::attach(
-            Journal::in_memory(),
+            Backend::Flat(Journal::in_memory()),
             Vec::new(),
             RecoveryReport::default(),
             meta,
@@ -93,17 +95,34 @@ impl<Row: JournalRow> JournalSink<Row> {
     /// Open (or create) a file-backed sink, recovering prior progress.
     pub fn open(path: &Path, meta: CampaignMeta) -> Result<Self> {
         let (journal, frames, report) = Journal::open(path)?;
-        Self::attach(journal, frames, report, meta)
+        Self::attach(Backend::Flat(journal), frames, report, meta)
+    }
+
+    /// Open (or create) a tiered sink: the hot tail lives at `hot_path`,
+    /// sealed epochs live under `prefix` in the object tier, and
+    /// [`Self::compact`] seals into the tier instead of rewriting the
+    /// local file. Recovery resumes from the current epoch plus the hot
+    /// deltas — including finishing a seal that crashed after its
+    /// commit point (see [`TieredJournal`]).
+    pub fn open_tiered(
+        hot_path: &Path,
+        store: Arc<dyn Storage>,
+        prefix: &str,
+        retry: RetryPolicy,
+        meta: CampaignMeta,
+    ) -> Result<Self> {
+        let (tiered, frames, report) = TieredJournal::open(hot_path, store, prefix, retry)?;
+        Self::attach(Backend::Tiered(tiered), frames, report, meta)
     }
 
     /// Adopt raw journal bytes (e.g. for corruption testing).
     pub fn from_bytes(bytes: Vec<u8>, meta: CampaignMeta) -> Result<Self> {
         let (journal, frames, report) = Journal::from_bytes(bytes)?;
-        Self::attach(journal, frames, report, meta)
+        Self::attach(Backend::Flat(journal), frames, report, meta)
     }
 
     fn attach(
-        mut journal: Journal,
+        mut journal: Backend,
         frames: Vec<Frame>,
         report: RecoveryReport,
         meta: CampaignMeta,
@@ -194,17 +213,27 @@ impl<Row: JournalRow> JournalSink<Row> {
         self
     }
 
-    /// Fold all deltas into one snapshot frame and rewrite the journal as
-    /// `meta ‖ snapshot`.
+    /// Fold all deltas into one snapshot frame and replace the logical
+    /// journal content with `meta ‖ snapshot` — rewriting the file in
+    /// place on a flat backend, sealing a new epoch into the object
+    /// tier on a tiered one. On error (including retry exhaustion
+    /// against a throttling tier) the previous content and the delta
+    /// counter are untouched, so compaction simply retries later.
     pub fn compact(&mut self) -> Result<()> {
         let mut snap = Vec::new();
         codec::put_resume(&mut snap, &self.state);
-        self.journal.rewrite(&[
+        self.journal.replace_all(&[
             (KIND_CAMPAIGN_META, self.meta.encode::<Row>()),
             (KIND_SNAPSHOT, snap),
         ])?;
         self.deltas = 0;
         Ok(())
+    }
+
+    /// The tiered backend, when this sink was opened with
+    /// [`Self::open_tiered`].
+    pub fn tier(&self) -> Option<&TieredJournal> {
+        self.journal.tier()
     }
 
     /// What recovery found when this sink opened its journal.
@@ -217,7 +246,8 @@ impl<Row: JournalRow> JournalSink<Row> {
         &self.state
     }
 
-    /// The journal's current bytes.
+    /// The locally durable journal bytes: everything for a flat sink,
+    /// only the hot tail for a tiered one.
     pub fn bytes(&self) -> &[u8] {
         self.journal.bytes()
     }

@@ -23,3 +23,4 @@ pub mod io;
 pub mod journal;
 mod json;
 pub mod scenarios;
+pub mod storage;

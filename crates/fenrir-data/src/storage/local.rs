@@ -1,0 +1,304 @@
+//! Local-disk segment storage: one file per key under a root directory.
+//!
+//! This backend is the journal's own file handling, extracted and made
+//! reusable — most importantly the **durable replace** idiom that a
+//! crash-safe rename needs on POSIX filesystems:
+//!
+//! 1. write the new bytes to a sibling `*.tmp` file and `fsync` it;
+//! 2. `rename(2)` the tmp over the destination (atomic on POSIX);
+//! 3. `fsync` the **parent directory**, so the rename itself — a
+//!    directory-entry mutation — is on stable storage before the caller
+//!    is told the object is durable.
+//!
+//! Skipping step 3 was a real crash bug in `Journal::rewrite`: after
+//! power loss the rename could be rolled back by the filesystem,
+//! resurrecting the pre-compaction journal *and* leaving the tmp file
+//! behind forever. [`durable_replace`] and the tmp sweep in
+//! [`LocalDisk::open`] (mirrored by `Journal::open`) close both holes.
+
+use super::{storage_err, validate_key, Storage};
+use fenrir_core::error::{Error, Result};
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Suffix of in-flight replacement files; anything wearing it is
+/// garbage after a crash and is swept on open.
+pub const TMP_SUFFIX: &str = ".tmp";
+
+/// Fsync a directory so a rename performed inside it is durable.
+///
+/// On platforms where directories cannot be opened for sync (e.g.
+/// Windows), the open fails and the error is swallowed — the rename is
+/// still atomic, just not power-loss durable, which matches what the
+/// platform can promise.
+pub fn fsync_dir(dir: &Path) -> std::io::Result<()> {
+    match File::open(dir) {
+        Ok(d) => d.sync_all(),
+        Err(_) => Ok(()),
+    }
+}
+
+/// Durably replace `path` with `bytes` via a sibling tmp file:
+/// write + fsync + rename + parent-dir fsync.
+pub fn durable_replace(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    durable_replace_via(path, &tmp_sibling(path), bytes)
+}
+
+/// [`durable_replace`] staging through an explicit tmp path (the
+/// journal keeps its historical `.compact.tmp` name).
+pub fn durable_replace_via(path: &Path, tmp: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    {
+        let mut f = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(tmp)?;
+        f.write_all(bytes)?;
+        f.sync_data()?;
+    }
+    fs::rename(tmp, path)?;
+    if let Some(parent) = path.parent() {
+        fsync_dir(parent)?;
+    }
+    Ok(())
+}
+
+/// The tmp path `durable_replace` stages through for `path`.
+pub fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(TMP_SUFFIX);
+    path.with_file_name(name)
+}
+
+/// Remove every `*.tmp` leftover under `dir` (one level deep per call,
+/// recursing into subdirectories). A crash mid-replace must not leak
+/// its staging file indefinitely.
+pub fn sweep_tmp(dir: &Path) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if entry.file_type()?.is_dir() {
+            sweep_tmp(&path)?;
+        } else if path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.ends_with(TMP_SUFFIX))
+        {
+            fs::remove_file(&path)?;
+        }
+    }
+    Ok(())
+}
+
+/// Segment files under a root directory; keys map to relative paths.
+#[derive(Debug)]
+pub struct LocalDisk {
+    root: PathBuf,
+}
+
+impl LocalDisk {
+    /// Open (or create) a local segment store rooted at `root`,
+    /// sweeping any `*.tmp` staging files a crash left behind.
+    pub fn open(root: &Path) -> Result<Self> {
+        fs::create_dir_all(root)
+            .map_err(|e| storage_err("open", root.display().to_string(), false, e.to_string()))?;
+        sweep_tmp(root)
+            .map_err(|e| storage_err("open", root.display().to_string(), true, e.to_string()))?;
+        Ok(LocalDisk {
+            root: root.to_path_buf(),
+        })
+    }
+
+    /// The backing directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path_of(&self, key: &str) -> PathBuf {
+        let mut p = self.root.clone();
+        p.extend(key.split('/'));
+        p
+    }
+
+    fn io(op: &'static str, key: &str, e: std::io::Error) -> Error {
+        // Local-disk failures are treated as retryable only when the OS
+        // says the resource is transiently busy; everything else (ENOENT
+        // on rename source, EACCES, ENOSPC…) needs an operator.
+        let retryable = matches!(
+            e.kind(),
+            std::io::ErrorKind::Interrupted | std::io::ErrorKind::WouldBlock
+        );
+        storage_err(op, key, retryable, e.to_string())
+    }
+
+    fn collect(
+        &self,
+        dir: &Path,
+        rel: &mut Vec<String>,
+        out: &mut Vec<String>,
+    ) -> std::io::Result<()> {
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            let Some(name) = entry.file_name().to_str().map(String::from) else {
+                continue; // non-UTF-8 names cannot be keys
+            };
+            if entry.file_type()?.is_dir() {
+                rel.push(name);
+                self.collect(&entry.path(), rel, out)?;
+                rel.pop();
+            } else if !name.ends_with(TMP_SUFFIX) {
+                let mut key = rel.join("/");
+                if !key.is_empty() {
+                    key.push('/');
+                }
+                key.push_str(&name);
+                out.push(key);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Storage for LocalDisk {
+    fn put(&self, key: &str, bytes: &[u8]) -> Result<()> {
+        validate_key("put", key)?;
+        let path = self.path_of(key);
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent).map_err(|e| Self::io("put", key, e))?;
+        }
+        durable_replace(&path, bytes).map_err(|e| Self::io("put", key, e))
+    }
+
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>> {
+        validate_key("get", key)?;
+        match fs::read(self.path_of(key)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(Self::io("get", key, e)),
+        }
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        let mut out = Vec::new();
+        self.collect(&self.root, &mut Vec::new(), &mut out)
+            .map_err(|e| Self::io("list", prefix, e))?;
+        out.retain(|k| k.starts_with(prefix));
+        out.sort();
+        Ok(out)
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        validate_key("delete", key)?;
+        match fs::remove_file(self.path_of(key)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(Self::io("delete", key, e)),
+        }
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        validate_key("rename", from)?;
+        validate_key("rename", to)?;
+        let src = self.path_of(from);
+        if !src.exists() {
+            return Err(storage_err(
+                "rename",
+                from,
+                false,
+                "source object does not exist",
+            ));
+        }
+        let dst = self.path_of(to);
+        if let Some(parent) = dst.parent() {
+            fs::create_dir_all(parent).map_err(|e| Self::io("rename", to, e))?;
+        }
+        fs::rename(&src, &dst).map_err(|e| Self::io("rename", from, e))?;
+        if let Some(parent) = dst.parent() {
+            let _ = fsync_dir(parent);
+        }
+        if let Some(parent) = src.parent() {
+            let _ = fsync_dir(parent);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("fenrir-localdisk-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn put_get_list_delete_rename_roundtrip() {
+        let root = scratch("roundtrip");
+        let disk = LocalDisk::open(&root).unwrap();
+        disk.put("segments/seg-00000001", b"alpha").unwrap();
+        disk.put("segments/seg-00000002", b"beta").unwrap();
+        disk.put("manifest", b"m1").unwrap();
+        assert_eq!(
+            disk.get("segments/seg-00000001").unwrap().unwrap(),
+            b"alpha"
+        );
+        assert_eq!(disk.get("missing").unwrap(), None);
+        assert_eq!(
+            disk.list("segments/").unwrap(),
+            vec!["segments/seg-00000001", "segments/seg-00000002"]
+        );
+        disk.rename("manifest", "manifest.old").unwrap();
+        assert_eq!(disk.get("manifest").unwrap(), None);
+        assert_eq!(disk.get("manifest.old").unwrap().unwrap(), b"m1");
+        disk.delete("segments/seg-00000001").unwrap();
+        disk.delete("segments/seg-00000001").unwrap(); // idempotent
+        assert_eq!(
+            disk.list("segments/").unwrap(),
+            vec!["segments/seg-00000002"]
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn put_replaces_atomically_and_overwrites() {
+        let root = scratch("replace");
+        let disk = LocalDisk::open(&root).unwrap();
+        disk.put("k", b"one").unwrap();
+        disk.put("k", b"two").unwrap();
+        assert_eq!(disk.get("k").unwrap().unwrap(), b"two");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn open_sweeps_stale_tmp_files() {
+        let root = scratch("sweep");
+        fs::create_dir_all(root.join("segments")).unwrap();
+        fs::write(root.join("segments/seg-00000009.tmp"), b"torn").unwrap();
+        fs::write(root.join("live"), b"ok").unwrap();
+        let disk = LocalDisk::open(&root).unwrap();
+        assert!(!root.join("segments/seg-00000009.tmp").exists());
+        assert_eq!(disk.list("").unwrap(), vec!["live"]);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn rename_of_missing_source_is_permanent() {
+        let root = scratch("rename-missing");
+        let disk = LocalDisk::open(&root).unwrap();
+        assert!(matches!(
+            disk.rename("ghost", "elsewhere"),
+            Err(fenrir_core::error::Error::Storage {
+                retryable: false,
+                ..
+            })
+        ));
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,162 @@
+//! Pluggable, fault-injectable storage tiers for journal bytes at rest.
+//!
+//! The journal layer ([`crate::journal`]) gives Fenrir durable local
+//! files; this module makes *where the bytes live* a pluggable choice.
+//! Routing archives outlive and outgrow single disks — the paper's
+//! substrate is years of B-Root catchment sweeps — so the same chaos
+//! discipline the measurement pipeline applies to probes and the serving
+//! layer applies to TCP is applied here to storage operations
+//! themselves.
+//!
+//! * [`Storage`] — the backend contract: `put`/`get`/`list`/`delete`/
+//!   `rename` over named segments, every failure a typed
+//!   [`Error::Storage`] carrying the backend's retryable/permanent
+//!   verdict.
+//! * [`local::LocalDisk`] — segment files under a root directory, with
+//!   the durable-replace idiom (tmp file, fsync, rename, **parent-dir
+//!   fsync**) extracted from the journal's own file handling.
+//! * [`object::ObjectSim`] — an in-process object store with S3-like
+//!   semantics: injected latency, `SlowDown`-style throttling,
+//!   transient failures, and bounded eventual visibility after put,
+//!   all drawn from a seed-deterministic ChaCha8 stream so a failing
+//!   chaos test replays exactly.
+//! * [`retry::RetryPolicy`] — jittered-exponential-backoff retry with an
+//!   attempt budget and an overall deadline; exhaustion surfaces as a
+//!   typed [`Error::Exhausted`], never a hang.
+//! * [`tiered::TieredJournal`] — the composite tier: hot journal tail on
+//!   local disk, sealed snapshot segments pushed to the object tier
+//!   under a checksummed manifest, cold epochs hydrated on demand.
+//!
+//! ## Key syntax
+//!
+//! Keys are UTF-8 paths with `/` separators: non-empty, no leading or
+//! trailing `/`, no empty / `.` / `..` components (so a hostile key can
+//! never escape a [`local::LocalDisk`] root). [`validate_key`] is the
+//! single checkpoint every backend routes through.
+
+pub mod local;
+pub mod object;
+pub mod retry;
+pub mod tiered;
+
+pub use local::LocalDisk;
+pub use object::{ObjectChaos, ObjectSim};
+pub use retry::RetryPolicy;
+pub use tiered::{Manifest, SegmentEntry, TieredJournal};
+
+use fenrir_core::error::{Error, Result};
+
+/// A storage backend holding named immutable byte segments.
+///
+/// Semantics every backend must honour:
+///
+/// * **`put` is atomic per key**: a reader never observes a partially
+///   written object — it sees the old bytes, the new bytes, or (within
+///   a backend's bounded visibility window) nothing.
+/// * **`get` distinguishes absence from failure**: `Ok(None)` means the
+///   backend answered and the key has no (visible) object; `Err` means
+///   the operation itself failed.
+/// * **`delete` is idempotent**: deleting a missing key succeeds.
+/// * **`rename` atomically replaces the destination** and fails with a
+///   permanent error if the source does not exist.
+/// * **Errors are typed**: every failure is [`Error::Storage`] with an
+///   honest `retryable` flag (see [`retry::RetryPolicy`]).
+///
+/// Backends may be eventually consistent: an object `put` may stay
+/// invisible to `get`/`list` for a *bounded* window (the object tier
+/// simulation models this explicitly). Callers that need
+/// read-after-write certainty keep their own ground truth — the tiered
+/// journal records its expected generation in the local hot tail for
+/// exactly this reason.
+pub trait Storage: Send + Sync {
+    /// Store `bytes` under `key`, replacing any existing object.
+    fn put(&self, key: &str, bytes: &[u8]) -> Result<()>;
+    /// Fetch the object at `key`; `Ok(None)` when no object is visible.
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>>;
+    /// All visible keys starting with `prefix`, in lexicographic order.
+    fn list(&self, prefix: &str) -> Result<Vec<String>>;
+    /// Remove the object at `key` (succeeds when already absent).
+    fn delete(&self, key: &str) -> Result<()>;
+    /// Atomically move `from` to `to`, replacing any existing `to`.
+    fn rename(&self, from: &str, to: &str) -> Result<()>;
+}
+
+/// Build a typed storage error.
+pub fn storage_err(
+    op: &'static str,
+    key: impl Into<String>,
+    retryable: bool,
+    message: impl Into<String>,
+) -> Error {
+    Error::Storage {
+        op,
+        key: key.into(),
+        retryable,
+        message: message.into(),
+    }
+}
+
+/// Whether an error is a retryable storage failure — the single
+/// predicate retry loops branch on.
+pub fn is_retryable(e: &Error) -> bool {
+    matches!(
+        e,
+        Error::Storage {
+            retryable: true,
+            ..
+        }
+    )
+}
+
+/// Reject keys that are empty, absolute, or contain empty/`.`/`..`
+/// components. Every backend validates through here so key discipline
+/// is identical across tiers.
+pub fn validate_key(op: &'static str, key: &str) -> Result<()> {
+    let bad = |message: &str| Err(storage_err(op, key, false, message));
+    if key.is_empty() {
+        return bad("empty key");
+    }
+    if key.starts_with('/') || key.ends_with('/') {
+        return bad("key must not start or end with '/'");
+    }
+    for comp in key.split('/') {
+        if comp.is_empty() {
+            return bad("empty path component");
+        }
+        if comp == "." || comp == ".." {
+            return bad("relative path component");
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_validation_rejects_escapes() {
+        assert!(validate_key("put", "segments/seg-00000001").is_ok());
+        assert!(validate_key("put", "manifest").is_ok());
+        for bad in ["", "/abs", "trail/", "a//b", "../up", "a/./b", "a/../b"] {
+            let e = validate_key("put", bad).unwrap_err();
+            assert!(
+                matches!(
+                    e,
+                    Error::Storage {
+                        retryable: false,
+                        ..
+                    }
+                ),
+                "{bad:?} must be a permanent error, got {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn retryable_predicate_matches_only_retryable_storage_errors() {
+        assert!(is_retryable(&storage_err("put", "k", true, "SlowDown")));
+        assert!(!is_retryable(&storage_err("put", "k", false, "bad key")));
+        assert!(!is_retryable(&Error::ZeroWeight));
+    }
+}

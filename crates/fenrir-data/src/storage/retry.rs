@@ -1,0 +1,213 @@
+//! Bounded, jittered retry for storage operations.
+//!
+//! The serving layer's `ResilientClient` established the retry contract
+//! this module reuses one layer down: a fixed attempt budget, jittered
+//! exponential backoff (seed-deterministic, so tests replay exactly),
+//! an overall deadline no sleep may cross, and **typed exhaustion** —
+//! when the budget or deadline is spent the caller gets
+//! [`Error::Exhausted`] carrying the last underlying failure, never a
+//! hang and never a silent partial result.
+//!
+//! Only failures the backend marked retryable ([`Error::Storage`] with
+//! `retryable: true`) are retried; permanent errors pass straight
+//! through so a misconfigured key cannot burn a whole budget.
+
+use super::is_retryable;
+use fenrir_core::error::{Error, Result};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::time::{Duration, Instant};
+
+/// Retry budget and backoff shape for storage operations.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Attempts per operation (at least 1).
+    pub max_attempts: u32,
+    /// First backoff; doubles per attempt up to [`Self::backoff_max`].
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_max: Duration,
+    /// Overall per-operation deadline; attempts and backoffs never
+    /// sleep past it.
+    pub deadline: Duration,
+    /// Seed for backoff jitter (deterministic across runs).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            backoff_base: Duration::from_millis(2),
+            backoff_max: Duration::from_millis(100),
+            deadline: Duration::from_secs(5),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that tries exactly once — for callers that do their own
+    /// degradation (e.g. a serving replica that would rather go stale
+    /// than stall).
+    pub fn once() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Reject budgets that admit no attempt.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_attempts == 0 {
+            return Err(Error::Config {
+                name: "max_attempts",
+                message: "the retry budget must admit at least one attempt".into(),
+            });
+        }
+        if self.deadline.is_zero() {
+            return Err(Error::Config {
+                name: "deadline",
+                message: "the overall deadline must be positive".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Run `f` until it succeeds, fails permanently, or the budget or
+    /// deadline is spent. `what` names the operation in the
+    /// [`Error::Exhausted`] raised on a spent budget.
+    pub fn run<T>(&self, what: &'static str, mut f: impl FnMut() -> Result<T>) -> Result<T> {
+        self.validate()?;
+        let overall = Instant::now() + self.deadline;
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            let e = match f() {
+                Ok(v) => return Ok(v),
+                Err(e) if is_retryable(&e) => e,
+                // A permanent failure is the answer, not a reason to
+                // spend budget.
+                Err(e) => return Err(e),
+            };
+            if attempts >= self.max_attempts || Instant::now() >= overall {
+                return Err(Error::Exhausted {
+                    what,
+                    attempts,
+                    message: e.to_string(),
+                });
+            }
+            // Jitter in [0.5, 1.5): desynchronises retrying writers
+            // without changing the expected backoff.
+            let exp = self
+                .backoff_base
+                .saturating_mul(1u32 << (attempts - 1).min(16));
+            let jittered = exp.min(self.backoff_max).mul_f64(0.5 + rng.gen::<f64>());
+            let remaining = overall.saturating_duration_since(Instant::now());
+            let sleep = jittered.min(remaining);
+            if !sleep.is_zero() {
+                std::thread::sleep(sleep);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::storage_err;
+    use super::*;
+
+    fn quick() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            backoff_base: Duration::from_micros(100),
+            backoff_max: Duration::from_micros(500),
+            deadline: Duration::from_secs(1),
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn retries_transient_failures_until_success() {
+        let mut left = 2;
+        let got = quick().run("test put", || {
+            if left > 0 {
+                left -= 1;
+                Err(storage_err("put", "k", true, "SlowDown"))
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(got.unwrap(), 42);
+    }
+
+    #[test]
+    fn exhaustion_is_typed_and_carries_the_last_failure() {
+        let mut calls = 0u32;
+        let e = quick()
+            .run("test put", || -> Result<()> {
+                calls += 1;
+                Err(storage_err("put", "k", true, "SlowDown"))
+            })
+            .unwrap_err();
+        assert_eq!(calls, 4);
+        match e {
+            Error::Exhausted {
+                what,
+                attempts,
+                message,
+            } => {
+                assert_eq!(what, "test put");
+                assert_eq!(attempts, 4);
+                assert!(message.contains("SlowDown"));
+            }
+            other => panic!("expected Exhausted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn permanent_failures_do_not_burn_the_budget() {
+        let mut calls = 0u32;
+        let e = quick()
+            .run("test put", || -> Result<()> {
+                calls += 1;
+                Err(storage_err("put", "../k", false, "bad key"))
+            })
+            .unwrap_err();
+        assert_eq!(calls, 1);
+        assert!(matches!(
+            e,
+            Error::Storage {
+                retryable: false,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn deadline_bounds_the_whole_loop() {
+        let policy = RetryPolicy {
+            max_attempts: 1_000_000,
+            backoff_base: Duration::from_millis(1),
+            backoff_max: Duration::from_millis(1),
+            deadline: Duration::from_millis(50),
+            seed: 0,
+        };
+        let start = Instant::now();
+        let e = policy
+            .run("test put", || -> Result<()> {
+                Err(storage_err("put", "k", true, "SlowDown"))
+            })
+            .unwrap_err();
+        assert!(matches!(e, Error::Exhausted { .. }));
+        assert!(start.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn zero_budgets_are_rejected() {
+        let mut p = quick();
+        p.max_attempts = 0;
+        assert!(matches!(p.run("x", || Ok(())), Err(Error::Config { .. })));
+    }
+}

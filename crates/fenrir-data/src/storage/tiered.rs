@@ -1,0 +1,722 @@
+//! The tiered journal: hot tail on local disk, sealed epochs in the
+//! object tier, cold epochs hydrated on demand.
+//!
+//! A long-running campaign's journal grows without bound; compaction
+//! folds history into a snapshot, but the snapshot itself still lives on
+//! one disk. The tiered journal pushes each sealed snapshot — an
+//! **epoch** — to an object store as an immutable, checksummed FNRJ
+//! segment, recorded in a checksummed [`Manifest`], and keeps only a
+//! tiny hot tail locally: one [`KIND_TIER_BASE`] frame naming the epoch
+//! the tail extends, plus the deltas appended since that seal.
+//!
+//! ## The seal protocol and its crash points
+//!
+//! [`TieredJournal::seal`] commits in three ordered steps:
+//!
+//! 1. `put` the new epoch's segment at `{prefix}/segments/seg-<gen>`;
+//! 2. `put` the manifest now referencing it — **the commit point**;
+//! 3. rewrite the local hot tail to a single base frame for `<gen>`.
+//!
+//! A crash (or retry exhaustion) between any two steps recovers to
+//! exactly the old epoch or the new one, never a mix:
+//!
+//! * after 1, before 2 — the manifest never mentions the new segment;
+//!   [`TieredJournal::open`] sees `manifest.latest == hot base` and
+//!   resumes the old epoch with its deltas intact. The orphan segment
+//!   is harmless: the next seal of that generation overwrites it, and
+//!   [`TieredJournal::gc_orphans`] can reclaim it.
+//! * after 2, before 3 — the manifest's latest generation is *ahead* of
+//!   the hot tail's base. The deltas still sitting in the tail are by
+//!   construction folded into that newer epoch (a seal always seals the
+//!   full logical state), so `open` finishes the interrupted step 3:
+//!   it resets the tail and serves the new epoch.
+//!
+//! Eventual visibility adds one more wrinkle: right after a seal, a
+//! reader may still be served the *previous* manifest. The hot tail's
+//! base generation is local ground truth, so `open` treats a manifest
+//! older than the tail's promise as a retryable condition and leans on
+//! [`RetryPolicy`] until the committed manifest becomes visible.
+
+use super::{storage_err, validate_key, RetryPolicy, Storage};
+use crate::journal::{self, Frame, Journal, RecoveryReport};
+use fenrir_core::error::{Error, Result};
+use fenrir_wire::checksum::internet_checksum;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Frame kind of the hot tail's base marker. Its payload is the u64 LE
+/// generation of the sealed epoch the tail extends. Kept below every
+/// consumer range (campaign frames 0x10+, pipeline frames 0x20+) so it
+/// can never collide with a payload frame.
+pub const KIND_TIER_BASE: u16 = 0x0F;
+
+/// First four bytes of an encoded manifest.
+pub const MANIFEST_MAGIC: [u8; 4] = *b"FNRM";
+/// Current manifest format version.
+pub const MANIFEST_VERSION: u16 = 1;
+
+/// The manifest object's key under a tier prefix.
+pub fn manifest_key(prefix: &str) -> String {
+    format!("{prefix}/manifest")
+}
+
+/// The segment object's key for epoch `gen` under a tier prefix.
+pub fn segment_key(prefix: &str, gen: u64) -> String {
+    format!("{prefix}/segments/seg-{gen:08}")
+}
+
+/// One sealed epoch as the manifest records it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentEntry {
+    /// Epoch generation (1-based; 0 means "nothing sealed yet").
+    pub gen: u64,
+    /// Object key of the segment.
+    pub key: String,
+    /// Exact segment length in bytes.
+    pub len: u64,
+    /// Internet checksum of the whole segment object.
+    pub sum: u16,
+    /// Frame count inside the segment.
+    pub frames: u32,
+}
+
+/// The checksummed index of sealed epochs, stored as one object so its
+/// replacement is atomic per the [`Storage`] contract.
+///
+/// ```text
+/// manifest := magic "FNRM" | version u16 LE | count u32 LE
+///             entry* | sum u16 LE
+/// entry    := gen u64 LE | len u64 LE | frames u32 LE | seg_sum u16 LE
+///             | key_len u16 LE | key (key_len bytes, UTF-8)
+/// ```
+///
+/// `sum` is the internet checksum over every preceding byte, so a
+/// torn or bit-flipped manifest is detected before any segment it
+/// names is trusted.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Manifest {
+    /// Sealed epochs in ascending generation order.
+    pub entries: Vec<SegmentEntry>,
+}
+
+impl Manifest {
+    /// Generation of the newest sealed epoch (0 when none).
+    pub fn latest_gen(&self) -> u64 {
+        self.entries.last().map_or(0, |e| e.gen)
+    }
+
+    /// The entry for epoch `gen`, if sealed.
+    pub fn entry(&self, gen: u64) -> Option<&SegmentEntry> {
+        self.entries.iter().find(|e| e.gen == gen)
+    }
+
+    /// Serialize with the trailing checksum.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = MANIFEST_MAGIC.to_vec();
+        buf.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+        buf.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for e in &self.entries {
+            buf.extend_from_slice(&e.gen.to_le_bytes());
+            buf.extend_from_slice(&e.len.to_le_bytes());
+            buf.extend_from_slice(&e.frames.to_le_bytes());
+            buf.extend_from_slice(&e.sum.to_le_bytes());
+            buf.extend_from_slice(&(e.key.len() as u16).to_le_bytes());
+            buf.extend_from_slice(e.key.as_bytes());
+        }
+        let sum = internet_checksum(&buf);
+        buf.extend_from_slice(&sum.to_le_bytes());
+        buf
+    }
+
+    /// Decode and verify a manifest object; any structural or checksum
+    /// failure is [`Error::Corrupted`] — a manifest is never partially
+    /// trusted.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let corrupt = |offset: usize, message: String| Error::Corrupted {
+            what: "tier manifest",
+            offset,
+            message,
+        };
+        if bytes.len() < 12 {
+            return Err(corrupt(
+                bytes.len(),
+                format!("manifest truncated to {} bytes", bytes.len()),
+            ));
+        }
+        if bytes[..4] != MANIFEST_MAGIC {
+            return Err(corrupt(0, format!("bad magic {:02x?}", &bytes[..4])));
+        }
+        let version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
+        if version != MANIFEST_VERSION {
+            return Err(corrupt(
+                4,
+                format!("unsupported version {version} (this build reads {MANIFEST_VERSION})"),
+            ));
+        }
+        let body_len = bytes.len() - 2;
+        let stored = u16::from_le_bytes(bytes[body_len..].try_into().unwrap());
+        let computed = internet_checksum(&bytes[..body_len]);
+        if stored != computed {
+            return Err(corrupt(
+                body_len,
+                format!(
+                    "manifest checksum mismatch (stored {stored:#06x}, computed {computed:#06x})"
+                ),
+            ));
+        }
+        let count = u32::from_le_bytes(bytes[6..10].try_into().unwrap()) as usize;
+        let mut entries = Vec::with_capacity(count.min(1024));
+        let mut pos = 10;
+        for _ in 0..count {
+            if body_len - pos < 24 {
+                return Err(corrupt(pos, "manifest entry truncated".into()));
+            }
+            let gen = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
+            let len = u64::from_le_bytes(bytes[pos + 8..pos + 16].try_into().unwrap());
+            let frames = u32::from_le_bytes(bytes[pos + 16..pos + 20].try_into().unwrap());
+            let sum = u16::from_le_bytes(bytes[pos + 20..pos + 22].try_into().unwrap());
+            let key_len =
+                u16::from_le_bytes(bytes[pos + 22..pos + 24].try_into().unwrap()) as usize;
+            pos += 24;
+            if body_len - pos < key_len {
+                return Err(corrupt(pos, "manifest key truncated".into()));
+            }
+            let key = std::str::from_utf8(&bytes[pos..pos + key_len])
+                .map_err(|e| corrupt(pos, format!("manifest key is not UTF-8: {e}")))?
+                .to_string();
+            pos += key_len;
+            if entries.last().is_some_and(|p: &SegmentEntry| p.gen >= gen) {
+                return Err(corrupt(
+                    pos,
+                    format!("generation {gen} out of order in manifest"),
+                ));
+            }
+            entries.push(SegmentEntry {
+                gen,
+                key,
+                len,
+                frames,
+                sum,
+            });
+        }
+        if pos != body_len {
+            return Err(corrupt(
+                pos,
+                format!("{} trailing bytes after last entry", body_len - pos),
+            ));
+        }
+        Ok(Manifest { entries })
+    }
+}
+
+/// Hot local tail + sealed epochs in an object tier. See the module
+/// docs for the seal protocol and crash-recovery argument.
+pub struct TieredJournal {
+    hot: Journal,
+    hot_path: PathBuf,
+    base_gen: u64,
+    store: Arc<dyn Storage>,
+    prefix: String,
+    retry: RetryPolicy,
+    manifest: Manifest,
+}
+
+impl std::fmt::Debug for TieredJournal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TieredJournal")
+            .field("hot_path", &self.hot_path)
+            .field("base_gen", &self.base_gen)
+            .field("prefix", &self.prefix)
+            .field("sealed_epochs", &self.manifest.entries.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Split a recovered hot tail into its base generation and delta
+/// frames. A base frame anywhere but first, or with a malformed
+/// payload, is corruption — appends can never produce one.
+fn split_base(frames: Vec<Frame>) -> Result<(u64, Vec<Frame>)> {
+    let mut iter = frames.into_iter();
+    let (base, mut deltas): (u64, Vec<Frame>) = match iter.next() {
+        Some(f) if f.kind == KIND_TIER_BASE => {
+            let bytes: [u8; 8] = f
+                .payload
+                .as_slice()
+                .try_into()
+                .map_err(|_| Error::Corrupted {
+                    what: "tier base frame",
+                    offset: 0,
+                    message: format!("base payload is {} bytes, expected 8", f.payload.len()),
+                })?;
+            (u64::from_le_bytes(bytes), Vec::new())
+        }
+        Some(f) => (0, vec![f]),
+        None => (0, Vec::new()),
+    };
+    for f in iter {
+        if f.kind == KIND_TIER_BASE {
+            return Err(Error::Corrupted {
+                what: "tier base frame",
+                offset: 0,
+                message: "base frame found after the first position".into(),
+            });
+        }
+        deltas.push(f);
+    }
+    Ok((base, deltas))
+}
+
+/// Fetch and verify one sealed segment, returning its frames.
+fn fetch_segment(
+    store: &dyn Storage,
+    retry: &RetryPolicy,
+    entry: &SegmentEntry,
+) -> Result<Vec<Frame>> {
+    let bytes = retry.run("segment fetch", || match store.get(&entry.key)? {
+        Some(b) => Ok(b),
+        // The manifest names it, so the put happened; invisibility is
+        // the backend's bounded lag, not absence.
+        None => Err(storage_err(
+            "get",
+            entry.key.clone(),
+            true,
+            "sealed segment not visible yet",
+        )),
+    })?;
+    if bytes.len() as u64 != entry.len || internet_checksum(&bytes) != entry.sum {
+        return Err(Error::Corrupted {
+            what: "tier segment",
+            offset: 0,
+            message: format!(
+                "segment {} fails verification: {} bytes (manifest says {}), checksum {:#06x} (manifest says {:#06x})",
+                entry.key,
+                bytes.len(),
+                entry.len,
+                internet_checksum(&bytes),
+                entry.sum
+            ),
+        });
+    }
+    let (frames, report) = Journal::decode(&bytes)?;
+    if !report.is_clean() || frames.len() as u32 != entry.frames {
+        return Err(Error::Corrupted {
+            what: "tier segment",
+            offset: report.clean_bytes,
+            message: format!(
+                "segment {} decoded {} clean frames, manifest says {}",
+                entry.key,
+                frames.len(),
+                entry.frames
+            ),
+        });
+    }
+    Ok(frames)
+}
+
+/// Hydrate the newest sealed epoch under `prefix` directly from the
+/// object tier — no local hot tail required. This is how a serving
+/// replica bootstraps from the tier alone: `Ok(None)` means the tier
+/// answered and nothing has been sealed yet; errors are typed
+/// (retryable storage failures already retried per `retry`).
+pub fn hydrate_latest(
+    store: &dyn Storage,
+    prefix: &str,
+    retry: &RetryPolicy,
+) -> Result<Option<(u64, Vec<Frame>)>> {
+    validate_key("hydrate", prefix)?;
+    let key = manifest_key(prefix);
+    let Some(bytes) = retry.run("manifest fetch", || store.get(&key))? else {
+        return Ok(None);
+    };
+    let manifest = Manifest::decode(&bytes)?;
+    let Some(entry) = manifest.entries.last() else {
+        return Ok(None);
+    };
+    let frames = fetch_segment(store, retry, entry)?;
+    Ok(Some((entry.gen, frames)))
+}
+
+impl TieredJournal {
+    /// Open (or create) a tiered journal: recover the local hot tail,
+    /// load the manifest (retrying past eventual-visibility staleness),
+    /// finish any seal that crashed after its commit point, and return
+    /// the full logical frame set — the current epoch's sealed frames
+    /// followed by the hot deltas.
+    pub fn open(
+        hot_path: &Path,
+        store: Arc<dyn Storage>,
+        prefix: &str,
+        retry: RetryPolicy,
+    ) -> Result<(Self, Vec<Frame>, RecoveryReport)> {
+        validate_key("open", prefix)?;
+        retry.validate()?;
+        let (mut hot, hot_frames, report) = Journal::open(hot_path)?;
+        let (mut base_gen, mut deltas) = split_base(hot_frames)?;
+        let key = manifest_key(prefix);
+        let manifest = retry.run("manifest fetch", || match store.get(&key)? {
+            None if base_gen == 0 => Ok(Manifest::default()),
+            None => Err(storage_err(
+                "get",
+                key.clone(),
+                true,
+                format!("manifest not visible yet (hot tail expects generation {base_gen})"),
+            )),
+            Some(bytes) => {
+                let m = Manifest::decode(&bytes)?;
+                if m.latest_gen() < base_gen {
+                    // The tail was reset only after a manifest put
+                    // succeeded, so a manifest older than the tail's
+                    // promise is a stale read, not the truth.
+                    Err(storage_err(
+                        "get",
+                        key.clone(),
+                        true,
+                        format!(
+                            "stale manifest: latest generation {} behind hot tail's {base_gen}",
+                            m.latest_gen()
+                        ),
+                    ))
+                } else {
+                    Ok(m)
+                }
+            }
+        })?;
+        if manifest.latest_gen() > base_gen {
+            // A seal committed its manifest but crashed before resetting
+            // the tail. The deltas here were folded into that newer
+            // epoch, so finishing the reset discards nothing.
+            let gen = manifest.latest_gen();
+            hot.rewrite(&[(KIND_TIER_BASE, gen.to_le_bytes().to_vec())])?;
+            base_gen = gen;
+            deltas.clear();
+        }
+        let mut frames = match manifest.entry(base_gen) {
+            Some(entry) => fetch_segment(store.as_ref(), &retry, entry)?,
+            None if base_gen == 0 => Vec::new(),
+            None => {
+                return Err(Error::Corrupted {
+                    what: "tier manifest",
+                    offset: 0,
+                    message: format!("manifest has no entry for hot tail generation {base_gen}"),
+                })
+            }
+        };
+        frames.extend(deltas);
+        Ok((
+            TieredJournal {
+                hot,
+                hot_path: hot_path.to_path_buf(),
+                base_gen,
+                store,
+                prefix: prefix.to_string(),
+                retry,
+                manifest,
+            },
+            frames,
+            report,
+        ))
+    }
+
+    /// Append one delta frame to the hot tail (durable locally before
+    /// returning, like [`Journal::append`]).
+    pub fn append(&mut self, kind: u16, payload: &[u8]) -> Result<()> {
+        if kind == KIND_TIER_BASE {
+            return Err(Error::InvalidParameter {
+                name: "kind",
+                message: format!(
+                    "frame kind {KIND_TIER_BASE:#06x} is reserved for the tier base marker"
+                ),
+            });
+        }
+        self.hot.append(kind, payload)
+    }
+
+    /// Seal `frames` — the **full logical state**, e.g. a compaction's
+    /// folded snapshot — as the next epoch, then reset the hot tail.
+    /// On success the logical journal content is exactly `frames`.
+    ///
+    /// Every storage failure path leaves the journal consistent: retry
+    /// exhaustion on either put surfaces [`Error::Exhausted`] with the
+    /// old epoch (hot deltas included) fully intact, at worst leaking
+    /// one orphan segment that the next seal overwrites.
+    pub fn seal(&mut self, frames: &[(u16, Vec<u8>)]) -> Result<u64> {
+        for (kind, _) in frames {
+            if *kind == KIND_TIER_BASE {
+                return Err(Error::InvalidParameter {
+                    name: "frames",
+                    message: format!(
+                        "frame kind {KIND_TIER_BASE:#06x} is reserved for the tier base marker"
+                    ),
+                });
+            }
+        }
+        let gen = self.manifest.latest_gen().max(self.base_gen) + 1;
+        let bytes = journal::encode_frames(frames)?;
+        let key = segment_key(&self.prefix, gen);
+        self.retry
+            .run("segment seal", || self.store.put(&key, &bytes))?;
+        let mut next = self.manifest.clone();
+        next.entries.push(SegmentEntry {
+            gen,
+            key,
+            len: bytes.len() as u64,
+            sum: internet_checksum(&bytes),
+            frames: frames.len() as u32,
+        });
+        let mbytes = next.encode();
+        let mkey = manifest_key(&self.prefix);
+        self.retry
+            .run("manifest publish", || self.store.put(&mkey, &mbytes))?;
+        // Commit point passed: the epoch exists even if we crash here —
+        // open() finishes this reset from the manifest.
+        self.hot
+            .rewrite(&[(KIND_TIER_BASE, gen.to_le_bytes().to_vec())])?;
+        self.manifest = next;
+        self.base_gen = gen;
+        Ok(gen)
+    }
+
+    /// Re-read a cold epoch's frames from the object tier, verifying
+    /// length and checksum against the manifest.
+    pub fn hydrate_epoch(&self, gen: u64) -> Result<Vec<Frame>> {
+        let entry = self
+            .manifest
+            .entry(gen)
+            .ok_or_else(|| Error::InvalidParameter {
+                name: "gen",
+                message: format!("no sealed epoch with generation {gen}"),
+            })?;
+        fetch_segment(self.store.as_ref(), &self.retry, entry)
+    }
+
+    /// Delete segment objects newer than the manifest's latest
+    /// generation — the at-most-one orphan a crashed seal can leave.
+    /// Only the (single) writer may call this, and only once its own
+    /// manifest view is current; a fresh `open` that raced a
+    /// crashed-but-committed seal under eventual visibility could
+    /// otherwise reclaim a referenced segment.
+    pub fn gc_orphans(&self) -> Result<Vec<String>> {
+        let latest = self.manifest.latest_gen();
+        let dir = format!("{}/segments/", self.prefix);
+        let keys = self.retry.run("segment list", || self.store.list(&dir))?;
+        let mut gone = Vec::new();
+        for key in keys {
+            let orphan = key
+                .rsplit("seg-")
+                .next()
+                .and_then(|g| g.parse::<u64>().ok())
+                .is_some_and(|g| g > latest);
+            if orphan {
+                self.retry
+                    .run("segment delete", || self.store.delete(&key))?;
+                gone.push(key);
+            }
+        }
+        Ok(gone)
+    }
+
+    /// Generation of the epoch the hot tail extends (0 before any seal).
+    pub fn base_gen(&self) -> u64 {
+        self.base_gen
+    }
+
+    /// The current manifest of sealed epochs.
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// The tier's key prefix.
+    pub fn prefix(&self) -> &str {
+        &self.prefix
+    }
+
+    /// The hot tail's local path.
+    pub fn hot_path(&self) -> &Path {
+        &self.hot_path
+    }
+
+    /// The hot tail's current bytes (base marker + deltas).
+    pub fn hot_bytes(&self) -> &[u8] {
+        self.hot.bytes()
+    }
+
+    /// The object-tier backend (e.g. to share with a serving replica).
+    pub fn store(&self) -> &Arc<dyn Storage> {
+        &self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::object::{ObjectChaos, ObjectSim};
+    use super::*;
+    use std::time::Duration;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fenrir-tiered-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn quick_retry() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 8,
+            backoff_base: Duration::from_micros(50),
+            backoff_max: Duration::from_micros(200),
+            deadline: Duration::from_secs(2),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_checksum_guard() {
+        let m = Manifest {
+            entries: vec![
+                SegmentEntry {
+                    gen: 1,
+                    key: "tier/segments/seg-00000001".into(),
+                    len: 123,
+                    sum: 0xBEEF,
+                    frames: 4,
+                },
+                SegmentEntry {
+                    gen: 2,
+                    key: "tier/segments/seg-00000002".into(),
+                    len: 456,
+                    sum: 0xCAFE,
+                    frames: 9,
+                },
+            ],
+        };
+        let bytes = m.encode();
+        assert_eq!(Manifest::decode(&bytes).unwrap(), m);
+        // Any single bit flip is caught.
+        let mut bad = bytes.clone();
+        bad[13] ^= 0x40;
+        assert!(matches!(
+            Manifest::decode(&bad),
+            Err(Error::Corrupted {
+                what: "tier manifest",
+                ..
+            })
+        ));
+        // Out-of-order generations are structural corruption.
+        let mut swapped = m.clone();
+        swapped.entries.swap(0, 1);
+        assert!(Manifest::decode(&swapped.encode()).is_err());
+        assert_eq!(Manifest::default().latest_gen(), 0);
+    }
+
+    #[test]
+    fn seal_then_reopen_serves_sealed_plus_deltas() {
+        let dir = scratch("seal");
+        let hot = dir.join("hot.fnrj");
+        let store: Arc<dyn Storage> = Arc::new(ObjectSim::new(ObjectChaos::none(3)).unwrap());
+        {
+            let (mut tj, frames, _) =
+                TieredJournal::open(&hot, store.clone(), "tier", quick_retry()).unwrap();
+            assert!(frames.is_empty());
+            tj.append(0x21, b"delta-1").unwrap();
+            tj.append(0x21, b"delta-2").unwrap();
+            let gen = tj.seal(&[(0x22, b"snapshot-of-1-and-2".to_vec())]).unwrap();
+            assert_eq!(gen, 1);
+            tj.append(0x21, b"delta-3").unwrap();
+        }
+        let (tj, frames, report) =
+            TieredJournal::open(&hot, store.clone(), "tier", quick_retry()).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(tj.base_gen(), 1);
+        let got: Vec<(u16, &[u8])> = frames
+            .iter()
+            .map(|f| (f.kind, f.payload.as_slice()))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                (0x22, b"snapshot-of-1-and-2".as_slice()),
+                (0x21, b"delta-3".as_slice()),
+            ]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cold_epochs_stay_hydratable() {
+        let dir = scratch("cold");
+        let hot = dir.join("hot.fnrj");
+        let store: Arc<dyn Storage> = Arc::new(ObjectSim::new(ObjectChaos::none(5)).unwrap());
+        let (mut tj, _, _) =
+            TieredJournal::open(&hot, store.clone(), "tier", quick_retry()).unwrap();
+        tj.seal(&[(0x22, b"epoch-1".to_vec())]).unwrap();
+        tj.seal(&[(0x22, b"epoch-2".to_vec())]).unwrap();
+        tj.seal(&[(0x22, b"epoch-3".to_vec())]).unwrap();
+        assert_eq!(tj.manifest().entries.len(), 3);
+        let old = tj.hydrate_epoch(1).unwrap();
+        assert_eq!(old[0].payload, b"epoch-1");
+        assert!(tj.hydrate_epoch(9).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_segment_is_a_typed_error() {
+        let dir = scratch("corrupt");
+        let hot = dir.join("hot.fnrj");
+        let store = Arc::new(ObjectSim::new(ObjectChaos::none(1)).unwrap());
+        let dyn_store: Arc<dyn Storage> = store.clone();
+        let (mut tj, _, _) =
+            TieredJournal::open(&hot, dyn_store.clone(), "tier", quick_retry()).unwrap();
+        tj.seal(&[(0x22, b"epoch-1".to_vec())]).unwrap();
+        // Flip a byte inside the stored segment behind the tier's back.
+        let key = segment_key("tier", 1);
+        let mut bytes = store.get(&key).unwrap().unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        store.put(&key, &bytes).unwrap();
+        assert!(matches!(
+            tj.hydrate_epoch(1),
+            Err(Error::Corrupted {
+                what: "tier segment",
+                ..
+            })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hydrate_latest_from_tier_alone() {
+        let dir = scratch("hydrate");
+        let hot = dir.join("hot.fnrj");
+        let store: Arc<dyn Storage> = Arc::new(ObjectSim::new(ObjectChaos::none(11)).unwrap());
+        assert_eq!(
+            hydrate_latest(store.as_ref(), "tier", &quick_retry()).unwrap(),
+            None
+        );
+        let (mut tj, _, _) =
+            TieredJournal::open(&hot, store.clone(), "tier", quick_retry()).unwrap();
+        tj.seal(&[(0x22, b"epoch-1".to_vec())]).unwrap();
+        tj.seal(&[(0x22, b"epoch-2".to_vec())]).unwrap();
+        let (gen, frames) = hydrate_latest(store.as_ref(), "tier", &quick_retry())
+            .unwrap()
+            .unwrap();
+        assert_eq!(gen, 2);
+        assert_eq!(frames[0].payload, b"epoch-2");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_reclaims_only_orphans() {
+        let dir = scratch("gc");
+        let hot = dir.join("hot.fnrj");
+        let store = Arc::new(ObjectSim::new(ObjectChaos::none(13)).unwrap());
+        let dyn_store: Arc<dyn Storage> = store.clone();
+        let (mut tj, _, _) = TieredJournal::open(&hot, dyn_store, "tier", quick_retry()).unwrap();
+        tj.seal(&[(0x22, b"epoch-1".to_vec())]).unwrap();
+        // Fake the orphan a crashed seal would leave.
+        store.put(&segment_key("tier", 2), b"half-sealed").unwrap();
+        let gone = tj.gc_orphans().unwrap();
+        assert_eq!(gone, vec![segment_key("tier", 2)]);
+        assert!(store.get(&segment_key("tier", 1)).unwrap().is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

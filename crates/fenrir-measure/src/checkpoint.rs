@@ -13,10 +13,14 @@
 //! series bit-identical to an uninterrupted run (asserted by the
 //! kill/resume equivalence tests).
 //!
-//! The file-backed implementation lives in `fenrir-data::journal`
-//! (layering: fenrir-data depends on fenrir-measure, not vice versa);
-//! this module provides the protocol plus in-memory sinks for tests and
-//! for callers that do not need durability.
+//! The durable implementations live in `fenrir-data::journal`
+//! (layering: fenrir-data depends on fenrir-measure, not vice versa):
+//! a flat file-backed sink, and a tiered one whose hot append tail
+//! stays on local disk while compacted snapshots are sealed into an
+//! object-storage tier (`fenrir-data::storage`) — the checkpoint
+//! protocol is identical either way. This module provides the protocol
+//! plus in-memory sinks for tests and for callers that do not need
+//! durability.
 
 use fenrir_core::error::{Error, Result};
 use fenrir_core::health::CampaignHealth;

@@ -43,6 +43,15 @@
 //!   fault-injecting TCP proxy (resets, stalls, bit flips, dribbles)
 //!   used to prove the client's contract: a bit-identical answer or a
 //!   typed error, never a hang.
+//!
+//! Replicas can also serve **without any local journal**: a store
+//! opened with [`store::ModeStore::open_tiered`] (or a set started
+//! with [`replica::ReplicaSet::start_tiered`]) hydrates its snapshot
+//! from the latest sealed epoch in a
+//! [storage tier](fenrir_data::storage) and polls the tier's manifest
+//! for newer epochs. An unreachable or stale tier degrades the replica
+//! to its last-good snapshot — `stale: true` in health/stats — instead
+//! of killing it; the next successful poll clears the flag.
 
 #![warn(missing_docs)]
 

@@ -20,6 +20,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use fenrir_core::error::{Error, Result};
+use fenrir_data::storage::{RetryPolicy, Storage};
 
 use crate::server::{ServeConfig, Server};
 use crate::store::{ModeStore, StoreOptions};
@@ -69,6 +70,56 @@ impl ReplicaSet {
         }
         Ok(ReplicaSet {
             path: journal.to_path_buf(),
+            replicas,
+        })
+    }
+
+    /// Start `n` servers that hydrate from an object tier instead of a
+    /// local journal file. Each replica gets its own
+    /// [`ModeStore::open_tiered`] over the shared `store` handle and
+    /// polls the tier manifest for newer sealed epochs; an unreachable
+    /// tier degrades that replica to its last-good epoch (stale) rather
+    /// than stopping it. [`ReplicaSet::journal`] reports the tier
+    /// prefix for a tiered set.
+    pub fn start_tiered(
+        store: Arc<dyn Storage>,
+        prefix: &str,
+        retry: RetryPolicy,
+        n: usize,
+        opts: StoreOptions,
+        cfg: ServeConfig,
+    ) -> Result<Self> {
+        if n == 0 {
+            return Err(Error::Config {
+                name: "replicas",
+                message: "need at least one replica".into(),
+            });
+        }
+        let mut replicas = Vec::with_capacity(n);
+        for i in 0..n {
+            let ms = Arc::new(ModeStore::open_tiered(
+                Arc::clone(&store),
+                prefix,
+                retry.clone(),
+                opts.clone(),
+            )?);
+            let server = Server::start(
+                Arc::clone(&ms),
+                ServeConfig {
+                    addr: "127.0.0.1:0".into(),
+                    replica: i as u64,
+                    ..cfg.clone()
+                },
+            )?;
+            let addr = server.addr();
+            replicas.push(Replica {
+                server: Some(server),
+                store: ms,
+                addr,
+            });
+        }
+        Ok(ReplicaSet {
+            path: PathBuf::from(prefix),
             replicas,
         })
     }

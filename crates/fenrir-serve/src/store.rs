@@ -29,6 +29,8 @@ use fenrir_core::time::Timestamp;
 use fenrir_core::transition::TransitionMatrix;
 use fenrir_core::weight::Weights;
 use fenrir_data::journal::RecoverablePipeline;
+use fenrir_data::storage::tiered::{manifest_key, Manifest};
+use fenrir_data::storage::{RetryPolicy, Storage};
 use parking_lot::{Mutex, RwLock};
 
 use crate::cache::QueryCache;
@@ -277,12 +279,41 @@ impl Snapshot {
     }
 }
 
+/// Where a [`ModeStore`] loads snapshots from.
+enum Source {
+    /// No reload support (built from an in-memory pipeline).
+    Fixed,
+    /// A local pipeline journal file, polled by length.
+    File(PathBuf),
+    /// An object tier holding sealed epochs, polled by the manifest's
+    /// latest generation. The store never needs the writer's hot tail —
+    /// it serves whatever epoch the tier has committed.
+    Tier {
+        store: Arc<dyn Storage>,
+        prefix: String,
+        retry: RetryPolicy,
+    },
+}
+
+impl std::fmt::Debug for Source {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Source::Fixed => f.write_str("Fixed"),
+            Source::File(p) => f.debug_tuple("File").field(p).finish(),
+            Source::Tier { prefix, .. } => f.debug_struct("Tier").field("prefix", prefix).finish(),
+        }
+    }
+}
+
 /// Sharded, hot-reloadable snapshot store.
 pub struct ModeStore {
-    path: Option<PathBuf>,
+    source: Source,
     shards: Vec<RwLock<Arc<Snapshot>>>,
     epoch: AtomicU64,
-    loaded_len: AtomicU64,
+    /// Change-detection mark for the source: the journal file's byte
+    /// length for [`Source::File`], the manifest's latest generation
+    /// for [`Source::Tier`].
+    loaded_mark: AtomicU64,
     reloads: AtomicU64,
     reload_failures: AtomicU64,
     stale: AtomicBool,
@@ -303,9 +334,37 @@ impl ModeStore {
                 message: format!("{}: {e}", path.display()),
             })?;
         let mut store = Self::from_pipeline(&pipe, opts)?;
-        store.path = Some(path.to_path_buf());
-        store.loaded_len.store(len, Ordering::SeqCst);
+        store.source = Source::File(path.to_path_buf());
+        store.loaded_mark.store(len, Ordering::SeqCst);
         Ok(store)
+    }
+
+    /// Hydrate the initial snapshot from an object tier's latest sealed
+    /// epoch and keep polling the tier's manifest for newer ones.
+    ///
+    /// This is the tier-only bootstrap: the replica never touches the
+    /// writer's hot journal file. Everything it serves comes from
+    /// sealed segments under `prefix`, so a fresh host can join a
+    /// replica set with nothing but object-store credentials. Once
+    /// serving, an unreachable or stale tier degrades the store (see
+    /// [`ModeStore::maybe_reload`]) rather than killing it.
+    pub fn open_tiered(
+        store: Arc<dyn Storage>,
+        prefix: &str,
+        retry: RetryPolicy,
+        opts: StoreOptions,
+    ) -> Result<Self> {
+        let pipe = RecoverablePipeline::hydrate_read_only(store.as_ref(), prefix, &retry)?;
+        let gen = Self::tier_latest(store.as_ref(), prefix, &retry)?
+            .ok_or(Error::EmptyInput("sealed tier epoch"))?;
+        let mut ms = Self::from_pipeline(&pipe, opts)?;
+        ms.source = Source::Tier {
+            store,
+            prefix: prefix.to_string(),
+            retry,
+        };
+        ms.loaded_mark.store(gen, Ordering::SeqCst);
+        Ok(ms)
     }
 
     /// Build a store from an already-loaded pipeline (no reload support).
@@ -313,12 +372,12 @@ impl ModeStore {
         let snap = Arc::new(Snapshot::build(pipe, &opts.adaptive, 0)?);
         let shards = opts.shards.max(1);
         Ok(ModeStore {
-            path: None,
+            source: Source::Fixed,
             shards: (0..shards)
                 .map(|_| RwLock::new(Arc::clone(&snap)))
                 .collect(),
             epoch: AtomicU64::new(0),
-            loaded_len: AtomicU64::new(0),
+            loaded_mark: AtomicU64::new(0),
             reloads: AtomicU64::new(0),
             reload_failures: AtomicU64::new(0),
             stale: AtomicBool::new(false),
@@ -356,26 +415,37 @@ impl ModeStore {
         self.stale.load(Ordering::SeqCst)
     }
 
-    /// If the journal file has changed since the last load (or the
-    /// store is marked stale), rebuild and swap in a fresh snapshot.
-    /// Returns whether a reload happened.
+    /// If the source has changed since the last load (or the store is
+    /// marked stale), rebuild and swap in a fresh snapshot. Returns
+    /// whether a reload happened.
     ///
     /// This is the graceful-degradation seam: a reload that fails —
-    /// the file vanished, the header is corrupt, or the tail is torn
-    /// without offering any *new* observations — keeps the last-good
-    /// snapshot in every shard, marks the store [`ModeStore::stale`],
-    /// counts a [`ModeStore::reload_failures`], and returns the error.
-    /// Queries keep being answered from the old epoch throughout; the
-    /// next poll retries (and a marked-stale store retries even if the
-    /// file length matches, so a repaired journal clears the flag).
+    /// the file vanished, the header is corrupt, the tail is torn
+    /// without offering any *new* observations, or the object tier is
+    /// unreachable — keeps the last-good snapshot in every shard,
+    /// marks the store [`ModeStore::stale`], counts a
+    /// [`ModeStore::reload_failures`], and returns the error. Queries
+    /// keep being answered from the old epoch throughout; the next
+    /// poll retries (and a marked-stale store retries even if the
+    /// change mark matches, so a repaired source clears the flag).
     ///
-    /// Cheap when nothing changed: one `stat` call. Concurrent callers
+    /// Cheap when nothing changed: one `stat` call for a file source,
+    /// one manifest fetch for a tier source. Concurrent callers
     /// serialise on an internal lock; queries never wait on it.
     pub fn maybe_reload(&self) -> Result<bool> {
-        let Some(path) = &self.path else {
-            return Ok(false);
-        };
         let _guard = self.reload_lock.lock();
+        match &self.source {
+            Source::Fixed => Ok(false),
+            Source::File(path) => self.reload_from_file(path),
+            Source::Tier {
+                store,
+                prefix,
+                retry,
+            } => self.reload_from_tier(store.as_ref(), prefix, retry),
+        }
+    }
+
+    fn reload_from_file(&self, path: &Path) -> Result<bool> {
         let len = match std::fs::metadata(path).map(|m| m.len()) {
             Ok(len) => len,
             Err(e) => {
@@ -385,7 +455,7 @@ impl ModeStore {
                 }))
             }
         };
-        if len == self.loaded_len.load(Ordering::SeqCst) && !self.stale() {
+        if len == self.loaded_mark.load(Ordering::SeqCst) && !self.stale() {
             return Ok(false);
         }
         let current = self.snapshot(0);
@@ -409,8 +479,49 @@ impl ModeStore {
                 ),
             }));
         }
+        self.swap_in(&pipe, len).map(|_| true)
+    }
+
+    fn reload_from_tier(
+        &self,
+        store: &dyn Storage,
+        prefix: &str,
+        retry: &RetryPolicy,
+    ) -> Result<bool> {
+        let latest = match Self::tier_latest(store, prefix, retry) {
+            Ok(Some(gen)) => gen,
+            // A manifest that vanished after we hydrated from it is a
+            // tier fault, not an empty dataset: degrade and keep
+            // serving the last-good epoch.
+            Ok(None) => return Err(self.degrade(Error::EmptyInput("sealed tier epoch"))),
+            Err(e) => return Err(self.degrade(e)),
+        };
+        if latest == self.loaded_mark.load(Ordering::SeqCst) && !self.stale() {
+            return Ok(false);
+        }
+        let pipe = match RecoverablePipeline::hydrate_read_only(store, prefix, retry) {
+            Ok(pipe) => pipe,
+            Err(e) => return Err(self.degrade(e)),
+        };
+        self.swap_in(&pipe, latest).map(|_| true)
+    }
+
+    /// Fetch and decode the tier manifest; `Ok(None)` when the tier has
+    /// never committed one. One object `get` — the tier analogue of the
+    /// file source's `stat`.
+    fn tier_latest(store: &dyn Storage, prefix: &str, retry: &RetryPolicy) -> Result<Option<u64>> {
+        let key = manifest_key(prefix);
+        let Some(bytes) = retry.run("serve manifest get", || store.get(&key))? else {
+            return Ok(None);
+        };
+        Ok(Some(Manifest::decode(&bytes)?.latest_gen()))
+    }
+
+    /// Build the next-epoch snapshot from `pipe` and publish it to
+    /// every shard, recording `mark` as the new change-detection mark.
+    fn swap_in(&self, pipe: &RecoverablePipeline, mark: u64) -> Result<()> {
         let epoch = self.epoch.load(Ordering::SeqCst) + 1;
-        let snap = match Snapshot::build(&pipe, &self.adaptive, epoch) {
+        let snap = match Snapshot::build(pipe, &self.adaptive, epoch) {
             Ok(snap) => Arc::new(snap),
             Err(e) => return Err(self.degrade(e)),
         };
@@ -418,10 +529,10 @@ impl ModeStore {
             *shard.write() = Arc::clone(&snap);
         }
         self.epoch.store(epoch, Ordering::SeqCst);
-        self.loaded_len.store(len, Ordering::SeqCst);
+        self.loaded_mark.store(mark, Ordering::SeqCst);
         self.reloads.fetch_add(1, Ordering::SeqCst);
         self.stale.store(false, Ordering::SeqCst);
-        Ok(true)
+        Ok(())
     }
 
     /// Record a failed reload: the last-good snapshot stays in place.
