@@ -17,6 +17,13 @@
 //! every run replays the same sequence. Emits `BENCH_serve.json` at the
 //! workspace root (hand-formatted: the vendored serde_json stub cannot
 //! serialize).
+//!
+//! The throughput phase runs **twice**: once against a plain server
+//! (no scrape endpoint, slow-query tracing off) and once with the full
+//! observability plane live (HTTP scrape listener bound, per-kind
+//! counters and histograms exporting, slow-query tracing armed). The
+//! ratio is the measured cost of metrics on the hot path and is
+//! asserted to stay above [`OBS_QPS_RATIO_FLOOR`].
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -43,6 +50,10 @@ const THROUGHPUT_BATCHES: usize = 40;
 const OPEN_LOOP_QPS: u64 = 2_000;
 const OPEN_LOOP_QUERIES: usize = 4_000;
 const QPS_FLOOR: f64 = 50_000.0;
+/// Metrics-enabled closed-loop throughput must stay within 10% of the
+/// plain server (the observed cost is a few percent; the floor leaves
+/// headroom for shared-runner noise).
+const OBS_QPS_RATIO_FLOOR: f64 = 0.90;
 
 fn build_store() -> Arc<ModeStore> {
     let sites = SiteTable::from_names((0..SITES).map(|s| format!("S{s:02}")));
@@ -175,12 +186,36 @@ fn percentile(sorted: &[Duration], p: f64) -> Duration {
 
 fn main() {
     println!("building store: {OBSERVATIONS} observations x {NETWORKS} networks, {SITES} sites…");
+
+    // Baseline: no scrape listener, no slow-query tracing. A fresh
+    // store per run keeps the cache cold for both, so neither side
+    // inherits the other's warm-up.
+    let plain_store = build_store();
+    let plain = Server::start(
+        Arc::clone(&plain_store),
+        ServeConfig {
+            workers: THROUGHPUT_THREADS,
+            max_inflight: 64,
+            slow_query: None,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("plain server");
+    let (qps_plain, answered_plain, errors_plain) = throughput_phase(plain.addr());
+    plain.shutdown();
+    println!(
+        "throughput (plain): {answered_plain} queries -> {qps_plain:.0} qps ({errors_plain} errors)"
+    );
+
+    // Observed: scrape endpoint bound, per-kind counters/histograms
+    // exporting, slow-query tracing armed at its default threshold.
     let store = build_store();
     let server = Server::start(
         Arc::clone(&store),
         ServeConfig {
             workers: THROUGHPUT_THREADS,
             max_inflight: 64,
+            metrics_addr: Some("127.0.0.1:0".into()),
             ..ServeConfig::default()
         },
     )
@@ -188,8 +223,16 @@ fn main() {
     let addr = server.addr();
 
     let (qps, answered, errors) = throughput_phase(addr);
+    let ratio = qps / qps_plain;
     println!(
-        "throughput: {answered} queries on {THROUGHPUT_THREADS} pipelined connections -> {qps:.0} qps ({errors} errors)"
+        "throughput (metrics on): {answered} queries -> {qps:.0} qps ({errors} errors); ratio {ratio:.3} of plain"
+    );
+    // The exporters must have been live during the run, not just bound.
+    let scrape = fenrir_obs::fetch(server.metrics_addr().expect("metrics addr"), "/metrics")
+        .expect("scrape");
+    assert!(
+        scrape.contains("fenrir_serve_queries_total{kind=\"assign\"}"),
+        "scrape missing per-kind counters during the bench"
     );
 
     let rtts = latency_phase(addr);
@@ -207,7 +250,7 @@ fn main() {
     server.shutdown();
 
     let json = format!(
-        "{{\n  \"bench\": \"serve\",\n  \"observations\": {OBSERVATIONS},\n  \"networks\": {NETWORKS},\n  \"sites\": {SITES},\n  \"throughput\": {{ \"threads\": {THROUGHPUT_THREADS}, \"queries\": {answered}, \"qps\": {qps:.0}, \"errors\": {errors} }},\n  \"open_loop\": {{ \"target_qps\": {OPEN_LOOP_QPS}, \"queries\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1} }},\n  \"cache\": {{ \"hits\": {hits}, \"misses\": {misses} }}\n}}\n",
+        "{{\n  \"bench\": \"serve\",\n  \"observations\": {OBSERVATIONS},\n  \"networks\": {NETWORKS},\n  \"sites\": {SITES},\n  \"throughput\": {{ \"threads\": {THROUGHPUT_THREADS}, \"queries\": {answered}, \"qps\": {qps:.0}, \"errors\": {errors} }},\n  \"observability\": {{ \"qps_plain\": {qps_plain:.0}, \"qps_metrics\": {qps:.0}, \"ratio\": {ratio:.3} }},\n  \"open_loop\": {{ \"target_qps\": {OPEN_LOOP_QPS}, \"queries\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1} }},\n  \"cache\": {{ \"hits\": {hits}, \"misses\": {misses} }}\n}}\n",
         rtts.len(),
         p50.as_secs_f64() * 1e6,
         p99.as_secs_f64() * 1e6,
@@ -216,9 +259,15 @@ fn main() {
     std::fs::write(path, &json).expect("write BENCH_serve.json");
     println!("wrote {path}");
 
+    assert_eq!(errors_plain, 0, "the seeded query mix must never error");
     assert_eq!(errors, 0, "the seeded query mix must never error");
     assert!(
         qps >= QPS_FLOOR,
         "throughput {qps:.0} qps is below the {QPS_FLOOR:.0} qps bar"
+    );
+    assert!(
+        ratio >= OBS_QPS_RATIO_FLOOR,
+        "metrics cost too much: {qps:.0} qps is {ratio:.3} of the plain {qps_plain:.0} qps \
+         (floor {OBS_QPS_RATIO_FLOOR})"
     );
 }

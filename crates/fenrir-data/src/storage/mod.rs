@@ -41,7 +41,7 @@ pub mod tiered;
 
 pub use local::LocalDisk;
 pub use object::{ObjectChaos, ObjectSim};
-pub use retry::RetryPolicy;
+pub use retry::{RetryPolicy, RetryStats};
 pub use tiered::{Manifest, SegmentEntry, TieredJournal};
 
 use fenrir_core::error::{Error, Result};

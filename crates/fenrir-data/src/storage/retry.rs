@@ -16,7 +16,34 @@ use super::is_retryable;
 use fenrir_core::error::{Error, Result};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Monotonic counters describing what a [`RetryPolicy`] has done —
+/// attachable with [`RetryPolicy::with_stats`] so an observability
+/// layer can export retry pressure without wrapping every call site.
+#[derive(Debug, Default)]
+pub struct RetryStats {
+    /// Attempts that failed retryably and were retried (each one
+    /// backs off and runs again).
+    pub retries: AtomicU64,
+    /// Operations that spent their whole budget or deadline and
+    /// surfaced [`Error::Exhausted`].
+    pub exhausted: AtomicU64,
+}
+
+impl RetryStats {
+    /// Retried attempts so far.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Exhausted operations so far.
+    pub fn exhausted(&self) -> u64 {
+        self.exhausted.load(Ordering::Relaxed)
+    }
+}
 
 /// Retry budget and backoff shape for storage operations.
 #[derive(Debug, Clone)]
@@ -25,13 +52,15 @@ pub struct RetryPolicy {
     pub max_attempts: u32,
     /// First backoff; doubles per attempt up to [`Self::backoff_max`].
     pub backoff_base: Duration,
-    /// Backoff ceiling.
+    /// Backoff ceiling: no sleep, jitter included, exceeds this.
     pub backoff_max: Duration,
     /// Overall per-operation deadline; attempts and backoffs never
     /// sleep past it.
     pub deadline: Duration,
     /// Seed for backoff jitter (deterministic across runs).
     pub seed: u64,
+    /// Optional retry/exhaustion counters shared with an observer.
+    pub stats: Option<Arc<RetryStats>>,
 }
 
 impl Default for RetryPolicy {
@@ -42,6 +71,7 @@ impl Default for RetryPolicy {
             backoff_max: Duration::from_millis(100),
             deadline: Duration::from_secs(5),
             seed: 0,
+            stats: None,
         }
     }
 }
@@ -55,6 +85,12 @@ impl RetryPolicy {
             max_attempts: 1,
             ..RetryPolicy::default()
         }
+    }
+
+    /// Attach shared retry/exhaustion counters (see [`RetryStats`]).
+    pub fn with_stats(mut self, stats: Arc<RetryStats>) -> Self {
+        self.stats = Some(stats);
+        self
     }
 
     /// Reject budgets that admit no attempt.
@@ -92,24 +128,39 @@ impl RetryPolicy {
                 Err(e) => return Err(e),
             };
             if attempts >= self.max_attempts || Instant::now() >= overall {
+                if let Some(stats) = &self.stats {
+                    stats.exhausted.fetch_add(1, Ordering::Relaxed);
+                }
                 return Err(Error::Exhausted {
                     what,
                     attempts,
                     message: e.to_string(),
                 });
             }
-            // Jitter in [0.5, 1.5): desynchronises retrying writers
-            // without changing the expected backoff.
-            let exp = self
-                .backoff_base
-                .saturating_mul(1u32 << (attempts - 1).min(16));
-            let jittered = exp.min(self.backoff_max).mul_f64(0.5 + rng.gen::<f64>());
+            if let Some(stats) = &self.stats {
+                stats.retries.fetch_add(1, Ordering::Relaxed);
+            }
+            let jittered = self.backoff_for(attempts, 0.5 + rng.gen::<f64>());
             let remaining = overall.saturating_duration_since(Instant::now());
             let sleep = jittered.min(remaining);
             if !sleep.is_zero() {
                 std::thread::sleep(sleep);
             }
         }
+    }
+
+    /// The backoff before retrying after `attempts` failed tries, with
+    /// `jitter` drawn from `[0.5, 1.5)`.
+    ///
+    /// The ceiling is applied **after** jittering: clamping first and
+    /// jittering second (the old order) let real sleeps exceed the
+    /// documented `backoff_max` by up to 1.5× — jitter is meant to
+    /// desynchronise retrying writers, never to breach the ceiling.
+    pub fn backoff_for(&self, attempts: u32, jitter: f64) -> Duration {
+        let exp = self
+            .backoff_base
+            .saturating_mul(1u32 << (attempts.saturating_sub(1)).min(16));
+        exp.mul_f64(jitter).min(self.backoff_max)
     }
 }
 
@@ -125,6 +176,7 @@ mod tests {
             backoff_max: Duration::from_micros(500),
             deadline: Duration::from_secs(1),
             seed: 9,
+            stats: None,
         }
     }
 
@@ -193,6 +245,7 @@ mod tests {
             backoff_max: Duration::from_millis(1),
             deadline: Duration::from_millis(50),
             seed: 0,
+            stats: None,
         };
         let start = Instant::now();
         let e = policy
@@ -202,6 +255,51 @@ mod tests {
             .unwrap_err();
         assert!(matches!(e, Error::Exhausted { .. }));
         assert!(start.elapsed() < Duration::from_secs(2));
+    }
+
+    /// Regression: jitter used to be applied *after* the `backoff_max`
+    /// clamp, so a 1.5× draw breached the documented ceiling.
+    #[test]
+    fn jittered_backoff_never_exceeds_the_ceiling() {
+        let policy = RetryPolicy {
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(40),
+            ..RetryPolicy::default()
+        };
+        for attempts in 1..24 {
+            for jitter in [0.5, 1.0, 1.4999999] {
+                let b = policy.backoff_for(attempts, jitter);
+                assert!(
+                    b <= policy.backoff_max,
+                    "attempt {attempts} jitter {jitter}: {b:?} breaches the ceiling"
+                );
+            }
+        }
+        // Below the ceiling the jitter still spreads sleeps.
+        assert_eq!(policy.backoff_for(1, 0.5), Duration::from_millis(5));
+        assert_eq!(policy.backoff_for(1, 1.25), Duration::from_micros(12_500));
+    }
+
+    #[test]
+    fn attached_stats_count_retries_and_exhaustion() {
+        let stats = Arc::new(RetryStats::default());
+        let policy = quick().with_stats(Arc::clone(&stats));
+        let _ = policy.run("test put", || -> Result<()> {
+            Err(storage_err("put", "k", true, "SlowDown"))
+        });
+        assert_eq!(stats.retries(), 3, "4 attempts = 3 retries");
+        assert_eq!(stats.exhausted(), 1);
+        let mut left = 1;
+        let _ = policy.run("test put", || {
+            if left > 0 {
+                left -= 1;
+                Err(storage_err("put", "k", true, "SlowDown"))
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(stats.retries(), 4);
+        assert_eq!(stats.exhausted(), 1, "success is not exhaustion");
     }
 
     #[test]

@@ -566,6 +566,7 @@ mod tests {
             backoff_max: Duration::from_micros(200),
             deadline: Duration::from_secs(2),
             seed: 7,
+            stats: None,
         }
     }
 

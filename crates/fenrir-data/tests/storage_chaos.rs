@@ -71,6 +71,7 @@ fn quick_retry() -> RetryPolicy {
         backoff_max: Duration::from_micros(200),
         deadline: Duration::from_secs(2),
         seed: seed(),
+        stats: None,
     }
 }
 
@@ -82,6 +83,7 @@ fn patient_retry() -> RetryPolicy {
         backoff_max: Duration::from_millis(1),
         deadline: Duration::from_secs(30),
         seed: seed(),
+        stats: None,
     }
 }
 

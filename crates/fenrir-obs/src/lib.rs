@@ -1,0 +1,40 @@
+//! # fenrir-obs — a lock-cheap metrics core
+//!
+//! The serving fleet (fenrir-serve) needs to know *when* its own
+//! substrate degrades — the same discipline the paper applies to
+//! routing observations applies to the replicas serving them. This
+//! crate is the smallest observability core that makes that possible
+//! without touching the hot path's cost model:
+//!
+//! * [`Counter`] / [`Gauge`] — single relaxed atomic ops to record;
+//!   cloning a handle is an `Arc` bump, so instruments thread through
+//!   worker loops without locks.
+//! * [`Histogram`] — fixed-bucket latency histograms (atomic bucket
+//!   counts, no locks on record) with [`Histogram::quantile`] /
+//!   `p50`/`p99`/`p999` extraction by cumulative walk.
+//! * [`Registry`] — names and labels the instruments and renders the
+//!   whole inventory in the Prometheus text exposition format
+//!   ([`Registry::render`]); closure-backed series
+//!   ([`Registry::counter_fn`], [`Registry::gauge_fn`]) export
+//!   counters that already live elsewhere (a store's reload counter,
+//!   a breaker's transition tally) without double bookkeeping.
+//! * [`TraceRing`] — a bounded ring of structured slow-query trace
+//!   events, drained (destructively) by whoever scrapes them.
+//! * [`ScrapeServer`] — a plain-TCP, dependency-free scrape endpoint
+//!   speaking just enough HTTP for `curl` and a Prometheus scraper:
+//!   `/metrics` renders the registry, `/traces` drains the ring.
+//!
+//! Everything here is std-only: no new dependencies, no async runtime,
+//! no allocation on the record path beyond what the caller hands in.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod registry;
+pub mod scrape;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, DEFAULT_LATENCY_BOUNDS_US};
+pub use registry::Registry;
+pub use scrape::{fetch, ScrapeServer};
+pub use trace::{TraceEvent, TraceRing};

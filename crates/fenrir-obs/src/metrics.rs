@@ -1,0 +1,262 @@
+//! The instruments: counters, gauges, fixed-bucket histograms.
+//!
+//! Recording is a handful of relaxed atomic operations — no locks, no
+//! allocation — so instruments can sit on a query server's per-frame
+//! path without moving its latency distribution. Handles are cheap
+//! clones of an inner `Arc`; the same instrument can be held by a
+//! worker loop and a [`crate::Registry`] simultaneously.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Default latency bucket upper bounds, in microseconds: a 1-2-5
+/// series from 1 µs to 1 s. Wide enough for an in-memory query server
+/// (single-digit µs) and a WAN round trip (hundreds of ms) on the same
+/// axis.
+pub const DEFAULT_LATENCY_BOUNDS_US: &[u64] = &[
+    1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000,
+    200_000, 500_000, 1_000_000,
+];
+
+#[derive(Debug)]
+struct HistInner {
+    /// Finite bucket upper bounds, strictly increasing.
+    bounds: Box<[u64]>,
+    /// One count per finite bound, plus the +Inf overflow bucket.
+    counts: Box<[AtomicU64]>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A fixed-bucket histogram of `u64` observations (latencies in µs by
+/// convention). Recording is two relaxed `fetch_add`s and a binary
+/// search over a handful of bounds; quantile extraction walks the
+/// cumulative counts and interpolates within the landing bucket.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<HistInner>,
+}
+
+impl Histogram {
+    /// A histogram over the given finite bucket upper bounds (strictly
+    /// increasing; an implicit +Inf bucket catches overflow).
+    ///
+    /// # Panics
+    /// If `bounds` is empty or not strictly increasing — bucket layout
+    /// is a build-time decision, not a runtime input.
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            inner: Arc::new(HistInner {
+                bounds: bounds.into(),
+                counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                sum: AtomicU64::new(0),
+                count: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// A histogram over [`DEFAULT_LATENCY_BOUNDS_US`].
+    pub fn latency_us() -> Self {
+        Self::new(DEFAULT_LATENCY_BOUNDS_US)
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        let idx = self.inner.bounds.partition_point(|&b| b < v);
+        self.inner.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(v, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// The finite bucket bounds.
+    pub fn bounds(&self) -> &[u64] {
+        &self.inner.bounds
+    }
+
+    /// Per-bucket counts (finite buckets, then the +Inf bucket).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.inner
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) estimated by cumulative walk with
+    /// linear interpolation inside the landing bucket. Returns 0 when
+    /// nothing was recorded; observations past the last finite bound
+    /// saturate at that bound (the +Inf bucket has no upper edge to
+    /// interpolate against).
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (idx, c) in self.inner.counts.iter().enumerate() {
+            let in_bucket = c.load(Ordering::Relaxed);
+            if cum + in_bucket >= target {
+                let last = *self.inner.bounds.last().expect("non-empty bounds");
+                let upper = match self.inner.bounds.get(idx) {
+                    Some(&b) => b,
+                    None => return last, // +Inf bucket: saturate
+                };
+                let lower = if idx == 0 {
+                    0
+                } else {
+                    self.inner.bounds[idx - 1]
+                };
+                let frac = if in_bucket == 0 {
+                    1.0
+                } else {
+                    (target - cum) as f64 / in_bucket as f64
+                };
+                return lower + ((upper - lower) as f64 * frac).round() as u64;
+            }
+            cum += in_bucket;
+        }
+        *self.inner.bounds.last().expect("non-empty bounds")
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_do_arithmetic() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+    }
+
+    #[test]
+    fn histogram_buckets_count_and_sum() {
+        let h = Histogram::new(&[10, 100]);
+        for v in [1, 10, 11, 100, 1_000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1_122);
+        assert_eq!(h.bucket_counts(), vec![2, 2, 1]); // ≤10, ≤100, +Inf
+    }
+
+    #[test]
+    fn quantiles_walk_the_cumulative_counts() {
+        let h = Histogram::new(&[10, 20, 40, 80]);
+        // 100 observations evenly inside (10, 20].
+        for _ in 0..100 {
+            h.observe(15);
+        }
+        let p50 = h.p50();
+        assert!((10..=20).contains(&p50), "p50 = {p50}");
+        assert!(h.p99() <= 20);
+        // Everything past the last bound saturates there.
+        let h = Histogram::new(&[10]);
+        h.observe(10_000);
+        assert_eq!(h.p999(), 10);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        assert_eq!(Histogram::latency_us().p99(), 0);
+    }
+
+    #[test]
+    fn default_bounds_are_strictly_increasing() {
+        assert!(DEFAULT_LATENCY_BOUNDS_US.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,348 @@
+//! The registry: names the instruments, renders the inventory.
+//!
+//! A [`Registry`] owns the mapping from `(name, labels)` to an
+//! instrument and renders all of them in the Prometheus text
+//! exposition format. The registry's lock is touched only at
+//! registration and render time — never on the record path, which goes
+//! straight through the cloned instrument handles.
+//!
+//! Counters that already exist elsewhere (a store's reload tally, a
+//! breaker's transition counts) are exported through closure-backed
+//! series ([`Registry::counter_fn`] / [`Registry::gauge_fn`]) so the
+//! owning type stays the single source of truth.
+
+use std::sync::Mutex;
+
+use crate::metrics::{Counter, Gauge, Histogram};
+
+type CollectFn = Box<dyn Fn() -> f64 + Send + Sync>;
+
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+    CounterFn(CollectFn),
+    GaugeFn(CollectFn),
+}
+
+impl Instrument {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) | Instrument::CounterFn(_) => "counter",
+            Instrument::Gauge(_) | Instrument::GaugeFn(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Series {
+    name: String,
+    labels: Vec<(String, String)>,
+    instrument: Instrument,
+}
+
+/// A named collection of instruments, rendered as Prometheus
+/// exposition text.
+#[derive(Default)]
+pub struct Registry {
+    series: Mutex<Vec<Series>>,
+}
+
+fn own_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    labels
+        .iter()
+        .map(|&(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Get or create the counter named `name` with `labels`.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let mut series = self.series.lock().expect("registry poisoned");
+        let labels = own_labels(labels);
+        if let Some(s) = series.iter().find(|s| s.name == name && s.labels == labels) {
+            if let Instrument::Counter(c) = &s.instrument {
+                return c.clone();
+            }
+        }
+        let c = Counter::new();
+        series.push(Series {
+            name: name.to_string(),
+            labels,
+            instrument: Instrument::Counter(c.clone()),
+        });
+        c
+    }
+
+    /// Get or create the gauge named `name` with `labels`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let mut series = self.series.lock().expect("registry poisoned");
+        let labels = own_labels(labels);
+        if let Some(s) = series.iter().find(|s| s.name == name && s.labels == labels) {
+            if let Instrument::Gauge(g) = &s.instrument {
+                return g.clone();
+            }
+        }
+        let g = Gauge::new();
+        series.push(Series {
+            name: name.to_string(),
+            labels,
+            instrument: Instrument::Gauge(g.clone()),
+        });
+        g
+    }
+
+    /// Get or create a histogram named `name` with `labels` over the
+    /// given finite bucket bounds (see [`Histogram::new`]).
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)], bounds: &[u64]) -> Histogram {
+        let mut series = self.series.lock().expect("registry poisoned");
+        let labels = own_labels(labels);
+        if let Some(s) = series.iter().find(|s| s.name == name && s.labels == labels) {
+            if let Instrument::Histogram(h) = &s.instrument {
+                return h.clone();
+            }
+        }
+        let h = Histogram::new(bounds);
+        series.push(Series {
+            name: name.to_string(),
+            labels,
+            instrument: Instrument::Histogram(h.clone()),
+        });
+        h
+    }
+
+    /// Register a counter series whose value is read from `f` at render
+    /// time — for monotonic tallies that already live on another type.
+    /// Re-registering the same `(name, labels)` replaces the closure.
+    pub fn counter_fn(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        f: impl Fn() -> f64 + Send + Sync + 'static,
+    ) {
+        self.register_fn(name, labels, Instrument::CounterFn(Box::new(f)));
+    }
+
+    /// Register a gauge series whose value is read from `f` at render
+    /// time. Re-registering the same `(name, labels)` replaces the
+    /// closure.
+    pub fn gauge_fn(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        f: impl Fn() -> f64 + Send + Sync + 'static,
+    ) {
+        self.register_fn(name, labels, Instrument::GaugeFn(Box::new(f)));
+    }
+
+    fn register_fn(&self, name: &str, labels: &[(&str, &str)], instrument: Instrument) {
+        let mut series = self.series.lock().expect("registry poisoned");
+        let labels = own_labels(labels);
+        if let Some(s) = series
+            .iter_mut()
+            .find(|s| s.name == name && s.labels == labels)
+        {
+            s.instrument = instrument;
+            return;
+        }
+        series.push(Series {
+            name: name.to_string(),
+            labels,
+            instrument,
+        });
+    }
+
+    /// The value of the series `(name, labels)` right now — counters
+    /// and closure-backed series as their value, gauges as a float,
+    /// histograms as their observation count. `None` if no such series
+    /// exists. Mostly a test convenience; dashboards should scrape.
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let series = self.series.lock().expect("registry poisoned");
+        let labels = own_labels(labels);
+        let s = series
+            .iter()
+            .find(|s| s.name == name && s.labels == labels)?;
+        Some(match &s.instrument {
+            Instrument::Counter(c) => c.get() as f64,
+            Instrument::Gauge(g) => g.get() as f64,
+            Instrument::Histogram(h) => h.count() as f64,
+            Instrument::CounterFn(f) | Instrument::GaugeFn(f) => f(),
+        })
+    }
+
+    /// Render every series in the Prometheus text exposition format:
+    /// one `# TYPE` line per metric name, then its samples. Histograms
+    /// expand to `_bucket{le=...}` (cumulative, with `+Inf`), `_sum`,
+    /// and `_count` samples. Series of one name render together
+    /// regardless of registration order; names keep first-registration
+    /// order so scrapes diff cleanly.
+    pub fn render(&self) -> String {
+        let series = self.series.lock().expect("registry poisoned");
+        let mut order: Vec<&str> = Vec::new();
+        for s in series.iter() {
+            if !order.contains(&s.name.as_str()) {
+                order.push(&s.name);
+            }
+        }
+        let mut out = String::new();
+        for name in order {
+            let group: Vec<&Series> = series.iter().filter(|s| s.name == name).collect();
+            out.push_str(&format!(
+                "# TYPE {name} {}\n",
+                group[0].instrument.type_name()
+            ));
+            for s in group {
+                match &s.instrument {
+                    Instrument::Counter(c) => {
+                        sample(&mut out, name, &s.labels, None, &c.get().to_string());
+                    }
+                    Instrument::Gauge(g) => {
+                        sample(&mut out, name, &s.labels, None, &g.get().to_string());
+                    }
+                    Instrument::CounterFn(f) | Instrument::GaugeFn(f) => {
+                        sample(&mut out, name, &s.labels, None, &fmt_f64(f()));
+                    }
+                    Instrument::Histogram(h) => {
+                        let counts = h.bucket_counts();
+                        let mut cum = 0u64;
+                        for (i, c) in counts.iter().enumerate() {
+                            cum += c;
+                            let le = match h.bounds().get(i) {
+                                Some(b) => b.to_string(),
+                                None => "+Inf".to_string(),
+                            };
+                            sample(
+                                &mut out,
+                                &format!("{name}_bucket"),
+                                &s.labels,
+                                Some(("le", &le)),
+                                &cum.to_string(),
+                            );
+                        }
+                        sample(
+                            &mut out,
+                            &format!("{name}_sum"),
+                            &s.labels,
+                            None,
+                            &h.sum().to_string(),
+                        );
+                        sample(
+                            &mut out,
+                            &format!("{name}_count"),
+                            &s.labels,
+                            None,
+                            &h.count().to_string(),
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Render a float: integral values without a trailing `.0` so counter
+/// samples read as counts.
+fn fmt_f64(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn escape(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn sample(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    extra: Option<(&str, &str)>,
+    value: &str,
+) {
+    out.push_str(name);
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape(v)));
+    }
+    if !parts.is_empty() {
+        out.push('{');
+        out.push_str(&parts.join(","));
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_get_or_create() {
+        let r = Registry::new();
+        let a = r.counter("fenrir_test_total", &[("kind", "x")]);
+        let b = r.counter("fenrir_test_total", &[("kind", "x")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2, "same series, same underlying counter");
+        let other = r.counter("fenrir_test_total", &[("kind", "y")]);
+        assert_eq!(other.get(), 0, "distinct labels are a distinct series");
+    }
+
+    #[test]
+    fn render_groups_by_name_and_emits_type_lines_once() {
+        let r = Registry::new();
+        r.counter("fenrir_a_total", &[("kind", "x")]).inc();
+        r.gauge("fenrir_b", &[]).set(3);
+        r.counter("fenrir_a_total", &[("kind", "y")]).add(2);
+        let text = r.render();
+        assert_eq!(text.matches("# TYPE fenrir_a_total counter").count(), 1);
+        assert!(text.contains("fenrir_a_total{kind=\"x\"} 1\n"));
+        assert!(text.contains("fenrir_a_total{kind=\"y\"} 2\n"));
+        assert!(text.contains("# TYPE fenrir_b gauge\nfenrir_b 3\n"));
+    }
+
+    #[test]
+    fn histograms_render_cumulative_buckets_sum_and_count() {
+        let r = Registry::new();
+        let h = r.histogram("fenrir_lat_us", &[("kind", "mode")], &[10, 100]);
+        h.observe(5);
+        h.observe(50);
+        h.observe(5_000);
+        let text = r.render();
+        assert!(text.contains("# TYPE fenrir_lat_us histogram"));
+        assert!(text.contains("fenrir_lat_us_bucket{kind=\"mode\",le=\"10\"} 1\n"));
+        assert!(text.contains("fenrir_lat_us_bucket{kind=\"mode\",le=\"100\"} 2\n"));
+        assert!(text.contains("fenrir_lat_us_bucket{kind=\"mode\",le=\"+Inf\"} 3\n"));
+        assert!(text.contains("fenrir_lat_us_sum{kind=\"mode\"} 5055\n"));
+        assert!(text.contains("fenrir_lat_us_count{kind=\"mode\"} 3\n"));
+    }
+
+    #[test]
+    fn closure_backed_series_read_at_render_time() {
+        let r = Registry::new();
+        let v = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let v2 = std::sync::Arc::clone(&v);
+        r.counter_fn("fenrir_ext_total", &[], move || {
+            v2.load(std::sync::atomic::Ordering::Relaxed) as f64
+        });
+        assert!(r.render().contains("fenrir_ext_total 0\n"));
+        v.store(41, std::sync::atomic::Ordering::Relaxed);
+        assert!(r.render().contains("fenrir_ext_total 41\n"));
+        assert_eq!(r.value("fenrir_ext_total", &[]), Some(41.0));
+    }
+}

@@ -1,0 +1,166 @@
+//! A plain-TCP text scrape endpoint.
+//!
+//! Speaks just enough HTTP/1.0 for `curl` and a Prometheus scraper —
+//! one request line in, one `text/plain` response out, connection
+//! closed — with no HTTP library and no async runtime. `/metrics`
+//! renders the attached [`Registry`]; `/traces` destructively drains
+//! the attached [`TraceRing`]. Anything else is a 404.
+//!
+//! The endpoint is deliberately separate from the query protocol: a
+//! scraper needs no frame codec, and an operator can `curl` a replica
+//! that is refusing query slots (scrapes never take one).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::registry::Registry;
+use crate::trace::TraceRing;
+
+/// A running scrape listener.
+pub struct ScrapeServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ScrapeServer {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serve
+    /// `registry` at `/metrics` and, when given, `traces` at `/traces`.
+    pub fn start(
+        addr: &str,
+        registry: Arc<Registry>,
+        traces: Option<Arc<TraceRing>>,
+    ) -> std::io::Result<ScrapeServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if stop2.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(conn) = conn else { continue };
+                // One tiny request per connection; a stalled scraper
+                // costs at most the read timeout, not a thread forever.
+                let _ = serve_one(conn, &registry, traces.as_deref());
+            }
+        });
+        Ok(ScrapeServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the listener and join its thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // `accept` has no timeout: poke the listener so it wakes.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ScrapeServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn serve_one(
+    mut conn: TcpStream,
+    registry: &Registry,
+    traces: Option<&TraceRing>,
+) -> std::io::Result<()> {
+    conn.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let mut buf = [0u8; 1024];
+    let n = conn.read(&mut buf)?;
+    let request = String::from_utf8_lossy(&buf[..n]);
+    let path = request
+        .split_whitespace()
+        .nth(1)
+        .unwrap_or("/metrics")
+        .to_string();
+    let (status, body) = if path.starts_with("/traces") {
+        match traces {
+            Some(ring) => ("200 OK", ring.drain_text()),
+            None => ("404 Not Found", "no trace ring attached\n".to_string()),
+        }
+    } else if path.starts_with("/metrics") || path == "/" {
+        ("200 OK", registry.render())
+    } else {
+        ("404 Not Found", format!("unknown path {path}\n"))
+    };
+    let response = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    conn.write_all(response.as_bytes())
+}
+
+/// Fetch `path` from a scrape endpoint and return the body — the test
+/// and CLI counterpart to [`ScrapeServer`]. Strips the response
+/// headers; errors if the endpoint did not answer 200.
+pub fn fetch(addr: SocketAddr, path: &str) -> std::io::Result<String> {
+    let mut conn = TcpStream::connect_timeout(&addr, Duration::from_secs(2))?;
+    conn.set_read_timeout(Some(Duration::from_secs(5)))?;
+    conn.write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())?;
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw)?;
+    let (head, body) = raw.split_once("\r\n\r\n").ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "no header/body split")
+    })?;
+    if !head.starts_with("HTTP/1.0 200") {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("scrape failed: {}", head.lines().next().unwrap_or("")),
+        ));
+    }
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scrape_serves_metrics_and_drains_traces() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("fenrir_demo_total", &[]).add(7);
+        let ring = Arc::new(TraceRing::new(8));
+        ring.push("mode", 99, "slow".into());
+        let server = ScrapeServer::start(
+            "127.0.0.1:0",
+            Arc::clone(&registry),
+            Some(Arc::clone(&ring)),
+        )
+        .unwrap();
+        let addr = server.addr();
+
+        let metrics = fetch(addr, "/metrics").unwrap();
+        assert!(metrics.contains("fenrir_demo_total 7"));
+
+        let traces = fetch(addr, "/traces").unwrap();
+        assert!(traces.contains("kind=mode"));
+        assert!(fetch(addr, "/traces").unwrap().is_empty(), "drained");
+
+        assert!(fetch(addr, "/nope").is_err(), "unknown path is a 404");
+        server.shutdown();
+    }
+}

@@ -1,0 +1,140 @@
+//! Structured slow-query trace events in a bounded ring.
+//!
+//! The metrics inventory says *that* queries got slow; traces say
+//! *which ones*. A [`TraceRing`] holds the most recent `capacity`
+//! events — pushing into a full ring drops the oldest and counts the
+//! drop — and is drained destructively by whoever scrapes `/traces`,
+//! so a slow consumer costs bounded memory, never an unbounded queue.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One slow-query (or other noteworthy) event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Monotonic sequence number (gaps reveal drops).
+    pub seq: u64,
+    /// Event class — the query kind for slow-query traces.
+    pub kind: String,
+    /// How long the traced operation took, in microseconds.
+    pub micros: u64,
+    /// Human-readable detail (the decoded request, typically).
+    pub detail: String,
+}
+
+/// A bounded, drain-on-read ring of [`TraceEvent`]s.
+#[derive(Debug)]
+pub struct TraceRing {
+    events: Mutex<VecDeque<TraceEvent>>,
+    capacity: usize,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl TraceRing {
+    /// A ring holding at most `capacity` events (0 disables tracing:
+    /// every push is counted as dropped).
+    pub fn new(capacity: usize) -> Self {
+        TraceRing {
+            events: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            capacity,
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one event, evicting the oldest if the ring is full.
+    pub fn push(&self, kind: &str, micros: u64, detail: String) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        if self.capacity == 0 {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let mut events = self.events.lock().expect("trace ring poisoned");
+        if events.len() >= self.capacity {
+            events.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        events.push_back(TraceEvent {
+            seq,
+            kind: kind.to_string(),
+            micros,
+            detail,
+        });
+    }
+
+    /// Take every buffered event, leaving the ring empty.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        self.events
+            .lock()
+            .expect("trace ring poisoned")
+            .drain(..)
+            .collect()
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("trace ring poisoned").len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events pushed out (or refused) because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Drain and render as text, one `key=value` line per event — the
+    /// `/traces` scrape body.
+    pub fn drain_text(&self) -> String {
+        let mut out = String::new();
+        for e in self.drain() {
+            out.push_str(&format!(
+                "trace seq={} kind={} micros={} detail={:?}\n",
+                e.seq, e.kind, e.micros, e.detail
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let ring = TraceRing::new(2);
+        ring.push("mode", 10, "a".into());
+        ring.push("mode", 20, "b".into());
+        ring.push("mode", 30, "c".into());
+        assert_eq!(ring.dropped(), 1);
+        let events = ring.drain();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].detail, "b");
+        assert_eq!(events[1].seq, 2, "sequence numbers survive drops");
+        assert!(ring.is_empty(), "drain empties the ring");
+    }
+
+    #[test]
+    fn zero_capacity_disables_tracing() {
+        let ring = TraceRing::new(0);
+        ring.push("mode", 10, "a".into());
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn drain_text_is_one_line_per_event() {
+        let ring = TraceRing::new(8);
+        ring.push("transition", 431, "Transition { t: 1, u: 2 }".into());
+        let text = ring.drain_text();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("kind=transition"));
+        assert!(text.contains("micros=431"));
+    }
+}

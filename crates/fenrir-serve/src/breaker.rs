@@ -28,6 +28,20 @@ pub enum BreakerState {
     HalfOpen,
 }
 
+/// Monotonic counts of state transitions a breaker has made — the
+/// observability layer exports these so a chaos test can assert "the
+/// breaker opened exactly once" instead of eyeballing logs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BreakerTransitions {
+    /// Trips into [`BreakerState::Open`] (from closed or a failed
+    /// half-open probe).
+    pub to_open: u64,
+    /// Cooldown expiries into [`BreakerState::HalfOpen`].
+    pub to_half_open: u64,
+    /// Probe-success closures into [`BreakerState::Closed`].
+    pub to_closed: u64,
+}
+
 /// Breaker tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BreakerConfig {
@@ -58,6 +72,7 @@ pub struct CircuitBreaker {
     probe_successes: u32,
     probe_inflight: bool,
     opened_at: Option<Instant>,
+    transitions: BreakerTransitions,
 }
 
 impl CircuitBreaker {
@@ -75,7 +90,13 @@ impl CircuitBreaker {
             probe_successes: 0,
             probe_inflight: false,
             opened_at: None,
+            transitions: BreakerTransitions::default(),
         }
+    }
+
+    /// How often this breaker has entered each state so far.
+    pub fn transitions(&self) -> BreakerTransitions {
+        self.transitions
     }
 
     /// Current state, advancing open → half-open if the cooldown has
@@ -87,6 +108,7 @@ impl CircuitBreaker {
                     self.state = BreakerState::HalfOpen;
                     self.probe_successes = 0;
                     self.probe_inflight = false;
+                    self.transitions.to_half_open += 1;
                 }
             }
         }
@@ -122,6 +144,7 @@ impl CircuitBreaker {
                 if self.probe_successes >= self.cfg.probe_successes {
                     self.state = BreakerState::Closed;
                     self.opened_at = None;
+                    self.transitions.to_closed += 1;
                 }
             }
         }
@@ -148,6 +171,7 @@ impl CircuitBreaker {
         self.consecutive_failures = 0;
         self.probe_successes = 0;
         self.probe_inflight = false;
+        self.transitions.to_open += 1;
     }
 }
 
@@ -209,5 +233,32 @@ mod tests {
         assert_eq!(b.state(probe_at), BreakerState::Open);
         assert!(!b.admit(probe_at + Duration::from_millis(500)));
         assert!(b.admit(probe_at + Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn transitions_count_every_state_change_exactly() {
+        let mut b = CircuitBreaker::new(cfg());
+        let t0 = Instant::now();
+        assert_eq!(b.transitions(), BreakerTransitions::default());
+
+        // Trip, cool down, fail the probe (re-open), cool down again,
+        // then close with two probe successes.
+        for _ in 0..3 {
+            b.record_failure(t0);
+        }
+        let p1 = t0 + Duration::from_secs(1);
+        assert!(b.admit(p1));
+        b.record_failure(p1);
+        let p2 = p1 + Duration::from_secs(1);
+        assert!(b.admit(p2));
+        b.record_success();
+        assert!(b.admit(p2));
+        b.record_success();
+        assert_eq!(b.state(p2), BreakerState::Closed);
+
+        let t = b.transitions();
+        assert_eq!(t.to_open, 2, "initial trip + failed probe");
+        assert_eq!(t.to_half_open, 2, "one per cooldown expiry");
+        assert_eq!(t.to_closed, 1);
     }
 }

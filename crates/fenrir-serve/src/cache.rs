@@ -5,16 +5,23 @@
 //! polling a fixed window are the common access pattern) hit this
 //! cache instead. Keys carry the store epoch, so a hot reload
 //! implicitly invalidates every cached answer without any flush
-//! coordination — stale entries just stop matching and age out.
+//! coordination — and the store additionally calls [`QueryCache::purge`]
+//! on every epoch advance so dead-epoch entries hand their LRU slots
+//! back immediately instead of squatting until organic eviction.
 //!
 //! The cache is bounded: each shard evicts its least-recently-used
 //! entry on overflow. Recency is a per-shard monotonic tick stamped on
 //! every hit; eviction scans the shard for the minimum tick, which is
 //! `O(shard capacity)` — deliberate, since shards are small (hundreds
 //! of entries) and eviction is rare compared to lookups.
+//!
+//! Capacity is live-tunable ([`QueryCache::set_capacity`], driven by
+//! the admin protocol): the per-shard bound is an atomic read on the
+//! hot path, and shrinking trims each shard down by evicting its
+//! oldest entries.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 
@@ -37,25 +44,51 @@ struct Shard {
     tick: u64,
 }
 
+impl Shard {
+    /// Evict the least-recently-used entry; true if one was evicted.
+    fn evict_oldest(&mut self) -> bool {
+        if let Some(oldest) = self.map.iter().min_by_key(|(_, e)| e.tick).map(|(k, _)| *k) {
+            self.map.remove(&oldest);
+            true
+        } else {
+            false
+        }
+    }
+}
+
 /// Bounded, sharded, epoch-keyed answer cache.
 pub struct QueryCache {
     shards: Vec<Mutex<Shard>>,
-    per_shard: usize,
+    per_shard: AtomicUsize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    purged: AtomicU64,
 }
 
 const SHARDS: usize = 8;
 
+/// Per-shard bound for a requested total capacity: rounded **up** so
+/// any non-zero request caches at least one entry per shard. The old
+/// truncating division made `new(c)` with `0 < c < SHARDS` compute a
+/// per-shard bound of zero — silently disabling caching for exactly
+/// the callers asking for a tiny cache.
+fn per_shard_for(capacity: usize) -> usize {
+    capacity.div_ceil(SHARDS)
+}
+
 impl QueryCache {
-    /// A cache holding at most `capacity` entries (split across shards).
-    /// A zero capacity disables caching entirely.
+    /// A cache holding at most `capacity` entries (split across
+    /// shards; tiny capacities round up to one entry per shard). A
+    /// zero capacity disables caching entirely.
     pub fn new(capacity: usize) -> Self {
         QueryCache {
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
-            per_shard: capacity / SHARDS,
+            per_shard: AtomicUsize::new(per_shard_for(capacity)),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            purged: AtomicU64::new(0),
         }
     }
 
@@ -73,7 +106,7 @@ impl QueryCache {
 
     /// Cached `(kind, payload)` for `key`, if present.
     pub fn get(&self, key: &Key) -> Option<(u8, Vec<u8>)> {
-        if self.per_shard == 0 {
+        if self.per_shard.load(Ordering::Relaxed) == 0 {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
@@ -98,21 +131,15 @@ impl QueryCache {
 
     /// Insert an answer, evicting the shard's oldest entry on overflow.
     pub fn put(&self, key: Key, kind: u8, payload: Vec<u8>) {
-        if self.per_shard == 0 {
+        let per_shard = self.per_shard.load(Ordering::Relaxed);
+        if per_shard == 0 {
             return;
         }
         let mut shard = self.shard(&key).lock();
         shard.tick += 1;
         let tick = shard.tick;
-        if shard.map.len() >= self.per_shard && !shard.map.contains_key(&key) {
-            if let Some(oldest) = shard
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.tick)
-                .map(|(k, _)| *k)
-            {
-                shard.map.remove(&oldest);
-            }
+        if shard.map.len() >= per_shard && !shard.map.contains_key(&key) && shard.evict_oldest() {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
         }
         shard.map.insert(
             key,
@@ -124,6 +151,57 @@ impl QueryCache {
         );
     }
 
+    /// Drop every entry whose epoch is not `epoch`, returning how many
+    /// were purged. Called by the store on every epoch advance: stale
+    /// entries can never match again (keys carry their epoch), so
+    /// leaving them in place would only squat on LRU capacity until
+    /// organic eviction — gutting the hit rate right after a reload.
+    pub fn purge(&self, epoch: u64) -> u64 {
+        let mut purged = 0u64;
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            let before = shard.map.len();
+            shard.map.retain(|k, _| k.3 == epoch);
+            purged += (before - shard.map.len()) as u64;
+        }
+        self.purged.fetch_add(purged, Ordering::Relaxed);
+        purged
+    }
+
+    /// Change the capacity live (admin reconfig). Growing takes effect
+    /// lazily; shrinking trims each shard down to the new bound by
+    /// evicting its oldest entries. Zero disables caching and clears
+    /// everything.
+    pub fn set_capacity(&self, capacity: usize) {
+        let per_shard = per_shard_for(capacity);
+        self.per_shard.store(per_shard, Ordering::Relaxed);
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            while shard.map.len() > per_shard {
+                if !shard.evict_oldest() {
+                    break;
+                }
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Effective total capacity (the per-shard bound times the shard
+    /// count — at least the capacity requested, rounded up).
+    pub fn capacity(&self) -> usize {
+        self.per_shard.load(Ordering::Relaxed) * SHARDS
+    }
+
+    /// Entries currently cached across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Hits so far.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
@@ -132,6 +210,16 @@ impl QueryCache {
     /// Misses so far.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// LRU evictions so far (capacity pressure, not epoch purges).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Dead-epoch entries swept out by [`QueryCache::purge`] so far.
+    pub fn purged(&self) -> u64 {
+        self.purged.load(Ordering::Relaxed)
     }
 }
 
@@ -171,6 +259,7 @@ mod tests {
         cache.put(other, 2, vec![2]); // evicts base (older tick)
         assert!(cache.get(&base).is_none());
         assert_eq!(cache.get(&other), Some((2, vec![2])));
+        assert_eq!(cache.evictions(), 1);
     }
 
     #[test]
@@ -179,5 +268,60 @@ mod tests {
         cache.put((1, 1, 1, 1), 2, vec![9]);
         assert!(cache.get(&(1, 1, 1, 1)).is_none());
         assert_eq!(cache.hits(), 0);
+    }
+
+    /// Regression: `new(c)` with `0 < c < SHARDS` used to truncate the
+    /// per-shard bound to zero, silently disabling caching.
+    #[test]
+    fn tiny_capacities_still_cache() {
+        for c in 1..SHARDS {
+            let cache = QueryCache::new(c);
+            let key: Key = (1, c as u64, 0, 0);
+            cache.put(key, 2, vec![7]);
+            assert_eq!(
+                cache.get(&key),
+                Some((2, vec![7])),
+                "capacity {c} must cache at least one entry"
+            );
+            assert_eq!(cache.hits(), 1, "capacity {c}");
+            assert!(
+                cache.capacity() >= c,
+                "effective capacity covers the request"
+            );
+        }
+    }
+
+    #[test]
+    fn purge_sweeps_dead_epochs_and_leaves_the_current_one() {
+        let cache = QueryCache::new(64);
+        for i in 0..10u64 {
+            cache.put((1, i, 0, 0), 2, vec![0]); // epoch 0
+        }
+        cache.put((1, 0, 0, 1), 2, vec![1]); // epoch 1
+        assert_eq!(cache.len(), 11);
+        let purged = cache.purge(1);
+        assert_eq!(purged, 10);
+        assert_eq!(cache.purged(), 10);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&(1, 0, 0, 1)), Some((2, vec![1])));
+    }
+
+    #[test]
+    fn set_capacity_trims_zero_clears_and_growth_reenables() {
+        let cache = QueryCache::new(64);
+        for i in 0..32u64 {
+            cache.put((1, i, 0, 0), 2, vec![0]);
+        }
+        let before = cache.len();
+        cache.set_capacity(8);
+        assert!(cache.len() <= 8, "trimmed below the new bound");
+        assert!(cache.evictions() >= (before - 8) as u64);
+        cache.set_capacity(0);
+        assert_eq!(cache.len(), 0, "zero capacity clears everything");
+        cache.put((1, 1, 1, 0), 2, vec![1]);
+        assert!(cache.get(&(1, 1, 1, 0)).is_none(), "caching disabled");
+        cache.set_capacity(64);
+        cache.put((1, 1, 1, 0), 2, vec![1]);
+        assert!(cache.get(&(1, 1, 1, 0)).is_some(), "re-enabled live");
     }
 }

@@ -133,4 +133,25 @@ impl Client {
         self.flush()?;
         self.recv()
     }
+
+    /// Fetch the server's full metrics exposition text over the query
+    /// socket (the frame-protocol twin of the HTTP `/metrics` scrape).
+    pub fn metrics_text(&mut self) -> Result<String> {
+        match self.request(&Request::Metrics)? {
+            Reply::Metrics { text } => Ok(text),
+            other => Err(Error::Internal {
+                what: "serve metrics",
+                message: format!("expected a Metrics reply, got {other:?}"),
+            }),
+        }
+    }
+
+    /// Send one admin command. The reply is returned as-is — including
+    /// `Error` replies for a bad token — so callers can assert on it.
+    pub fn admin(&mut self, token: &str, cmd: crate::protocol::AdminCmd) -> Result<Reply> {
+        self.request(&Request::Admin {
+            token: token.to_string(),
+            cmd,
+        })
+    }
 }

@@ -44,6 +44,19 @@
 //!   used to prove the client's contract: a bit-identical answer or a
 //!   typed error, never a hang.
 //!
+//! Observability and control (protocol v3):
+//!
+//! * every server carries a [`fenrir_obs::Registry`] — per-kind query
+//!   counters and latency histograms, cache/store/breaker gauges —
+//!   scrapeable two ways: a plain-HTTP `/metrics` endpoint
+//!   ([`server::ServeConfig::metrics_addr`]) and a protocol-level
+//!   [`protocol::Request::Metrics`] frame;
+//! * queries slower than [`server::ServeConfig::slow_query`] leave
+//!   structured events in a bounded trace ring, drained via `/traces`;
+//! * [`protocol::Request::Admin`] (shared-token, fail-closed) drives
+//!   the fleet deliberately: drain / undrain a replica, force a
+//!   reload, rotate the journal, resize the cache or shed limit live.
+//!
 //! Replicas can also serve **without any local journal**: a store
 //! opened with [`store::ModeStore::open_tiered`] (or a set started
 //! with [`replica::ReplicaSet::start_tiered`]) hydrates its snapshot
@@ -65,10 +78,10 @@ pub mod resilient;
 pub mod server;
 pub mod store;
 
-pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use breaker::{BreakerConfig, BreakerState, BreakerTransitions, CircuitBreaker};
 pub use chaos::{ChaosPlan, FaultyListener};
 pub use client::Client;
-pub use protocol::{Reply, Request};
+pub use protocol::{AdminCmd, Reply, Request};
 pub use replica::ReplicaSet;
 pub use resilient::{ResilientClient, ResilientConfig};
 pub use server::{ServeConfig, Server};

@@ -20,7 +20,7 @@
 //! `len` counts payload bytes only. `sum` is the internet checksum of
 //! `len_le ‖ ver ‖ kind ‖ payload` — a frame whose header or body was
 //! corrupted in flight fails verification before any payload decoding
-//! runs. Request kinds occupy `0x01..=0x07`; each reply kind is its
+//! runs. Request kinds occupy `0x01..=0x09`; each reply kind is its
 //! request kind with the high bit set, plus two out-of-band replies:
 //! [`KIND_ERROR`] and [`KIND_OVERLOADED`].
 
@@ -40,7 +40,12 @@ use fenrir_wire::checksum::internet_checksum;
 ///   peer rejects v2 frames (and vice versa) at the version byte with a
 ///   typed `Corrupted` error before any payload decoding runs — mixed
 ///   deployments fail closed instead of misdecoding.
-pub const PROTOCOL_VERSION: u8 = 2;
+/// * **3** — the observability & control plane: `Metrics` (full
+///   exposition-text scrape over the query socket) and `Admin`
+///   (token-authenticated drain / undrain / force-reload / rotate /
+///   live-reconfig commands), plus [`ERR_UNAUTHORIZED`]. Same
+///   fail-closed rule: a v2 peer rejects v3 frames at the version byte.
+pub const PROTOCOL_VERSION: u8 = 3;
 /// Bytes in the fixed frame header.
 pub const FRAME_HEADER_LEN: usize = 8;
 /// Upper bound on payload size — caps what a hostile length field can
@@ -62,6 +67,10 @@ pub const KIND_LATENCY: u8 = 0x05;
 pub const KIND_HEALTH: u8 = 0x06;
 /// Server counters.
 pub const KIND_STATS: u8 = 0x07;
+/// Full metrics scrape (exposition text) over the query socket.
+pub const KIND_METRICS: u8 = 0x08;
+/// Token-authenticated control-plane command.
+pub const KIND_ADMIN: u8 = 0x09;
 
 // Reply kinds (request kind | 0x80).
 /// Reply to [`KIND_ASSIGN`].
@@ -78,6 +87,10 @@ pub const KIND_LATENCY_REPLY: u8 = 0x85;
 pub const KIND_HEALTH_REPLY: u8 = 0x86;
 /// Reply to [`KIND_STATS`].
 pub const KIND_STATS_REPLY: u8 = 0x87;
+/// Reply to [`KIND_METRICS`].
+pub const KIND_METRICS_REPLY: u8 = 0x88;
+/// Reply to [`KIND_ADMIN`].
+pub const KIND_ADMIN_REPLY: u8 = 0x89;
 /// A query that could not be answered; carries a code and message.
 pub const KIND_ERROR: u8 = 0xE0;
 /// The server is saturated; retry later.
@@ -92,6 +105,9 @@ pub const ERR_NOT_FOUND: u8 = 2;
 pub const ERR_UNAVAILABLE: u8 = 3;
 /// The server failed internally while answering.
 pub const ERR_INTERNAL: u8 = 4;
+/// An [`Request::Admin`] command carried a missing or wrong token, or
+/// the server has no admin token configured at all.
+pub const ERR_UNAUTHORIZED: u8 = 5;
 
 /// Encode one frame: header, checksum, payload.
 pub fn encode_frame(kind: u8, payload: &[u8]) -> Vec<u8> {
@@ -263,8 +279,47 @@ fn corrupt(message: String) -> Error {
 // ---------------------------------------------------------------------
 // Requests.
 
+/// A control-plane command carried by [`Request::Admin`].
+///
+/// Admin commands share the query socket and frame format but are
+/// token-gated: the server only honours them when configured with an
+/// admin token and the command carries it verbatim. They exist so a
+/// fleet controller (or a chaos test) can drive failover deliberately —
+/// drain a replica before restarting it, force a reload after rotating
+/// the journal, or resize the cache and shed limit without a restart.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdminCmd {
+    /// Stop taking new work: queued and in-flight queries finish, then
+    /// their connections close; new connections are shed with
+    /// `Overloaded`. Health advertises `draining` so resilient clients
+    /// steer away.
+    Drain,
+    /// Resume normal service after a [`AdminCmd::Drain`].
+    Undrain,
+    /// Reload the snapshot from the journal source now, regardless of
+    /// whether anything looks changed.
+    ForceReload,
+    /// Point a file-backed store at a new journal path and load it.
+    /// Validate-then-commit: a bad path is an error reply and the old
+    /// journal keeps serving.
+    Rotate {
+        /// New journal path (server-local).
+        path: String,
+    },
+    /// Resize the query cache live; `0` disables caching.
+    SetCacheCapacity {
+        /// New total entry budget across shards.
+        entries: u64,
+    },
+    /// Resize the admission limit live; `0` sheds everything.
+    SetMaxInflight {
+        /// New concurrent-slot budget.
+        slots: u64,
+    },
+}
+
 /// A query a client can send.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
     /// Which site served `network` at the observation covering `t`?
     Assign {
@@ -301,38 +356,79 @@ pub enum Request {
     Health,
     /// Server counters.
     Stats,
+    /// Full metrics scrape: the same exposition text the HTTP scrape
+    /// endpoint serves, for clients that already speak the frame
+    /// protocol.
+    Metrics,
+    /// A token-authenticated control-plane command.
+    Admin {
+        /// Shared admin token; must match the server's configured one.
+        token: String,
+        /// The command itself.
+        cmd: AdminCmd,
+    },
 }
+
+// Sub-kind tags for [`AdminCmd`] inside a [`KIND_ADMIN`] payload.
+const ADMIN_DRAIN: u8 = 1;
+const ADMIN_UNDRAIN: u8 = 2;
+const ADMIN_FORCE_RELOAD: u8 = 3;
+const ADMIN_ROTATE: u8 = 4;
+const ADMIN_SET_CACHE_CAPACITY: u8 = 5;
+const ADMIN_SET_MAX_INFLIGHT: u8 = 6;
 
 impl Request {
     /// Frame kind plus encoded payload.
     pub fn kind_and_payload(&self) -> (u8, Vec<u8>) {
         let mut p = Vec::new();
-        match *self {
+        match self {
             Request::Assign { t, network } => {
-                codec::put_i64(&mut p, t);
-                codec::put_u32(&mut p, network);
+                codec::put_i64(&mut p, *t);
+                codec::put_u32(&mut p, *network);
                 (KIND_ASSIGN, p)
             }
             Request::Similarity { t, u } => {
-                codec::put_i64(&mut p, t);
-                codec::put_i64(&mut p, u);
+                codec::put_i64(&mut p, *t);
+                codec::put_i64(&mut p, *u);
                 (KIND_SIMILARITY, p)
             }
             Request::Mode { t } => {
-                codec::put_i64(&mut p, t);
+                codec::put_i64(&mut p, *t);
                 (KIND_MODE, p)
             }
             Request::Transition { t, u } => {
-                codec::put_i64(&mut p, t);
-                codec::put_i64(&mut p, u);
+                codec::put_i64(&mut p, *t);
+                codec::put_i64(&mut p, *u);
                 (KIND_TRANSITION, p)
             }
             Request::Latency { t } => {
-                codec::put_i64(&mut p, t);
+                codec::put_i64(&mut p, *t);
                 (KIND_LATENCY, p)
             }
             Request::Health => (KIND_HEALTH, p),
             Request::Stats => (KIND_STATS, p),
+            Request::Metrics => (KIND_METRICS, p),
+            Request::Admin { token, cmd } => {
+                codec::put_str(&mut p, token);
+                match cmd {
+                    AdminCmd::Drain => p.push(ADMIN_DRAIN),
+                    AdminCmd::Undrain => p.push(ADMIN_UNDRAIN),
+                    AdminCmd::ForceReload => p.push(ADMIN_FORCE_RELOAD),
+                    AdminCmd::Rotate { path } => {
+                        p.push(ADMIN_ROTATE);
+                        codec::put_str(&mut p, path);
+                    }
+                    AdminCmd::SetCacheCapacity { entries } => {
+                        p.push(ADMIN_SET_CACHE_CAPACITY);
+                        codec::put_u64(&mut p, *entries);
+                    }
+                    AdminCmd::SetMaxInflight { slots } => {
+                        p.push(ADMIN_SET_MAX_INFLIGHT);
+                        codec::put_u64(&mut p, *slots);
+                    }
+                }
+                (KIND_ADMIN, p)
+            }
         }
     }
 
@@ -362,6 +458,26 @@ impl Request {
             KIND_LATENCY => Request::Latency { t: d.i64()? },
             KIND_HEALTH => Request::Health,
             KIND_STATS => Request::Stats,
+            KIND_METRICS => Request::Metrics,
+            KIND_ADMIN => {
+                let token = d.str()?;
+                let cmd = match d.u8()? {
+                    ADMIN_DRAIN => AdminCmd::Drain,
+                    ADMIN_UNDRAIN => AdminCmd::Undrain,
+                    ADMIN_FORCE_RELOAD => AdminCmd::ForceReload,
+                    ADMIN_ROTATE => AdminCmd::Rotate { path: d.str()? },
+                    ADMIN_SET_CACHE_CAPACITY => AdminCmd::SetCacheCapacity { entries: d.u64()? },
+                    ADMIN_SET_MAX_INFLIGHT => AdminCmd::SetMaxInflight { slots: d.u64()? },
+                    other => {
+                        return Err(Error::Corrupted {
+                            what: "serve request",
+                            offset: 0,
+                            message: format!("unknown admin command tag {other}"),
+                        })
+                    }
+                };
+                Request::Admin { token, cmd }
+            }
             other => {
                 return Err(Error::Corrupted {
                     what: "serve request",
@@ -506,6 +622,16 @@ pub enum Reply {
     Health(HealthInfo),
     /// Answer to [`Request::Stats`].
     Stats(StatsInfo),
+    /// Answer to [`Request::Metrics`]: the full exposition text.
+    Metrics {
+        /// Exposition-format metrics, one sample per line.
+        text: String,
+    },
+    /// Answer to an accepted [`Request::Admin`] command.
+    Admin {
+        /// Human-readable confirmation of what the command did.
+        info: String,
+    },
     /// The query failed; `code` is one of the `ERR_*` constants.
     Error {
         /// Machine-readable error class.
@@ -633,6 +759,14 @@ impl Reply {
                 codec::put_u64(&mut p, s.inflight);
                 (KIND_STATS_REPLY, p)
             }
+            Reply::Metrics { text } => {
+                codec::put_str(&mut p, text);
+                (KIND_METRICS_REPLY, p)
+            }
+            Reply::Admin { info } => {
+                codec::put_str(&mut p, info);
+                (KIND_ADMIN_REPLY, p)
+            }
             Reply::Error { code, message } => {
                 p.push(*code);
                 codec::put_str(&mut p, message);
@@ -746,6 +880,8 @@ impl Reply {
                 reload_failures: d.u64()?,
                 inflight: d.u64()?,
             }),
+            KIND_METRICS_REPLY => Reply::Metrics { text: d.str()? },
+            KIND_ADMIN_REPLY => Reply::Admin { info: d.str()? },
             KIND_ERROR => Reply::Error {
                 code: d.u8()?,
                 message: d.str()?,
@@ -1004,6 +1140,14 @@ mod tests {
                 reload_failures: 9,
                 inflight: 8,
             }),
+            Reply::Metrics {
+                text: "# TYPE fenrir_serve_queries_total counter\n\
+                       fenrir_serve_queries_total{kind=\"mode\"} 7\n"
+                    .into(),
+            },
+            Reply::Admin {
+                info: "draining".into(),
+            },
             Reply::Error {
                 code: ERR_NOT_FOUND,
                 message: "before first observation".into(),
@@ -1017,5 +1161,29 @@ mod tests {
             let (kind, payload) = reply.kind_and_payload();
             assert_eq!(Reply::decode(kind, &payload).unwrap(), reply);
         }
+    }
+
+    #[test]
+    fn every_admin_command_round_trips_bit_exactly() {
+        let cmds = vec![
+            AdminCmd::Drain,
+            AdminCmd::Undrain,
+            AdminCmd::ForceReload,
+            AdminCmd::Rotate {
+                path: "/tmp/journal-new".into(),
+            },
+            AdminCmd::SetCacheCapacity { entries: 3 },
+            AdminCmd::SetMaxInflight { slots: 0 },
+        ];
+        for cmd in cmds {
+            let req = Request::Admin {
+                token: "sekrit".into(),
+                cmd,
+            };
+            let (kind, payload) = req.kind_and_payload();
+            assert_eq!(Request::decode(kind, &payload).unwrap(), req);
+        }
+        let (kind, payload) = Request::Metrics.kind_and_payload();
+        assert_eq!(Request::decode(kind, &payload).unwrap(), Request::Metrics);
     }
 }

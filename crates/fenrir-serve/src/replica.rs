@@ -18,10 +18,13 @@
 use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use fenrir_core::error::{Error, Result};
 use fenrir_data::storage::{RetryPolicy, Storage};
 
+use crate::client::Client;
+use crate::protocol::{AdminCmd, Reply, Request};
 use crate::server::{ServeConfig, Server};
 use crate::store::{ModeStore, StoreOptions};
 
@@ -36,6 +39,7 @@ struct Replica {
 pub struct ReplicaSet {
     path: PathBuf,
     replicas: Vec<Replica>,
+    admin_token: Option<String>,
 }
 
 impl ReplicaSet {
@@ -71,6 +75,7 @@ impl ReplicaSet {
         Ok(ReplicaSet {
             path: journal.to_path_buf(),
             replicas,
+            admin_token: cfg.admin_token,
         })
     }
 
@@ -121,6 +126,7 @@ impl ReplicaSet {
         Ok(ReplicaSet {
             path: PathBuf::from(prefix),
             replicas,
+            admin_token: cfg.admin_token,
         })
     }
 
@@ -155,6 +161,85 @@ impl ReplicaSet {
     /// Whether replica `i` is still serving.
     pub fn is_running(&self, i: usize) -> bool {
         self.replicas[i].server.is_some()
+    }
+
+    /// Replica `i`'s HTTP metrics endpoint, when the set was started
+    /// with [`ServeConfig::metrics_addr`] (each replica binds its own
+    /// ephemeral port) and the replica still runs.
+    pub fn metrics_addr(&self, i: usize) -> Option<SocketAddr> {
+        self.replicas[i].server.as_ref()?.metrics_addr()
+    }
+
+    /// Send one admin command to replica `i` using the token the set
+    /// was started with. Errors if the set has no admin token or the
+    /// replica was stopped; an `Error`/`Unauthorized` *reply* is
+    /// returned as-is so callers can assert on it.
+    pub fn admin(&self, i: usize, cmd: AdminCmd) -> Result<Reply> {
+        let token = self.admin_token.clone().ok_or(Error::Config {
+            name: "admin_token",
+            message: "this replica set was started without an admin token".into(),
+        })?;
+        if !self.is_running(i) {
+            return Err(Error::Internal {
+                what: "replica admin",
+                message: format!("replica {i} is stopped"),
+            });
+        }
+        let mut client = Client::connect(self.replicas[i].addr)?;
+        client.request(&Request::Admin { token, cmd })
+    }
+
+    /// Drain replica `i`: it stops admitting queries (sheds with
+    /// `Overloaded`) and slot-holding connections close after their
+    /// current burst, while control frames keep working.
+    pub fn drain(&self, i: usize) -> Result<Reply> {
+        self.admin(i, AdminCmd::Drain)
+    }
+
+    /// Undo a [`ReplicaSet::drain`]: replica `i` admits queries again.
+    pub fn undrain(&self, i: usize) -> Result<Reply> {
+        self.admin(i, AdminCmd::Undrain)
+    }
+
+    /// Drain replica `i`, wait (by polling slot-exempt `Stats`) until
+    /// its in-flight count reaches zero, then stop it. This is the
+    /// deliberate-failover path: no query is dropped mid-computation,
+    /// unlike stopping a busy replica outright.
+    pub fn drain_and_stop(&mut self, i: usize, timeout: Duration) -> Result<()> {
+        match self.drain(i)? {
+            Reply::Admin { .. } => {}
+            other => {
+                return Err(Error::Internal {
+                    what: "replica drain",
+                    message: format!("drain refused: {other:?}"),
+                })
+            }
+        }
+        let deadline = Instant::now() + timeout;
+        // A fresh connection under drain never gets a slot, so this
+        // poller observes inflight without inflating it.
+        let mut client = Client::connect(self.replicas[i].addr)?;
+        loop {
+            match client.request(&Request::Stats)? {
+                Reply::Stats(s) if s.inflight == 0 => break,
+                Reply::Stats(_) => {}
+                other => {
+                    return Err(Error::Internal {
+                        what: "replica drain",
+                        message: format!("stats poll got {other:?}"),
+                    })
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(Error::Internal {
+                    what: "replica drain",
+                    message: format!("replica {i} still has queries in flight after {timeout:?}"),
+                });
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        self.stop(i);
+        Ok(())
     }
 
     /// Stop replica `i` (drain and join its threads), leaving the rest

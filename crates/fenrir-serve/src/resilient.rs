@@ -137,7 +137,7 @@ pub struct ResilientClient {
     cfg: ResilientConfig,
     rng: Mutex<ChaCha8Rng>,
     cursor: AtomicUsize,
-    stats: ResilientStats,
+    stats: Arc<ResilientStats>,
 }
 
 impl ResilientClient {
@@ -170,7 +170,7 @@ impl ResilientClient {
             rng: Mutex::new(ChaCha8Rng::seed_from_u64(cfg.seed)),
             cursor: AtomicUsize::new(0),
             cfg,
-            stats: ResilientStats::default(),
+            stats: Arc::new(ResilientStats::default()),
         })
     }
 
@@ -249,7 +249,7 @@ impl ResilientClient {
             self.stats.attempts.fetch_add(1, Ordering::Relaxed);
             let ep = Arc::clone(&self.endpoints[idx]);
             let cfg = self.cfg.clone();
-            let req = *req;
+            let req = req.clone();
             std::thread::spawn(move || {
                 let outcome = attempt_owned(&ep, &req, &cfg);
                 let _ = tx.send((is_hedge, outcome));
@@ -362,15 +362,10 @@ impl ResilientClient {
         let base = match hint_ms {
             Some(ms) => Duration::from_millis(ms),
             None => {
-                let exp = self
-                    .cfg
-                    .backoff_base
-                    .saturating_mul(1u32 << (round - 1).min(16));
-                let capped = exp.min(self.cfg.backoff_max);
                 // Jitter in [0.5, 1.5): desynchronises a fleet of
                 // retrying clients without changing the expectation.
                 let factor = 0.5 + self.rng.lock().gen::<f64>();
-                capped.mul_f64(factor)
+                backoff_for(&self.cfg, round, factor)
             }
         };
         let remaining = overall.saturating_duration_since(Instant::now());
@@ -379,6 +374,64 @@ impl ResilientClient {
             std::thread::sleep(sleep);
         }
     }
+
+    /// Export the client's counters and each replica's breaker into
+    /// `registry`, so an outage leaves a full trail in a single scrape:
+    /// attempts, retries, hedges, and per-replica breaker transitions
+    /// and live state.
+    pub fn register_metrics(&self, registry: &fenrir_obs::Registry) {
+        type StatField = fn(&ResilientStats) -> &AtomicU64;
+        let stats = Arc::clone(&self.stats);
+        let counters: [(&str, StatField); 6] = [
+            ("fenrir_client_attempts_total", |s| &s.attempts),
+            ("fenrir_client_retries_total", |s| &s.retries),
+            ("fenrir_client_overloaded_total", |s| &s.overloaded),
+            ("fenrir_client_hedges_total", |s| &s.hedges),
+            ("fenrir_client_hedge_wins_total", |s| &s.hedge_wins),
+            ("fenrir_client_breaker_skips_total", |s| &s.breaker_skips),
+        ];
+        for (name, field) in counters {
+            let stats = Arc::clone(&stats);
+            registry.counter_fn(name, &[], move || {
+                field(&stats).load(Ordering::Relaxed) as f64
+            });
+        }
+        for (i, ep) in self.endpoints.iter().enumerate() {
+            let replica = i.to_string();
+            for (to, pick) in [("open", 0usize), ("half_open", 1), ("closed", 2)] {
+                let ep = Arc::clone(ep);
+                registry.counter_fn(
+                    "fenrir_breaker_transitions_total",
+                    &[("replica", &replica), ("to", to)],
+                    move || {
+                        let t = ep.breaker.lock().transitions();
+                        [t.to_open, t.to_half_open, t.to_closed][pick] as f64
+                    },
+                );
+            }
+            let ep = Arc::clone(ep);
+            registry.gauge_fn(
+                "fenrir_breaker_state",
+                &[("replica", &replica)],
+                move || match ep.breaker.lock().state(Instant::now()) {
+                    BreakerState::Closed => 0.0,
+                    BreakerState::HalfOpen => 1.0,
+                    BreakerState::Open => 2.0,
+                },
+            );
+        }
+    }
+}
+
+/// The backoff before round `round + 1`, with `jitter` drawn from
+/// `[0.5, 1.5)`. The `backoff_max` ceiling is applied **after**
+/// jittering — clamping first (the old order) let real sleeps breach
+/// the documented ceiling by up to 1.5×.
+fn backoff_for(cfg: &ResilientConfig, round: u32, jitter: f64) -> Duration {
+    let exp = cfg
+        .backoff_base
+        .saturating_mul(1u32 << (round.saturating_sub(1)).min(16));
+    exp.mul_f64(jitter).min(cfg.backoff_max)
 }
 
 /// One bounded attempt against one endpoint, recording its breaker and
@@ -404,5 +457,33 @@ fn attempt_owned(ep: &Endpoint, req: &Request, cfg: &ResilientConfig) -> Outcome
             ep.breaker.lock().record_failure(now);
             Outcome::Failed(e)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression: jitter used to be applied *after* the `backoff_max`
+    /// clamp, so a 1.5× draw breached the documented ceiling.
+    #[test]
+    fn jittered_backoff_never_exceeds_the_ceiling() {
+        let cfg = ResilientConfig {
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(500),
+            ..ResilientConfig::default()
+        };
+        for round in 1..24 {
+            for jitter in [0.5, 1.0, 1.4999999] {
+                let b = backoff_for(&cfg, round, jitter);
+                assert!(
+                    b <= cfg.backoff_max,
+                    "round {round} jitter {jitter}: {b:?} breaches the ceiling"
+                );
+            }
+        }
+        // Below the ceiling the jitter still spreads sleeps.
+        assert_eq!(backoff_for(&cfg, 1, 0.5), Duration::from_millis(5));
+        assert_eq!(backoff_for(&cfg, 1, 1.25), Duration::from_micros(12_500));
     }
 }

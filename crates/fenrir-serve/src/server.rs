@@ -16,13 +16,25 @@
 //!   slot before every query so capacity freed by a departing
 //!   connection is picked up promptly.
 //!
+//! Control-plane frames (`Stats`, `Metrics`, `Admin`) bypass the slot
+//! gate: a saturated or draining server must stay observable and
+//! steerable, or an operator could never diagnose the saturation.
+//! `Health` deliberately does *not* bypass — it doubles as the
+//! resilient client's cheap load probe, and a probe that cannot get a
+//! slot should see `Overloaded`.
+//!
 //! Shutdown is graceful: the stop flag flips, the acceptor wakes and
 //! exits (closing the channels), and each worker finishes the queries
 //! already readable on its connections before hanging up — in-flight
-//! work is drained, not dropped.
+//! work is drained, not dropped. An admin **drain** is gentler still:
+//! slot-holding connections finish their current burst and close, new
+//! slot acquisition stops (queries shed with `Overloaded`), but the
+//! process keeps running and keeps answering control frames until an
+//! `Undrain` or a real shutdown.
 
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
@@ -30,15 +42,40 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use fenrir_core::error::{Error, Result};
+use fenrir_obs::{
+    Counter as ObsCounter, Histogram as ObsHistogram, Registry, ScrapeServer, TraceRing,
+    DEFAULT_LATENCY_BOUNDS_US,
+};
 
 use crate::protocol::{
-    read_frame, FrameEvent, Reply, Request, StatsInfo, ERR_BAD_REQUEST, KIND_LATENCY,
+    read_frame, AdminCmd, FrameEvent, Reply, Request, StatsInfo, ERR_BAD_REQUEST, ERR_UNAUTHORIZED,
+    ERR_UNAVAILABLE, KIND_ADMIN, KIND_ASSIGN, KIND_HEALTH, KIND_LATENCY, KIND_METRICS, KIND_STATS,
     KIND_TRANSITION,
 };
 use crate::store::ModeStore;
 
 /// How often an idle connection wakes to poll the stop flag.
 const TICK: Duration = Duration::from_millis(100);
+
+/// Exposition label value per request kind, indexed by
+/// `kind - KIND_ASSIGN`.
+const KIND_NAMES: [&str; 9] = [
+    "assign",
+    "similarity",
+    "mode",
+    "transition",
+    "latency",
+    "health",
+    "stats",
+    "metrics",
+    "admin",
+];
+
+fn kind_index(kind: u8) -> Option<usize> {
+    (KIND_ASSIGN..=KIND_ADMIN)
+        .contains(&kind)
+        .then(|| (kind - KIND_ASSIGN) as usize)
+}
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -63,6 +100,18 @@ pub struct ServeConfig {
     /// queries advertise this, accept-shed connections twice it (a full
     /// accept queue recovers slower than a busy service slot).
     pub retry_after: Duration,
+    /// Bind address for the plain-HTTP metrics scrape endpoint
+    /// (`/metrics`, `/traces`); None disables it. The protocol-level
+    /// `Metrics` frame works either way.
+    pub metrics_addr: Option<String>,
+    /// Shared token gating `Admin` frames; None rejects every admin
+    /// command with `ERR_UNAVAILABLE` (fail closed, not open).
+    pub admin_token: Option<String>,
+    /// Queries at least this slow leave a structured trace event in
+    /// the ring; None disables slow-query tracing.
+    pub slow_query: Option<Duration>,
+    /// Slow-query trace ring capacity (0 disables, counting drops).
+    pub trace_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -76,6 +125,10 @@ impl Default for ServeConfig {
             follow: None,
             replica: 0,
             retry_after: Duration::from_millis(50),
+            metrics_addr: None,
+            admin_token: None,
+            slow_query: Some(Duration::from_millis(250)),
+            trace_capacity: 256,
         }
     }
 }
@@ -93,16 +146,38 @@ pub struct Counters {
     pub overloaded: AtomicU64,
 }
 
+/// Mutable serving state shared with metric-exporting closures (its
+/// own `Arc` so the registry never holds the whole [`Shared`] — that
+/// would be a reference cycle, since [`Shared`] holds the registry).
+struct LiveState {
+    /// Connections currently holding a service slot.
+    inflight: AtomicUsize,
+    /// Admin-driven drain: no new slots, slot-holders close after
+    /// their current burst.
+    draining: AtomicBool,
+    /// Live-reconfigurable admission limit.
+    max_inflight: AtomicUsize,
+}
+
 /// State shared by the acceptor, workers, and reloader.
 struct Shared {
     store: Arc<ModeStore>,
-    counters: Counters,
+    counters: Arc<Counters>,
+    live: Arc<LiveState>,
     stop: AtomicBool,
-    inflight: AtomicUsize,
-    max_inflight: usize,
     read_deadline: Duration,
     replica: u64,
     retry_after_ms: u64,
+    registry: Arc<Registry>,
+    traces: Arc<TraceRing>,
+    admin_token: Option<String>,
+    slow_query: Option<Duration>,
+    /// `fenrir_serve_queries_total{kind}` handles, by kind index.
+    queries_by_kind: Vec<ObsCounter>,
+    /// `fenrir_serve_query_latency_us{kind}` handles, by kind index.
+    latency_by_kind: Vec<ObsHistogram>,
+    overloaded_accept: ObsCounter,
+    overloaded_slot: ObsCounter,
 }
 
 impl Shared {
@@ -116,16 +191,25 @@ impl Shared {
             cache_misses: self.store.cache.misses(),
             reloads: self.store.reloads(),
             reload_failures: self.store.reload_failures(),
-            inflight: self.inflight.load(Ordering::Relaxed) as u64,
+            inflight: self.live.inflight.load(Ordering::Relaxed) as u64,
         }
+    }
+
+    fn draining(&self) -> bool {
+        self.live.draining.load(Ordering::SeqCst)
     }
 
     /// An `Overloaded` reply with the retry-after hint scaled to where
     /// the shed happened.
     fn overloaded(&self, at_accept: bool) -> Reply {
         self.counters.overloaded.fetch_add(1, Ordering::Relaxed);
+        if at_accept {
+            self.overloaded_accept.inc();
+        } else {
+            self.overloaded_slot.inc();
+        }
         Reply::Overloaded {
-            inflight: self.inflight.load(Ordering::Relaxed) as u64,
+            inflight: self.live.inflight.load(Ordering::Relaxed) as u64,
             retry_after_ms: if at_accept {
                 self.retry_after_ms * 2
             } else {
@@ -140,17 +224,21 @@ struct Slot<'a>(&'a Shared);
 
 impl Drop for Slot<'_> {
     fn drop(&mut self) {
-        self.0.inflight.fetch_sub(1, Ordering::AcqRel);
+        self.0.live.inflight.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
 fn try_acquire(shared: &Shared) -> Option<Slot<'_>> {
-    let mut cur = shared.inflight.load(Ordering::Acquire);
+    if shared.draining() {
+        return None;
+    }
+    let max = shared.live.max_inflight.load(Ordering::Relaxed);
+    let mut cur = shared.live.inflight.load(Ordering::Acquire);
     loop {
-        if cur >= shared.max_inflight {
+        if cur >= max {
             return None;
         }
-        match shared.inflight.compare_exchange_weak(
+        match shared.live.inflight.compare_exchange_weak(
             cur,
             cur + 1,
             Ordering::AcqRel,
@@ -169,6 +257,7 @@ pub struct Server {
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     reloader: Option<JoinHandle<()>>,
+    scrape: Option<ScrapeServer>,
 }
 
 impl Server {
@@ -182,16 +271,60 @@ impl Server {
             what: "serve bind",
             message: e.to_string(),
         })?;
+        let registry = Arc::new(Registry::new());
+        let traces = Arc::new(TraceRing::new(cfg.trace_capacity));
+        let counters = Arc::new(Counters::default());
+        let live = Arc::new(LiveState {
+            inflight: AtomicUsize::new(0),
+            draining: AtomicBool::new(false),
+            max_inflight: AtomicUsize::new(cfg.max_inflight.max(1)),
+        });
+        register_metrics(&registry, &store, &counters, &live, &traces);
+        let queries_by_kind = KIND_NAMES
+            .iter()
+            .map(|name| registry.counter("fenrir_serve_queries_total", &[("kind", name)]))
+            .collect();
+        let latency_by_kind = KIND_NAMES
+            .iter()
+            .map(|name| {
+                registry.histogram(
+                    "fenrir_serve_query_latency_us",
+                    &[("kind", name)],
+                    DEFAULT_LATENCY_BOUNDS_US,
+                )
+            })
+            .collect();
+        let overloaded_accept =
+            registry.counter("fenrir_serve_overloaded_total", &[("at", "accept")]);
+        let overloaded_slot = registry.counter("fenrir_serve_overloaded_total", &[("at", "slot")]);
         let shared = Arc::new(Shared {
             store: Arc::clone(&store),
-            counters: Counters::default(),
+            counters,
+            live,
             stop: AtomicBool::new(false),
-            inflight: AtomicUsize::new(0),
-            max_inflight: cfg.max_inflight.max(1),
             read_deadline: cfg.read_deadline,
             replica: cfg.replica,
             retry_after_ms: cfg.retry_after.as_millis() as u64,
+            registry: Arc::clone(&registry),
+            traces: Arc::clone(&traces),
+            admin_token: cfg.admin_token.clone(),
+            slow_query: cfg.slow_query,
+            queries_by_kind,
+            latency_by_kind,
+            overloaded_accept,
+            overloaded_slot,
         });
+
+        let scrape = match &cfg.metrics_addr {
+            Some(maddr) => Some(
+                ScrapeServer::start(maddr, Arc::clone(&registry), Some(Arc::clone(&traces)))
+                    .map_err(|e| Error::Internal {
+                        what: "metrics bind",
+                        message: format!("{maddr}: {e}"),
+                    })?,
+            ),
+            None => None,
+        };
 
         let workers_n = cfg.workers.max(1);
         let mut senders: Vec<SyncSender<TcpStream>> = Vec::with_capacity(workers_n);
@@ -233,12 +366,25 @@ impl Server {
             acceptor: Some(acceptor),
             workers,
             reloader,
+            scrape,
         })
     }
 
     /// The bound address (useful with an ephemeral port).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The metric registry this server reports into — useful for
+    /// registering extra collectors (e.g. a resilient client's breaker
+    /// counters) onto the same scrape.
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.shared.registry)
+    }
+
+    /// Where the HTTP scrape endpoint is bound, when enabled.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.scrape.as_ref().map(|s| s.addr())
     }
 
     /// Stop accepting, drain in-flight queries, and join every thread.
@@ -260,12 +406,124 @@ impl Server {
         if let Some(h) = self.reloader.take() {
             let _ = h.join();
         }
+        if let Some(s) = self.scrape.take() {
+            s.shutdown();
+        }
     }
 }
 
 impl Drop for Server {
     fn drop(&mut self) {
         self.stop_and_join();
+    }
+}
+
+/// Wire every store/server gauge and counter into `registry`. These
+/// are pull closures: the scrape reads live values, the hot path pays
+/// nothing beyond the atomics it already maintained.
+fn register_metrics(
+    registry: &Registry,
+    store: &Arc<ModeStore>,
+    counters: &Arc<Counters>,
+    live: &Arc<LiveState>,
+    traces: &Arc<TraceRing>,
+) {
+    type CounterField = fn(&Counters) -> &AtomicU64;
+    type StoreField = fn(&ModeStore) -> u64;
+    let totals: [(&str, CounterField); 3] = [
+        ("fenrir_serve_connections_total", |c| &c.connections),
+        ("fenrir_serve_errors_total", |c| &c.errors),
+        ("fenrir_serve_queries_answered_total", |c| &c.queries),
+    ];
+    for (name, field) in totals {
+        let counters = Arc::clone(counters);
+        registry.counter_fn(name, &[], move || {
+            field(&counters).load(Ordering::Relaxed) as f64
+        });
+    }
+    {
+        let live = Arc::clone(live);
+        registry.gauge_fn("fenrir_serve_inflight", &[], move || {
+            live.inflight.load(Ordering::Relaxed) as f64
+        });
+    }
+    {
+        let live = Arc::clone(live);
+        registry.gauge_fn("fenrir_serve_draining", &[], move || {
+            live.draining.load(Ordering::Relaxed) as u64 as f64
+        });
+    }
+    {
+        let live = Arc::clone(live);
+        registry.gauge_fn("fenrir_serve_max_inflight", &[], move || {
+            live.max_inflight.load(Ordering::Relaxed) as f64
+        });
+    }
+    let cache: [(&str, StoreField); 4] = [
+        ("fenrir_cache_hits_total", |s| s.cache.hits()),
+        ("fenrir_cache_misses_total", |s| s.cache.misses()),
+        ("fenrir_cache_evictions_total", |s| s.cache.evictions()),
+        ("fenrir_cache_purged_total", |s| s.cache.purged()),
+    ];
+    for (name, field) in cache {
+        let store = Arc::clone(store);
+        registry.counter_fn(name, &[], move || field(&store) as f64);
+    }
+    {
+        let store = Arc::clone(store);
+        registry.gauge_fn("fenrir_cache_entries", &[], move || {
+            store.cache.len() as f64
+        });
+    }
+    {
+        let store = Arc::clone(store);
+        registry.gauge_fn("fenrir_cache_capacity", &[], move || {
+            store.cache.capacity() as f64
+        });
+    }
+    let store_counters: [(&str, StoreField); 4] = [
+        ("fenrir_store_reloads_total", |s| s.reloads()),
+        ("fenrir_store_reload_failures_total", |s| {
+            s.reload_failures()
+        }),
+        ("fenrir_storage_retries_total", |s| {
+            s.retry_stats().retries()
+        }),
+        ("fenrir_storage_exhausted_total", |s| {
+            s.retry_stats().exhausted()
+        }),
+    ];
+    for (name, field) in store_counters {
+        let store = Arc::clone(store);
+        registry.counter_fn(name, &[], move || field(&store) as f64);
+    }
+    {
+        let store = Arc::clone(store);
+        registry.gauge_fn("fenrir_store_epoch", &[], move || store.epoch() as f64);
+    }
+    {
+        let store = Arc::clone(store);
+        registry.gauge_fn("fenrir_store_stale", &[], move || {
+            store.stale() as u64 as f64
+        });
+    }
+    {
+        let store = Arc::clone(store);
+        registry.gauge_fn("fenrir_store_reload_age_seconds", &[], move || {
+            store.reload_age().as_secs_f64()
+        });
+    }
+    {
+        let store = Arc::clone(store);
+        registry.gauge_fn("fenrir_store_reload_duration_us", &[], move || {
+            store.last_reload_duration_us() as f64
+        });
+    }
+    {
+        let traces = Arc::clone(traces);
+        registry.counter_fn("fenrir_traces_dropped_total", &[], move || {
+            traces.dropped() as f64
+        });
     }
 }
 
@@ -326,22 +584,41 @@ fn serve_connection(worker: usize, conn: TcpStream, shared: &Shared) {
         match read_frame(&mut reader) {
             FrameEvent::Frame { kind, payload } => {
                 idle_since = Instant::now();
-                if slot.is_none() {
-                    // Shed mode: re-try the slot before every query so
-                    // freed capacity is used promptly.
-                    slot = try_acquire(shared);
-                }
-                let reply = match slot {
-                    Some(_) => answer(worker, kind, &payload, shared),
-                    None => shared.overloaded(false),
+                // Control frames bypass the slot gate: a saturated or
+                // draining server must stay observable. `Health` is
+                // deliberately slot-gated under load (it doubles as a
+                // load probe) but bypasses the gate during a drain —
+                // drain is an administrative state the fleet must be
+                // able to watch, not a capacity signal.
+                let control = matches!(kind, KIND_STATS | KIND_METRICS | KIND_ADMIN)
+                    || (kind == KIND_HEALTH && shared.draining());
+                let reply = if control {
+                    answer(worker, kind, &payload, shared)
+                } else {
+                    if slot.is_none() {
+                        // Shed mode: re-try the slot before every query
+                        // so freed capacity is used promptly.
+                        slot = try_acquire(shared);
+                    }
+                    match slot {
+                        Some(_) => answer(worker, kind, &payload, shared),
+                        None => shared.overloaded(false),
+                    }
                 };
                 if writer.write_all(&reply.encode()).is_err() {
                     return;
                 }
                 // Flush once the pipelined burst is exhausted; batching
                 // replies across a burst is what makes pipelining fast.
-                if reader.buffer().is_empty() && writer.flush().is_err() {
-                    return;
+                if reader.buffer().is_empty() {
+                    if writer.flush().is_err() {
+                        return;
+                    }
+                    // Draining: slot-holders close once their burst is
+                    // answered, releasing inflight toward zero.
+                    if shared.draining() && slot.is_some() {
+                        return;
+                    }
                 }
             }
             FrameEvent::Tick => {
@@ -350,6 +627,9 @@ fn serve_connection(worker: usize, conn: TcpStream, shared: &Shared) {
                 }
                 if shared.stop.load(Ordering::SeqCst) {
                     return; // drained: no frame was readable
+                }
+                if shared.draining() && slot.is_some() {
+                    return; // idle slot-holder under drain: release now
                 }
                 if idle_since.elapsed() >= shared.read_deadline {
                     return; // idle past the deadline
@@ -373,21 +653,42 @@ fn serve_connection(worker: usize, conn: TcpStream, shared: &Shared) {
     }
 }
 
-/// Compute the reply to one verified frame.
+/// Compute the reply to one verified frame, recording per-kind query
+/// counts and latency, and a trace event when the query was slow.
 fn answer(worker: usize, kind: u8, payload: &[u8], shared: &Shared) -> Reply {
+    let started = Instant::now();
     shared.counters.queries.fetch_add(1, Ordering::Relaxed);
-    let req = match Request::decode(kind, payload) {
-        Ok(req) => req,
-        Err(e) => {
-            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-            return Reply::Error {
-                code: ERR_BAD_REQUEST,
-                message: e.to_string(),
-            };
-        }
+    let reply = match Request::decode(kind, payload) {
+        Ok(req) => compute(worker, req, shared),
+        Err(e) => Reply::Error {
+            code: ERR_BAD_REQUEST,
+            message: e.to_string(),
+        },
     };
+    if matches!(reply, Reply::Error { .. }) {
+        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    if let Some(i) = kind_index(kind) {
+        let micros = started.elapsed().as_micros() as u64;
+        shared.queries_by_kind[i].inc();
+        shared.latency_by_kind[i].observe(micros);
+        if let Some(threshold) = shared.slow_query {
+            if micros >= threshold.as_micros() as u64 {
+                // Only a slow (rare) query pays for re-decoding and
+                // formatting its own description.
+                let detail = Request::decode(kind, payload)
+                    .map(|r| format!("{r:?}"))
+                    .unwrap_or_default();
+                shared.traces.push(KIND_NAMES[i], micros, detail);
+            }
+        }
+    }
+    reply
+}
+
+fn compute(worker: usize, req: Request, shared: &Shared) -> Reply {
     let snap = shared.store.snapshot(worker);
-    let reply = match req {
+    match req {
         Request::Assign { t, network } => snap.assign(t, network),
         Request::Similarity { t, u } => snap.similarity(t, u),
         Request::Mode { t } => snap.mode(t),
@@ -402,14 +703,87 @@ fn answer(worker: usize, kind: u8, payload: &[u8], shared: &Shared) -> Reply {
         Request::Health => snap.health(
             shared.replica,
             shared.store.stale(),
-            shared.stop.load(Ordering::SeqCst),
+            shared.stop.load(Ordering::SeqCst) || shared.draining(),
         ),
         Request::Stats => Reply::Stats(shared.stats()),
-    };
-    if matches!(reply, Reply::Error { .. }) {
-        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+        Request::Metrics => Reply::Metrics {
+            text: shared.registry.render(),
+        },
+        Request::Admin { token, cmd } => handle_admin(shared, &token, cmd),
     }
-    reply
+}
+
+/// Execute one admin command, or refuse it. No token configured means
+/// *every* command is refused — the control plane fails closed.
+fn handle_admin(shared: &Shared, token: &str, cmd: AdminCmd) -> Reply {
+    let Some(expected) = &shared.admin_token else {
+        return Reply::Error {
+            code: ERR_UNAVAILABLE,
+            message: "admin commands disabled: no admin token configured".into(),
+        };
+    };
+    if token != expected {
+        return Reply::Error {
+            code: ERR_UNAUTHORIZED,
+            message: "bad admin token".into(),
+        };
+    }
+    match cmd {
+        AdminCmd::Drain => {
+            shared.live.draining.store(true, Ordering::SeqCst);
+            Reply::Admin {
+                info: "draining: slots refused, holders close after their burst".into(),
+            }
+        }
+        AdminCmd::Undrain => {
+            shared.live.draining.store(false, Ordering::SeqCst);
+            Reply::Admin {
+                info: "undrained: slots admitted again".into(),
+            }
+        }
+        AdminCmd::ForceReload => match shared.store.force_reload() {
+            Ok(true) => Reply::Admin {
+                info: format!("reloaded: now serving epoch {}", shared.store.epoch()),
+            },
+            Ok(false) => Reply::Admin {
+                info: "nothing to reload: the store has a fixed source".into(),
+            },
+            Err(e) => Reply::Error {
+                code: ERR_UNAVAILABLE,
+                message: format!("force reload failed: {e}"),
+            },
+        },
+        AdminCmd::Rotate { path } => match shared.store.rotate(Path::new(&path)) {
+            Ok(()) => Reply::Admin {
+                info: format!(
+                    "rotated to {path}: now serving epoch {}",
+                    shared.store.epoch()
+                ),
+            },
+            Err(e) => Reply::Error {
+                code: ERR_BAD_REQUEST,
+                message: format!("rotate failed, old journal still serving: {e}"),
+            },
+        },
+        AdminCmd::SetCacheCapacity { entries } => {
+            shared.store.cache.set_capacity(entries as usize);
+            Reply::Admin {
+                info: format!(
+                    "cache capacity set to {} entries",
+                    shared.store.cache.capacity()
+                ),
+            }
+        }
+        AdminCmd::SetMaxInflight { slots } => {
+            shared
+                .live
+                .max_inflight
+                .store(slots as usize, Ordering::SeqCst);
+            Reply::Admin {
+                info: format!("max inflight set to {slots} slots"),
+            }
+        }
+    }
 }
 
 /// Serve a derived answer through the cache, keyed by resolved indices.

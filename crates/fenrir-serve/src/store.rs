@@ -18,6 +18,7 @@
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use fenrir_core::cluster::{AdaptiveThreshold, Dendrogram};
 use fenrir_core::error::{Error, Result};
@@ -30,7 +31,7 @@ use fenrir_core::transition::TransitionMatrix;
 use fenrir_core::weight::Weights;
 use fenrir_data::journal::RecoverablePipeline;
 use fenrir_data::storage::tiered::{manifest_key, Manifest};
-use fenrir_data::storage::{RetryPolicy, Storage};
+use fenrir_data::storage::{RetryPolicy, RetryStats, Storage};
 use parking_lot::{Mutex, RwLock};
 
 use crate::cache::QueryCache;
@@ -307,7 +308,10 @@ impl std::fmt::Debug for Source {
 
 /// Sharded, hot-reloadable snapshot store.
 pub struct ModeStore {
-    source: Source,
+    /// The snapshot source. Behind a mutex both to serialise reloads
+    /// (queries never touch it) and because [`ModeStore::rotate`] can
+    /// repoint a file-backed store at a new journal live.
+    source: Mutex<Source>,
     shards: Vec<RwLock<Arc<Snapshot>>>,
     epoch: AtomicU64,
     /// Change-detection mark for the source: the journal file's byte
@@ -320,7 +324,14 @@ pub struct ModeStore {
     /// Derived-answer cache, epoch-keyed.
     pub cache: QueryCache,
     adaptive: AdaptiveThreshold,
-    reload_lock: Mutex<()>,
+    /// When the served snapshot was last (re)built — the initial load
+    /// counts, so `reload_age` is meaningful before any hot reload.
+    last_reload_at: Mutex<Instant>,
+    /// How long the last successful (re)load took, in microseconds.
+    last_reload_us: AtomicU64,
+    /// Storage-tier retry pressure (always present; only a tier source
+    /// feeds it).
+    retry_stats: Arc<RetryStats>,
 }
 
 impl ModeStore {
@@ -333,8 +344,8 @@ impl ModeStore {
                 what: "journal metadata",
                 message: format!("{}: {e}", path.display()),
             })?;
-        let mut store = Self::from_pipeline(&pipe, opts)?;
-        store.source = Source::File(path.to_path_buf());
+        let store = Self::from_pipeline(&pipe, opts)?;
+        *store.source.lock() = Source::File(path.to_path_buf());
         store.loaded_mark.store(len, Ordering::SeqCst);
         Ok(store)
     }
@@ -354,15 +365,18 @@ impl ModeStore {
         retry: RetryPolicy,
         opts: StoreOptions,
     ) -> Result<Self> {
+        let stats = Arc::new(RetryStats::default());
+        let retry = retry.with_stats(Arc::clone(&stats));
         let pipe = RecoverablePipeline::hydrate_read_only(store.as_ref(), prefix, &retry)?;
         let gen = Self::tier_latest(store.as_ref(), prefix, &retry)?
             .ok_or(Error::EmptyInput("sealed tier epoch"))?;
         let mut ms = Self::from_pipeline(&pipe, opts)?;
-        ms.source = Source::Tier {
+        *ms.source.lock() = Source::Tier {
             store,
             prefix: prefix.to_string(),
             retry,
         };
+        ms.retry_stats = stats;
         ms.loaded_mark.store(gen, Ordering::SeqCst);
         Ok(ms)
     }
@@ -372,7 +386,7 @@ impl ModeStore {
         let snap = Arc::new(Snapshot::build(pipe, &opts.adaptive, 0)?);
         let shards = opts.shards.max(1);
         Ok(ModeStore {
-            source: Source::Fixed,
+            source: Mutex::new(Source::Fixed),
             shards: (0..shards)
                 .map(|_| RwLock::new(Arc::clone(&snap)))
                 .collect(),
@@ -383,7 +397,9 @@ impl ModeStore {
             stale: AtomicBool::new(false),
             cache: QueryCache::new(opts.cache_capacity),
             adaptive: opts.adaptive,
-            reload_lock: Mutex::new(()),
+            last_reload_at: Mutex::new(Instant::now()),
+            last_reload_us: AtomicU64::new(0),
+            retry_stats: Arc::new(RetryStats::default()),
         })
     }
 
@@ -415,6 +431,25 @@ impl ModeStore {
         self.stale.load(Ordering::SeqCst)
     }
 
+    /// Time since the served snapshot was last (re)built. Exported as
+    /// `fenrir_store_reload_age_seconds` so a scrape can spot a replica
+    /// that has silently stopped following its source.
+    pub fn reload_age(&self) -> Duration {
+        self.last_reload_at.lock().elapsed()
+    }
+
+    /// How long the last successful reload took, in microseconds (0
+    /// until the first hot reload).
+    pub fn last_reload_duration_us(&self) -> u64 {
+        self.last_reload_us.load(Ordering::SeqCst)
+    }
+
+    /// Storage-tier retry pressure for this store's source (always
+    /// zero for file-backed and fixed stores).
+    pub fn retry_stats(&self) -> &Arc<RetryStats> {
+        &self.retry_stats
+    }
+
     /// If the source has changed since the last load (or the store is
     /// marked stale), rebuild and swap in a fresh snapshot. Returns
     /// whether a reload happened.
@@ -433,19 +468,71 @@ impl ModeStore {
     /// one manifest fetch for a tier source. Concurrent callers
     /// serialise on an internal lock; queries never wait on it.
     pub fn maybe_reload(&self) -> Result<bool> {
-        let _guard = self.reload_lock.lock();
-        match &self.source {
+        let source = self.source.lock();
+        self.reload_with(&source, false)
+    }
+
+    /// Reload from the source now, even when the change mark says
+    /// nothing is new — the admin `ForceReload` command. Degrades
+    /// exactly like [`ModeStore::maybe_reload`] on failure.
+    pub fn force_reload(&self) -> Result<bool> {
+        let source = self.source.lock();
+        self.reload_with(&source, true)
+    }
+
+    fn reload_with(&self, source: &Source, force: bool) -> Result<bool> {
+        let started = Instant::now();
+        let reloaded = match source {
             Source::Fixed => Ok(false),
-            Source::File(path) => self.reload_from_file(path),
+            Source::File(path) => self.reload_from_file(path, force),
             Source::Tier {
                 store,
                 prefix,
                 retry,
-            } => self.reload_from_tier(store.as_ref(), prefix, retry),
+            } => self.reload_from_tier(store.as_ref(), prefix, retry, force),
+        }?;
+        if reloaded {
+            self.note_reloaded(started);
         }
+        Ok(reloaded)
     }
 
-    fn reload_from_file(&self, path: &Path) -> Result<bool> {
+    /// Repoint a file-backed store at a new journal and load it — the
+    /// admin `Rotate` command. Validate-then-commit: a missing or
+    /// corrupt journal is an error reply and the old journal keeps
+    /// serving, **without** marking the store stale (an operator typo
+    /// is not a source fault).
+    pub fn rotate(&self, path: &Path) -> Result<()> {
+        let mut source = self.source.lock();
+        if !matches!(&*source, Source::File(_)) {
+            return Err(Error::Config {
+                name: "rotate",
+                message: format!("rotate requires a file-backed store, not {:?}", &*source),
+            });
+        }
+        let started = Instant::now();
+        let len = std::fs::metadata(path)
+            .map(|m| m.len())
+            .map_err(|e| Error::Internal {
+                what: "journal metadata",
+                message: format!("{}: {e}", path.display()),
+            })?;
+        let pipe = RecoverablePipeline::open_read_only(path)?;
+        let epoch = self.epoch.load(Ordering::SeqCst) + 1;
+        let snap = Arc::new(Snapshot::build(&pipe, &self.adaptive, epoch)?);
+        self.publish(snap, len);
+        *source = Source::File(path.to_path_buf());
+        self.note_reloaded(started);
+        Ok(())
+    }
+
+    fn note_reloaded(&self, started: Instant) {
+        self.last_reload_us
+            .store(started.elapsed().as_micros() as u64, Ordering::SeqCst);
+        *self.last_reload_at.lock() = Instant::now();
+    }
+
+    fn reload_from_file(&self, path: &Path, force: bool) -> Result<bool> {
         let len = match std::fs::metadata(path).map(|m| m.len()) {
             Ok(len) => len,
             Err(e) => {
@@ -455,7 +542,7 @@ impl ModeStore {
                 }))
             }
         };
-        if len == self.loaded_mark.load(Ordering::SeqCst) && !self.stale() {
+        if !force && len == self.loaded_mark.load(Ordering::SeqCst) && !self.stale() {
             return Ok(false);
         }
         let current = self.snapshot(0);
@@ -487,6 +574,7 @@ impl ModeStore {
         store: &dyn Storage,
         prefix: &str,
         retry: &RetryPolicy,
+        force: bool,
     ) -> Result<bool> {
         let latest = match Self::tier_latest(store, prefix, retry) {
             Ok(Some(gen)) => gen,
@@ -496,7 +584,7 @@ impl ModeStore {
             Ok(None) => return Err(self.degrade(Error::EmptyInput("sealed tier epoch"))),
             Err(e) => return Err(self.degrade(e)),
         };
-        if latest == self.loaded_mark.load(Ordering::SeqCst) && !self.stale() {
+        if !force && latest == self.loaded_mark.load(Ordering::SeqCst) && !self.stale() {
             return Ok(false);
         }
         let pipe = match RecoverablePipeline::hydrate_read_only(store, prefix, retry) {
@@ -525,6 +613,17 @@ impl ModeStore {
             Ok(snap) => Arc::new(snap),
             Err(e) => return Err(self.degrade(e)),
         };
+        self.publish(snap, mark);
+        Ok(())
+    }
+
+    /// Install `snap` in every shard and sweep dead-epoch cache entries
+    /// so the LRU capacity is fully available to the new epoch — stale
+    /// entries can never be served (the cache key carries the epoch)
+    /// but left in place they squat on capacity and depress the hit
+    /// rate until eviction churn clears them.
+    fn publish(&self, snap: Arc<Snapshot>, mark: u64) {
+        let epoch = snap.epoch;
         for shard in &self.shards {
             *shard.write() = Arc::clone(&snap);
         }
@@ -532,7 +631,7 @@ impl ModeStore {
         self.loaded_mark.store(mark, Ordering::SeqCst);
         self.reloads.fetch_add(1, Ordering::SeqCst);
         self.stale.store(false, Ordering::SeqCst);
-        Ok(())
+        self.cache.purge(epoch);
     }
 
     /// Record a failed reload: the last-good snapshot stays in place.

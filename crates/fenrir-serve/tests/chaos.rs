@@ -5,6 +5,7 @@
 //! error — never a hang, never silently wrong data.
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use fenrir_core::error::Error;
@@ -13,11 +14,12 @@ use fenrir_core::ids::SiteTable;
 use fenrir_core::time::Timestamp;
 use fenrir_core::vector::RoutingVector;
 use fenrir_data::journal::{PipelineConfig, RecoverablePipeline};
+use fenrir_obs::{fetch, Registry};
 use fenrir_serve::breaker::BreakerConfig;
 use fenrir_serve::protocol::{Reply, Request};
 use fenrir_serve::{
     ChaosPlan, Client, FaultyListener, ModeStore, ReplicaSet, ResilientClient, ResilientConfig,
-    ServeConfig, StoreOptions,
+    ServeConfig, Server, StoreOptions,
 };
 
 const NETWORKS: usize = 12;
@@ -54,13 +56,15 @@ fn write_journal(path: &Path) {
 /// reply frame payload it should produce.
 fn direct_answer(store: &ModeStore, req: &Request) -> (u8, Vec<u8>) {
     let snap = store.snapshot(0);
-    let reply = match *req {
-        Request::Assign { t, network } => snap.assign(t, network),
-        Request::Similarity { t, u } => snap.similarity(t, u),
-        Request::Mode { t } => snap.mode(t),
-        Request::Transition { t, u } => snap.transition(t, u),
-        Request::Latency { t } => snap.latency(t),
-        Request::Health | Request::Stats => unreachable!("per-process replies are not compared"),
+    let reply = match req {
+        Request::Assign { t, network } => snap.assign(*t, *network),
+        Request::Similarity { t, u } => snap.similarity(*t, *u),
+        Request::Mode { t } => snap.mode(*t),
+        Request::Transition { t, u } => snap.transition(*t, *u),
+        Request::Latency { t } => snap.latency(*t),
+        Request::Health | Request::Stats | Request::Metrics | Request::Admin { .. } => {
+            unreachable!("per-process replies are not compared")
+        }
     };
     reply.kind_and_payload()
 }
@@ -282,6 +286,232 @@ fn hedged_reads_win_when_one_replica_stalls() {
     );
 
     proxy.shutdown();
+    set.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+/// One breaker event per request: `max_attempts: 1` and no hedging
+/// make every transition count below exact, independent of seed or
+/// timing.
+fn one_shot_config() -> ResilientConfig {
+    ResilientConfig {
+        connect_timeout: Duration::from_millis(200),
+        read_timeout: Duration::from_millis(500),
+        max_attempts: 1,
+        deadline: Duration::from_secs(2),
+        backoff_base: Duration::from_millis(1),
+        backoff_max: Duration::from_millis(2),
+        seed: 7,
+        hedge_after: None,
+        breaker: BreakerConfig {
+            failure_threshold: 2,
+            cooldown: Duration::from_millis(150),
+            probe_successes: 1,
+        },
+    }
+}
+
+#[test]
+fn breaker_transitions_count_exactly_through_outage_and_recovery() {
+    let path = scratch("transitions");
+    write_journal(&path);
+
+    // Reserve an address, then release it: connections are refused
+    // until a real server binds it below.
+    let addr = std::net::TcpListener::bind("127.0.0.1:0")
+        .unwrap()
+        .local_addr()
+        .unwrap();
+
+    let client = ResilientClient::new(&[addr], one_shot_config()).unwrap();
+    let registry = Registry::new();
+    client.register_metrics(&registry);
+
+    // Exactly two refused connections trip the breaker: one `open`
+    // transition, nothing else.
+    for _ in 0..2 {
+        assert!(client.request(&Request::Mode { t: 0 }).is_err());
+    }
+    let text = registry.render();
+    assert!(
+        text.contains(r#"fenrir_breaker_transitions_total{replica="0",to="open"} 1"#),
+        "after the trip:\n{text}"
+    );
+    assert!(text.contains(r#"fenrir_breaker_transitions_total{replica="0",to="half_open"} 0"#));
+    assert!(text.contains(r#"fenrir_breaker_transitions_total{replica="0",to="closed"} 0"#));
+    assert!(
+        text.contains(r#"fenrir_breaker_state{replica="0"} 2"#),
+        "open = 2:\n{text}"
+    );
+
+    // While open, requests are skipped — the breaker is not touched, so
+    // the counts cannot move.
+    assert!(client.request(&Request::Mode { t: 0 }).is_err());
+    assert!(registry
+        .render()
+        .contains(r#"fenrir_breaker_transitions_total{replica="0",to="open"} 1"#));
+    assert!(
+        client
+            .stats()
+            .breaker_skips
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1,
+        "the open breaker skipped the attempt"
+    );
+
+    // Recovery: a real server takes the reserved address; once the
+    // cooldown passes, the next request is the half-open probe and its
+    // success closes the breaker. One transition each, exactly.
+    let store = Arc::new(ModeStore::open(&path, StoreOptions::default()).unwrap());
+    let server = Server::start(
+        Arc::clone(&store),
+        ServeConfig {
+            addr: addr.to_string(),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+    match client.request(&Request::Mode { t: 0 }).unwrap() {
+        Reply::Mode { time, .. } => assert_eq!(time, 0),
+        other => panic!("expected a mode reply, got {other:?}"),
+    }
+    let text = registry.render();
+    for series in [
+        r#"fenrir_breaker_transitions_total{replica="0",to="open"} 1"#,
+        r#"fenrir_breaker_transitions_total{replica="0",to="half_open"} 1"#,
+        r#"fenrir_breaker_transitions_total{replica="0",to="closed"} 1"#,
+        r#"fenrir_breaker_state{replica="0"} 0"#,
+    ] {
+        assert!(text.contains(series), "missing `{series}` in:\n{text}");
+    }
+
+    server.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+/// `fenrir_serve_queries_total{kind="mode"}` from a scrape body (0 when
+/// the series has not materialized yet).
+fn scraped_mode_count(scrape: &str) -> u64 {
+    scrape
+        .lines()
+        .find(|l| l.starts_with("fenrir_serve_queries_total{kind=\"mode\"}"))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+#[test]
+fn scraped_metrics_alone_tell_the_outage_and_recovery_story() {
+    let path = scratch("scrapestory");
+    write_journal(&path);
+    let cfg = ServeConfig {
+        metrics_addr: Some("127.0.0.1:0".into()),
+        admin_token: Some("chaos-token".into()),
+        ..ServeConfig::default()
+    };
+    let mut set = ReplicaSet::start(&path, 2, StoreOptions::default(), cfg.clone()).unwrap();
+    let addrs = set.addrs();
+
+    let client = ResilientClient::new(
+        &addrs,
+        ResilientConfig {
+            connect_timeout: Duration::from_millis(300),
+            read_timeout: Duration::from_secs(1),
+            max_attempts: 6,
+            deadline: Duration::from_secs(8),
+            backoff_base: Duration::from_millis(2),
+            backoff_max: Duration::from_millis(20),
+            seed: 11,
+            hedge_after: None,
+            breaker: BreakerConfig {
+                failure_threshold: 2,
+                cooldown: Duration::from_millis(200),
+                probe_successes: 1,
+            },
+        },
+    )
+    .unwrap();
+
+    // Healthy fleet: no hedging and no failures, so the two scrapes
+    // account for every query exactly once.
+    for _ in 0..10 {
+        match client.request(&Request::Mode { t: 0 }).unwrap() {
+            Reply::Mode { .. } => {}
+            other => panic!("expected a mode reply, got {other:?}"),
+        }
+    }
+    let s0 = fetch(set.metrics_addr(0).unwrap(), "/metrics").unwrap();
+    let s1 = fetch(set.metrics_addr(1).unwrap(), "/metrics").unwrap();
+    assert_eq!(
+        scraped_mode_count(&s0) + scraped_mode_count(&s1),
+        10,
+        "both replicas together answered exactly the queries sent"
+    );
+
+    // Deliberate outage. The drain is visible in the gauge before the
+    // replica goes away; drain-and-stop then empties inflight to zero
+    // before the process-level stop.
+    set.drain(0).unwrap();
+    let s0 = fetch(set.metrics_addr(0).unwrap(), "/metrics").unwrap();
+    assert!(
+        s0.lines()
+            .any(|l| l.starts_with("fenrir_serve_draining") && l.ends_with(" 1")),
+        "drain visible in the scrape:\n{s0}"
+    );
+    set.drain_and_stop(0, Duration::from_secs(5)).unwrap();
+    assert!(!set.is_running(0));
+
+    // Degraded fleet: every query is still answered, and the survivor's
+    // scrape shows it absorbed all of them.
+    let survivor_before =
+        scraped_mode_count(&fetch(set.metrics_addr(1).unwrap(), "/metrics").unwrap());
+    for _ in 0..10 {
+        match client.request(&Request::Mode { t: 0 }).unwrap() {
+            Reply::Mode { .. } => {}
+            other => panic!("expected a mode reply, got {other:?}"),
+        }
+    }
+    let survivor_after =
+        scraped_mode_count(&fetch(set.metrics_addr(1).unwrap(), "/metrics").unwrap());
+    assert_eq!(
+        survivor_after - survivor_before,
+        10,
+        "the survivor absorbed the full load"
+    );
+
+    // Recovery: a fresh server takes the dead replica's address. After
+    // the breaker cooldown, a health probe closes the breaker and the
+    // rotation spreads load across both replicas again — visible as the
+    // revived scrape's query counter moving off zero.
+    let store = Arc::new(ModeStore::open(&path, StoreOptions::default()).unwrap());
+    let revived = Server::start(
+        Arc::clone(&store),
+        ServeConfig {
+            addr: addrs[0].to_string(),
+            ..cfg
+        },
+    )
+    .unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+    client.probe_health();
+    let revived_before =
+        scraped_mode_count(&fetch(revived.metrics_addr().unwrap(), "/metrics").unwrap());
+    assert_eq!(revived_before, 0, "the revived replica starts fresh");
+    for _ in 0..10 {
+        match client.request(&Request::Mode { t: 0 }).unwrap() {
+            Reply::Mode { .. } => {}
+            other => panic!("expected a mode reply, got {other:?}"),
+        }
+    }
+    let revived_after =
+        scraped_mode_count(&fetch(revived.metrics_addr().unwrap(), "/metrics").unwrap());
+    assert!(
+        revived_after > 0,
+        "rotation must reach the revived replica once its breaker closes"
+    );
+
+    revived.shutdown();
     set.shutdown();
     let _ = std::fs::remove_file(&path);
 }

@@ -68,6 +68,7 @@ fn quick_retry() -> RetryPolicy {
         backoff_max: Duration::from_millis(1),
         deadline: Duration::from_secs(2),
         seed: 7,
+        stats: None,
     }
 }
 

@@ -15,8 +15,8 @@
 #![allow(unused_imports, dead_code)]
 
 use fenrir_serve::protocol::{
-    read_frame, FrameEvent, HealthInfo, Reply, Request, SiteLatency, StatsInfo, FRAME_HEADER_LEN,
-    MAX_PAYLOAD, PROTOCOL_VERSION,
+    read_frame, AdminCmd, FrameEvent, HealthInfo, Reply, Request, SiteLatency, StatsInfo,
+    FRAME_HEADER_LEN, MAX_PAYLOAD, PROTOCOL_VERSION,
 };
 use proptest::prelude::*;
 
@@ -32,6 +32,17 @@ fn opt_f64() -> impl Strategy<Value = Option<f64>> {
     (any::<bool>(), finite_f64()).prop_map(|(some, v)| some.then_some(v))
 }
 
+fn admin_cmd() -> impl Strategy<Value = AdminCmd> {
+    prop_oneof![
+        Just(AdminCmd::Drain),
+        Just(AdminCmd::Undrain),
+        Just(AdminCmd::ForceReload),
+        text("[ -~]{0,64}").prop_map(|path| AdminCmd::Rotate { path }),
+        any::<u64>().prop_map(|entries| AdminCmd::SetCacheCapacity { entries }),
+        any::<u64>().prop_map(|slots| AdminCmd::SetMaxInflight { slots }),
+    ]
+}
+
 fn request() -> impl Strategy<Value = Request> {
     prop_oneof![
         (any::<i64>(), any::<u32>()).prop_map(|(t, network)| Request::Assign { t, network }),
@@ -41,6 +52,8 @@ fn request() -> impl Strategy<Value = Request> {
         any::<i64>().prop_map(|t| Request::Latency { t }),
         Just(Request::Health),
         Just(Request::Stats),
+        Just(Request::Metrics),
+        (text("[ -~]{0,32}"), admin_cmd()).prop_map(|(token, cmd)| Request::Admin { token, cmd }),
     ]
 }
 
@@ -117,6 +130,8 @@ fn reply() -> impl Strategy<Value = Reply> {
             inflight,
             retry_after_ms,
         }),
+        text("[ -~]{0,200}").prop_map(|text| Reply::Metrics { text }),
+        text("[ -~]{0,80}").prop_map(|info| Reply::Admin { info }),
     ]
 }
 
@@ -190,6 +205,25 @@ fn all_requests() -> Vec<Request> {
         Request::Latency { t: 99 },
         Request::Health,
         Request::Stats,
+        Request::Metrics,
+        Request::Admin {
+            token: "hunter2".into(),
+            cmd: AdminCmd::Drain,
+        },
+        Request::Admin {
+            token: String::new(),
+            cmd: AdminCmd::Rotate {
+                path: "/var/lib/fenrir/next.fnrj".into(),
+            },
+        },
+        Request::Admin {
+            token: "t".into(),
+            cmd: AdminCmd::SetCacheCapacity { entries: u64::MAX },
+        },
+        Request::Admin {
+            token: "t".into(),
+            cmd: AdminCmd::SetMaxInflight { slots: 0 },
+        },
     ]
 }
 
@@ -275,6 +309,13 @@ fn all_replies() -> Vec<Reply> {
         Reply::Overloaded {
             inflight: 64,
             retry_after_ms: 100,
+        },
+        Reply::Metrics {
+            text: "# TYPE fenrir_serve_queries_total counter\nfenrir_serve_queries_total{kind=\"mode\"} 7\n".into(),
+        },
+        Reply::Metrics { text: String::new() },
+        Reply::Admin {
+            info: "draining".into(),
         },
     ]
 }

@@ -17,6 +17,9 @@
 //!   scenario builders.
 //! * [`serve`] (`fenrir-serve`) — sharded, cache-aware TCP query server
 //!   over a pipeline journal (catchments, modes, similarity, latency).
+//! * [`obs`] (`fenrir-obs`) — lock-cheap metrics core (counters, gauges,
+//!   fixed-bucket histograms), Prometheus-style exposition, scrape
+//!   endpoint, slow-query trace ring.
 //!
 //! Start with `examples/quickstart.rs`, which walks the whole Table 1
 //! pipeline on a small anycast deployment.
@@ -25,5 +28,6 @@ pub use fenrir_core as core;
 pub use fenrir_data as data;
 pub use fenrir_measure as measure;
 pub use fenrir_netsim as netsim;
+pub use fenrir_obs as obs;
 pub use fenrir_serve as serve;
 pub use fenrir_wire as wire;
