@@ -48,6 +48,16 @@ pub enum SuppressReason {
         /// The configured floor it fell below.
         floor: f64,
     },
+    /// Too little of the measurement population around the flagged step
+    /// was trustworthy: enough vantage points were quarantined or
+    /// excluded by the trust model that the apparent change could be an
+    /// artifact of the adversarial population, not of routing.
+    UntrustedPopulation {
+        /// Fraction of total base weight still trusted at the step.
+        trusted_fraction: f64,
+        /// The configured floor it fell below.
+        floor: f64,
+    },
 }
 
 /// A detection the gate refused to report as a routing change.
@@ -120,6 +130,19 @@ impl ChangeDetector {
     /// the first step compares against itself and never fires.
     pub fn detect(&self, series: &VectorSeries, w: &Weights) -> Vec<DetectedEvent> {
         let steps = self.step_similarities(series, w);
+        self.detect_from_steps(&steps, &series.times())
+    }
+
+    /// Run detection over precomputed step similarities.
+    ///
+    /// `steps[i]` is Φ between observations `i` and `i + 1`; `times` are
+    /// the observation timestamps (so `times.len() == steps.len() + 1`).
+    /// This is [`detect`](Self::detect) with the Φ computation factored
+    /// out, for callers that weight each step differently — the trust
+    /// model recomputes per-step weights as vantage points fall in and
+    /// out of quarantine.
+    pub fn detect_from_steps(&self, steps: &[f64], times: &[Timestamp]) -> Vec<DetectedEvent> {
+        debug_assert!(steps.is_empty() || times.len() == steps.len() + 1);
         let mut raw: Vec<DetectedEvent> = Vec::new();
         let mut history: Vec<f64> = Vec::new();
         for (i, &p) in steps.iter().enumerate() {
@@ -132,7 +155,7 @@ impl ChangeDetector {
             if magnitude >= self.min_drop {
                 raw.push(DetectedEvent {
                     index: i + 1,
-                    time: series.get(i + 1).time(),
+                    time: times[i + 1],
                     phi: p,
                     baseline,
                     magnitude,
@@ -526,9 +549,13 @@ mod tests {
         assert!(gated.events.is_empty(), "{:?}", gated.events);
         assert_eq!(gated.suppressed.len(), 1);
         assert_eq!(gated.suppressed[0].event.index, 10);
-        let SuppressReason::LowCoverage { coverage, floor } = gated.suppressed[0].reason;
-        assert_eq!(coverage, 0.0);
-        assert_eq!(floor, 0.5);
+        match gated.suppressed[0].reason {
+            SuppressReason::LowCoverage { coverage, floor } => {
+                assert_eq!(coverage, 0.0);
+                assert_eq!(floor, 0.5);
+            }
+            other => panic!("expected LowCoverage, got {other:?}"),
+        }
     }
 
     #[test]

@@ -53,6 +53,15 @@ pub struct CampaignHealth {
     /// now quarantined), so a non-zero count marks a sweep whose result is
     /// correct but whose incremental machinery misbehaved.
     pub divergences: usize,
+    /// Cells in the recorded row that carry adversary-injected values —
+    /// byzantine lies, sybil mirrors, and spoofed replies for absent VPs.
+    /// Counted by the runner when an adversary model is installed; spoofed
+    /// cells never count toward `responses`, so coverage stays honest.
+    pub spoofed: usize,
+    /// Vantage points excluded from this observation by the analysis-side
+    /// trust model (quarantined or step-disagreeing). Zero until a trust
+    /// pass annotates the record.
+    pub distrusted: usize,
     /// The sweep ran out of probe budget before covering every target.
     pub budget_exhausted: bool,
     /// The sweep hit its simulated-time deadline before covering every
@@ -76,6 +85,8 @@ impl CampaignHealth {
             duplicates: 0,
             decode_failures: 0,
             divergences: 0,
+            spoofed: 0,
+            distrusted: 0,
             budget_exhausted: false,
             deadline_exceeded: false,
         }

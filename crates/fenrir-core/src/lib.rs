@@ -67,6 +67,7 @@ pub mod series;
 pub mod similarity;
 pub mod time;
 pub mod transition;
+pub mod trust;
 pub mod vector;
 pub mod viz;
 pub mod weight;
@@ -89,6 +90,9 @@ pub mod prelude {
     pub use crate::similarity::{SimilarityMatrix, UnknownPolicy};
     pub use crate::time::Timestamp;
     pub use crate::transition::TransitionMatrix;
+    pub use crate::trust::{
+        detect_trusted, TrustConfig, TrustModel, TrustReport, TrustedDetection,
+    };
     pub use crate::vector::{Catchment, RoutingVector};
     pub use crate::viz::{SankeyDiagram, StackSeries};
     pub use crate::weight::Weights;

@@ -1,0 +1,1475 @@
+//! Byzantine-resilient trust weighting for vantage-point populations.
+//!
+//! The detection pipeline (similarity Φ, [`ChangeDetector`]) implicitly
+//! trusts every vantage point. A measurement substrate does not deserve
+//! that: VPs get compromised and lie about their catchment, sybil
+//! operators clone one view under many identities, and off-path attackers
+//! inject replies for VPs that never probed. [`TrustModel`] scores VPs by
+//! *cross-VP agreement* over a sliding window and turns those scores into
+//! weights for the similarity matrix and the change detector, so a
+//! bounded fraction of byzantine VPs (target: f < 1/3 of the voting
+//! weight, evenly scattered across catchments) can neither fabricate a
+//! mode transition nor suppress a real one.
+//!
+//! The mechanism is deliberately simple and auditable:
+//!
+//! * **Corroboration.** A VP's claimed catchment *flip* only counts when
+//!   the majority (by identity-capped weight) of the other VPs that
+//!   shared its previous catchment also moved. Routing changes move whole
+//!   catchments; a lone or minority flip is more likely a lie than a
+//!   routing event, so it is excluded from that step's Φ.
+//! * **Non-movement is also a claim.** When a VP's group overwhelmingly
+//!   moved and it did not, it is excluded too (a constant or stale liar
+//!   would otherwise dilute a real event), and it is marked as owing a
+//!   *catch-up flip*: if it later "discovers" the move on its own, that
+//!   echo is excluded as well instead of registering a second event.
+//! * **Recurrence.** Routing modes recur — that is the paper's whole
+//!   point — so a flip *back* to a catchment the VP itself recently
+//!   reported while trusted is self-corroborating even when the group
+//!   vote fails. Without this rule, liars parked inside a catchment
+//!   could vote-stuff its group and suppress a genuine recovery (the
+//!   minority of VPs returning to a restored site). The returning VP is
+//!   included in Φ but still charged a disagreement, and the rule only
+//!   applies if its *previous* step was trusted — so a fabricate-then-
+//!   "return" ping-pong stays excluded and walks into quarantine.
+//! * **Quarantine.** Disagreements accumulate in a sliding window
+//!   ([`TrustModel::suspicion`]); persistent disagreement earns strikes
+//!   and then quarantine (weight 0 everywhere, no vote). Quarantined VPs
+//!   that behave consistently for a probation period are re-admitted.
+//! * **Identity caps.** When the caller knows VP identities (an AS, a
+//!   /24, an account), the *voting* weight of each identity is split
+//!   among its VPs, so a sybil bloc votes once no matter how many clones
+//!   it registers. Caps apply to voting only — Φ weights are untouched,
+//!   so a clean population produces bit-identical detection results.
+//!
+//! Robust aggregation primitives ([`trimmed_mean`], [`median_of_means`])
+//! are exported on their own: the same seam that rejects lying vantage
+//! points rejects poisoned gradients, so [`TrustModel`] is generic over
+//! the observation value type (`u16` catchment codes by default).
+//!
+//! [`detect_trusted`] wires it all together: trust-weighted per-step Φ
+//! fed through [`ChangeDetector::detect_from_steps`], gated by both
+//! measurement coverage and the surviving trusted fraction, with
+//! exclusions surfaced in [`CampaignHealth::distrusted`].
+
+use crate::detect::{ChangeDetector, GatedDetection, SuppressReason, SuppressedEvent};
+use crate::error::{Error, Result};
+use crate::health::CampaignHealth;
+use crate::series::VectorSeries;
+use crate::similarity::phi;
+use crate::vector::{CODE_ERR, CODE_UNKNOWN};
+use crate::weight::Weights;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Tuning for [`TrustModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrustConfig {
+    /// Sliding-window length (in observations) over which disagreements
+    /// are remembered, and for how long an owed catch-up flip is tracked.
+    pub window: usize,
+    /// Fraction trimmed from each tail when robustly aggregating
+    /// per-group movement rates (see [`trimmed_mean`]).
+    pub trim_frac: f64,
+    /// A VP whose windowed disagreement rate reaches this threshold earns
+    /// a strike. The rate is normalised by `window` capacity, so a single
+    /// disagreement in a long window never strikes.
+    pub suspicion_threshold: f64,
+    /// Consecutive strikes before quarantine.
+    pub quarantine_strikes: usize,
+    /// Consecutive agreeing observations a quarantined VP must produce
+    /// before re-admission.
+    pub probation: usize,
+    /// Minimum fraction of total base weight that must remain trusted for
+    /// a step (or a whole run) to support a detection verdict.
+    pub min_trusted_frac: f64,
+    /// When at least this fraction of the population is excluded in one
+    /// step for *uncorroborated flips*, the step is reported as
+    /// [contested](ContestedStep): the group vote itself may have been
+    /// captured (a super-minority of coordinated liars out-voting honest
+    /// movers), so a transition could be hiding in the excluded mass.
+    pub contested_frac: f64,
+}
+
+impl Default for TrustConfig {
+    fn default() -> Self {
+        TrustConfig {
+            window: 8,
+            trim_frac: 0.25,
+            suspicion_threshold: 0.3,
+            quarantine_strikes: 2,
+            probation: 3,
+            min_trusted_frac: 0.5,
+            contested_frac: 0.15,
+        }
+    }
+}
+
+impl TrustConfig {
+    /// Reject configurations outside their documented domains.
+    pub fn validate(&self) -> Result<()> {
+        if self.window == 0 {
+            return Err(Error::Config {
+                name: "window",
+                message: "must be at least 1".into(),
+            });
+        }
+        if !(0.0..0.5).contains(&self.trim_frac) {
+            return Err(Error::Config {
+                name: "trim_frac",
+                message: format!("must lie in [0, 0.5), got {}", self.trim_frac),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.suspicion_threshold) || self.suspicion_threshold == 0.0 {
+            return Err(Error::Config {
+                name: "suspicion_threshold",
+                message: format!("must lie in (0, 1], got {}", self.suspicion_threshold),
+            });
+        }
+        if self.quarantine_strikes == 0 {
+            return Err(Error::Config {
+                name: "quarantine_strikes",
+                message: "must be at least 1".into(),
+            });
+        }
+        if self.probation == 0 {
+            return Err(Error::Config {
+                name: "probation",
+                message: "must be at least 1".into(),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.min_trusted_frac) {
+            return Err(Error::Config {
+                name: "min_trusted_frac",
+                message: format!("must lie in [0, 1], got {}", self.min_trusted_frac),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.contested_frac) || self.contested_frac == 0.0 {
+            return Err(Error::Config {
+                name: "contested_frac",
+                message: format!("must lie in (0, 1], got {}", self.contested_frac),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Mean of `xs` after dropping the `trim_frac` smallest and largest
+/// fractions — the classic robust location estimator: up to `trim_frac`
+/// of arbitrarily-corrupted values cannot move it past the clean range.
+/// Returns the median when trimming would drop everything, 0 for empty
+/// input.
+pub fn trimmed_mean(xs: &[f64], trim_frac: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let k = (v.len() as f64 * trim_frac.clamp(0.0, 0.5)).floor() as usize;
+    let kept = &v[k..v.len() - k];
+    if kept.is_empty() {
+        v[v.len() / 2]
+    } else {
+        kept.iter().sum::<f64>() / kept.len() as f64
+    }
+}
+
+/// [`trimmed_mean`] specialised to a multiset of `zeros` 0.0s and
+/// `ones` 1.0s: sorted, the ones occupy the tail, so the trimmed sum is
+/// an interval-overlap count and no sort is needed. Bit-identical to
+/// the general form.
+fn trimmed_indicator_mean(zeros: usize, ones: usize, trim_frac: f64) -> f64 {
+    let len = zeros + ones;
+    if len == 0 {
+        return 0.0;
+    }
+    let k = (len as f64 * trim_frac.clamp(0.0, 0.5)).floor() as usize;
+    if 2 * k >= len {
+        // Over-trimming falls back to the median element v[len / 2].
+        return if len / 2 >= zeros { 1.0 } else { 0.0 };
+    }
+    let kept = len - 2 * k;
+    let ones_kept = (len - k).saturating_sub(zeros.max(k));
+    ones_kept as f64 / kept as f64
+}
+
+/// Median of `groups` interleaved group means — the other standard robust
+/// aggregator: a minority of corrupted values can poison at most a
+/// minority of groups, and the median ignores those. Returns 0 for empty
+/// input; `groups` is clamped to `[1, xs.len()]`.
+pub fn median_of_means(xs: &[f64], groups: usize) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let g = groups.clamp(1, xs.len());
+    let mut means: Vec<f64> = (0..g)
+        .map(|i| {
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            let mut j = i;
+            while j < xs.len() {
+                sum += xs[j];
+                n += 1;
+                j += g;
+            }
+            sum / n as f64
+        })
+        .collect();
+    means.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let mid = means.len() / 2;
+    if means.len() % 2 == 1 {
+        means[mid]
+    } else {
+        (means[mid - 1] + means[mid]) / 2.0
+    }
+}
+
+/// Per-VP trust status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum Status {
+    Trusted,
+    Quarantined,
+}
+
+/// Per-sweep movement tally of one previous-value group.
+#[derive(Debug, Clone)]
+struct Group<T> {
+    total: f64,
+    moved: f64,
+    // Destination tallies of the group's movers, and the running
+    // heaviest one. Updated in VP index order with a strictly-greater
+    // test, so the winner is deterministic.
+    dest: Vec<(T, f64)>,
+    best_dest: Option<(T, f64)>,
+}
+
+/// Cross-VP agreement scoring over a sliding window.
+///
+/// Generic over the observation value type: `u16` catchment codes by
+/// default, but any `Copy + Eq + Hash` value works (a quantized latency
+/// band, a gradient sign, …). Feed one observation row per sweep via
+/// [`observe`](Self::observe); read back per-step exclusions, quarantine
+/// state, and weight vectors.
+#[derive(Debug, Clone)]
+pub struct TrustModel<T: Copy + Eq + Hash = u16> {
+    cfg: TrustConfig,
+    /// Identity-capped voting weights (never used for Φ).
+    vote_w: Vec<f64>,
+    prev: Option<Vec<T>>,
+    /// Recent disagreement indicators per VP (1.0 = disagreed): one flat
+    /// `n × window` block of fixed rings — contiguous, so the per-VP
+    /// sweep loop streams instead of chasing one heap pointer per VP —
+    /// with a running sum per VP (indicators are 0/1, so the incremental
+    /// sum is exact).
+    win: Vec<f64>,
+    win_len: Vec<u32>,
+    win_pos: Vec<u32>,
+    win_sum: Vec<f64>,
+    strikes: Vec<usize>,
+    status: Vec<Status>,
+    clean_streak: Vec<usize>,
+    /// Whether each VP is excluded from the *current* step's Φ.
+    excluded: Vec<bool>,
+    /// Scratch: each VP's group index in the current sweep's grouping
+    /// pass (`u32::MAX` = not grouped), so the per-VP verdict loop never
+    /// re-scans the group list.
+    gidx: Vec<u32>,
+    /// Scratch: the per-sweep group tallies, retained so steady-state
+    /// sweeps reuse its allocation.
+    groups_scratch: Vec<(T, Group<T>)>,
+    /// `suspicion_threshold * window`, precomputed: the strike test
+    /// compares the windowed disagreement *sum* against this once per VP
+    /// per sweep, avoiding a division on the hot path.
+    strike_bar: f64,
+    /// Recent values each VP reported while trusted, for the recurrence
+    /// rule: flat `n × window` rings like `win` (slots past `hist_len`
+    /// are uninitialised fill and never read). Allocated lazily on the
+    /// first observed row, since `new` has no `T` value to fill with.
+    hist: Vec<T>,
+    hist_len: Vec<u32>,
+    hist_pos: Vec<u32>,
+    /// The value of each VP's most recent hist push, and how many
+    /// consecutive pushes held it: once a ring is uniformly one value,
+    /// pushing that value again is a no-op, which is every VP on every
+    /// stable sweep.
+    hist_last: Vec<T>,
+    hist_run: Vec<u32>,
+    /// How many trusted VPs the current step excluded for uncorroborated
+    /// flips — the contested-step signal.
+    fabricated: usize,
+    /// How many VPs the current step excluded in total (quarantined or
+    /// step-disagreeing) — maintained so per-step callers need not
+    /// re-scan the exclusion flags.
+    excluded_now: usize,
+    /// The value each pending catch-up flip is owed *to* (the modal
+    /// destination of the VP's group when it failed to move). Only a
+    /// late flip to this value is an echo; a corroborated flip anywhere
+    /// else is a genuine new transition.
+    pending_to: Vec<Option<T>>,
+    /// Sweep index until which an owed catch-up flip is tracked (0 =
+    /// none owed).
+    pending_until: Vec<usize>,
+    sweep: usize,
+    /// True when the previous sweep left every VP trusted, unexcluded,
+    /// with saturated all-zero disagreement rings, saturated single-value
+    /// hist rings, and no pending catch-up — the precondition for the
+    /// steady-state shortcut in [`observe`](Self::observe).
+    steady: bool,
+}
+
+impl<T: Copy + Eq + Hash> TrustModel<T> {
+    /// Build a model for the population described by `base` weights.
+    ///
+    /// `identities`, when given (one per VP), caps each identity's total
+    /// *voting* weight at its base share: the voting weight of VP `v`
+    /// becomes `base[v] / multiplicity(identity[v])`.
+    pub fn new(cfg: TrustConfig, base: &Weights, identities: Option<&[u64]>) -> Result<Self> {
+        cfg.validate()?;
+        let n = base.len();
+        let vote_w = match identities {
+            Some(ids) => {
+                if ids.len() != n {
+                    return Err(Error::ShapeMismatch {
+                        what: "identities",
+                        expected: n,
+                        actual: ids.len(),
+                    });
+                }
+                let mut mult: HashMap<u64, f64> = HashMap::new();
+                for &id in ids {
+                    *mult.entry(id).or_insert(0.0) += 1.0;
+                }
+                (0..n).map(|v| base.get(v) / mult[&ids[v]]).collect()
+            }
+            None => base.values().to_vec(),
+        };
+        Ok(TrustModel {
+            cfg,
+            vote_w,
+            prev: None,
+            win: vec![0.0; n * cfg.window],
+            win_len: vec![0; n],
+            win_pos: vec![0; n],
+            win_sum: vec![0.0; n],
+            strikes: vec![0; n],
+            status: vec![Status::Trusted; n],
+            clean_streak: vec![0; n],
+            excluded: vec![false; n],
+            gidx: vec![u32::MAX; n],
+            groups_scratch: Vec::new(),
+            excluded_now: 0,
+            strike_bar: cfg.suspicion_threshold * cfg.window as f64,
+            hist: Vec::new(),
+            hist_len: vec![0; n],
+            hist_pos: vec![0; n],
+            hist_last: Vec::new(),
+            hist_run: vec![0; n],
+            fabricated: 0,
+            pending_to: vec![None; n],
+            pending_until: vec![0; n],
+            sweep: 0,
+            steady: false,
+        })
+    }
+
+    /// Number of vantage points.
+    pub fn len(&self) -> usize {
+        self.vote_w.len()
+    }
+
+    /// Whether the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vote_w.is_empty()
+    }
+
+    /// Feed one observation row. `known` says whether a value is a real
+    /// observation (unknown values carry no agreement evidence either
+    /// way). Updates per-step exclusions, suspicion, and quarantine.
+    pub fn observe(&mut self, row: &[T], known: impl Fn(T) -> bool) -> Result<()> {
+        let n = self.len();
+        if row.len() != n {
+            return Err(Error::ShapeMismatch {
+                what: "observation row",
+                expected: n,
+                actual: row.len(),
+            });
+        }
+        self.fabricated = 0;
+        if self.hist.is_empty() && n > 0 {
+            // Lazy fill: any value works, slots past `hist_len` are
+            // never read.
+            self.hist = vec![row[0]; n * self.cfg.window];
+            self.hist_last = vec![row[0]; n];
+        }
+        let Some(mut prev) = self.prev.take() else {
+            for (v, &c) in row.iter().enumerate() {
+                if known(c) {
+                    self.push_hist(v, c);
+                }
+            }
+            self.prev = Some(row.to_vec());
+            return Ok(());
+        };
+        self.sweep += 1;
+
+        if self.steady {
+            // Steady-state shortcut. Every VP is trusted and unexcluded,
+            // its disagreement ring is a full window of zeros (pushing
+            // another zero is a no-op), its hist ring is uniformly its
+            // settled value `hist_last` (pushing that value again is a
+            // no-op), and no catch-up flip is owed. A known previous
+            // value therefore equals `hist_last`, so if every known cell
+            // of this row also matches `hist_last` no VP flipped, no
+            // group vote can exclude anyone, and not one piece of state
+            // changes: the whole update is this read-only scan. This is
+            // the overwhelmingly common sweep of a healthy campaign.
+            let unchanged = (0..n).all(|v| !known(row[v]) || row[v] == self.hist_last[v]);
+            if unchanged {
+                prev.clear();
+                prev.extend_from_slice(row);
+                self.prev = Some(prev);
+                return Ok(());
+            }
+        }
+
+        // Group the trusted, fully-observed VPs by previous value and
+        // accumulate identity-capped moved/total weight per group.
+        // Association lists, not hash maps: the value alphabet is tiny
+        // (a handful of sites or bands), and this runs per VP per sweep
+        // on the hot detection path, where a linear scan over a few
+        // entries is several times cheaper than hashing every key. The
+        // list itself is a reusable scratch so steady-state sweeps
+        // allocate nothing.
+        let mut groups: Vec<(T, Group<T>)> = std::mem::take(&mut self.groups_scratch);
+        groups.clear();
+        let mut stayed = 0usize;
+        let mut moved_count = 0usize;
+        for v in 0..n {
+            if self.status[v] != Status::Trusted || !known(prev[v]) || !known(row[v]) {
+                self.gidx[v] = u32::MAX;
+                continue;
+            }
+            if row[v] != prev[v] {
+                moved_count += 1;
+            } else {
+                stayed += 1;
+            }
+            let gi = match groups.iter().position(|(k, _)| *k == prev[v]) {
+                Some(i) => i,
+                None => {
+                    groups.push((
+                        prev[v],
+                        Group {
+                            total: 0.0,
+                            moved: 0.0,
+                            dest: Vec::new(),
+                            best_dest: None,
+                        },
+                    ));
+                    groups.len() - 1
+                }
+            };
+            self.gidx[v] = gi as u32;
+            let g = &mut groups[gi].1;
+            g.total += self.vote_w[v];
+            if row[v] != prev[v] {
+                g.moved += self.vote_w[v];
+                let w = match g.dest.iter_mut().find(|(k, _)| *k == row[v]) {
+                    Some((_, w)) => {
+                        *w += self.vote_w[v];
+                        *w
+                    }
+                    None => {
+                        g.dest.push((row[v], self.vote_w[v]));
+                        self.vote_w[v]
+                    }
+                };
+                if g.best_dest.is_none_or(|(_, bw)| w > bw) {
+                    g.best_dest = Some((row[v], w));
+                }
+            }
+        }
+        // Robust population-wide movement rate, for VPs whose group is
+        // too small to out-vote them (a singleton would otherwise
+        // corroborate its own lie). The trimmed mean over per-VP flip
+        // indicators discards the tails, so a minority of liars cannot
+        // drag the rate across the majority threshold. Indicators are
+        // 0/1, so the trimmed mean reduces to counting — no per-step
+        // sort (this runs once per sweep on the hot detection path).
+        let population_rate = trimmed_indicator_mean(stayed, moved_count, self.cfg.trim_frac);
+
+        for v in 0..n {
+            let quarantined = self.status[v] == Status::Quarantined;
+            let was_excluded = self.excluded[v];
+            self.excluded[v] = quarantined;
+            if !known(prev[v]) || !known(row[v]) {
+                // Absent either side: no agreement evidence.
+                if !quarantined {
+                    self.push_disagreement(v, 0.0);
+                }
+                continue;
+            }
+            let flipped = row[v] != prev[v];
+            // Corroboration excludes the VP's own vote and demands a
+            // strict majority of the *rest* of its previous catchment:
+            // an exact split never corroborates either side.
+            let corroborated = if quarantined {
+                // Quarantined VPs are not in the group stats; judge them
+                // against the trusted group as-is.
+                match groups.iter().find(|(k, _)| *k == prev[v]).map(|(_, g)| g) {
+                    Some(g) if g.total > 0.0 => g.moved > 0.5 * g.total,
+                    _ => population_rate > 0.5,
+                }
+            } else {
+                // Trusted with both sides known: the grouping pass above
+                // indexed this VP, so its group is a direct lookup.
+                let g = &groups[self.gidx[v] as usize].1;
+                let others_total = g.total - self.vote_w[v];
+                let others_moved = if flipped {
+                    g.moved - self.vote_w[v]
+                } else {
+                    g.moved
+                };
+                if others_total > 0.0 {
+                    others_moved > 0.5 * others_total
+                } else {
+                    population_rate > 0.5
+                }
+            };
+            let pending = self.pending_until[v] > self.sweep;
+            let disagree = match (flipped, corroborated) {
+                // A flip nobody else in the catchment saw. If it returns
+                // the VP to a catchment it recently reported while
+                // trusted, it is a recurrence (a minority recovering its
+                // old mode — e.g. a restored site's former clients
+                // flowing back against a vote-stuffed group) and stays
+                // in Φ, though it still costs a disagreement. Otherwise:
+                // fabricated, excluded. The previous step must have been
+                // trusted, so a lie-then-"return" ping-pong never earns
+                // the recurrence discount.
+                (true, false) => {
+                    if !quarantined && !was_excluded && self.hist_contains(v, row[v]) {
+                        self.pending_until[v] = 0;
+                    } else {
+                        self.excluded[v] = true;
+                        if !quarantined {
+                            self.fabricated += 1;
+                        }
+                    }
+                    1.0
+                }
+                // The catchment moved and this VP claims it did not:
+                // stale or constant. It now owes a catch-up flip to
+                // wherever its group went.
+                (false, true) => {
+                    self.excluded[v] = true;
+                    self.pending_until[v] = self.sweep + self.cfg.window;
+                    self.pending_to[v] = groups
+                        .iter()
+                        .find(|(k, _)| *k == prev[v])
+                        .and_then(|(_, g)| g.best_dest.map(|(t, _)| t));
+                    1.0
+                }
+                // A flip while a catch-up is owed. Landing on the value
+                // the group moved to is the owed flip arriving late — an
+                // echo of a transition already detected, not a new
+                // event. A corroborated flip anywhere *else* is a
+                // genuine transition (e.g. a recovery the VP observes on
+                // time) and clears the debt.
+                (true, true) if pending => {
+                    if self.pending_to[v] == Some(row[v]) {
+                        self.excluded[v] = true;
+                        self.pending_until[v] = 0;
+                        1.0
+                    } else {
+                        self.pending_until[v] = 0;
+                        0.0
+                    }
+                }
+                _ => 0.0,
+            };
+            if quarantined {
+                // Probation: consistent behaviour earns re-admission.
+                if disagree == 0.0 {
+                    self.clean_streak[v] += 1;
+                    if self.clean_streak[v] >= self.cfg.probation {
+                        self.status[v] = Status::Trusted;
+                        self.strikes[v] = 0;
+                        self.win_len[v] = 0;
+                        self.win_pos[v] = 0;
+                        self.win_sum[v] = 0.0;
+                        self.hist_len[v] = 0;
+                        self.hist_pos[v] = 0;
+                        self.hist_run[v] = 0;
+                        self.pending_until[v] = 0;
+                        self.clean_streak[v] = 0;
+                    }
+                } else {
+                    self.clean_streak[v] = 0;
+                }
+            } else {
+                self.push_disagreement(v, disagree);
+            }
+            if !self.excluded[v] && known(row[v]) {
+                self.push_hist(v, row[v]);
+            }
+        }
+        let w = self.cfg.window;
+        let mut excluded_now = 0usize;
+        let mut steady = true;
+        for v in 0..n {
+            excluded_now += usize::from(self.excluded[v]);
+            steady = steady
+                && self.status[v] == Status::Trusted
+                && !self.excluded[v]
+                && self.pending_until[v] <= self.sweep
+                && self.win_sum[v] == 0.0
+                && self.win_len[v] as usize == w
+                && self.hist_run[v] as usize >= w;
+        }
+        self.excluded_now = excluded_now;
+        self.steady = steady;
+        // Reuse the previous-row buffer instead of allocating per sweep.
+        prev.clear();
+        prev.extend_from_slice(row);
+        self.prev = Some(prev);
+        self.groups_scratch = groups;
+        Ok(())
+    }
+
+    /// Whether VP `v`'s recurrence ring holds `val`.
+    fn hist_contains(&self, v: usize, val: T) -> bool {
+        let base = v * self.cfg.window;
+        self.hist[base..base + self.hist_len[v] as usize].contains(&val)
+    }
+
+    /// Record a trusted value in VP `v`'s recurrence ring (overwriting
+    /// the oldest once `cfg.window` entries are held).
+    fn push_hist(&mut self, v: usize, val: T) {
+        let w = self.cfg.window;
+        if self.hist_run[v] as usize >= w && val == self.hist_last[v] {
+            // The ring is already uniformly `val`: another push moves
+            // the cursor around identical slots — a no-op. This is every
+            // VP on every stable sweep.
+            return;
+        }
+        let pos = self.hist_pos[v] as usize;
+        self.hist[v * w + pos] = val;
+        self.hist_pos[v] = ((pos + 1) % w) as u32;
+        if (self.hist_len[v] as usize) < w {
+            self.hist_len[v] += 1;
+        }
+        if val == self.hist_last[v] {
+            self.hist_run[v] += 1;
+        } else {
+            self.hist_last[v] = val;
+            self.hist_run[v] = 1;
+        }
+    }
+
+    fn push_disagreement(&mut self, v: usize, d: f64) {
+        let w = self.cfg.window;
+        if d == 0.0 && self.win_sum[v] == 0.0 && self.win_len[v] as usize == w {
+            // A full ring of zeros absorbing another zero: nothing can
+            // change — not the slots, not the sum, not the strike state
+            // (the sum is below the bar, so strikes would reset, and a
+            // zero sum implies they already are). The steady-state VP
+            // costs two loads here and no stores.
+            return;
+        }
+        let pos = self.win_pos[v] as usize;
+        let slot = v * w + pos;
+        if self.win_len[v] as usize == w {
+            self.win_sum[v] -= self.win[slot];
+        } else {
+            self.win_len[v] += 1;
+        }
+        self.win[slot] = d;
+        self.win_sum[v] += d;
+        self.win_pos[v] = ((pos + 1) % w) as u32;
+        if self.win_sum[v] >= self.strike_bar {
+            self.strikes[v] += 1;
+            if self.strikes[v] >= self.cfg.quarantine_strikes {
+                self.status[v] = Status::Quarantined;
+                self.excluded[v] = true;
+                self.clean_streak[v] = 0;
+                self.pending_until[v] = 0;
+            }
+        } else {
+            self.strikes[v] = 0;
+        }
+    }
+
+    /// Windowed disagreement rate of VP `v`, normalised by window
+    /// *capacity* so early observations cannot dominate.
+    pub fn suspicion(&self, v: usize) -> f64 {
+        self.win_sum[v] / self.cfg.window as f64
+    }
+
+    /// Whether VP `v` is currently quarantined.
+    pub fn is_quarantined(&self, v: usize) -> bool {
+        self.status[v] == Status::Quarantined
+    }
+
+    /// Number of currently-quarantined VPs.
+    pub fn quarantined_count(&self) -> usize {
+        self.status.iter().filter(|&&s| s == Status::Quarantined).count()
+    }
+
+    /// Which VPs are excluded from the current step's Φ (quarantined or
+    /// step-disagreeing).
+    pub fn step_excluded(&self) -> &[bool] {
+        &self.excluded
+    }
+
+    /// How many VPs the current step excluded — `step_excluded` counted,
+    /// without the scan.
+    pub fn step_excluded_count(&self) -> usize {
+        self.excluded_now
+    }
+
+    /// How many trusted VPs the current step excluded for uncorroborated
+    /// flips. A large value means the group vote rejected a mass
+    /// movement — on a healthy population that never happens, so it is
+    /// evidence the vote itself was captured (see
+    /// [`TrustConfig::contested_frac`]).
+    pub fn step_fabricated(&self) -> usize {
+        self.fabricated
+    }
+
+    /// Φ weights for the current step: `base` with excluded VPs zeroed.
+    pub fn step_weights(&self, base: &Weights) -> Vec<f64> {
+        (0..self.len().min(base.len()))
+            .map(|v| if self.excluded[v] { 0.0 } else { base.get(v) })
+            .collect()
+    }
+
+    /// Long-run trust weights: `base` with quarantined VPs zeroed — the
+    /// vector to hand to `SimilarityMatrix::compute`. Errors with
+    /// [`Error::ZeroWeight`] if the whole population is quarantined.
+    pub fn final_weights(&self, base: &Weights) -> Result<Weights> {
+        Weights::from_values(
+            (0..self.len().min(base.len()))
+                .map(|v| {
+                    if self.is_quarantined(v) {
+                        0.0
+                    } else {
+                        base.get(v)
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    /// Fraction of total base weight not currently quarantined.
+    pub fn trusted_fraction(&self, base: &Weights) -> f64 {
+        if base.total() == 0.0 {
+            return 0.0;
+        }
+        (0..self.len().min(base.len()))
+            .filter(|&v| !self.is_quarantined(v))
+            .map(|v| base.get(v))
+            .sum::<f64>()
+            / base.total()
+    }
+}
+
+/// Summary of a trust pass over a whole series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrustReport {
+    /// Final per-VP windowed disagreement rates.
+    pub suspicion: Vec<f64>,
+    /// Final per-VP quarantine flags.
+    pub quarantined: Vec<bool>,
+    /// Fraction of base weight still trusted at the end of the run.
+    pub trusted_fraction: f64,
+    /// Number of steps whose trusted weight fell below the floor.
+    pub untrusted_steps: usize,
+}
+
+/// A step where the group vote excluded an outsized share of the
+/// population for uncorroborated flips. On a healthy population mass
+/// movements corroborate each other, so this only happens when a
+/// coordinated bloc has captured the vote — a transition may be hiding
+/// in the excluded mass, and the verdict at this step must not be
+/// trusted silently.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ContestedStep {
+    /// Observation index of the later side of the step.
+    pub index: usize,
+    /// Fraction of the population excluded as uncorroborated flippers.
+    pub excluded_fraction: f64,
+}
+
+/// Result of trust-weighted, coverage- and trust-gated detection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrustedDetection {
+    /// Events plus explicit suppressions.
+    pub gated: GatedDetection,
+    /// Final trust state of the population.
+    pub trust: TrustReport,
+    /// The input health series with [`CampaignHealth::distrusted`]
+    /// filled in per observation.
+    pub health: Vec<CampaignHealth>,
+    /// True when so much of the population ended up quarantined that no
+    /// verdict is trustworthy; every event is then suppressed with
+    /// [`SuppressReason::UntrustedPopulation`] rather than reported.
+    pub degraded: bool,
+    /// Steps whose group vote threw out at least
+    /// [`TrustConfig::contested_frac`] of the population as
+    /// uncorroborated flippers — the explicit "a super-minority may have
+    /// out-voted a real transition here" degradation signal.
+    pub contested: Vec<ContestedStep>,
+}
+
+/// Run trust-weighted change detection over a catchment-code series.
+///
+/// Per step, VPs excluded by the [`TrustModel`] get weight zero in that
+/// step's Φ; the resulting step series feeds
+/// [`ChangeDetector::detect_from_steps`]. Detections are then gated
+/// twice: by measurement coverage (as in
+/// [`ChangeDetector::detect_gated`], floor `coverage_floor`) and by the
+/// trusted fraction of the population around the step
+/// (`cfg.min_trusted_frac`). On a clean substrate no VP is ever excluded
+/// and the result is identical to ungated detection.
+///
+/// `identities`, when given, caps sybil voting weight — see
+/// [`TrustModel::new`].
+pub fn detect_trusted(
+    detector: &ChangeDetector,
+    series: &VectorSeries,
+    base: &Weights,
+    health: &[CampaignHealth],
+    coverage_floor: f64,
+    cfg: TrustConfig,
+    identities: Option<&[u64]>,
+) -> Result<TrustedDetection> {
+    if !(0.0..=1.0).contains(&coverage_floor) {
+        return Err(Error::InvalidParameter {
+            name: "coverage_floor",
+            message: format!("must lie in [0, 1], got {coverage_floor}"),
+        });
+    }
+    if health.len() != series.len() {
+        return Err(Error::ShapeMismatch {
+            what: "health series",
+            expected: series.len(),
+            actual: health.len(),
+        });
+    }
+    if base.len() != series.networks() {
+        return Err(Error::ShapeMismatch {
+            what: "weights",
+            expected: series.networks(),
+            actual: base.len(),
+        });
+    }
+    let known = |c: u16| c != CODE_UNKNOWN && c != CODE_ERR;
+    let mut model: TrustModel<u16> = TrustModel::new(cfg, base, identities)?;
+    let mut health_out = health.to_vec();
+    let mut steps: Vec<f64> = Vec::with_capacity(series.len().saturating_sub(1));
+    let mut step_trusted: Vec<f64> = Vec::with_capacity(steps.capacity());
+    if !series.is_empty() {
+        model.observe(series.get(0).codes(), known)?;
+    }
+    let mut contested: Vec<ContestedStep> = Vec::new();
+    for (i, step_health) in health_out.iter_mut().enumerate().skip(1) {
+        model.observe(series.get(i).codes(), known)?;
+        let fabricated = model.step_fabricated() as f64 / model.len().max(1) as f64;
+        if fabricated >= cfg.contested_frac {
+            contested.push(ContestedStep {
+                index: i,
+                excluded_fraction: fabricated,
+            });
+        }
+        let distrusted = model.step_excluded_count();
+        step_health.distrusted = distrusted;
+        let (p, trusted) = if distrusted == 0 {
+            // Nobody excluded — the overwhelmingly common step on a
+            // healthy substrate: Φ under the base weights, no per-step
+            // weight vector to build and re-validate.
+            (
+                phi(series.get(i - 1), series.get(i), base, detector.policy),
+                1.0,
+            )
+        } else {
+            let step_w = model.step_weights(base);
+            let trusted = step_w.iter().sum::<f64>() / base.total();
+            let p = match Weights::from_values(step_w) {
+                Ok(w) => phi(series.get(i - 1), series.get(i), &w, detector.policy),
+                // Nobody trustworthy observed the step: no similarity
+                // evidence at all. Record a full drop so the step
+                // surfaces as a detection — which the trust gate below
+                // then suppresses explicitly instead of silently
+                // skipping.
+                Err(Error::ZeroWeight) => 0.0,
+                Err(e) => return Err(e),
+            };
+            (p, trusted)
+        };
+        steps.push(p);
+        step_trusted.push(trusted);
+    }
+    let times = series.times();
+    let trusted_fraction = model.trusted_fraction(base);
+    let degraded = trusted_fraction < cfg.min_trusted_frac;
+    let mut gated = GatedDetection::default();
+    let untrusted_steps = step_trusted
+        .iter()
+        .filter(|&&t| t < cfg.min_trusted_frac)
+        .count();
+    for event in detector.detect_from_steps(&steps, &times) {
+        let before = health_out[event.index - 1].coverage();
+        let at = health_out[event.index].coverage();
+        let coverage = before.min(at);
+        let trusted_here = step_trusted[event.index - 1];
+        if coverage < coverage_floor {
+            gated.suppressed.push(SuppressedEvent {
+                event,
+                reason: SuppressReason::LowCoverage {
+                    coverage,
+                    floor: coverage_floor,
+                },
+            });
+        } else if degraded || trusted_here < cfg.min_trusted_frac {
+            gated.suppressed.push(SuppressedEvent {
+                event,
+                reason: SuppressReason::UntrustedPopulation {
+                    trusted_fraction: if degraded {
+                        trusted_fraction
+                    } else {
+                        trusted_here
+                    },
+                    floor: cfg.min_trusted_frac,
+                },
+            });
+        } else {
+            gated.events.push(event);
+        }
+    }
+    let trust = TrustReport {
+        suspicion: (0..model.len()).map(|v| model.suspicion(v)).collect(),
+        quarantined: (0..model.len()).map(|v| model.is_quarantined(v)).collect(),
+        trusted_fraction,
+        untrusted_steps,
+    };
+    Ok(TrustedDetection {
+        gated,
+        trust,
+        health: health_out,
+        degraded,
+        contested,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::SiteTable;
+    use crate::time::Timestamp;
+    use crate::vector::RoutingVector;
+
+    fn ts(d: i64) -> Timestamp {
+        Timestamp::from_days(d)
+    }
+
+    fn series_from(rows: &[Vec<u16>]) -> VectorSeries {
+        let sites = SiteTable::from_names(["A", "B", "C", "D"]);
+        let mut series = VectorSeries::new(sites, rows[0].len());
+        for (d, row) in rows.iter().enumerate() {
+            series
+                .push(RoutingVector::from_codes(ts(d as i64), row.clone()))
+                .unwrap();
+        }
+        series
+    }
+
+    fn full_health(n: usize, targets: usize) -> Vec<CampaignHealth> {
+        (0..n)
+            .map(|d| {
+                let mut h = CampaignHealth::new(ts(d as i64), targets);
+                h.responses = targets;
+                h
+            })
+            .collect()
+    }
+
+    /// 10 VPs: stable on site 0 for `pre` sweeps, then all move to 1.
+    fn shift_rows(pre: usize, post: usize) -> Vec<Vec<u16>> {
+        (0..pre + post)
+            .map(|d| vec![if d < pre { 0u16 } else { 1 }; 10])
+            .collect()
+    }
+
+    #[test]
+    fn trimmed_mean_resists_outliers() {
+        let clean = [0.5, 0.5, 0.5, 0.5];
+        assert!((trimmed_mean(&clean, 0.25) - 0.5).abs() < 1e-12);
+        let poisoned = [0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 100.0, -100.0];
+        assert!((trimmed_mean(&poisoned, 0.25) - 0.5).abs() < 1e-12);
+        assert_eq!(trimmed_mean(&[], 0.25), 0.0);
+        // Over-trimming falls back to the median.
+        assert_eq!(trimmed_mean(&[1.0], 0.49), 1.0);
+    }
+
+    #[test]
+    fn indicator_trimmed_mean_matches_the_general_form() {
+        for zeros in 0..12usize {
+            for ones in 0..12usize {
+                for trim in [0.0, 0.1, 0.25, 0.33, 0.49] {
+                    let mut xs = vec![0.0f64; zeros];
+                    xs.resize(zeros + ones, 1.0);
+                    let general = trimmed_mean(&xs, trim);
+                    let fast = trimmed_indicator_mean(zeros, ones, trim);
+                    assert!(
+                        (general - fast).abs() < 1e-12,
+                        "zeros {zeros} ones {ones} trim {trim}: {general} vs {fast}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn median_of_means_resists_outliers() {
+        let poisoned = [1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1000.0];
+        let m = median_of_means(&poisoned, 4);
+        assert!(m < 2.0, "{m}");
+        assert_eq!(median_of_means(&[], 3), 0.0);
+        assert_eq!(median_of_means(&[7.0], 3), 7.0);
+    }
+
+    #[test]
+    fn config_validation_rejects_out_of_domain() {
+        let mut c = TrustConfig::default();
+        assert!(c.validate().is_ok());
+        c.window = 0;
+        assert!(c.validate().is_err());
+        c = TrustConfig {
+            trim_frac: 0.5,
+            ..TrustConfig::default()
+        };
+        assert!(c.validate().is_err());
+        c = TrustConfig {
+            suspicion_threshold: 0.0,
+            ..TrustConfig::default()
+        };
+        assert!(c.validate().is_err());
+        c = TrustConfig {
+            min_trusted_frac: 1.5,
+            ..TrustConfig::default()
+        };
+        assert!(c.validate().is_err());
+        c = TrustConfig {
+            contested_frac: 0.0,
+            ..TrustConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn clean_population_is_never_excluded() {
+        let rows = shift_rows(8, 8);
+        let base = Weights::uniform(10);
+        let mut m: TrustModel = TrustModel::new(TrustConfig::default(), &base, None).unwrap();
+        for row in &rows {
+            m.observe(row, |c| c != CODE_UNKNOWN).unwrap();
+            assert!(m.step_excluded().iter().all(|&e| !e));
+        }
+        assert_eq!(m.quarantined_count(), 0);
+        assert!((m.trusted_fraction(&base) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fabricated_minority_flip_is_excluded() {
+        // VPs 0-1 flip to site 2 at sweep 5; the other 8 stay on 0.
+        let mut rows = shift_rows(10, 0);
+        for row in rows.iter_mut().skip(5) {
+            row[0] = 2;
+            row[1] = 2;
+        }
+        let base = Weights::uniform(10);
+        let mut m: TrustModel = TrustModel::new(TrustConfig::default(), &base, None).unwrap();
+        for (d, row) in rows.iter().enumerate() {
+            m.observe(row, |c| c != CODE_UNKNOWN).unwrap();
+            if d == 5 {
+                assert!(m.step_excluded()[0] && m.step_excluded()[1]);
+                assert!(m.step_excluded()[2..].iter().all(|&e| !e));
+            }
+        }
+        // One-shot lie: suspicious but not quarantined.
+        assert!(m.suspicion(0) > 0.0);
+        assert_eq!(m.quarantined_count(), 0);
+    }
+
+    #[test]
+    fn non_mover_during_corroborated_move_is_excluded_and_echo_killed() {
+        // Everyone moves 0 -> 1 at sweep 5, except VP 9 which lags by two
+        // sweeps (a stale replayer).
+        let mut rows = shift_rows(5, 7);
+        rows[5][9] = 0;
+        rows[6][9] = 0;
+        let base = Weights::uniform(10);
+        let mut m: TrustModel = TrustModel::new(TrustConfig::default(), &base, None).unwrap();
+        for (d, row) in rows.iter().enumerate() {
+            m.observe(row, |c| c != CODE_UNKNOWN).unwrap();
+            match d {
+                5 => assert!(m.step_excluded()[9], "non-mover at the transition"),
+                7 => assert!(m.step_excluded()[9], "late catch-up flip is an echo"),
+                8 => assert!(!m.step_excluded()[9], "back in good standing"),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn recurrence_beats_a_vote_stuffed_group() {
+        // VPs 0-5 sit constantly on site 1 (a parked liar bloc); VPs 6-9
+        // genuinely move 0 -> 1 at sweep 5 and recover to 0 at sweep 9.
+        // At the recovery the bloc out-votes the returning minority, but
+        // the flip lands on a catchment each returner recently held
+        // while trusted: the recurrence rule keeps them in Φ.
+        let rows: Vec<Vec<u16>> = (0..12)
+            .map(|d| {
+                let mut row = vec![1u16; 10];
+                let honest = if (5..9).contains(&d) { 1 } else { 0 };
+                for cell in row.iter_mut().skip(6) {
+                    *cell = honest;
+                }
+                row
+            })
+            .collect();
+        let base = Weights::uniform(10);
+        let mut m: TrustModel = TrustModel::new(TrustConfig::default(), &base, None).unwrap();
+        for (d, row) in rows.iter().enumerate() {
+            m.observe(row, |c| c != CODE_UNKNOWN).unwrap();
+            if d == 9 {
+                assert!(
+                    m.step_excluded().iter().all(|&e| !e),
+                    "recurring returners must stay in Φ"
+                );
+                assert_eq!(m.step_fabricated(), 0);
+            }
+        }
+        assert_eq!(m.quarantined_count(), 0);
+    }
+
+    #[test]
+    fn pending_flip_to_a_new_catchment_is_not_an_echo() {
+        // Everyone moves 0 -> 1 at sweep 3; VP 9 misses it and owes a
+        // catch-up flip to site 1. At sweep 6 the whole population — VP 9
+        // included — moves on to site 2: that flip is corroborated and
+        // lands away from the owed value, so it is a genuine transition,
+        // not an echo, and VP 9 stays in Φ.
+        let rows: Vec<Vec<u16>> = (0..9)
+            .map(|d| {
+                let mut row = vec![if d < 3 { 0u16 } else if d < 6 { 1 } else { 2 }; 10];
+                if d < 6 {
+                    row[9] = 0;
+                }
+                row
+            })
+            .collect();
+        let base = Weights::uniform(10);
+        let mut m: TrustModel = TrustModel::new(TrustConfig::default(), &base, None).unwrap();
+        for (d, row) in rows.iter().enumerate() {
+            m.observe(row, |c| c != CODE_UNKNOWN).unwrap();
+            match d {
+                3 => assert!(m.step_excluded()[9], "non-mover at the transition"),
+                6 => assert!(
+                    !m.step_excluded()[9],
+                    "corroborated flip to a third site is not an echo"
+                ),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn captured_vote_surfaces_as_a_contested_step() {
+        // Three of ten VPs fabricate a flip to a novel site at sweep 5:
+        // 30% of the population thrown out as uncorroborated flippers
+        // crosses the default contested threshold, and the verdict says
+        // so. A fully-corroborated shift never does.
+        let mut rows = shift_rows(10, 0);
+        for row in rows.iter_mut().skip(5) {
+            row[0] = 3;
+            row[1] = 3;
+            row[2] = 3;
+        }
+        let detector = ChangeDetector::default();
+        let base = Weights::uniform(10);
+        let d = detect_trusted(
+            &detector,
+            &series_from(&rows),
+            &base,
+            &full_health(rows.len(), 10),
+            0.0,
+            TrustConfig::default(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(d.contested.len(), 1, "{:?}", d.contested);
+        assert_eq!(d.contested[0].index, 5);
+        assert!((d.contested[0].excluded_fraction - 0.3).abs() < 1e-12);
+
+        let clean = detect_trusted(
+            &detector,
+            &series_from(&shift_rows(5, 5)),
+            &base,
+            &full_health(10, 10),
+            0.0,
+            TrustConfig::default(),
+            None,
+        )
+        .unwrap();
+        assert!(clean.contested.is_empty());
+    }
+
+    #[test]
+    fn persistent_liar_is_quarantined_then_readmitted_after_probation() {
+        // VP 0 fabricates a lone flip every sweep (ping-ponging 2 <-> 3)
+        // for 8 sweeps, then behaves forever after.
+        let n_sweeps = 24usize;
+        let rows: Vec<Vec<u16>> = (0..n_sweeps)
+            .map(|d| {
+                let mut row = vec![0u16; 10];
+                if d < 8 {
+                    row[0] = if d % 2 == 0 { 2 } else { 3 };
+                }
+                row
+            })
+            .collect();
+        let base = Weights::uniform(10);
+        let cfg = TrustConfig::default();
+        let mut m: TrustModel = TrustModel::new(cfg, &base, None).unwrap();
+        let mut quarantined_at = None;
+        let mut readmitted_at = None;
+        for (d, row) in rows.iter().enumerate() {
+            m.observe(row, |c| c != CODE_UNKNOWN).unwrap();
+            if quarantined_at.is_none() && m.is_quarantined(0) {
+                quarantined_at = Some(d);
+            }
+            if quarantined_at.is_some() && readmitted_at.is_none() && !m.is_quarantined(0) {
+                readmitted_at = Some(d);
+            }
+        }
+        let q = quarantined_at.expect("persistent liar must be quarantined");
+        assert!(q < 8, "quarantined while still lying, got {q}");
+        let r = readmitted_at.expect("reformed liar must be re-admitted");
+        // Probation starts once it behaves (sweep 8; its first clean
+        // comparison is sweep 9's step).
+        assert!(r >= 8 + cfg.probation, "readmitted too early at {r}");
+        assert_eq!(m.quarantined_count(), 0);
+    }
+
+    #[test]
+    fn identity_caps_split_sybil_voting_weight() {
+        // 6 VPs; 0-3 share one identity. A bloc flip by the 4 clones
+        // must not corroborate itself against 2 honest singletons.
+        let rows = vec![vec![0u16; 6], vec![2, 2, 2, 2, 0, 0]];
+        let base = Weights::uniform(6);
+        let ids = [7u64, 7, 7, 7, 1, 2];
+        let mut m: TrustModel =
+            TrustModel::new(TrustConfig::default(), &base, Some(&ids)).unwrap();
+        for row in &rows {
+            m.observe(row, |c| c != CODE_UNKNOWN).unwrap();
+        }
+        // Capped: clones carry 1/4 weight each (1 total) vs 2 honest.
+        for v in 0..4 {
+            assert!(m.step_excluded()[v], "sybil clone {v} must be excluded");
+        }
+        assert!(!m.step_excluded()[4] && !m.step_excluded()[5]);
+
+        // Without caps the bloc out-votes the honest pair.
+        let mut naive: TrustModel =
+            TrustModel::new(TrustConfig::default(), &base, None).unwrap();
+        for row in &rows {
+            naive.observe(row, |c| c != CODE_UNKNOWN).unwrap();
+        }
+        assert!(!naive.step_excluded()[0], "uncapped bloc corroborates itself");
+    }
+
+    #[test]
+    fn step_and_final_weights_zero_the_right_vps() {
+        let rows = vec![vec![0u16; 4], vec![2, 0, 0, 0]];
+        let base = Weights::uniform(4);
+        let mut m: TrustModel = TrustModel::new(TrustConfig::default(), &base, None).unwrap();
+        for row in &rows {
+            m.observe(row, |c| c != CODE_UNKNOWN).unwrap();
+        }
+        assert_eq!(m.step_weights(&base), vec![0.0, 1.0, 1.0, 1.0]);
+        // Not quarantined, so long-run weights are untouched.
+        assert_eq!(m.final_weights(&base).unwrap().values(), base.values());
+        assert!((m.trusted_fraction(&base) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detect_trusted_matches_plain_detection_on_clean_data() {
+        let rows = shift_rows(10, 10);
+        let series = series_from(&rows);
+        let base = Weights::uniform(10);
+        let det = ChangeDetector::default();
+        let plain = det.detect(&series, &base);
+        let trusted = detect_trusted(
+            &det,
+            &series,
+            &base,
+            &full_health(20, 10),
+            0.2,
+            TrustConfig::default(),
+            None,
+        )
+        .unwrap();
+        assert!(!trusted.degraded);
+        assert!(trusted.gated.suppressed.is_empty());
+        assert_eq!(trusted.gated.events, plain);
+        assert!(trusted.trust.quarantined.iter().all(|&q| !q));
+        assert!(trusted.health.iter().all(|h| h.distrusted == 0));
+    }
+
+    #[test]
+    fn detect_trusted_drops_fabricated_event_and_keeps_real_one() {
+        // Real shift at 10; two liars fabricate a lone flip at 5.
+        let mut rows = shift_rows(10, 10);
+        for row in rows.iter_mut().take(10).skip(5) {
+            row[0] = 2;
+            row[1] = 2;
+        }
+        // After the real shift the liars follow everyone to site 1, so
+        // their catch-up is co-timed with the transition.
+        let series = series_from(&rows);
+        let base = Weights::uniform(10);
+        let det = ChangeDetector::default();
+        let trusted = detect_trusted(
+            &det,
+            &series,
+            &base,
+            &full_health(20, 10),
+            0.2,
+            TrustConfig::default(),
+            None,
+        )
+        .unwrap();
+        let indices: Vec<usize> = trusted.gated.events.iter().map(|e| e.index).collect();
+        assert_eq!(indices, vec![10], "{:?}", trusted.gated);
+        assert!(trusted.health[5].distrusted > 0);
+    }
+
+    #[test]
+    fn detect_trusted_gates_low_coverage_and_zero_trust_steps() {
+        let rows = shift_rows(10, 10);
+        let series = series_from(&rows);
+        let base = Weights::uniform(10);
+        let mut health = full_health(20, 10);
+        health[9].responses = 0;
+        let det = ChangeDetector::default();
+        let trusted = detect_trusted(
+            &det,
+            &series,
+            &base,
+            &health,
+            0.5,
+            TrustConfig::default(),
+            None,
+        )
+        .unwrap();
+        assert!(trusted.gated.events.is_empty());
+        assert_eq!(trusted.gated.suppressed.len(), 1);
+        assert!(matches!(
+            trusted.gated.suppressed[0].reason,
+            SuppressReason::LowCoverage { .. }
+        ));
+    }
+
+    #[test]
+    fn detect_trusted_rejects_shape_mismatches() {
+        let rows = shift_rows(4, 4);
+        let series = series_from(&rows);
+        let base = Weights::uniform(10);
+        let det = ChangeDetector::default();
+        assert!(detect_trusted(
+            &det,
+            &series,
+            &base,
+            &full_health(7, 10),
+            0.2,
+            TrustConfig::default(),
+            None
+        )
+        .is_err());
+        assert!(detect_trusted(
+            &det,
+            &series,
+            &Weights::uniform(9),
+            &full_health(8, 10),
+            0.2,
+            TrustConfig::default(),
+            None
+        )
+        .is_err());
+        assert!(detect_trusted(
+            &det,
+            &series,
+            &base,
+            &full_health(8, 10),
+            1.5,
+            TrustConfig::default(),
+            None
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn majority_quarantined_population_degrades_explicitly() {
+        // 10 VPs, six liars (0-5) that each bounce between the honest
+        // catchment and a fake site on alternating phases, desynchronised
+        // so only a scattered minority flips out of the honest group at
+        // any sweep (never corroborated). Every liar accumulates
+        // disagreements and lands in quarantine; with 6 of 10 VPs out,
+        // the run must degrade explicitly rather than report anything.
+        let rows: Vec<Vec<u16>> = (0..30)
+            .map(|d| {
+                let mut row = vec![0u16; 10];
+                for (v, cell) in row.iter_mut().enumerate().take(6) {
+                    if (d + v) % 2 == 0 {
+                        *cell = 2;
+                    }
+                }
+                row
+            })
+            .collect();
+        let series = series_from(&rows);
+        let base = Weights::uniform(10);
+        let det = ChangeDetector::default();
+        let trusted = detect_trusted(
+            &det,
+            &series,
+            &base,
+            &full_health(30, 10),
+            0.2,
+            TrustConfig::default(),
+            None,
+        )
+        .unwrap();
+        assert!(
+            trusted.trust.quarantined.iter().filter(|&&q| q).count() >= 6,
+            "{:?}",
+            trusted.trust.quarantined
+        );
+        assert!(trusted.degraded);
+        assert!(trusted.gated.events.is_empty(), "{:?}", trusted.gated.events);
+    }
+
+    #[test]
+    fn trust_model_is_generic_over_observation_type() {
+        // The poisoned-gradient seam: observations are sign bits.
+        let base = Weights::uniform(4);
+        let mut m: TrustModel<i8> =
+            TrustModel::new(TrustConfig::default(), &base, None).unwrap();
+        m.observe(&[1i8, 1, 1, 1], |_| true).unwrap();
+        m.observe(&[1i8, 1, 1, -1], |_| true).unwrap();
+        assert!(m.step_excluded()[3], "lone sign flip excluded");
+    }
+}

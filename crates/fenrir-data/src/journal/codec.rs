@@ -267,6 +267,8 @@ pub fn put_health(out: &mut Vec<u8>, h: &CampaignHealth) {
     put_usize(out, h.duplicates);
     put_usize(out, h.decode_failures);
     put_usize(out, h.divergences);
+    put_usize(out, h.spoofed);
+    put_usize(out, h.distrusted);
     put_bool(out, h.budget_exhausted);
     put_bool(out, h.deadline_exceeded);
 }
@@ -284,6 +286,8 @@ pub fn read_health(d: &mut Dec) -> Result<CampaignHealth> {
     h.duplicates = d.usize()?;
     h.decode_failures = d.usize()?;
     h.divergences = d.usize()?;
+    h.spoofed = d.usize()?;
+    h.distrusted = d.usize()?;
     h.budget_exhausted = d.bool()?;
     h.deadline_exceeded = d.bool()?;
     if h.responses > h.targets {

@@ -1,0 +1,264 @@
+//! Canned adversarial measurement scenarios.
+//!
+//! Two end-to-end stories exercising the byzantine-resilience stack
+//! ([`fenrir_netsim::adversary`] → [`crate::fault`] → the campaign
+//! runner → [`fenrir_core::trust`]):
+//!
+//! * [`hypergiant_sybil`] — a Google-like hypergiant whose front-end
+//!   clusters reshuffle weekly ([`FrontendPolicy::Churn`]), measured
+//!   while an attacker floods the vantage population with sybil clones
+//!   of a compromised prober. The weekly reshuffles are the genuine
+//!   routing events; the sybil flock tries to drown them out.
+//! * [`ddos_catchment_flip`] — a three-site anycast service losing one
+//!   site to a DDoS mid-campaign (a catchment flip every honest block
+//!   observes), while the attacker spoofs replies for silent blocks
+//!   claiming the dying site still serves them, trying to mask the flip.
+//!
+//! Both run the same campaign with and without the adversary (fraction
+//! `0.0` disables it), so callers can assert the trust-weighted verdict
+//! matches the clean one — the acceptance bar for ≤25% compromise — or
+//! measure precision/recall as the compromised fraction grows.
+
+use crate::ednscs::{EdnsCsCampaign, FrontendPolicy};
+use crate::fault::FaultPlan;
+use crate::runner::RunnerConfig;
+use crate::verfploeter::Verfploeter;
+use fenrir_core::detect::ChangeDetector;
+use fenrir_core::error::{Error, Result};
+use fenrir_core::series::VectorSeries;
+use fenrir_core::time::Timestamp;
+use fenrir_core::trust::{TrustConfig, TrustedDetection};
+use fenrir_core::weight::Weights;
+use fenrir_netsim::adversary::{AdversaryPlan, ByzantineStrategy, ByzantineVp};
+use fenrir_netsim::anycast::AnycastService;
+use fenrir_netsim::events::Scenario;
+use fenrir_netsim::geo::cities;
+use fenrir_netsim::topology::{Tier, Topology, TopologyBuilder};
+
+/// Outcome of an adversarial scenario: the measured series, and the
+/// trust-weighted verdict over it.
+#[derive(Debug, Clone)]
+pub struct AdversarialRun {
+    /// The (possibly poisoned) catchment series the campaign recorded.
+    pub series: VectorSeries,
+    /// Trust-weighted, coverage- and trust-gated detection over it.
+    pub detection: TrustedDetection,
+}
+
+impl AdversarialRun {
+    /// Observation indices of the events that survived every gate.
+    pub fn event_indices(&self) -> Vec<usize> {
+        self.detection.gated.events.iter().map(|e| e.index).collect()
+    }
+}
+
+fn hypergiant_topology() -> Topology {
+    TopologyBuilder {
+        transit: 3,
+        regional: 6,
+        stubs: 50,
+        blocks_per_stub: 1,
+        seed: 0xAD00,
+        ..Default::default()
+    }
+    .build()
+}
+
+/// A hypergiant with churning front-ends, probed under sybil pressure.
+///
+/// `fraction` of the vantage population is compromised: a small
+/// byzantine core lies constantly about its front-end, and the rest of
+/// the compromised set are sybil clones mirroring the core. With
+/// `fraction == 0.0` the run is clean. Deterministic under
+/// `adversary_seed`.
+pub fn hypergiant_sybil(adversary_seed: u64, fraction: f64) -> Result<AdversarialRun> {
+    if !(0.0..=1.0).contains(&fraction) {
+        return Err(Error::InvalidParameter {
+            name: "fraction",
+            message: format!("must lie in [0, 1], got {fraction}"),
+        });
+    }
+    let topo = hypergiant_topology();
+    // The service shell only names the operator; the Churn policy hashes
+    // blocks straight onto front-end clusters.
+    let svc = AnycastService::new("hypergiant");
+    let campaign = EdnsCsCampaign {
+        hostname: "www.hypergiant.example".into(),
+        policy: FrontendPolicy::Churn {
+            clusters: 24,
+            epoch_secs: 7 * 86_400,
+            era: 9,
+            sticky_frac: 0.15,
+            daily_churn: 0.01,
+        },
+        loss_prob: 0.02,
+        seed: 0x44D5_0001,
+    };
+    // Daily sweeps over three weeks: the weekly reshuffles at days 7 and
+    // 14 are the genuine events.
+    let times: Vec<Timestamp> = (0..21).map(Timestamp::from_days).collect();
+    let faults = if fraction > 0.0 {
+        // A quarter of the compromised set actively lies; the rest are
+        // sybil clones mirroring the first liar.
+        let adversary = AdversaryPlan::new(adversary_seed)
+            .with_byzantine(ByzantineVp {
+                fraction: fraction * 0.25,
+                strategy: ByzantineStrategy::Constant { site: 0 },
+            })
+            .with_sybil(fenrir_netsim::adversary::SybilPopulation {
+                fraction: fraction * 0.75,
+            });
+        Some(FaultPlan::new(adversary_seed ^ 0x5EED).with_adversary(adversary))
+    } else {
+        None
+    };
+    let result = campaign.run_with(
+        &topo,
+        &svc,
+        &Scenario::new(),
+        &times,
+        &RunnerConfig::default(),
+        faults.as_ref(),
+    )?;
+    let weights = Weights::uniform(result.series.networks());
+    let detector = ChangeDetector {
+        window: 6,
+        ..ChangeDetector::default()
+    };
+    let detection =
+        result.detect_trusted(&detector, &weights, 0.2, TrustConfig::default())?;
+    Ok(AdversarialRun {
+        series: result.series,
+        detection,
+    })
+}
+
+/// A DDoS takes out one anycast site mid-campaign while the attacker
+/// spoofs replies for silent blocks, claiming the dying site still
+/// serves them.
+///
+/// `fraction` is the probability any silent cell gets a spoofed reply;
+/// `0.0` disables the adversary. The drain of site 0 across days 5–10
+/// is the genuine catchment flip the spoofer tries to mask.
+/// Deterministic under `adversary_seed`.
+pub fn ddos_catchment_flip(adversary_seed: u64, fraction: f64) -> Result<AdversarialRun> {
+    if !(0.0..=1.0).contains(&fraction) {
+        return Err(Error::InvalidParameter {
+            name: "fraction",
+            message: format!("must lie in [0, 1], got {fraction}"),
+        });
+    }
+    let topo = TopologyBuilder {
+        transit: 3,
+        regional: 6,
+        stubs: 40,
+        blocks_per_stub: 2,
+        seed: 0xAD01,
+        ..Default::default()
+    }
+    .build();
+    let regionals = topo.tier_members(Tier::Regional);
+    let mut svc = AnycastService::new("B-Root");
+    svc.add_site("LAX", regionals[0], cities::LAX);
+    svc.add_site("MIA", regionals[1], cities::MIA);
+    svc.add_site("AMS", regionals[2], cities::AMS);
+    let mut scenario = Scenario::new();
+    scenario.drain(
+        0,
+        Timestamp::from_days(5).as_secs(),
+        Timestamp::from_days(10).as_secs(),
+        "ddos",
+    );
+    let campaign = Verfploeter {
+        mean_response_rate: 0.75,
+        seed: 0x0D05_0001,
+    };
+    let times: Vec<Timestamp> = (0..15).map(Timestamp::from_days).collect();
+    let faults = if fraction > 0.0 {
+        // Spoofed replies always claim site 0 — the one the DDoS kills.
+        let adversary = AdversaryPlan::new(adversary_seed).with_spoofed_replies(
+            fenrir_netsim::adversary::SpoofedReplies { fraction, site: 0 },
+        );
+        Some(FaultPlan::new(adversary_seed ^ 0x5EED).with_adversary(adversary))
+    } else {
+        None
+    };
+    let result = campaign.run_with(
+        &topo,
+        &svc,
+        &scenario,
+        &times,
+        &RunnerConfig::default(),
+        faults.as_ref(),
+    )?;
+    let weights = Weights::uniform(result.series.networks());
+    let detector = ChangeDetector {
+        window: 4,
+        ..ChangeDetector::default()
+    };
+    let detection =
+        result.detect_trusted(&detector, &weights, 0.2, TrustConfig::default())?;
+    Ok(AdversarialRun {
+        series: result.series,
+        detection,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hypergiant_clean_run_sees_the_weekly_reshuffles() {
+        let clean = hypergiant_sybil(1, 0.0).unwrap();
+        let idx = clean.event_indices();
+        assert!(!idx.is_empty(), "weekly reshuffles must be detected");
+        assert!(
+            idx.iter().any(|&i| (6..=8).contains(&i)),
+            "first reshuffle near day 7, got {idx:?}"
+        );
+        assert!(!clean.detection.degraded);
+    }
+
+    #[test]
+    fn hypergiant_sybil_pressure_matches_clean_verdict() {
+        let clean = hypergiant_sybil(7, 0.0).unwrap();
+        let dirty = hypergiant_sybil(7, 0.25).unwrap();
+        assert_eq!(
+            clean.event_indices(),
+            dirty.event_indices(),
+            "25% sybil pressure must not change the verdict"
+        );
+        assert!(!dirty.detection.degraded);
+    }
+
+    #[test]
+    fn ddos_flip_survives_spoofed_masking() {
+        let clean = ddos_catchment_flip(3, 0.0).unwrap();
+        let dirty = ddos_catchment_flip(3, 0.25).unwrap();
+        let flips = clean.event_indices();
+        assert!(
+            flips.iter().any(|&i| (4..=6).contains(&i)),
+            "drain onset near day 5, got {flips:?}"
+        );
+        assert_eq!(flips, dirty.event_indices(), "spoofing must not mask the flip");
+    }
+
+    #[test]
+    fn scenarios_are_deterministic_under_seed() {
+        let a = hypergiant_sybil(11, 0.25).unwrap();
+        let b = hypergiant_sybil(11, 0.25).unwrap();
+        assert_eq!(a.event_indices(), b.event_indices());
+        assert_eq!(a.series.vectors(), b.series.vectors());
+        let c = ddos_catchment_flip(11, 0.25).unwrap();
+        let d = ddos_catchment_flip(11, 0.25).unwrap();
+        assert_eq!(c.series.vectors(), d.series.vectors());
+    }
+
+    #[test]
+    fn fraction_out_of_range_is_rejected() {
+        assert!(hypergiant_sybil(1, 1.5).is_err());
+        assert!(ddos_catchment_flip(1, -0.1).is_err());
+    }
+}
+

@@ -72,6 +72,30 @@ pub struct AtlasResult {
     pub health: Vec<CampaignHealth>,
 }
 
+impl AtlasResult {
+    /// Byzantine-resilient change detection over the campaign: VP host
+    /// ASes act as identities, so sybil flocks sharing an AS split one
+    /// vote between them instead of multiplying it.
+    pub fn detect_trusted(
+        &self,
+        detector: &fenrir_core::detect::ChangeDetector,
+        weights: &fenrir_core::weight::Weights,
+        coverage_floor: f64,
+        cfg: fenrir_core::trust::TrustConfig,
+    ) -> Result<fenrir_core::trust::TrustedDetection> {
+        let identities: Vec<u64> = self.vp_ases.iter().map(|a| a.0 as u64).collect();
+        fenrir_core::trust::detect_trusted(
+            detector,
+            &self.series,
+            weights,
+            &self.health,
+            coverage_floor,
+            cfg,
+            Some(&identities),
+        )
+    }
+}
+
 impl AtlasCampaign {
     /// Place VPs deterministically on stub ASes (round-robin if more VPs
     /// than stubs).
@@ -250,7 +274,12 @@ impl AtlasCampaign {
                 }
             }
             runner.note_divergences(live.drain_divergences());
-            let codes = v.codes().to_vec();
+            let mut codes = v.codes().to_vec();
+            // Adversaries mangle the recorded row, not the wire: resumed
+            // runs replay the mangled codes bit-identically from the sink.
+            runner.tamper_codes(&mut codes, &|lag, n| {
+                sweep.checked_sub(lag).and_then(|s| rows.get(s)).map(|r| r[n])
+            });
             sink.record(runner.checkpoint(codes.clone(), rng.get_word_pos() as u64))?;
             debug_assert_eq!(rows.len(), sweep);
             rows.push(codes);

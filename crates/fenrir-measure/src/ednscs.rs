@@ -88,6 +88,27 @@ pub struct EdnsCsResult {
     pub health: Vec<CampaignHealth>,
 }
 
+impl EdnsCsResult {
+    /// Byzantine-resilient change detection over the campaign.
+    pub fn detect_trusted(
+        &self,
+        detector: &fenrir_core::detect::ChangeDetector,
+        weights: &fenrir_core::weight::Weights,
+        coverage_floor: f64,
+        cfg: fenrir_core::trust::TrustConfig,
+    ) -> Result<fenrir_core::trust::TrustedDetection> {
+        fenrir_core::trust::detect_trusted(
+            detector,
+            &self.series,
+            weights,
+            &self.health,
+            coverage_floor,
+            cfg,
+            None,
+        )
+    }
+}
+
 /// Stable per-block hash (splitmix-style) for deterministic policies.
 fn mix(mut x: u64) -> u64 {
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
@@ -373,7 +394,10 @@ impl EdnsCsCampaign {
                     ProbeOutcome::Unknown => {}
                 }
             }
-            let codes = v.codes().to_vec();
+            let mut codes = v.codes().to_vec();
+            runner.tamper_codes(&mut codes, &|lag, n| {
+                sweep.checked_sub(lag).and_then(|s| rows.get(s)).map(|r| r[n])
+            });
             sink.record(runner.checkpoint(codes.clone(), rng.get_word_pos() as u64))?;
             debug_assert_eq!(rows.len(), sweep);
             rows.push(codes);
@@ -451,7 +475,10 @@ impl EdnsCsCampaign {
                     v.set(n, Catchment::Site(SiteId(echoed)));
                 }
             }
-            let codes = v.codes().to_vec();
+            let mut codes = v.codes().to_vec();
+            runner.tamper_codes(&mut codes, &|lag, n| {
+                sweep.checked_sub(lag).and_then(|s| rows.get(s)).map(|r| r[n])
+            });
             sink.record(runner.checkpoint(codes.clone(), rng.get_word_pos() as u64))?;
             debug_assert_eq!(rows.len(), sweep);
             rows.push(codes);

@@ -25,6 +25,7 @@
 //!   ICMP/DNS payloads, so decode failures exercise the real parsers.
 
 use fenrir_core::error::{Error, Result};
+use fenrir_netsim::adversary::{AdversaryPlan, AdversarySession};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -161,6 +162,11 @@ pub struct FaultPlan {
     /// recomputation, and quarantine the incremental path — all visible
     /// in the sweep's `CampaignHealth` — without aborting the campaign.
     pub divergence_at: Option<usize>,
+    /// Malicious-observation models (byzantine VPs, sybil clones,
+    /// spoofed replies) layered on top of the benign faults. The
+    /// adversary draws from its *own* seed, so enabling it never
+    /// perturbs any benign fault stream.
+    pub adversary: Option<AdversaryPlan>,
 }
 
 impl FaultPlan {
@@ -213,6 +219,13 @@ impl FaultPlan {
     /// no incremental state to poison yet.
     pub fn with_divergence_at(mut self, obs: usize) -> Self {
         self.divergence_at = Some(obs);
+        self
+    }
+
+    /// Layer an adversary (byzantine/sybil/spoofing) over the benign
+    /// faults.
+    pub fn with_adversary(mut self, adversary: AdversaryPlan) -> Self {
+        self.adversary = Some(adversary);
         self
     }
 
@@ -281,6 +294,12 @@ impl FaultPlan {
                 message: "sweep 0 has no incremental state to poison yet".into(),
             });
         }
+        if let Some(a) = &self.adversary {
+            a.validate().map_err(|message| Error::InvalidParameter {
+                name: "adversary",
+                message,
+            })?;
+        }
         Ok(())
     }
 
@@ -337,6 +356,15 @@ impl FaultPlan {
                 }
             }
         }
+        let adversary = match &self.adversary {
+            Some(a) => Some(a.session(targets, observations).map_err(|message| {
+                Error::InvalidParameter {
+                    name: "adversary",
+                    message,
+                }
+            })?),
+            None => None,
+        };
         Ok(FaultSession {
             plan: *self,
             rng,
@@ -344,6 +372,7 @@ impl FaultPlan {
             absent,
             skew_secs,
             targets,
+            adversary,
         })
     }
 }
@@ -361,6 +390,8 @@ pub struct FaultSession {
     /// Per-observation clock skew in seconds.
     skew_secs: Vec<i64>,
     targets: usize,
+    /// Frozen adversary decisions (pure lookups, no live RNG).
+    adversary: Option<AdversarySession>,
 }
 
 impl FaultSession {
@@ -428,6 +459,14 @@ impl FaultSession {
             bytes.truncate(keep);
         }
         true
+    }
+
+    /// The frozen adversary session, if the plan layered one on. All of
+    /// its decisions were drawn at session creation from the adversary's
+    /// own seed, so applying it makes no draws from the fault RNG and
+    /// checkpoint/resume works unchanged.
+    pub fn adversary(&self) -> Option<&AdversarySession> {
+        self.adversary.as_ref()
     }
 
     /// Clock skew for an observation, in seconds (0 when skew is off).

@@ -14,8 +14,11 @@ use crate::fault::FaultPlan;
 use crate::runner::{CampaignRunner, ProbeOutcome, ProbeReply, RunnerConfig};
 use fenrir_core::error::{Error, Result};
 use fenrir_core::health::CampaignHealth;
+use fenrir_core::ids::SiteTable;
 use fenrir_core::latency::LatencyPanel;
+use fenrir_core::series::VectorSeries;
 use fenrir_core::time::Timestamp;
+use fenrir_core::vector::{RoutingVector, CODE_OTHER, CODE_UNKNOWN};
 use fenrir_netsim::anycast::AnycastService;
 use fenrir_netsim::events::Scenario;
 use fenrir_netsim::prefix::BlockId;
@@ -52,6 +55,75 @@ pub struct LatencyResult {
     pub panels: Vec<LatencyPanel>,
     /// Per-observation campaign health, aligned with the panels.
     pub health: Vec<CampaignHealth>,
+}
+
+/// Quantize RTT samples into fixed-width latency bands so the catchment
+/// trust machinery applies to RTT panels: band `k` covers
+/// `[k*band_ms, (k+1)*band_ms)` ms, missing samples stay unknown. A
+/// byzantine prober shifting RTTs by more than one band width becomes a
+/// band "catchment" change and is scored like any other disagreement.
+pub fn latency_band_codes(samples: &[Option<f64>], band_ms: f64) -> Vec<u16> {
+    samples
+        .iter()
+        .map(|s| match s {
+            Some(rtt) => ((rtt.max(0.0) / band_ms).floor() as u16).min(CODE_OTHER - 1),
+            None => CODE_UNKNOWN,
+        })
+        .collect()
+}
+
+impl LatencyResult {
+    /// The panels re-expressed as a latency-band [`VectorSeries`] (see
+    /// [`latency_band_codes`]).
+    pub fn band_series(&self, band_ms: f64) -> Result<VectorSeries> {
+        if band_ms <= 0.0 || !band_ms.is_finite() {
+            return Err(Error::InvalidParameter {
+                name: "band_ms",
+                message: format!("must be positive and finite, got {band_ms}"),
+            });
+        }
+        let networks = self.panels.first().map(|p| p.len()).unwrap_or(0);
+        let rows: Vec<Vec<u16>> = self
+            .panels
+            .iter()
+            .map(|p| latency_band_codes(p.samples(), band_ms))
+            .collect();
+        let bands = rows
+            .iter()
+            .flatten()
+            .filter(|&&c| c != CODE_UNKNOWN)
+            .map(|&c| c as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let sites = SiteTable::from_names((0..bands).map(|k| format!("band-{k}")));
+        let mut series = VectorSeries::new(sites, networks);
+        for (p, codes) in self.panels.iter().zip(rows) {
+            series.push(RoutingVector::from_codes(p.time(), codes))?;
+        }
+        Ok(series)
+    }
+
+    /// Byzantine-resilient change detection over the RTT panels, after
+    /// quantizing them into `band_ms`-wide latency bands.
+    pub fn detect_trusted(
+        &self,
+        band_ms: f64,
+        detector: &fenrir_core::detect::ChangeDetector,
+        weights: &fenrir_core::weight::Weights,
+        coverage_floor: f64,
+        cfg: fenrir_core::trust::TrustConfig,
+    ) -> Result<fenrir_core::trust::TrustedDetection> {
+        let series = self.band_series(band_ms)?;
+        fenrir_core::trust::detect_trusted(
+            detector,
+            &series,
+            weights,
+            &self.health,
+            coverage_floor,
+            cfg,
+            None,
+        )
+    }
 }
 
 impl LatencyProber {
@@ -177,6 +249,12 @@ impl LatencyProber {
                 }
             }
             runner.note_divergences(live.drain_divergences());
+            runner.tamper_latency(&mut samples, &|lag, n| {
+                sweep
+                    .checked_sub(lag)
+                    .and_then(|s| rows.get(s))
+                    .map(|r| r[n])
+            });
             sink.record(runner.checkpoint(samples.clone(), rng.get_word_pos() as u64))?;
             debug_assert_eq!(rows.len(), sweep);
             rows.push(samples);

@@ -30,6 +30,7 @@
 //! ([`fenrir_netsim::IncrementalRoutes`]); debug builds assert the result
 //! is bit-for-bit identical to a from-scratch computation.
 
+pub mod adversarial;
 pub mod atlas;
 pub mod checkpoint;
 pub mod ednscs;

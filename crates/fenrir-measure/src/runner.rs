@@ -409,6 +409,39 @@ impl CampaignRunner {
         }
     }
 
+    /// Apply the fault plan's adversary (if any) to the sweep's
+    /// assembled catchment-code row, in place. Must be called *after*
+    /// the probe loop (so honest health accounting is already done) and
+    /// *before* the row is recorded. `history(lag, target)` must return
+    /// the code the campaign *recorded* `lag` sweeps ago (`None` before
+    /// the campaign start) so replay-stale lies survive checkpoint
+    /// resume bit-identically. Tampered cells are counted in the
+    /// sweep's [`CampaignHealth::spoofed`]; they never count as
+    /// responses, so coverage stays honest.
+    pub fn tamper_codes(&mut self, row: &mut [u16], history: &dyn Fn(usize, usize) -> Option<u16>) {
+        let obs = self.obs;
+        let Some(adv) = self.session.as_ref().and_then(|s| s.adversary()) else {
+            return;
+        };
+        let t = adv.apply_code_row(obs, row, history);
+        self.health.last_mut().expect("sweep open").spoofed += t.lied + t.mirrored + t.spoofed;
+    }
+
+    /// Latency analogue of [`tamper_codes`](Self::tamper_codes): apply
+    /// the adversary to a row of RTT samples.
+    pub fn tamper_latency(
+        &mut self,
+        samples: &mut [Option<f64>],
+        history: &dyn Fn(usize, usize) -> Option<Option<f64>>,
+    ) {
+        let obs = self.obs;
+        let Some(adv) = self.session.as_ref().and_then(|s| s.adversary()) else {
+            return;
+        };
+        let t = adv.apply_latency_row(obs, samples, history);
+        self.health.last_mut().expect("sweep open").spoofed += t.lied + t.mirrored + t.spoofed;
+    }
+
     /// Finish the campaign: apply clock skew to the sweeps' nominal
     /// times, restore strict time order, and return
     /// `(order, health)` where `order[k] = (original_sweep_index,
@@ -576,6 +609,69 @@ mod tests {
         }
         assert_eq!(health[5].quarantined, 0);
         assert_eq!(health[7].quarantined, 2);
+    }
+
+    #[test]
+    fn quarantined_target_that_recovers_is_readmitted() {
+        let cfg = RunnerConfig {
+            quarantine_after: Some(2),
+            quarantine_sweeps: 2,
+            ..RunnerConfig::default()
+        };
+        // Target 0 is dark for sweeps 0-3 (quarantined for 2-3), then
+        // comes back for good; target 1 is always healthy.
+        let mut runner = CampaignRunner::new(&cfg, None, 2, 10).unwrap();
+        let mut rows = Vec::new();
+        for (sweep, t) in times(10).into_iter().enumerate() {
+            runner.begin_sweep(t);
+            let mut row = Vec::new();
+            for n in 0..2 {
+                let outcome = runner.probe(n, |_| {
+                    if n == 0 && sweep < 4 {
+                        ProbeReply::NoResponse
+                    } else {
+                        ProbeReply::Response(7u16)
+                    }
+                });
+                row.push(outcome.into_option());
+            }
+            rows.push(row);
+        }
+        let (_, health) = runner.finish();
+        // Probation window: fails 0-1, sits out 2-3.
+        assert_eq!(health[2].quarantined, 1);
+        assert_eq!(health[3].quarantined, 1);
+        // Re-admitted at sweep 4: probed again, answers, and stays in.
+        for (sweep, h) in health.iter().enumerate().skip(4) {
+            assert_eq!(h.quarantined, 0, "sweep {sweep} must probe the recovered VP");
+            assert_eq!(h.responses, 2, "sweep {sweep}");
+            assert_eq!(rows[sweep][0], Some(7));
+        }
+    }
+
+    #[test]
+    fn persistently_failing_target_stays_out() {
+        let cfg = RunnerConfig {
+            quarantine_after: Some(2),
+            quarantine_sweeps: 3,
+            ..RunnerConfig::default()
+        };
+        // Target 1 of 3 never answers: it must cycle fail -> quarantine
+        // -> brief re-probe -> quarantine again, indefinitely, and never
+        // look healthy.
+        let (rows, health) = run_campaign(&cfg, None, 3, 12, 1);
+        // Fails 0-1, out 2-4, fails 5-6, out 7-9, fails 10-11.
+        for sweep in [2, 3, 4, 7, 8, 9] {
+            assert_eq!(health[sweep].quarantined, 2, "sweep {sweep}");
+        }
+        for sweep in [0, 1, 5, 6, 10, 11] {
+            assert_eq!(health[sweep].quarantined, 0, "sweep {sweep}");
+        }
+        for (sweep, row) in rows.iter().enumerate() {
+            assert_eq!(row[1], None, "sweep {sweep} must never classify it");
+            assert_eq!(row[2], None);
+            assert_eq!(row[0], Some(0));
+        }
     }
 
     #[test]

@@ -247,7 +247,17 @@ impl TracerouteCampaign {
                 }
             }
             runner.note_divergences(tables.drain_divergences());
-            let row: Vec<Vec<u16>> = vectors.iter().map(|v| v.codes().to_vec()).collect();
+            let mut row: Vec<Vec<u16>> = vectors.iter().map(|v| v.codes().to_vec()).collect();
+            // A compromised destination lies at every hop depth; replayed
+            // lies draw from the same hop's recorded history.
+            for (k, hop_row) in row.iter_mut().enumerate() {
+                runner.tamper_codes(hop_row, &|lag, n| {
+                    sweep
+                        .checked_sub(lag)
+                        .and_then(|s| rows.get(s))
+                        .map(|r| r[k][n])
+                });
+            }
             sink.record(runner.checkpoint(row.clone(), rng.get_word_pos() as u64))?;
             debug_assert_eq!(rows.len(), sweep);
             rows.push(row);
@@ -308,6 +318,27 @@ impl TracerouteResult {
     /// The series at hop `k` (1-based), as the paper's Figure 2 uses hop 3.
     pub fn hop(&self, k: usize) -> &VectorSeries {
         &self.hop_series[k - 1]
+    }
+
+    /// Byzantine-resilient change detection at hop `k` (1-based), sharing
+    /// the campaign's per-sweep health across all hop depths.
+    pub fn detect_trusted_at_hop(
+        &self,
+        k: usize,
+        detector: &fenrir_core::detect::ChangeDetector,
+        weights: &fenrir_core::weight::Weights,
+        coverage_floor: f64,
+        cfg: fenrir_core::trust::TrustConfig,
+    ) -> Result<fenrir_core::trust::TrustedDetection> {
+        fenrir_core::trust::detect_trusted(
+            detector,
+            self.hop(k),
+            weights,
+            &self.health,
+            coverage_floor,
+            cfg,
+            None,
+        )
     }
 }
 

@@ -60,6 +60,29 @@ pub struct SweepResult {
     pub health: Vec<CampaignHealth>,
 }
 
+impl SweepResult {
+    /// Byzantine-resilient change detection over the campaign, feeding
+    /// the sweep health into the coverage gate and cross-block trust
+    /// scores into the similarity weights.
+    pub fn detect_trusted(
+        &self,
+        detector: &fenrir_core::detect::ChangeDetector,
+        weights: &fenrir_core::weight::Weights,
+        coverage_floor: f64,
+        cfg: fenrir_core::trust::TrustConfig,
+    ) -> Result<fenrir_core::trust::TrustedDetection> {
+        fenrir_core::trust::detect_trusted(
+            detector,
+            &self.series,
+            weights,
+            &self.health,
+            coverage_floor,
+            cfg,
+            None,
+        )
+    }
+}
+
 impl Verfploeter {
     /// Run the campaign: one sweep per entry of `times`, against the
     /// service/routing state the scenario defines at that instant.
@@ -207,7 +230,13 @@ impl Verfploeter {
                 }
             }
             runner.note_divergences(live.drain_divergences());
-            let codes = v.codes().to_vec();
+            let mut codes = v.codes().to_vec();
+            // Adversaries mangle the row after honest accounting and
+            // before it is recorded: resumed runs replay the mangled
+            // row from the sink, bit-identical.
+            runner.tamper_codes(&mut codes, &|lag, n| {
+                sweep.checked_sub(lag).and_then(|s| rows.get(s)).map(|r| r[n])
+            });
             sink.record(runner.checkpoint(codes.clone(), rng.get_word_pos() as u64))?;
             debug_assert_eq!(rows.len(), sweep);
             rows.push(codes);

@@ -1,0 +1,200 @@
+//! Property coverage for fault-plan composition (deterministic
+//! expansions — the proptest façade in this workspace compiles its
+//! macros away, so the properties are pinned as explicit cases).
+//!
+//! * Composition of *independent* fault kinds is order-insensitive:
+//!   the builder produces the same plan, and the same campaign, no
+//!   matter which order the kinds are layered in.
+//! * A full fault stack with adversaries layered on top is
+//!   bit-deterministic under a fixed seed.
+//! * The adversary draws from its own RNG: enabling one never perturbs
+//!   any benign fault stream, and an inert adversary (every fraction
+//!   zero) leaves the campaign untouched.
+
+use fenrir_core::time::Timestamp;
+use fenrir_core::vector::CODE_UNKNOWN;
+use fenrir_measure::fault::{
+    BurstyLoss, ClockSkew, FaultPlan, ResponseTiming, VpChurn, WireCorruption,
+};
+use fenrir_measure::runner::RunnerConfig;
+use fenrir_measure::verfploeter::{SweepResult, Verfploeter};
+use fenrir_netsim::adversary::{
+    AdversaryPlan, ByzantineStrategy, ByzantineVp, SpoofedReplies, SybilPopulation,
+};
+use fenrir_netsim::anycast::AnycastService;
+use fenrir_netsim::events::Scenario;
+use fenrir_netsim::geo::cities;
+use fenrir_netsim::topology::{Tier, Topology, TopologyBuilder};
+
+fn setup() -> (Topology, AnycastService) {
+    let topo = TopologyBuilder {
+        transit: 3,
+        regional: 6,
+        stubs: 30,
+        blocks_per_stub: 2,
+        seed: 11,
+        ..Default::default()
+    }
+    .build();
+    let regionals = topo.tier_members(Tier::Regional);
+    let mut svc = AnycastService::new("B-Root");
+    svc.add_site("LAX", regionals[0], cities::LAX);
+    svc.add_site("MIA", regionals[1], cities::MIA);
+    (topo, svc)
+}
+
+fn run(faults: Option<&FaultPlan>) -> SweepResult {
+    let (topo, svc) = setup();
+    let times: Vec<Timestamp> = (0..8).map(Timestamp::from_days).collect();
+    Verfploeter {
+        mean_response_rate: 0.8,
+        seed: 0x5EED_0001,
+    }
+    .run_with(
+        &topo,
+        &svc,
+        &Scenario::new(),
+        &times,
+        &RunnerConfig::default(),
+        faults,
+    )
+    .unwrap()
+}
+
+fn adversary(seed: u64) -> AdversaryPlan {
+    AdversaryPlan::new(seed)
+        .with_byzantine(ByzantineVp {
+            fraction: 0.2,
+            strategy: ByzantineStrategy::ReplayStale { lag: 2 },
+        })
+        .with_sybil(SybilPopulation { fraction: 0.1 })
+        .with_spoofed_replies(SpoofedReplies {
+            fraction: 0.15,
+            site: 1,
+        })
+}
+
+fn assert_identical(a: &SweepResult, b: &SweepResult) {
+    assert_eq!(a.series.vectors(), b.series.vectors());
+    assert_eq!(a.health, b.health);
+}
+
+#[test]
+fn composition_is_order_insensitive_for_independent_kinds() {
+    // Six independent fault kinds plus an adversary, layered in three
+    // different orders: the plans compare equal and the campaigns are
+    // bit-identical.
+    let seed = 0xC0FE;
+    let loss = BurstyLoss::default();
+    let churn = VpChurn::default();
+    let timing = ResponseTiming {
+        dup_prob: 0.05,
+        delay_prob: 0.05,
+    };
+    let skew = ClockSkew { max_skew_secs: 600 };
+    let corruption = WireCorruption::default();
+    let adv = adversary(7);
+
+    let forward = FaultPlan::new(seed)
+        .with_bursty_loss(loss)
+        .with_vp_churn(churn)
+        .with_response_timing(timing)
+        .with_clock_skew(skew)
+        .with_wire_corruption(corruption)
+        .with_adversary(adv);
+    let reversed = FaultPlan::new(seed)
+        .with_adversary(adv)
+        .with_wire_corruption(corruption)
+        .with_clock_skew(skew)
+        .with_response_timing(timing)
+        .with_vp_churn(churn)
+        .with_bursty_loss(loss);
+    let shuffled = FaultPlan::new(seed)
+        .with_clock_skew(skew)
+        .with_adversary(adv)
+        .with_bursty_loss(loss)
+        .with_wire_corruption(corruption)
+        .with_vp_churn(churn)
+        .with_response_timing(timing);
+
+    assert_eq!(forward, reversed);
+    assert_eq!(forward, shuffled);
+    let a = run(Some(&forward));
+    let b = run(Some(&reversed));
+    let c = run(Some(&shuffled));
+    assert_identical(&a, &b);
+    assert_identical(&a, &c);
+}
+
+#[test]
+fn full_stack_with_adversaries_is_bit_deterministic() {
+    let plan = FaultPlan::new(0xFA17)
+        .with_bursty_loss(BurstyLoss::default())
+        .with_vp_churn(VpChurn::default())
+        .with_clock_skew(ClockSkew { max_skew_secs: 900 })
+        .with_adversary(adversary(0xBAD));
+    let a = run(Some(&plan));
+    let b = run(Some(&plan));
+    assert_identical(&a, &b);
+    assert!(
+        a.health.iter().any(|h| h.spoofed > 0),
+        "the adversary must actually fire"
+    );
+}
+
+#[test]
+fn inert_adversary_leaves_the_campaign_untouched() {
+    // Every adversary fraction at zero: the adversary session exists but
+    // mangles nothing, and the campaign equals a run without it.
+    let benign = FaultPlan::new(0xFA17).with_bursty_loss(BurstyLoss::default());
+    let inert = benign.with_adversary(
+        AdversaryPlan::new(3)
+            .with_byzantine(ByzantineVp {
+                fraction: 0.0,
+                strategy: ByzantineStrategy::Invert,
+            })
+            .with_sybil(SybilPopulation { fraction: 0.0 })
+            .with_spoofed_replies(SpoofedReplies {
+                fraction: 0.0,
+                site: 0,
+            }),
+    );
+    let a = run(Some(&benign));
+    let b = run(Some(&inert));
+    assert_identical(&a, &b);
+}
+
+#[test]
+fn adversary_never_perturbs_the_benign_fault_streams() {
+    // Same benign plan, with and without a spoofing adversary: wherever
+    // the two runs differ, the benign run must have been unknown — the
+    // adversary only filled gaps, it never changed which probes were
+    // lost, churned, or corrupted.
+    let benign = FaultPlan::new(0xFA17)
+        .with_bursty_loss(BurstyLoss::default())
+        .with_vp_churn(VpChurn::default());
+    let spoofing = benign.with_adversary(AdversaryPlan::new(9).with_spoofed_replies(
+        SpoofedReplies {
+            fraction: 0.3,
+            site: 1,
+        },
+    ));
+    let a = run(Some(&benign));
+    let b = run(Some(&spoofing));
+    let mut filled = 0;
+    for (va, vb) in a.series.vectors().iter().zip(b.series.vectors()) {
+        for (&ca, &cb) in va.codes().iter().zip(vb.codes()) {
+            if ca != cb {
+                assert_eq!(ca, CODE_UNKNOWN, "adversary changed a benign cell");
+                filled += 1;
+            }
+        }
+    }
+    assert!(filled > 0, "the spoofer must have filled some gaps");
+    // Honest response accounting is identical: spoofed fills are never
+    // counted as responses.
+    for (ha, hb) in a.health.iter().zip(&b.health) {
+        assert_eq!(ha.responses, hb.responses);
+        assert_eq!(ha.lost, hb.lost);
+    }
+}

@@ -1,0 +1,620 @@
+//! Seed-deterministic adversary models for measurement substrates.
+//!
+//! The paper's detection pipeline assumes vantage points report what they
+//! saw. Real measurement populations do not: VPs get compromised and lie
+//! about their catchment, sybil operators register many identities that
+//! parrot one real vantage point, and off-path attackers inject responses
+//! attributed to VPs that never probed. This module models those three
+//! adversaries so the analysis side (`fenrir-core`'s trust weighting) can
+//! be exercised under poisoning:
+//!
+//! * [`ByzantineVp`] — a seeded fraction of VPs rewrites its reports per a
+//!   [`ByzantineStrategy`] (invert, constant, replay-stale, targeted-flip).
+//! * [`SybilPopulation`] — a seeded fraction of VPs becomes clones that
+//!   mirror one controlled VP's (possibly already mangled) view.
+//! * [`SpoofedReplies`] — observations a VP never made are filled in with
+//!   an attacker-chosen catchment.
+//!
+//! An [`AdversaryPlan`] composes freely with `fenrir-measure`'s fault
+//! plans: all per-target and per-cell decisions are precomputed from the
+//! plan's own `ChaCha8Rng` at session creation, so applying an adversary
+//! never perturbs any other random stream and resumed campaigns replay
+//! bit-identically. Rows are mangled *after* the probe loop, which keeps
+//! health accounting honest: spoofed cells never count as real responses.
+//!
+//! This crate cannot depend on `fenrir-core`, so the catchment storage
+//! codes are mirrored here; they are pinned by a test in `fenrir-measure`.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Storage code for an unobserved cell (mirrors
+/// `fenrir_core::vector::CODE_UNKNOWN`).
+pub const CODE_UNKNOWN: u16 = u16::MAX;
+/// Lowest sentinel code; site codes are strictly below this (mirrors
+/// `fenrir_core::vector::CODE_OTHER`).
+pub const CODE_OTHER: u16 = u16::MAX - 2;
+
+/// How a compromised vantage point lies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ByzantineStrategy {
+    /// Report a *different* site than observed: site `s` becomes
+    /// `(s + 1) mod S`, where `S` is the highest site code seen in the
+    /// honest row plus one. Consistent over time, so it corrupts catchment
+    /// composition without fabricating transitions.
+    Invert,
+    /// Always report this site, whether or not the VP observed anything.
+    Constant {
+        /// The claimed site code (must be below [`CODE_OTHER`]).
+        site: u16,
+    },
+    /// Report the VP's own view from `lag` observations ago — a stale
+    /// replay that resists transitions and echoes them late.
+    ReplayStale {
+        /// How many observations behind the replay runs (at least 1).
+        lag: usize,
+    },
+    /// Report honestly until observation `at`, then claim site `to`
+    /// forever — a coordinated attempt to fabricate a mode transition.
+    TargetedFlip {
+        /// First observation of the lie.
+        at: usize,
+        /// The claimed site code (must be below [`CODE_OTHER`]).
+        to: u16,
+    },
+}
+
+/// A seeded fraction of compromised, lying vantage points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ByzantineVp {
+    /// Fraction of targets that are compromised.
+    pub fraction: f64,
+    /// How they lie.
+    pub strategy: ByzantineStrategy,
+}
+
+/// A sybil population: a seeded fraction of targets are fake identities
+/// that mirror one controlled VP's reports (after any byzantine mangling),
+/// multiplying the weight of a single view.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SybilPopulation {
+    /// Fraction of targets (excluding the controller) that are clones.
+    pub fraction: f64,
+}
+
+/// Responses attributed to VPs that never probed: cells still unknown
+/// after byzantine/sybil mangling are filled with `site` with this
+/// per-cell probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpoofedReplies {
+    /// Per-(target, observation) probability an absent cell is spoofed.
+    pub fraction: f64,
+    /// The catchment the spoofed replies claim (below [`CODE_OTHER`]).
+    pub site: u16,
+}
+
+/// A composable description of who is lying and how.
+///
+/// All dimensions are optional; every decision is drawn from the plan's
+/// own seed, in a fixed dimension order (byzantine, sybil, spoof), so the
+/// builder-call order never changes the outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AdversaryPlan {
+    /// Seed for the adversary RNG (separate from fault and campaign
+    /// seeds).
+    pub seed: u64,
+    /// Compromised lying VPs.
+    pub byzantine: Option<ByzantineVp>,
+    /// Clones of a controlled VP.
+    pub sybil: Option<SybilPopulation>,
+    /// Injected responses for absent VPs.
+    pub spoofed: Option<SpoofedReplies>,
+}
+
+impl AdversaryPlan {
+    /// A plan with the given seed and no adversaries enabled.
+    pub fn new(seed: u64) -> Self {
+        AdversaryPlan {
+            seed,
+            ..AdversaryPlan::default()
+        }
+    }
+
+    /// Enable byzantine lying VPs.
+    pub fn with_byzantine(mut self, b: ByzantineVp) -> Self {
+        self.byzantine = Some(b);
+        self
+    }
+
+    /// Enable a sybil clone population.
+    pub fn with_sybil(mut self, s: SybilPopulation) -> Self {
+        self.sybil = Some(s);
+        self
+    }
+
+    /// Enable spoofed replies for absent VPs.
+    pub fn with_spoofed_replies(mut self, s: SpoofedReplies) -> Self {
+        self.spoofed = Some(s);
+        self
+    }
+
+    /// Whether any adversary dimension is enabled.
+    pub fn is_active(&self) -> bool {
+        self.byzantine.is_some() || self.sybil.is_some() || self.spoofed.is_some()
+    }
+
+    /// Check every fraction and site code for validity. Errors are plain
+    /// strings because this crate has no shared error type; callers map
+    /// them into their own.
+    pub fn validate(&self) -> Result<(), String> {
+        fn frac(name: &str, f: f64) -> Result<(), String> {
+            if !(0.0..=1.0).contains(&f) {
+                return Err(format!("{name} must lie in [0, 1], got {f}"));
+            }
+            Ok(())
+        }
+        fn site(name: &str, s: u16) -> Result<(), String> {
+            if s >= CODE_OTHER {
+                return Err(format!(
+                    "{name} {s} collides with the sentinel code range (must be < {CODE_OTHER})"
+                ));
+            }
+            Ok(())
+        }
+        if let Some(b) = &self.byzantine {
+            frac("byzantine.fraction", b.fraction)?;
+            match b.strategy {
+                ByzantineStrategy::Invert => {}
+                ByzantineStrategy::Constant { site: s } => site("byzantine constant site", s)?,
+                ByzantineStrategy::ReplayStale { lag } => {
+                    if lag == 0 {
+                        return Err("replay-stale lag must be at least 1".into());
+                    }
+                }
+                ByzantineStrategy::TargetedFlip { to, .. } => site("byzantine flip site", to)?,
+            }
+        }
+        if let Some(s) = &self.sybil {
+            frac("sybil.fraction", s.fraction)?;
+        }
+        if let Some(s) = &self.spoofed {
+            frac("spoofed.fraction", s.fraction)?;
+            site("spoofed site", s.site)?;
+        }
+        Ok(())
+    }
+
+    /// Freeze the plan for a campaign of `targets` targets over
+    /// `observations` sweeps. Every per-target and per-cell decision is
+    /// drawn here, in fixed dimension order; applying the session makes
+    /// no further random draws, so it checkpoints for free.
+    pub fn session(&self, targets: usize, observations: usize) -> Result<AdversarySession, String> {
+        self.validate()?;
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let lying: Vec<bool> = match &self.byzantine {
+            Some(b) => (0..targets).map(|_| rng.gen_bool(b.fraction)).collect(),
+            None => vec![false; targets],
+        };
+        let sybil_of = match &self.sybil {
+            Some(s) if targets > 0 => {
+                // The controlled VP: the first compromised one when there
+                // is a byzantine layer to amplify, otherwise target 0.
+                let controller = lying.iter().position(|&l| l).unwrap_or(0);
+                (0..targets)
+                    .map(|v| {
+                        if v != controller && rng.gen_bool(s.fraction) {
+                            Some(controller)
+                        } else {
+                            None
+                        }
+                    })
+                    .collect()
+            }
+            _ => vec![None; targets],
+        };
+        let spoof_cell: Vec<bool> = match &self.spoofed {
+            Some(s) => (0..targets * observations)
+                .map(|_| rng.gen_bool(s.fraction))
+                .collect(),
+            None => Vec::new(),
+        };
+        Ok(AdversarySession {
+            plan: *self,
+            lying,
+            sybil_of,
+            spoof_cell,
+            targets,
+        })
+    }
+}
+
+/// Per-row mangling statistics, for health accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RowTamper {
+    /// Cells rewritten by a byzantine strategy.
+    pub lied: usize,
+    /// Cells overwritten by sybil mirroring.
+    pub mirrored: usize,
+    /// Absent cells filled with spoofed responses.
+    pub spoofed: usize,
+}
+
+/// An [`AdversaryPlan`] frozen for one campaign run. Application is a
+/// pure function of `(plan, target, observation, honest value, history)`.
+#[derive(Debug, Clone)]
+pub struct AdversarySession {
+    plan: AdversaryPlan,
+    lying: Vec<bool>,
+    sybil_of: Vec<Option<usize>>,
+    /// `spoof_cell[obs * targets + target]`; empty when spoofing is off.
+    spoof_cell: Vec<bool>,
+    targets: usize,
+}
+
+impl AdversarySession {
+    /// The plan this session was frozen from.
+    pub fn plan(&self) -> &AdversaryPlan {
+        &self.plan
+    }
+
+    /// Whether target `v` is a compromised lying VP.
+    pub fn is_lying(&self, v: usize) -> bool {
+        self.lying.get(v).copied().unwrap_or(false)
+    }
+
+    /// The controlled VP that target `v` clones, if it is a sybil.
+    pub fn sybil_of(&self, v: usize) -> Option<usize> {
+        self.sybil_of.get(v).copied().flatten()
+    }
+
+    /// Whether the cell `(target, obs)` would be spoofed if absent.
+    pub fn spoofs(&self, v: usize, obs: usize) -> bool {
+        self.spoof_cell
+            .get(obs * self.targets + v)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Number of targets carrying any adversary role.
+    pub fn compromised_count(&self) -> usize {
+        (0..self.targets)
+            .filter(|&v| self.is_lying(v) || self.sybil_of(v).is_some())
+            .count()
+    }
+
+    /// Mangle one observation row of catchment codes in place, in fixed
+    /// order: byzantine rewrites, then sybil mirroring, then spoofed fills
+    /// of still-unknown cells. `history(lag, target)` must return the
+    /// code the campaign *recorded* `lag` observations before `obs`
+    /// (`None` before the campaign start), so replayed lies are
+    /// self-consistent across resume.
+    pub fn apply_code_row(
+        &self,
+        obs: usize,
+        row: &mut [u16],
+        history: &dyn Fn(usize, usize) -> Option<u16>,
+    ) -> RowTamper {
+        let mut t = RowTamper::default();
+        if let Some(b) = &self.plan.byzantine {
+            // Highest site code in the honest row, for the invert wrap.
+            let nsites = row
+                .iter()
+                .filter(|&&c| c < CODE_OTHER)
+                .map(|&c| c + 1)
+                .max()
+                .unwrap_or(0);
+            for (v, cell) in row.iter_mut().enumerate() {
+                if !self.lying[v] {
+                    continue;
+                }
+                let truth = *cell;
+                let lie = match b.strategy {
+                    ByzantineStrategy::Invert => {
+                        if truth < CODE_OTHER && nsites >= 2 {
+                            Some((truth + 1) % nsites)
+                        } else {
+                            None
+                        }
+                    }
+                    // A compromised VP answers whether or not the probe
+                    // reached it.
+                    ByzantineStrategy::Constant { site } => Some(site),
+                    ByzantineStrategy::ReplayStale { lag } => {
+                        history(lag, v).filter(|&c| c != CODE_UNKNOWN)
+                    }
+                    ByzantineStrategy::TargetedFlip { at, to } => {
+                        if obs >= at {
+                            Some(to)
+                        } else {
+                            None
+                        }
+                    }
+                };
+                if let Some(code) = lie {
+                    if code != truth {
+                        t.lied += 1;
+                    }
+                    *cell = code;
+                }
+            }
+        }
+        for v in 0..row.len().min(self.targets) {
+            if let Some(c) = self.sybil_of[v] {
+                if c < row.len() && row[v] != row[c] {
+                    t.mirrored += 1;
+                }
+                if c < row.len() {
+                    row[v] = row[c];
+                }
+            }
+        }
+        if let Some(s) = &self.plan.spoofed {
+            for (v, cell) in row.iter_mut().enumerate() {
+                if *cell == CODE_UNKNOWN && self.spoofs(v, obs) {
+                    *cell = s.site;
+                    t.spoofed += 1;
+                }
+            }
+        }
+        t
+    }
+
+    /// Latency analogue of [`apply_code_row`](Self::apply_code_row):
+    /// mangle one row of RTT samples (milliseconds; `None` = no
+    /// measurement). Strategies translate as: invert reflects the RTT
+    /// around 150 ms (fast looks slow and vice versa), constant/targeted
+    /// report their site code as a millisecond value, replay-stale replays
+    /// the VP's recorded sample, sybils mirror the controller, and spoofed
+    /// replies fill missing samples with the claimed site code as
+    /// milliseconds.
+    pub fn apply_latency_row(
+        &self,
+        obs: usize,
+        samples: &mut [Option<f64>],
+        history: &dyn Fn(usize, usize) -> Option<Option<f64>>,
+    ) -> RowTamper {
+        let mut t = RowTamper::default();
+        if let Some(b) = &self.plan.byzantine {
+            for (v, cell) in samples.iter_mut().enumerate() {
+                if !self.lying[v] {
+                    continue;
+                }
+                let lie = match b.strategy {
+                    ByzantineStrategy::Invert => cell.map(|x| (150.0 - x).max(0.5)),
+                    ByzantineStrategy::Constant { site } => Some(f64::from(site)),
+                    ByzantineStrategy::ReplayStale { lag } => history(lag, v).flatten(),
+                    ByzantineStrategy::TargetedFlip { at, to } => {
+                        if obs >= at {
+                            Some(f64::from(to))
+                        } else {
+                            None
+                        }
+                    }
+                };
+                if let Some(ms) = lie {
+                    if *cell != Some(ms) {
+                        t.lied += 1;
+                    }
+                    *cell = Some(ms);
+                }
+            }
+        }
+        for v in 0..samples.len().min(self.targets) {
+            if let Some(c) = self.sybil_of[v] {
+                if c < samples.len() && samples[v] != samples[c] {
+                    t.mirrored += 1;
+                }
+                if c < samples.len() {
+                    samples[v] = samples[c];
+                }
+            }
+        }
+        if let Some(s) = &self.plan.spoofed {
+            for (v, cell) in samples.iter_mut().enumerate() {
+                if cell.is_none() && self.spoofs(v, obs) {
+                    *cell = Some(f64::from(s.site));
+                    t.spoofed += 1;
+                }
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn byz(fraction: f64, strategy: ByzantineStrategy) -> AdversaryPlan {
+        AdversaryPlan::new(0xADBE).with_byzantine(ByzantineVp { fraction, strategy })
+    }
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let s = AdversaryPlan::new(1).session(8, 4).unwrap();
+        let mut row = vec![0u16, 1, CODE_UNKNOWN, 2, 0, 1, CODE_UNKNOWN, 2];
+        let before = row.clone();
+        let t = s.apply_code_row(0, &mut row, &|_, _| None);
+        assert_eq!(row, before);
+        assert_eq!(t, RowTamper::default());
+        assert_eq!(s.compromised_count(), 0);
+    }
+
+    #[test]
+    fn sessions_are_seed_deterministic() {
+        let plan = byz(0.3, ByzantineStrategy::Invert)
+            .with_sybil(SybilPopulation { fraction: 0.2 })
+            .with_spoofed_replies(SpoofedReplies {
+                fraction: 0.5,
+                site: 1,
+            });
+        let a = plan.session(40, 10).unwrap();
+        let b = plan.session(40, 10).unwrap();
+        for v in 0..40 {
+            assert_eq!(a.is_lying(v), b.is_lying(v));
+            assert_eq!(a.sybil_of(v), b.sybil_of(v));
+            for o in 0..10 {
+                assert_eq!(a.spoofs(v, o), b.spoofs(v, o));
+            }
+        }
+        let mut ra = vec![0u16; 40];
+        let mut rb = vec![0u16; 40];
+        ra[7] = CODE_UNKNOWN;
+        rb[7] = CODE_UNKNOWN;
+        assert_eq!(
+            a.apply_code_row(3, &mut ra, &|_, _| Some(2)),
+            b.apply_code_row(3, &mut rb, &|_, _| Some(2))
+        );
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn invert_rewrites_sites_and_leaves_sentinels() {
+        let s = byz(1.0, ByzantineStrategy::Invert).session(4, 1).unwrap();
+        let mut row = vec![0u16, 2, CODE_UNKNOWN, CODE_OTHER];
+        s.apply_code_row(0, &mut row, &|_, _| None);
+        // Three site codes {0, 2} => nsites = 3: 0 -> 1, 2 -> 0.
+        assert_eq!(row, vec![1, 0, CODE_UNKNOWN, CODE_OTHER]);
+    }
+
+    #[test]
+    fn constant_fabricates_even_for_absent_vps() {
+        let s = byz(1.0, ByzantineStrategy::Constant { site: 3 })
+            .session(3, 1)
+            .unwrap();
+        let mut row = vec![0u16, CODE_UNKNOWN, 1];
+        let t = s.apply_code_row(0, &mut row, &|_, _| None);
+        assert_eq!(row, vec![3, 3, 3]);
+        assert_eq!(t.lied, 3);
+    }
+
+    #[test]
+    fn replay_stale_reports_recorded_history() {
+        let s = byz(1.0, ByzantineStrategy::ReplayStale { lag: 2 })
+            .session(2, 5)
+            .unwrap();
+        let recorded = [vec![5u16, 6], vec![7u16, 8]];
+        let mut row = vec![0u16, 1];
+        s.apply_code_row(2, &mut row, &|lag, v| {
+            recorded.get(2usize.checked_sub(lag)?).map(|r| r[v])
+        });
+        assert_eq!(row, vec![5, 6]);
+        // Before enough history exists, the liar reports the truth.
+        let mut early = vec![0u16, 1];
+        s.apply_code_row(0, &mut early, &|_, _| None);
+        assert_eq!(early, vec![0, 1]);
+    }
+
+    #[test]
+    fn targeted_flip_starts_at_the_scheduled_observation() {
+        let s = byz(1.0, ByzantineStrategy::TargetedFlip { at: 3, to: 9 })
+            .session(2, 6)
+            .unwrap();
+        let mut before = vec![0u16, 1];
+        s.apply_code_row(2, &mut before, &|_, _| None);
+        assert_eq!(before, vec![0, 1]);
+        let mut after = vec![0u16, 1];
+        let t = s.apply_code_row(3, &mut after, &|_, _| None);
+        assert_eq!(after, vec![9, 9]);
+        assert_eq!(t.lied, 2);
+    }
+
+    #[test]
+    fn sybils_mirror_the_controller_after_byzantine_mangling() {
+        let plan = byz(1.0, ByzantineStrategy::Constant { site: 4 })
+            .with_sybil(SybilPopulation { fraction: 1.0 });
+        let s = plan.session(5, 1).unwrap();
+        let controller = (0..5).find(|&v| s.is_lying(v)).unwrap();
+        let mut row = vec![0u16, 1, 2, 3, CODE_UNKNOWN];
+        s.apply_code_row(0, &mut row, &|_, _| None);
+        assert!(row.iter().all(|&c| c == 4), "{row:?}");
+        for v in 0..5 {
+            if v != controller {
+                assert_eq!(s.sybil_of(v), Some(controller));
+            }
+        }
+    }
+
+    #[test]
+    fn spoofing_fills_only_absent_cells() {
+        let plan = AdversaryPlan::new(3).with_spoofed_replies(SpoofedReplies {
+            fraction: 1.0,
+            site: 7,
+        });
+        let s = plan.session(4, 2).unwrap();
+        let mut row = vec![0u16, CODE_UNKNOWN, 1, CODE_UNKNOWN];
+        let t = s.apply_code_row(1, &mut row, &|_, _| None);
+        assert_eq!(row, vec![0, 7, 1, 7]);
+        assert_eq!(t.spoofed, 2);
+        assert_eq!(t.lied, 0);
+    }
+
+    #[test]
+    fn latency_strategies_translate() {
+        let s = byz(1.0, ByzantineStrategy::Invert).session(2, 1).unwrap();
+        let mut samples = vec![Some(20.0), None];
+        s.apply_latency_row(0, &mut samples, &|_, _| None);
+        assert_eq!(samples, vec![Some(130.0), None]);
+
+        let s = byz(1.0, ByzantineStrategy::Constant { site: 5 })
+            .session(2, 1)
+            .unwrap();
+        let mut samples = vec![Some(20.0), None];
+        s.apply_latency_row(0, &mut samples, &|_, _| None);
+        assert_eq!(samples, vec![Some(5.0), Some(5.0)]);
+    }
+
+    #[test]
+    fn invalid_plans_are_rejected() {
+        assert!(byz(1.5, ByzantineStrategy::Invert).validate().is_err());
+        assert!(byz(0.1, ByzantineStrategy::Constant { site: CODE_OTHER })
+            .validate()
+            .is_err());
+        assert!(byz(0.1, ByzantineStrategy::ReplayStale { lag: 0 })
+            .validate()
+            .is_err());
+        assert!(AdversaryPlan::new(0)
+            .with_sybil(SybilPopulation { fraction: -0.1 })
+            .validate()
+            .is_err());
+        assert!(AdversaryPlan::new(0)
+            .with_spoofed_replies(SpoofedReplies {
+                fraction: 0.5,
+                site: u16::MAX,
+            })
+            .validate()
+            .is_err());
+        assert!(byz(0.25, ByzantineStrategy::Invert).validate().is_ok());
+    }
+
+    #[test]
+    fn builder_order_never_changes_the_session() {
+        let b = ByzantineVp {
+            fraction: 0.3,
+            strategy: ByzantineStrategy::Invert,
+        };
+        let sy = SybilPopulation { fraction: 0.2 };
+        let sp = SpoofedReplies {
+            fraction: 0.4,
+            site: 2,
+        };
+        let p1 = AdversaryPlan::new(9)
+            .with_byzantine(b)
+            .with_sybil(sy)
+            .with_spoofed_replies(sp);
+        let p2 = AdversaryPlan::new(9)
+            .with_spoofed_replies(sp)
+            .with_sybil(sy)
+            .with_byzantine(b);
+        assert_eq!(p1, p2);
+        let s1 = p1.session(30, 8).unwrap();
+        let s2 = p2.session(30, 8).unwrap();
+        for v in 0..30 {
+            assert_eq!(s1.is_lying(v), s2.is_lying(v));
+            assert_eq!(s1.sybil_of(v), s2.sybil_of(v));
+            for o in 0..8 {
+                assert_eq!(s1.spoofs(v, o), s2.spoofs(v, o));
+            }
+        }
+    }
+}

@@ -25,6 +25,7 @@
 //! Determinism: every generator takes an explicit seed; two runs with the
 //! same seed produce identical topologies, routes, and events.
 
+pub mod adversary;
 pub mod anycast;
 pub mod events;
 pub mod geo;
@@ -34,6 +35,10 @@ pub mod routing;
 pub mod steering;
 pub mod topology;
 
+pub use adversary::{
+    AdversaryPlan, AdversarySession, ByzantineStrategy, ByzantineVp, RowTamper, SpoofedReplies,
+    SybilPopulation,
+};
 pub use anycast::{AnycastService, SiteDef};
 pub use events::{EventKind, Scenario, ScenarioEvent};
 pub use geo::GeoPoint;

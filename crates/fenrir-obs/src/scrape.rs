@@ -15,7 +15,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::registry::Registry;
 use crate::trace::TraceRing;
@@ -45,8 +45,9 @@ impl ScrapeServer {
                     break;
                 }
                 let Ok(conn) = conn else { continue };
-                // One tiny request per connection; a stalled scraper
-                // costs at most the read timeout, not a thread forever.
+                // One tiny request per connection; a stalled or
+                // byte-trickling scraper costs at most the request
+                // deadline, not a thread forever.
                 let _ = serve_one(conn, &registry, traces.as_deref());
             }
         });
@@ -83,15 +84,65 @@ impl Drop for ScrapeServer {
     }
 }
 
+/// Overall budget for a client to deliver its request line. A slowloris
+/// client — connected but silent, or trickling one byte per timeout —
+/// is cut off here instead of pinning the scrape thread.
+const REQUEST_DEADLINE: Duration = Duration::from_secs(2);
+
+/// Read until the end of the HTTP request line (`\n`), under
+/// [`REQUEST_DEADLINE`]. Returns the line without its terminator.
+fn read_request_line(conn: &mut TcpStream) -> std::io::Result<String> {
+    let deadline = Instant::now() + REQUEST_DEADLINE;
+    let mut buf: Vec<u8> = Vec::with_capacity(256);
+    let mut chunk = [0u8; 256];
+    loop {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "request line never completed",
+            ));
+        }
+        conn.set_read_timeout(Some(remaining.min(Duration::from_millis(500))))?;
+        match conn.read(&mut chunk) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed before the request line",
+                ))
+            }
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+                    let line = &buf[..pos];
+                    let line = line.strip_suffix(b"\r").unwrap_or(line);
+                    return Ok(String::from_utf8_lossy(line).into_owned());
+                }
+                if buf.len() > 4096 {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "request line too long",
+                    ));
+                }
+            }
+            // Read timeout expired with the deadline still open: loop
+            // and shrink the next timeout to whatever budget is left.
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 fn serve_one(
     mut conn: TcpStream,
     registry: &Registry,
     traces: Option<&TraceRing>,
 ) -> std::io::Result<()> {
-    conn.set_read_timeout(Some(Duration::from_millis(500)))?;
-    let mut buf = [0u8; 1024];
-    let n = conn.read(&mut buf)?;
-    let request = String::from_utf8_lossy(&buf[..n]);
+    // A client that never drains the response must not pin us either.
+    conn.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let request = read_request_line(&mut conn)?;
     let path = request
         .split_whitespace()
         .nth(1)
@@ -161,6 +212,50 @@ mod tests {
         assert!(fetch(addr, "/traces").unwrap().is_empty(), "drained");
 
         assert!(fetch(addr, "/nope").is_err(), "unknown path is a 404");
+        server.shutdown();
+    }
+
+    #[test]
+    fn slowloris_client_cannot_pin_the_scrape_thread() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("fenrir_demo_total", &[]).add(1);
+        let server = ScrapeServer::start("127.0.0.1:0", Arc::clone(&registry), None).unwrap();
+        let addr = server.addr();
+
+        // Connect and send a partial request line, then go silent — the
+        // classic slowloris. The server must cut it off at the request
+        // deadline and keep serving honest scrapers.
+        let mut slow = TcpStream::connect(addr).unwrap();
+        slow.write_all(b"GET /met").unwrap();
+        let started = Instant::now();
+        let metrics = fetch(addr, "/metrics").unwrap();
+        assert!(metrics.contains("fenrir_demo_total 1"));
+        assert!(
+            started.elapsed() < Duration::from_secs(4),
+            "honest scrape stalled {:?} behind a slowloris connection",
+            started.elapsed()
+        );
+        drop(slow);
+        server.shutdown();
+    }
+
+    #[test]
+    fn split_request_line_is_reassembled() {
+        // A request line arriving in several packets is legitimate; only
+        // one that never *completes* is slowloris. The reader must
+        // reassemble across reads instead of parsing the first chunk.
+        let registry = Arc::new(Registry::new());
+        registry.counter("fenrir_demo_total", &[]).add(2);
+        let server = ScrapeServer::start("127.0.0.1:0", Arc::clone(&registry), None).unwrap();
+        let mut conn = TcpStream::connect(server.addr()).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        conn.write_all(b"GET /metr").unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        conn.write_all(b"ics HTTP/1.0\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        conn.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.0 200"), "{raw}");
+        assert!(raw.contains("fenrir_demo_total 2"));
         server.shutdown();
     }
 }

@@ -217,8 +217,11 @@ impl ReplicaSet {
         }
         let deadline = Instant::now() + timeout;
         // A fresh connection under drain never gets a slot, so this
-        // poller observes inflight without inflating it.
+        // poller observes inflight without inflating it. Its reads are
+        // bounded by the caller's timeout: a stalled stats reply must
+        // surface as a typed error, not hang the failover.
         let mut client = Client::connect(self.replicas[i].addr)?;
+        client.set_read_timeout(Some(timeout))?;
         loop {
             match client.request(&Request::Stats)? {
                 Reply::Stats(s) if s.inflight == 0 => break,

@@ -57,6 +57,12 @@ use crate::store::ModeStore;
 /// How often an idle connection wakes to poll the stop flag.
 const TICK: Duration = Duration::from_millis(100);
 
+/// How long a worker keeps answering a slot-holder's queries after
+/// shutdown began. Pipelined queries already on the wire are drained
+/// well within this; a peer that keeps *sending* cannot hold the
+/// worker past it.
+const STOP_DRAIN_GRACE: Duration = Duration::from_secs(1);
+
 /// Exposition label value per request kind, indexed by
 /// `kind - KIND_ASSIGN`.
 const KIND_NAMES: [&str; 9] = [
@@ -580,6 +586,7 @@ fn serve_connection(worker: usize, conn: TcpStream, shared: &Shared) {
     let mut writer = BufWriter::new(write_half);
     let mut slot = try_acquire(shared);
     let mut idle_since = Instant::now();
+    let mut stopping_since: Option<Instant> = None;
     loop {
         match read_frame(&mut reader) {
             FrameEvent::Frame { kind, payload } => {
@@ -613,6 +620,24 @@ fn serve_connection(worker: usize, conn: TcpStream, shared: &Shared) {
                 if reader.buffer().is_empty() {
                     if writer.flush().is_err() {
                         return;
+                    }
+                    // A peer that streams frames faster than the read
+                    // tick never lets the Tick arm run, so the stop
+                    // flag must also be honored here or shutdown hangs
+                    // on a pinned worker. A shed-only connection has no
+                    // admitted work to drain — cut it off at once; a
+                    // slot-holder gets a bounded grace so a pipelined
+                    // burst already on the wire is answered, not
+                    // dropped.
+                    if shared.stop.load(Ordering::SeqCst) {
+                        if slot.is_none() {
+                            return;
+                        }
+                        match stopping_since {
+                            None => stopping_since = Some(Instant::now()),
+                            Some(t) if t.elapsed() >= STOP_DRAIN_GRACE => return,
+                            Some(_) => {}
+                        }
                     }
                     // Draining: slot-holders close once their burst is
                     // answered, releasing inflight toward zero.

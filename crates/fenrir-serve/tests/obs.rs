@@ -491,3 +491,45 @@ fn drain_and_stop_reaches_zero_inflight_before_stopping() {
     set.shutdown();
     let _ = std::fs::remove_file(&path);
 }
+
+#[test]
+fn shutdown_is_not_starved_by_a_streaming_shed_connection() {
+    let path = scratch("shedstream");
+    write_journal(&path);
+    let set = ReplicaSet::start(&path, 1, StoreOptions::default(), obs_config()).unwrap();
+
+    // Drain first, then connect: the connection is admitted slotless,
+    // so every query is answered with an `Overloaded` shed — which the
+    // client sees as a normal reply. A peer like this streams frames
+    // faster than the server's read tick, so shutdown must be able to
+    // cut it off at a burst boundary rather than wait for a read
+    // timeout that never comes.
+    match set.drain(0).unwrap() {
+        Reply::Admin { .. } => {}
+        other => panic!("drain refused: {other:?}"),
+    }
+    let addr = set.addrs()[0];
+    let pump = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        loop {
+            match client.request(&Request::Mode { t: 0 }) {
+                // Keep hammering through sheds; only a closed
+                // connection stops this peer.
+                Ok(_) => std::thread::sleep(Duration::from_millis(1)),
+                Err(_) => return,
+            }
+        }
+    });
+    // Let the pump establish its cadence before pulling the plug.
+    std::thread::sleep(Duration::from_millis(100));
+
+    let started = std::time::Instant::now();
+    set.shutdown();
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "shutdown starved by a streaming connection for {:?}",
+        started.elapsed()
+    );
+    pump.join().unwrap();
+    let _ = std::fs::remove_file(&path);
+}
