@@ -18,13 +18,13 @@
 //! a bare Φ, so the floor binds on what an operator pays end to end).
 
 use fenrir_core::detect::ChangeDetector;
+use fenrir_core::health::CampaignHealth;
 use fenrir_core::ids::{SiteId, SiteTable};
 use fenrir_core::series::VectorSeries;
 use fenrir_core::time::Timestamp;
 use fenrir_core::trust::TrustConfig;
 use fenrir_core::vector::{Catchment, RoutingVector};
 use fenrir_core::weight::Weights;
-use fenrir_core::health::CampaignHealth;
 use fenrir_measure::fault::FaultPlan;
 use fenrir_measure::runner::RunnerConfig;
 use fenrir_measure::verfploeter::Verfploeter;
@@ -133,9 +133,10 @@ fn quality_at(fraction: f64) -> Quality {
         strategies()
             .into_iter()
             .map(|strategy| {
-                campaign_events(Some(AdversaryPlan::new(ADVERSARY_SEED).with_byzantine(
-                    ByzantineVp { fraction, strategy },
-                )))
+                campaign_events(Some(
+                    AdversaryPlan::new(ADVERSARY_SEED)
+                        .with_byzantine(ByzantineVp { fraction, strategy }),
+                ))
             })
             .collect()
     };
@@ -213,11 +214,7 @@ fn time_ns<R>(reps: u32, mut f: impl FnMut() -> R) -> f64 {
 /// one block each: CPU frequency drift and allocator warm-up then hit
 /// both sides of the ratio equally rather than biasing whichever block
 /// ran second.
-fn time_pair_ns<R, S>(
-    reps: u32,
-    mut a: impl FnMut() -> R,
-    mut b: impl FnMut() -> S,
-) -> (f64, f64) {
+fn time_pair_ns<R, S>(reps: u32, mut a: impl FnMut() -> R, mut b: impl FnMut() -> S) -> (f64, f64) {
     black_box(a());
     black_box(b());
     let mut best_a = f64::INFINITY;

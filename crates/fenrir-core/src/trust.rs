@@ -714,7 +714,10 @@ impl<T: Copy + Eq + Hash> TrustModel<T> {
 
     /// Number of currently-quarantined VPs.
     pub fn quarantined_count(&self) -> usize {
-        self.status.iter().filter(|&&s| s == Status::Quarantined).count()
+        self.status
+            .iter()
+            .filter(|&&s| s == Status::Quarantined)
+            .count()
     }
 
     /// Which VPs are excluded from the current step's Φ (quarantined or
@@ -1164,7 +1167,16 @@ mod tests {
         // not an echo, and VP 9 stays in Φ.
         let rows: Vec<Vec<u16>> = (0..9)
             .map(|d| {
-                let mut row = vec![if d < 3 { 0u16 } else if d < 6 { 1 } else { 2 }; 10];
+                let mut row = vec![
+                    if d < 3 {
+                        0u16
+                    } else if d < 6 {
+                        1
+                    } else {
+                        2
+                    };
+                    10
+                ];
                 if d < 6 {
                     row[9] = 0;
                 }
@@ -1271,8 +1283,7 @@ mod tests {
         let rows = vec![vec![0u16; 6], vec![2, 2, 2, 2, 0, 0]];
         let base = Weights::uniform(6);
         let ids = [7u64, 7, 7, 7, 1, 2];
-        let mut m: TrustModel =
-            TrustModel::new(TrustConfig::default(), &base, Some(&ids)).unwrap();
+        let mut m: TrustModel = TrustModel::new(TrustConfig::default(), &base, Some(&ids)).unwrap();
         for row in &rows {
             m.observe(row, |c| c != CODE_UNKNOWN).unwrap();
         }
@@ -1283,12 +1294,14 @@ mod tests {
         assert!(!m.step_excluded()[4] && !m.step_excluded()[5]);
 
         // Without caps the bloc out-votes the honest pair.
-        let mut naive: TrustModel =
-            TrustModel::new(TrustConfig::default(), &base, None).unwrap();
+        let mut naive: TrustModel = TrustModel::new(TrustConfig::default(), &base, None).unwrap();
         for row in &rows {
             naive.observe(row, |c| c != CODE_UNKNOWN).unwrap();
         }
-        assert!(!naive.step_excluded()[0], "uncapped bloc corroborates itself");
+        assert!(
+            !naive.step_excluded()[0],
+            "uncapped bloc corroborates itself"
+        );
     }
 
     #[test]
@@ -1459,15 +1472,18 @@ mod tests {
             trusted.trust.quarantined
         );
         assert!(trusted.degraded);
-        assert!(trusted.gated.events.is_empty(), "{:?}", trusted.gated.events);
+        assert!(
+            trusted.gated.events.is_empty(),
+            "{:?}",
+            trusted.gated.events
+        );
     }
 
     #[test]
     fn trust_model_is_generic_over_observation_type() {
         // The poisoned-gradient seam: observations are sign bits.
         let base = Weights::uniform(4);
-        let mut m: TrustModel<i8> =
-            TrustModel::new(TrustConfig::default(), &base, None).unwrap();
+        let mut m: TrustModel<i8> = TrustModel::new(TrustConfig::default(), &base, None).unwrap();
         m.observe(&[1i8, 1, 1, 1], |_| true).unwrap();
         m.observe(&[1i8, 1, 1, -1], |_| true).unwrap();
         assert!(m.step_excluded()[3], "lone sign flip excluded");

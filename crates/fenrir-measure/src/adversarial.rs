@@ -48,7 +48,12 @@ pub struct AdversarialRun {
 impl AdversarialRun {
     /// Observation indices of the events that survived every gate.
     pub fn event_indices(&self) -> Vec<usize> {
-        self.detection.gated.events.iter().map(|e| e.index).collect()
+        self.detection
+            .gated
+            .events
+            .iter()
+            .map(|e| e.index)
+            .collect()
     }
 }
 
@@ -125,8 +130,7 @@ pub fn hypergiant_sybil(adversary_seed: u64, fraction: f64) -> Result<Adversaria
         window: 6,
         ..ChangeDetector::default()
     };
-    let detection =
-        result.detect_trusted(&detector, &weights, 0.2, TrustConfig::default())?;
+    let detection = result.detect_trusted(&detector, &weights, 0.2, TrustConfig::default())?;
     Ok(AdversarialRun {
         series: result.series,
         detection,
@@ -176,9 +180,8 @@ pub fn ddos_catchment_flip(adversary_seed: u64, fraction: f64) -> Result<Adversa
     let times: Vec<Timestamp> = (0..15).map(Timestamp::from_days).collect();
     let faults = if fraction > 0.0 {
         // Spoofed replies always claim site 0 — the one the DDoS kills.
-        let adversary = AdversaryPlan::new(adversary_seed).with_spoofed_replies(
-            fenrir_netsim::adversary::SpoofedReplies { fraction, site: 0 },
-        );
+        let adversary = AdversaryPlan::new(adversary_seed)
+            .with_spoofed_replies(fenrir_netsim::adversary::SpoofedReplies { fraction, site: 0 });
         Some(FaultPlan::new(adversary_seed ^ 0x5EED).with_adversary(adversary))
     } else {
         None
@@ -196,8 +199,7 @@ pub fn ddos_catchment_flip(adversary_seed: u64, fraction: f64) -> Result<Adversa
         window: 4,
         ..ChangeDetector::default()
     };
-    let detection =
-        result.detect_trusted(&detector, &weights, 0.2, TrustConfig::default())?;
+    let detection = result.detect_trusted(&detector, &weights, 0.2, TrustConfig::default())?;
     Ok(AdversarialRun {
         series: result.series,
         detection,
@@ -241,7 +243,11 @@ mod tests {
             flips.iter().any(|&i| (4..=6).contains(&i)),
             "drain onset near day 5, got {flips:?}"
         );
-        assert_eq!(flips, dirty.event_indices(), "spoofing must not mask the flip");
+        assert_eq!(
+            flips,
+            dirty.event_indices(),
+            "spoofing must not mask the flip"
+        );
     }
 
     #[test]
@@ -261,4 +267,3 @@ mod tests {
         assert!(ddos_catchment_flip(1, -0.1).is_err());
     }
 }
-

@@ -278,7 +278,10 @@ impl AtlasCampaign {
             // Adversaries mangle the recorded row, not the wire: resumed
             // runs replay the mangled codes bit-identically from the sink.
             runner.tamper_codes(&mut codes, &|lag, n| {
-                sweep.checked_sub(lag).and_then(|s| rows.get(s)).map(|r| r[n])
+                sweep
+                    .checked_sub(lag)
+                    .and_then(|s| rows.get(s))
+                    .map(|r| r[n])
             });
             sink.record(runner.checkpoint(codes.clone(), rng.get_word_pos() as u64))?;
             debug_assert_eq!(rows.len(), sweep);

@@ -396,7 +396,10 @@ impl EdnsCsCampaign {
             }
             let mut codes = v.codes().to_vec();
             runner.tamper_codes(&mut codes, &|lag, n| {
-                sweep.checked_sub(lag).and_then(|s| rows.get(s)).map(|r| r[n])
+                sweep
+                    .checked_sub(lag)
+                    .and_then(|s| rows.get(s))
+                    .map(|r| r[n])
             });
             sink.record(runner.checkpoint(codes.clone(), rng.get_word_pos() as u64))?;
             debug_assert_eq!(rows.len(), sweep);
@@ -477,7 +480,10 @@ impl EdnsCsCampaign {
             }
             let mut codes = v.codes().to_vec();
             runner.tamper_codes(&mut codes, &|lag, n| {
-                sweep.checked_sub(lag).and_then(|s| rows.get(s)).map(|r| r[n])
+                sweep
+                    .checked_sub(lag)
+                    .and_then(|s| rows.get(s))
+                    .map(|r| r[n])
             });
             sink.record(runner.checkpoint(codes.clone(), rng.get_word_pos() as u64))?;
             debug_assert_eq!(rows.len(), sweep);

@@ -39,6 +39,7 @@ pub mod latency;
 pub(crate) mod routes;
 pub mod routeviews;
 pub mod runner;
+pub mod submit;
 pub mod traceroute;
 pub mod verfploeter;
 
@@ -46,3 +47,4 @@ pub use checkpoint::{CampaignSink, MemorySink, NullSink, ResumeState, SweepCheck
 pub use fault::FaultPlan;
 pub use fenrir_core::health::CampaignHealth;
 pub use runner::RunnerConfig;
+pub use submit::SubmitRow;

@@ -643,7 +643,10 @@ mod tests {
         assert_eq!(health[3].quarantined, 1);
         // Re-admitted at sweep 4: probed again, answers, and stays in.
         for (sweep, h) in health.iter().enumerate().skip(4) {
-            assert_eq!(h.quarantined, 0, "sweep {sweep} must probe the recovered VP");
+            assert_eq!(
+                h.quarantined, 0,
+                "sweep {sweep} must probe the recovered VP"
+            );
             assert_eq!(h.responses, 2, "sweep {sweep}");
             assert_eq!(rows[sweep][0], Some(7));
         }

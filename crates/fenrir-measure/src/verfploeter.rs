@@ -235,7 +235,10 @@ impl Verfploeter {
             // before it is recorded: resumed runs replay the mangled
             // row from the sink, bit-identical.
             runner.tamper_codes(&mut codes, &|lag, n| {
-                sweep.checked_sub(lag).and_then(|s| rows.get(s)).map(|r| r[n])
+                sweep
+                    .checked_sub(lag)
+                    .and_then(|s| rows.get(s))
+                    .map(|r| r[n])
             });
             sink.record(runner.checkpoint(codes.clone(), rng.get_word_pos() as u64))?;
             debug_assert_eq!(rows.len(), sweep);

@@ -173,12 +173,11 @@ fn adversary_never_perturbs_the_benign_fault_streams() {
     let benign = FaultPlan::new(0xFA17)
         .with_bursty_loss(BurstyLoss::default())
         .with_vp_churn(VpChurn::default());
-    let spoofing = benign.with_adversary(AdversaryPlan::new(9).with_spoofed_replies(
-        SpoofedReplies {
+    let spoofing =
+        benign.with_adversary(AdversaryPlan::new(9).with_spoofed_replies(SpoofedReplies {
             fraction: 0.3,
             site: 1,
-        },
-    ));
+        }));
     let a = run(Some(&benign));
     let b = run(Some(&spoofing));
     let mut filled = 0;

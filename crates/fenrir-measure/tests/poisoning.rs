@@ -12,10 +12,10 @@
 //!   event it does report is one the clean run reported too.
 
 use fenrir_core::detect::ChangeDetector;
+use fenrir_core::time::Timestamp;
 use fenrir_core::trust::{TrustConfig, TrustedDetection};
 use fenrir_core::vector::CODE_UNKNOWN;
 use fenrir_core::weight::Weights;
-use fenrir_core::time::Timestamp;
 use fenrir_measure::fault::FaultPlan;
 use fenrir_measure::runner::RunnerConfig;
 use fenrir_measure::verfploeter::{SweepResult, Verfploeter};
@@ -155,8 +155,10 @@ fn spoofed_replies_cannot_mask_the_flip() {
     // At 70% response rate the spoofer has real gaps to fill; it claims
     // the draining site still serves them.
     let (_, clean) = run(None, 0.7);
-    let plan = AdversaryPlan::new(adversary_seed())
-        .with_spoofed_replies(SpoofedReplies { fraction: 0.25, site: 0 });
+    let plan = AdversaryPlan::new(adversary_seed()).with_spoofed_replies(SpoofedReplies {
+        fraction: 0.25,
+        site: 0,
+    });
     let (dirty_result, dirty) = run(Some(plan), 0.7);
     assert_eq!(events(&clean), events(&dirty));
     // The spoofed fills are visible in health, and never counted as
@@ -231,7 +233,10 @@ fn poisoned_campaign_is_bit_deterministic_under_the_pinned_seed() {
             strategy: ByzantineStrategy::Invert,
         })
         .with_sybil(SybilPopulation { fraction: 0.10 })
-        .with_spoofed_replies(SpoofedReplies { fraction: 0.10, site: 2 });
+        .with_spoofed_replies(SpoofedReplies {
+            fraction: 0.10,
+            site: 2,
+        });
     let (a, da) = run(Some(plan), 0.9);
     let (b, db) = run(Some(plan), 0.9);
     assert_eq!(a.series.vectors(), b.series.vectors());
@@ -261,7 +266,12 @@ fn tampered_cells_are_attributed_in_health() {
     // Lies replace or fabricate values, they never erase them: the
     // poisoned series has no more unknown cells than the clean one.
     let (clean_result, _) = run(None, 1.0);
-    for (vc, vd) in clean_result.series.vectors().iter().zip(result.series.vectors()) {
+    for (vc, vd) in clean_result
+        .series
+        .vectors()
+        .iter()
+        .zip(result.series.vectors())
+    {
         let unknowns = |v: &fenrir_core::vector::RoutingVector| {
             v.codes().iter().filter(|&&c| c == CODE_UNKNOWN).count()
         };

@@ -140,6 +140,16 @@ impl Registry {
         self.register_fn(name, labels, Instrument::GaugeFn(Box::new(f)));
     }
 
+    /// Adopt an externally-created histogram under `(name, labels)` so
+    /// a type that owns its latency distribution (and records into it
+    /// whether or not a registry exists) can export it without routing
+    /// every observation through the registry. Re-registering the same
+    /// series replaces the instrument — a restarted owner re-binds its
+    /// fresh histogram.
+    pub fn adopt_histogram(&self, name: &str, labels: &[(&str, &str)], h: Histogram) {
+        self.register_fn(name, labels, Instrument::Histogram(h));
+    }
+
     fn register_fn(&self, name: &str, labels: &[(&str, &str)], instrument: Instrument) {
         let mut series = self.series.lock().expect("registry poisoned");
         let labels = own_labels(labels);
@@ -330,6 +340,22 @@ mod tests {
         assert!(text.contains("fenrir_lat_us_bucket{kind=\"mode\",le=\"+Inf\"} 3\n"));
         assert!(text.contains("fenrir_lat_us_sum{kind=\"mode\"} 5055\n"));
         assert!(text.contains("fenrir_lat_us_count{kind=\"mode\"} 3\n"));
+    }
+
+    #[test]
+    fn adopted_histograms_render_like_native_ones() {
+        let r = Registry::new();
+        let h = Histogram::new(&[10]);
+        h.observe(3);
+        r.adopt_histogram("fenrir_adopted_us", &[], h.clone());
+        let text = r.render();
+        assert!(text.contains("# TYPE fenrir_adopted_us histogram"));
+        assert!(text.contains("fenrir_adopted_us_count 1\n"));
+        h.observe(500);
+        assert!(
+            r.render().contains("fenrir_adopted_us_count 2\n"),
+            "owner-side observations show on the next render"
+        );
     }
 
     #[test]

@@ -57,6 +57,18 @@
 //!   the fleet deliberately: drain / undrain a replica, force a
 //!   reload, rotate the journal, resize the cache or shed limit live.
 //!
+//! Streaming ingest (protocol v4):
+//!
+//! * [`protocol::Request::Submit`] carries one observation per frame
+//!   with a client-assigned sequence number; the server hands it to a
+//!   [`server::StreamHandler`] (the write path, implemented by
+//!   `fenrir-stream`) and acks with explicit `Accepted` / `Duplicate` /
+//!   `Gap` outcomes only after the observation is durable;
+//! * [`protocol::Request::Subscribe`] registers the connection for
+//!   pushed [`protocol::StreamEvent`]s — mode transitions as they are
+//!   discovered — over a bounded per-subscriber queue that sheds with
+//!   an explicit `Lagged` marker and says goodbye with `Closed`.
+//!
 //! Replicas can also serve **without any local journal**: a store
 //! opened with [`store::ModeStore::open_tiered`] (or a set started
 //! with [`replica::ReplicaSet::start_tiered`]) hydrates its snapshot
@@ -81,8 +93,8 @@ pub mod store;
 pub use breaker::{BreakerConfig, BreakerState, BreakerTransitions, CircuitBreaker};
 pub use chaos::{ChaosPlan, FaultyListener};
 pub use client::Client;
-pub use protocol::{AdminCmd, Reply, Request};
+pub use protocol::{AdminCmd, Reply, Request, StreamEvent, SubmitOutcome};
 pub use replica::ReplicaSet;
 pub use resilient::{ResilientClient, ResilientConfig};
-pub use server::{ServeConfig, Server};
+pub use server::{ServeConfig, Server, StreamHandler};
 pub use store::{ModeStore, Snapshot, StoreOptions};

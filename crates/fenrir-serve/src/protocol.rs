@@ -20,14 +20,17 @@
 //! `len` counts payload bytes only. `sum` is the internet checksum of
 //! `len_le ‖ ver ‖ kind ‖ payload` — a frame whose header or body was
 //! corrupted in flight fails verification before any payload decoding
-//! runs. Request kinds occupy `0x01..=0x09`; each reply kind is its
-//! request kind with the high bit set, plus two out-of-band replies:
-//! [`KIND_ERROR`] and [`KIND_OVERLOADED`].
+//! runs. Request kinds occupy `0x01..=0x0B`; each reply kind is its
+//! request kind with the high bit set, plus three out-of-band replies:
+//! [`KIND_ERROR`], [`KIND_OVERLOADED`], and the server-pushed
+//! [`KIND_EVENT`] delivered to subscribed connections without a
+//! matching request.
 
 use std::io::{ErrorKind, Read};
 use std::time::Instant;
 
 use fenrir_core::error::{Error, Result};
+use fenrir_core::health::CampaignHealth;
 use fenrir_data::journal::codec::{self, Dec};
 use fenrir_wire::checksum::internet_checksum;
 
@@ -45,7 +48,14 @@ use fenrir_wire::checksum::internet_checksum;
 ///   (token-authenticated drain / undrain / force-reload / rotate /
 ///   live-reconfig commands), plus [`ERR_UNAUTHORIZED`]. Same
 ///   fail-closed rule: a v2 peer rejects v3 frames at the version byte.
-pub const PROTOCOL_VERSION: u8 = 3;
+/// * **4** — streaming ingest: `Submit` carries one observation per
+///   frame with a client-assigned sequence number and is acked
+///   at-least-once with explicit `Duplicate`/`Gap` outcomes only after
+///   the observation is durable; `Subscribe`/`Event` push mode
+///   transitions to registered connections, with `Lagged` markers
+///   instead of silent loss and a final `Closed` on teardown. Same
+///   fail-closed rule: a v3 peer rejects v4 frames at the version byte.
+pub const PROTOCOL_VERSION: u8 = 4;
 /// Bytes in the fixed frame header.
 pub const FRAME_HEADER_LEN: usize = 8;
 /// Upper bound on payload size — caps what a hostile length field can
@@ -71,6 +81,10 @@ pub const KIND_STATS: u8 = 0x07;
 pub const KIND_METRICS: u8 = 0x08;
 /// Token-authenticated control-plane command.
 pub const KIND_ADMIN: u8 = 0x09;
+/// One streamed observation with a client-assigned sequence number.
+pub const KIND_SUBMIT: u8 = 0x0A;
+/// Register (or deregister) this connection for pushed stream events.
+pub const KIND_SUBSCRIBE: u8 = 0x0B;
 
 // Reply kinds (request kind | 0x80).
 /// Reply to [`KIND_ASSIGN`].
@@ -91,10 +105,17 @@ pub const KIND_STATS_REPLY: u8 = 0x87;
 pub const KIND_METRICS_REPLY: u8 = 0x88;
 /// Reply to [`KIND_ADMIN`].
 pub const KIND_ADMIN_REPLY: u8 = 0x89;
+/// Reply to [`KIND_SUBMIT`]: the durable ack.
+pub const KIND_SUBMIT_REPLY: u8 = 0x8A;
+/// Reply to [`KIND_SUBSCRIBE`].
+pub const KIND_SUBSCRIBE_REPLY: u8 = 0x8B;
 /// A query that could not be answered; carries a code and message.
 pub const KIND_ERROR: u8 = 0xE0;
 /// The server is saturated; retry later.
 pub const KIND_OVERLOADED: u8 = 0xE1;
+/// A server-pushed stream event (no matching request) delivered to a
+/// subscribed connection.
+pub const KIND_EVENT: u8 = 0xE2;
 
 // Error codes carried by [`KIND_ERROR`] replies.
 /// The request payload decoded but asked for something malformed.
@@ -367,6 +388,29 @@ pub enum Request {
         /// The command itself.
         cmd: AdminCmd,
     },
+    /// One streamed observation. The server acks with
+    /// [`Reply::SubmitAck`] only after the observation is durable, so a
+    /// client that crashes and resubmits the same `seq` gets an
+    /// idempotent `Duplicate` instead of double-counting (at-least-once
+    /// delivery, exactly-once effect).
+    Submit {
+        /// Client-assigned sequence number; the server expects them to
+        /// arrive densely from 0 and reports `Gap`/`Duplicate`
+        /// otherwise.
+        seq: u64,
+        /// Observation time (seconds); must exceed the previous one.
+        time: i64,
+        /// Per-network catchment codes for this timestep.
+        codes: Vec<u16>,
+        /// Campaign health for the sweep that produced the codes.
+        health: CampaignHealth,
+    },
+    /// Register (`enable: true`) or deregister this connection for
+    /// pushed [`Reply::Event`] frames.
+    Subscribe {
+        /// Whether the connection wants events after this frame.
+        enable: bool,
+    },
 }
 
 // Sub-kind tags for [`AdminCmd`] inside a [`KIND_ADMIN`] payload.
@@ -429,6 +473,22 @@ impl Request {
                 }
                 (KIND_ADMIN, p)
             }
+            Request::Submit {
+                seq,
+                time,
+                codes,
+                health,
+            } => {
+                codec::put_u64(&mut p, *seq);
+                codec::put_i64(&mut p, *time);
+                codec::put_seq(&mut p, codes, |o, &c| codec::put_u16(o, c));
+                codec::put_health(&mut p, health);
+                (KIND_SUBMIT, p)
+            }
+            Request::Subscribe { enable } => {
+                codec::put_bool(&mut p, *enable);
+                (KIND_SUBSCRIBE, p)
+            }
         }
     }
 
@@ -478,6 +538,20 @@ impl Request {
                 };
                 Request::Admin { token, cmd }
             }
+            KIND_SUBMIT => {
+                let seq = d.u64()?;
+                let time = d.i64()?;
+                let n = d.seq_len(2)?;
+                let codes = (0..n).map(|_| d.u16()).collect::<Result<Vec<_>>>()?;
+                let health = codec::read_health(&mut d)?;
+                Request::Submit {
+                    seq,
+                    time,
+                    codes,
+                    health,
+                }
+            }
+            KIND_SUBSCRIBE => Request::Subscribe { enable: d.bool()? },
             other => {
                 return Err(Error::Corrupted {
                     what: "serve request",
@@ -562,6 +636,77 @@ pub struct StatsInfo {
     pub inflight: u64,
 }
 
+/// The fate of one [`Request::Submit`], carried by [`Reply::SubmitAck`].
+///
+/// An ack — any ack — is only sent after the durability decision, so
+/// `Accepted` means "journaled and folded", `Duplicate` means "already
+/// journaled by an earlier submission of this seq" (the idempotent
+/// retry path), and `Gap` means "not journaled: submit `expected`
+/// first".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// The observation was durably journaled and folded into the live
+    /// analysis state.
+    Accepted {
+        /// Observations in the stream after this one (also the next
+        /// expected sequence number).
+        observations: u64,
+        /// Mode transitions this fold emitted (0 or 1 today; a count so
+        /// richer derivations stay wire-compatible).
+        transitions: u32,
+    },
+    /// `seq` was already journaled — the ack the client missed,
+    /// re-sent. The observation was *not* applied again.
+    Duplicate,
+    /// `seq` skipped ahead; nothing was journaled.
+    Gap {
+        /// The sequence number the server needs next.
+        expected: u64,
+    },
+}
+
+/// A server-pushed event on a subscribed connection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamEvent {
+    /// A mode boundary appeared between two consecutive observations:
+    /// under the freshly re-derived clustering they belong to different
+    /// modes, and under the previous step's clustering they did not.
+    /// Discovery can lag the boundary by a frame — a nascent mode is
+    /// not credited until it clears the minimum-cluster-size guard —
+    /// so `seq` names the observation that *opened* the new mode,
+    /// which is at or before the submission that surfaced it.
+    ModeTransition {
+        /// Sequence number of the observation that opened the new mode.
+        seq: u64,
+        /// That observation's time.
+        time: i64,
+        /// Mode id of the observation before the boundary under the
+        /// *current* clustering.
+        from_mode: u64,
+        /// Mode id of the observation that opened the new mode.
+        to_mode: u64,
+        /// Total modes after re-derivation.
+        modes: u64,
+        /// Adaptive threshold in effect.
+        threshold: f64,
+        /// Trust-weighted similarity between the two steps.
+        step_phi: f64,
+        /// Whether the triggering step passed trust weighting without
+        /// any vantage point being excluded.
+        trusted: bool,
+    },
+    /// The subscriber's queue overflowed and `missed` events were shed.
+    /// Always delivered in-band *before* the next event so loss is
+    /// explicit, never silent.
+    Lagged {
+        /// Events dropped since the last delivered one.
+        missed: u64,
+    },
+    /// The server is closing this subscription (drain, shutdown, or
+    /// unsubscribe); no further events will arrive.
+    Closed,
+}
+
 /// A server reply.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Reply {
@@ -639,6 +784,23 @@ pub enum Reply {
         /// Human-readable detail.
         message: String,
     },
+    /// Answer to [`Request::Submit`]: the durable ack.
+    SubmitAck {
+        /// The sequence number being acked.
+        seq: u64,
+        /// What happened to it.
+        outcome: SubmitOutcome,
+    },
+    /// Answer to [`Request::Subscribe`].
+    Subscribed {
+        /// Whether this connection now receives events.
+        active: bool,
+        /// Subscribers registered after this change.
+        subscribers: u64,
+    },
+    /// A pushed stream event — arrives on subscribed connections
+    /// without a matching request.
+    Event(StreamEvent),
     /// The server is saturated; the query was not processed.
     Overloaded {
         /// In-flight connections when the query was shed.
@@ -651,6 +813,17 @@ pub enum Reply {
         retry_after_ms: u64,
     },
 }
+
+// Sub-kind tags for [`SubmitOutcome`] inside a [`KIND_SUBMIT_REPLY`]
+// payload.
+const SUBMIT_ACCEPTED: u8 = 1;
+const SUBMIT_DUPLICATE: u8 = 2;
+const SUBMIT_GAP: u8 = 3;
+
+// Sub-kind tags for [`StreamEvent`] inside a [`KIND_EVENT`] payload.
+const EVENT_MODE_TRANSITION: u8 = 1;
+const EVENT_LAGGED: u8 = 2;
+const EVENT_CLOSED: u8 = 3;
 
 fn put_opt_f64(out: &mut Vec<u8>, v: Option<f64>) {
     match v {
@@ -772,6 +945,63 @@ impl Reply {
                 codec::put_str(&mut p, message);
                 (KIND_ERROR, p)
             }
+            Reply::SubmitAck { seq, outcome } => {
+                codec::put_u64(&mut p, *seq);
+                match outcome {
+                    SubmitOutcome::Accepted {
+                        observations,
+                        transitions,
+                    } => {
+                        p.push(SUBMIT_ACCEPTED);
+                        codec::put_u64(&mut p, *observations);
+                        codec::put_u32(&mut p, *transitions);
+                    }
+                    SubmitOutcome::Duplicate => p.push(SUBMIT_DUPLICATE),
+                    SubmitOutcome::Gap { expected } => {
+                        p.push(SUBMIT_GAP);
+                        codec::put_u64(&mut p, *expected);
+                    }
+                }
+                (KIND_SUBMIT_REPLY, p)
+            }
+            Reply::Subscribed {
+                active,
+                subscribers,
+            } => {
+                codec::put_bool(&mut p, *active);
+                codec::put_u64(&mut p, *subscribers);
+                (KIND_SUBSCRIBE_REPLY, p)
+            }
+            Reply::Event(event) => {
+                match event {
+                    StreamEvent::ModeTransition {
+                        seq,
+                        time,
+                        from_mode,
+                        to_mode,
+                        modes,
+                        threshold,
+                        step_phi,
+                        trusted,
+                    } => {
+                        p.push(EVENT_MODE_TRANSITION);
+                        codec::put_u64(&mut p, *seq);
+                        codec::put_i64(&mut p, *time);
+                        codec::put_u64(&mut p, *from_mode);
+                        codec::put_u64(&mut p, *to_mode);
+                        codec::put_u64(&mut p, *modes);
+                        codec::put_f64(&mut p, *threshold);
+                        codec::put_f64(&mut p, *step_phi);
+                        codec::put_bool(&mut p, *trusted);
+                    }
+                    StreamEvent::Lagged { missed } => {
+                        p.push(EVENT_LAGGED);
+                        codec::put_u64(&mut p, *missed);
+                    }
+                    StreamEvent::Closed => p.push(EVENT_CLOSED),
+                }
+                (KIND_EVENT, p)
+            }
             Reply::Overloaded {
                 inflight,
                 retry_after_ms,
@@ -886,6 +1116,53 @@ impl Reply {
                 code: d.u8()?,
                 message: d.str()?,
             },
+            KIND_SUBMIT_REPLY => {
+                let seq = d.u64()?;
+                let outcome = match d.u8()? {
+                    SUBMIT_ACCEPTED => SubmitOutcome::Accepted {
+                        observations: d.u64()?,
+                        transitions: d.u32()?,
+                    },
+                    SUBMIT_DUPLICATE => SubmitOutcome::Duplicate,
+                    SUBMIT_GAP => SubmitOutcome::Gap { expected: d.u64()? },
+                    other => {
+                        return Err(Error::Corrupted {
+                            what: "serve reply",
+                            offset: 0,
+                            message: format!("unknown submit outcome tag {other}"),
+                        })
+                    }
+                };
+                Reply::SubmitAck { seq, outcome }
+            }
+            KIND_SUBSCRIBE_REPLY => Reply::Subscribed {
+                active: d.bool()?,
+                subscribers: d.u64()?,
+            },
+            KIND_EVENT => {
+                let event = match d.u8()? {
+                    EVENT_MODE_TRANSITION => StreamEvent::ModeTransition {
+                        seq: d.u64()?,
+                        time: d.i64()?,
+                        from_mode: d.u64()?,
+                        to_mode: d.u64()?,
+                        modes: d.u64()?,
+                        threshold: d.f64()?,
+                        step_phi: d.f64()?,
+                        trusted: d.bool()?,
+                    },
+                    EVENT_LAGGED => StreamEvent::Lagged { missed: d.u64()? },
+                    EVENT_CLOSED => StreamEvent::Closed,
+                    other => {
+                        return Err(Error::Corrupted {
+                            what: "serve reply",
+                            offset: 0,
+                            message: format!("unknown stream event tag {other}"),
+                        })
+                    }
+                };
+                Reply::Event(event)
+            }
             KIND_OVERLOADED => Reply::Overloaded {
                 inflight: d.u64()?,
                 retry_after_ms: d.u64()?,
@@ -1156,6 +1433,37 @@ mod tests {
                 inflight: 64,
                 retry_after_ms: 50,
             },
+            Reply::SubmitAck {
+                seq: 12,
+                outcome: SubmitOutcome::Accepted {
+                    observations: 13,
+                    transitions: 1,
+                },
+            },
+            Reply::SubmitAck {
+                seq: 5,
+                outcome: SubmitOutcome::Duplicate,
+            },
+            Reply::SubmitAck {
+                seq: 99,
+                outcome: SubmitOutcome::Gap { expected: 13 },
+            },
+            Reply::Subscribed {
+                active: true,
+                subscribers: 3,
+            },
+            Reply::Event(StreamEvent::ModeTransition {
+                seq: 7,
+                time: 86400,
+                from_mode: 0,
+                to_mode: 2,
+                modes: 3,
+                threshold: 0.25,
+                step_phi: 0.1 + 0.2,
+                trusted: false,
+            }),
+            Reply::Event(StreamEvent::Lagged { missed: 41 }),
+            Reply::Event(StreamEvent::Closed),
         ];
         for reply in replies {
             let (kind, payload) = reply.kind_and_payload();
@@ -1185,5 +1493,26 @@ mod tests {
         }
         let (kind, payload) = Request::Metrics.kind_and_payload();
         assert_eq!(Request::decode(kind, &payload).unwrap(), Request::Metrics);
+    }
+
+    #[test]
+    fn stream_requests_round_trip_bit_exactly() {
+        let mut health = CampaignHealth::new(fenrir_core::time::Timestamp::from_secs(9), 4);
+        health.responses = 3;
+        health.distrusted = 1;
+        let requests = vec![
+            Request::Submit {
+                seq: 3,
+                time: 9,
+                codes: vec![0, 1, u16::MAX, 2],
+                health,
+            },
+            Request::Subscribe { enable: true },
+            Request::Subscribe { enable: false },
+        ];
+        for req in requests {
+            let (kind, payload) = req.kind_and_payload();
+            assert_eq!(Request::decode(kind, &payload).unwrap(), req);
+        }
     }
 }

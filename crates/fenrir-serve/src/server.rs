@@ -42,15 +42,17 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use fenrir_core::error::{Error, Result};
+use fenrir_core::health::CampaignHealth;
 use fenrir_obs::{
     Counter as ObsCounter, Histogram as ObsHistogram, Registry, ScrapeServer, TraceRing,
     DEFAULT_LATENCY_BOUNDS_US,
 };
+use parking_lot::Mutex;
 
 use crate::protocol::{
-    read_frame, AdminCmd, FrameEvent, Reply, Request, StatsInfo, ERR_BAD_REQUEST, ERR_UNAUTHORIZED,
-    ERR_UNAVAILABLE, KIND_ADMIN, KIND_ASSIGN, KIND_HEALTH, KIND_LATENCY, KIND_METRICS, KIND_STATS,
-    KIND_TRANSITION,
+    read_frame, AdminCmd, FrameEvent, Reply, Request, StatsInfo, StreamEvent, ERR_BAD_REQUEST,
+    ERR_UNAUTHORIZED, ERR_UNAVAILABLE, KIND_ADMIN, KIND_ASSIGN, KIND_HEALTH, KIND_LATENCY,
+    KIND_METRICS, KIND_STATS, KIND_SUBSCRIBE, KIND_TRANSITION,
 };
 use crate::store::ModeStore;
 
@@ -65,7 +67,7 @@ const STOP_DRAIN_GRACE: Duration = Duration::from_secs(1);
 
 /// Exposition label value per request kind, indexed by
 /// `kind - KIND_ASSIGN`.
-const KIND_NAMES: [&str; 9] = [
+const KIND_NAMES: [&str; 11] = [
     "assign",
     "similarity",
     "mode",
@@ -75,10 +77,12 @@ const KIND_NAMES: [&str; 9] = [
     "stats",
     "metrics",
     "admin",
+    "submit",
+    "subscribe",
 ];
 
 fn kind_index(kind: u8) -> Option<usize> {
-    (KIND_ASSIGN..=KIND_ADMIN)
+    (KIND_ASSIGN..=KIND_SUBSCRIBE)
         .contains(&kind)
         .then(|| (kind - KIND_ASSIGN) as usize)
 }
@@ -118,6 +122,10 @@ pub struct ServeConfig {
     pub slow_query: Option<Duration>,
     /// Slow-query trace ring capacity (0 disables, counting drops).
     pub trace_capacity: usize,
+    /// Per-subscriber pending-event queue depth. A subscriber that
+    /// cannot keep up has events shed beyond this bound — explicitly,
+    /// via an in-band [`StreamEvent::Lagged`] marker, never silently.
+    pub event_queue: usize,
 }
 
 impl Default for ServeConfig {
@@ -135,6 +143,161 @@ impl Default for ServeConfig {
             admin_token: None,
             slow_query: Some(Duration::from_millis(250)),
             trace_capacity: 256,
+            event_queue: 64,
+        }
+    }
+}
+
+/// The write path behind `Submit` frames.
+///
+/// The server owns the sockets and the subscription fan-out; the
+/// handler owns sequencing, durability, and analysis. The contract on
+/// `submit` is the protocol's ack contract: return a
+/// [`Reply::SubmitAck`] only after the durability decision is final —
+/// `Accepted` means the observation is journaled (an fsync has
+/// returned), `Duplicate`/`Gap` mean nothing was written. Events
+/// returned alongside the reply are broadcast to every subscriber
+/// *after* the decision, so a pushed transition always refers to
+/// durable state.
+pub trait StreamHandler: Send + Sync {
+    /// Apply one submitted observation; returns the ack to send and
+    /// any events to broadcast.
+    fn submit(
+        &self,
+        seq: u64,
+        time: i64,
+        codes: &[u16],
+        health: CampaignHealth,
+    ) -> (Reply, Vec<StreamEvent>);
+}
+
+/// One registered subscriber, as the broadcaster sees it.
+struct BroadcastHandle {
+    id: u64,
+    tx: SyncSender<StreamEvent>,
+    /// Events shed since the pusher last delivered one; drained into an
+    /// in-band `Lagged` marker.
+    lagged: Arc<AtomicU64>,
+}
+
+/// Fan-out state for pushed stream events.
+///
+/// Broadcasting never blocks on a slow subscriber: each subscriber has
+/// a bounded queue drained by its own pusher thread, and a full queue
+/// sheds the event while counting it on the subscriber's lag counter.
+/// The pusher converts that counter into an explicit
+/// [`StreamEvent::Lagged`] marker before its next delivery — loss is
+/// visible in-band, never silent.
+#[derive(Default)]
+struct SubscriberHub {
+    subs: Mutex<Vec<BroadcastHandle>>,
+    next_id: AtomicU64,
+    subscribers: AtomicU64,
+    events_pushed: AtomicU64,
+    lagged_drops: AtomicU64,
+}
+
+impl SubscriberHub {
+    fn add(&self, tx: SyncSender<StreamEvent>, lagged: Arc<AtomicU64>) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.subs.lock().push(BroadcastHandle { id, tx, lagged });
+        self.subscribers.fetch_add(1, Ordering::Relaxed);
+        id
+    }
+
+    /// Drop subscriber `id`'s sender; its pusher wakes on the closed
+    /// channel, writes a final `Closed` event, and exits.
+    fn remove(&self, id: u64) {
+        let mut subs = self.subs.lock();
+        let before = subs.len();
+        subs.retain(|s| s.id != id);
+        if subs.len() < before {
+            self.subscribers.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    fn len(&self) -> u64 {
+        self.subscribers.load(Ordering::Relaxed)
+    }
+
+    fn broadcast(&self, events: &[StreamEvent]) {
+        if events.is_empty() {
+            return;
+        }
+        let subs = self.subs.lock();
+        for event in events {
+            for sub in subs.iter() {
+                match sub.tx.try_send(event.clone()) {
+                    Ok(()) => {
+                        self.events_pushed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(TrySendError::Full(_)) => {
+                        sub.lagged.fetch_add(1, Ordering::Relaxed);
+                        self.lagged_drops.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // A disconnected pusher means the connection is on
+                    // its way out; the worker unregisters it shortly.
+                    Err(TrySendError::Disconnected(_)) => {}
+                }
+            }
+        }
+    }
+}
+
+/// A shared, mutex-guarded connection writer. Worker replies and
+/// pushed events interleave on the same socket; whole frames are
+/// written under the lock so framing survives the interleaving.
+type SharedWriter = Arc<Mutex<BufWriter<TcpStream>>>;
+
+/// This connection's subscription: its hub registration plus the
+/// pusher thread draining its event queue. Dropping it (any exit path
+/// of `serve_connection`, or an explicit unsubscribe) unregisters from
+/// the hub, which closes the queue; the pusher then writes a final
+/// [`StreamEvent::Closed`] frame and exits — joined here so the
+/// goodbye is on the wire before the drop completes.
+struct Subscription {
+    id: u64,
+    hub: Arc<SubscriberHub>,
+    pusher: Option<JoinHandle<()>>,
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        self.hub.remove(self.id);
+        if let Some(h) = self.pusher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Drain one subscriber's event queue onto its connection.
+fn pusher_loop(rx: Receiver<StreamEvent>, lagged: Arc<AtomicU64>, writer: SharedWriter) {
+    loop {
+        match rx.recv() {
+            Ok(event) => {
+                let missed = lagged.swap(0, Ordering::AcqRel);
+                let mut w = writer.lock();
+                if missed > 0
+                    && w.write_all(&Reply::Event(StreamEvent::Lagged { missed }).encode())
+                        .is_err()
+                {
+                    return;
+                }
+                if w.write_all(&Reply::Event(event).encode()).is_err() || w.flush().is_err() {
+                    // The peer is gone; the worker notices on its next
+                    // read and unregisters the subscription.
+                    return;
+                }
+            }
+            Err(_) => {
+                // Queue closed: unsubscribe, drain, or shutdown. Say
+                // goodbye explicitly so the client can tell a clean
+                // close from a cut wire.
+                let mut w = writer.lock();
+                let _ = w.write_all(&Reply::Event(StreamEvent::Closed).encode());
+                let _ = w.flush();
+                return;
+            }
         }
     }
 }
@@ -178,6 +341,13 @@ struct Shared {
     traces: Arc<TraceRing>,
     admin_token: Option<String>,
     slow_query: Option<Duration>,
+    /// The write path; `None` on a query-only server, where `Submit`
+    /// is refused with `ERR_UNAVAILABLE`.
+    stream: Option<Arc<dyn StreamHandler>>,
+    /// Event fan-out to subscribed connections.
+    hub: Arc<SubscriberHub>,
+    /// Per-subscriber pending-event queue depth.
+    event_queue: usize,
     /// `fenrir_serve_queries_total{kind}` handles, by kind index.
     queries_by_kind: Vec<ObsCounter>,
     /// `fenrir_serve_query_latency_us{kind}` handles, by kind index.
@@ -269,6 +439,25 @@ pub struct Server {
 impl Server {
     /// Bind, spawn the worker pool, and start serving `store`.
     pub fn start(store: Arc<ModeStore>, cfg: ServeConfig) -> Result<Server> {
+        Self::start_inner(store, None, cfg)
+    }
+
+    /// Like [`Server::start`], but with a write path: `Submit` frames
+    /// are handed to `stream` and `Subscribe`d connections receive the
+    /// events it emits.
+    pub fn start_with_stream(
+        store: Arc<ModeStore>,
+        stream: Arc<dyn StreamHandler>,
+        cfg: ServeConfig,
+    ) -> Result<Server> {
+        Self::start_inner(store, Some(stream), cfg)
+    }
+
+    fn start_inner(
+        store: Arc<ModeStore>,
+        stream: Option<Arc<dyn StreamHandler>>,
+        cfg: ServeConfig,
+    ) -> Result<Server> {
         let listener = TcpListener::bind(&cfg.addr).map_err(|e| Error::Internal {
             what: "serve bind",
             message: format!("{}: {e}", cfg.addr),
@@ -285,7 +474,9 @@ impl Server {
             draining: AtomicBool::new(false),
             max_inflight: AtomicUsize::new(cfg.max_inflight.max(1)),
         });
+        let hub = Arc::new(SubscriberHub::default());
         register_metrics(&registry, &store, &counters, &live, &traces);
+        register_stream_metrics(&registry, &hub);
         let queries_by_kind = KIND_NAMES
             .iter()
             .map(|name| registry.counter("fenrir_serve_queries_total", &[("kind", name)]))
@@ -315,6 +506,9 @@ impl Server {
             traces: Arc::clone(&traces),
             admin_token: cfg.admin_token.clone(),
             slow_query: cfg.slow_query,
+            stream,
+            hub,
+            event_queue: cfg.event_queue.max(1),
             queries_by_kind,
             latency_by_kind,
             overloaded_accept,
@@ -533,6 +727,28 @@ fn register_metrics(
     }
 }
 
+/// Stream fan-out metrics. Registered on every server — a query-only
+/// instance exports them at zero — so the scrape inventory is uniform
+/// across the fleet.
+fn register_stream_metrics(registry: &Registry, hub: &Arc<SubscriberHub>) {
+    {
+        let hub = Arc::clone(hub);
+        registry.gauge_fn("fenrir_stream_subscribers", &[], move || hub.len() as f64);
+    }
+    {
+        let hub = Arc::clone(hub);
+        registry.counter_fn("fenrir_stream_events_pushed_total", &[], move || {
+            hub.events_pushed.load(Ordering::Relaxed) as f64
+        });
+    }
+    {
+        let hub = Arc::clone(hub);
+        registry.counter_fn("fenrir_stream_lagged_drops_total", &[], move || {
+            hub.lagged_drops.load(Ordering::Relaxed) as f64
+        });
+    }
+}
+
 fn accept_loop(listener: TcpListener, senders: Vec<SyncSender<TcpStream>>, shared: Arc<Shared>) {
     let mut next = 0usize;
     for conn in listener.incoming() {
@@ -574,6 +790,13 @@ fn worker_loop(id: usize, rx: Receiver<TcpStream>, shared: Arc<Shared>) {
 }
 
 /// Serve one connection to completion.
+///
+/// The writer is shared with this connection's pusher thread (if it
+/// subscribes): worker replies and pushed events interleave on the
+/// same socket, whole-frame under the writer mutex. Every exit path
+/// drops the [`Subscription`], which closes the event queue and joins
+/// the pusher after it writes its final `Closed` frame — a subscriber
+/// never just vanishes.
 fn serve_connection(worker: usize, conn: TcpStream, shared: &Shared) {
     let _ = conn.set_nodelay(true);
     if conn.set_read_timeout(Some(TICK)).is_err() {
@@ -583,42 +806,58 @@ fn serve_connection(worker: usize, conn: TcpStream, shared: &Shared) {
         return;
     };
     let mut reader = BufReader::new(conn);
-    let mut writer = BufWriter::new(write_half);
+    let writer: SharedWriter = Arc::new(Mutex::new(BufWriter::new(write_half)));
     let mut slot = try_acquire(shared);
+    let mut subscription: Option<Subscription> = None;
     let mut idle_since = Instant::now();
     let mut stopping_since: Option<Instant> = None;
     loop {
         match read_frame(&mut reader) {
             FrameEvent::Frame { kind, payload } => {
                 idle_since = Instant::now();
+                // Subscription management needs connection-local state
+                // (the pusher thread and hub registration), so it is
+                // handled here rather than in `compute`. Slot-exempt —
+                // registering for events is not query work — but
+                // refused while draining: a drain must converge on zero
+                // subscribers, not accept new ones.
+                if kind == KIND_SUBSCRIBE {
+                    let reply =
+                        handle_subscribe(&payload, shared, &writer, &mut subscription, worker);
+                    if writer.lock().write_all(&reply.encode()).is_err() {
+                        return;
+                    }
+                }
                 // Control frames bypass the slot gate: a saturated or
                 // draining server must stay observable. `Health` is
                 // deliberately slot-gated under load (it doubles as a
                 // load probe) but bypasses the gate during a drain —
                 // drain is an administrative state the fleet must be
                 // able to watch, not a capacity signal.
-                let control = matches!(kind, KIND_STATS | KIND_METRICS | KIND_ADMIN)
-                    || (kind == KIND_HEALTH && shared.draining());
-                let reply = if control {
-                    answer(worker, kind, &payload, shared)
-                } else {
-                    if slot.is_none() {
-                        // Shed mode: re-try the slot before every query
-                        // so freed capacity is used promptly.
-                        slot = try_acquire(shared);
+                else {
+                    let control = matches!(kind, KIND_STATS | KIND_METRICS | KIND_ADMIN)
+                        || (kind == KIND_HEALTH && shared.draining());
+                    let reply = if control {
+                        answer(worker, kind, &payload, shared)
+                    } else {
+                        if slot.is_none() {
+                            // Shed mode: re-try the slot before every query
+                            // so freed capacity is used promptly.
+                            slot = try_acquire(shared);
+                        }
+                        match slot {
+                            Some(_) => answer(worker, kind, &payload, shared),
+                            None => shared.overloaded(false),
+                        }
+                    };
+                    if writer.lock().write_all(&reply.encode()).is_err() {
+                        return;
                     }
-                    match slot {
-                        Some(_) => answer(worker, kind, &payload, shared),
-                        None => shared.overloaded(false),
-                    }
-                };
-                if writer.write_all(&reply.encode()).is_err() {
-                    return;
                 }
                 // Flush once the pipelined burst is exhausted; batching
                 // replies across a burst is what makes pipelining fast.
                 if reader.buffer().is_empty() {
-                    if writer.flush().is_err() {
+                    if writer.lock().flush().is_err() {
                         return;
                     }
                     // A peer that streams frames faster than the read
@@ -640,21 +879,29 @@ fn serve_connection(worker: usize, conn: TcpStream, shared: &Shared) {
                         }
                     }
                     // Draining: slot-holders close once their burst is
-                    // answered, releasing inflight toward zero.
-                    if shared.draining() && slot.is_some() {
+                    // answered, releasing inflight toward zero; a
+                    // subscription-only connection closes too (its
+                    // `Subscription` drop pushes the final `Closed`).
+                    if shared.draining() && (slot.is_some() || subscription.is_some()) {
                         return;
                     }
                 }
             }
             FrameEvent::Tick => {
-                if writer.flush().is_err() {
+                if writer.lock().flush().is_err() {
                     return;
                 }
                 if shared.stop.load(Ordering::SeqCst) {
                     return; // drained: no frame was readable
                 }
-                if shared.draining() && slot.is_some() {
-                    return; // idle slot-holder under drain: release now
+                // An idle slot-holder under drain releases its slot
+                // now; a connection holding only a subscription closes
+                // just as promptly — it will never send a frame, so
+                // waiting out the read deadline would stall the drain
+                // for no benefit. Its `Subscription` drop delivers the
+                // final `Closed` event.
+                if shared.draining() && (slot.is_some() || subscription.is_some()) {
+                    return;
                 }
                 if idle_since.elapsed() >= shared.read_deadline {
                     return; // idle past the deadline
@@ -667,8 +914,9 @@ fn serve_connection(worker: usize, conn: TcpStream, shared: &Shared) {
                     code: ERR_BAD_REQUEST,
                     message: e.to_string(),
                 };
-                let _ = writer.write_all(&reply.encode());
-                let _ = writer.flush();
+                let mut w = writer.lock();
+                let _ = w.write_all(&reply.encode());
+                let _ = w.flush();
                 return;
             }
             // `read_frame` without a deadline never yields `TimedOut`,
@@ -676,6 +924,68 @@ fn serve_connection(worker: usize, conn: TcpStream, shared: &Shared) {
             FrameEvent::Eof | FrameEvent::Io(_) | FrameEvent::TimedOut => return,
         }
     }
+}
+
+/// Apply one `Subscribe` frame to this connection's subscription
+/// state, spawning or retiring its pusher thread.
+fn handle_subscribe(
+    payload: &[u8],
+    shared: &Shared,
+    writer: &SharedWriter,
+    subscription: &mut Option<Subscription>,
+    _worker: usize,
+) -> Reply {
+    let started = Instant::now();
+    shared.counters.queries.fetch_add(1, Ordering::Relaxed);
+    let reply = match Request::decode(KIND_SUBSCRIBE, payload) {
+        Ok(Request::Subscribe { enable: true }) => {
+            if shared.draining() || shared.stop.load(Ordering::SeqCst) {
+                Reply::Error {
+                    code: ERR_UNAVAILABLE,
+                    message: "draining: not accepting new subscriptions".into(),
+                }
+            } else {
+                if subscription.is_none() {
+                    let (tx, rx) = sync_channel::<StreamEvent>(shared.event_queue);
+                    let lagged = Arc::new(AtomicU64::new(0));
+                    let id = shared.hub.add(tx, Arc::clone(&lagged));
+                    let w = Arc::clone(writer);
+                    let pusher = std::thread::spawn(move || pusher_loop(rx, lagged, w));
+                    *subscription = Some(Subscription {
+                        id,
+                        hub: Arc::clone(&shared.hub),
+                        pusher: Some(pusher),
+                    });
+                }
+                Reply::Subscribed {
+                    active: true,
+                    subscribers: shared.hub.len(),
+                }
+            }
+        }
+        Ok(Request::Subscribe { enable: false }) => {
+            // Dropping the subscription unregisters it and joins the
+            // pusher after its final `Closed` frame hits the wire, so
+            // the client sees `Closed` alongside this reply.
+            *subscription = None;
+            Reply::Subscribed {
+                active: false,
+                subscribers: shared.hub.len(),
+            }
+        }
+        Ok(_) | Err(_) => Reply::Error {
+            code: ERR_BAD_REQUEST,
+            message: "malformed subscribe frame".into(),
+        },
+    };
+    if matches!(reply, Reply::Error { .. }) {
+        shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    if let Some(i) = kind_index(KIND_SUBSCRIBE) {
+        shared.queries_by_kind[i].inc();
+        shared.latency_by_kind[i].observe(started.elapsed().as_micros() as u64);
+    }
+    reply
 }
 
 /// Compute the reply to one verified frame, recording per-kind query
@@ -735,6 +1045,31 @@ fn compute(worker: usize, req: Request, shared: &Shared) -> Reply {
             text: shared.registry.render(),
         },
         Request::Admin { token, cmd } => handle_admin(shared, &token, cmd),
+        Request::Submit {
+            seq,
+            time,
+            codes,
+            health,
+        } => match &shared.stream {
+            Some(handler) => {
+                let (reply, events) = handler.submit(seq, time, &codes, health);
+                // Broadcast only after the handler's durability
+                // decision: a pushed transition always refers to
+                // journaled state.
+                shared.hub.broadcast(&events);
+                reply
+            }
+            None => Reply::Error {
+                code: ERR_UNAVAILABLE,
+                message: "this server has no stream handler: submissions are not accepted".into(),
+            },
+        },
+        // Handled connection-locally in `serve_connection`; reaching
+        // here means a decode path changed underneath us.
+        Request::Subscribe { .. } => Reply::Error {
+            code: ERR_BAD_REQUEST,
+            message: "subscribe is connection-local".into(),
+        },
     }
 }
 
@@ -844,4 +1179,113 @@ fn cached_pair(
         shared.store.cache.put(key, k, payload);
     }
     reply
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tcp_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        (server, client)
+    }
+
+    fn transition(seq: u64) -> StreamEvent {
+        StreamEvent::ModeTransition {
+            seq,
+            time: seq as i64 * 86_400,
+            from_mode: 0,
+            to_mode: 1,
+            modes: 2,
+            threshold: 0.5,
+            step_phi: 0.4,
+            trusted: true,
+        }
+    }
+
+    fn next_event(r: &mut TcpStream) -> StreamEvent {
+        match read_frame(r) {
+            FrameEvent::Frame { kind, payload } => {
+                match Reply::decode(kind, &payload).expect("decode event frame") {
+                    Reply::Event(ev) => ev,
+                    other => panic!("expected an event frame, got {other:?}"),
+                }
+            }
+            other => panic!("expected a frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_queue_sheds_with_counters_never_blocks() {
+        let hub = SubscriberHub::default();
+        let (tx, _rx) = sync_channel(1);
+        let lagged = Arc::new(AtomicU64::new(0));
+        hub.add(tx, Arc::clone(&lagged));
+        assert_eq!(hub.len(), 1);
+
+        // Nothing drains the queue: the first event fills it, the rest
+        // shed onto the lag counters instead of blocking the broadcast.
+        hub.broadcast(&[transition(0), transition(1), transition(2)]);
+        assert_eq!(hub.events_pushed.load(Ordering::Relaxed), 1);
+        assert_eq!(hub.lagged_drops.load(Ordering::Relaxed), 2);
+        assert_eq!(lagged.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn remove_unregisters_once_and_ignores_unknown_ids() {
+        let hub = SubscriberHub::default();
+        let (tx, _rx) = sync_channel(1);
+        let id = hub.add(tx, Arc::new(AtomicU64::new(0)));
+        assert_eq!(hub.len(), 1);
+        hub.remove(id + 1); // unknown id: no-op
+        assert_eq!(hub.len(), 1);
+        hub.remove(id);
+        assert_eq!(hub.len(), 0);
+        hub.remove(id); // double remove: no-op
+        assert_eq!(hub.len(), 0);
+    }
+
+    #[test]
+    fn pusher_marks_lag_in_band_before_next_event_and_says_goodbye() {
+        let (server_end, mut client_end) = tcp_pair();
+        let writer: SharedWriter = Arc::new(Mutex::new(BufWriter::new(server_end)));
+
+        let hub = SubscriberHub::default();
+        let (tx, rx) = sync_channel(1);
+        let lagged = Arc::new(AtomicU64::new(0));
+        let id = hub.add(tx, Arc::clone(&lagged));
+
+        // Queue capacity 1 and no pusher yet: the first event queues,
+        // the second sheds.
+        hub.broadcast(&[transition(0)]);
+        hub.broadcast(&[transition(1)]);
+        assert_eq!(lagged.load(Ordering::Relaxed), 1);
+
+        let pusher = std::thread::spawn(move || pusher_loop(rx, lagged, writer));
+
+        // The shed is surfaced as an explicit Lagged marker *before*
+        // the next delivered event — loss is in-band, never silent.
+        assert_eq!(
+            next_event(&mut client_end),
+            StreamEvent::Lagged { missed: 1 }
+        );
+        assert_eq!(next_event(&mut client_end), transition(0));
+
+        // With the queue drained, later events flow without markers.
+        hub.broadcast(&[transition(2)]);
+        assert_eq!(next_event(&mut client_end), transition(2));
+
+        // Unregistering drops the only sender; the pusher writes a
+        // final Closed frame and exits.
+        hub.remove(id);
+        assert_eq!(next_event(&mut client_end), StreamEvent::Closed);
+        pusher.join().expect("pusher exits after goodbye");
+        match read_frame(&mut client_end) {
+            FrameEvent::Eof | FrameEvent::Io(_) => {}
+            other => panic!("expected the wire to close, got {other:?}"),
+        }
+    }
 }

@@ -46,6 +46,12 @@ pub struct StoreOptions {
     pub adaptive: AdaptiveThreshold,
     /// Answer-cache capacity (entries); 0 disables caching.
     pub cache_capacity: usize,
+    /// Accept a journal with zero observations — the bootstrap state of
+    /// a freshly created stream journal. Every query answers
+    /// `NOT_FOUND` until a reload finds the first observation. Off by
+    /// default: for a batch store an empty journal is a configuration
+    /// error, not a state to serve.
+    pub allow_empty: bool,
 }
 
 impl Default for StoreOptions {
@@ -54,6 +60,7 @@ impl Default for StoreOptions {
             shards: 8,
             adaptive: AdaptiveThreshold::default(),
             cache_capacity: 4096,
+            allow_empty: false,
         }
     }
 }
@@ -65,12 +72,13 @@ pub struct Snapshot {
     pub epoch: u64,
     /// The routing series.
     pub series: VectorSeries,
-    /// Condensed pairwise similarity.
-    pub matrix: SimilarityMatrix,
-    /// Agglomerative clustering of the series.
-    pub dendro: Dendrogram,
-    /// Modes at the adaptive threshold.
-    pub modes: ModeAnalysis,
+    /// Condensed pairwise similarity; `None` only for an empty
+    /// snapshot (see [`StoreOptions::allow_empty`]).
+    pub matrix: Option<SimilarityMatrix>,
+    /// Agglomerative clustering of the series; `None` only when empty.
+    pub dendro: Option<Dendrogram>,
+    /// Modes at the adaptive threshold; `None` only when empty.
+    pub modes: Option<ModeAnalysis>,
     /// Journaled latency panels, aligned with the series.
     pub panels: Vec<Option<LatencyPanel>>,
     /// §2.5 network weights.
@@ -80,15 +88,30 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
-    /// Derive a snapshot from a loaded pipeline.
+    /// Derive a snapshot from a loaded pipeline. An empty pipeline is
+    /// an error unless `allow_empty`, in which case the snapshot has no
+    /// derived state and answers every query `NOT_FOUND`.
     pub fn build(
         pipe: &RecoverablePipeline,
         adaptive: &AdaptiveThreshold,
         epoch: u64,
+        allow_empty: bool,
     ) -> Result<Self> {
         let series = pipe.series().clone();
         if series.is_empty() {
-            return Err(Error::EmptyInput("serve snapshot"));
+            if !allow_empty {
+                return Err(Error::EmptyInput("serve snapshot"));
+            }
+            return Ok(Snapshot {
+                epoch,
+                series,
+                matrix: None,
+                dendro: None,
+                modes: None,
+                panels: pipe.panels().to_vec(),
+                weights: pipe.config().weights.clone(),
+                torn: pipe.recovery_report().torn.is_some(),
+            });
         }
         let matrix = pipe
             .matrix()
@@ -107,9 +130,9 @@ impl Snapshot {
         Ok(Snapshot {
             epoch,
             series,
-            matrix,
-            dendro,
-            modes,
+            matrix: Some(matrix),
+            dendro: Some(dendro),
+            modes: Some(modes),
             panels: pipe.panels().to_vec(),
             weights: pipe.config().weights.clone(),
             torn: pipe.recovery_report().torn.is_some(),
@@ -157,7 +180,11 @@ impl Snapshot {
         let (Ok(i), Ok(j)) = (self.resolve(t), self.resolve(u)) else {
             return Self::not_found(if self.resolve(t).is_err() { t } else { u });
         };
-        match self.matrix.get_checked(i, j) {
+        let Some(matrix) = &self.matrix else {
+            // Unreachable once resolve() succeeded, but fail typed.
+            return Self::not_found(t);
+        };
+        match matrix.get_checked(i, j) {
             Ok(phi) => Reply::Similarity {
                 t: self.series.get(i).time().as_secs(),
                 u: self.series.get(j).time().as_secs(),
@@ -175,12 +202,15 @@ impl Snapshot {
         let Ok(i) = self.resolve(t) else {
             return Self::not_found(t);
         };
-        let label = self.modes.labels[i];
-        let mode = &self.modes.modes[label];
+        let Some(modes) = &self.modes else {
+            return Self::not_found(t);
+        };
+        let label = modes.labels[i];
+        let mode = &modes.modes[label];
         Reply::Mode {
             time: self.series.get(i).time().as_secs(),
             mode: mode.id as u64,
-            threshold: self.modes.threshold,
+            threshold: modes.threshold,
             recurs: mode.recurs(),
             members: mode.members.len() as u64,
             intra_phi: mode.intra_phi,
@@ -271,8 +301,8 @@ impl Snapshot {
             observations: self.series.len() as u64,
             networks: self.series.networks() as u64,
             sites: self.series.sites().len() as u64,
-            modes: self.modes.modes.len() as u64,
-            threshold: self.modes.threshold,
+            modes: self.modes.as_ref().map_or(0, |m| m.modes.len() as u64),
+            threshold: self.modes.as_ref().map_or(0.0, |m| m.threshold),
             torn: self.torn,
             stale,
             draining,
@@ -324,6 +354,7 @@ pub struct ModeStore {
     /// Derived-answer cache, epoch-keyed.
     pub cache: QueryCache,
     adaptive: AdaptiveThreshold,
+    allow_empty: bool,
     /// When the served snapshot was last (re)built — the initial load
     /// counts, so `reload_age` is meaningful before any hot reload.
     last_reload_at: Mutex<Instant>,
@@ -383,7 +414,7 @@ impl ModeStore {
 
     /// Build a store from an already-loaded pipeline (no reload support).
     pub fn from_pipeline(pipe: &RecoverablePipeline, opts: StoreOptions) -> Result<Self> {
-        let snap = Arc::new(Snapshot::build(pipe, &opts.adaptive, 0)?);
+        let snap = Arc::new(Snapshot::build(pipe, &opts.adaptive, 0, opts.allow_empty)?);
         let shards = opts.shards.max(1);
         Ok(ModeStore {
             source: Mutex::new(Source::Fixed),
@@ -397,6 +428,7 @@ impl ModeStore {
             stale: AtomicBool::new(false),
             cache: QueryCache::new(opts.cache_capacity),
             adaptive: opts.adaptive,
+            allow_empty: opts.allow_empty,
             last_reload_at: Mutex::new(Instant::now()),
             last_reload_us: AtomicU64::new(0),
             retry_stats: Arc::new(RetryStats::default()),
@@ -519,7 +551,12 @@ impl ModeStore {
             })?;
         let pipe = RecoverablePipeline::open_read_only(path)?;
         let epoch = self.epoch.load(Ordering::SeqCst) + 1;
-        let snap = Arc::new(Snapshot::build(&pipe, &self.adaptive, epoch)?);
+        let snap = Arc::new(Snapshot::build(
+            &pipe,
+            &self.adaptive,
+            epoch,
+            self.allow_empty,
+        )?);
         self.publish(snap, len);
         *source = Source::File(path.to_path_buf());
         self.note_reloaded(started);
@@ -609,7 +646,7 @@ impl ModeStore {
     /// every shard, recording `mark` as the new change-detection mark.
     fn swap_in(&self, pipe: &RecoverablePipeline, mark: u64) -> Result<()> {
         let epoch = self.epoch.load(Ordering::SeqCst) + 1;
-        let snap = match Snapshot::build(pipe, &self.adaptive, epoch) {
+        let snap = match Snapshot::build(pipe, &self.adaptive, epoch, self.allow_empty) {
             Ok(snap) => Arc::new(snap),
             Err(e) => return Err(self.degrade(e)),
         };

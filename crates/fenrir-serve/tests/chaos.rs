@@ -62,7 +62,12 @@ fn direct_answer(store: &ModeStore, req: &Request) -> (u8, Vec<u8>) {
         Request::Mode { t } => snap.mode(*t),
         Request::Transition { t, u } => snap.transition(*t, *u),
         Request::Latency { t } => snap.latency(*t),
-        Request::Health | Request::Stats | Request::Metrics | Request::Admin { .. } => {
+        Request::Health
+        | Request::Stats
+        | Request::Metrics
+        | Request::Admin { .. }
+        | Request::Submit { .. }
+        | Request::Subscribe { .. } => {
             unreachable!("per-process replies are not compared")
         }
     };

@@ -14,9 +14,11 @@
 // even though the real proptest harness uses them all.
 #![allow(unused_imports, dead_code)]
 
+use fenrir_core::health::CampaignHealth;
+use fenrir_core::time::Timestamp;
 use fenrir_serve::protocol::{
     read_frame, AdminCmd, FrameEvent, HealthInfo, Reply, Request, SiteLatency, StatsInfo,
-    FRAME_HEADER_LEN, MAX_PAYLOAD, PROTOCOL_VERSION,
+    StreamEvent, SubmitOutcome, FRAME_HEADER_LEN, MAX_PAYLOAD, PROTOCOL_VERSION,
 };
 use proptest::prelude::*;
 
@@ -43,6 +45,28 @@ fn admin_cmd() -> impl Strategy<Value = AdminCmd> {
     ]
 }
 
+fn campaign_health() -> impl Strategy<Value = CampaignHealth> {
+    (
+        (any::<i64>(), any::<u32>(), any::<u32>(), any::<u32>()),
+        (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()),
+        (any::<bool>(), any::<bool>()),
+    )
+        .prop_map(
+            |((t, targets, responses, attempts), (retries, lost, dup, dis), (b, d))| {
+                let mut h = CampaignHealth::new(Timestamp::from_secs(t), targets as usize);
+                h.responses = responses as usize;
+                h.attempts = attempts as usize;
+                h.retries = retries as usize;
+                h.lost = lost as usize;
+                h.duplicates = dup as usize;
+                h.distrusted = dis as usize;
+                h.budget_exhausted = b;
+                h.deadline_exceeded = d;
+                h
+            },
+        )
+}
+
 fn request() -> impl Strategy<Value = Request> {
     prop_oneof![
         (any::<i64>(), any::<u32>()).prop_map(|(t, network)| Request::Assign { t, network }),
@@ -54,6 +78,57 @@ fn request() -> impl Strategy<Value = Request> {
         Just(Request::Stats),
         Just(Request::Metrics),
         (text("[ -~]{0,32}"), admin_cmd()).prop_map(|(token, cmd)| Request::Admin { token, cmd }),
+        (
+            any::<u64>(),
+            any::<i64>(),
+            prop::collection::vec(any::<u16>(), 0..64),
+            campaign_health(),
+        )
+            .prop_map(|(seq, time, codes, health)| Request::Submit {
+                seq,
+                time,
+                codes,
+                health,
+            }),
+        any::<bool>().prop_map(|enable| Request::Subscribe { enable }),
+    ]
+}
+
+fn submit_outcome() -> impl Strategy<Value = SubmitOutcome> {
+    prop_oneof![
+        (any::<u64>(), any::<u32>()).prop_map(|(observations, transitions)| {
+            SubmitOutcome::Accepted {
+                observations,
+                transitions,
+            }
+        }),
+        Just(SubmitOutcome::Duplicate),
+        any::<u64>().prop_map(|expected| SubmitOutcome::Gap { expected }),
+    ]
+}
+
+fn stream_event() -> impl Strategy<Value = StreamEvent> {
+    prop_oneof![
+        (
+            (any::<u64>(), any::<i64>(), any::<u64>(), any::<u64>()),
+            (any::<u64>(), finite_f64(), finite_f64(), any::<bool>()),
+        )
+            .prop_map(
+                |((seq, time, from_mode, to_mode), (modes, threshold, step_phi, trusted))| {
+                    StreamEvent::ModeTransition {
+                        seq,
+                        time,
+                        from_mode,
+                        to_mode,
+                        modes,
+                        threshold,
+                        step_phi,
+                        trusted,
+                    }
+                }
+            ),
+        any::<u64>().prop_map(|missed| StreamEvent::Lagged { missed }),
+        Just(StreamEvent::Closed),
     ]
 }
 
@@ -132,6 +207,13 @@ fn reply() -> impl Strategy<Value = Reply> {
         }),
         text("[ -~]{0,200}").prop_map(|text| Reply::Metrics { text }),
         text("[ -~]{0,80}").prop_map(|info| Reply::Admin { info }),
+        (any::<u64>(), submit_outcome())
+            .prop_map(|(seq, outcome)| Reply::SubmitAck { seq, outcome }),
+        (any::<bool>(), any::<u64>()).prop_map(|(active, subscribers)| Reply::Subscribed {
+            active,
+            subscribers,
+        }),
+        stream_event().prop_map(Reply::Event),
     ]
 }
 
@@ -224,6 +306,32 @@ fn all_requests() -> Vec<Request> {
             token: "t".into(),
             cmd: AdminCmd::SetMaxInflight { slots: 0 },
         },
+        Request::Submit {
+            seq: 0,
+            time: i64::MIN,
+            codes: vec![],
+            health: CampaignHealth::new(Timestamp::from_secs(0), 0),
+        },
+        Request::Submit {
+            seq: u64::MAX,
+            time: 86_400,
+            codes: vec![0, u16::MAX, u16::MAX - 1, 7],
+            health: {
+                let mut h = CampaignHealth::new(Timestamp::from_secs(86_400), 4);
+                h.responses = 3;
+                h.attempts = 9;
+                h.retries = 5;
+                h.quarantined = 1;
+                h.lost = 2;
+                h.duplicates = 1;
+                h.distrusted = 1;
+                h.budget_exhausted = true;
+                h.deadline_exceeded = true;
+                h
+            },
+        },
+        Request::Subscribe { enable: true },
+        Request::Subscribe { enable: false },
     ]
 }
 
@@ -317,6 +425,41 @@ fn all_replies() -> Vec<Reply> {
         Reply::Admin {
             info: "draining".into(),
         },
+        Reply::SubmitAck {
+            seq: 14,
+            outcome: SubmitOutcome::Accepted {
+                observations: 15,
+                transitions: 2,
+            },
+        },
+        Reply::SubmitAck {
+            seq: 3,
+            outcome: SubmitOutcome::Duplicate,
+        },
+        Reply::SubmitAck {
+            seq: u64::MAX,
+            outcome: SubmitOutcome::Gap { expected: 15 },
+        },
+        Reply::Subscribed {
+            active: true,
+            subscribers: 3,
+        },
+        Reply::Subscribed {
+            active: false,
+            subscribers: 0,
+        },
+        Reply::Event(StreamEvent::ModeTransition {
+            seq: 5,
+            time: 5 * 86_400,
+            from_mode: 0,
+            to_mode: 1,
+            modes: 2,
+            threshold: 0.33,
+            step_phi: 0.125,
+            trusted: false,
+        }),
+        Reply::Event(StreamEvent::Lagged { missed: u64::MAX }),
+        Reply::Event(StreamEvent::Closed),
     ]
 }
 
@@ -410,4 +553,60 @@ fn decoders_reject_trailing_bytes_and_unknown_kinds() {
     fenrir_data::journal::codec::put_u64(&mut p, 2);
     fenrir_data::journal::codec::put_u64(&mut p, u64::MAX / 2); // cells length
     assert!(Reply::decode(0x84, &p).is_err());
+
+    // Hostile Submit payloads fail fast too: a codes length claiming
+    // half the address space must not allocate.
+    let mut p = Vec::new();
+    fenrir_data::journal::codec::put_u64(&mut p, 0); // seq
+    fenrir_data::journal::codec::put_i64(&mut p, 0); // time
+    fenrir_data::journal::codec::put_u64(&mut p, u64::MAX / 2); // codes length
+    assert!(Request::decode(0x0A, &p).is_err());
+}
+
+/// Cross-version: the version gate sits at byte 4 of the header and is
+/// checked before the payload is read or the checksum considered, so a
+/// protocol-v3 peer's frames — whose kinds, payload shapes, and
+/// checksum conventions this version knows nothing about — are rejected
+/// as typed corruption at the version byte, for every frame kind in
+/// both directions. By symmetry a v3 reader applies the same gate to
+/// our frames: version negotiation is fail-fast, never best-effort
+/// decoding.
+#[test]
+fn v3_peers_are_rejected_at_the_version_byte_for_every_kind() {
+    assert_eq!(PROTOCOL_VERSION, 4, "this pin documents the v3/v4 break");
+    let frames: Vec<Vec<u8>> = all_requests()
+        .iter()
+        .map(Request::encode)
+        .chain(all_replies().iter().map(Reply::encode))
+        .collect();
+    for mut frame in frames {
+        frame[4] = 3; // the version byte, after the 4-byte length
+        let kind = frame[5];
+        let mut cursor = std::io::Cursor::new(frame);
+        match read_frame(&mut cursor) {
+            FrameEvent::Corrupt(e) => {
+                let msg = e.to_string();
+                assert!(
+                    msg.contains("protocol version 3"),
+                    "kind {kind:#04x}: rejection must name the version, got {msg:?}"
+                );
+            }
+            other => panic!("kind {kind:#04x}: v3 frame produced {other:?}"),
+        }
+    }
+
+    // The gate fires before the checksum is verified: a v3 frame whose
+    // checksum would fail under v4's rules is still reported as a
+    // version mismatch, exactly what a frame produced under v3's own
+    // conventions needs.
+    let mut frame = Request::Health.encode();
+    frame[4] = 3;
+    frame[6] ^= 0xFF; // trash the checksum as well
+    match read_frame(&mut std::io::Cursor::new(frame)) {
+        FrameEvent::Corrupt(e) => assert!(
+            e.to_string().contains("protocol version 3"),
+            "version gate must precede checksum verification"
+        ),
+        other => panic!("expected version corruption, got {other:?}"),
+    }
 }

@@ -1,0 +1,192 @@
+//! Client-side helpers for the streaming protocol: a sequenced
+//! submitter and a push subscriber, both thin wrappers over the
+//! blocking [`fenrir_serve::Client`].
+//!
+//! Both helpers tolerate interleaving: once a connection subscribes,
+//! `Event` frames can land between any reply and the next, so every
+//! receive loop here skips what it is not waiting for instead of
+//! treating it as a protocol violation. In particular an unsubscribe's
+//! final `Closed` event may arrive *before* the `Subscribed` reply —
+//! the server tears the subscription down first so the goodbye is
+//! always on the wire.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use fenrir_core::error::{Error, Result};
+use fenrir_core::health::CampaignHealth;
+use fenrir_measure::submit::SubmitRow;
+use fenrir_serve::protocol::Request;
+use fenrir_serve::{Client, Reply, StreamEvent, SubmitOutcome};
+
+/// A sequenced submitter over one connection.
+#[derive(Debug)]
+pub struct SubmitClient {
+    client: Client,
+}
+
+impl SubmitClient {
+    /// Connect to a streaming server.
+    pub fn connect(addr: SocketAddr) -> Result<SubmitClient> {
+        Ok(SubmitClient {
+            client: Client::connect(addr)?,
+        })
+    }
+
+    /// Bound each ack wait (None blocks indefinitely).
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<()> {
+        self.client.set_read_timeout(timeout)
+    }
+
+    /// Submit one observation and wait for its ack. Pushed events that
+    /// land in between (a connection can submit *and* subscribe) are
+    /// skipped, not errors.
+    pub fn submit(
+        &mut self,
+        seq: u64,
+        time: i64,
+        codes: Vec<u16>,
+        health: CampaignHealth,
+    ) -> Result<SubmitOutcome> {
+        self.client.send(&Request::Submit {
+            seq,
+            time,
+            codes,
+            health,
+        })?;
+        self.client.flush()?;
+        loop {
+            match self.client.recv()? {
+                Reply::SubmitAck {
+                    seq: acked,
+                    outcome,
+                } if acked == seq => return Ok(outcome),
+                Reply::SubmitAck { .. } | Reply::Event(_) => continue,
+                Reply::Error { code, message } => {
+                    return Err(Error::Internal {
+                        what: "stream submit",
+                        message: format!("server error {code}: {message}"),
+                    })
+                }
+                other => {
+                    return Err(Error::Internal {
+                        what: "stream submit",
+                        message: format!("expected a SubmitAck, got {other:?}"),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Submit one prepared row.
+    pub fn submit_row(&mut self, row: &SubmitRow) -> Result<SubmitOutcome> {
+        self.submit(row.seq, row.time, row.codes.clone(), row.health.clone())
+    }
+
+    /// Drive a whole campaign: submit every row in order, absorbing
+    /// `Duplicate` acks (at-least-once retries of rows the stream
+    /// already holds) and erroring on `Gap` — the rows are ordered, so
+    /// a gap means the stream and the campaign disagree. Returns the
+    /// total transitions the server reported.
+    pub fn submit_all(&mut self, rows: &[SubmitRow]) -> Result<u64> {
+        let mut transitions = 0u64;
+        for row in rows {
+            match self.submit_row(row)? {
+                SubmitOutcome::Accepted { transitions: t, .. } => transitions += u64::from(t),
+                SubmitOutcome::Duplicate => {}
+                SubmitOutcome::Gap { expected } => {
+                    return Err(Error::Internal {
+                        what: "stream submit",
+                        message: format!("seq {} refused: server expects {expected}", row.seq),
+                    })
+                }
+            }
+        }
+        Ok(transitions)
+    }
+
+    /// Access the underlying protocol client (queries on the same
+    /// connection, raw frames in tests).
+    pub fn inner(&mut self) -> &mut Client {
+        &mut self.client
+    }
+}
+
+/// A push subscriber over one connection.
+#[derive(Debug)]
+pub struct Subscriber {
+    client: Client,
+}
+
+impl Subscriber {
+    /// Connect and subscribe. Errors if the server refuses (draining
+    /// servers do).
+    pub fn connect(addr: SocketAddr) -> Result<Subscriber> {
+        let mut client = Client::connect(addr)?;
+        match client.request(&Request::Subscribe { enable: true })? {
+            Reply::Subscribed { active: true, .. } => Ok(Subscriber { client }),
+            Reply::Error { code, message } => Err(Error::Internal {
+                what: "stream subscribe",
+                message: format!("server error {code}: {message}"),
+            }),
+            other => Err(Error::Internal {
+                what: "stream subscribe",
+                message: format!("expected an active Subscribed reply, got {other:?}"),
+            }),
+        }
+    }
+
+    /// Bound each event wait (None blocks indefinitely).
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<()> {
+        self.client.set_read_timeout(timeout)
+    }
+
+    /// Wait for the next pushed event. Replies to any queries the
+    /// caller pipelined on this connection are skipped.
+    pub fn next_event(&mut self) -> Result<StreamEvent> {
+        loop {
+            if let Reply::Event(ev) = self.client.recv()? {
+                return Ok(ev);
+            }
+        }
+    }
+
+    /// Collect events until `Closed` arrives (drain/shutdown) or the
+    /// read deadline trips; the `Closed` itself is not included.
+    pub fn drain(&mut self) -> Result<Vec<StreamEvent>> {
+        let mut events = Vec::new();
+        loop {
+            match self.next_event()? {
+                StreamEvent::Closed => return Ok(events),
+                ev => events.push(ev),
+            }
+        }
+    }
+
+    /// Deregister. The server sends the subscription's final `Closed`
+    /// event and then confirms with an inactive `Subscribed` reply (in
+    /// that order); both are consumed here.
+    pub fn unsubscribe(mut self) -> Result<Vec<StreamEvent>> {
+        self.client.send(&Request::Subscribe { enable: false })?;
+        self.client.flush()?;
+        let mut missed = Vec::new();
+        loop {
+            match self.client.recv()? {
+                Reply::Event(StreamEvent::Closed) => continue,
+                Reply::Event(ev) => missed.push(ev),
+                Reply::Subscribed { active: false, .. } => return Ok(missed),
+                other => {
+                    return Err(Error::Internal {
+                        what: "stream unsubscribe",
+                        message: format!("unexpected reply {other:?}"),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Access the underlying protocol client.
+    pub fn inner(&mut self) -> &mut Client {
+        &mut self.client
+    }
+}

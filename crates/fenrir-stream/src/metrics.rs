@@ -1,0 +1,116 @@
+//! Ingestor-side stream metric families.
+//!
+//! The instruments live on the [`StreamMetrics`] struct itself — plain
+//! lock-free counters and one histogram, recorded into whether or not
+//! any registry exists — and [`StreamMetrics::bind`] exports them into
+//! a [`Registry`] as closure-backed series (histogram adopted whole),
+//! the same pattern the serve fleet uses for store and breaker tallies.
+//! Families:
+//!
+//! | family | meaning |
+//! |---|---|
+//! | `fenrir_stream_submits_total` | `Submit` frames handled |
+//! | `fenrir_stream_acks_total` | `SubmitAck` replies produced |
+//! | `fenrir_stream_duplicates_total` | acks with a `Duplicate` outcome |
+//! | `fenrir_stream_gaps_total` | acks with a `Gap` outcome |
+//! | `fenrir_stream_transitions_total` | mode transitions emitted |
+//! | `fenrir_stream_fold_latency_us` | accepted-fold latency histogram |
+//!
+//! The subscriber-side families (`fenrir_stream_subscribers`,
+//! `fenrir_stream_events_pushed_total`,
+//! `fenrir_stream_lagged_drops_total`) are registered by every
+//! `fenrir-serve` server, stream-enabled or not.
+
+use fenrir_obs::{Counter, Histogram, Registry, DEFAULT_LATENCY_BOUNDS_US};
+
+/// Always-on instruments for one ingestor.
+#[derive(Debug, Clone)]
+pub struct StreamMetrics {
+    /// `Submit` frames handled (any outcome).
+    pub submits: Counter,
+    /// `SubmitAck` replies produced.
+    pub acks: Counter,
+    /// Duplicate outcomes (at-least-once retries absorbed).
+    pub duplicates: Counter,
+    /// Gap outcomes (out-of-order submissions refused).
+    pub gaps: Counter,
+    /// Mode transitions emitted.
+    pub transitions: Counter,
+    /// Latency of accepted folds (journal append + incremental
+    /// re-derivation), microseconds.
+    pub fold_latency: Histogram,
+}
+
+impl Default for StreamMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamMetrics {
+    /// Fresh zeroed instruments.
+    pub fn new() -> Self {
+        StreamMetrics {
+            submits: Counter::new(),
+            acks: Counter::new(),
+            duplicates: Counter::new(),
+            gaps: Counter::new(),
+            transitions: Counter::new(),
+            fold_latency: Histogram::new(DEFAULT_LATENCY_BOUNDS_US),
+        }
+    }
+
+    /// Export every family into `registry`. Safe to call more than
+    /// once; later binds replace earlier ones.
+    pub fn bind(&self, registry: &Registry) {
+        let c = self.submits.clone();
+        registry.counter_fn("fenrir_stream_submits_total", &[], move || c.get() as f64);
+        let c = self.acks.clone();
+        registry.counter_fn("fenrir_stream_acks_total", &[], move || c.get() as f64);
+        let c = self.duplicates.clone();
+        registry.counter_fn("fenrir_stream_duplicates_total", &[], move || {
+            c.get() as f64
+        });
+        let c = self.gaps.clone();
+        registry.counter_fn("fenrir_stream_gaps_total", &[], move || c.get() as f64);
+        let c = self.transitions.clone();
+        registry.counter_fn("fenrir_stream_transitions_total", &[], move || {
+            c.get() as f64
+        });
+        registry.adopt_histogram(
+            "fenrir_stream_fold_latency_us",
+            &[],
+            self.fold_latency.clone(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_exports_all_six_families() {
+        let m = StreamMetrics::new();
+        m.submits.inc();
+        m.fold_latency.observe(42);
+        let r = Registry::new();
+        m.bind(&r);
+        let text = r.render();
+        for family in [
+            "fenrir_stream_submits_total",
+            "fenrir_stream_acks_total",
+            "fenrir_stream_duplicates_total",
+            "fenrir_stream_gaps_total",
+            "fenrir_stream_transitions_total",
+            "fenrir_stream_fold_latency_us",
+        ] {
+            assert!(
+                text.contains(&format!("# TYPE {family}")),
+                "missing {family}"
+            );
+        }
+        assert!(text.contains("fenrir_stream_submits_total 1\n"));
+        assert!(text.contains("fenrir_stream_fold_latency_us_count 1\n"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Streaming variants of the ROADMAP scenarios: run a clean campaign
+//! batch-style, then hand back its observations as ordered submit rows
+//! so a test or example can drive them through a real server one frame
+//! at a time.
+//!
+//! Two stories, mirroring [`fenrir_measure::adversarial`]'s templates
+//! without the adversary:
+//!
+//! * [`hypergiant_churn`] — a hypergiant whose front-end clusters
+//!   reshuffle weekly (days 7 and 14 of a 21-day EDNS-CS campaign);
+//!   the reshuffles are the mode transitions a subscriber should see.
+//! * [`ddos_catchment_flip`] — a three-site B-Root replica losing one
+//!   site to a DDoS across days 5–10 of a 15-day Verfploeter campaign;
+//!   the drain onset and recovery are the expected transitions.
+//!
+//! Both are deterministic under `seed`, which perturbs the campaign's
+//! own RNG stream (so a CI-pinned `FENRIR_STREAM_SEED` exercises one
+//! reproducible path while still proving nothing is hard-coded).
+
+use fenrir_core::error::Result;
+use fenrir_core::ids::SiteTable;
+use fenrir_core::time::Timestamp;
+use fenrir_measure::ednscs::{EdnsCsCampaign, FrontendPolicy};
+use fenrir_measure::submit::{rows_from_ednscs, rows_from_sweep, SubmitRow};
+use fenrir_measure::verfploeter::Verfploeter;
+use fenrir_measure::RunnerConfig;
+use fenrir_netsim::anycast::AnycastService;
+use fenrir_netsim::events::Scenario;
+use fenrir_netsim::geo::cities;
+use fenrir_netsim::topology::{Tier, TopologyBuilder};
+
+/// A campaign rendered as an ordered submit feed.
+#[derive(Debug, Clone)]
+pub struct StreamScenario {
+    /// Scenario name (used in logs and bench output).
+    pub name: &'static str,
+    /// Site table the codes refer to.
+    pub sites: SiteTable,
+    /// Vantage points per observation.
+    pub networks: usize,
+    /// The feed, ordered by sequence number.
+    pub rows: Vec<SubmitRow>,
+    /// Observation indices where the scenario's script changes routing
+    /// (reshuffle epochs, drain boundaries) — where transitions are
+    /// *expected*, give or take discovery lag.
+    pub scripted_changes: Vec<usize>,
+}
+
+/// A hypergiant with weekly front-end reshuffles: 21 daily EDNS-CS
+/// sweeps over 50 stub networks, cluster reshuffles at days 7 and 14.
+pub fn hypergiant_churn(seed: u64) -> Result<StreamScenario> {
+    let topo = TopologyBuilder {
+        transit: 3,
+        regional: 6,
+        stubs: 50,
+        blocks_per_stub: 1,
+        seed: 0xAD00,
+        ..Default::default()
+    }
+    .build();
+    let svc = AnycastService::new("hypergiant");
+    let campaign = EdnsCsCampaign {
+        hostname: "www.hypergiant.example".into(),
+        policy: FrontendPolicy::Churn {
+            clusters: 24,
+            epoch_secs: 7 * 86_400,
+            era: 9,
+            sticky_frac: 0.15,
+            daily_churn: 0.01,
+        },
+        loss_prob: 0.02,
+        seed: 0x44D5_0001 ^ seed,
+    };
+    let times: Vec<Timestamp> = (0..21).map(Timestamp::from_days).collect();
+    let result = campaign.run_with(
+        &topo,
+        &svc,
+        &Scenario::new(),
+        &times,
+        &RunnerConfig::default(),
+        None,
+    )?;
+    Ok(StreamScenario {
+        name: "hypergiant_churn",
+        sites: result.series.sites().clone(),
+        networks: result.series.networks(),
+        rows: rows_from_ednscs(&result),
+        scripted_changes: vec![7, 14],
+    })
+}
+
+/// A three-site B-Root replica losing LAX to a DDoS across days 5–10
+/// of a 15-day Verfploeter campaign: the drain and the recovery are
+/// catchment flips every honest block observes.
+pub fn ddos_catchment_flip(seed: u64) -> Result<StreamScenario> {
+    let topo = TopologyBuilder {
+        transit: 3,
+        regional: 6,
+        stubs: 40,
+        blocks_per_stub: 2,
+        seed: 0xAD01,
+        ..Default::default()
+    }
+    .build();
+    let regionals = topo.tier_members(Tier::Regional);
+    let mut svc = AnycastService::new("B-Root");
+    svc.add_site("LAX", regionals[0], cities::LAX);
+    svc.add_site("MIA", regionals[1], cities::MIA);
+    svc.add_site("AMS", regionals[2], cities::AMS);
+    let mut scenario = Scenario::new();
+    scenario.drain(
+        0,
+        Timestamp::from_days(5).as_secs(),
+        Timestamp::from_days(10).as_secs(),
+        "ddos",
+    );
+    let campaign = Verfploeter {
+        mean_response_rate: 0.75,
+        seed: 0x0D05_0001 ^ seed,
+    };
+    let times: Vec<Timestamp> = (0..15).map(Timestamp::from_days).collect();
+    let result = campaign.run_with(
+        &topo,
+        &svc,
+        &scenario,
+        &times,
+        &RunnerConfig::default(),
+        None,
+    )?;
+    Ok(StreamScenario {
+        name: "ddos_catchment_flip",
+        sites: result.series.sites().clone(),
+        networks: result.series.networks(),
+        rows: rows_from_sweep(&result),
+        scripted_changes: vec![5, 10],
+    })
+}

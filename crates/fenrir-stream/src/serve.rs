@@ -1,0 +1,91 @@
+//! One-call streaming deployment: ingestor + query store + TCP server
+//! over a single journal file.
+//!
+//! [`StreamServer`] wires the write path and the read path to the same
+//! durable artifact: the [`StreamIngestor`] owns the journal and
+//! appends to it, while the server's [`ModeStore`] follows the same
+//! file read-only (opened with
+//! [`allow_empty`](StoreOptions::allow_empty), so a freshly created
+//! stream serves `NOT_FOUND` instead of refusing to start) and hot-
+//! reloads as submissions land. Queries therefore converge on
+//! submitted data within one follow tick, and both sides survive a
+//! process kill at any frame boundary — the journal is the only state.
+
+use std::net::SocketAddr;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+use fenrir_core::error::Result;
+use fenrir_core::ids::SiteTable;
+use fenrir_serve::{ModeStore, ServeConfig, Server, StoreOptions, StreamHandler};
+
+use crate::ingest::{StreamConfig, StreamIngestor};
+
+/// A running streaming deployment: TCP server, query store, ingestor.
+pub struct StreamServer {
+    ingestor: Arc<StreamIngestor>,
+    server: Server,
+}
+
+impl std::fmt::Debug for StreamServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamServer")
+            .field("addr", &self.server.addr())
+            .field("ingestor", &self.ingestor)
+            .finish()
+    }
+}
+
+impl StreamServer {
+    /// Open (or create) the journal at `path`, start a protocol-v4
+    /// server over it, and export the ingestor's metric families into
+    /// the server's registry. `serve_cfg.follow` defaults to 25 ms when
+    /// unset so the query side actually tracks submissions.
+    pub fn start(
+        path: &Path,
+        sites: SiteTable,
+        networks: usize,
+        cfg: StreamConfig,
+        mut serve_cfg: ServeConfig,
+    ) -> Result<StreamServer> {
+        let adaptive = cfg.adaptive;
+        let ingestor = Arc::new(StreamIngestor::open(path, sites, networks, cfg)?);
+        let store = Arc::new(ModeStore::open(
+            path,
+            StoreOptions {
+                adaptive,
+                allow_empty: true,
+                ..StoreOptions::default()
+            },
+        )?);
+        if serve_cfg.follow.is_none() {
+            serve_cfg.follow = Some(Duration::from_millis(25));
+        }
+        let handler: Arc<dyn StreamHandler> = Arc::clone(&ingestor) as Arc<dyn StreamHandler>;
+        let server = Server::start_with_stream(store, handler, serve_cfg)?;
+        ingestor.bind_metrics(&server.registry());
+        Ok(StreamServer { ingestor, server })
+    }
+
+    /// Where the server is listening.
+    pub fn addr(&self) -> SocketAddr {
+        self.server.addr()
+    }
+
+    /// The write path.
+    pub fn ingestor(&self) -> &Arc<StreamIngestor> {
+        &self.ingestor
+    }
+
+    /// The underlying query server.
+    pub fn server(&self) -> &Server {
+        &self.server
+    }
+
+    /// Stop accepting, drain, close every subscription with a final
+    /// `Closed` event, and join every thread.
+    pub fn shutdown(self) {
+        self.server.shutdown();
+    }
+}

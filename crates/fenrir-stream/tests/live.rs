@@ -1,0 +1,237 @@
+//! The ROADMAP scenarios end-to-end through a real TCP server in
+//! submit mode: a campaign streams its observations as `Submit`
+//! frames, a subscribed connection receives every `ModeTransition`
+//! push, and the loss accounting closes exactly — events received plus
+//! explicit `Lagged` misses equal events emitted, zero silent loss.
+//! Also the drain regression: a subscriber-only connection is released
+//! promptly with a final `Closed` event, not held to its read deadline.
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use fenrir_serve::protocol::AdminCmd;
+use fenrir_serve::{Client, Reply, ServeConfig, StreamEvent};
+use fenrir_stream::{
+    ddos_catchment_flip, hypergiant_churn, StreamConfig, StreamScenario, StreamServer,
+    SubmitClient, Subscriber,
+};
+
+fn temp_journal(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("fenrir-stream-{tag}-{}", std::process::id()));
+    let _ = fs::remove_file(&path);
+    path
+}
+
+fn seed() -> u64 {
+    std::env::var("FENRIR_STREAM_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7)
+}
+
+/// Drive one scenario through a live server with a subscriber watching,
+/// and close the books on every pushed event.
+fn stream_scenario(tag: &str, sc: StreamScenario) {
+    let path = temp_journal(tag);
+    let server = StreamServer::start(
+        &path,
+        sc.sites.clone(),
+        sc.networks,
+        StreamConfig::new(sc.networks),
+        ServeConfig::default(),
+    )
+    .expect("start server");
+    let addr = server.addr();
+
+    // Subscribe before the first frame so every transition is pushed.
+    let mut sub = Subscriber::connect(addr).expect("subscribe");
+    sub.set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+
+    let mut submitter = SubmitClient::connect(addr).expect("submitter");
+    submitter
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    let acked_transitions = submitter.submit_all(&sc.rows).expect("submit campaign");
+    assert!(
+        acked_transitions > 0,
+        "{}: the scripted routing changes must surface as transitions",
+        sc.name
+    );
+
+    // Collect exactly what the acks promised; explicit Lagged markers
+    // (none expected at this rate, but never silent) count as misses.
+    let mut received = Vec::new();
+    let mut missed = 0u64;
+    while (received.len() as u64) + missed < acked_transitions {
+        match sub.next_event().expect("pushed event") {
+            StreamEvent::ModeTransition { seq, .. } => received.push(seq),
+            StreamEvent::Lagged { missed: m } => missed += m,
+            StreamEvent::Closed => panic!("{}: premature Closed", sc.name),
+        }
+    }
+
+    // Every scripted change is discovered at its frame (give or take
+    // one observation of discovery lag). With explicit misses the
+    // attribution is unknowable, but at this rate nothing sheds.
+    if missed == 0 {
+        for &change in &sc.scripted_changes {
+            let hit = received
+                .iter()
+                .any(|&s| (s as i64 - change as i64).abs() <= 1);
+            assert!(
+                hit,
+                "{}: no transition within one frame of scripted change {change} \
+                 (got {received:?})",
+                sc.name
+            );
+        }
+    }
+
+    // The books must balance: emitted == delivered + explicitly shed.
+    let registry = server.server().registry();
+    let emitted = registry
+        .value("fenrir_stream_transitions_total", &[])
+        .expect("transitions family") as u64;
+    let pushed = registry
+        .value("fenrir_stream_events_pushed_total", &[])
+        .expect("pushed family") as u64;
+    let shed = registry
+        .value("fenrir_stream_lagged_drops_total", &[])
+        .expect("lagged family") as u64;
+    assert_eq!(emitted, acked_transitions, "{}: acks vs counter", sc.name);
+    assert_eq!(
+        pushed + shed,
+        emitted,
+        "{}: every emitted event was either delivered or explicitly shed",
+        sc.name
+    );
+    assert_eq!(
+        received.len() as u64 + missed,
+        emitted,
+        "{}: the subscriber can account for every event",
+        sc.name
+    );
+    assert_eq!(
+        registry.value("fenrir_stream_submits_total", &[]),
+        Some(sc.rows.len() as f64),
+        "{}: one submit per row",
+        sc.name
+    );
+    assert_eq!(
+        registry.value("fenrir_stream_subscribers", &[]),
+        Some(1.0),
+        "{}: the subscriber is registered",
+        sc.name
+    );
+
+    // Unsubscribe cleanly; the gauge drops and late events are none.
+    let late = sub.unsubscribe().expect("unsubscribe");
+    assert!(
+        late.is_empty(),
+        "{}: no events after the feed ended",
+        sc.name
+    );
+    assert_eq!(registry.value("fenrir_stream_subscribers", &[]), Some(0.0));
+
+    server.shutdown();
+    let _ = fs::remove_file(&path);
+}
+
+#[test]
+fn ddos_catchment_flip_streams_end_to_end() {
+    stream_scenario("live-ddos", ddos_catchment_flip(seed()).expect("scenario"));
+}
+
+#[test]
+fn hypergiant_churn_streams_end_to_end() {
+    stream_scenario(
+        "live-hypergiant",
+        hypergiant_churn(seed()).expect("scenario"),
+    );
+}
+
+#[test]
+fn duplicate_replays_over_tcp_are_absorbed() {
+    let sc = ddos_catchment_flip(seed()).expect("scenario");
+    let path = temp_journal("live-dup");
+    let server = StreamServer::start(
+        &path,
+        sc.sites.clone(),
+        sc.networks,
+        StreamConfig::new(sc.networks),
+        ServeConfig::default(),
+    )
+    .expect("start server");
+
+    let mut submitter = SubmitClient::connect(server.addr()).expect("submitter");
+    submitter
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    submitter.submit_all(&sc.rows[..5]).expect("first half");
+    // An at-least-once retry of the whole prefix plus the rest: the
+    // replayed rows ack Duplicate, the rest are accepted, and the
+    // server ends with exactly one copy of everything.
+    submitter.submit_all(&sc.rows).expect("replay then finish");
+    assert_eq!(server.ingestor().observations(), sc.rows.len() as u64);
+    let registry = server.server().registry();
+    assert_eq!(
+        registry.value("fenrir_stream_duplicates_total", &[]),
+        Some(5.0)
+    );
+    assert_eq!(registry.value("fenrir_stream_gaps_total", &[]), Some(0.0));
+
+    server.shutdown();
+    let _ = fs::remove_file(&path);
+}
+
+/// The drain regression (the small-fix satellite): a subscriber-only
+/// connection — no queries in flight, nothing to finish — must be
+/// released promptly when the server drains, with the subscription's
+/// final `Closed` event on the wire, not parked until its read
+/// deadline.
+#[test]
+fn drain_releases_subscriber_only_connections_promptly() {
+    let sc = ddos_catchment_flip(seed()).expect("scenario");
+    let path = temp_journal("live-drain");
+    let server = StreamServer::start(
+        &path,
+        sc.sites.clone(),
+        sc.networks,
+        StreamConfig::new(sc.networks),
+        ServeConfig {
+            admin_token: Some("drain-test-token".into()),
+            read_deadline: Duration::from_secs(30),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("start server");
+    let addr = server.addr();
+
+    let mut sub = Subscriber::connect(addr).expect("subscribe");
+    sub.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+
+    let mut admin = Client::connect(addr).expect("admin client");
+    match admin
+        .admin("drain-test-token", AdminCmd::Drain)
+        .expect("drain")
+    {
+        Reply::Admin { .. } => {}
+        other => panic!("drain refused: {other:?}"),
+    }
+
+    let start = Instant::now();
+    let events = sub.drain().expect("final Closed before the deadline");
+    assert!(events.is_empty(), "no data events were pending");
+    assert!(
+        start.elapsed() < Duration::from_secs(2),
+        "subscriber held {:?} on drain — must be released promptly, \
+         not parked until the read deadline",
+        start.elapsed()
+    );
+
+    server.shutdown();
+    let _ = fs::remove_file(&path);
+}
