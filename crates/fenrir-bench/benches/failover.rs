@@ -1,0 +1,249 @@
+//! Fenced-failover bench: how long a standby takes from *noticing* the
+//! lapsed lease to *accepting* its first submit, across repeated
+//! leader kills — with the acked-loss books pinned to zero.
+//!
+//! One replicated ingest fleet over an in-process object tier. Each
+//! round the sitting leader ingests a batch (sealing once mid-batch at
+//! a seed-drawn frame, so every promotion pays tier hydration *plus*
+//! WAL-suffix replay, not replay alone), then dies mid-lease — no
+//! resign, no goodbye. The clock jumps past the TTL and the timer
+//! starts on the warm standby's promoting `tick()`: lease CAS, fenced
+//! WAL open, tier hydrate, suffix replay — and stops when its first
+//! submit acks `Accepted`. That detection-to-first-accepted-submit
+//! window is the availability gap a client actually feels.
+//!
+//! After every promotion the books are audited: the successor's
+//! observation count must equal the acked count (any shortfall is
+//! acked loss, and the bar is exactly zero), and the final state must
+//! be bit-identical to an uninterrupted single-ingestor run of the
+//! same feed. Emits `BENCH_failover.json` at the workspace root
+//! (hand-formatted: the vendored serde_json stub cannot serialize).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fenrir_core::health::CampaignHealth;
+use fenrir_core::ids::SiteTable;
+use fenrir_core::time::Timestamp;
+use fenrir_data::storage::{ObjectChaos, ObjectSim, RetryPolicy, Storage};
+use fenrir_measure::submit::SubmitRow;
+use fenrir_serve::{Reply, StreamHandler, SubmitOutcome};
+use fenrir_stream::{
+    Clock, ReplicatedConfig, ReplicatedIngestor, StreamConfig, StreamIngestor,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const NETWORKS: usize = 64;
+const SITES: usize = 4;
+const ROUNDS: usize = 24;
+const BATCH: usize = 8;
+const PREFIX: &str = "bench/failover/tier";
+const TTL_MS: u64 = 1_000;
+const SEED: u64 = 0xFA17;
+
+fn retry() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 4,
+        backoff_base: Duration::from_micros(50),
+        backoff_max: Duration::from_micros(200),
+        deadline: Duration::from_secs(2),
+        seed: SEED,
+        stats: None,
+    }
+}
+
+fn sites() -> SiteTable {
+    SiteTable::from_names((0..SITES).map(|s| format!("S{s:02}")))
+}
+
+/// The feed: anycast catchments that rotate every 16 frames plus a
+/// seed-drawn handful of churning vantages per frame, so every batch
+/// folds real transitions through the pipeline.
+fn synthetic_rows(frames: usize) -> Vec<SubmitRow> {
+    let mut rng = ChaCha8Rng::seed_from_u64(SEED);
+    (0..frames)
+        .map(|day| {
+            let phase = day / 16;
+            let mut codes: Vec<u16> = (0..NETWORKS)
+                .map(|n| ((n + phase) % SITES) as u16)
+                .collect();
+            for _ in 0..4 {
+                let n = rng.gen_range(0..NETWORKS);
+                codes[n] = rng.gen_range(0..SITES) as u16;
+            }
+            let time = Timestamp::from_days(day as i64);
+            let mut health = CampaignHealth::new(time, NETWORKS);
+            health.responses = NETWORKS;
+            SubmitRow {
+                seq: day as u64,
+                time: time.as_secs(),
+                codes,
+                health,
+            }
+        })
+        .collect()
+}
+
+fn accept(h: &dyn StreamHandler, row: &SubmitRow) {
+    let (reply, _) = h.submit(row.seq, row.time, &row.codes, row.health.clone());
+    assert!(
+        matches!(
+            reply,
+            Reply::SubmitAck {
+                outcome: SubmitOutcome::Accepted { .. },
+                ..
+            }
+        ),
+        "seq {} not accepted: {reply:?}",
+        row.seq
+    );
+}
+
+fn node(
+    store: &Arc<dyn Storage>,
+    dir: &PathBuf,
+    round: usize,
+    clock: Clock,
+) -> ReplicatedIngestor {
+    let cfg = ReplicatedConfig {
+        hot_path: dir.join(format!("n{round}.fnrj")),
+        prefix: PREFIX.into(),
+        retry: retry(),
+        sites: sites(),
+        networks: NETWORKS,
+        stream: StreamConfig::new(NETWORKS),
+        advertise: format!("10.0.0.{round}:4477"),
+        lease_ttl_ms: TTL_MS,
+    };
+    ReplicatedIngestor::new(Arc::clone(store), cfg, clock).expect("standby node")
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("fenrir-bench-failover-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+
+    let frames = (ROUNDS + 1) * BATCH;
+    let rows = synthetic_rows(frames);
+    println!(
+        "failover bench: {ROUNDS} leader kills over {frames} frames x {NETWORKS} networks (seed {SEED:#x})"
+    );
+
+    // The uninterrupted reference for the bit-identical audit.
+    let reference = StreamIngestor::in_memory(sites(), NETWORKS, StreamConfig::new(NETWORKS))
+        .expect("reference ingestor");
+    for row in &rows {
+        accept(&reference, row);
+    }
+    let want_bits = reference.state_bits().expect("reference state");
+
+    let store: Arc<dyn Storage> =
+        Arc::new(ObjectSim::new(ObjectChaos::none(SEED)).expect("object sim"));
+    let t = Arc::new(AtomicU64::new(0));
+    let view = Arc::clone(&t);
+    let clock: Clock = Arc::new(move || view.load(Ordering::SeqCst));
+    let mut seal_rng = ChaCha8Rng::seed_from_u64(SEED ^ 0x5EA1);
+
+    // Round 0's leader bootstraps the fleet.
+    let mut leader = node(&store, &dir, 0, Arc::clone(&clock));
+    assert!(leader.tick().expect("bootstrap election"), "empty lease must be won");
+
+    let mut acked = 0u64;
+    let mut acked_loss = 0u64;
+    let mut gaps: Vec<Duration> = Vec::with_capacity(ROUNDS);
+    let mut idx = 0usize;
+
+    for round in 0..ROUNDS {
+        // The sitting leader works up to the end of this round's batch,
+        // sealing once at a seed-drawn frame so the WAL suffix length
+        // the successor must replay varies per round.
+        let end = (round + 1) * BATCH;
+        let seal_at = idx + seal_rng.gen_range(0..end - idx);
+        while idx < end {
+            accept(&leader, &rows[idx]);
+            acked += 1;
+            if idx == seal_at {
+                leader.compact().expect("mid-batch seal");
+            }
+            idx += 1;
+        }
+
+        // The warm standby exists before the crash; only promotion is
+        // inside the timed window.
+        let standby = node(&store, &dir, round + 1, Arc::clone(&clock));
+        drop(leader); // the leader dies holding a live lease
+        t.fetch_add(2 * TTL_MS + 1, Ordering::SeqCst);
+
+        // Detection to first accepted submit: lease CAS + fenced WAL
+        // open + tier hydrate + suffix replay + one full submit fold.
+        let probe = &rows[idx];
+        let start = Instant::now();
+        assert!(standby.tick().expect("takeover"), "lapsed lease must be claimable");
+        let (reply, _) = standby.submit(probe.seq, probe.time, &probe.codes, probe.health.clone());
+        let gap = start.elapsed();
+        assert!(
+            matches!(
+                reply,
+                Reply::SubmitAck {
+                    outcome: SubmitOutcome::Accepted { .. },
+                    ..
+                }
+            ),
+            "round {round}: first post-failover submit not accepted: {reply:?}"
+        );
+        idx += 1;
+        acked += 1;
+        gaps.push(gap);
+
+        // The books: every ack the dead leader issued must be visible
+        // to its successor. The bar is exactly zero loss.
+        let observed = standby.ingestor().expect("leader pipeline").observations();
+        acked_loss += acked.saturating_sub(observed);
+        leader = standby;
+    }
+
+    // The last leader finishes the feed uninterrupted.
+    while idx < rows.len() {
+        accept(&leader, &rows[idx]);
+        acked += 1;
+        idx += 1;
+    }
+
+    let ing = leader.ingestor().expect("final leader pipeline");
+    assert_eq!(ing.observations(), rows.len() as u64, "acked loss at the end");
+    assert_eq!(
+        ing.state_bits().expect("final state"),
+        want_bits,
+        "failover run diverged from the uninterrupted reference"
+    );
+    assert_eq!(acked_loss, 0, "an acked observation went missing");
+    assert_eq!(gaps.len(), ROUNDS);
+
+    gaps.sort();
+    let p50 = percentile(&gaps, 0.50);
+    let p99 = percentile(&gaps, 0.99);
+    println!(
+        "detection-to-first-accepted-submit: p50 {:.2} ms, p99 {:.2} ms over {ROUNDS} failovers; acked loss 0/{acked}",
+        p50.as_secs_f64() * 1e3,
+        p99.as_secs_f64() * 1e3
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"failover\",\n  \"rounds\": {ROUNDS},\n  \"frames\": {frames},\n  \"networks\": {NETWORKS},\n  \"seed\": {SEED},\n  \"lease_ttl_ms\": {TTL_MS},\n  \"detect_to_accept\": {{ \"p50_us\": {:.1}, \"p99_us\": {:.1} }},\n  \"acked\": {acked},\n  \"acked_loss\": {acked_loss}\n}}\n",
+        p50.as_secs_f64() * 1e6,
+        p99.as_secs_f64() * 1e6,
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_failover.json");
+    std::fs::write(out, &json).expect("write BENCH_failover.json");
+    println!("wrote {out}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

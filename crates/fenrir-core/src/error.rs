@@ -143,6 +143,20 @@ pub enum Error {
         /// Human-readable description of the last failure.
         message: String,
     },
+    /// A writer holding a stale fencing epoch tried to mutate shared
+    /// state that a newer epoch now owns. This is the *refusal* arm of
+    /// lease-based leadership: a deposed leader's seal, manifest commit
+    /// or write-ahead ack is rejected outright — never interleaved with
+    /// the new leader's writes — and the only recovery is to step down
+    /// and re-acquire leadership. Deliberately not retryable.
+    Fenced {
+        /// What was refused (e.g. "manifest commit", "wal append").
+        what: &'static str,
+        /// The epoch the deposed writer presented.
+        held: u64,
+        /// The newer epoch that owns the state now.
+        current: u64,
+    },
 }
 
 impl From<fenrir_wire::WireError> for Error {
@@ -214,6 +228,14 @@ impl fmt::Display for Error {
             } => write!(
                 f,
                 "{what} failed after {attempts} attempts; last error: {message}"
+            ),
+            Error::Fenced {
+                what,
+                held,
+                current,
+            } => write!(
+                f,
+                "{what} fenced: epoch {held} was deposed by epoch {current}"
             ),
         }
     }
@@ -389,6 +411,19 @@ mod tests {
             message: "source object does not exist".into(),
         };
         assert!(p.to_string().contains("(permanent)"));
+    }
+
+    #[test]
+    fn display_fenced() {
+        let e = Error::Fenced {
+            what: "manifest commit",
+            held: 3,
+            current: 5,
+        };
+        assert_eq!(
+            e.to_string(),
+            "manifest commit fenced: epoch 3 was deposed by epoch 5"
+        );
     }
 
     #[test]

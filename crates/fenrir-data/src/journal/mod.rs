@@ -207,6 +207,14 @@ impl Backend {
             Backend::Tiered(t) => Some(t),
         }
     }
+
+    /// Mutable access to the tiered backend (fence stamping).
+    pub(crate) fn tier_mut(&mut self) -> Option<&mut crate::storage::TieredJournal> {
+        match self {
+            Backend::Flat(_) => None,
+            Backend::Tiered(t) => Some(t),
+        }
+    }
 }
 
 /// An append-only checksummed frame log, in memory or file-backed.

@@ -700,6 +700,12 @@ impl RecoverablePipeline {
         self.journal.tier()
     }
 
+    /// Mutable access to the tiered backend — a replicated leader
+    /// stamps its fencing epoch through this before serving writes.
+    pub fn tier_mut(&mut self) -> Option<&mut TieredJournal> {
+        self.journal.tier_mut()
+    }
+
     /// The accumulated series.
     pub fn series(&self) -> &VectorSeries {
         &self.series

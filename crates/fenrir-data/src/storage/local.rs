@@ -16,11 +16,12 @@
 //! behind forever. [`durable_replace`] and the tmp sweep in
 //! [`LocalDisk::open`] (mirrored by `Journal::open`) close both holes.
 
-use super::{storage_err, validate_key, Storage};
+use super::{storage_err, validate_key, CasOutcome, Storage};
 use fenrir_core::error::{Error, Result};
 use std::fs::{self, File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
 /// Suffix of in-flight replacement files; anything wearing it is
 /// garbage after a crash and is swept on open.
@@ -98,6 +99,11 @@ pub fn sweep_tmp(dir: &Path) -> std::io::Result<()> {
 #[derive(Debug)]
 pub struct LocalDisk {
     root: PathBuf,
+    /// Serializes [`Storage::put_if`] compare-and-replace sequences so
+    /// the compare and the write are one atomic step for every writer
+    /// sharing this handle. Plain puts stay lock-free: they are atomic
+    /// per key already via the rename.
+    cas: Mutex<()>,
 }
 
 impl LocalDisk {
@@ -110,6 +116,7 @@ impl LocalDisk {
             .map_err(|e| storage_err("open", root.display().to_string(), true, e.to_string()))?;
         Ok(LocalDisk {
             root: root.to_path_buf(),
+            cas: Mutex::new(()),
         })
     }
 
@@ -225,6 +232,25 @@ impl Storage for LocalDisk {
         }
         Ok(())
     }
+
+    fn put_if(&self, key: &str, expected: Option<&[u8]>, bytes: &[u8]) -> Result<CasOutcome> {
+        validate_key("put_if", key)?;
+        let _guard = self.cas.lock().unwrap();
+        let path = self.path_of(key);
+        let actual = match fs::read(&path) {
+            Ok(b) => Some(b),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(Self::io("put_if", key, e)),
+        };
+        if actual.as_deref() != expected {
+            return Ok(CasOutcome::Conflict { actual });
+        }
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent).map_err(|e| Self::io("put_if", key, e))?;
+        }
+        durable_replace(&path, bytes).map_err(|e| Self::io("put_if", key, e))?;
+        Ok(CasOutcome::Committed)
+    }
 }
 
 #[cfg(test)]
@@ -285,6 +311,39 @@ mod tests {
         let disk = LocalDisk::open(&root).unwrap();
         assert!(!root.join("segments/seg-00000009.tmp").exists());
         assert_eq!(disk.list("").unwrap(), vec!["live"]);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn put_if_commits_only_when_the_expectation_holds() {
+        let root = scratch("cas");
+        let disk = LocalDisk::open(&root).unwrap();
+        // Create-only: succeeds once, conflicts after.
+        assert_eq!(disk.put_if("k", None, b"one").unwrap(), CasOutcome::Committed);
+        assert_eq!(
+            disk.put_if("k", None, b"again").unwrap(),
+            CasOutcome::Conflict {
+                actual: Some(b"one".to_vec())
+            }
+        );
+        // Stale expectation conflicts and reports the true bytes.
+        assert_eq!(
+            disk.put_if("k", Some(b"stale"), b"two").unwrap(),
+            CasOutcome::Conflict {
+                actual: Some(b"one".to_vec())
+            }
+        );
+        // Matching expectation commits.
+        assert_eq!(
+            disk.put_if("k", Some(b"one"), b"two").unwrap(),
+            CasOutcome::Committed
+        );
+        assert_eq!(disk.get("k").unwrap().unwrap(), b"two");
+        // Expecting an object on a missing key conflicts with None.
+        assert_eq!(
+            disk.put_if("ghost", Some(b"x"), b"y").unwrap(),
+            CasOutcome::Conflict { actual: None }
+        );
         let _ = fs::remove_dir_all(&root);
     }
 

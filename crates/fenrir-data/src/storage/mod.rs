@@ -26,6 +26,13 @@
 //! * [`tiered::TieredJournal`] — the composite tier: hot journal tail on
 //!   local disk, sealed snapshot segments pushed to the object tier
 //!   under a checksummed manifest, cold epochs hydrated on demand.
+//! * [`lease::Lease`] — lease-based leadership over the tier: one
+//!   conditional-put-guarded record whose monotonically increasing
+//!   fencing epoch is stamped on every fenced write.
+//! * [`wal::FencedWal`] — the replicated write path: per-observation
+//!   records plus a CAS-guarded head whose successful advance *is* the
+//!   ack, so a deposed leader can never acknowledge an observation the
+//!   new leader will not replay.
 //!
 //! ## Key syntax
 //!
@@ -34,17 +41,37 @@
 //! never escape a [`local::LocalDisk`] root). [`validate_key`] is the
 //! single checkpoint every backend routes through.
 
+pub mod lease;
 pub mod local;
 pub mod object;
 pub mod retry;
 pub mod tiered;
+pub mod wal;
 
+pub use lease::{Lease, LeaseRecord};
 pub use local::LocalDisk;
 pub use object::{ObjectChaos, ObjectSim};
 pub use retry::{RetryPolicy, RetryStats};
 pub use tiered::{Manifest, SegmentEntry, TieredJournal};
+pub use wal::{FencedWal, ObsRecord, WalAppend};
 
 use fenrir_core::error::{Error, Result};
+
+/// Outcome of a [`Storage::put_if`] conditional put.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CasOutcome {
+    /// The expectation held and the new bytes are the object now.
+    Committed,
+    /// The object did not match the expectation; nothing was written.
+    /// Carries the bytes that are actually there (`None` = no object),
+    /// read under the same atomicity as the compare, so losers of a
+    /// race learn the winner's state without a second, possibly stale,
+    /// `get`.
+    Conflict {
+        /// The object's true current bytes at compare time.
+        actual: Option<Vec<u8>>,
+    },
+}
 
 /// A storage backend holding named immutable byte segments.
 ///
@@ -79,6 +106,16 @@ pub trait Storage: Send + Sync {
     fn delete(&self, key: &str) -> Result<()>;
     /// Atomically move `from` to `to`, replacing any existing `to`.
     fn rename(&self, from: &str, to: &str) -> Result<()>;
+    /// Conditionally store `bytes` under `key`: commit only if the
+    /// object's current bytes equal `expected` (`None` = the key must
+    /// not exist — create-only). The compare and the write are one
+    /// atomic step, and **both are strongly consistent**: unlike plain
+    /// `put`/`get`, a conditional put neither sees nor leaves an
+    /// eventual-visibility window, matching the conditional-write
+    /// semantics real object stores provide. This is the primitive
+    /// every fencing decision in the tier is built on ([`FencedWal`],
+    /// [`Lease`], fenced manifest commits).
+    fn put_if(&self, key: &str, expected: Option<&[u8]>, bytes: &[u8]) -> Result<CasOutcome>;
 }
 
 /// Build a typed storage error.

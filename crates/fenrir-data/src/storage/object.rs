@@ -23,7 +23,7 @@
 //! so fault placement depends only on the seed and the order operations
 //! arrive, and a failing test replays exactly.
 
-use super::{storage_err, validate_key, Storage};
+use super::{storage_err, validate_key, CasOutcome, Storage};
 use fenrir_core::error::{Error, Result};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -46,6 +46,12 @@ pub struct ObjectChaos {
     pub latency: Duration,
     /// How many subsequent operations a put may stay invisible for.
     pub visibility_lag: u64,
+    /// Probability a conditional put fails with a retryable transient
+    /// error *before* its compare is evaluated (a dropped response, a
+    /// 500 on the conditional-write endpoint). Drawn as an extra,
+    /// `put_if`-only draw so enabling CAS chaos never shifts the fault
+    /// stream existing `put`/`get` chaos tests replay under.
+    pub cas_fail_prob: f64,
 }
 
 impl ObjectChaos {
@@ -57,6 +63,7 @@ impl ObjectChaos {
             fail_prob: 0.0,
             latency: Duration::ZERO,
             visibility_lag: 0,
+            cas_fail_prob: 0.0,
         }
     }
 
@@ -84,11 +91,18 @@ impl ObjectChaos {
         self
     }
 
+    /// Fail this fraction of conditional puts transiently.
+    pub fn cas_fail(mut self, prob: f64) -> Self {
+        self.cas_fail_prob = prob;
+        self
+    }
+
     /// Reject probabilities outside `[0, 1]`.
     pub fn validate(&self) -> Result<()> {
         for (name, p) in [
             ("throttle_prob", self.throttle_prob),
             ("fail_prob", self.fail_prob),
+            ("cas_fail_prob", self.cas_fail_prob),
         ] {
             if !(0.0..=1.0).contains(&p) || !p.is_finite() {
                 return Err(Error::Config {
@@ -297,6 +311,45 @@ impl Storage for ObjectSim {
         );
         Ok(())
     }
+
+    fn put_if(&self, key: &str, expected: Option<&[u8]>, bytes: &[u8]) -> Result<CasOutcome> {
+        validate_key("put_if", key)?;
+        let ordinal = self.admit("put_if", key, true)?;
+        {
+            // The CAS-specific fault: drawn after the shared fail and
+            // throttle draws so the per-op fault stream for every other
+            // operation class is byte-identical with the knob off.
+            let chaos = self.state.lock().unwrap().chaos;
+            let mut rng = chaos.op_rng(ordinal);
+            let _ = rng.gen::<f64>(); // fail draw, already decided in admit
+            let _ = rng.gen::<f64>(); // throttle draw, already decided in admit
+            if rng.gen::<f64>() < chaos.cas_fail_prob {
+                return Err(storage_err(
+                    "put_if",
+                    key,
+                    true,
+                    "conditional put dropped (injected CAS fault)",
+                ));
+            }
+        }
+        let mut s = self.state.lock().unwrap();
+        // Conditional writes are strongly consistent both ways: the
+        // compare sees the true current object (never a propagating
+        // prior), and a committed object is immediately visible.
+        let actual = s.objects.get(key).map(|o| o.current.clone());
+        if actual.as_deref() != expected {
+            return Ok(CasOutcome::Conflict { actual });
+        }
+        s.objects.insert(
+            key.to_owned(),
+            StoredObject {
+                current: bytes.to_vec(),
+                prior: None,
+                visible_at: ordinal,
+            },
+        );
+        Ok(CasOutcome::Committed)
+    }
 }
 
 #[cfg(test)]
@@ -360,6 +413,61 @@ mod tests {
         let b = run();
         assert_eq!(a, b);
         assert!(a.iter().any(|ok| *ok) && a.iter().any(|ok| !ok));
+    }
+
+    #[test]
+    fn put_if_is_strongly_consistent_under_visibility_lag() {
+        let sim = ObjectSim::new(ObjectChaos::none(11).visibility(5)).unwrap();
+        assert_eq!(sim.put_if("k", None, b"one").unwrap(), CasOutcome::Committed);
+        // Plain get sees the committed object immediately — no window.
+        assert_eq!(sim.get("k").unwrap().unwrap(), b"one");
+        // A lagging plain put does not fool the compare: put_if reads
+        // the true current bytes, not the still-visible prior.
+        sim.put("k", b"two").unwrap();
+        assert_eq!(
+            sim.put_if("k", Some(b"one"), b"three").unwrap(),
+            CasOutcome::Conflict {
+                actual: Some(b"two".to_vec())
+            }
+        );
+        assert_eq!(
+            sim.put_if("k", Some(b"two"), b"three").unwrap(),
+            CasOutcome::Committed
+        );
+        assert_eq!(sim.get("k").unwrap().unwrap(), b"three");
+        assert_eq!(
+            sim.put_if("ghost", Some(b"x"), b"y").unwrap(),
+            CasOutcome::Conflict { actual: None }
+        );
+    }
+
+    #[test]
+    fn cas_faults_are_seeded_and_do_not_shift_other_op_streams() {
+        // Same seed, CAS chaos on vs off: the put stream's outcomes are
+        // identical; only put_if gains failures.
+        let puts = |chaos: ObjectChaos| {
+            let sim = ObjectSim::new(chaos).unwrap();
+            (0..32)
+                .map(|i| sim.put(&format!("k{i}"), b"v").is_ok())
+                .collect::<Vec<_>>()
+        };
+        let base = ObjectChaos::none(9).throttle(0.4).fail(0.2);
+        assert_eq!(puts(base), puts(base.cas_fail(0.5)));
+
+        let sim = ObjectSim::new(ObjectChaos::none(9).cas_fail(0.5)).unwrap();
+        let outcomes: Vec<bool> = (0..32)
+            .map(|i| sim.put_if(&format!("c{i}"), None, b"v").is_ok())
+            .collect();
+        assert!(outcomes.iter().any(|ok| *ok) && outcomes.iter().any(|ok| !ok));
+        // And the failures are typed retryable storage errors.
+        let sim2 = ObjectSim::new(ObjectChaos::none(9).cas_fail(1.0)).unwrap();
+        assert!(matches!(
+            sim2.put_if("k", None, b"v"),
+            Err(Error::Storage {
+                retryable: true,
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -37,7 +37,7 @@
 //! older than the tail's promise as a retryable condition and leans on
 //! [`RetryPolicy`] until the committed manifest becomes visible.
 
-use super::{storage_err, validate_key, RetryPolicy, Storage};
+use super::{storage_err, validate_key, CasOutcome, RetryPolicy, Storage};
 use crate::journal::{self, Frame, Journal, RecoveryReport};
 use fenrir_core::error::{Error, Result};
 use fenrir_wire::checksum::internet_checksum;
@@ -52,8 +52,11 @@ pub const KIND_TIER_BASE: u16 = 0x0F;
 
 /// First four bytes of an encoded manifest.
 pub const MANIFEST_MAGIC: [u8; 4] = *b"FNRM";
-/// Current manifest format version.
-pub const MANIFEST_VERSION: u16 = 1;
+/// Current manifest format version. Version 2 added the fencing epoch
+/// after the version word; version-1 manifests still decode (with
+/// `fence = 0`, i.e. "never fenced") so pre-failover tiers open
+/// unchanged, but every write re-encodes at the current version.
+pub const MANIFEST_VERSION: u16 = 2;
 
 /// The manifest object's key under a tier prefix.
 pub fn manifest_key(prefix: &str) -> String {
@@ -63,6 +66,15 @@ pub fn manifest_key(prefix: &str) -> String {
 /// The segment object's key for epoch `gen` under a tier prefix.
 pub fn segment_key(prefix: &str, gen: u64) -> String {
     format!("{prefix}/segments/seg-{gen:08}")
+}
+
+/// The segment key a **fenced** writer seals under: qualified by its
+/// fencing epoch so a deposed leader's in-flight segment put lands on
+/// its own key instead of clobbering the committed segment the new
+/// leader's manifest references. Readers never compute this — they
+/// fetch whatever key the manifest entry records.
+pub fn fenced_segment_key(prefix: &str, gen: u64, fence: u64) -> String {
+    format!("{prefix}/segments/seg-{gen:08}.{fence:08}")
 }
 
 /// One sealed epoch as the manifest records it.
@@ -84,17 +96,26 @@ pub struct SegmentEntry {
 /// replacement is atomic per the [`Storage`] contract.
 ///
 /// ```text
-/// manifest := magic "FNRM" | version u16 LE | count u32 LE
-///             entry* | sum u16 LE
+/// manifest := magic "FNRM" | version u16 LE | fence u64 LE
+///             | count u32 LE | entry* | sum u16 LE
 /// entry    := gen u64 LE | len u64 LE | frames u32 LE | seg_sum u16 LE
 ///             | key_len u16 LE | key (key_len bytes, UTF-8)
 /// ```
+///
+/// (Version 1 had no `fence` word; it decodes with `fence = 0`.)
 ///
 /// `sum` is the internet checksum over every preceding byte, so a
 /// torn or bit-flipped manifest is detected before any segment it
 /// names is trusted.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Manifest {
+    /// The fencing epoch stamped by the newest leader to claim this
+    /// tier (0 = never fenced). A fenced writer commits the manifest
+    /// only through [`Storage::put_if`] against the exact bytes it last
+    /// observed, so any commit carrying a lower fence than the stored
+    /// one is refused at the compare — a deposed leader's seal can
+    /// never overwrite the new leader's history.
+    pub fence: u64,
     /// Sealed epochs in ascending generation order.
     pub entries: Vec<SegmentEntry>,
 }
@@ -114,6 +135,7 @@ impl Manifest {
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = MANIFEST_MAGIC.to_vec();
         buf.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+        buf.extend_from_slice(&self.fence.to_le_bytes());
         buf.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
         for e in &self.entries {
             buf.extend_from_slice(&e.gen.to_le_bytes());
@@ -147,10 +169,10 @@ impl Manifest {
             return Err(corrupt(0, format!("bad magic {:02x?}", &bytes[..4])));
         }
         let version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
-        if version != MANIFEST_VERSION {
+        if version != 1 && version != MANIFEST_VERSION {
             return Err(corrupt(
                 4,
-                format!("unsupported version {version} (this build reads {MANIFEST_VERSION})"),
+                format!("unsupported version {version} (this build reads 1..={MANIFEST_VERSION})"),
             ));
         }
         let body_len = bytes.len() - 2;
@@ -164,9 +186,21 @@ impl Manifest {
                 ),
             ));
         }
-        let count = u32::from_le_bytes(bytes[6..10].try_into().unwrap()) as usize;
+        // Version 1 had no fence word: count starts at byte 6.
+        let (fence, count_at) = if version == 1 {
+            (0, 6)
+        } else {
+            if body_len < 14 {
+                return Err(corrupt(6, "manifest fence truncated".into()));
+            }
+            (u64::from_le_bytes(bytes[6..14].try_into().unwrap()), 14)
+        };
+        if body_len < count_at + 4 {
+            return Err(corrupt(count_at, "manifest count truncated".into()));
+        }
+        let count = u32::from_le_bytes(bytes[count_at..count_at + 4].try_into().unwrap()) as usize;
         let mut entries = Vec::with_capacity(count.min(1024));
-        let mut pos = 10;
+        let mut pos = count_at + 4;
         for _ in 0..count {
             if body_len - pos < 24 {
                 return Err(corrupt(pos, "manifest entry truncated".into()));
@@ -205,7 +239,7 @@ impl Manifest {
                 format!("{} trailing bytes after last entry", body_len - pos),
             ));
         }
-        Ok(Manifest { entries })
+        Ok(Manifest { fence, entries })
     }
 }
 
@@ -219,6 +253,15 @@ pub struct TieredJournal {
     prefix: String,
     retry: RetryPolicy,
     manifest: Manifest,
+    /// The manifest bytes as last observed in the tier (`None` = no
+    /// manifest object yet). The compare side of every fenced commit:
+    /// a conditional put against these exact bytes fails iff someone
+    /// else wrote the manifest since we read it.
+    manifest_bytes: Option<Vec<u8>>,
+    /// The fencing epoch this writer holds, when operating as a fenced
+    /// leader. `None` = legacy single-writer mode: seals use plain
+    /// puts, byte-for-byte the pre-fencing behaviour.
+    fence: Option<u64>,
 }
 
 impl std::fmt::Debug for TieredJournal {
@@ -353,8 +396,8 @@ impl TieredJournal {
         let (mut hot, hot_frames, report) = Journal::open(hot_path)?;
         let (mut base_gen, mut deltas) = split_base(hot_frames)?;
         let key = manifest_key(prefix);
-        let manifest = retry.run("manifest fetch", || match store.get(&key)? {
-            None if base_gen == 0 => Ok(Manifest::default()),
+        let (manifest, manifest_bytes) = retry.run("manifest fetch", || match store.get(&key)? {
+            None if base_gen == 0 => Ok((Manifest::default(), None)),
             None => Err(storage_err(
                 "get",
                 key.clone(),
@@ -377,7 +420,7 @@ impl TieredJournal {
                         ),
                     ))
                 } else {
-                    Ok(m)
+                    Ok((m, Some(bytes)))
                 }
             }
         })?;
@@ -411,10 +454,78 @@ impl TieredJournal {
                 prefix: prefix.to_string(),
                 retry,
                 manifest,
+                manifest_bytes,
+                fence: None,
             },
             frames,
             report,
         ))
+    }
+
+    /// Claim this tier under fencing epoch `epoch`: stamp the manifest
+    /// with the new fence via conditional put, after which every seal
+    /// from this journal also commits conditionally and any writer
+    /// still holding a lower epoch is refused at the compare.
+    ///
+    /// Conflict handling follows adopt-and-retry: a conditional-put
+    /// loss against a manifest whose fence is **at most** `epoch` means
+    /// we raced a writer we outrank (or our own earlier attempt), so we
+    /// adopt the observed bytes and retry the stamp. A stored fence
+    /// **above** `epoch` means this claimant was itself deposed, which
+    /// surfaces as [`Error::Fenced`] — deliberately not retryable.
+    pub fn set_fence_epoch(&mut self, epoch: u64) -> Result<()> {
+        let mkey = manifest_key(&self.prefix);
+        loop {
+            let mut next = self.manifest.clone();
+            next.fence = epoch;
+            let mbytes = next.encode();
+            let outcome = self.retry.run("fence stamp", || {
+                self.store
+                    .put_if(&mkey, self.manifest_bytes.as_deref(), &mbytes)
+            })?;
+            match outcome {
+                CasOutcome::Committed => {
+                    self.manifest = next;
+                    self.manifest_bytes = Some(mbytes);
+                    self.fence = Some(epoch);
+                    return Ok(());
+                }
+                CasOutcome::Conflict { actual } => self.adopt_conflict(actual, epoch)?,
+            }
+        }
+    }
+
+    /// Digest a conditional-put conflict: adopt the winner's manifest
+    /// if we still outrank its fence, or report deposition if we don't.
+    fn adopt_conflict(&mut self, actual: Option<Vec<u8>>, held: u64) -> Result<()> {
+        let (observed, bytes) = match actual {
+            Some(bytes) => (Manifest::decode(&bytes)?, Some(bytes)),
+            None => (Manifest::default(), None),
+        };
+        if observed.fence > held {
+            return Err(Error::Fenced {
+                what: "manifest commit",
+                held,
+                current: observed.fence,
+            });
+        }
+        if observed.latest_gen() < self.base_gen {
+            // Our hot tail promises an epoch the observed manifest
+            // lacks — a stale read can't reach put_if (strongly
+            // consistent), so this is a regression we must not adopt.
+            return Err(Error::Corrupted {
+                what: "tier manifest",
+                offset: 0,
+                message: format!(
+                    "conflicting manifest regressed to generation {} behind hot tail's {}",
+                    observed.latest_gen(),
+                    self.base_gen
+                ),
+            });
+        }
+        self.manifest = observed;
+        self.manifest_bytes = bytes;
+        Ok(())
     }
 
     /// Append one delta frame to the hot tail (durable locally before
@@ -452,21 +563,72 @@ impl TieredJournal {
         }
         let gen = self.manifest.latest_gen().max(self.base_gen) + 1;
         let bytes = journal::encode_frames(frames)?;
-        let key = segment_key(&self.prefix, gen);
+        let key = match self.fence {
+            None => segment_key(&self.prefix, gen),
+            Some(e) => fenced_segment_key(&self.prefix, gen, e),
+        };
         self.retry
             .run("segment seal", || self.store.put(&key, &bytes))?;
-        let mut next = self.manifest.clone();
-        next.entries.push(SegmentEntry {
+        let entry = SegmentEntry {
             gen,
             key,
             len: bytes.len() as u64,
             sum: internet_checksum(&bytes),
             frames: frames.len() as u32,
-        });
-        let mbytes = next.encode();
+        };
         let mkey = manifest_key(&self.prefix);
-        self.retry
-            .run("manifest publish", || self.store.put(&mkey, &mbytes))?;
+        let next = match self.fence {
+            None => {
+                // Legacy single-writer mode: unconditional publish,
+                // byte-for-byte the pre-fencing behaviour (and the same
+                // chaos op ordinals, so pinned-seed suites replay).
+                let mut next = self.manifest.clone();
+                next.entries.push(entry);
+                let mbytes = next.encode();
+                self.retry
+                    .run("manifest publish", || self.store.put(&mkey, &mbytes))?;
+                self.manifest_bytes = Some(mbytes);
+                next
+            }
+            Some(held) => loop {
+                let mut next = self.manifest.clone();
+                next.fence = held;
+                next.entries.push(entry.clone());
+                let mbytes = next.encode();
+                let outcome = self.retry.run("manifest publish", || {
+                    self.store
+                        .put_if(&mkey, self.manifest_bytes.as_deref(), &mbytes)
+                })?;
+                match outcome {
+                    CasOutcome::Committed => {
+                        self.manifest_bytes = Some(mbytes);
+                        break next;
+                    }
+                    // A conflict from a fence we outrank is adopted and
+                    // the commit retried; a higher fence means this
+                    // writer was deposed mid-seal and the new epoch is
+                    // abandoned (at worst one orphan segment, exactly
+                    // like a crash between steps 1 and 2).
+                    CasOutcome::Conflict { actual } => {
+                        self.adopt_conflict(actual, held)?;
+                        if self.manifest.latest_gen() >= gen {
+                            // A fenced outranked writer cannot commit
+                            // (its compare fails against our stamp), so
+                            // an adopted manifest already holding our
+                            // generation means an unfenced writer is
+                            // sharing the prefix — refuse to guess.
+                            return Err(Error::Corrupted {
+                                what: "tier manifest",
+                                offset: 0,
+                                message: format!(
+                                    "generation {gen} was sealed concurrently by an unfenced writer"
+                                ),
+                            });
+                        }
+                    }
+                }
+            },
+        };
         // Commit point passed: the epoch exists even if we crash here —
         // open() finishes this reset from the manifest.
         self.hot
@@ -501,9 +663,12 @@ impl TieredJournal {
         let keys = self.retry.run("segment list", || self.store.list(&dir))?;
         let mut gone = Vec::new();
         for key in keys {
+            // Fenced keys carry a `.{fence}` suffix after the
+            // generation; strip it before parsing.
             let orphan = key
                 .rsplit("seg-")
                 .next()
+                .and_then(|g| g.split('.').next())
                 .and_then(|g| g.parse::<u64>().ok())
                 .is_some_and(|g| g > latest);
             if orphan {
@@ -518,6 +683,12 @@ impl TieredJournal {
     /// Generation of the epoch the hot tail extends (0 before any seal).
     pub fn base_gen(&self) -> u64 {
         self.base_gen
+    }
+
+    /// The fencing epoch this writer holds (`None` = unfenced legacy
+    /// single-writer mode). See [`TieredJournal::set_fence_epoch`].
+    pub fn fence(&self) -> Option<u64> {
+        self.fence
     }
 
     /// The current manifest of sealed epochs.
@@ -573,6 +744,7 @@ mod tests {
     #[test]
     fn manifest_roundtrip_and_checksum_guard() {
         let m = Manifest {
+            fence: 42,
             entries: vec![
                 SegmentEntry {
                     gen: 1,
@@ -607,6 +779,117 @@ mod tests {
         swapped.entries.swap(0, 1);
         assert!(Manifest::decode(&swapped.encode()).is_err());
         assert_eq!(Manifest::default().latest_gen(), 0);
+    }
+
+    #[test]
+    fn version_one_manifests_decode_as_never_fenced() {
+        // Hand-build a v1 manifest (no fence word, count at byte 6) and
+        // confirm a current build still opens pre-failover tiers.
+        let m = Manifest {
+            fence: 0,
+            entries: vec![SegmentEntry {
+                gen: 1,
+                key: "tier/segments/seg-00000001".into(),
+                len: 123,
+                sum: 0xBEEF,
+                frames: 4,
+            }],
+        };
+        let v2 = m.encode();
+        let mut v1 = MANIFEST_MAGIC.to_vec();
+        v1.extend_from_slice(&1u16.to_le_bytes());
+        v1.extend_from_slice(&v2[14..v2.len() - 2]); // count + entries
+        let sum = internet_checksum(&v1);
+        v1.extend_from_slice(&sum.to_le_bytes());
+        let decoded = Manifest::decode(&v1).unwrap();
+        assert_eq!(decoded, m);
+        // Unknown future versions stay hard errors.
+        let mut v9 = v1.clone();
+        v9[4] = 9;
+        assert!(matches!(
+            Manifest::decode(&v9),
+            Err(Error::Corrupted {
+                what: "tier manifest",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn fenced_seal_refuses_a_deposed_writer() {
+        let dir = scratch("fence");
+        let store: Arc<dyn Storage> = Arc::new(ObjectSim::new(ObjectChaos::none(17)).unwrap());
+        let (mut old_leader, _, _) = TieredJournal::open(
+            &dir.join("old.fnrj"),
+            store.clone(),
+            "tier",
+            quick_retry(),
+        )
+        .unwrap();
+        old_leader.set_fence_epoch(1).unwrap();
+        assert_eq!(old_leader.fence(), Some(1));
+        old_leader.seal(&[(0x22, b"epoch-1".to_vec())]).unwrap();
+        assert_eq!(old_leader.manifest().fence, 1);
+
+        // A new leader takes over from its own hot tail under a higher
+        // fencing epoch.
+        let (mut new_leader, frames, _) = TieredJournal::open(
+            &dir.join("new.fnrj"),
+            store.clone(),
+            "tier",
+            quick_retry(),
+        )
+        .unwrap();
+        assert_eq!(frames[0].payload, b"epoch-1");
+        new_leader.set_fence_epoch(2).unwrap();
+        new_leader.seal(&[(0x22, b"epoch-2".to_vec())]).unwrap();
+
+        // The deposed leader's next seal must be refused, not
+        // interleaved — and must not touch the committed manifest.
+        let err = old_leader.seal(&[(0x22, b"stale".to_vec())]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                Error::Fenced {
+                    what: "manifest commit",
+                    held: 1,
+                    current: 2,
+                }
+            ),
+            "expected a fencing refusal, got {err}"
+        );
+        let (gen, frames) = hydrate_latest(store.as_ref(), "tier", &quick_retry())
+            .unwrap()
+            .unwrap();
+        assert_eq!(gen, 2);
+        assert_eq!(frames[0].payload, b"epoch-2");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fence_stamp_adopts_lower_epochs_and_yields_to_higher_ones() {
+        let dir = scratch("fence-race");
+        let store: Arc<dyn Storage> = Arc::new(ObjectSim::new(ObjectChaos::none(19)).unwrap());
+        let (mut a, _, _) =
+            TieredJournal::open(&dir.join("a.fnrj"), store.clone(), "tier", quick_retry()).unwrap();
+        let (mut b, _, _) =
+            TieredJournal::open(&dir.join("b.fnrj"), store.clone(), "tier", quick_retry()).unwrap();
+        // Both opened against an empty tier; A stamps first, then B's
+        // stamp conflicts (its expectation is "no manifest"), adopts
+        // A's bytes, and wins with the higher epoch.
+        a.set_fence_epoch(3).unwrap();
+        b.set_fence_epoch(4).unwrap();
+        assert_eq!(b.manifest().fence, 4);
+        // A trying to re-stamp its own (now lower) epoch is deposed.
+        assert!(matches!(
+            a.set_fence_epoch(3).unwrap_err(),
+            Error::Fenced {
+                held: 3,
+                current: 4,
+                ..
+            }
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -153,6 +153,15 @@ impl Storage for KillSwitch {
         self.spend("rename", from)?;
         self.inner.rename(from, to)
     }
+    fn put_if(
+        &self,
+        key: &str,
+        expected: Option<&[u8]>,
+        bytes: &[u8],
+    ) -> Result<fenrir_data::storage::CasOutcome> {
+        self.spend("put_if", key)?;
+        self.inner.put_if(key, expected, bytes)
+    }
 }
 
 /// The reference outcome of an unfaulted campaign: final resume state,

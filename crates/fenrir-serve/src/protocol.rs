@@ -55,7 +55,16 @@ use fenrir_wire::checksum::internet_checksum;
 ///   transitions to registered connections, with `Lagged` markers
 ///   instead of silent loss and a final `Closed` on teardown. Same
 ///   fail-closed rule: a v3 peer rejects v4 frames at the version byte.
-pub const PROTOCOL_VERSION: u8 = 4;
+/// * **5** — replicated ingest and leader failover: `NotLeader`
+///   redirects a submit or subscribe that reached a standby toward the
+///   leader (with an optional address hint); `Subscribe` carries an
+///   optional `resume_from` boundary count so a reconnecting
+///   subscriber neither re-announces nor silently skips transitions;
+///   `Subscribed` reports the server's current `boundary_count` (the
+///   resume cursor for the *next* reconnect); `Stats` grew per-
+///   subscriber `events_pushed`/`lagged_drops` rows. Same fail-closed
+///   rule: a v4 peer rejects v5 frames at the version byte.
+pub const PROTOCOL_VERSION: u8 = 5;
 /// Bytes in the fixed frame header.
 pub const FRAME_HEADER_LEN: usize = 8;
 /// Upper bound on payload size — caps what a hostile length field can
@@ -116,6 +125,10 @@ pub const KIND_OVERLOADED: u8 = 0xE1;
 /// A server-pushed stream event (no matching request) delivered to a
 /// subscribed connection.
 pub const KIND_EVENT: u8 = 0xE2;
+/// This replica is not the ingest leader; the request was not
+/// processed. Carries an optional hint (the leader's address) so the
+/// client can redirect without rediscovering the fleet.
+pub const KIND_NOT_LEADER: u8 = 0xE3;
 
 // Error codes carried by [`KIND_ERROR`] replies.
 /// The request payload decoded but asked for something malformed.
@@ -410,6 +423,17 @@ pub enum Request {
     Subscribe {
         /// Whether the connection wants events after this frame.
         enable: bool,
+        /// Boundary count this subscriber has already seen (from a
+        /// previous [`Reply::Subscribed`] plus transitions received
+        /// since). `None` subscribes live-only, exactly the v4
+        /// behaviour. `Some(n)` asks the server to replay the
+        /// transitions it announced past `n` before going live — a
+        /// reconnecting subscriber neither re-announces history nor
+        /// silently skips what it missed. A cursor before the server's
+        /// own announce base (e.g. after a failover hydrated from the
+        /// tier) is answered with an explicit [`StreamEvent::Lagged`],
+        /// never silence.
+        resume_from: Option<u64>,
     },
 }
 
@@ -485,8 +509,18 @@ impl Request {
                 codec::put_health(&mut p, health);
                 (KIND_SUBMIT, p)
             }
-            Request::Subscribe { enable } => {
+            Request::Subscribe {
+                enable,
+                resume_from,
+            } => {
                 codec::put_bool(&mut p, *enable);
+                match resume_from {
+                    Some(n) => {
+                        codec::put_bool(&mut p, true);
+                        codec::put_u64(&mut p, *n);
+                    }
+                    None => codec::put_bool(&mut p, false),
+                }
                 (KIND_SUBSCRIBE, p)
             }
         }
@@ -551,7 +585,10 @@ impl Request {
                     health,
                 }
             }
-            KIND_SUBSCRIBE => Request::Subscribe { enable: d.bool()? },
+            KIND_SUBSCRIBE => Request::Subscribe {
+                enable: d.bool()?,
+                resume_from: if d.bool()? { Some(d.u64()?) } else { None },
+            },
             other => {
                 return Err(Error::Corrupted {
                     what: "serve request",
@@ -612,8 +649,22 @@ pub struct HealthInfo {
     pub draining: bool,
 }
 
-/// Server counters, from [`Reply::Stats`].
+/// Per-subscriber delivery counters inside a [`StatsInfo`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubscriberStats {
+    /// The subscription's server-assigned id (stable for the life of
+    /// the connection).
+    pub id: u64,
+    /// Events actually written to this subscriber's connection.
+    pub events_pushed: u64,
+    /// Events shed from this subscriber's queue because it fell
+    /// behind — each shed run is surfaced in-band as a
+    /// [`StreamEvent::Lagged`] marker, and counted here.
+    pub lagged_drops: u64,
+}
+
+/// Server counters, from [`Reply::Stats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StatsInfo {
     /// Connections accepted.
     pub connections: u64,
@@ -634,6 +685,8 @@ pub struct StatsInfo {
     pub reload_failures: u64,
     /// Connections currently holding a service slot.
     pub inflight: u64,
+    /// One row per live event subscriber, in registration order.
+    pub subscribers: Vec<SubscriberStats>,
 }
 
 /// The fate of one [`Request::Submit`], carried by [`Reply::SubmitAck`].
@@ -797,10 +850,24 @@ pub enum Reply {
         active: bool,
         /// Subscribers registered after this change.
         subscribers: u64,
+        /// Mode boundaries this server has announced (or inherited as
+        /// journaled history) so far. The client records it as its
+        /// resume cursor: after a reconnect, `Subscribe { resume_from:
+        /// Some(cursor + transitions received) }` picks up exactly
+        /// where delivery stopped.
+        boundary_count: u64,
     },
     /// A pushed stream event — arrives on subscribed connections
     /// without a matching request.
     Event(StreamEvent),
+    /// This replica is not the ingest leader: the submit or subscribe
+    /// was *not* processed (nothing journaled, nothing registered).
+    /// The client should redirect — to `hint` when given, otherwise by
+    /// probing the fleet.
+    NotLeader {
+        /// The leader's address, when this replica knows it.
+        hint: Option<String>,
+    },
     /// The server is saturated; the query was not processed.
     Overloaded {
         /// In-flight connections when the query was shed.
@@ -930,6 +997,11 @@ impl Reply {
                 codec::put_u64(&mut p, s.reloads);
                 codec::put_u64(&mut p, s.reload_failures);
                 codec::put_u64(&mut p, s.inflight);
+                codec::put_seq(&mut p, &s.subscribers, |o, sub| {
+                    codec::put_u64(o, sub.id);
+                    codec::put_u64(o, sub.events_pushed);
+                    codec::put_u64(o, sub.lagged_drops);
+                });
                 (KIND_STATS_REPLY, p)
             }
             Reply::Metrics { text } => {
@@ -967,9 +1039,11 @@ impl Reply {
             Reply::Subscribed {
                 active,
                 subscribers,
+                boundary_count,
             } => {
                 codec::put_bool(&mut p, *active);
                 codec::put_u64(&mut p, *subscribers);
+                codec::put_u64(&mut p, *boundary_count);
                 (KIND_SUBSCRIBE_REPLY, p)
             }
             Reply::Event(event) => {
@@ -1001,6 +1075,16 @@ impl Reply {
                     StreamEvent::Closed => p.push(EVENT_CLOSED),
                 }
                 (KIND_EVENT, p)
+            }
+            Reply::NotLeader { hint } => {
+                match hint {
+                    Some(h) => {
+                        codec::put_bool(&mut p, true);
+                        codec::put_str(&mut p, h);
+                    }
+                    None => codec::put_bool(&mut p, false),
+                }
+                (KIND_NOT_LEADER, p)
             }
             Reply::Overloaded {
                 inflight,
@@ -1099,17 +1183,31 @@ impl Reply {
                 stale: d.bool()?,
                 draining: d.bool()?,
             }),
-            KIND_STATS_REPLY => Reply::Stats(StatsInfo {
-                connections: d.u64()?,
-                queries: d.u64()?,
-                errors: d.u64()?,
-                overloaded: d.u64()?,
-                cache_hits: d.u64()?,
-                cache_misses: d.u64()?,
-                reloads: d.u64()?,
-                reload_failures: d.u64()?,
-                inflight: d.u64()?,
-            }),
+            KIND_STATS_REPLY => {
+                let mut s = StatsInfo {
+                    connections: d.u64()?,
+                    queries: d.u64()?,
+                    errors: d.u64()?,
+                    overloaded: d.u64()?,
+                    cache_hits: d.u64()?,
+                    cache_misses: d.u64()?,
+                    reloads: d.u64()?,
+                    reload_failures: d.u64()?,
+                    inflight: d.u64()?,
+                    subscribers: Vec::new(),
+                };
+                let n = d.seq_len(24)?;
+                s.subscribers = (0..n)
+                    .map(|_| {
+                        Ok(SubscriberStats {
+                            id: d.u64()?,
+                            events_pushed: d.u64()?,
+                            lagged_drops: d.u64()?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                Reply::Stats(s)
+            }
             KIND_METRICS_REPLY => Reply::Metrics { text: d.str()? },
             KIND_ADMIN_REPLY => Reply::Admin { info: d.str()? },
             KIND_ERROR => Reply::Error {
@@ -1138,6 +1236,7 @@ impl Reply {
             KIND_SUBSCRIBE_REPLY => Reply::Subscribed {
                 active: d.bool()?,
                 subscribers: d.u64()?,
+                boundary_count: d.u64()?,
             },
             KIND_EVENT => {
                 let event = match d.u8()? {
@@ -1163,6 +1262,9 @@ impl Reply {
                 };
                 Reply::Event(event)
             }
+            KIND_NOT_LEADER => Reply::NotLeader {
+                hint: if d.bool()? { Some(d.str()?) } else { None },
+            },
             KIND_OVERLOADED => Reply::Overloaded {
                 inflight: d.u64()?,
                 retry_after_ms: d.u64()?,
@@ -1416,6 +1518,18 @@ mod tests {
                 reloads: 7,
                 reload_failures: 9,
                 inflight: 8,
+                subscribers: vec![
+                    SubscriberStats {
+                        id: 1,
+                        events_pushed: 40,
+                        lagged_drops: 0,
+                    },
+                    SubscriberStats {
+                        id: 3,
+                        events_pushed: 12,
+                        lagged_drops: 28,
+                    },
+                ],
             }),
             Reply::Metrics {
                 text: "# TYPE fenrir_serve_queries_total counter\n\
@@ -1451,7 +1565,12 @@ mod tests {
             Reply::Subscribed {
                 active: true,
                 subscribers: 3,
+                boundary_count: 17,
             },
+            Reply::NotLeader {
+                hint: Some("127.0.0.1:4477".into()),
+            },
+            Reply::NotLeader { hint: None },
             Reply::Event(StreamEvent::ModeTransition {
                 seq: 7,
                 time: 86400,
@@ -1507,8 +1626,18 @@ mod tests {
                 codes: vec![0, 1, u16::MAX, 2],
                 health,
             },
-            Request::Subscribe { enable: true },
-            Request::Subscribe { enable: false },
+            Request::Subscribe {
+                enable: true,
+                resume_from: None,
+            },
+            Request::Subscribe {
+                enable: true,
+                resume_from: Some(12),
+            },
+            Request::Subscribe {
+                enable: false,
+                resume_from: None,
+            },
         ];
         for req in requests {
             let (kind, payload) = req.kind_and_payload();

@@ -130,6 +130,58 @@ impl ReplicaSet {
         })
     }
 
+    /// Like [`ReplicaSet::start_tiered`], but every member also gets a
+    /// write path: one [`crate::server::StreamHandler`] per replica, in
+    /// replica order. This is the footing for fenced leader failover —
+    /// each handler is typically one replicated-ingest node that
+    /// answers `Submit` with an ack while leading and `NotLeader`
+    /// otherwise, so the set as a whole accepts writes wherever the
+    /// lease lands.
+    pub fn start_tiered_with_streams(
+        store: Arc<dyn Storage>,
+        prefix: &str,
+        retry: RetryPolicy,
+        handlers: Vec<Arc<dyn crate::server::StreamHandler>>,
+        opts: StoreOptions,
+        cfg: ServeConfig,
+    ) -> Result<Self> {
+        if handlers.is_empty() {
+            return Err(Error::Config {
+                name: "replicas",
+                message: "need at least one stream handler".into(),
+            });
+        }
+        let mut replicas = Vec::with_capacity(handlers.len());
+        for (i, handler) in handlers.into_iter().enumerate() {
+            let ms = Arc::new(ModeStore::open_tiered(
+                Arc::clone(&store),
+                prefix,
+                retry.clone(),
+                opts.clone(),
+            )?);
+            let server = Server::start_with_stream(
+                Arc::clone(&ms),
+                handler,
+                ServeConfig {
+                    addr: "127.0.0.1:0".into(),
+                    replica: i as u64,
+                    ..cfg.clone()
+                },
+            )?;
+            let addr = server.addr();
+            replicas.push(Replica {
+                server: Some(server),
+                store: ms,
+                addr,
+            });
+        }
+        Ok(ReplicaSet {
+            path: PathBuf::from(prefix),
+            replicas,
+            admin_token: cfg.admin_token,
+        })
+    }
+
     /// The journal every replica serves.
     pub fn journal(&self) -> &Path {
         &self.path

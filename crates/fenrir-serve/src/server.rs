@@ -50,7 +50,8 @@ use fenrir_obs::{
 use parking_lot::Mutex;
 
 use crate::protocol::{
-    read_frame, AdminCmd, FrameEvent, Reply, Request, StatsInfo, StreamEvent, ERR_BAD_REQUEST,
+    read_frame, AdminCmd, FrameEvent, Reply, Request, StatsInfo, StreamEvent, SubscriberStats,
+    ERR_BAD_REQUEST,
     ERR_UNAUTHORIZED, ERR_UNAVAILABLE, KIND_ADMIN, KIND_ASSIGN, KIND_HEALTH, KIND_LATENCY,
     KIND_METRICS, KIND_STATS, KIND_SUBSCRIBE, KIND_TRANSITION,
 };
@@ -169,6 +170,22 @@ pub trait StreamHandler: Send + Sync {
         codes: &[u16],
         health: CampaignHealth,
     ) -> (Reply, Vec<StreamEvent>);
+
+    /// How many mode boundaries this handler has announced over its
+    /// whole history (journaled prefix included). Reported in
+    /// `Subscribed` replies so a client can resume from exactly where
+    /// it left off. Handlers without announce history report zero.
+    fn boundary_count(&self) -> u64 {
+        0
+    }
+
+    /// Replay the transitions announced at boundary indices `>= from`.
+    /// A `from` below the handler's retained history starts with an
+    /// in-band [`StreamEvent::Lagged`] marker covering the untracked
+    /// gap. Handlers without announce history replay nothing.
+    fn events_since(&self, _from: u64) -> Vec<StreamEvent> {
+        Vec::new()
+    }
 }
 
 /// One registered subscriber, as the broadcaster sees it.
@@ -178,6 +195,11 @@ struct BroadcastHandle {
     /// Events shed since the pusher last delivered one; drained into an
     /// in-band `Lagged` marker.
     lagged: Arc<AtomicU64>,
+    /// Events delivered to this subscriber's queue, for `Stats`.
+    pushed: AtomicU64,
+    /// Cumulative shed count, for `Stats`. Unlike `lagged`, never
+    /// reset when the in-band marker goes out.
+    dropped: AtomicU64,
 }
 
 /// Fan-out state for pushed stream events.
@@ -198,11 +220,58 @@ struct SubscriberHub {
 }
 
 impl SubscriberHub {
+    #[cfg(test)]
     fn add(&self, tx: SyncSender<StreamEvent>, lagged: Arc<AtomicU64>) -> u64 {
+        self.add_with_replay(tx, lagged, Vec::new())
+    }
+
+    /// Register a subscriber, first seeding its queue with `replay`
+    /// events (a reconnect's missed transitions). Replay and
+    /// registration happen under the subscriber lock so a concurrent
+    /// broadcast can never interleave a live event *between* replayed
+    /// ones. An event announced just before the lock was taken may
+    /// still arrive twice — once replayed, once broadcast — which is
+    /// the protocol's at-least-once contract; clients deduplicate.
+    fn add_with_replay(
+        &self,
+        tx: SyncSender<StreamEvent>,
+        lagged: Arc<AtomicU64>,
+        replay: Vec<StreamEvent>,
+    ) -> u64 {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.subs.lock().push(BroadcastHandle { id, tx, lagged });
+        let handle = BroadcastHandle {
+            id,
+            tx,
+            lagged,
+            pushed: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        };
+        let mut subs = self.subs.lock();
+        for event in replay {
+            self.deliver(&handle, event);
+        }
+        subs.push(handle);
         self.subscribers.fetch_add(1, Ordering::Relaxed);
         id
+    }
+
+    /// Enqueue one event for one subscriber, shedding (with counters)
+    /// instead of blocking when its queue is full.
+    fn deliver(&self, sub: &BroadcastHandle, event: StreamEvent) {
+        match sub.tx.try_send(event) {
+            Ok(()) => {
+                sub.pushed.fetch_add(1, Ordering::Relaxed);
+                self.events_pushed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(TrySendError::Full(_)) => {
+                sub.lagged.fetch_add(1, Ordering::Relaxed);
+                sub.dropped.fetch_add(1, Ordering::Relaxed);
+                self.lagged_drops.fetch_add(1, Ordering::Relaxed);
+            }
+            // A disconnected pusher means the connection is on its way
+            // out; the worker unregisters it shortly.
+            Err(TrySendError::Disconnected(_)) => {}
+        }
     }
 
     /// Drop subscriber `id`'s sender; its pusher wakes on the closed
@@ -227,20 +296,22 @@ impl SubscriberHub {
         let subs = self.subs.lock();
         for event in events {
             for sub in subs.iter() {
-                match sub.tx.try_send(event.clone()) {
-                    Ok(()) => {
-                        self.events_pushed.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Err(TrySendError::Full(_)) => {
-                        sub.lagged.fetch_add(1, Ordering::Relaxed);
-                        self.lagged_drops.fetch_add(1, Ordering::Relaxed);
-                    }
-                    // A disconnected pusher means the connection is on
-                    // its way out; the worker unregisters it shortly.
-                    Err(TrySendError::Disconnected(_)) => {}
-                }
+                self.deliver(sub, event.clone());
             }
         }
+    }
+
+    /// One `Stats` row per live subscriber.
+    fn subscriber_stats(&self) -> Vec<SubscriberStats> {
+        self.subs
+            .lock()
+            .iter()
+            .map(|s| SubscriberStats {
+                id: s.id,
+                events_pushed: s.pushed.load(Ordering::Relaxed),
+                lagged_drops: s.dropped.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 }
 
@@ -368,6 +439,7 @@ impl Shared {
             reloads: self.store.reloads(),
             reload_failures: self.store.reload_failures(),
             inflight: self.live.inflight.load(Ordering::Relaxed) as u64,
+            subscribers: self.hub.subscriber_stats(),
         }
     }
 
@@ -938,7 +1010,10 @@ fn handle_subscribe(
     let started = Instant::now();
     shared.counters.queries.fetch_add(1, Ordering::Relaxed);
     let reply = match Request::decode(KIND_SUBSCRIBE, payload) {
-        Ok(Request::Subscribe { enable: true }) => {
+        Ok(Request::Subscribe {
+            enable: true,
+            resume_from,
+        }) => {
             if shared.draining() || shared.stop.load(Ordering::SeqCst) {
                 Reply::Error {
                     code: ERR_UNAVAILABLE,
@@ -946,9 +1021,17 @@ fn handle_subscribe(
                 }
             } else {
                 if subscription.is_none() {
+                    // A resuming client gets the transitions it missed
+                    // replayed into its queue before it goes live;
+                    // `events_since` starts with a `Lagged` marker when
+                    // the cursor predates retained history.
+                    let replay = match (resume_from, &shared.stream) {
+                        (Some(from), Some(handler)) => handler.events_since(from),
+                        _ => Vec::new(),
+                    };
                     let (tx, rx) = sync_channel::<StreamEvent>(shared.event_queue);
                     let lagged = Arc::new(AtomicU64::new(0));
-                    let id = shared.hub.add(tx, Arc::clone(&lagged));
+                    let id = shared.hub.add_with_replay(tx, Arc::clone(&lagged), replay);
                     let w = Arc::clone(writer);
                     let pusher = std::thread::spawn(move || pusher_loop(rx, lagged, w));
                     *subscription = Some(Subscription {
@@ -960,10 +1043,11 @@ fn handle_subscribe(
                 Reply::Subscribed {
                     active: true,
                     subscribers: shared.hub.len(),
+                    boundary_count: stream_boundary_count(shared),
                 }
             }
         }
-        Ok(Request::Subscribe { enable: false }) => {
+        Ok(Request::Subscribe { enable: false, .. }) => {
             // Dropping the subscription unregisters it and joins the
             // pusher after its final `Closed` frame hits the wire, so
             // the client sees `Closed` alongside this reply.
@@ -971,6 +1055,7 @@ fn handle_subscribe(
             Reply::Subscribed {
                 active: false,
                 subscribers: shared.hub.len(),
+                boundary_count: stream_boundary_count(shared),
             }
         }
         Ok(_) | Err(_) => Reply::Error {
@@ -986,6 +1071,16 @@ fn handle_subscribe(
         shared.latency_by_kind[i].observe(started.elapsed().as_micros() as u64);
     }
     reply
+}
+
+/// The handler's lifetime boundary count, or zero on a query-only
+/// server (which never pushes events, so there is nothing to resume).
+fn stream_boundary_count(shared: &Shared) -> u64 {
+    shared
+        .stream
+        .as_ref()
+        .map(|h| h.boundary_count())
+        .unwrap_or(0)
 }
 
 /// Compute the reply to one verified frame, recording per-kind query
@@ -1232,6 +1327,34 @@ mod tests {
         assert_eq!(hub.events_pushed.load(Ordering::Relaxed), 1);
         assert_eq!(hub.lagged_drops.load(Ordering::Relaxed), 2);
         assert_eq!(lagged.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn replay_precedes_live_events_and_stats_count_per_subscriber() {
+        let hub = SubscriberHub::default();
+        let (tx, rx) = sync_channel(8);
+        let id = hub.add_with_replay(
+            tx,
+            Arc::new(AtomicU64::new(0)),
+            vec![transition(3), transition(4)],
+        );
+
+        // Replayed history lands ahead of anything broadcast later.
+        hub.broadcast(&[transition(5)]);
+        assert_eq!(rx.try_recv().expect("replayed"), transition(3));
+        assert_eq!(rx.try_recv().expect("replayed"), transition(4));
+        assert_eq!(rx.try_recv().expect("live"), transition(5));
+
+        // Replayed and live deliveries both count on this subscriber's
+        // Stats row.
+        assert_eq!(
+            hub.subscriber_stats(),
+            vec![SubscriberStats {
+                id,
+                events_pushed: 3,
+                lagged_drops: 0,
+            }]
+        );
     }
 
     #[test]

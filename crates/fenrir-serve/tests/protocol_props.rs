@@ -18,7 +18,7 @@ use fenrir_core::health::CampaignHealth;
 use fenrir_core::time::Timestamp;
 use fenrir_serve::protocol::{
     read_frame, AdminCmd, FrameEvent, HealthInfo, Reply, Request, SiteLatency, StatsInfo,
-    StreamEvent, SubmitOutcome, FRAME_HEADER_LEN, MAX_PAYLOAD, PROTOCOL_VERSION,
+    StreamEvent, SubmitOutcome, SubscriberStats, FRAME_HEADER_LEN, MAX_PAYLOAD, PROTOCOL_VERSION,
 };
 use proptest::prelude::*;
 
@@ -90,7 +90,12 @@ fn request() -> impl Strategy<Value = Request> {
                 codes,
                 health,
             }),
-        any::<bool>().prop_map(|enable| Request::Subscribe { enable }),
+        (any::<bool>(), any::<bool>(), any::<u64>()).prop_map(|(enable, resume, from)| {
+            Request::Subscribe {
+                enable,
+                resume_from: resume.then_some(from),
+            }
+        }),
     ]
 }
 
@@ -209,9 +214,15 @@ fn reply() -> impl Strategy<Value = Reply> {
         text("[ -~]{0,80}").prop_map(|info| Reply::Admin { info }),
         (any::<u64>(), submit_outcome())
             .prop_map(|(seq, outcome)| Reply::SubmitAck { seq, outcome }),
-        (any::<bool>(), any::<u64>()).prop_map(|(active, subscribers)| Reply::Subscribed {
-            active,
-            subscribers,
+        (any::<bool>(), any::<u64>(), any::<u64>()).prop_map(
+            |(active, subscribers, boundary_count)| Reply::Subscribed {
+                active,
+                subscribers,
+                boundary_count,
+            }
+        ),
+        (any::<bool>(), text("[ -~]{0,48}")).prop_map(|(some, hint)| Reply::NotLeader {
+            hint: some.then_some(hint),
         }),
         stream_event().prop_map(Reply::Event),
     ]
@@ -330,8 +341,18 @@ fn all_requests() -> Vec<Request> {
                 h
             },
         },
-        Request::Subscribe { enable: true },
-        Request::Subscribe { enable: false },
+        Request::Subscribe {
+            enable: true,
+            resume_from: None,
+        },
+        Request::Subscribe {
+            enable: true,
+            resume_from: Some(u64::MAX),
+        },
+        Request::Subscribe {
+            enable: false,
+            resume_from: None,
+        },
     ]
 }
 
@@ -409,6 +430,30 @@ fn all_replies() -> Vec<Reply> {
             reloads: 2,
             reload_failures: 1,
             inflight: 6,
+            subscribers: vec![
+                SubscriberStats {
+                    id: 0,
+                    events_pushed: 512,
+                    lagged_drops: 0,
+                },
+                SubscriberStats {
+                    id: 9,
+                    events_pushed: 1,
+                    lagged_drops: u64::MAX,
+                },
+            ],
+        }),
+        Reply::Stats(StatsInfo {
+            connections: 0,
+            queries: 0,
+            errors: 0,
+            overloaded: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            reloads: 0,
+            reload_failures: 0,
+            inflight: 0,
+            subscribers: vec![],
         }),
         Reply::Error {
             code: 2,
@@ -443,11 +488,17 @@ fn all_replies() -> Vec<Reply> {
         Reply::Subscribed {
             active: true,
             subscribers: 3,
+            boundary_count: 1_000_000,
         },
         Reply::Subscribed {
             active: false,
             subscribers: 0,
+            boundary_count: 0,
         },
+        Reply::NotLeader {
+            hint: Some("10.0.0.7:4477".into()),
+        },
+        Reply::NotLeader { hint: None },
         Reply::Event(StreamEvent::ModeTransition {
             seq: 5,
             time: 5 * 86_400,
@@ -565,46 +616,46 @@ fn decoders_reject_trailing_bytes_and_unknown_kinds() {
 
 /// Cross-version: the version gate sits at byte 4 of the header and is
 /// checked before the payload is read or the checksum considered, so a
-/// protocol-v3 peer's frames — whose kinds, payload shapes, and
+/// protocol-v4 peer's frames — whose kinds, payload shapes, and
 /// checksum conventions this version knows nothing about — are rejected
 /// as typed corruption at the version byte, for every frame kind in
-/// both directions. By symmetry a v3 reader applies the same gate to
+/// both directions. By symmetry a v4 reader applies the same gate to
 /// our frames: version negotiation is fail-fast, never best-effort
 /// decoding.
 #[test]
-fn v3_peers_are_rejected_at_the_version_byte_for_every_kind() {
-    assert_eq!(PROTOCOL_VERSION, 4, "this pin documents the v3/v4 break");
+fn v4_peers_are_rejected_at_the_version_byte_for_every_kind() {
+    assert_eq!(PROTOCOL_VERSION, 5, "this pin documents the v4/v5 break");
     let frames: Vec<Vec<u8>> = all_requests()
         .iter()
         .map(Request::encode)
         .chain(all_replies().iter().map(Reply::encode))
         .collect();
     for mut frame in frames {
-        frame[4] = 3; // the version byte, after the 4-byte length
+        frame[4] = 4; // the version byte, after the 4-byte length
         let kind = frame[5];
         let mut cursor = std::io::Cursor::new(frame);
         match read_frame(&mut cursor) {
             FrameEvent::Corrupt(e) => {
                 let msg = e.to_string();
                 assert!(
-                    msg.contains("protocol version 3"),
+                    msg.contains("protocol version 4"),
                     "kind {kind:#04x}: rejection must name the version, got {msg:?}"
                 );
             }
-            other => panic!("kind {kind:#04x}: v3 frame produced {other:?}"),
+            other => panic!("kind {kind:#04x}: v4 frame produced {other:?}"),
         }
     }
 
-    // The gate fires before the checksum is verified: a v3 frame whose
-    // checksum would fail under v4's rules is still reported as a
-    // version mismatch, exactly what a frame produced under v3's own
+    // The gate fires before the checksum is verified: a v4 frame whose
+    // checksum would fail under v5's rules is still reported as a
+    // version mismatch, exactly what a frame produced under v4's own
     // conventions needs.
     let mut frame = Request::Health.encode();
-    frame[4] = 3;
+    frame[4] = 4;
     frame[6] ^= 0xFF; // trash the checksum as well
     match read_frame(&mut std::io::Cursor::new(frame)) {
         FrameEvent::Corrupt(e) => assert!(
-            e.to_string().contains("protocol version 3"),
+            e.to_string().contains("protocol version 4"),
             "version gate must precede checksum verification"
         ),
         other => panic!("expected version corruption, got {other:?}"),

@@ -10,6 +10,7 @@
 //! the server tears the subscription down first so the goodbye is
 //! always on the wire.
 
+use std::collections::VecDeque;
 use std::net::SocketAddr;
 use std::time::Duration;
 
@@ -18,6 +19,24 @@ use fenrir_core::health::CampaignHealth;
 use fenrir_measure::submit::SubmitRow;
 use fenrir_serve::protocol::Request;
 use fenrir_serve::{Client, Reply, StreamEvent, SubmitOutcome};
+
+/// How many recently delivered transitions a [`Subscriber`] remembers
+/// for duplicate suppression. Resume replay is at-least-once: an event
+/// announced while the subscription was registering can arrive both
+/// replayed and live, and the window absorbs the overlap.
+const DEDUP_WINDOW: usize = 64;
+
+/// What a submit produced: the ack, or a redirect to the leader.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitResponse {
+    /// The durability decision.
+    Ack(SubmitOutcome),
+    /// This node is not the leader.
+    NotLeader {
+        /// Its best guess at who the leader is (`host:port`).
+        hint: Option<String>,
+    },
+}
 
 /// A sequenced submitter over one connection.
 #[derive(Debug)]
@@ -48,6 +67,28 @@ impl SubmitClient {
         codes: Vec<u16>,
         health: CampaignHealth,
     ) -> Result<SubmitOutcome> {
+        match self.try_submit(seq, time, codes, health)? {
+            SubmitResponse::Ack(outcome) => Ok(outcome),
+            SubmitResponse::NotLeader { hint } => Err(Error::Internal {
+                what: "stream submit",
+                message: match hint {
+                    Some(h) => format!("not the leader: try {h}"),
+                    None => "not the leader: no hint available".into(),
+                },
+            }),
+        }
+    }
+
+    /// Like [`SubmitClient::submit`], but surfaces a `NotLeader`
+    /// redirect as data instead of an error, so a failover-aware caller
+    /// can follow the hint.
+    pub fn try_submit(
+        &mut self,
+        seq: u64,
+        time: i64,
+        codes: Vec<u16>,
+        health: CampaignHealth,
+    ) -> Result<SubmitResponse> {
         self.client.send(&Request::Submit {
             seq,
             time,
@@ -60,7 +101,8 @@ impl SubmitClient {
                 Reply::SubmitAck {
                     seq: acked,
                     outcome,
-                } if acked == seq => return Ok(outcome),
+                } if acked == seq => return Ok(SubmitResponse::Ack(outcome)),
+                Reply::NotLeader { hint } => return Ok(SubmitResponse::NotLeader { hint }),
                 Reply::SubmitAck { .. } | Reply::Event(_) => continue,
                 Reply::Error { code, message } => {
                     return Err(Error::Internal {
@@ -113,26 +155,85 @@ impl SubmitClient {
 }
 
 /// A push subscriber over one connection.
+///
+/// The subscriber tracks a **boundary cursor**: the number of mode
+/// boundaries it has fully accounted for, seeded from the server's
+/// `Subscribed.boundary_count` (or the caller's resume point) and
+/// advanced by every delivered transition and every in-band `Lagged`
+/// marker. Passing the cursor back via
+/// [`Subscriber::connect_resuming`] after a disconnect replays exactly
+/// the missed transitions — never a skip, and duplicates from the
+/// at-least-once replay overlap are suppressed by a recent-event
+/// window.
 #[derive(Debug)]
 pub struct Subscriber {
     client: Client,
+    cursor: u64,
+    recent: VecDeque<StreamEvent>,
+    /// Events that arrived on the wire before the `Subscribed`
+    /// confirmation: the resume replay is pushed by the server's
+    /// pusher thread, which can beat the confirmation onto the socket.
+    pending: VecDeque<StreamEvent>,
 }
 
 impl Subscriber {
-    /// Connect and subscribe. Errors if the server refuses (draining
-    /// servers do).
+    /// Connect and subscribe at the live edge. Errors if the server
+    /// refuses (draining servers do).
     pub fn connect(addr: SocketAddr) -> Result<Subscriber> {
+        Self::connect_inner(addr, None)
+    }
+
+    /// Connect and subscribe, replaying every transition announced at
+    /// boundary indices `>= resume_from` before going live. A cursor
+    /// below the server's retained history yields an in-band
+    /// [`StreamEvent::Lagged`] marker first.
+    pub fn connect_resuming(addr: SocketAddr, resume_from: u64) -> Result<Subscriber> {
+        Self::connect_inner(addr, Some(resume_from))
+    }
+
+    fn connect_inner(addr: SocketAddr, resume_from: Option<u64>) -> Result<Subscriber> {
         let mut client = Client::connect(addr)?;
-        match client.request(&Request::Subscribe { enable: true })? {
-            Reply::Subscribed { active: true, .. } => Ok(Subscriber { client }),
-            Reply::Error { code, message } => Err(Error::Internal {
-                what: "stream subscribe",
-                message: format!("server error {code}: {message}"),
-            }),
-            other => Err(Error::Internal {
-                what: "stream subscribe",
-                message: format!("expected an active Subscribed reply, got {other:?}"),
-            }),
+        client.send(&Request::Subscribe {
+            enable: true,
+            resume_from,
+        })?;
+        client.flush()?;
+        let mut pending = VecDeque::new();
+        loop {
+            match client.recv()? {
+                Reply::Subscribed {
+                    active: true,
+                    boundary_count,
+                    ..
+                } => {
+                    return Ok(Subscriber {
+                        client,
+                        // Resuming: replayed events advance the cursor
+                        // from the resume point. Fresh: nothing before
+                        // the live edge will be delivered, so start
+                        // there.
+                        cursor: resume_from.unwrap_or(boundary_count),
+                        recent: VecDeque::new(),
+                        pending,
+                    });
+                }
+                // The resume replay races the confirmation onto the
+                // wire; keep anything that won for the first
+                // `next_event` calls.
+                Reply::Event(ev) => pending.push_back(ev),
+                Reply::Error { code, message } => {
+                    return Err(Error::Internal {
+                        what: "stream subscribe",
+                        message: format!("server error {code}: {message}"),
+                    })
+                }
+                other => {
+                    return Err(Error::Internal {
+                        what: "stream subscribe",
+                        message: format!("expected an active Subscribed reply, got {other:?}"),
+                    })
+                }
+            }
         }
     }
 
@@ -141,12 +242,42 @@ impl Subscriber {
         self.client.set_read_timeout(timeout)
     }
 
-    /// Wait for the next pushed event. Replies to any queries the
-    /// caller pipelined on this connection are skipped.
+    /// The boundary index this subscriber has consumed up to — pass to
+    /// [`Subscriber::connect_resuming`] to pick up where it left off.
+    pub fn cursor(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Wait for the next pushed event, advancing the boundary cursor.
+    /// Replies to any queries the caller pipelined on this connection
+    /// are skipped, as are duplicate transition deliveries from the
+    /// at-least-once resume overlap.
     pub fn next_event(&mut self) -> Result<StreamEvent> {
         loop {
-            if let Reply::Event(ev) = self.client.recv()? {
-                return Ok(ev);
+            let reply = match self.pending.pop_front() {
+                Some(ev) => Reply::Event(ev),
+                None => self.client.recv()?,
+            };
+            match reply {
+                Reply::Event(ev @ StreamEvent::ModeTransition { .. }) => {
+                    if self.recent.contains(&ev) {
+                        continue; // replay/live overlap: already seen
+                    }
+                    if self.recent.len() == DEDUP_WINDOW {
+                        self.recent.pop_front();
+                    }
+                    self.recent.push_back(ev.clone());
+                    self.cursor += 1;
+                    return Ok(ev);
+                }
+                Reply::Event(ev @ StreamEvent::Lagged { missed }) => {
+                    // The shed boundaries passed us by; account for
+                    // them so a resume does not replay the world.
+                    self.cursor += missed;
+                    return Ok(ev);
+                }
+                Reply::Event(ev) => return Ok(ev),
+                _ => continue,
             }
         }
     }
@@ -167,9 +298,16 @@ impl Subscriber {
     /// event and then confirms with an inactive `Subscribed` reply (in
     /// that order); both are consumed here.
     pub fn unsubscribe(mut self) -> Result<Vec<StreamEvent>> {
-        self.client.send(&Request::Subscribe { enable: false })?;
+        self.client.send(&Request::Subscribe {
+            enable: false,
+            resume_from: None,
+        })?;
         self.client.flush()?;
-        let mut missed = Vec::new();
+        let mut missed: Vec<StreamEvent> = self
+            .pending
+            .drain(..)
+            .filter(|ev| !matches!(ev, StreamEvent::Closed))
+            .collect();
         loop {
             match self.client.recv()? {
                 Reply::Event(StreamEvent::Closed) => continue,
@@ -188,5 +326,239 @@ impl Subscriber {
     /// Access the underlying protocol client.
     pub fn inner(&mut self) -> &mut Client {
         &mut self.client
+    }
+}
+
+/// A submitter that follows the leader across a replica set.
+///
+/// Submits go to whichever node last accepted one. A `NotLeader`
+/// redirect is followed immediately — to its hint when one is carried,
+/// otherwise round-robin to the next candidate — and a transport error
+/// (the leader died mid-request) rotates the same way. Each submit is
+/// bounded to a few laps around the candidate list before giving up,
+/// so a fully-down fleet fails fast instead of spinning.
+#[derive(Debug)]
+pub struct FailoverSubmitClient {
+    addrs: Vec<SocketAddr>,
+    current: usize,
+    conn: Option<SubmitClient>,
+    read_timeout: Option<Duration>,
+}
+
+impl FailoverSubmitClient {
+    /// Remember the candidate set; connections are made lazily.
+    pub fn new(addrs: Vec<SocketAddr>) -> Result<FailoverSubmitClient> {
+        if addrs.is_empty() {
+            return Err(Error::InvalidParameter {
+                name: "failover submit addrs",
+                message: "at least one candidate address is required".into(),
+            });
+        }
+        Ok(FailoverSubmitClient {
+            addrs,
+            current: 0,
+            conn: None,
+            read_timeout: Some(Duration::from_secs(5)),
+        })
+    }
+
+    /// Bound each ack wait (None blocks indefinitely).
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) {
+        self.read_timeout = timeout;
+        self.conn = None; // reconnect picks the new deadline up
+    }
+
+    /// The candidate currently believed to be the leader.
+    pub fn current_addr(&self) -> SocketAddr {
+        self.addrs[self.current]
+    }
+
+    /// Point `current` at `hint` when it names a known candidate (or
+    /// parses as an address at all); otherwise rotate.
+    fn follow(&mut self, hint: Option<&str>) {
+        self.conn = None;
+        if let Some(addr) = hint.and_then(|h| h.parse::<SocketAddr>().ok()) {
+            if let Some(i) = self.addrs.iter().position(|a| *a == addr) {
+                self.current = i;
+                return;
+            }
+            // A hint outside the configured set is still worth trying:
+            // the fleet may have grown since this client was built.
+            self.addrs.push(addr);
+            self.current = self.addrs.len() - 1;
+            return;
+        }
+        self.current = (self.current + 1) % self.addrs.len();
+    }
+
+    fn connected(&mut self) -> Result<&mut SubmitClient> {
+        if self.conn.is_none() {
+            let mut c = SubmitClient::connect(self.addrs[self.current])?;
+            c.set_read_timeout(self.read_timeout)?;
+            self.conn = Some(c);
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+
+    /// Submit one observation, following leadership until a node acks
+    /// it. At-least-once across failover: a retried submit the old
+    /// leader already journaled earns a `Duplicate` ack from the new
+    /// one, which callers treat as success.
+    pub fn submit(
+        &mut self,
+        seq: u64,
+        time: i64,
+        codes: Vec<u16>,
+        health: CampaignHealth,
+    ) -> Result<SubmitOutcome> {
+        // Three laps: every candidate gets a chance to have finished
+        // its takeover, plus slack for one hint chase per lap.
+        let attempts = self.addrs.len() * 3 + 2;
+        let mut last_err: Option<Error> = None;
+        for _ in 0..attempts {
+            let conn = match self.connected() {
+                Ok(c) => c,
+                Err(e) => {
+                    last_err = Some(e);
+                    self.follow(None);
+                    continue;
+                }
+            };
+            match conn.try_submit(seq, time, codes.clone(), health.clone()) {
+                Ok(SubmitResponse::Ack(outcome)) => return Ok(outcome),
+                Ok(SubmitResponse::NotLeader { hint }) => {
+                    self.follow(hint.as_deref());
+                }
+                Err(e) => {
+                    last_err = Some(e);
+                    self.follow(None);
+                }
+            }
+        }
+        Err(last_err.unwrap_or(Error::Internal {
+            what: "failover submit",
+            message: format!("no candidate accepted seq {seq} after {attempts} attempts"),
+        }))
+    }
+
+    /// Submit one prepared row.
+    pub fn submit_row(&mut self, row: &SubmitRow) -> Result<SubmitOutcome> {
+        self.submit(row.seq, row.time, row.codes.clone(), row.health.clone())
+    }
+}
+
+/// A subscriber that survives leader failover.
+///
+/// Wraps [`Subscriber`], carrying its boundary cursor across
+/// reconnects: when the connection drops (or the server says goodbye
+/// with `Closed`), the next candidate is subscribed with
+/// `resume_from = cursor`, so the transitions announced during the
+/// outage are replayed rather than skipped, and the dedup window
+/// absorbs any replay/live overlap.
+#[derive(Debug)]
+pub struct FailoverSubscriber {
+    addrs: Vec<SocketAddr>,
+    current: usize,
+    sub: Option<Subscriber>,
+    cursor: u64,
+    read_timeout: Option<Duration>,
+}
+
+impl FailoverSubscriber {
+    /// Subscribe to the first reachable candidate at the live edge.
+    pub fn connect(addrs: Vec<SocketAddr>) -> Result<FailoverSubscriber> {
+        if addrs.is_empty() {
+            return Err(Error::InvalidParameter {
+                name: "failover subscribe addrs",
+                message: "at least one candidate address is required".into(),
+            });
+        }
+        let mut this = FailoverSubscriber {
+            addrs,
+            current: 0,
+            sub: None,
+            cursor: 0,
+            read_timeout: Some(Duration::from_secs(5)),
+        };
+        let sub = this.reconnect(None)?;
+        this.cursor = sub.cursor();
+        Ok(this)
+    }
+
+    /// Bound each event wait (None blocks indefinitely).
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) {
+        self.read_timeout = timeout;
+        if let Some(sub) = &mut self.sub {
+            let _ = sub.set_read_timeout(timeout);
+        }
+    }
+
+    /// The boundary index consumed so far.
+    pub fn cursor(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Subscribe to the next reachable candidate, resuming from
+    /// `resume_from` when given (reconnect) or at the live edge (first
+    /// connect). Leaves `self.sub` holding the fresh subscription.
+    fn reconnect(&mut self, resume_from: Option<u64>) -> Result<&mut Subscriber> {
+        self.sub = None;
+        let mut last_err: Option<Error> = None;
+        for lap in 0..self.addrs.len() * 3 {
+            let i = (self.current + lap) % self.addrs.len();
+            let attempt = match resume_from {
+                Some(from) => Subscriber::connect_resuming(self.addrs[i], from),
+                None => Subscriber::connect(self.addrs[i]),
+            };
+            match attempt {
+                Ok(mut sub) => {
+                    sub.set_read_timeout(self.read_timeout)?;
+                    self.current = i;
+                    self.sub = Some(sub);
+                    return Ok(self.sub.as_mut().expect("just subscribed"));
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or(Error::Internal {
+            what: "failover subscribe",
+            message: "no candidate accepted the subscription".into(),
+        }))
+    }
+
+    /// Wait for the next event, reconnecting (and resuming from the
+    /// cursor) when the current server closes the stream or the wire
+    /// drops. `Closed` is absorbed as a failover trigger, not returned.
+    pub fn next_event(&mut self) -> Result<StreamEvent> {
+        let mut failovers = 0;
+        loop {
+            let cursor = self.cursor;
+            let need_reconnect = self.sub.is_none();
+            if need_reconnect {
+                self.reconnect(Some(cursor))?;
+            }
+            let sub = self.sub.as_mut().expect("subscribed above");
+            match sub.next_event() {
+                Ok(StreamEvent::Closed) => {
+                    // Drain or shutdown on that node: fail over.
+                    self.cursor = sub.cursor();
+                    self.sub = None;
+                    self.current = (self.current + 1) % self.addrs.len();
+                }
+                Ok(ev) => {
+                    self.cursor = sub.cursor();
+                    return Ok(ev);
+                }
+                Err(e) => {
+                    self.cursor = sub.cursor();
+                    self.sub = None;
+                    self.current = (self.current + 1) % self.addrs.len();
+                    failovers += 1;
+                    if failovers > self.addrs.len() * 3 {
+                        return Err(e);
+                    }
+                }
+            }
+        }
     }
 }

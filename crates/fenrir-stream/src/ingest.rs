@@ -180,6 +180,22 @@ struct Inner {
     /// The previous step's mode boundaries; the diff against the
     /// current step's is exactly the set of transitions to announce.
     boundaries: Vec<usize>,
+    /// Boundaries that predate this ingestor's announce history: the
+    /// journaled prefix at attach. A subscriber resuming from below
+    /// this gets an in-band `Lagged` marker, never a re-announcement.
+    announced_base: u64,
+    /// Every transition announced since attach, in announce order —
+    /// the replay source for resuming subscribers. Boundary index `i`
+    /// (for `i >= announced_base`) is `announced[i - announced_base]`.
+    announced: Vec<StreamEvent>,
+}
+
+impl Inner {
+    /// Lifetime boundary count: journaled history plus everything
+    /// announced since attach.
+    fn boundary_count(&self) -> u64 {
+        self.announced_base + self.announced.len() as u64
+    }
 }
 
 /// Durable, sequenced, trust-aware streaming ingest over one pipeline
@@ -258,6 +274,8 @@ impl StreamIngestor {
             inner: Mutex::new(Inner {
                 pipe,
                 trust,
+                announced_base: boundaries.len() as u64,
+                announced: Vec::new(),
                 boundaries,
             }),
             adaptive: cfg.adaptive,
@@ -333,6 +351,52 @@ impl StreamIngestor {
         self.inner.lock().pipe.compact()
     }
 
+    /// Lifetime boundary count (see [`StreamHandler::boundary_count`]).
+    pub fn boundary_count(&self) -> u64 {
+        self.inner.lock().boundary_count()
+    }
+
+    /// Stamp a fencing epoch on the tiered backend: every later seal
+    /// and manifest commit carries it, so a deposed leader's writes are
+    /// refused by the tier. Errors on a non-tiered journal — fencing
+    /// without a shared tier would protect nothing.
+    pub fn set_fence_epoch(&self, epoch: u64) -> Result<()> {
+        let mut inner = self.inner.lock();
+        match inner.pipe.tier_mut() {
+            Some(tier) => tier.set_fence_epoch(epoch),
+            None => Err(Error::InvalidParameter {
+                name: "fence epoch",
+                message: "fencing requires a tiered journal".into(),
+            }),
+        }
+    }
+
+    /// Re-apply one write-ahead-logged observation through the normal
+    /// fold path. Used by a new leader replaying its predecessor's
+    /// acked suffix: the fold is identical to a live submit — journal,
+    /// trust, boundary diff — and discovered transitions enter the
+    /// announce history (resuming subscribers replay them), but nothing
+    /// is broadcast, because nothing is being submitted *now*.
+    pub fn replay_observation(
+        &self,
+        time: i64,
+        codes: &[u16],
+        health: CampaignHealth,
+    ) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if codes.len() != self.base.len() {
+            return Err(Error::InvalidParameter {
+                name: "replayed codes",
+                message: format!(
+                    "observation carries {} codes, stream expects {}",
+                    codes.len(),
+                    self.base.len()
+                ),
+            });
+        }
+        self.fold(&mut inner, time, codes, health).map(|_| ())
+    }
+
     fn fold(
         &self,
         inner: &mut Inner,
@@ -404,6 +468,9 @@ impl StreamIngestor {
                 self.metrics.transitions.inc();
             }
             inner.boundaries = bounds;
+            // Announce history feeds resuming subscribers; it must see
+            // every transition exactly once, in announce order.
+            inner.announced.extend(events.iter().cloned());
         }
         Ok((
             SubmitOutcome::Accepted {
@@ -415,6 +482,52 @@ impl StreamIngestor {
     }
 }
 
+impl StreamIngestor {
+    /// The sequencing and fold core behind [`StreamHandler::submit`],
+    /// with typed errors: a replicated leader needs to *see*
+    /// [`Error::Fenced`] to step down, which a stringified protocol
+    /// reply would hide. Duplicate and gap outcomes are data, not
+    /// errors; a codes-length mismatch is [`Error::InvalidParameter`].
+    pub fn submit_typed(
+        &self,
+        seq: u64,
+        time: i64,
+        codes: &[u16],
+        health: CampaignHealth,
+    ) -> Result<(SubmitOutcome, Vec<StreamEvent>)> {
+        self.metrics.submits.inc();
+        let start = Instant::now();
+        let mut inner = self.inner.lock();
+        let expected = inner.pipe.series().len() as u64;
+        if seq < expected {
+            self.metrics.duplicates.inc();
+            self.metrics.acks.inc();
+            return Ok((SubmitOutcome::Duplicate, Vec::new()));
+        }
+        if seq > expected {
+            self.metrics.gaps.inc();
+            self.metrics.acks.inc();
+            return Ok((SubmitOutcome::Gap { expected }, Vec::new()));
+        }
+        if codes.len() != self.base.len() {
+            return Err(Error::InvalidParameter {
+                name: "submit codes",
+                message: format!(
+                    "observation carries {} codes, stream expects {}",
+                    codes.len(),
+                    self.base.len()
+                ),
+            });
+        }
+        let (outcome, events) = self.fold(&mut inner, time, codes, health)?;
+        self.metrics.acks.inc();
+        self.metrics
+            .fold_latency
+            .observe(start.elapsed().as_micros() as u64);
+        Ok((outcome, events))
+    }
+}
+
 impl StreamHandler for StreamIngestor {
     fn submit(
         &self,
@@ -423,53 +536,15 @@ impl StreamHandler for StreamIngestor {
         codes: &[u16],
         health: CampaignHealth,
     ) -> (Reply, Vec<StreamEvent>) {
-        self.metrics.submits.inc();
-        let start = Instant::now();
-        let mut inner = self.inner.lock();
-        let expected = inner.pipe.series().len() as u64;
-        if seq < expected {
-            self.metrics.duplicates.inc();
-            self.metrics.acks.inc();
-            return (
-                Reply::SubmitAck {
-                    seq,
-                    outcome: SubmitOutcome::Duplicate,
-                },
-                Vec::new(),
-            );
-        }
-        if seq > expected {
-            self.metrics.gaps.inc();
-            self.metrics.acks.inc();
-            return (
-                Reply::SubmitAck {
-                    seq,
-                    outcome: SubmitOutcome::Gap { expected },
-                },
-                Vec::new(),
-            );
-        }
-        if codes.len() != self.base.len() {
-            return (
+        match self.submit_typed(seq, time, codes, health) {
+            Ok((outcome, events)) => (Reply::SubmitAck { seq, outcome }, events),
+            Err(e @ Error::InvalidParameter { .. }) => (
                 Reply::Error {
                     code: ERR_BAD_REQUEST,
-                    message: format!(
-                        "observation carries {} codes, stream expects {}",
-                        codes.len(),
-                        self.base.len()
-                    ),
+                    message: e.to_string(),
                 },
                 Vec::new(),
-            );
-        }
-        match self.fold(&mut inner, time, codes, health) {
-            Ok((outcome, events)) => {
-                self.metrics.acks.inc();
-                self.metrics
-                    .fold_latency
-                    .observe(start.elapsed().as_micros() as u64);
-                (Reply::SubmitAck { seq, outcome }, events)
-            }
+            ),
             Err(e) => (
                 Reply::Error {
                     code: ERR_INTERNAL,
@@ -478,5 +553,28 @@ impl StreamHandler for StreamIngestor {
                 Vec::new(),
             ),
         }
+    }
+
+    fn boundary_count(&self) -> u64 {
+        self.inner.lock().boundary_count()
+    }
+
+    fn events_since(&self, from: u64) -> Vec<StreamEvent> {
+        let inner = self.inner.lock();
+        let base = inner.announced_base;
+        let mut events = Vec::new();
+        let start = if from < base {
+            // The gap below the announce history was journaled before
+            // this ingestor attached; it is never re-announced, only
+            // marked.
+            events.push(StreamEvent::Lagged { missed: base - from });
+            0
+        } else {
+            (from - base) as usize
+        };
+        if start < inner.announced.len() {
+            events.extend_from_slice(&inner.announced[start..]);
+        }
+        events
     }
 }

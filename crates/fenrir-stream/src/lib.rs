@@ -39,11 +39,13 @@
 pub mod client;
 pub mod ingest;
 pub mod metrics;
+pub mod replicated;
 pub mod scenario;
 pub mod serve;
 
-pub use client::{SubmitClient, Subscriber};
+pub use client::{FailoverSubmitClient, FailoverSubscriber, SubmitClient, SubmitResponse, Subscriber};
 pub use ingest::{state_bits, StateBits, StreamConfig, StreamIngestor};
-pub use metrics::StreamMetrics;
+pub use metrics::{FailoverMetrics, StreamMetrics};
+pub use replicated::{wall_clock, Clock, ReplicatedConfig, ReplicatedIngestor};
 pub use scenario::{ddos_catchment_flip, hypergiant_churn, StreamScenario};
 pub use serve::StreamServer;

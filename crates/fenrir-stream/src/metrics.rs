@@ -21,6 +21,9 @@
 //! `fenrir_stream_lagged_drops_total`) are registered by every
 //! `fenrir-serve` server, stream-enabled or not.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use fenrir_obs::{Counter, Histogram, Registry, DEFAULT_LATENCY_BOUNDS_US};
 
 /// Always-on instruments for one ingestor.
@@ -85,6 +88,68 @@ impl StreamMetrics {
     }
 }
 
+/// Leadership and failover instruments for one replicated node.
+///
+/// | family | meaning |
+/// |---|---|
+/// | `fenrir_stream_leader` | 1 while this node holds the lease |
+/// | `fenrir_stream_fence_epoch` | the fencing epoch last held (sticky across step-down) |
+/// | `fenrir_stream_takeovers_total` | standby→leader promotions |
+/// | `fenrir_stream_step_downs_total` | leader→standby demotions (deposed or lease lost) |
+/// | `fenrir_stream_fenced_rejects_total` | own writes refused by a higher fence |
+/// | `fenrir_stream_not_leader_total` | `NotLeader` redirects sent to clients |
+#[derive(Debug, Clone, Default)]
+pub struct FailoverMetrics {
+    /// 1 while leading, 0 as a standby.
+    pub is_leader: Arc<AtomicU64>,
+    /// The fencing epoch last held; stays at its final value after a
+    /// step-down so dashboards can see which election this node lost.
+    pub fence_epoch: Arc<AtomicU64>,
+    /// Standby→leader promotions.
+    pub takeovers: Counter,
+    /// Leader→standby demotions.
+    pub step_downs: Counter,
+    /// Own writes refused by a higher fence.
+    pub fenced_rejects: Counter,
+    /// `NotLeader` redirects sent.
+    pub not_leader: Counter,
+}
+
+impl FailoverMetrics {
+    /// Fresh zeroed instruments.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Export every family into `registry`.
+    pub fn bind(&self, registry: &Registry) {
+        let g = Arc::clone(&self.is_leader);
+        registry.gauge_fn("fenrir_stream_leader", &[], move || {
+            g.load(Ordering::Relaxed) as f64
+        });
+        let g = Arc::clone(&self.fence_epoch);
+        registry.gauge_fn("fenrir_stream_fence_epoch", &[], move || {
+            g.load(Ordering::Relaxed) as f64
+        });
+        let c = self.takeovers.clone();
+        registry.counter_fn("fenrir_stream_takeovers_total", &[], move || {
+            c.get() as f64
+        });
+        let c = self.step_downs.clone();
+        registry.counter_fn("fenrir_stream_step_downs_total", &[], move || {
+            c.get() as f64
+        });
+        let c = self.fenced_rejects.clone();
+        registry.counter_fn("fenrir_stream_fenced_rejects_total", &[], move || {
+            c.get() as f64
+        });
+        let c = self.not_leader.clone();
+        registry.counter_fn("fenrir_stream_not_leader_total", &[], move || {
+            c.get() as f64
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,5 +177,32 @@ mod tests {
         }
         assert!(text.contains("fenrir_stream_submits_total 1\n"));
         assert!(text.contains("fenrir_stream_fold_latency_us_count 1\n"));
+    }
+
+    #[test]
+    fn failover_bind_exports_all_six_families() {
+        let m = FailoverMetrics::new();
+        m.is_leader.store(1, Ordering::Relaxed);
+        m.fence_epoch.store(7, Ordering::Relaxed);
+        m.takeovers.inc();
+        let r = Registry::new();
+        m.bind(&r);
+        let text = r.render();
+        for family in [
+            "fenrir_stream_leader",
+            "fenrir_stream_fence_epoch",
+            "fenrir_stream_takeovers_total",
+            "fenrir_stream_step_downs_total",
+            "fenrir_stream_fenced_rejects_total",
+            "fenrir_stream_not_leader_total",
+        ] {
+            assert!(
+                text.contains(&format!("# TYPE {family}")),
+                "missing {family}"
+            );
+        }
+        assert!(text.contains("fenrir_stream_leader 1\n"));
+        assert!(text.contains("fenrir_stream_fence_epoch 7\n"));
+        assert!(text.contains("fenrir_stream_takeovers_total 1\n"));
     }
 }

@@ -11,7 +11,7 @@ use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use fenrir_serve::protocol::AdminCmd;
-use fenrir_serve::{Client, Reply, ServeConfig, StreamEvent};
+use fenrir_serve::{Client, Reply, Request, ServeConfig, StreamEvent};
 use fenrir_stream::{
     ddos_catchment_flip, hypergiant_churn, StreamConfig, StreamScenario, StreamServer,
     SubmitClient, Subscriber,
@@ -123,6 +123,26 @@ fn stream_scenario(tag: &str, sc: StreamScenario) {
         registry.value("fenrir_stream_subscribers", &[]),
         Some(1.0),
         "{}: the subscriber is registered",
+        sc.name
+    );
+
+    // The per-subscriber ledger closes against the same books: one
+    // row, whose counters are this subscriber's share of the fleet
+    // totals (here, all of them).
+    let mut stats_client = Client::connect(addr).expect("stats client");
+    let per_sub = match stats_client.request(&Request::Stats).expect("stats") {
+        Reply::Stats(s) => s.subscribers,
+        other => panic!("{}: stats got {other:?}", sc.name),
+    };
+    assert_eq!(per_sub.len(), 1, "{}: one subscriber row", sc.name);
+    assert_eq!(
+        per_sub[0].events_pushed, pushed,
+        "{}: the row's pushed count matches the fleet counter",
+        sc.name
+    );
+    assert_eq!(
+        per_sub[0].lagged_drops, shed,
+        "{}: the row's shed count matches the fleet counter",
         sc.name
     );
 
